@@ -1,0 +1,114 @@
+#include "common.hpp"
+
+#include <cstdio>
+
+#include "core/active.hpp"
+#include "lg/lg_client.hpp"
+
+namespace mlp::bench {
+
+scenario::ScenarioParams default_params() {
+  scenario::ScenarioParams params;
+  params.topology.n_ases = 2000;
+  params.membership_scale = 0.30;
+  params.member_lgs = 40;
+  params.seed = 20130501;
+  return params;
+}
+
+namespace {
+
+/// Third-party survey for IXPs without a usable RS LG (paper: "we use 11
+/// LGs provided by their RS members"): query member looking glasses for
+/// prefixes of the IXP's members and push the returned paths (with the
+/// operator prepended, since displayed paths start at the neighbor)
+/// through the passive attribution machinery.
+void run_third_party_survey(scenario::Scenario& s, std::size_t ixp_index,
+                            core::PassiveExtractor& extractor,
+                            std::size_t& queries) {
+  const auto& ixp = s.ixps()[ixp_index];
+  for (auto& lg : s.member_lgs()) {
+    if (!ixp.rs_members.count(lg.operator_asn)) continue;
+    lg::LookingGlassClient client(*lg.server);
+    for (const Asn member : ixp.rs_members) {
+      if (member == lg.operator_asn) continue;
+      const auto& prefixes = s.prefixes_of(member);
+      if (prefixes.empty()) continue;
+      ++queries;
+      for (const auto& path : client.prefix_detail(prefixes.front())) {
+        if (path.communities.empty()) continue;
+        bgp::AsPath full = path.as_path;
+        if (full.empty() || full.head() != lg.operator_asn)
+          full.prepend(lg.operator_asn);
+        extractor.consume_path(full, prefixes.front(), path.communities,
+                               core::Source::ThirdPartyLg);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+InferenceRun run_full_inference(scenario::Scenario& s) {
+  InferenceRun run;
+
+  // Public BGP view: links in collector AS paths, plus the baseline
+  // relationship inference the setter identification needs (the paper
+  // uses CAIDA's inferred relationships, not ground truth).
+  const auto paths = s.collector_paths();
+  for (const auto& path : paths)
+    for (const auto& link : path.links()) run.public_bgp_links.insert(link);
+  run.relationships = topology::infer_relationships(paths);
+
+  // Passive pass over the archived MRT table dumps.
+  core::PassiveExtractor extractor(s.ixp_contexts(),
+                                   run.relationships.rel_fn());
+  for (auto& collector : s.collectors())
+    extractor.consume_table_dump(collector.table_dump(1367366400));
+
+  // Third-party LG pass for IXPs without a community-displaying RS LG.
+  run.active_queries.assign(s.ixps().size(), 0);
+  for (std::size_t i = 0; i < s.ixps().size(); ++i) {
+    const auto& spec = s.ixps()[i].spec;
+    if (!spec.has_rs_lg || !spec.lg_shows_communities)
+      run_third_party_survey(s, i, extractor, run.active_queries[i]);
+  }
+  run.passive_stats = extractor.stats();
+
+  // Per-IXP engines: passive observations first, then direct RS-LG
+  // surveys skipping members already covered (equation 2).
+  for (std::size_t i = 0; i < s.ixps().size(); ++i) {
+    core::MlpInferenceEngine engine(s.ixp_context(i));
+    std::set<Asn> covered;
+    auto it = extractor.observations().find(s.ixps()[i].spec.name);
+    if (it != extractor.observations().end()) {
+      for (const auto& observation : it->second) {
+        engine.add(observation);
+        covered.insert(observation.setter);
+      }
+    }
+    auto* lg = s.rs_lg(i);
+    if (lg && s.ixps()[i].spec.lg_shows_communities) {
+      const auto survey = core::run_active_survey(*lg, {}, covered);
+      run.active_queries[i] += survey.queries;
+      for (const auto& observation : survey.observations)
+        engine.add(observation);
+    }
+    const auto links = engine.infer_links();
+    run.links_per_ixp.push_back(links);
+    run.all_links.insert(links.begin(), links.end());
+    run.engines.push_back(std::move(engine));
+  }
+  return run;
+}
+
+void print_header(const std::string& title, const scenario::Scenario& s) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf(
+      "synthetic ecosystem: %zu ASes, %zu IXPs, seed %llu "
+      "(see DESIGN.md for the substitution map)\n\n",
+      s.topo().graph.as_count(), s.ixps().size(),
+      static_cast<unsigned long long>(s.params().seed));
+}
+
+}  // namespace mlp::bench

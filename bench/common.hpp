@@ -1,0 +1,47 @@
+// Shared harness for the per-table/per-figure benchmark binaries: builds
+// the synthetic ecosystem and runs the paper's full inference pipeline
+// (passive MRT pass, then active LG surveys, then third-party LGs for
+// IXPs without a usable route-server LG).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/engine.hpp"
+#include "core/passive.hpp"
+#include "scenario/scenario.hpp"
+#include "topology/relationship_inference.hpp"
+
+namespace mlp::bench {
+
+using bgp::AsLink;
+using core::Asn;
+
+/// Everything the report generators need from one full pipeline run.
+struct InferenceRun {
+  std::vector<core::MlpInferenceEngine> engines;  // aligned with ixps()
+  core::PassiveStats passive_stats;
+  /// Active query cost per IXP (0 when no LG was used).
+  std::vector<std::size_t> active_queries;
+  /// p2p links per IXP and the union.
+  std::vector<std::set<AsLink>> links_per_ixp;
+  std::set<AsLink> all_links;
+  /// The "public BGP view": AS links visible in collector paths.
+  std::set<AsLink> public_bgp_links;
+  /// AS-Rank-style relationships inferred from the collector paths.
+  topology::InferredRelationships relationships;
+};
+
+/// Default experiment-scale parameters (overridable per bench).
+scenario::ScenarioParams default_params();
+
+/// Run passive + active + third-party inference over the scenario.
+InferenceRun run_full_inference(scenario::Scenario& s);
+
+/// Print the standard bench header (scenario seed and scale).
+void print_header(const std::string& title, const scenario::Scenario& s);
+
+}  // namespace mlp::bench

@@ -1,0 +1,57 @@
+// Figure 7: customer-degree CDFs of the ASes on each inferred link.
+// Paper: 12.4% of links are between two stubs, 55.6% involve at least one
+// stub, 58.1% involve an AS with at most 10 customers.
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mlp;
+  scenario::Scenario s(bench::default_params());
+  bench::print_header("Figure 7: customer degrees on inferred links", s);
+  auto run = bench::run_full_inference(s);
+
+  const auto degree = [&](core::Asn asn) {
+    return s.topo().graph.customer_degree(asn);
+  };
+  const auto analysis = core::analyze_link_degrees(run.all_links, degree);
+
+  EmpiricalDistribution smallest, largest;
+  for (const auto d : analysis.smallest)
+    smallest.add(static_cast<double>(d));
+  for (const auto d : analysis.largest) largest.add(static_cast<double>(d));
+
+  TablePrinter table({"degree <= x", "CDF smallest", "CDF largest"});
+  for (double x : {0.0, 1.0, 2.0, 5.0, 10.0, 50.0, 100.0, 1000.0}) {
+    table.add_row({fmt_double(x, 0),
+                   fmt_double(smallest.fraction_at_most(x), 3),
+                   fmt_double(largest.fraction_at_most(x), 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("links between two stubs:        %s  (paper: 12.4%%)\n",
+              fmt_percent(analysis.frac_stub_stub).c_str());
+  std::printf("links involving >= one stub:    %s  (paper: 55.6%%)\n",
+              fmt_percent(analysis.frac_one_stub).c_str());
+  std::printf("links with min degree <= 10:    %s  (paper: 58.1%%)\n",
+              fmt_percent(analysis.frac_small).c_str());
+
+  // Stub-stub links are invisible to BGP unless a vantage point sits in
+  // one of them; check how many leak into the public view.
+  std::size_t stub_stub_visible = 0, stub_stub_total = 0;
+  for (const auto& link : run.all_links) {
+    if (degree(link.a) == 0 && degree(link.b) == 0) {
+      ++stub_stub_total;
+      if (run.public_bgp_links.count(link)) ++stub_stub_visible;
+    }
+  }
+  if (stub_stub_total > 0) {
+    std::printf("stub-stub links visible in public BGP: %s  (paper: 1.4%%)\n",
+                fmt_percent(static_cast<double>(stub_stub_visible) /
+                            static_cast<double>(stub_stub_total))
+                    .c_str());
+  }
+  return analysis.frac_one_stub > 0.2 ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+// Figure 10: number of IXP presences versus route-server participations
+// per AS. Paper: 55.8% of ASes are at a single IXP and use its route
+// server; 13.4% use no route server at all.
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mlp;
+  scenario::Scenario s(bench::default_params());
+  bench::print_header("Figure 10: IXP presences vs RS participations", s);
+
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> matrix;
+  std::size_t total = 0;
+  std::size_t single_with_rs = 0;
+  std::size_t no_rs = 0;
+  std::size_t max_presence = 0;
+  for (const core::Asn asn : s.peeringdb().asns()) {
+    std::size_t presences = 0, participations = 0;
+    for (const auto& ixp : s.ixps()) {
+      if (ixp.members.count(asn)) ++presences;
+      if (ixp.rs_members.count(asn)) ++participations;
+    }
+    if (presences == 0) continue;
+    ++total;
+    ++matrix[{presences, participations}];
+    max_presence = std::max(max_presence, presences);
+    if (presences == 1 && participations == 1) ++single_with_rs;
+    if (participations == 0) ++no_rs;
+  }
+
+  const std::size_t shown = std::min<std::size_t>(max_presence, 7);
+  std::vector<std::string> header = {"RS part. \\ presences"};
+  for (std::size_t p = 1; p <= shown; ++p)
+    header.push_back(std::to_string(p));
+  TablePrinter table(header);
+  for (std::size_t r = 0; r <= shown; ++r) {
+    std::vector<std::string> row = {std::to_string(r)};
+    for (std::size_t p = 1; p <= shown; ++p) {
+      auto it = matrix.find({p, r});
+      const double fraction =
+          it == matrix.end()
+              ? 0.0
+              : static_cast<double>(it->second) / static_cast<double>(total);
+      row.push_back(fraction == 0.0 ? "-" : fmt_percent(fraction));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("single IXP + its RS: %s   (paper: 55.8%%)\n",
+              fmt_percent(static_cast<double>(single_with_rs) /
+                          static_cast<double>(total))
+                  .c_str());
+  std::printf("no RS anywhere:      %s   (paper: 13.4%%)\n",
+              fmt_percent(static_cast<double>(no_rs) /
+                          static_cast<double>(total))
+                  .c_str());
+  // Shape: the single-IXP-with-RS cell dominates.
+  return single_with_rs * 3 > total ? 0 : 1;
+}

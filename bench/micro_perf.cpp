@@ -1,0 +1,116 @@
+// Micro-benchmarks (google-benchmark): the hot paths of the pipelines --
+// MRT decode, community classification, export-policy round-trip,
+// reciprocity link inference, and routing-tree computation.
+#include <benchmark/benchmark.h>
+
+#include "bgp/wire.hpp"
+#include "core/engine.hpp"
+#include "mrt/table_dump.hpp"
+#include "propagation/routing.hpp"
+#include "routeserver/export_policy.hpp"
+#include "topology/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mlp;
+
+std::vector<std::uint8_t> make_archive(std::size_t prefixes) {
+  bgp::Rib rib;
+  for (std::size_t i = 0; i < prefixes; ++i) {
+    bgp::Route route;
+    route.prefix = bgp::IpPrefix(0x0A000000 + (static_cast<std::uint32_t>(i) << 8), 24);
+    route.attrs.as_path = bgp::AsPath({6695, 8359, 15169});
+    route.attrs.next_hop = 1;
+    route.attrs.communities = {bgp::Community(0, 6695),
+                               bgp::Community(6695, 8359)};
+    rib.announce(6695, 1, std::move(route));
+  }
+  return mrt::dump_rib(rib, 0, 1, "bench");
+}
+
+void BM_MrtDecode(benchmark::State& state) {
+  const auto archive = make_archive(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const bgp::Rib rib = mrt::parse_rib(archive);
+    benchmark::DoNotOptimize(rib.prefix_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MrtDecode)->Arg(100)->Arg(1000);
+
+void BM_UpdateCodec(benchmark::State& state) {
+  bgp::UpdateMessage update;
+  update.nlri = {bgp::IpPrefix(0x0A000000, 16)};
+  update.attrs.as_path = bgp::AsPath({6695, 8359, 3356, 15169});
+  update.attrs.next_hop = 1;
+  for (std::uint16_t i = 0; i < 12; ++i)
+    update.attrs.communities.push_back(bgp::Community(6695, i));
+  for (auto _ : state) {
+    auto bytes = bgp::encode_update(update, true);
+    auto decoded = bgp::decode_update(bytes, true);
+    benchmark::DoNotOptimize(decoded.attrs.communities.size());
+  }
+}
+BENCHMARK(BM_UpdateCodec);
+
+void BM_CommunityClassification(benchmark::State& state) {
+  const auto scheme = routeserver::IxpCommunityScheme::make(
+      "DE-CIX", 6695, routeserver::SchemeStyle::RsAsnBased);
+  std::vector<bgp::Community> communities;
+  for (std::uint16_t i = 0; i < 64; ++i)
+    communities.push_back(bgp::Community(i % 2 ? 6695 : 0, 1000 + i));
+  for (auto _ : state) {
+    std::size_t related = 0;
+    for (const auto community : communities) {
+      if (scheme.classify(community) != routeserver::CommunityTag::Unrelated)
+        ++related;
+    }
+    benchmark::DoNotOptimize(related);
+  }
+  state.SetItemsProcessed(state.iterations() * communities.size());
+}
+BENCHMARK(BM_CommunityClassification);
+
+void BM_ReciprocityInference(benchmark::State& state) {
+  const std::size_t members = static_cast<std::size_t>(state.range(0));
+  core::IxpContext ctx;
+  ctx.name = "bench";
+  ctx.scheme = routeserver::IxpCommunityScheme::make(
+      "bench", 6695, routeserver::SchemeStyle::RsAsnBased);
+  for (std::size_t i = 0; i < members; ++i)
+    ctx.rs_members.insert(static_cast<bgp::Asn>(100 + i));
+  core::MlpInferenceEngine engine(ctx);
+  Rng rng(7);
+  for (const auto member : ctx.rs_members) {
+    core::Observation obs;
+    obs.setter = member;
+    obs.prefix = bgp::IpPrefix(0x0A000000 + (member << 8), 24);
+    if (rng.chance(0.2))
+      obs.communities = {bgp::Community(
+          0, static_cast<std::uint16_t>(100 + rng.uniform(0, members - 1)))};
+    engine.add(obs);
+  }
+  for (auto _ : state) {
+    auto links = engine.infer_links();
+    benchmark::DoNotOptimize(links.size());
+  }
+}
+BENCHMARK(BM_ReciprocityInference)->Arg(50)->Arg(200);
+
+void BM_RoutingTree(benchmark::State& state) {
+  topology::TopologyParams params;
+  params.n_ases = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  const auto topo = topology::generate_topology(params, rng);
+  const auto origin = topo.stubs.back();
+  for (auto _ : state) {
+    const auto tree = propagation::compute_routes(topo.graph, origin);
+    benchmark::DoNotOptimize(tree.entries().size());
+  }
+}
+BENCHMARK(BM_RoutingTree)->Arg(500)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

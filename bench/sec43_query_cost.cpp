@@ -1,0 +1,70 @@
+// Section 4.3: active querying cost. The paper reports that multiplicity-
+// sorted shared prefix queries with 10%/100-cap sampling cut the DE-CIX
+// cost to 8,400 queries (18x below naive), and that skipping members
+// covered passively (equation 2) cuts it further to 5,922.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/active.hpp"
+#include "core/passive.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mlp;
+  scenario::Scenario s(bench::default_params());
+  bench::print_header("Section 4.3: querying cost (DE-CIX analogue)", s);
+
+  auto* lg = s.rs_lg(1);  // DE-CIX analogue has an RS LG
+  if (!lg) {
+    std::printf("no RS LG available\n");
+    return 1;
+  }
+
+  // Equation 1: optimised active survey of every member.
+  const auto full = core::run_active_survey(*lg);
+
+  // Degraded configurations to isolate each optimisation.
+  core::ActiveConfig no_sharing;
+  no_sharing.multiplicity_sort = false;
+  no_sharing.share_prefix_queries = false;
+  const auto unshared = core::run_active_survey(*lg, no_sharing);
+
+  core::ActiveConfig exhaustive = no_sharing;
+  exhaustive.prefix_sample_fraction = 1.0;
+  exhaustive.prefix_sample_cap = 1u << 20;
+  const auto naive = core::run_active_survey(*lg, exhaustive);
+
+  // Equation 2: skip members whose communities arrive passively.
+  core::PassiveExtractor extractor(s.ixp_contexts(), s.truth_rel_fn());
+  for (auto& collector : s.collectors())
+    extractor.consume_table_dump(collector.table_dump(1367366400));
+  std::set<core::Asn> covered;
+  auto it = extractor.observations().find(s.ixps()[1].spec.name);
+  if (it != extractor.observations().end())
+    for (const auto& observation : it->second)
+      covered.insert(observation.setter);
+  const auto reduced = core::run_active_survey(*lg, {}, covered);
+
+  TablePrinter table({"configuration", "queries", "hours @ 1q/10s"});
+  auto row = [&](const char* name, std::size_t queries) {
+    table.add_row({name, std::to_string(queries),
+                   fmt_double(static_cast<double>(queries) * 10.0 / 3600.0,
+                              1)});
+  };
+  row("naive (all prefixes, no sharing)", naive.queries);
+  row("10% sample, no sharing", unshared.queries);
+  row("eq. (1): sample + multiplicity sharing", full.queries);
+  row("eq. (2): + skip passively covered", reduced.queries);
+  std::printf("%s\n", table.render().c_str());
+
+  const double speedup =
+      static_cast<double>(naive.queries) /
+      static_cast<double>(std::max<std::size_t>(1, full.queries));
+  std::printf("naive / optimised = %.1fx   (paper: ~18x)\n", speedup);
+  std::printf("passive skipping saves another %zu queries  (paper: 8,400 -> "
+              "5,922)\n",
+              full.queries - reduced.queries);
+  return full.queries < naive.queries && reduced.queries <= full.queries
+             ? 0
+             : 1;
+}

@@ -1,0 +1,42 @@
+// Section 4.4: validation of the reciprocity assumption against
+// IRR-registered import/export filters of the AMS-IX analogue's members.
+// Paper: 230 members checked, zero violations, about half of the import
+// filters strictly more permissive than the export filters.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/reciprocity.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mlp;
+  scenario::Scenario s(bench::default_params());
+  bench::print_header("Section 4.4: import vs export filters (AMS-IX)", s);
+
+  const auto& amsix = s.ixps().front();
+  const auto report = core::check_reciprocity(s.irr(), amsix.rs_members,
+                                              amsix.rs_members);
+
+  TablePrinter table({"metric", "measured", "paper"});
+  table.add_row({"members with IRR filters",
+                 std::to_string(report.members_checked), "230"});
+  table.add_row({"violations (import blocks exported peer)",
+                 std::to_string(report.violations), "0"});
+  table.add_row({"imports more permissive than exports",
+                 std::to_string(report.more_permissive_imports),
+                 "~half"});
+  table.add_row({"imports equal to exports",
+                 std::to_string(report.equal_filters), "~half"});
+  std::printf("%s\n", table.render().c_str());
+
+  const double permissive_fraction =
+      report.members_checked == 0
+          ? 0.0
+          : static_cast<double>(report.more_permissive_imports) /
+                static_cast<double>(report.members_checked);
+  std::printf("more-permissive fraction: %s (paper: ~50%%)\n",
+              fmt_percent(permissive_fraction).c_str());
+  std::printf("conclusion: the reciprocity assumption is conservative "
+              "(no false positives)\n");
+  return report.violations == 0 && report.members_checked > 0 ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// Section 5.6: hybrid relationships -- RS links whose AS pair the
+// relationship-inference baseline labels provider-customer. Paper: 1,230
+// such candidates in passive data; 202 verified as location-specific
+// hybrid p2p/p2c relationships.
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mlp;
+  scenario::Scenario s(bench::default_params());
+  bench::print_header("Section 5.6: hybrid p2p/p2c relationships", s);
+  auto run = bench::run_full_inference(s);
+
+  const auto report = core::find_hybrid_relationships(
+      run.all_links, run.public_bgp_links, run.relationships.rel_fn());
+
+  // Ground-truth verification (substitutes the paper's relationship-
+  // tagging communities): a candidate is a true hybrid when the pair
+  // really holds a transit relationship in the generated topology AND a
+  // reciprocal RS peering.
+  std::size_t verified = 0;
+  for (const auto& link : report.links) {
+    const auto rel = s.topo().graph.rel(link.a, link.b);
+    if (rel == bgp::Rel::C2P || rel == bgp::Rel::P2C) ++verified;
+  }
+
+  TablePrinter table({"metric", "measured", "paper"});
+  table.add_row({"RS links visible in passive data, inferred p2c",
+                 std::to_string(report.candidates), "1,230"});
+  table.add_row({"verified location-specific hybrids",
+                 std::to_string(verified), "202"});
+  std::printf("%s\n", table.render().c_str());
+
+  // Ground truth: how many RS links coexist with a transit edge at all.
+  std::size_t truth_hybrids = 0;
+  for (const auto& link : run.all_links) {
+    const auto rel = s.topo().graph.rel(link.a, link.b);
+    if (rel == bgp::Rel::C2P || rel == bgp::Rel::P2C) ++truth_hybrids;
+  }
+  std::printf("ground-truth hybrid pairs among inferred links: %zu\n",
+              truth_hybrids);
+  std::printf("shape: hybrids exist and are a small fraction of %s links\n",
+              fmt_count(run.all_links.size()).c_str());
+  return truth_hybrids > 0 ? 0 : 1;
+}

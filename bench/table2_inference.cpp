@@ -1,0 +1,79 @@
+// Table 2: per-IXP inference results -- member counts, RS members,
+// passive/active coverage, and inferred MLP links -- plus the headline
+// totals (206,667 links, 88% invisible in public BGP, at the paper's
+// scale; shapes reproduce at simulation scale).
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mlp;
+  scenario::Scenario s(bench::default_params());
+  bench::print_header("Table 2: inference of MLP links per IXP", s);
+  auto run = bench::run_full_inference(s);
+
+  std::printf(
+      "paper: 206,667 links over 13 IXPs; RS uptake ~73%% of members; 88%%\n"
+      "of links invisible in public BGP; overlap across IXPs 11,821 links\n\n");
+
+  TablePrinter table({"IXP", "LG", "ASes", "RS", "Pasv", "Active", "Links",
+                      "Truth", "Recall"});
+  std::size_t sum_links = 0;
+  std::size_t truth_total = 0;
+  for (std::size_t i = 0; i < s.ixps().size(); ++i) {
+    const auto& ixp = s.ixps()[i];
+    const auto stats = run.engines[i].stats();
+    sum_links += stats.links;
+    truth_total += ixp.rs_links.size();
+    const double recall =
+        ixp.rs_links.empty()
+            ? 1.0
+            : static_cast<double>(run.links_per_ixp[i].size()) /
+                  static_cast<double>(ixp.rs_links.size());
+    table.add_row({ixp.spec.name,
+                   ixp.spec.has_rs_lg ? "Y" : "N",
+                   std::to_string(ixp.members.size()),
+                   std::to_string(ixp.rs_members.size()),
+                   std::to_string(stats.passive_members),
+                   std::to_string(stats.active_members),
+                   std::to_string(stats.links),
+                   std::to_string(ixp.rs_links.size()),
+                   fmt_percent(recall)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Precision must be 1.0 by the conservative reciprocity assumption.
+  std::size_t false_positives = 0;
+  for (std::size_t i = 0; i < s.ixps().size(); ++i)
+    for (const auto& link : run.links_per_ixp[i])
+      if (!s.ixps()[i].rs_links.count(link)) ++false_positives;
+
+  const std::size_t unique = run.all_links.size();
+  std::size_t visible = 0;
+  for (const auto& link : run.all_links)
+    if (run.public_bgp_links.count(link)) ++visible;
+
+  std::printf("unique MLP links inferred:    %s\n", fmt_count(unique).c_str());
+  std::printf("sum over IXPs (with overlap): %s (overlap %s)\n",
+              fmt_count(sum_links).c_str(),
+              fmt_count(sum_links - unique).c_str());
+  std::printf("ground-truth RS links:        %s\n",
+              fmt_count(truth_total).c_str());
+  // A handful of false positives can arise when the RS setter is
+  // misidentified under the inferred-relationship baseline (case 3 of
+  // section 4.2); the paper's own validation confirms 98.4%, not 100%.
+  const double fp_rate =
+      sum_links == 0 ? 0.0
+                     : static_cast<double>(false_positives) /
+                           static_cast<double>(sum_links);
+  std::printf("false positives:              %zu (%s; reciprocity itself is "
+              "conservative)\n",
+              false_positives, fmt_percent(fp_rate, 2).c_str());
+  std::printf("invisible in public BGP:      %s (paper: 88%%)\n",
+              fmt_percent(unique == 0 ? 0.0
+                                      : 1.0 - static_cast<double>(visible) /
+                                                  static_cast<double>(unique))
+                  .c_str());
+  return fp_rate < 0.005 ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// Autonomous System Numbers.
+//
+// ASNs are 32-bit (RFC 6793); the classic 16-bit space is a subset. Several
+// paper-relevant ranges matter: AS_TRANS (23456), the 16-bit private range
+// (64512-65534) used by IXPs to alias 32-bit members for community filtering,
+// and the reserved/unassigned blocks the paper filters out of AS paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mlp::bgp {
+
+using Asn = std::uint32_t;
+
+/// AS_TRANS, the placeholder ASN seen by pre-RFC6793 speakers.
+inline constexpr Asn kAsTrans = 23456;
+
+/// 16-bit private-use ASN range (RFC 6996), used by IXP route servers to
+/// alias 32-bit member ASNs in 16-bit community fields.
+inline constexpr Asn kPrivate16First = 64512;
+inline constexpr Asn kPrivate16Last = 65534;
+
+/// 32-bit private-use range start (RFC 6996).
+inline constexpr Asn kPrivate32First = 4200000000U;
+inline constexpr Asn kPrivate32Last = 4294967294U;
+
+inline bool is_16bit(Asn asn) { return asn <= 0xffff; }
+inline bool is_32bit_only(Asn asn) { return asn > 0xffff; }
+
+inline bool is_private(Asn asn) {
+  return (asn >= kPrivate16First && asn <= kPrivate16Last) ||
+         (asn >= kPrivate32First && asn <= kPrivate32Last);
+}
+
+/// Ranges the paper's passive pipeline filters from AS paths: AS_TRANS plus
+/// the 2013-era unassigned block 63488-131071 (see section 5).
+inline bool is_reserved_or_unassigned(Asn asn) {
+  if (asn == 0 || asn == kAsTrans) return true;
+  if (asn >= 63488 && asn <= 131071) return true;
+  if (asn == 65535 || asn == 4294967295U) return true;  // RFC 7300
+  return false;
+}
+
+inline std::string to_string(Asn asn) { return "AS" + std::to_string(asn); }
+
+}  // namespace mlp::bgp

@@ -1,0 +1,79 @@
+#include "bgp/aspath.hpp"
+
+#include <unordered_set>
+
+#include "util/errors.hpp"
+#include "util/strings.hpp"
+
+namespace mlp::bgp {
+
+std::optional<AsPath> AsPath::parse(std::string_view text) {
+  std::vector<Asn> asns;
+  for (const auto& token : mlp::split_ws(text)) {
+    std::string_view t = token;
+    if (mlp::starts_with(t, "AS")) t.remove_prefix(2);
+    auto asn = mlp::parse_u32(t);
+    if (!asn) return std::nullopt;
+    asns.push_back(*asn);
+  }
+  return AsPath(std::move(asns));
+}
+
+Asn AsPath::origin() const {
+  if (asns_.empty()) throw InvalidArgument("AsPath::origin on empty path");
+  return asns_.back();
+}
+
+Asn AsPath::head() const {
+  if (asns_.empty()) throw InvalidArgument("AsPath::head on empty path");
+  return asns_.front();
+}
+
+bool AsPath::contains(Asn asn) const {
+  for (Asn a : asns_)
+    if (a == asn) return true;
+  return false;
+}
+
+bool AsPath::has_cycle() const {
+  std::unordered_set<Asn> seen;
+  for (std::size_t i = 0; i < asns_.size(); ++i) {
+    if (i > 0 && asns_[i] == asns_[i - 1]) continue;  // prepending
+    if (!seen.insert(asns_[i]).second) return true;
+  }
+  return false;
+}
+
+bool AsPath::has_reserved_asn() const {
+  for (Asn a : asns_)
+    if (is_reserved_or_unassigned(a)) return true;
+  return false;
+}
+
+AsPath AsPath::deduplicated() const {
+  std::vector<Asn> out;
+  for (Asn a : asns_) {
+    if (out.empty() || out.back() != a) out.push_back(a);
+  }
+  return AsPath(std::move(out));
+}
+
+std::vector<AsLink> AsPath::links() const {
+  const AsPath flat = deduplicated();
+  std::vector<AsLink> out;
+  const auto& asns = flat.asns();
+  for (std::size_t i = 0; i + 1 < asns.size(); ++i)
+    out.emplace_back(asns[i], asns[i + 1]);
+  return out;
+}
+
+std::string AsPath::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < asns_.size(); ++i) {
+    if (i) out += ' ';
+    out += std::to_string(asns_[i]);
+  }
+  return out;
+}
+
+}  // namespace mlp::bgp

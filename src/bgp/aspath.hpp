@@ -1,0 +1,87 @@
+// AS paths (BGP AS_PATH attribute, flattened AS_SEQUENCE form).
+//
+// The paper's pipelines treat AS paths as ordered ASN sequences, filtering
+// cycles, reserved ASNs, and transient paths; this type provides those
+// predicates plus the adjacency extraction used to build "public view"
+// topologies.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "bgp/asn.hpp"
+
+namespace mlp::bgp {
+
+/// An undirected AS adjacency; stored with the smaller ASN first so it can
+/// be used as a canonical set/map key.
+struct AsLink {
+  Asn a = 0;
+  Asn b = 0;
+
+  AsLink() = default;
+  AsLink(Asn x, Asn y) : a(x < y ? x : y), b(x < y ? y : x) {}
+
+  friend auto operator<=>(const AsLink&, const AsLink&) = default;
+};
+
+/// Ordered AS-level path; front() is the last AS prepended (the vantage
+/// point side), back() is the origin AS.
+class AsPath {
+ public:
+  AsPath() = default;
+  AsPath(std::initializer_list<Asn> asns) : asns_(asns) {}
+  explicit AsPath(std::vector<Asn> asns) : asns_(std::move(asns)) {}
+
+  /// Parse "174 3356 15169" style space-separated paths.
+  static std::optional<AsPath> parse(std::string_view text);
+
+  bool empty() const { return asns_.empty(); }
+  std::size_t length() const { return asns_.size(); }
+  Asn origin() const;
+  Asn head() const;
+  const std::vector<Asn>& asns() const { return asns_; }
+
+  bool contains(Asn asn) const;
+
+  /// BGP prepending on export: the exporting AS adds itself at the front.
+  void prepend(Asn asn) { asns_.insert(asns_.begin(), asn); }
+
+  /// True if any ASN occurs in two non-adjacent positions (adjacent repeats
+  /// are legitimate path prepending, not cycles).
+  bool has_cycle() const;
+
+  /// True if any element is a reserved/unassigned ASN per asn.hpp; the
+  /// paper filters such paths before inference (section 5).
+  bool has_reserved_asn() const;
+
+  /// Copy with adjacent duplicate ASNs (prepending) collapsed.
+  AsPath deduplicated() const;
+
+  /// Adjacent AS pairs, after collapsing prepending; the raw material of
+  /// BGP-observed topologies.
+  std::vector<AsLink> links() const;
+
+  std::string to_string() const;
+
+  friend auto operator<=>(const AsPath&, const AsPath&) = default;
+
+ private:
+  std::vector<Asn> asns_;
+};
+
+}  // namespace mlp::bgp
+
+template <>
+struct std::hash<mlp::bgp::AsLink> {
+  std::size_t operator()(const mlp::bgp::AsLink& l) const noexcept {
+    return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(l.a) << 32) |
+                                      l.b);
+  }
+};

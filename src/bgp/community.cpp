@@ -1,0 +1,41 @@
+#include "bgp/community.hpp"
+
+#include "util/strings.hpp"
+
+namespace mlp::bgp {
+
+std::optional<Community> Community::parse(std::string_view text) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  auto high = mlp::parse_u32(text.substr(0, colon));
+  auto low = mlp::parse_u32(text.substr(colon + 1));
+  if (!high || !low || *high > 0xffff || *low > 0xffff) return std::nullopt;
+  return Community(static_cast<std::uint16_t>(*high),
+                   static_cast<std::uint16_t>(*low));
+}
+
+std::string Community::to_string() const {
+  return std::to_string(high) + ":" + std::to_string(low);
+}
+
+std::optional<std::vector<Community>> parse_community_list(
+    std::string_view text) {
+  std::vector<Community> out;
+  for (const auto& token : mlp::split_ws(text)) {
+    auto c = Community::parse(token);
+    if (!c) return std::nullopt;
+    out.push_back(*c);
+  }
+  return out;
+}
+
+std::string to_string(const std::vector<Community>& communities) {
+  std::string out;
+  for (std::size_t i = 0; i < communities.size(); ++i) {
+    if (i) out += ' ';
+    out += communities[i].to_string();
+  }
+  return out;
+}
+
+}  // namespace mlp::bgp

@@ -1,0 +1,65 @@
+// Classic 32-bit BGP communities (RFC 1997), the paper's central data item.
+//
+// A community is two 16-bit halves conventionally written "high:low". IXP
+// route servers assign meanings like 0:peer-asn (EXCLUDE) or
+// rs-asn:peer-asn (INCLUDE); see Table 1 of the paper and
+// routeserver/scheme.hpp for the per-IXP pattern registry.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mlp::bgp {
+
+/// Value type for one community attribute element.
+struct Community {
+  std::uint16_t high = 0;
+  std::uint16_t low = 0;
+
+  constexpr Community() = default;
+  constexpr Community(std::uint16_t h, std::uint16_t l) : high(h), low(l) {}
+
+  /// Pack into the RFC 1997 wire value.
+  constexpr std::uint32_t value() const {
+    return (static_cast<std::uint32_t>(high) << 16) | low;
+  }
+  static constexpr Community from_value(std::uint32_t v) {
+    return Community(static_cast<std::uint16_t>(v >> 16),
+                     static_cast<std::uint16_t>(v & 0xffff));
+  }
+
+  /// Parse "high:low" decimal notation.
+  static std::optional<Community> parse(std::string_view text);
+
+  std::string to_string() const;
+
+  friend auto operator<=>(const Community&, const Community&) = default;
+};
+
+/// Well-known communities (RFC 1997).
+inline constexpr Community kNoExport{0xffff, 0xff01};
+inline constexpr Community kNoAdvertise{0xffff, 0xff02};
+inline constexpr Community kNoExportSubconfed{0xffff, 0xff03};
+
+inline bool is_well_known(Community c) { return c.high == 0xffff; }
+
+/// Parse a whitespace-separated list like "0:6695 6695:8359"; returns
+/// nullopt if any element is malformed.
+std::optional<std::vector<Community>> parse_community_list(
+    std::string_view text);
+
+/// Render space-separated "high:low" values.
+std::string to_string(const std::vector<Community>& communities);
+
+}  // namespace mlp::bgp
+
+template <>
+struct std::hash<mlp::bgp::Community> {
+  std::size_t operator()(const mlp::bgp::Community& c) const noexcept {
+    return std::hash<std::uint32_t>{}(c.value());
+  }
+};

@@ -1,0 +1,59 @@
+#include "bgp/prefix.hpp"
+
+#include "util/errors.hpp"
+#include "util/strings.hpp"
+
+namespace mlp::bgp {
+
+IpPrefix::IpPrefix(std::uint32_t address, std::uint8_t length)
+    : length_(length) {
+  if (length > 32)
+    throw InvalidArgument("IpPrefix: length " + std::to_string(length) +
+                          " > 32");
+  address_ = address & (length == 0 ? 0 : ~std::uint32_t{0} << (32 - length));
+}
+
+std::optional<IpPrefix> IpPrefix::parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = parse_ipv4(text.substr(0, slash));
+  auto len = mlp::parse_u32(text.substr(slash + 1));
+  if (!addr || !len || *len > 32) return std::nullopt;
+  return IpPrefix(*addr, static_cast<std::uint8_t>(*len));
+}
+
+std::uint32_t IpPrefix::mask() const {
+  return length_ == 0 ? 0 : ~std::uint32_t{0} << (32 - length_);
+}
+
+bool IpPrefix::contains(std::uint32_t ip) const {
+  return (ip & mask()) == address_;
+}
+
+bool IpPrefix::covers(const IpPrefix& other) const {
+  return other.length_ >= length_ && contains(other.address_);
+}
+
+std::string IpPrefix::to_string() const {
+  return ipv4_to_string(address_) + "/" + std::to_string(length_);
+}
+
+std::string ipv4_to_string(std::uint32_t ip) {
+  return std::to_string((ip >> 24) & 0xff) + "." +
+         std::to_string((ip >> 16) & 0xff) + "." +
+         std::to_string((ip >> 8) & 0xff) + "." + std::to_string(ip & 0xff);
+}
+
+std::optional<std::uint32_t> parse_ipv4(std::string_view text) {
+  const auto parts = mlp::split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t ip = 0;
+  for (const auto& part : parts) {
+    auto octet = mlp::parse_u32(part);
+    if (!octet || *octet > 255) return std::nullopt;
+    ip = (ip << 8) | *octet;
+  }
+  return ip;
+}
+
+}  // namespace mlp::bgp

@@ -1,0 +1,63 @@
+// IPv4 prefixes in canonical (masked) form.
+//
+// The reproduction pipeline is IPv4-only, matching the paper's data
+// (RIB_IPV4_UNICAST table dumps and IPv4 looking-glass queries).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mlp::bgp {
+
+/// A CIDR prefix with the host bits cleared. Value type, totally ordered so
+/// it can key std::map/std::set.
+class IpPrefix {
+ public:
+  IpPrefix() = default;
+
+  /// Builds a canonical prefix; host bits beyond `length` are masked off.
+  /// Throws InvalidArgument if length > 32.
+  IpPrefix(std::uint32_t address, std::uint8_t length);
+
+  /// Parse "a.b.c.d/len". Returns nullopt on malformed input.
+  static std::optional<IpPrefix> parse(std::string_view text);
+
+  std::uint32_t address() const { return address_; }
+  std::uint8_t length() const { return length_; }
+
+  /// Network mask as a 32-bit value (length 0 -> 0).
+  std::uint32_t mask() const;
+
+  /// True if `ip` falls inside this prefix.
+  bool contains(std::uint32_t ip) const;
+
+  /// True if `other` is equal to or more specific than this prefix.
+  bool covers(const IpPrefix& other) const;
+
+  std::string to_string() const;
+
+  friend auto operator<=>(const IpPrefix&, const IpPrefix&) = default;
+
+ private:
+  std::uint32_t address_ = 0;
+  std::uint8_t length_ = 0;
+};
+
+/// Render a raw IPv4 address in dotted-quad form.
+std::string ipv4_to_string(std::uint32_t ip);
+
+/// Parse dotted-quad. Returns nullopt on malformed input.
+std::optional<std::uint32_t> parse_ipv4(std::string_view text);
+
+}  // namespace mlp::bgp
+
+template <>
+struct std::hash<mlp::bgp::IpPrefix> {
+  std::size_t operator()(const mlp::bgp::IpPrefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(p.address()) << 8) | p.length());
+  }
+};

@@ -1,0 +1,117 @@
+#include "bgp/rib.hpp"
+
+#include <algorithm>
+
+namespace mlp::bgp {
+
+namespace {
+const std::vector<RibEntry> kEmpty;
+}
+
+void Rib::announce(Asn peer_asn, std::uint32_t peer_ip, Route route) {
+  auto& entries = table_[route.prefix];
+  for (auto& e : entries) {
+    if (e.peer_asn == peer_asn && e.peer_ip == peer_ip) {
+      e.route = std::move(route);
+      return;
+    }
+  }
+  entries.push_back(RibEntry{peer_asn, peer_ip, std::move(route)});
+}
+
+void Rib::withdraw(Asn peer_asn, const IpPrefix& prefix) {
+  auto it = table_.find(prefix);
+  if (it == table_.end()) return;
+  auto& entries = it->second;
+  entries.erase(std::remove_if(entries.begin(), entries.end(),
+                               [&](const RibEntry& e) {
+                                 return e.peer_asn == peer_asn;
+                               }),
+                entries.end());
+  if (entries.empty()) table_.erase(it);
+}
+
+void Rib::drop_peer(Asn peer_asn) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    auto& entries = it->second;
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [&](const RibEntry& e) {
+                                   return e.peer_asn == peer_asn;
+                                 }),
+                  entries.end());
+    it = entries.empty() ? table_.erase(it) : std::next(it);
+  }
+}
+
+const std::vector<RibEntry>& Rib::paths(const IpPrefix& prefix) const {
+  auto it = table_.find(prefix);
+  return it == table_.end() ? kEmpty : it->second;
+}
+
+std::optional<RibEntry> Rib::best(const IpPrefix& prefix) const {
+  const auto& entries = paths(prefix);
+  if (entries.empty()) return std::nullopt;
+  const RibEntry* winner = &entries.front();
+  for (const auto& e : entries)
+    if (better(e, *winner)) winner = &e;
+  return *winner;
+}
+
+std::vector<IpPrefix> Rib::prefixes() const {
+  std::vector<IpPrefix> out;
+  out.reserve(table_.size());
+  for (const auto& [prefix, entries] : table_) out.push_back(prefix);
+  return out;
+}
+
+std::vector<IpPrefix> Rib::prefixes_from_peer(Asn peer_asn) const {
+  std::vector<IpPrefix> out;
+  for (const auto& [prefix, entries] : table_)
+    for (const auto& e : entries)
+      if (e.peer_asn == peer_asn) {
+        out.push_back(prefix);
+        break;
+      }
+  return out;
+}
+
+std::vector<RibEntry> Rib::entries_from_peer(Asn peer_asn) const {
+  std::vector<RibEntry> out;
+  for (const auto& [prefix, entries] : table_)
+    for (const auto& e : entries)
+      if (e.peer_asn == peer_asn) out.push_back(e);
+  return out;
+}
+
+std::vector<Asn> Rib::peers() const {
+  std::vector<Asn> out;
+  for (const auto& [prefix, entries] : table_)
+    for (const auto& e : entries) out.push_back(e.peer_asn);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t Rib::path_count() const {
+  std::size_t n = 0;
+  for (const auto& [prefix, entries] : table_) n += entries.size();
+  return n;
+}
+
+bool Rib::better(const RibEntry& lhs, const RibEntry& rhs) {
+  const auto& a = lhs.route.attrs;
+  const auto& b = rhs.route.attrs;
+  const std::uint32_t lp_a = a.has_local_pref ? a.local_pref : 100;
+  const std::uint32_t lp_b = b.has_local_pref ? b.local_pref : 100;
+  if (lp_a != lp_b) return lp_a > lp_b;
+  if (a.as_path.length() != b.as_path.length())
+    return a.as_path.length() < b.as_path.length();
+  if (a.origin != b.origin) return a.origin < b.origin;
+  const std::uint32_t med_a = a.has_med ? a.med : 0;
+  const std::uint32_t med_b = b.has_med ? b.med : 0;
+  if (med_a != med_b) return med_a < med_b;
+  if (lhs.peer_asn != rhs.peer_asn) return lhs.peer_asn < rhs.peer_asn;
+  return lhs.peer_ip < rhs.peer_ip;
+}
+
+}  // namespace mlp::bgp

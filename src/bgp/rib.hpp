@@ -1,0 +1,70 @@
+// A multi-path Routing Information Base.
+//
+// Route servers, looking glasses and collectors all hold per-peer Adj-RIB-In
+// state keyed by prefix; this container models that plus the standard BGP
+// decision process used when only the best path is displayed.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "bgp/asn.hpp"
+#include "bgp/prefix.hpp"
+#include "bgp/route.hpp"
+
+namespace mlp::bgp {
+
+/// One RIB entry: a route learned from a specific peer session.
+struct RibEntry {
+  Asn peer_asn = 0;
+  std::uint32_t peer_ip = 0;
+  Route route;
+};
+
+/// Multi-path RIB. One route per (prefix, peer); re-announcement replaces.
+class Rib {
+ public:
+  /// Insert or replace the route from `peer_asn` for `route.prefix`.
+  void announce(Asn peer_asn, std::uint32_t peer_ip, Route route);
+
+  /// Remove the route from `peer_asn` for `prefix`; no-op if absent.
+  void withdraw(Asn peer_asn, const IpPrefix& prefix);
+
+  /// Remove every route learned from `peer_asn` (session teardown).
+  void drop_peer(Asn peer_asn);
+
+  /// All paths currently held for `prefix` (empty if none).
+  const std::vector<RibEntry>& paths(const IpPrefix& prefix) const;
+
+  /// The best path for `prefix` per the BGP decision process implemented in
+  /// `better`, or nullopt if the prefix is absent.
+  std::optional<RibEntry> best(const IpPrefix& prefix) const;
+
+  /// All prefixes with at least one path, in prefix order.
+  std::vector<IpPrefix> prefixes() const;
+
+  /// Prefixes advertised by a given peer, in prefix order.
+  std::vector<IpPrefix> prefixes_from_peer(Asn peer_asn) const;
+
+  /// All routes learned from a given peer.
+  std::vector<RibEntry> entries_from_peer(Asn peer_asn) const;
+
+  /// Distinct peer ASNs present in the RIB, sorted.
+  std::vector<Asn> peers() const;
+
+  std::size_t prefix_count() const { return table_.size(); }
+  std::size_t path_count() const;
+  bool empty() const { return table_.empty(); }
+
+  /// BGP decision process (subset): higher LOCAL_PREF wins, then shorter
+  /// AS path, then lower ORIGIN, then lower MED, then lower peer ASN and
+  /// peer IP as deterministic tie-breakers.
+  static bool better(const RibEntry& lhs, const RibEntry& rhs);
+
+ private:
+  std::map<IpPrefix, std::vector<RibEntry>> table_;
+};
+
+}  // namespace mlp::bgp

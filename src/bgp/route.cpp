@@ -1,0 +1,17 @@
+#include "bgp/route.hpp"
+
+namespace mlp::bgp {
+
+std::string to_string(Origin origin) {
+  switch (origin) {
+    case Origin::Igp:
+      return "IGP";
+    case Origin::Egp:
+      return "EGP";
+    case Origin::Incomplete:
+      return "incomplete";
+  }
+  return "unknown";
+}
+
+}  // namespace mlp::bgp

@@ -1,0 +1,60 @@
+// Routes: a prefix plus its BGP path attributes.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/aspath.hpp"
+#include "bgp/community.hpp"
+#include "bgp/prefix.hpp"
+
+namespace mlp::bgp {
+
+/// BGP ORIGIN attribute codes.
+enum class Origin : std::uint8_t { Igp = 0, Egp = 1, Incomplete = 2 };
+
+std::string to_string(Origin origin);
+
+/// The subset of path attributes the reproduction manipulates. LOCAL_PREF
+/// and MED are optional on the wire; a value of 0 with the flag false means
+/// "absent".
+struct PathAttributes {
+  Origin origin = Origin::Igp;
+  AsPath as_path;
+  std::uint32_t next_hop = 0;
+  bool has_med = false;
+  std::uint32_t med = 0;
+  bool has_local_pref = false;
+  std::uint32_t local_pref = 0;
+  std::vector<Community> communities;
+
+  bool has_community(Community c) const {
+    return std::find(communities.begin(), communities.end(), c) !=
+           communities.end();
+  }
+  /// Adds c if not already present, preserving announcement order.
+  void add_community(Community c) {
+    if (!has_community(c)) communities.push_back(c);
+  }
+  void remove_community(Community c) {
+    communities.erase(std::remove(communities.begin(), communities.end(), c),
+                      communities.end());
+  }
+
+  friend bool operator==(const PathAttributes&,
+                         const PathAttributes&) = default;
+};
+
+/// One announced route.
+struct Route {
+  IpPrefix prefix;
+  PathAttributes attrs;
+
+  Asn origin_asn() const { return attrs.as_path.origin(); }
+
+  friend bool operator==(const Route&, const Route&) = default;
+};
+
+}  // namespace mlp::bgp

@@ -1,0 +1,78 @@
+#include "bgp/valley.hpp"
+
+namespace mlp::bgp {
+
+std::string to_string(Rel rel) {
+  switch (rel) {
+    case Rel::C2P:
+      return "c2p";
+    case Rel::P2C:
+      return "p2c";
+    case Rel::P2P:
+      return "p2p";
+    case Rel::Sibling:
+      return "sibling";
+  }
+  return "unknown";
+}
+
+Rel invert(Rel rel) {
+  switch (rel) {
+    case Rel::C2P:
+      return Rel::P2C;
+    case Rel::P2C:
+      return Rel::C2P;
+    case Rel::P2P:
+      return Rel::P2P;
+    case Rel::Sibling:
+      return Rel::Sibling;
+  }
+  return Rel::Sibling;
+}
+
+ValleyVerdict check_valley_free(const AsPath& path, const RelFn& rel) {
+  const AsPath flat = path.deduplicated();
+  const auto& asns = flat.asns();
+  if (asns.size() < 2) return ValleyVerdict::ValleyFree;
+
+  // Walk from the origin toward the vantage point; in that orientation a
+  // valley-free path is (c2p|sibling)* (p2p)? (p2c|sibling)*.
+  // asns are in BGP order (head = vantage side), so iterate in reverse:
+  // step i goes from asns[i+1] (closer to origin) to asns[i].
+  enum class Stage { Ascending, Peered, Descending };
+  Stage stage = Stage::Ascending;
+  for (std::size_t i = asns.size() - 1; i-- > 0;) {
+    const auto r = rel(asns[i + 1], asns[i]);
+    if (!r) return ValleyVerdict::UnknownLink;
+    switch (*r) {
+      case Rel::Sibling:
+        break;  // allowed anywhere, does not change stage
+      case Rel::C2P:
+        if (stage != Stage::Ascending) return ValleyVerdict::Valley;
+        break;
+      case Rel::P2P:
+        if (stage != Stage::Ascending) return ValleyVerdict::Valley;
+        stage = Stage::Peered;
+        break;
+      case Rel::P2C:
+        stage = Stage::Descending;
+        break;
+    }
+  }
+  return ValleyVerdict::ValleyFree;
+}
+
+bool is_valley_free(const AsPath& path, const RelFn& rel) {
+  return check_valley_free(path, rel) == ValleyVerdict::ValleyFree;
+}
+
+bool may_export(Rel learned_from, Rel send_to) {
+  // `learned_from`: our relationship to the AS we learned the route from.
+  // `send_to`: our relationship to the candidate recipient.
+  const bool from_customer =
+      learned_from == Rel::P2C || learned_from == Rel::Sibling;
+  const bool to_customer = send_to == Rel::P2C || send_to == Rel::Sibling;
+  return from_customer || to_customer;
+}
+
+}  // namespace mlp::bgp

@@ -1,0 +1,50 @@
+// Valley-free routing checks (Gao-Rexford export rules).
+//
+// A path is valley-free if it climbs customer-to-provider zero or more
+// steps, optionally crosses exactly one peer-to-peer link, then descends
+// provider-to-customer; sibling links may appear anywhere (section 2.1 of
+// the paper).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "bgp/aspath.hpp"
+
+namespace mlp::bgp {
+
+/// Business relationship of the *first* AS relative to the second:
+/// C2P means "a is a customer of b".
+enum class Rel : std::uint8_t { C2P, P2C, P2P, Sibling };
+
+std::string to_string(Rel rel);
+
+/// The inverse view: rel(a,b) == invert(rel(b,a)).
+Rel invert(Rel rel);
+
+/// Relationship oracle: relationship of `from` relative to `to`, or nullopt
+/// if the pair is not adjacent in the known topology.
+using RelFn =
+    std::function<std::optional<Rel>(Asn from, Asn to)>;
+
+/// Outcome of a valley-free check.
+enum class ValleyVerdict : std::uint8_t {
+  ValleyFree,        // conforms to pattern (1) or (2) from the paper
+  Valley,            // descends then ascends, or crosses >1 peering link
+  UnknownLink,       // some adjacent pair has no known relationship
+};
+
+/// Classify a path (given in BGP order: head = nearest AS, back = origin).
+/// Prepending is collapsed before checking.
+ValleyVerdict check_valley_free(const AsPath& path, const RelFn& rel);
+
+/// Convenience: true iff check_valley_free returns ValleyFree.
+bool is_valley_free(const AsPath& path, const RelFn& rel);
+
+/// Whether an AS may export a route learned from `learned_from` to
+/// `send_to`, per Gao-Rexford: routes from customers/siblings go to
+/// everyone; routes from peers/providers go to customers and siblings only.
+bool may_export(Rel learned_from, Rel send_to);
+
+}  // namespace mlp::bgp

@@ -1,0 +1,212 @@
+#include "bgp/wire.hpp"
+
+#include <algorithm>
+
+#include "util/errors.hpp"
+
+namespace mlp::bgp {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 19;  // 16-byte marker + length + type
+constexpr std::uint8_t kAttrFlagOptional = 0x80;
+constexpr std::uint8_t kAttrFlagTransitive = 0x40;
+constexpr std::uint8_t kAttrFlagExtendedLength = 0x10;
+constexpr std::uint8_t kSegmentAsSequence = 2;
+
+void encode_attr_header(ByteWriter& w, std::uint8_t flags, AttrType type,
+                        std::size_t length) {
+  if (length > 0xffff) throw InvalidArgument("attribute too long");
+  if (length > 0xff) flags |= kAttrFlagExtendedLength;
+  w.u8(flags);
+  w.u8(static_cast<std::uint8_t>(type));
+  if (flags & kAttrFlagExtendedLength)
+    w.u16(static_cast<std::uint16_t>(length));
+  else
+    w.u8(static_cast<std::uint8_t>(length));
+}
+
+void encode_as_path(ByteWriter& w, const AsPath& path, bool four_octet_as) {
+  // Emit AS_SEQUENCE segments of at most 255 ASNs each.
+  ByteWriter body;
+  const auto& asns = path.asns();
+  std::size_t i = 0;
+  while (i < asns.size()) {
+    const std::size_t n = std::min<std::size_t>(255, asns.size() - i);
+    body.u8(kSegmentAsSequence);
+    body.u8(static_cast<std::uint8_t>(n));
+    for (std::size_t k = 0; k < n; ++k, ++i) {
+      if (four_octet_as) {
+        body.u32(asns[i]);
+      } else {
+        body.u16(is_16bit(asns[i]) ? static_cast<std::uint16_t>(asns[i])
+                                   : static_cast<std::uint16_t>(kAsTrans));
+      }
+    }
+  }
+  encode_attr_header(w, kAttrFlagTransitive, AttrType::AsPath, body.size());
+  w.bytes(body.data());
+}
+
+AsPath decode_as_path(ByteReader r, bool four_octet_as) {
+  std::vector<Asn> asns;
+  while (!r.done()) {
+    const std::uint8_t segment_type = r.u8();
+    const std::uint8_t count = r.u8();
+    if (segment_type != kSegmentAsSequence)
+      throw ParseError("AS_PATH: unsupported segment type " +
+                       std::to_string(segment_type));
+    for (std::uint8_t k = 0; k < count; ++k)
+      asns.push_back(four_octet_as ? r.u32() : r.u16());
+  }
+  return AsPath(std::move(asns));
+}
+
+}  // namespace
+
+void encode_nlri_prefix(ByteWriter& writer, const IpPrefix& prefix) {
+  writer.u8(prefix.length());
+  const std::uint32_t addr = prefix.address();
+  const std::size_t bytes = (prefix.length() + 7) / 8;
+  for (std::size_t i = 0; i < bytes; ++i)
+    writer.u8(static_cast<std::uint8_t>(addr >> (24 - 8 * i)));
+}
+
+IpPrefix decode_nlri_prefix(ByteReader& reader) {
+  const std::uint8_t length = reader.u8();
+  if (length > 32) throw ParseError("NLRI: IPv4 prefix length > 32");
+  const std::size_t bytes = (length + 7) / 8;
+  std::uint32_t addr = 0;
+  auto raw = reader.bytes(bytes);
+  for (std::size_t i = 0; i < bytes; ++i)
+    addr |= static_cast<std::uint32_t>(raw[i]) << (24 - 8 * i);
+  return IpPrefix(addr, length);
+}
+
+void encode_path_attributes(ByteWriter& w, const PathAttributes& attrs,
+                            bool four_octet_as) {
+  encode_attr_header(w, kAttrFlagTransitive, AttrType::Origin, 1);
+  w.u8(static_cast<std::uint8_t>(attrs.origin));
+
+  encode_as_path(w, attrs.as_path, four_octet_as);
+
+  encode_attr_header(w, kAttrFlagTransitive, AttrType::NextHop, 4);
+  w.u32(attrs.next_hop);
+
+  if (attrs.has_med) {
+    encode_attr_header(w, kAttrFlagOptional, AttrType::Med, 4);
+    w.u32(attrs.med);
+  }
+  if (attrs.has_local_pref) {
+    encode_attr_header(w, kAttrFlagTransitive, AttrType::LocalPref, 4);
+    w.u32(attrs.local_pref);
+  }
+  if (!attrs.communities.empty()) {
+    encode_attr_header(w, kAttrFlagOptional | kAttrFlagTransitive,
+                       AttrType::Communities, attrs.communities.size() * 4);
+    for (Community c : attrs.communities) w.u32(c.value());
+  }
+}
+
+PathAttributes decode_path_attributes(ByteReader& reader,
+                                      bool four_octet_as) {
+  PathAttributes attrs;
+  while (!reader.done()) {
+    const std::uint8_t flags = reader.u8();
+    const auto type = static_cast<AttrType>(reader.u8());
+    const std::size_t length =
+        (flags & kAttrFlagExtendedLength) ? reader.u16() : reader.u8();
+    ByteReader body = reader.sub(length);
+    switch (type) {
+      case AttrType::Origin: {
+        const std::uint8_t o = body.u8();
+        if (o > 2) throw ParseError("ORIGIN: invalid code");
+        attrs.origin = static_cast<Origin>(o);
+        break;
+      }
+      case AttrType::AsPath:
+        attrs.as_path = decode_as_path(body, four_octet_as);
+        break;
+      case AttrType::NextHop:
+        attrs.next_hop = body.u32();
+        break;
+      case AttrType::Med:
+        attrs.has_med = true;
+        attrs.med = body.u32();
+        break;
+      case AttrType::LocalPref:
+        attrs.has_local_pref = true;
+        attrs.local_pref = body.u32();
+        break;
+      case AttrType::Communities: {
+        if (length % 4 != 0)
+          throw ParseError("COMMUNITIES: length not a multiple of 4");
+        while (!body.done())
+          attrs.communities.push_back(Community::from_value(body.u32()));
+        break;
+      }
+      default:
+        // Unknown attribute: skipped (body already consumed via sub()).
+        break;
+    }
+  }
+  return attrs;
+}
+
+std::vector<std::uint8_t> encode_update(const UpdateMessage& update,
+                                        bool four_octet_as) {
+  ByteWriter w;
+  for (int i = 0; i < 16; ++i) w.u8(0xff);  // marker
+  const std::size_t len_off = w.placeholder(2);
+  w.u8(static_cast<std::uint8_t>(MessageType::Update));
+
+  ByteWriter withdrawn;
+  for (const auto& p : update.withdrawn) encode_nlri_prefix(withdrawn, p);
+  w.u16(static_cast<std::uint16_t>(withdrawn.size()));
+  w.bytes(withdrawn.data());
+
+  ByteWriter attrs;
+  if (!update.nlri.empty())
+    encode_path_attributes(attrs, update.attrs, four_octet_as);
+  w.u16(static_cast<std::uint16_t>(attrs.size()));
+  w.bytes(attrs.data());
+
+  for (const auto& p : update.nlri) encode_nlri_prefix(w, p);
+
+  if (w.size() > 4096)
+    throw InvalidArgument("encode_update: message exceeds 4096 bytes");
+  w.patch_u16(len_off, static_cast<std::uint16_t>(w.size()));
+  return w.take();
+}
+
+UpdateMessage decode_update(std::span<const std::uint8_t> data,
+                            bool four_octet_as) {
+  ByteReader r(data);
+  for (int i = 0; i < 16; ++i) {
+    if (r.u8() != 0xff) throw ParseError("BGP header: bad marker");
+  }
+  const std::uint16_t length = r.u16();
+  if (length != data.size())
+    throw ParseError("BGP header: length mismatch (header says " +
+                     std::to_string(length) + ", buffer has " +
+                     std::to_string(data.size()) + ")");
+  const auto type = static_cast<MessageType>(r.u8());
+  if (type != MessageType::Update)
+    throw ParseError("decode_update: not an UPDATE message");
+
+  UpdateMessage update;
+  ByteReader withdrawn = r.sub(r.u16());
+  while (!withdrawn.done())
+    update.withdrawn.push_back(decode_nlri_prefix(withdrawn));
+
+  ByteReader attrs = r.sub(r.u16());
+  if (!attrs.done())
+    update.attrs = decode_path_attributes(attrs, four_octet_as);
+
+  while (!r.done()) update.nlri.push_back(decode_nlri_prefix(r));
+  if (!update.nlri.empty() && update.attrs.as_path.empty())
+    throw ParseError("UPDATE: NLRI present but no AS_PATH attribute");
+  return update;
+}
+
+}  // namespace mlp::bgp

@@ -1,0 +1,68 @@
+// BGP UPDATE wire codec (RFC 4271 + RFC 6793 four-octet AS paths).
+//
+// The MRT BGP4MP records archived by Route Views / RIPE RIS embed raw BGP
+// messages; this codec produces and consumes those bytes so the passive
+// pipeline parses genuine wire format rather than an in-memory shortcut.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/prefix.hpp"
+#include "bgp/route.hpp"
+#include "util/bytes.hpp"
+
+namespace mlp::bgp {
+
+/// BGP message types (RFC 4271 section 4.1).
+enum class MessageType : std::uint8_t {
+  Open = 1,
+  Update = 2,
+  Notification = 3,
+  Keepalive = 4,
+};
+
+/// Path attribute type codes used by the codec.
+enum class AttrType : std::uint8_t {
+  Origin = 1,
+  AsPath = 2,
+  NextHop = 3,
+  Med = 4,
+  LocalPref = 5,
+  Communities = 8,
+};
+
+/// A decoded UPDATE message.
+struct UpdateMessage {
+  std::vector<IpPrefix> withdrawn;
+  PathAttributes attrs;
+  std::vector<IpPrefix> nlri;
+
+  friend bool operator==(const UpdateMessage&, const UpdateMessage&) = default;
+};
+
+/// Encode a full BGP UPDATE message (with the 19-byte header).
+/// `four_octet_as` selects between 2-byte and 4-byte AS path encoding; a
+/// 32-bit ASN encoded into a 2-byte path becomes AS_TRANS, as on the wire.
+std::vector<std::uint8_t> encode_update(const UpdateMessage& update,
+                                        bool four_octet_as);
+
+/// Decode a full BGP message; throws ParseError unless it is a well-formed
+/// UPDATE. `four_octet_as` must match the encoder (in MRT it is derived
+/// from the BGP4MP subtype).
+UpdateMessage decode_update(std::span<const std::uint8_t> data,
+                            bool four_octet_as);
+
+/// NLRI helpers shared with the TABLE_DUMP_V2 codec.
+void encode_nlri_prefix(mlp::ByteWriter& writer, const IpPrefix& prefix);
+IpPrefix decode_nlri_prefix(mlp::ByteReader& reader);
+
+/// Path-attribute block helpers (without the enclosing message framing),
+/// reused by TABLE_DUMP_V2 RIB entries which store bare attribute blocks.
+void encode_path_attributes(mlp::ByteWriter& writer,
+                            const PathAttributes& attrs, bool four_octet_as);
+PathAttributes decode_path_attributes(mlp::ByteReader& reader,
+                                      bool four_octet_as);
+
+}  // namespace mlp::bgp

@@ -1,0 +1,157 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+
+namespace mlp::core {
+
+namespace {
+
+std::map<Asn, std::size_t> links_per_member(const std::set<AsLink>& links) {
+  std::map<Asn, std::size_t> out;
+  for (const AsLink& link : links) {
+    ++out[link.a];
+    ++out[link.b];
+  }
+  return out;
+}
+
+}  // namespace
+
+VisibilityComparison compare_visibility(const std::set<AsLink>& mlp,
+                                        const std::set<AsLink>& passive,
+                                        const std::set<AsLink>& active) {
+  VisibilityComparison out;
+  out.mlp_links = mlp.size();
+
+  // Members are the endpoints of the MLP set (the ranked x-axis of fig 6).
+  std::set<Asn> members;
+  for (const AsLink& link : mlp) {
+    members.insert(link.a);
+    members.insert(link.b);
+  }
+  const auto mlp_counts = links_per_member(mlp);
+
+  std::map<Asn, std::size_t> passive_counts;
+  std::map<Asn, std::size_t> active_counts;
+  for (const AsLink& link : passive) {
+    if (members.count(link.a)) ++passive_counts[link.a];
+    if (members.count(link.b)) ++passive_counts[link.b];
+    if (members.count(link.a) && members.count(link.b))
+      ++out.passive_p2p_links;
+  }
+  for (const AsLink& link : active) {
+    if (members.count(link.a)) ++active_counts[link.a];
+    if (members.count(link.b)) ++active_counts[link.b];
+  }
+  for (const AsLink& link : mlp) {
+    if (passive.count(link)) ++out.overlap_mlp_passive;
+    if (active.count(link)) ++out.overlap_mlp_active;
+  }
+
+  for (const Asn member : members) {
+    VisibilityRow row;
+    row.member = member;
+    auto get = [](const std::map<Asn, std::size_t>& counts, Asn asn) {
+      auto it = counts.find(asn);
+      return it == counts.end() ? std::size_t{0} : it->second;
+    };
+    row.mlp = get(mlp_counts, member);
+    row.passive = get(passive_counts, member);
+    row.active = get(active_counts, member);
+    out.rows.push_back(row);
+  }
+  std::sort(out.rows.begin(), out.rows.end(),
+            [](const VisibilityRow& a, const VisibilityRow& b) {
+              if (a.mlp != b.mlp) return a.mlp > b.mlp;
+              return a.member < b.member;
+            });
+  return out;
+}
+
+DegreeAnalysis analyze_link_degrees(const std::set<AsLink>& links,
+                                    const DegreeFn& customer_degree) {
+  DegreeAnalysis out;
+  std::size_t stub_stub = 0;
+  std::size_t one_stub = 0;
+  std::size_t small = 0;
+  for (const AsLink& link : links) {
+    const std::size_t da = customer_degree(link.a);
+    const std::size_t db = customer_degree(link.b);
+    const std::size_t lo = std::min(da, db);
+    const std::size_t hi = std::max(da, db);
+    out.smallest.push_back(lo);
+    out.largest.push_back(hi);
+    if (hi == 0) ++stub_stub;
+    if (lo == 0) ++one_stub;
+    if (lo <= 10) ++small;
+  }
+  const double n = links.empty() ? 1.0 : static_cast<double>(links.size());
+  out.frac_stub_stub = static_cast<double>(stub_stub) / n;
+  out.frac_one_stub = static_cast<double>(one_stub) / n;
+  out.frac_small = static_cast<double>(small) / n;
+  return out;
+}
+
+DensityAnalysis peering_density(const std::set<AsLink>& links,
+                                const std::set<Asn>& rs_members) {
+  DensityAnalysis out;
+  if (rs_members.size() < 2) return out;
+  const auto counts = links_per_member(links);
+  const double possible = static_cast<double>(rs_members.size() - 1);
+  double sum = 0.0;
+  for (const Asn member : rs_members) {
+    auto it = counts.find(member);
+    const double mine =
+        it == counts.end() ? 0.0 : static_cast<double>(it->second);
+    const double density = mine / possible;
+    out.per_member.push_back(density);
+    sum += density;
+  }
+  out.mean = sum / static_cast<double>(rs_members.size());
+  return out;
+}
+
+RepellerReport analyze_repellers(
+    const std::vector<const MlpInferenceEngine*>& engines,
+    const std::function<std::set<Asn>(Asn)>& cone,
+    const std::function<bool(Asn, Asn)>& is_customer) {
+  RepellerReport report;
+  for (const MlpInferenceEngine* engine : engines) {
+    for (const Asn setter : engine->observed_members()) {
+      const auto policy = engine->policy_of(setter);
+      if (!policy ||
+          policy->mode() != routeserver::ExportPolicy::Mode::AllExcept)
+        continue;
+      std::set<Asn> setter_cone;
+      if (cone) setter_cone = cone(setter);
+      for (const Asn target : policy->peers()) {
+        if (!engine->context().is_member(target)) continue;
+        ++report.exclude_applications;
+        ++report.blocked_count[target];
+        if (cone && setter_cone.count(target)) ++report.cone_blocks;
+        if (is_customer && is_customer(setter, target))
+          ++report.provider_blocks_customer;
+      }
+    }
+  }
+  report.repelled_members = report.blocked_count.size();
+  return report;
+}
+
+HybridReport find_hybrid_relationships(const std::set<AsLink>& mlp_links,
+                                       const std::set<AsLink>& passive_links,
+                                       const bgp::RelFn& inferred_rel) {
+  HybridReport report;
+  for (const AsLink& link : mlp_links) {
+    if (!passive_links.count(link)) continue;
+    const auto rel = inferred_rel(link.a, link.b);
+    if (!rel) continue;
+    if (*rel == bgp::Rel::C2P || *rel == bgp::Rel::P2C) {
+      ++report.candidates;
+      report.links.push_back(link);
+    }
+  }
+  return report;
+}
+
+}  // namespace mlp::core

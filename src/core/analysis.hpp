@@ -1,0 +1,93 @@
+// Topological analyses over the inferred link sets (paper section 5).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "bgp/valley.hpp"
+#include "core/engine.hpp"
+#include "core/types.hpp"
+#include "registry/peeringdb.hpp"
+
+namespace mlp::core {
+
+/// Figure 6: per-member link counts under the MLP, passive-BGP and
+/// traceroute datasets, ranked by MLP count.
+struct VisibilityRow {
+  Asn member = 0;
+  std::size_t mlp = 0;
+  std::size_t passive = 0;
+  std::size_t active = 0;
+};
+
+struct VisibilityComparison {
+  std::vector<VisibilityRow> rows;  // sorted by mlp desc
+  std::size_t mlp_links = 0;
+  std::size_t passive_p2p_links = 0;   // restricted to the same members
+  std::size_t overlap_mlp_passive = 0;
+  std::size_t overlap_mlp_active = 0;
+};
+
+VisibilityComparison compare_visibility(const std::set<AsLink>& mlp,
+                                        const std::set<AsLink>& passive,
+                                        const std::set<AsLink>& active);
+
+/// Figure 7: customer-degree structure of the inferred links.
+using DegreeFn = std::function<std::size_t(Asn)>;
+
+struct DegreeAnalysis {
+  std::vector<std::size_t> smallest;  // per link, min customer degree
+  std::vector<std::size_t> largest;   // per link, max customer degree
+  double frac_stub_stub = 0.0;        // both endpoints degree 0 (12.4%)
+  double frac_one_stub = 0.0;         // at least one stub (55.6%)
+  double frac_small = 0.0;            // smaller side < 10 (58.1%... <=10)
+};
+
+DegreeAnalysis analyze_link_degrees(const std::set<AsLink>& links,
+                                    const DegreeFn& customer_degree);
+
+/// Figure 12: per-member peering density at one route server.
+struct DensityAnalysis {
+  std::vector<double> per_member;  // links(member) / (|RS|-1)
+  double mean = 0.0;
+};
+
+DensityAnalysis peering_density(const std::set<AsLink>& links,
+                                const std::set<Asn>& rs_members);
+
+/// Figure 13 / section 5.5: repeller analysis over EXCLUDE usage.
+struct RepellerReport {
+  /// Number of distinct (setter, target) EXCLUDE applications per target.
+  std::map<Asn, std::size_t> blocked_count;
+  std::size_t exclude_applications = 0;
+  std::size_t repelled_members = 0;     // targets blocked at least once
+  /// EXCLUDEs where the target is inside the setter's customer cone.
+  std::size_t cone_blocks = 0;
+  /// EXCLUDEs where the setter is a provider blocking a direct customer.
+  std::size_t provider_blocks_customer = 0;
+};
+
+/// `engines` holds one inference engine per route server.  `cone` returns
+/// the customer cone of an AS; `is_customer(p, c)` whether c is a direct
+/// customer of p. Either may be null to skip those counters.
+RepellerReport analyze_repellers(
+    const std::vector<const MlpInferenceEngine*>& engines,
+    const std::function<std::set<Asn>(Asn)>& cone,
+    const std::function<bool(Asn, Asn)>& is_customer);
+
+/// Section 5.6: links also carried in passive BGP data that a relationship
+/// inference labels provider-customer -- hybrid p2p/p2c candidates.
+struct HybridReport {
+  std::size_t candidates = 0;
+  std::vector<AsLink> links;
+};
+
+HybridReport find_hybrid_relationships(const std::set<AsLink>& mlp_links,
+                                       const std::set<AsLink>& passive_links,
+                                       const bgp::RelFn& inferred_rel);
+
+}  // namespace mlp::core

@@ -1,0 +1,111 @@
+#include "core/engine.hpp"
+
+#include <vector>
+
+namespace mlp::core {
+
+std::string to_string(Source source) {
+  switch (source) {
+    case Source::Passive:
+      return "passive";
+    case Source::ActiveLg:
+      return "active-lg";
+    case Source::ThirdPartyLg:
+      return "third-party-lg";
+  }
+  return "unknown";
+}
+
+void MlpInferenceEngine::add(const Observation& observation) {
+  if (!context_.is_member(observation.setter)) {
+    ++rejected_;
+    return;
+  }
+  auto policy =
+      ExportPolicy::from_communities(observation.communities, context_.scheme);
+  MemberData& data = members_[observation.setter];
+  ++data.observations;
+  if (observation.source == Source::Passive)
+    data.passive = true;
+  else
+    data.active = true;
+  // No RS communities on the route: the default ALL behaviour.
+  data.per_prefix[observation.prefix] =
+      policy.value_or(ExportPolicy::open());
+}
+
+std::set<Asn> MlpInferenceEngine::observed_members() const {
+  std::set<Asn> out;
+  for (const auto& [asn, data] : members_) out.insert(asn);
+  return out;
+}
+
+std::optional<ExportPolicy> MlpInferenceEngine::policy_of(Asn member) const {
+  auto it = members_.find(member);
+  if (it == members_.end()) return std::nullopt;
+  const MemberData& data = it->second;
+  std::optional<ExportPolicy> merged;
+  for (const auto& [prefix, policy] : data.per_prefix) {
+    if (!merged) {
+      merged = policy;
+    } else {
+      merged = ExportPolicy::intersect(*merged, policy, context_.rs_members);
+    }
+  }
+  return merged;
+}
+
+std::set<AsLink> MlpInferenceEngine::infer_links(
+    bool assume_open_for_unobserved) const {
+  // Materialise the policy of every participating member once.
+  std::vector<std::pair<Asn, ExportPolicy>> policies;
+  for (const Asn member : context_.rs_members) {
+    auto policy = policy_of(member);
+    if (!policy) {
+      if (!assume_open_for_unobserved) continue;
+      policy = ExportPolicy::open();
+    }
+    policies.emplace_back(member, std::move(*policy));
+  }
+
+  std::set<AsLink> links;
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    for (std::size_t j = i + 1; j < policies.size(); ++j) {
+      const auto& [a, policy_a] = policies[i];
+      const auto& [b, policy_b] = policies[j];
+      if (policy_a.allows(b) && policy_b.allows(a))
+        links.insert(AsLink(a, b));
+    }
+  }
+  return links;
+}
+
+EngineStats MlpInferenceEngine::stats() const {
+  EngineStats stats;
+  stats.rs_members = context_.rs_members.size();
+  stats.observed_members = members_.size();
+  for (const auto& [asn, data] : members_) {
+    if (data.passive)
+      ++stats.passive_members;
+    else if (data.active)
+      ++stats.active_members;
+    stats.observations += data.observations;
+    // A member is inconsistent if its per-prefix policies are not all equal
+    // (section 4.3 reports < 0.5% of members).
+    bool inconsistent = false;
+    const ExportPolicy* first = nullptr;
+    for (const auto& [prefix, policy] : data.per_prefix) {
+      if (!first) {
+        first = &policy;
+      } else if (!(policy == *first)) {
+        inconsistent = true;
+        break;
+      }
+    }
+    if (inconsistent) ++stats.inconsistent_members;
+  }
+  stats.links = infer_links().size();
+  return stats;
+}
+
+}  // namespace mlp::core

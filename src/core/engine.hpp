@@ -1,0 +1,78 @@
+// The MLP link-inference engine: steps 4 and 5 of the paper's algorithm.
+//
+// Observations (RS communities per member per prefix, from passive and/or
+// active measurement) accumulate per route server; each member's export
+// policy is the intersection of its per-prefix policies (N_a), and a p2p
+// link is inferred between members a and a' iff a in N_a' and a' in N_a
+// (the reciprocity assumption validated in section 4.4).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "core/types.hpp"
+#include "routeserver/export_policy.hpp"
+
+namespace mlp::core {
+
+using routeserver::ExportPolicy;
+
+/// Inference statistics for one route server (table 2 row material).
+struct EngineStats {
+  std::size_t rs_members = 0;          // |A_RS|
+  std::size_t observed_members = 0;    // members with reachability data
+  std::size_t passive_members = 0;     // covered by passive data
+  std::size_t active_members = 0;      // covered only by active queries
+  std::size_t observations = 0;
+  std::size_t inconsistent_members = 0;  // differing per-prefix policies
+  std::size_t links = 0;
+};
+
+/// Per-route-server accumulation and link inference.
+class MlpInferenceEngine {
+ public:
+  explicit MlpInferenceEngine(IxpContext context)
+      : context_(std::move(context)) {}
+
+  const IxpContext& context() const { return context_; }
+
+  /// Record one observation. Observations whose setter is not in A_RS are
+  /// ignored (counted as rejected): reachability without connectivity
+  /// cannot form links.
+  void add(const Observation& observation);
+
+  /// Members with at least one observation.
+  std::set<Asn> observed_members() const;
+
+  /// N_a as an export policy: the per-prefix policies intersected
+  /// (step 4). Nullopt if the member was never observed.
+  std::optional<ExportPolicy> policy_of(Asn member) const;
+
+  /// Step 5: infer p2p links among observed members by reciprocity.
+  /// If `assume_open_for_unobserved` is set, members of A_RS without
+  /// observations participate with the default-open policy (the ALL
+  /// behaviour); the paper's conservative default is off.
+  std::set<AsLink> infer_links(bool assume_open_for_unobserved = false) const;
+
+  EngineStats stats() const;
+
+  std::size_t rejected_observations() const { return rejected_; }
+
+ private:
+  struct MemberData {
+    // Distinct policies seen per prefix; consistency tracked for the
+    // section 4.3 claim that policies rarely differ across prefixes.
+    std::map<IpPrefix, ExportPolicy> per_prefix;
+    bool passive = false;
+    bool active = false;
+    std::size_t observations = 0;
+  };
+
+  IxpContext context_;
+  std::map<Asn, MemberData> members_;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace mlp::core

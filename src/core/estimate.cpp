@@ -1,0 +1,84 @@
+#include "core/estimate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace mlp::core {
+
+double assumed_density(const IxpCensusEntry& entry,
+                       const EstimateAssumptions& assumptions,
+                       bool conservative) {
+  double density;
+  if (entry.north_american) {
+    density = assumptions.density_north_america;
+  } else if (!entry.has_route_server) {
+    density = assumptions.density_no_rs;
+  } else if (entry.pricing == PricingModel::FlatFee) {
+    density = assumptions.density_flat_rs;
+  } else {
+    density = assumptions.density_usage_rs;
+  }
+  if (conservative && assumptions.conservative_cap > 0.0)
+    density = std::min(density, assumptions.conservative_cap);
+  return density;
+}
+
+GlobalEstimate estimate_global_peerings(
+    const std::vector<IxpCensusEntry>& census,
+    const EstimateAssumptions& assumptions, bool conservative) {
+  GlobalEstimate out;
+  out.ixps = census.size();
+
+  std::set<bgp::Asn> ases;
+  std::vector<std::size_t> budgets(census.size(), 0);
+  for (std::size_t i = 0; i < census.size(); ++i) {
+    const auto& entry = census[i];
+    ases.insert(entry.members.begin(), entry.members.end());
+    const double n = static_cast<double>(entry.members.size());
+    const double possible = n * (n - 1.0) / 2.0;
+    budgets[i] = static_cast<std::size_t>(std::llround(
+        possible * assumed_density(entry, assumptions, conservative)));
+    out.total_links += budgets[i];
+    out.per_ixp.emplace_back(entry.name, budgets[i]);
+  }
+  out.distinct_ases = ases.size();
+
+  // Maximum-overlap (minimum-unique) assignment: pairs co-located at many
+  // IXPs can absorb one link from each, so fill them first.
+  std::map<std::pair<bgp::Asn, bgp::Asn>, std::vector<std::size_t>>
+      pair_ixps;
+  for (std::size_t i = 0; i < census.size(); ++i) {
+    const auto& members = census[i].members;
+    for (auto a = members.begin(); a != members.end(); ++a) {
+      for (auto b = std::next(a); b != members.end(); ++b)
+        pair_ixps[{*a, *b}].push_back(i);
+    }
+  }
+  std::vector<const std::pair<const std::pair<bgp::Asn, bgp::Asn>,
+                              std::vector<std::size_t>>*>
+      pairs;
+  pairs.reserve(pair_ixps.size());
+  for (const auto& item : pair_ixps) pairs.push_back(&item);
+  std::sort(pairs.begin(), pairs.end(), [](const auto* x, const auto* y) {
+    return x->second.size() > y->second.size();
+  });
+
+  std::vector<std::size_t> remaining = budgets;
+  std::size_t unique = 0;
+  for (const auto* item : pairs) {
+    bool used = false;
+    for (const std::size_t i : item->second) {
+      if (remaining[i] > 0) {
+        --remaining[i];
+        used = true;
+      }
+    }
+    if (used) ++unique;
+  }
+  // Any leftover budget cannot exist (more links than pairs); clamp.
+  out.unique_links = unique;
+  return out;
+}
+
+}  // namespace mlp::core

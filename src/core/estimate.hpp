@@ -1,0 +1,64 @@
+// Global IXP peering estimation (paper section 5.7).
+//
+// Given a census of IXPs (member counts or member lists, pricing model and
+// route-server availability), apply the paper's density assumptions:
+//   flat-fee pricing + route server      -> 70% peering density
+//   usage-based pricing + route server   -> 60%
+//   no route server                      -> 50%
+//   North American (for-profit) IXPs     -> 40%
+// and a conservative variant capping every density at 60%. Unique links
+// are bounded from below with a maximum-overlap assignment over the
+// co-location structure of the member lists.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bgp/asn.hpp"
+
+namespace mlp::core {
+
+enum class PricingModel : std::uint8_t { FlatFee, UsageBased };
+
+struct IxpCensusEntry {
+  std::string name;
+  bool north_american = false;
+  bool has_route_server = true;
+  PricingModel pricing = PricingModel::FlatFee;
+  /// Member ASNs; used for the overlap computation.
+  std::set<bgp::Asn> members;
+};
+
+struct EstimateAssumptions {
+  double density_flat_rs = 0.70;
+  double density_usage_rs = 0.60;
+  double density_no_rs = 0.50;
+  double density_north_america = 0.40;
+  /// Conservative variant: cap all densities at this value (0 disables).
+  double conservative_cap = 0.60;
+};
+
+struct GlobalEstimate {
+  std::size_t ixps = 0;
+  std::size_t distinct_ases = 0;
+  /// Sum over IXPs of density * C(n, 2).
+  std::size_t total_links = 0;
+  /// Lower bound on unique AS pairs under maximum link overlap.
+  std::size_t unique_links = 0;
+  std::vector<std::pair<std::string, std::size_t>> per_ixp;
+};
+
+/// Density assigned to one IXP under the assumptions.
+double assumed_density(const IxpCensusEntry& entry,
+                       const EstimateAssumptions& assumptions,
+                       bool conservative);
+
+/// Run the estimate. With `conservative` set, densities are capped at
+/// assumptions.conservative_cap.
+GlobalEstimate estimate_global_peerings(
+    const std::vector<IxpCensusEntry>& census,
+    const EstimateAssumptions& assumptions, bool conservative = false);
+
+}  // namespace mlp::core

@@ -1,0 +1,184 @@
+#include "core/passive.hpp"
+
+#include <utility>
+
+#include "mrt/table_dump.hpp"
+
+namespace mlp::core {
+
+PassiveExtractor::PassiveExtractor(std::vector<IxpContext> ixps,
+                                   bgp::RelFn relationships,
+                                   PassiveConfig config)
+    : ixps_(std::move(ixps)),
+      relationships_(std::move(relationships)),
+      config_(config) {}
+
+std::vector<PassiveExtractor::Attribution> PassiveExtractor::attribute_ixps(
+    const std::vector<Community>& communities) const {
+  std::vector<Attribution> strong;  // a value encodes the RS ASN
+  std::vector<Attribution> weak;    // peer-targeted values only
+  for (const IxpContext& ixp : ixps_) {
+    Attribution attribution;
+    attribution.ixp = &ixp;
+    bool peers_are_members = true;
+    for (const Community community : communities) {
+      Asn peer = 0;
+      const auto tag = ixp.scheme.classify(community, &peer);
+      if (tag == routeserver::CommunityTag::Unrelated) continue;
+      attribution.rs_communities.push_back(community);
+      if (ixp.scheme.encodes_rs_asn(community)) attribution.rs_encoded = true;
+      if ((tag == routeserver::CommunityTag::Exclude ||
+           tag == routeserver::CommunityTag::Include) &&
+          !ixp.is_member(peer))
+        peers_are_members = false;
+    }
+    if (attribution.rs_communities.empty()) continue;
+    // The combination of targeted ASes must all be members of the IXP
+    // (section 4.2's disambiguation rule).
+    if (!peers_are_members) continue;
+    (attribution.rs_encoded ? strong : weak)
+        .push_back(std::move(attribution));
+  }
+  if (!strong.empty()) return strong;
+  return weak;  // caller treats size()>1 as ambiguous
+}
+
+Asn PassiveExtractor::identify_setter(const AsPath& path,
+                                      const IxpContext& ixp) const {
+  const AsPath flat = path.deduplicated();
+  const auto& asns = flat.asns();
+
+  std::vector<std::size_t> member_positions;
+  for (std::size_t i = 0; i < asns.size(); ++i)
+    if (ixp.is_member(asns[i])) member_positions.push_back(i);
+
+  // Case 1: fewer than two members -- the RS crossing is not in the path.
+  if (member_positions.size() < 2) return 0;
+
+  // Case 2: exactly two members -- the setter is the one closest to the
+  // origin (the prefix side).
+  if (member_positions.size() == 2) {
+    const std::size_t a = member_positions[0];
+    const std::size_t b = member_positions[1];
+    // The crossing must be a direct adjacency; members separated by other
+    // ASes did not exchange this route over the route server.
+    if (b != a + 1) return 0;
+    return asns[b];
+  }
+
+  // Case 3: more than two members -- locate the single p2p step among the
+  // adjacent member pairs using AS relationships, then take the side of
+  // that step closest to the prefix.
+  if (!relationships_) return 0;
+  Asn setter = 0;
+  for (std::size_t k = 0; k + 1 < member_positions.size(); ++k) {
+    const std::size_t i = member_positions[k];
+    const std::size_t j = member_positions[k + 1];
+    if (j != i + 1) continue;  // not adjacent: not an RS crossing
+    const auto rel = relationships_(asns[i], asns[j]);
+    if (!rel || *rel != bgp::Rel::P2P) continue;
+    if (setter != 0) return 0;  // two p2p candidates: cannot pinpoint
+    setter = asns[j];
+  }
+  return setter;
+}
+
+void PassiveExtractor::consume_path(const AsPath& path,
+                                    const IpPrefix& prefix,
+                                    const std::vector<Community>& communities,
+                                    Source source) {
+  ++stats_.paths_seen;
+  if (path.has_cycle() || path.has_reserved_asn()) {
+    ++stats_.paths_dirty;
+    return;
+  }
+  auto attributions = attribute_ixps(communities);
+  if (attributions.empty()) {
+    ++stats_.paths_no_rs_values;
+    return;
+  }
+  if (attributions.size() > 1 && !attributions.front().rs_encoded) {
+    // Multiple weak (EXCLUDE-only) candidates: the excluded-AS combination
+    // exists at more than one IXP. Unresolvable.
+    ++stats_.paths_ambiguous_ixp;
+    return;
+  }
+  bool attributed = false;
+  for (const Attribution& attribution : attributions) {
+    const Asn setter = identify_setter(path, *attribution.ixp);
+    if (setter == 0) continue;
+    Observation observation;
+    observation.setter = setter;
+    observation.prefix = prefix;
+    observation.communities = attribution.rs_communities;
+    observation.source = source;
+    observations_[attribution.ixp->name].push_back(std::move(observation));
+    ++stats_.observations;
+    attributed = true;
+  }
+  if (!attributed) ++stats_.paths_no_setter;
+}
+
+void PassiveExtractor::consume_table_dump(
+    std::span<const std::uint8_t> archive) {
+  const bgp::Rib rib = mrt::parse_rib(archive);
+  for (const auto& prefix : rib.prefixes()) {
+    for (const auto& entry : rib.paths(prefix)) {
+      consume_path(entry.route.attrs.as_path, prefix,
+                   entry.route.attrs.communities, Source::Passive);
+    }
+  }
+}
+
+void PassiveExtractor::consume_update_stream(
+    std::span<const std::uint8_t> archive) {
+  const auto updates = mrt::parse_updates(archive);
+
+  struct Pending {
+    std::uint32_t announced_at = 0;
+    AsPath path;
+    std::vector<Community> communities;
+  };
+  std::map<std::pair<Asn, IpPrefix>, Pending> pending;
+
+  auto flush = [&](const std::pair<Asn, IpPrefix>& key,
+                   const Pending& entry) {
+    consume_path(entry.path, key.second, entry.communities, Source::Passive);
+  };
+
+  for (const auto& update : updates) {
+    for (const auto& prefix : update.update.withdrawn) {
+      const auto key = std::make_pair(update.peer_asn, prefix);
+      auto it = pending.find(key);
+      if (it == pending.end()) continue;
+      const std::uint32_t age =
+          update.timestamp - it->second.announced_at;
+      if (age < config_.min_duration_s) {
+        ++stats_.paths_transient;  // short-lived: likely misconfiguration
+      } else {
+        flush(key, it->second);
+      }
+      pending.erase(it);
+    }
+    for (const auto& prefix : update.update.nlri) {
+      const auto key = std::make_pair(update.peer_asn, prefix);
+      auto it = pending.find(key);
+      if (it != pending.end()) {
+        // Re-announcement: the earlier version lived long enough only if
+        // it aged past the threshold.
+        const std::uint32_t age =
+            update.timestamp - it->second.announced_at;
+        if (age >= config_.min_duration_s)
+          flush(key, it->second);
+        else
+          ++stats_.paths_transient;
+      }
+      pending[key] = Pending{update.timestamp, update.update.attrs.as_path,
+                             update.update.attrs.communities};
+    }
+  }
+  // Announcements still standing at the end of the window are stable.
+  for (const auto& [key, entry] : pending) flush(key, entry);
+}
+
+}  // namespace mlp::core

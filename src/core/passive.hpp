@@ -1,0 +1,92 @@
+// Passive inference from archived BGP data (paper section 4.2).
+//
+// The extractor consumes MRT archives (or raw AS paths with communities),
+// filters dirty paths, attributes RS communities to an IXP -- directly
+// when a community value encodes the route-server ASN, or by matching the
+// combination of excluded ASes against the candidate IXPs' member lists --
+// and pinpoints the RS setter using the membership cases 1-3, falling
+// back to AS relationships when a path holds more than two members.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "bgp/valley.hpp"
+#include "core/types.hpp"
+
+namespace mlp::core {
+
+/// Counters describing how the input was consumed.
+struct PassiveStats {
+  std::size_t paths_seen = 0;
+  std::size_t paths_dirty = 0;        // cycles / reserved ASNs
+  std::size_t paths_transient = 0;    // announced for < min_duration
+  std::size_t paths_no_rs_values = 0; // no candidate scheme matched
+  std::size_t paths_ambiguous_ixp = 0;
+  std::size_t paths_no_setter = 0;    // membership cases that fail
+  std::size_t observations = 0;       // successfully attributed
+};
+
+/// Configuration of the passive pipeline.
+struct PassiveConfig {
+  /// Drop announcements visible for less than this long before being
+  /// withdrawn (misconfiguration guard, section 5). 0 disables.
+  std::uint32_t min_duration_s = 0;
+};
+
+class PassiveExtractor {
+ public:
+  /// `relationships` resolves setter case 3; it may be an inferred
+  /// relationship set or a ground-truth oracle. May be null (case 3 then
+  /// fails as "no setter").
+  PassiveExtractor(std::vector<IxpContext> ixps, bgp::RelFn relationships,
+                   PassiveConfig config = PassiveConfig{});
+
+  /// Consume a TABLE_DUMP_V2 archive (a collector RIB snapshot).
+  void consume_table_dump(std::span<const std::uint8_t> archive);
+
+  /// Consume a BGP4MP update archive; withdrawals cancel announcements
+  /// younger than min_duration_s (transient filtering).
+  void consume_update_stream(std::span<const std::uint8_t> archive);
+
+  /// Consume one already-decoded path observation.
+  void consume_path(const AsPath& path,
+                    const IpPrefix& prefix,
+                    const std::vector<Community>& communities,
+                    Source source = Source::Passive);
+
+  /// Observations grouped by IXP name, ready for MlpInferenceEngine::add.
+  const std::map<std::string, std::vector<Observation>>& observations()
+      const {
+    return observations_;
+  }
+
+  const PassiveStats& stats() const { return stats_; }
+
+ private:
+  struct Attribution {
+    const IxpContext* ixp = nullptr;
+    std::vector<Community> rs_communities;
+    /// Some community value encodes the RS ASN (direct attribution);
+    /// otherwise only peer-targeted values matched (EXCLUDE-only case).
+    bool rs_encoded = false;
+  };
+
+  /// Attribute the RS communities on a route to exactly one candidate IXP.
+  std::vector<Attribution> attribute_ixps(
+      const std::vector<Community>& communities) const;
+
+  /// Identify the RS setter in `path` for an IXP (cases 1-3). Returns 0
+  /// when no setter can be pinpointed.
+  Asn identify_setter(const AsPath& path, const IxpContext& ixp) const;
+
+  std::vector<IxpContext> ixps_;
+  bgp::RelFn relationships_;
+  PassiveConfig config_;
+  PassiveStats stats_;
+  std::map<std::string, std::vector<Observation>> observations_;
+};
+
+}  // namespace mlp::core

@@ -1,0 +1,41 @@
+#include "core/reciprocity.hpp"
+
+namespace mlp::core {
+
+ReciprocityReport check_reciprocity(
+    const irr::IrrDatabase& database, const std::set<bgp::Asn>& members,
+    const std::set<bgp::Asn>& candidate_peers) {
+  ReciprocityReport report;
+  for (const bgp::Asn member : members) {
+    const auto imports = database.import_filter(member);
+    const auto exports = database.export_filter(member);
+    if (!imports || !exports) {
+      ++report.members_missing;
+      continue;
+    }
+    ++report.members_checked;
+
+    bool violated = false;
+    bool import_extra = false;
+    bool export_extra = false;
+    for (const bgp::Asn peer : candidate_peers) {
+      if (peer == member) continue;
+      const bool exp = exports->allows(peer);
+      const bool imp = imports->allows(peer);
+      if (exp && !imp) violated = true;   // import blocks an exported peer
+      if (imp && !exp) import_extra = true;
+    }
+    (void)export_extra;
+    if (violated) {
+      ++report.violations;
+      report.violating_members.push_back(member);
+    } else if (import_extra) {
+      ++report.more_permissive_imports;
+    } else {
+      ++report.equal_filters;
+    }
+  }
+  return report;
+}
+
+}  // namespace mlp::core

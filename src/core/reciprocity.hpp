@@ -1,0 +1,49 @@
+// Validation of the reciprocity assumption against IRR filters
+// (paper section 4.4).
+//
+// The inference assumes: if member i does not block member j on export,
+// i also accepts j on import. The paper checked 230 AMS-IX members whose
+// BGP configuration is generated from IRR objects and found import
+// filters at most as restrictive as export filters, i.e. the assumption
+// is conservative (no false positives, possible false negatives on
+// asymmetric links).
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "bgp/asn.hpp"
+#include "irr/database.hpp"
+
+namespace mlp::core {
+
+struct ReciprocityReport {
+  std::size_t members_checked = 0;      // members with both filters in IRR
+  std::size_t members_missing = 0;      // members lacking usable objects
+  /// Members whose import filter blocks a peer the export filter allows:
+  /// violations of the assumption.
+  std::size_t violations = 0;
+  std::vector<bgp::Asn> violating_members;
+  /// Members whose import filter admits strictly more peers than their
+  /// export filter (the "about half" finding).
+  std::size_t more_permissive_imports = 0;
+  /// Members with exactly matching filters.
+  std::size_t equal_filters = 0;
+
+  double violation_rate() const {
+    return members_checked == 0
+               ? 0.0
+               : static_cast<double>(violations) /
+                     static_cast<double>(members_checked);
+  }
+};
+
+/// Check the assumption for `members` (e.g. the RS members of AMS-IX)
+/// against IRR-registered filters. `candidate_peers` is the universe to
+/// evaluate filters over (the other RS members).
+ReciprocityReport check_reciprocity(const irr::IrrDatabase& database,
+                                    const std::set<bgp::Asn>& members,
+                                    const std::set<bgp::Asn>& candidate_peers);
+
+}  // namespace mlp::core

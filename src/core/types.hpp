@@ -1,0 +1,48 @@
+// Shared data model of the MLP inference framework (paper section 4).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bgp/aspath.hpp"
+#include "bgp/community.hpp"
+#include "bgp/prefix.hpp"
+#include "routeserver/scheme.hpp"
+
+namespace mlp::core {
+
+using bgp::Asn;
+using bgp::AsLink;
+using bgp::AsPath;
+using bgp::Community;
+using bgp::IpPrefix;
+
+/// Where a reachability observation came from (table 2's Pasv/Active
+/// split).
+enum class Source : std::uint8_t { Passive, ActiveLg, ThirdPartyLg };
+
+std::string to_string(Source source);
+
+/// Everything the inference needs to know about one IXP route server:
+/// its community dialect and the connectivity data A_RS (from an LG, an
+/// IRR AS-SET or the IXP website -- section 4).
+struct IxpContext {
+  std::string name;
+  routeserver::IxpCommunityScheme scheme;
+  std::set<Asn> rs_members;
+
+  bool is_member(Asn asn) const { return rs_members.count(asn) != 0; }
+};
+
+/// One reachability observation: RS communities applied by `setter` on its
+/// announcement of `prefix` toward one route server.
+struct Observation {
+  Asn setter = 0;
+  IpPrefix prefix;
+  std::vector<Community> communities;
+  Source source = Source::Passive;
+};
+
+}  // namespace mlp::core

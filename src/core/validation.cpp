@@ -1,0 +1,103 @@
+#include "core/validation.hpp"
+
+namespace mlp::core {
+
+bool path_confirms_link(const AsPath& path, const AsLink& link,
+                        const std::set<Asn>& rs_asns) {
+  const AsPath flat = path.deduplicated();
+  const auto& asns = flat.asns();
+  for (std::size_t i = 0; i + 1 < asns.size(); ++i) {
+    Asn left = asns[i];
+    std::size_t j = i + 1;
+    // Skip one interposed route-server ASN ("artificially longer" paths).
+    if (rs_asns.count(asns[j]) && j + 1 < asns.size()) ++j;
+    if (AsLink(left, asns[j]) == link) return true;
+  }
+  return false;
+}
+
+ValidationReport validate_links(const std::set<AsLink>& links,
+                                std::vector<ValidationLg>& lgs,
+                                const RelevanceFn& relevant,
+                                const PrefixSupply& prefixes,
+                                const ValidationConfig& config) {
+  ValidationReport report;
+  std::map<std::string, LgOutcome> outcomes;
+  for (const auto& lg : lgs) {
+    LgOutcome outcome;
+    outcome.name = lg.name;
+    outcome.operator_asn = lg.operator_asn;
+    outcome.shows_all_paths = lg.server->config().show_all_paths;
+    outcomes[lg.name] = outcome;
+  }
+
+  for (const AsLink& link : links) {
+    bool tested = false;
+    bool confirmed = false;
+    for (auto& lg : lgs) {
+      if (!relevant(lg, link)) continue;
+      lg::LookingGlassClient client(*lg.server);
+      // The far endpoint is the link side that is not the LG operator's
+      // own AS; when the operator is a customer of one endpoint, both
+      // sides are "far" -- test toward both, nearest-origin first.
+      std::vector<Asn> far_sides;
+      if (lg.operator_asn == link.a) {
+        far_sides = {link.b};
+      } else if (lg.operator_asn == link.b) {
+        far_sides = {link.a};
+      } else {
+        far_sides = {link.a, link.b};
+      }
+      bool lg_confirmed = false;
+      bool lg_tested = false;
+      for (const Asn far : far_sides) {
+        auto candidate_prefixes = prefixes(far);
+        std::size_t used = 0;
+        for (const auto& prefix : candidate_prefixes) {
+          if (used >= config.prefixes_per_link) break;
+          ++used;
+          ++report.queries;
+          lg_tested = true;
+          for (const auto& path : client.prefix_detail(prefix)) {
+            // Displayed paths start at the neighbor the route was learned
+            // from; the LG's own AS is the implicit first hop.
+            bgp::AsPath full = path.as_path;
+            if (full.empty() || full.head() != lg.operator_asn)
+              full.prepend(lg.operator_asn);
+            if (path_confirms_link(full, link,
+                                   config.route_server_asns)) {
+              lg_confirmed = true;
+              break;
+            }
+          }
+          if (lg_confirmed) break;
+        }
+        if (lg_confirmed) break;
+      }
+      if (lg_tested) {
+        tested = true;
+        auto& outcome = outcomes[lg.name];
+        ++outcome.tested;
+        if (lg_confirmed) ++outcome.confirmed;
+      }
+      if (lg_confirmed) {
+        confirmed = true;
+        break;  // one confirmation suffices for the link
+      }
+    }
+    if (tested) {
+      ++report.links_tested;
+      if (confirmed) {
+        ++report.links_confirmed;
+        report.confirmed_links.insert(link);
+      } else {
+        report.unconfirmed_links.insert(link);
+      }
+    }
+  }
+
+  for (auto& [name, outcome] : outcomes) report.per_lg.push_back(outcome);
+  return report;
+}
+
+}  // namespace mlp::core

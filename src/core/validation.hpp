@@ -1,0 +1,90 @@
+// Link validation against third-party looking glasses (paper section 5.1).
+//
+// For every inferred link relevant to a looking glass, query up to six
+// prefixes originated behind the far endpoint and confirm the link when
+// an adjacent pair in a returned AS path matches (route-server ASNs left
+// in the path by non-transparent RSes are tolerated). Links that only
+// appear on less-preferred paths cannot be confirmed through LGs that
+// display the best path only -- the figure 8 effect.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "lg/lg_client.hpp"
+
+namespace mlp::core {
+
+/// One looking glass available for validation.
+struct ValidationLg {
+  std::string name;
+  Asn operator_asn = 0;
+  lg::LookingGlassServer* server = nullptr;
+};
+
+struct ValidationConfig {
+  /// Maximum prefixes queried per (link, LG) pair; the paper uses six
+  /// geographically distant prefixes.
+  std::size_t prefixes_per_link = 6;
+  /// ASNs of route servers; paths like "a RS b" still confirm link a-b
+  /// (three validation LGs in the paper did not strip the RS ASN).
+  std::set<Asn> route_server_asns;
+};
+
+struct LgOutcome {
+  std::string name;
+  Asn operator_asn = 0;
+  bool shows_all_paths = true;
+  std::size_t tested = 0;
+  std::size_t confirmed = 0;
+
+  double confirm_rate() const {
+    return tested == 0 ? 1.0
+                       : static_cast<double>(confirmed) /
+                             static_cast<double>(tested);
+  }
+};
+
+struct ValidationReport {
+  std::size_t links_tested = 0;
+  std::size_t links_confirmed = 0;
+  std::size_t queries = 0;
+  std::vector<LgOutcome> per_lg;
+  std::set<AsLink> confirmed_links;
+  std::set<AsLink> unconfirmed_links;
+
+  double confirm_rate() const {
+    return links_tested == 0 ? 1.0
+                             : static_cast<double>(links_confirmed) /
+                                   static_cast<double>(links_tested);
+  }
+};
+
+/// Maps a link endpoint to prefixes originated by it or inside its
+/// customer cone, most-distant first (the caller implements the
+/// geographic spread; the validator just takes the first N).
+using PrefixSupply = std::function<std::vector<IpPrefix>(Asn endpoint)>;
+
+/// Decides whether a looking glass is relevant to a link (the paper: the
+/// LG belongs to an RS member on the link or one of its customers).
+using RelevanceFn =
+    std::function<bool(const ValidationLg& lg, const AsLink& link)>;
+
+/// Validate `links` against the available looking glasses.
+ValidationReport validate_links(const std::set<AsLink>& links,
+                                std::vector<ValidationLg>& lgs,
+                                const RelevanceFn& relevant,
+                                const PrefixSupply& prefixes,
+                                const ValidationConfig& config);
+
+/// True if `path` contains `link.a` and `link.b` adjacently, allowing an
+/// interposed route-server ASN from `rs_asns`.
+bool path_confirms_link(const AsPath& path, const AsLink& link,
+                        const std::set<Asn>& rs_asns);
+
+}  // namespace mlp::core

@@ -1,0 +1,109 @@
+#include "irr/database.hpp"
+
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace mlp::irr {
+
+std::optional<Asn> parse_as_reference(std::string_view token) {
+  if (!mlp::starts_with(token, "AS") && !mlp::starts_with(token, "as"))
+    return std::nullopt;
+  return mlp::parse_u32(token.substr(2));
+}
+
+std::string IrrDatabase::key_of(const RpslObject& object) {
+  return mlp::to_lower(object.class_name()) + "|" +
+         mlp::to_lower(object.primary_key());
+}
+
+void IrrDatabase::add(RpslObject object) {
+  if (object.empty()) return;
+  objects_[key_of(object)] = std::move(object);
+}
+
+void IrrDatabase::load(std::string_view rpsl_text) {
+  for (auto& object : parse_rpsl(rpsl_text)) add(std::move(object));
+}
+
+const RpslObject* IrrDatabase::find(std::string_view class_name,
+                                    std::string_view key) const {
+  auto it = objects_.find(mlp::to_lower(class_name) + "|" +
+                          mlp::to_lower(key));
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+std::optional<std::set<Asn>> IrrDatabase::expand_as_set(
+    std::string_view name) const {
+  const RpslObject* root = find("as-set", name);
+  if (!root) return std::nullopt;
+
+  std::set<Asn> out;
+  std::set<std::string> visited;
+  std::vector<const RpslObject*> stack = {root};
+  visited.insert(mlp::to_lower(std::string(name)));
+  while (!stack.empty()) {
+    const RpslObject* object = stack.back();
+    stack.pop_back();
+    for (const auto& members_line : object->all("members")) {
+      // Members may be comma- and/or whitespace-separated.
+      for (auto& piece : mlp::split(members_line, ',')) {
+        for (const auto& token : mlp::split_ws(piece)) {
+          if (auto asn = parse_as_reference(token)) {
+            // "AS-FOO" parses as a failed number; real ASNs succeed.
+            out.insert(*asn);
+            continue;
+          }
+          const std::string lowered = mlp::to_lower(token);
+          if (visited.count(lowered)) continue;
+          visited.insert(lowered);
+          if (const RpslObject* nested = find("as-set", token))
+            stack.push_back(nested);
+          // Unknown nested sets are silently skipped, like tools that
+          // resolve against a partial mirror.
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<PeerFilter> IrrDatabase::filter_of(
+    Asn asn, std::string_view attr, std::string_view direction_word) const {
+  const RpslObject* object = find("aut-num", "AS" + std::to_string(asn));
+  if (!object) return std::nullopt;
+  const auto lines = object->all(attr);
+  if (lines.empty()) return std::nullopt;
+
+  PeerFilter filter;
+  for (const auto& line : lines) {
+    // Expected shapes: "from AS123 accept ANY", "to AS123 announce AS42",
+    // "from ANY accept ANY", "to ANY announce AS42".
+    const auto tokens = mlp::split_ws(line);
+    if (tokens.size() < 2 || !mlp::iequals(tokens[0], direction_word))
+      continue;
+    if (mlp::iequals(tokens[1], "ANY")) {
+      filter.any = true;
+      continue;
+    }
+    if (auto peer = parse_as_reference(tokens[1])) filter.peers.insert(*peer);
+  }
+  return filter;
+}
+
+std::optional<PeerFilter> IrrDatabase::import_filter(Asn asn) const {
+  return filter_of(asn, "import", "from");
+}
+
+std::optional<PeerFilter> IrrDatabase::export_filter(Asn asn) const {
+  return filter_of(asn, "export", "to");
+}
+
+std::string IrrDatabase::dump() const {
+  std::vector<RpslObject> all;
+  all.reserve(objects_.size());
+  for (const auto& [key, object] : objects_) all.push_back(object);
+  return serialize(all);
+}
+
+}  // namespace mlp::irr

@@ -1,0 +1,72 @@
+// An in-memory IRR database over RPSL objects: as-set expansion and
+// aut-num import/export filter extraction.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "bgp/asn.hpp"
+#include "irr/rpsl.hpp"
+
+namespace mlp::irr {
+
+using bgp::Asn;
+
+/// A peer filter extracted from aut-num policy lines: either "ANY" or an
+/// explicit allow-set of peer ASNs.
+struct PeerFilter {
+  bool any = false;
+  std::set<Asn> peers;
+
+  bool allows(Asn asn) const { return any || peers.count(asn) != 0; }
+  std::size_t listed() const { return peers.size(); }
+
+  friend bool operator==(const PeerFilter&, const PeerFilter&) = default;
+};
+
+/// Registry of RPSL objects with the queries the paper's pipeline needs.
+class IrrDatabase {
+ public:
+  /// Add an object; later objects with the same (class, key) replace
+  /// earlier ones (as a fresher database dump would).
+  void add(RpslObject object);
+
+  /// Load every object from a database dump.
+  void load(std::string_view rpsl_text);
+
+  std::size_t object_count() const { return objects_.size(); }
+
+  const RpslObject* find(std::string_view class_name,
+                         std::string_view key) const;
+
+  /// Expand an as-set recursively (members may be ASNs or nested sets).
+  /// Unknown nested sets are ignored; cycles are tolerated. Returns
+  /// nullopt if the set itself does not exist.
+  std::optional<std::set<Asn>> expand_as_set(std::string_view name) const;
+
+  /// Import filter of an aut-num: who it accepts routes from. Extracted
+  /// from `import: from <peer> accept ...` lines ("from ANY" sets any).
+  /// Nullopt if the aut-num is missing or has no import lines.
+  std::optional<PeerFilter> import_filter(Asn asn) const;
+
+  /// Export filter: who it announces routes to, from
+  /// `export: to <peer> announce ...` lines ("to ANY" sets any).
+  std::optional<PeerFilter> export_filter(Asn asn) const;
+
+  /// Serialize the whole database.
+  std::string dump() const;
+
+ private:
+  static std::string key_of(const RpslObject& object);
+  std::optional<PeerFilter> filter_of(Asn asn, std::string_view attr,
+                                      std::string_view direction_word) const;
+
+  std::map<std::string, RpslObject> objects_;  // "class|KEY" -> object
+};
+
+/// Parse "AS123" into 123; nullopt for as-set names or garbage.
+std::optional<Asn> parse_as_reference(std::string_view token);
+
+}  // namespace mlp::irr

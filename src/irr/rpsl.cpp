@@ -1,0 +1,114 @@
+#include "irr/rpsl.hpp"
+
+#include "util/errors.hpp"
+#include "util/strings.hpp"
+
+namespace mlp::irr {
+
+namespace {
+const std::string kEmpty;
+}
+
+const std::string& RpslObject::class_name() const {
+  return attrs_.empty() ? kEmpty : attrs_.front().key;
+}
+
+const std::string& RpslObject::primary_key() const {
+  return attrs_.empty() ? kEmpty : attrs_.front().value;
+}
+
+std::optional<std::string> RpslObject::first(std::string_view key) const {
+  for (const auto& attr : attrs_)
+    if (mlp::iequals(attr.key, key)) return attr.value;
+  return std::nullopt;
+}
+
+std::vector<std::string> RpslObject::all(std::string_view key) const {
+  std::vector<std::string> out;
+  for (const auto& attr : attrs_)
+    if (mlp::iequals(attr.key, key)) out.push_back(attr.value);
+  return out;
+}
+
+void RpslObject::add(std::string key, std::string value) {
+  attrs_.push_back(RpslAttribute{mlp::to_lower(key), std::move(value)});
+}
+
+std::vector<RpslObject> parse_rpsl(std::string_view text) {
+  std::vector<RpslObject> objects;
+  std::vector<RpslAttribute> current;
+
+  auto flush = [&] {
+    if (!current.empty()) {
+      objects.emplace_back(std::move(current));
+      current.clear();
+    }
+  };
+
+  for (const auto& raw_line : mlp::split(text, '\n')) {
+    // Strip comments ('%' whole-line, '#' inline).
+    std::string_view line = raw_line;
+    if (!line.empty() && line.front() == '%') continue;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+
+    if (mlp::trim(line).empty()) {
+      flush();
+      continue;
+    }
+
+    // Continuation: leading whitespace or '+'.
+    if (line.front() == ' ' || line.front() == '\t' || line.front() == '+') {
+      if (current.empty())
+        throw ParseError("RPSL: continuation line outside an object: " +
+                         std::string(raw_line));
+      std::string_view body = line;
+      if (body.front() == '+') body.remove_prefix(1);
+      const std::string_view trimmed = mlp::trim(body);
+      if (!trimmed.empty()) {
+        if (!current.back().value.empty()) current.back().value += ' ';
+        current.back().value += trimmed;
+      }
+      continue;
+    }
+
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos)
+      throw ParseError("RPSL: attribute line without colon: " +
+                       std::string(raw_line));
+    RpslAttribute attr;
+    attr.key = mlp::to_lower(mlp::trim(line.substr(0, colon)));
+    attr.value = std::string(mlp::trim(line.substr(colon + 1)));
+    if (attr.key.empty())
+      throw ParseError("RPSL: empty attribute key: " + std::string(raw_line));
+    current.push_back(std::move(attr));
+  }
+  flush();
+  return objects;
+}
+
+std::string serialize(const RpslObject& object) {
+  std::string out;
+  for (const auto& attr : object.attributes()) {
+    out += attr.key;
+    out += ':';
+    // Align values at column 16 like RIPE whois output.
+    const std::size_t pad =
+        attr.key.size() + 1 < 16 ? 16 - attr.key.size() - 1 : 1;
+    out.append(pad, ' ');
+    out += attr.value;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string serialize(const std::vector<RpslObject>& objects) {
+  std::string out;
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    if (i) out += '\n';
+    out += serialize(objects[i]);
+  }
+  return out;
+}
+
+}  // namespace mlp::irr

@@ -1,0 +1,63 @@
+// RPSL (Routing Policy Specification Language, RFC 2622) object model and
+// parser, covering the subset the paper consumes from the IRR:
+//
+//   as-set objects  -- route-server member lists (connectivity source ii)
+//   aut-num objects -- import/export policy lines (section 4.4 filters)
+//
+// The textual format: objects are blocks of "key: value" attributes
+// separated by blank lines; continuation lines start with whitespace or
+// '+'; '%' and '#' introduce comments.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mlp::irr {
+
+struct RpslAttribute {
+  std::string key;    // lower-cased
+  std::string value;  // continuation lines joined with single spaces
+
+  friend bool operator==(const RpslAttribute&,
+                         const RpslAttribute&) = default;
+};
+
+/// One RPSL object (a block of attributes).
+class RpslObject {
+ public:
+  RpslObject() = default;
+  explicit RpslObject(std::vector<RpslAttribute> attrs)
+      : attrs_(std::move(attrs)) {}
+
+  /// The class is the key of the first attribute ("aut-num", "as-set"...).
+  const std::string& class_name() const;
+  /// The primary key is the value of the first attribute ("AS8359").
+  const std::string& primary_key() const;
+
+  const std::vector<RpslAttribute>& attributes() const { return attrs_; }
+  bool empty() const { return attrs_.empty(); }
+
+  /// First value for `key` (case-insensitive), if any.
+  std::optional<std::string> first(std::string_view key) const;
+  /// All values for `key`, in order.
+  std::vector<std::string> all(std::string_view key) const;
+
+  void add(std::string key, std::string value);
+
+  friend bool operator==(const RpslObject&, const RpslObject&) = default;
+
+ private:
+  std::vector<RpslAttribute> attrs_;
+};
+
+/// Parse a whole database file into objects. Malformed lines (no colon,
+/// outside a continuation) raise ParseError.
+std::vector<RpslObject> parse_rpsl(std::string_view text);
+
+/// Render an object in canonical "key: value" form.
+std::string serialize(const RpslObject& object);
+std::string serialize(const std::vector<RpslObject>& objects);
+
+}  // namespace mlp::irr

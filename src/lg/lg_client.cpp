@@ -1,0 +1,128 @@
+#include "lg/lg_client.hpp"
+
+#include "util/errors.hpp"
+#include "util/strings.hpp"
+
+namespace mlp::lg {
+
+std::vector<NeighborInfo> parse_summary(std::string_view text) {
+  std::vector<NeighborInfo> out;
+  bool saw_header = false;
+  for (const auto& line : mlp::split(text, '\n')) {
+    const std::string_view trimmed = mlp::trim(line);
+    if (trimmed.empty()) continue;
+    if (mlp::starts_with(trimmed, "%"))
+      throw ParseError("parse_summary: LG returned error: " +
+                       std::string(trimmed));
+    if (mlp::starts_with(trimmed, "Neighbor")) {
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header) continue;  // banner lines
+    if (mlp::starts_with(trimmed, "Total")) break;
+    const auto fields = mlp::split_ws(trimmed);
+    if (fields.size() != 3) continue;  // tolerate decoration
+    const auto ip = bgp::parse_ipv4(fields[0]);
+    const auto asn = mlp::parse_u32(fields[1]);
+    const auto count = mlp::parse_u64(fields[2]);
+    if (!ip || !asn || !count) continue;
+    out.push_back(NeighborInfo{*ip, *asn, static_cast<std::size_t>(*count)});
+  }
+  if (!saw_header)
+    throw ParseError("parse_summary: no neighbor table in output");
+  return out;
+}
+
+std::vector<bgp::IpPrefix> parse_neighbor_routes(std::string_view text) {
+  std::vector<bgp::IpPrefix> out;
+  for (const auto& line : mlp::split(text, '\n')) {
+    const std::string_view trimmed = mlp::trim(line);
+    if (trimmed.empty() || mlp::starts_with(trimmed, "Routes") ||
+        mlp::starts_with(trimmed, "Total"))
+      continue;
+    if (mlp::starts_with(trimmed, "%"))
+      throw ParseError("parse_neighbor_routes: LG returned error: " +
+                       std::string(trimmed));
+    if (auto prefix = bgp::IpPrefix::parse(trimmed)) out.push_back(*prefix);
+  }
+  return out;
+}
+
+std::vector<PathInfo> parse_prefix_detail(std::string_view text) {
+  std::vector<PathInfo> out;
+  for (const auto& line : mlp::split(text, '\n')) {
+    if (line.empty()) continue;
+    if (mlp::starts_with(line, "%")) return {};  // not in table
+    if (mlp::starts_with(line, "BGP routing table") ||
+        mlp::starts_with(line, "Paths:"))
+      continue;
+    // Path header lines are indented two spaces; attribute lines four.
+    const bool attribute_line = mlp::starts_with(line, "    ");
+    if (!attribute_line && mlp::starts_with(line, "  ")) {
+      auto path = bgp::AsPath::parse(mlp::trim(line));
+      if (!path)
+        throw ParseError("parse_prefix_detail: bad AS path line: " + line);
+      PathInfo info;
+      info.as_path = *path;
+      out.push_back(std::move(info));
+      continue;
+    }
+    if (!attribute_line || out.empty()) continue;
+    const std::string_view body = mlp::trim(line);
+    if (mlp::starts_with(body, "from ")) {
+      const auto fields = mlp::split_ws(body);
+      // from <ip> (AS<asn>)
+      if (fields.size() >= 3) {
+        if (auto ip = bgp::parse_ipv4(fields[1])) out.back().from_ip = *ip;
+        std::string_view asn_text = fields[2];
+        if (mlp::starts_with(asn_text, "(AS") && asn_text.size() > 4) {
+          asn_text.remove_prefix(3);
+          asn_text.remove_suffix(1);
+          if (auto asn = mlp::parse_u32(asn_text)) out.back().from_asn = *asn;
+        }
+      }
+    } else if (mlp::starts_with(body, "next-hop ")) {
+      // next-hop <ip>, localpref <n>
+      const auto fields = mlp::split_ws(body);
+      if (fields.size() >= 2) {
+        std::string hop = fields[1];
+        if (!hop.empty() && hop.back() == ',') hop.pop_back();
+        if (auto ip = bgp::parse_ipv4(hop)) out.back().next_hop = *ip;
+      }
+      if (fields.size() >= 4) {
+        if (auto lp = mlp::parse_u32(fields[3])) out.back().local_pref = *lp;
+      }
+    } else if (mlp::starts_with(body, "communities:")) {
+      auto list = bgp::parse_community_list(body.substr(12));
+      if (!list)
+        throw ParseError("parse_prefix_detail: bad communities line: " +
+                         line);
+      out.back().communities = std::move(*list);
+    } else if (body == "best") {
+      out.back().best = true;
+    }
+  }
+  return out;
+}
+
+std::vector<NeighborInfo> LookingGlassClient::neighbors() {
+  ++queries_;
+  return parse_summary(server_->execute("show ip bgp summary"));
+}
+
+std::vector<bgp::IpPrefix> LookingGlassClient::neighbor_routes(
+    std::uint32_t neighbor_ip) {
+  ++queries_;
+  return parse_neighbor_routes(
+      server_->execute("show ip bgp neighbors " +
+                       bgp::ipv4_to_string(neighbor_ip) + " routes"));
+}
+
+std::vector<PathInfo> LookingGlassClient::prefix_detail(
+    const bgp::IpPrefix& prefix) {
+  ++queries_;
+  return parse_prefix_detail(
+      server_->execute("show ip bgp " + prefix.to_string()));
+}
+
+}  // namespace mlp::lg

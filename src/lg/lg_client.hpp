@@ -1,0 +1,69 @@
+// Looking-glass client: issues show commands and parses the textual
+// responses back into structured data, exactly as the paper's HTTP
+// scraping scripts do (section 5: "We wrote a script to automate this
+// (HTTP) querying of LGs and parsing of responses").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgp/aspath.hpp"
+#include "bgp/community.hpp"
+#include "bgp/prefix.hpp"
+#include "lg/lg_server.hpp"
+
+namespace mlp::lg {
+
+/// One row of `show ip bgp summary`.
+struct NeighborInfo {
+  std::uint32_t ip = 0;
+  bgp::Asn asn = 0;
+  std::size_t prefixes_received = 0;
+
+  friend bool operator==(const NeighborInfo&, const NeighborInfo&) = default;
+};
+
+/// One path block of `show ip bgp <prefix>`.
+struct PathInfo {
+  bgp::AsPath as_path;
+  bgp::Asn from_asn = 0;
+  std::uint32_t from_ip = 0;
+  std::uint32_t next_hop = 0;
+  std::uint32_t local_pref = 100;
+  std::vector<bgp::Community> communities;
+  bool best = false;
+};
+
+/// Parse the output of `show ip bgp summary`. Throws ParseError on text
+/// that does not look like a summary at all; tolerates unknown banners.
+std::vector<NeighborInfo> parse_summary(std::string_view text);
+
+/// Parse the output of `show ip bgp neighbors <ip> routes`.
+std::vector<bgp::IpPrefix> parse_neighbor_routes(std::string_view text);
+
+/// Parse the output of `show ip bgp <prefix>`. An empty result means the
+/// LG reported the prefix missing.
+std::vector<PathInfo> parse_prefix_detail(std::string_view text);
+
+/// Convenience wrapper pairing a server with the parsers, with query
+/// accounting for the cost model of section 4.3.
+class LookingGlassClient {
+ public:
+  explicit LookingGlassClient(LookingGlassServer& server) : server_(&server) {}
+
+  std::vector<NeighborInfo> neighbors();
+  std::vector<bgp::IpPrefix> neighbor_routes(std::uint32_t neighbor_ip);
+  std::vector<PathInfo> prefix_detail(const bgp::IpPrefix& prefix);
+
+  /// Queries issued through this client.
+  std::size_t queries_issued() const { return queries_; }
+
+ private:
+  LookingGlassServer* server_;
+  std::size_t queries_ = 0;
+};
+
+}  // namespace mlp::lg

@@ -1,0 +1,119 @@
+#include "lg/lg_server.hpp"
+
+#include <algorithm>
+
+#include "bgp/prefix.hpp"
+#include "util/strings.hpp"
+
+namespace mlp::lg {
+
+using bgp::Asn;
+using bgp::IpPrefix;
+
+LookingGlassServer::LookingGlassServer(LgConfig config, const bgp::Rib* rib)
+    : config_(std::move(config)), rib_(rib) {}
+
+bool LookingGlassServer::hidden(Asn asn) const {
+  return std::find(config_.hidden_members.begin(),
+                   config_.hidden_members.end(),
+                   asn) != config_.hidden_members.end();
+}
+
+std::string LookingGlassServer::execute(const std::string& command) {
+  ++queries_;
+  const auto tokens = mlp::split_ws(command);
+  // Accept: show ip bgp [summary | neighbors <ip> routes | <prefix>]
+  if (tokens.size() >= 3 && tokens[0] == "show" && tokens[1] == "ip" &&
+      tokens[2] == "bgp") {
+    if (tokens.size() == 4 && tokens[3] == "summary") return cmd_summary();
+    if (tokens.size() == 3) return cmd_summary();  // LG-style shorthand
+    if (tokens.size() == 6 && tokens[3] == "neighbors" &&
+        tokens[5] == "routes")
+      return cmd_neighbor_routes(tokens[4]);
+    if (tokens.size() == 4) return cmd_prefix(tokens[3]);
+  }
+  return "% Unknown or unsupported command: " + command + "\n";
+}
+
+std::string LookingGlassServer::cmd_summary() const {
+  std::string out;
+  out += "BGP router identifier " + config_.name + ", local AS number " +
+         std::to_string(config_.operator_asn) + "\n";
+  out += "Neighbor         AS        PfxRcd\n";
+  // Aggregate per (peer asn, peer ip) session.
+  std::map<std::pair<std::uint32_t, Asn>, std::size_t> sessions;
+  for (const auto& prefix : rib_->prefixes()) {
+    for (const auto& entry : rib_->paths(prefix)) {
+      if (hidden(entry.peer_asn)) continue;
+      ++sessions[{entry.peer_ip, entry.peer_asn}];
+    }
+  }
+  for (const auto& [key, count] : sessions) {
+    out += bgp::ipv4_to_string(key.first) + " " + std::to_string(key.second) +
+           " " + std::to_string(count) + "\n";
+  }
+  out += "Total neighbors: " + std::to_string(sessions.size()) + "\n";
+  return out;
+}
+
+std::string LookingGlassServer::cmd_neighbor_routes(
+    const std::string& ip_text) const {
+  const auto ip = bgp::parse_ipv4(ip_text);
+  if (!ip) return "% Invalid neighbor address: " + ip_text + "\n";
+  std::string out = "Routes advertised by neighbor " + ip_text + ":\n";
+  std::size_t count = 0;
+  for (const auto& prefix : rib_->prefixes()) {
+    for (const auto& entry : rib_->paths(prefix)) {
+      if (entry.peer_ip != *ip || hidden(entry.peer_asn)) continue;
+      out += prefix.to_string() + "\n";
+      ++count;
+      break;
+    }
+  }
+  out += "Total: " + std::to_string(count) + "\n";
+  return out;
+}
+
+std::string LookingGlassServer::cmd_prefix(
+    const std::string& prefix_text) const {
+  const auto prefix = IpPrefix::parse(prefix_text);
+  if (!prefix) return "% Invalid prefix: " + prefix_text + "\n";
+  const auto& all_paths = rib_->paths(*prefix);
+  std::vector<const bgp::RibEntry*> visible;
+  for (const auto& entry : all_paths) {
+    if (!hidden(entry.peer_asn)) visible.push_back(&entry);
+  }
+  if (visible.empty())
+    return "% Network not in table: " + prefix_text + "\n";
+
+  const bgp::RibEntry* best = visible.front();
+  for (const auto* entry : visible)
+    if (bgp::Rib::better(*entry, *best)) best = entry;
+
+  std::vector<const bgp::RibEntry*> shown;
+  if (config_.show_all_paths) {
+    shown = visible;
+  } else {
+    shown.push_back(best);
+  }
+
+  std::string out = "BGP routing table entry for " + prefix->to_string() +
+                    "\nPaths: (" + std::to_string(shown.size()) +
+                    " available)\n";
+  for (const auto* entry : shown) {
+    const auto& attrs = entry->route.attrs;
+    out += "  " + attrs.as_path.to_string() + "\n";
+    out += "    from " + bgp::ipv4_to_string(entry->peer_ip) + " (AS" +
+           std::to_string(entry->peer_asn) + ")\n";
+    out += "    next-hop " + bgp::ipv4_to_string(attrs.next_hop) +
+           ", localpref " +
+           std::to_string(attrs.has_local_pref ? attrs.local_pref : 100) +
+           "\n";
+    if (config_.show_communities && !attrs.communities.empty())
+      out += "    communities: " + bgp::to_string(attrs.communities) + "\n";
+    if (entry == best) out += "    best\n";
+  }
+  return out;
+}
+
+}  // namespace mlp::lg

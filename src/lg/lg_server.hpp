@@ -1,0 +1,74 @@
+// Looking-glass servers.
+//
+// A looking glass exposes non-privileged BGP show commands over a web
+// interface (paper section 2.2). This simulation renders textual output
+// from a RIB view, because the paper's active pipeline scrapes and parses
+// exactly such text. Two server personalities matter for validation
+// (section 5.1): LGs that display all paths and LGs that display only the
+// best path, which can hide less-preferred route-server links.
+//
+// Supported commands:
+//   show ip bgp summary                   neighbor table (ASN, IP, pfx count)
+//   show ip bgp neighbors <ip> routes     prefixes advertised by a neighbor
+//   show ip bgp <prefix>                  path details incl. communities
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bgp/rib.hpp"
+
+namespace mlp::lg {
+
+/// Server personality and rate policy.
+struct LgConfig {
+  std::string name;
+  bgp::Asn operator_asn = 0;
+  /// Show every path for a prefix (true) or only the best path (false).
+  bool show_all_paths = true;
+  /// Render community attributes (France-IX's LG famously did not, paper
+  /// section 5 footnote 2).
+  bool show_communities = true;
+  /// Minimum seconds between queries enforced by the operator; the client
+  /// accounts simulated time against this (paper section 4.3 assumes one
+  /// query per 10 seconds).
+  double min_query_interval_s = 10.0;
+  /// Sessions the operator hides from output (DTEL-IX hid 5 members,
+  /// section 5.4 footnote 3).
+  std::vector<bgp::Asn> hidden_members;
+};
+
+/// A looking glass over a borrowed RIB (route server table or an
+/// operator's own table). The RIB must outlive the server.
+class LookingGlassServer {
+ public:
+  LookingGlassServer(LgConfig config, const bgp::Rib* rib);
+
+  const LgConfig& config() const { return config_; }
+
+  /// Execute one command line and return the rendered text output.
+  /// Unknown commands yield an error banner (never an exception), like a
+  /// real CGI looking glass. Increments the query counter.
+  std::string execute(const std::string& command);
+
+  /// Number of queries served so far.
+  std::size_t queries_served() const { return queries_; }
+
+  /// Simulated wall-clock seconds a polite client has spent, i.e.
+  /// queries_served() * min_query_interval_s.
+  double simulated_elapsed_s() const {
+    return static_cast<double>(queries_) * config_.min_query_interval_s;
+  }
+
+ private:
+  bool hidden(bgp::Asn asn) const;
+  std::string cmd_summary() const;
+  std::string cmd_neighbor_routes(const std::string& ip_text) const;
+  std::string cmd_prefix(const std::string& prefix_text) const;
+
+  LgConfig config_;
+  const bgp::Rib* rib_;
+  std::size_t queries_ = 0;
+};
+
+}  // namespace mlp::lg

@@ -1,0 +1,227 @@
+#include "mrt/mrt.hpp"
+
+#include <fstream>
+
+#include "util/errors.hpp"
+
+namespace mlp::mrt {
+
+namespace {
+
+constexpr std::uint8_t kPeerTypeAs4 = 0x02;  // bit 1: AS is 4 bytes
+// bit 0 (0x01) would flag an IPv6 peer address; this codec is IPv4-only.
+
+std::vector<std::uint8_t> encode_peer_index(const PeerIndexTable& table) {
+  ByteWriter w;
+  w.u32(table.collector_bgp_id);
+  if (table.view_name.size() > 0xffff)
+    throw InvalidArgument("PEER_INDEX_TABLE: view name too long");
+  w.u16(static_cast<std::uint16_t>(table.view_name.size()));
+  w.bytes(table.view_name);
+  if (table.peers.size() > 0xffff)
+    throw InvalidArgument("PEER_INDEX_TABLE: too many peers");
+  w.u16(static_cast<std::uint16_t>(table.peers.size()));
+  for (const auto& peer : table.peers) {
+    w.u8(peer.four_octet_as ? kPeerTypeAs4 : 0);
+    w.u32(peer.bgp_id);
+    w.u32(peer.ip);
+    if (peer.four_octet_as) {
+      w.u32(peer.asn);
+    } else {
+      if (!bgp::is_16bit(peer.asn))
+        throw InvalidArgument("PEER_INDEX_TABLE: 32-bit ASN needs AS4 peer");
+      w.u16(static_cast<std::uint16_t>(peer.asn));
+    }
+  }
+  return w.take();
+}
+
+PeerIndexTable decode_peer_index(ByteReader& r) {
+  PeerIndexTable table;
+  table.collector_bgp_id = r.u32();
+  const std::uint16_t name_len = r.u16();
+  auto name = r.bytes(name_len);
+  table.view_name.assign(name.begin(), name.end());
+  const std::uint16_t count = r.u16();
+  table.peers.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    PeerEntry peer;
+    const std::uint8_t type = r.u8();
+    if (type & 0x01)
+      throw ParseError("PEER_INDEX_TABLE: IPv6 peers not supported");
+    peer.four_octet_as = (type & kPeerTypeAs4) != 0;
+    peer.bgp_id = r.u32();
+    peer.ip = r.u32();
+    peer.asn = peer.four_octet_as ? r.u32() : r.u16();
+    table.peers.push_back(peer);
+  }
+  if (!r.done()) throw ParseError("PEER_INDEX_TABLE: trailing bytes");
+  return table;
+}
+
+std::vector<std::uint8_t> encode_rib(const RibRecord& record) {
+  ByteWriter w;
+  w.u32(record.sequence);
+  bgp::encode_nlri_prefix(w, record.prefix);
+  if (record.entries.size() > 0xffff)
+    throw InvalidArgument("RIB record: too many entries");
+  w.u16(static_cast<std::uint16_t>(record.entries.size()));
+  for (const auto& entry : record.entries) {
+    w.u16(entry.peer_index);
+    w.u32(entry.originated_time);
+    ByteWriter attrs;
+    // RFC 6396 4.3.4: TABLE_DUMP_V2 attribute blocks always use 4-byte ASNs.
+    bgp::encode_path_attributes(attrs, entry.attrs, /*four_octet_as=*/true);
+    if (attrs.size() > 0xffff)
+      throw InvalidArgument("RIB record: attribute block too long");
+    w.u16(static_cast<std::uint16_t>(attrs.size()));
+    w.bytes(attrs.data());
+  }
+  return w.take();
+}
+
+RibRecord decode_rib(ByteReader& r) {
+  RibRecord record;
+  record.sequence = r.u32();
+  record.prefix = bgp::decode_nlri_prefix(r);
+  const std::uint16_t count = r.u16();
+  record.entries.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    RibEntryRecord entry;
+    entry.peer_index = r.u16();
+    entry.originated_time = r.u32();
+    ByteReader attrs = r.sub(r.u16());
+    entry.attrs = bgp::decode_path_attributes(attrs, /*four_octet_as=*/true);
+    record.entries.push_back(std::move(entry));
+  }
+  if (!r.done()) throw ParseError("RIB record: trailing bytes");
+  return record;
+}
+
+std::vector<std::uint8_t> encode_bgp4mp(const Bgp4mpMessage& message) {
+  ByteWriter w;
+  if (message.four_octet_as) {
+    w.u32(message.peer_asn);
+    w.u32(message.local_asn);
+  } else {
+    if (!bgp::is_16bit(message.peer_asn) || !bgp::is_16bit(message.local_asn))
+      throw InvalidArgument("BGP4MP_MESSAGE: 32-bit ASN needs AS4 subtype");
+    w.u16(static_cast<std::uint16_t>(message.peer_asn));
+    w.u16(static_cast<std::uint16_t>(message.local_asn));
+  }
+  w.u16(message.interface_index);
+  w.u16(1);  // AFI: IPv4
+  w.u32(message.peer_ip);
+  w.u32(message.local_ip);
+  auto update = bgp::encode_update(message.update, message.four_octet_as);
+  w.bytes(update);
+  return w.take();
+}
+
+Bgp4mpMessage decode_bgp4mp(ByteReader& r, bool four_octet_as) {
+  Bgp4mpMessage message;
+  message.four_octet_as = four_octet_as;
+  if (four_octet_as) {
+    message.peer_asn = r.u32();
+    message.local_asn = r.u32();
+  } else {
+    message.peer_asn = r.u16();
+    message.local_asn = r.u16();
+  }
+  message.interface_index = r.u16();
+  const std::uint16_t afi = r.u16();
+  if (afi != 1) throw ParseError("BGP4MP: only AFI 1 (IPv4) supported");
+  message.peer_ip = r.u32();
+  message.local_ip = r.u32();
+  auto raw = r.bytes(r.remaining());
+  message.update = bgp::decode_update(raw, four_octet_as);
+  return message;
+}
+
+}  // namespace
+
+void MrtWriter::header(std::uint32_t timestamp, MrtType type,
+                       std::uint16_t subtype,
+                       std::span<const std::uint8_t> body) {
+  writer_.u32(timestamp);
+  writer_.u16(static_cast<std::uint16_t>(type));
+  writer_.u16(subtype);
+  writer_.u32(static_cast<std::uint32_t>(body.size()));
+  writer_.bytes(body);
+}
+
+void MrtWriter::write_peer_index(std::uint32_t timestamp,
+                                 const PeerIndexTable& table) {
+  header(timestamp, MrtType::TableDumpV2,
+         static_cast<std::uint16_t>(TableDumpV2Subtype::PeerIndexTable),
+         encode_peer_index(table));
+}
+
+void MrtWriter::write_rib(std::uint32_t timestamp, const RibRecord& record) {
+  header(timestamp, MrtType::TableDumpV2,
+         static_cast<std::uint16_t>(TableDumpV2Subtype::RibIpv4Unicast),
+         encode_rib(record));
+}
+
+void MrtWriter::write_bgp4mp(std::uint32_t timestamp,
+                             const Bgp4mpMessage& message) {
+  header(timestamp, MrtType::Bgp4mp,
+         static_cast<std::uint16_t>(message.four_octet_as
+                                        ? Bgp4mpSubtype::MessageAs4
+                                        : Bgp4mpSubtype::Message),
+         encode_bgp4mp(message));
+}
+
+std::optional<MrtRecord> MrtReader::next() {
+  while (!reader_.done()) {
+    const std::uint32_t timestamp = reader_.u32();
+    const std::uint16_t type = reader_.u16();
+    const std::uint16_t subtype = reader_.u16();
+    const std::uint32_t length = reader_.u32();
+    ByteReader body = reader_.sub(length);
+
+    if (type == static_cast<std::uint16_t>(MrtType::TableDumpV2)) {
+      if (subtype ==
+          static_cast<std::uint16_t>(TableDumpV2Subtype::PeerIndexTable))
+        return MrtRecord{timestamp, decode_peer_index(body)};
+      if (subtype ==
+          static_cast<std::uint16_t>(TableDumpV2Subtype::RibIpv4Unicast))
+        return MrtRecord{timestamp, decode_rib(body)};
+    } else if (type == static_cast<std::uint16_t>(MrtType::Bgp4mp)) {
+      if (subtype == static_cast<std::uint16_t>(Bgp4mpSubtype::Message))
+        return MrtRecord{timestamp, decode_bgp4mp(body, false)};
+      if (subtype == static_cast<std::uint16_t>(Bgp4mpSubtype::MessageAs4))
+        return MrtRecord{timestamp, decode_bgp4mp(body, true)};
+    }
+    ++skipped_;  // unknown type/subtype: skip the body and continue
+  }
+  return std::nullopt;
+}
+
+std::vector<MrtRecord> decode_all(std::span<const std::uint8_t> data) {
+  MrtReader reader(data);
+  std::vector<MrtRecord> out;
+  while (auto record = reader.next()) out.push_back(std::move(*record));
+  return out;
+}
+
+void save_file(const std::string& path, std::span<const std::uint8_t> data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw InvalidArgument("save_file: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw InvalidArgument("save_file: write failed for " + path);
+}
+
+std::vector<std::uint8_t> load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw InvalidArgument("load_file: cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()), size);
+  if (!in) throw InvalidArgument("load_file: read failed for " + path);
+  return data;
+}
+
+}  // namespace mlp::mrt

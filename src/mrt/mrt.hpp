@@ -1,0 +1,146 @@
+// MRT (Multi-Threaded Routing Toolkit) export format, RFC 6396.
+//
+// Route Views and RIPE RIS publish BGP table snapshots as TABLE_DUMP_V2
+// records and update streams as BGP4MP records. The paper's passive
+// pipeline consumes both; this codec implements the subset needed:
+//
+//   TABLE_DUMP_V2 / PEER_INDEX_TABLE   (13, 1)
+//   TABLE_DUMP_V2 / RIB_IPV4_UNICAST   (13, 2)
+//   BGP4MP        / BGP4MP_MESSAGE     (16, 1)   2-byte peer ASNs
+//   BGP4MP        / BGP4MP_MESSAGE_AS4 (16, 4)   4-byte peer ASNs
+//
+// Per RFC 6396 section 4.3.4, AS numbers inside TABLE_DUMP_V2 attribute
+// blocks are always 4 bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "bgp/asn.hpp"
+#include "bgp/prefix.hpp"
+#include "bgp/route.hpp"
+#include "bgp/wire.hpp"
+#include "util/bytes.hpp"
+
+namespace mlp::mrt {
+
+enum class MrtType : std::uint16_t {
+  TableDumpV2 = 13,
+  Bgp4mp = 16,
+};
+
+enum class TableDumpV2Subtype : std::uint16_t {
+  PeerIndexTable = 1,
+  RibIpv4Unicast = 2,
+};
+
+enum class Bgp4mpSubtype : std::uint16_t {
+  Message = 1,
+  MessageAs4 = 4,
+};
+
+/// One peer in a PEER_INDEX_TABLE.
+struct PeerEntry {
+  std::uint32_t bgp_id = 0;
+  std::uint32_t ip = 0;  // IPv4 only in this reproduction
+  bgp::Asn asn = 0;
+  bool four_octet_as = true;
+
+  friend bool operator==(const PeerEntry&, const PeerEntry&) = default;
+};
+
+/// TABLE_DUMP_V2 PEER_INDEX_TABLE record.
+struct PeerIndexTable {
+  std::uint32_t collector_bgp_id = 0;
+  std::string view_name;
+  std::vector<PeerEntry> peers;
+
+  friend bool operator==(const PeerIndexTable&,
+                         const PeerIndexTable&) = default;
+};
+
+/// One (peer, attributes) pair of a RIB_IPV4_UNICAST record.
+struct RibEntryRecord {
+  std::uint16_t peer_index = 0;
+  std::uint32_t originated_time = 0;
+  bgp::PathAttributes attrs;
+
+  friend bool operator==(const RibEntryRecord&,
+                         const RibEntryRecord&) = default;
+};
+
+/// TABLE_DUMP_V2 RIB_IPV4_UNICAST record: all paths for one prefix.
+struct RibRecord {
+  std::uint32_t sequence = 0;
+  bgp::IpPrefix prefix;
+  std::vector<RibEntryRecord> entries;
+
+  friend bool operator==(const RibRecord&, const RibRecord&) = default;
+};
+
+/// BGP4MP_MESSAGE / BGP4MP_MESSAGE_AS4 record carrying one BGP UPDATE.
+struct Bgp4mpMessage {
+  bgp::Asn peer_asn = 0;
+  bgp::Asn local_asn = 0;
+  std::uint16_t interface_index = 0;
+  std::uint32_t peer_ip = 0;
+  std::uint32_t local_ip = 0;
+  bool four_octet_as = true;
+  bgp::UpdateMessage update;
+
+  friend bool operator==(const Bgp4mpMessage&, const Bgp4mpMessage&) = default;
+};
+
+/// A decoded MRT record with its header timestamp.
+struct MrtRecord {
+  std::uint32_t timestamp = 0;
+  std::variant<PeerIndexTable, RibRecord, Bgp4mpMessage> body;
+};
+
+/// Serialises MRT records into a byte stream (one archive file).
+class MrtWriter {
+ public:
+  void write_peer_index(std::uint32_t timestamp, const PeerIndexTable& table);
+  void write_rib(std::uint32_t timestamp, const RibRecord& record);
+  void write_bgp4mp(std::uint32_t timestamp, const Bgp4mpMessage& message);
+
+  const std::vector<std::uint8_t>& data() const { return writer_.data(); }
+  std::vector<std::uint8_t> take() { return writer_.take(); }
+
+ private:
+  void header(std::uint32_t timestamp, MrtType type, std::uint16_t subtype,
+              std::span<const std::uint8_t> body);
+  ByteWriter writer_;
+};
+
+/// Streams MRT records out of a byte buffer. Unknown record types are
+/// skipped (their length field is honoured), matching how MRT consumers
+/// tolerate records they do not understand.
+class MrtReader {
+ public:
+  explicit MrtReader(std::span<const std::uint8_t> data) : reader_(data) {}
+
+  /// Next known record, or nullopt at end of stream. Throws ParseError on
+  /// structurally invalid input.
+  std::optional<MrtRecord> next();
+
+  /// Number of unknown-type records skipped so far.
+  std::size_t skipped() const { return skipped_; }
+
+ private:
+  ByteReader reader_;
+  std::size_t skipped_ = 0;
+};
+
+/// Decode every known record in a buffer.
+std::vector<MrtRecord> decode_all(std::span<const std::uint8_t> data);
+
+/// File helpers (binary read/write of whole archives).
+void save_file(const std::string& path, std::span<const std::uint8_t> data);
+std::vector<std::uint8_t> load_file(const std::string& path);
+
+}  // namespace mlp::mrt

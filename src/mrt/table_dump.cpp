@@ -1,0 +1,112 @@
+#include "mrt/table_dump.hpp"
+
+#include <map>
+#include <utility>
+
+#include "util/errors.hpp"
+
+namespace mlp::mrt {
+
+std::vector<std::uint8_t> dump_rib(const bgp::Rib& rib,
+                                   std::uint32_t timestamp,
+                                   std::uint32_t collector_bgp_id,
+                                   const std::string& view_name) {
+  // Assign a peer index to every (asn, ip) session present in the RIB.
+  std::map<std::pair<bgp::Asn, std::uint32_t>, std::uint16_t> index_of;
+  PeerIndexTable table;
+  table.collector_bgp_id = collector_bgp_id;
+  table.view_name = view_name;
+  for (const auto& prefix : rib.prefixes()) {
+    for (const auto& entry : rib.paths(prefix)) {
+      const auto key = std::make_pair(entry.peer_asn, entry.peer_ip);
+      if (index_of.count(key)) continue;
+      index_of[key] = static_cast<std::uint16_t>(table.peers.size());
+      table.peers.push_back(PeerEntry{/*bgp_id=*/entry.peer_ip, entry.peer_ip,
+                                      entry.peer_asn,
+                                      /*four_octet_as=*/true});
+    }
+  }
+
+  MrtWriter writer;
+  writer.write_peer_index(timestamp, table);
+  std::uint32_t sequence = 0;
+  for (const auto& prefix : rib.prefixes()) {
+    RibRecord record;
+    record.sequence = sequence++;
+    record.prefix = prefix;
+    for (const auto& entry : rib.paths(prefix)) {
+      RibEntryRecord e;
+      e.peer_index = index_of.at({entry.peer_asn, entry.peer_ip});
+      e.originated_time = timestamp;
+      e.attrs = entry.route.attrs;
+      record.entries.push_back(std::move(e));
+    }
+    writer.write_rib(timestamp, record);
+  }
+  return writer.take();
+}
+
+bgp::Rib parse_rib(std::span<const std::uint8_t> data) {
+  bgp::Rib rib;
+  MrtReader reader(data);
+  const PeerIndexTable* peers = nullptr;
+  PeerIndexTable table;
+  while (auto record = reader.next()) {
+    if (auto* pit = std::get_if<PeerIndexTable>(&record->body)) {
+      table = std::move(*pit);
+      peers = &table;
+      continue;
+    }
+    auto* rib_record = std::get_if<RibRecord>(&record->body);
+    if (!rib_record) continue;  // BGP4MP in a mixed stream: not a RIB entry
+    if (!peers)
+      throw ParseError("TABLE_DUMP_V2: RIB record before PEER_INDEX_TABLE");
+    for (auto& entry : rib_record->entries) {
+      if (entry.peer_index >= peers->peers.size())
+        throw ParseError("TABLE_DUMP_V2: peer index " +
+                         std::to_string(entry.peer_index) + " out of range");
+      const PeerEntry& peer = peers->peers[entry.peer_index];
+      bgp::Route route;
+      route.prefix = rib_record->prefix;
+      route.attrs = std::move(entry.attrs);
+      rib.announce(peer.asn, peer.ip, std::move(route));
+    }
+  }
+  return rib;
+}
+
+std::vector<std::uint8_t> dump_updates(
+    const std::vector<ObservedUpdate>& updates, bgp::Asn collector_asn,
+    std::uint32_t collector_ip) {
+  MrtWriter writer;
+  for (const auto& observed : updates) {
+    Bgp4mpMessage message;
+    message.peer_asn = observed.peer_asn;
+    message.local_asn = collector_asn;
+    message.peer_ip = observed.peer_ip;
+    message.local_ip = collector_ip;
+    message.four_octet_as = true;
+    message.update = observed.update;
+    writer.write_bgp4mp(observed.timestamp, message);
+  }
+  return writer.take();
+}
+
+std::vector<ObservedUpdate> parse_updates(
+    std::span<const std::uint8_t> data) {
+  std::vector<ObservedUpdate> out;
+  MrtReader reader(data);
+  while (auto record = reader.next()) {
+    auto* message = std::get_if<Bgp4mpMessage>(&record->body);
+    if (!message) continue;
+    ObservedUpdate observed;
+    observed.timestamp = record->timestamp;
+    observed.peer_asn = message->peer_asn;
+    observed.peer_ip = message->peer_ip;
+    observed.update = std::move(message->update);
+    out.push_back(std::move(observed));
+  }
+  return out;
+}
+
+}  // namespace mlp::mrt

@@ -1,0 +1,44 @@
+// High-level conversions between in-memory RIBs and MRT archives, the glue
+// used by the simulated Route Views / RIPE RIS collectors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/rib.hpp"
+#include "mrt/mrt.hpp"
+
+namespace mlp::mrt {
+
+/// Serialise a full RIB snapshot as PEER_INDEX_TABLE + one RIB_IPV4_UNICAST
+/// record per prefix, exactly as a collector writes its periodic `bview`.
+std::vector<std::uint8_t> dump_rib(const bgp::Rib& rib,
+                                   std::uint32_t timestamp,
+                                   std::uint32_t collector_bgp_id,
+                                   const std::string& view_name);
+
+/// Rebuild a RIB from an archive produced by dump_rib (or any TABLE_DUMP_V2
+/// stream). Throws ParseError on malformed input or on a RIB entry whose
+/// peer index is not covered by a preceding PEER_INDEX_TABLE.
+bgp::Rib parse_rib(std::span<const std::uint8_t> data);
+
+/// One route as seen in an update stream.
+struct ObservedUpdate {
+  std::uint32_t timestamp = 0;
+  bgp::Asn peer_asn = 0;
+  std::uint32_t peer_ip = 0;
+  bgp::UpdateMessage update;
+};
+
+/// Serialise an update stream as BGP4MP_MESSAGE_AS4 records.
+std::vector<std::uint8_t> dump_updates(
+    const std::vector<ObservedUpdate>& updates, bgp::Asn collector_asn,
+    std::uint32_t collector_ip);
+
+/// Parse the BGP4MP records of an archive into observed updates;
+/// TABLE_DUMP_V2 records in the same stream are ignored.
+std::vector<ObservedUpdate> parse_updates(std::span<const std::uint8_t> data);
+
+}  // namespace mlp::mrt

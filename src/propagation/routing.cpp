@@ -1,0 +1,160 @@
+#include "propagation/routing.hpp"
+
+#include <queue>
+#include <tuple>
+#include <vector>
+
+#include "util/errors.hpp"
+
+namespace mlp::propagation {
+
+using topology::AsGraph;
+using topology::Neighbor;
+using Rel = bgp::Rel;
+
+bool RoutingTree::reachable(Asn asn) const {
+  auto it = entries_.find(asn);
+  return it != entries_.end() && it->second.via != Via::None;
+}
+
+Via RoutingTree::via(Asn asn) const {
+  auto it = entries_.find(asn);
+  return it == entries_.end() ? Via::None : it->second.via;
+}
+
+std::optional<AsPath> RoutingTree::path_from(Asn vantage) const {
+  if (!reachable(vantage)) return std::nullopt;
+  std::vector<Asn> asns;
+  Asn current = vantage;
+  while (true) {
+    asns.push_back(current);
+    if (current == origin_) break;
+    auto it = entries_.find(current);
+    if (it == entries_.end() || it->second.via == Via::None)
+      return std::nullopt;  // defensive: broken chain
+    current = it->second.next;
+    if (asns.size() > entries_.size())
+      throw InvalidArgument("RoutingTree: next-hop cycle detected");
+  }
+  return AsPath(std::move(asns));
+}
+
+namespace {
+
+using Entry = RoutingTree::Entry;
+
+/// Priority-queue item: (length, next-hop asn, node). Lower is better, so
+/// ties resolve to the lowest next-hop ASN deterministically.
+using PqItem = std::tuple<std::uint32_t, Asn, Asn>;
+
+/// Dijkstra-like expansion within one stage. `sources` carry their already
+/// assigned entries; expansion follows `follow` edges and assigns `stage`
+/// to newly reached nodes (only nodes whose current via == Via::None).
+void expand(const AsGraph& graph, std::unordered_map<Asn, Entry>& entries,
+            std::priority_queue<PqItem, std::vector<PqItem>,
+                                std::greater<PqItem>>& pq,
+            Via stage, bool follow_providers, bool follow_customers) {
+  while (!pq.empty()) {
+    auto [length, next, node] = pq.top();
+    pq.pop();
+    Entry& entry = entries[node];
+    if (entry.via != Via::None) continue;  // already settled this stage/earlier
+    entry.via = stage;
+    entry.length = length;
+    entry.next = next;
+    for (const Neighbor& n : graph.neighbors(node)) {
+      const bool traverse =
+          n.rel == Rel::Sibling ||
+          (follow_providers && n.rel == Rel::C2P) ||
+          (follow_customers && n.rel == Rel::P2C);
+      if (!traverse) continue;
+      if (entries[n.asn].via == Via::None)
+        pq.emplace(length + 1, node, n.asn);
+    }
+  }
+}
+
+}  // namespace
+
+RoutingTree compute_routes(const AsGraph& graph, Asn origin) {
+  if (!graph.has_as(origin))
+    throw InvalidArgument("compute_routes: unknown origin AS" +
+                          std::to_string(origin));
+
+  std::unordered_map<Asn, Entry> entries;
+  entries.reserve(graph.as_count());
+
+  // Stage 1: customer routes. The origin's announcement climbs provider
+  // and sibling edges; every AS reached prefers these routes.
+  std::priority_queue<PqItem, std::vector<PqItem>, std::greater<PqItem>> pq;
+  pq.emplace(1, origin, origin);
+  expand(graph, entries, pq, Via::Customer, /*follow_providers=*/true,
+         /*follow_customers=*/false);
+  // Mark the origin itself.
+  entries[origin] = Entry{Via::Origin, 1, origin};
+
+  // Stage 2: peer routes. Any AS holding a customer route (or the origin)
+  // exports across p2p links; peer routes are not re-exported except to
+  // customers/siblings (handled by stage 3).
+  std::vector<std::pair<Asn, Entry>> peer_candidates;
+  for (const auto& [asn, entry] : entries) {
+    if (entry.via != Via::Customer && entry.via != Via::Origin) continue;
+    for (const Neighbor& n : graph.neighbors(asn)) {
+      if (n.rel != Rel::P2P) continue;
+      auto it = entries.find(n.asn);
+      if (it != entries.end() && it->second.via != Via::None) continue;
+      peer_candidates.emplace_back(
+          n.asn, Entry{Via::Peer, entry.length + 1, asn});
+    }
+  }
+  for (const auto& [asn, candidate] : peer_candidates) {
+    Entry& entry = entries[asn];
+    if (entry.via == Via::None || candidate.length < entry.length ||
+        (candidate.length == entry.length && candidate.next < entry.next)) {
+      if (entry.via == Via::None || entry.via == Via::Peer) entry = candidate;
+    }
+  }
+  // Peer routes reach siblings of the peer too (sibling export keeps the
+  // route usable); seed stage 3 with every settled AS.
+
+  // Stage 3: provider routes. Everything settled so far is exported down
+  // customer (and sibling) edges, repeatedly.
+  std::priority_queue<PqItem, std::vector<PqItem>, std::greater<PqItem>> down;
+  for (const auto& [asn, entry] : entries) {
+    if (entry.via == Via::None) continue;
+    for (const Neighbor& n : graph.neighbors(asn)) {
+      const bool traverse = n.rel == Rel::P2C || n.rel == Rel::Sibling;
+      if (!traverse) continue;
+      auto it = entries.find(n.asn);
+      if (it != entries.end() && it->second.via != Via::None) continue;
+      down.emplace(entry.length + 1, asn, n.asn);
+    }
+  }
+  expand(graph, entries, down, Via::Provider, /*follow_providers=*/false,
+         /*follow_customers=*/true);
+
+  // Drop unreachable placeholder entries created during expansion.
+  for (auto it = entries.begin(); it != entries.end();) {
+    it = it->second.via == Via::None ? entries.erase(it) : std::next(it);
+  }
+  return RoutingTree(origin, std::move(entries));
+}
+
+const RoutingTree& RoutingModel::tree(Asn origin) {
+  auto it = cache_.find(origin);
+  if (it == cache_.end()) {
+    if (cache_.size() >= capacity_) {
+      cache_.erase(order_.front());
+      order_.erase(order_.begin());
+    }
+    it = cache_
+             .emplace(origin, std::make_unique<RoutingTree>(
+                                  compute_routes(*graph_, origin)))
+             .first;
+    order_.push_back(origin);
+    ++computed_;
+  }
+  return *it->second;
+}
+
+}  // namespace mlp::propagation

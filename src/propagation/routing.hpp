@@ -1,0 +1,92 @@
+// Valley-free (Gao-Rexford) route propagation over an AsGraph.
+//
+// For one origin AS, computes the route every other AS selects under the
+// standard policy model: prefer customer routes over peer routes over
+// provider routes, then shorter AS paths, then a deterministic next-hop
+// tie-break. Sibling edges exchange routes freely and keep the stage of
+// the route they carry.
+//
+// The resulting per-origin tree is the substrate for everything the paper
+// observes: collector feeds, looking-glass tables, and traceroute paths.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "bgp/aspath.hpp"
+#include "topology/as_graph.hpp"
+
+namespace mlp::propagation {
+
+using bgp::Asn;
+using bgp::AsPath;
+
+/// How an AS learned its best route toward the origin.
+enum class Via : std::uint8_t {
+  None,      // unreachable
+  Origin,    // the AS is the origin itself
+  Customer,  // learned from a customer (or sibling carrying such a route)
+  Peer,      // learned across one p2p link
+  Provider,  // learned from a provider
+};
+
+/// Best-route tree for one origin.
+class RoutingTree {
+ public:
+  struct Entry {
+    Via via = Via::None;
+    std::uint32_t length = 0;  // AS-path length including the origin
+    Asn next = 0;              // next hop toward the origin
+  };
+
+  Asn origin() const { return origin_; }
+
+  bool reachable(Asn asn) const;
+  Via via(Asn asn) const;
+
+  /// AS path in BGP order (vantage first, origin last); nullopt if the
+  /// vantage has no route.
+  std::optional<AsPath> path_from(Asn vantage) const;
+
+  const std::unordered_map<Asn, Entry>& entries() const { return entries_; }
+
+  // Used by compute_routes.
+  RoutingTree(Asn origin, std::unordered_map<Asn, Entry> entries)
+      : origin_(origin), entries_(std::move(entries)) {}
+
+ private:
+  Asn origin_ = 0;
+  std::unordered_map<Asn, Entry> entries_;
+};
+
+/// Compute the best-route tree for `origin`. Throws InvalidArgument if the
+/// origin is not in the graph.
+RoutingTree compute_routes(const topology::AsGraph& graph, Asn origin);
+
+/// Caches RoutingTrees per origin over a fixed graph, with FIFO eviction
+/// so sweeping every origin stays within a bounded memory footprint.
+/// The reference returned by tree() is invalidated once `capacity` newer
+/// origins have been requested -- iterate origins grouped by origin AS.
+class RoutingModel {
+ public:
+  explicit RoutingModel(const topology::AsGraph& graph,
+                        std::size_t capacity = 64)
+      : graph_(&graph), capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// The tree for `origin`, computed on first use.
+  const RoutingTree& tree(Asn origin);
+
+  std::size_t cached() const { return cache_.size(); }
+  std::size_t computed() const { return computed_; }
+
+ private:
+  const topology::AsGraph* graph_;
+  std::size_t capacity_;
+  std::size_t computed_ = 0;
+  std::unordered_map<Asn, std::unique_ptr<RoutingTree>> cache_;
+  std::vector<Asn> order_;  // FIFO of cached origins
+};
+
+}  // namespace mlp::propagation

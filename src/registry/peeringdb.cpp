@@ -1,0 +1,130 @@
+#include "registry/peeringdb.hpp"
+
+#include "util/errors.hpp"
+#include "util/strings.hpp"
+
+namespace mlp::registry {
+
+std::string to_string(PeeringPolicy policy) {
+  switch (policy) {
+    case PeeringPolicy::Open:
+      return "Open";
+    case PeeringPolicy::Selective:
+      return "Selective";
+    case PeeringPolicy::Restrictive:
+      return "Restrictive";
+  }
+  return "unknown";
+}
+
+std::optional<PeeringPolicy> parse_policy(std::string_view text) {
+  if (mlp::iequals(text, "open")) return PeeringPolicy::Open;
+  if (mlp::iequals(text, "selective")) return PeeringPolicy::Selective;
+  if (mlp::iequals(text, "restrictive")) return PeeringPolicy::Restrictive;
+  return std::nullopt;
+}
+
+std::string to_string(GeoScope scope) {
+  switch (scope) {
+    case GeoScope::Global:
+      return "Global";
+    case GeoScope::Europe:
+      return "Europe";
+    case GeoScope::Regional:
+      return "Regional";
+    case GeoScope::NotDisclosed:
+      return "N/A";
+  }
+  return "unknown";
+}
+
+std::optional<GeoScope> parse_scope(std::string_view text) {
+  if (mlp::iequals(text, "global")) return GeoScope::Global;
+  if (mlp::iequals(text, "europe")) return GeoScope::Europe;
+  if (mlp::iequals(text, "regional")) return GeoScope::Regional;
+  if (mlp::iequals(text, "n/a")) return GeoScope::NotDisclosed;
+  return std::nullopt;
+}
+
+void PeeringDb::upsert(NetworkRecord record) {
+  records_[record.asn] = std::move(record);
+}
+
+const NetworkRecord* PeeringDb::find(Asn asn) const {
+  auto it = records_.find(asn);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::vector<Asn> PeeringDb::asns() const {
+  std::vector<Asn> out;
+  out.reserve(records_.size());
+  for (const auto& [asn, record] : records_) out.push_back(asn);
+  return out;
+}
+
+std::vector<const NetworkRecord*> PeeringDb::with_policy() const {
+  std::vector<const NetworkRecord*> out;
+  for (const auto& [asn, record] : records_)
+    if (record.policy) out.push_back(&record);
+  return out;
+}
+
+std::vector<const NetworkRecord*> PeeringDb::with_looking_glass() const {
+  std::vector<const NetworkRecord*> out;
+  for (const auto& [asn, record] : records_)
+    if (record.has_looking_glass()) out.push_back(&record);
+  return out;
+}
+
+std::string PeeringDb::dump() const {
+  // asn|name|policy|scope|lg|ixp1;ixp2;...
+  std::string out;
+  for (const auto& [asn, r] : records_) {
+    out += std::to_string(asn);
+    out += '|';
+    out += r.name;
+    out += '|';
+    out += r.policy ? to_string(*r.policy) : "";
+    out += '|';
+    out += to_string(r.scope);
+    out += '|';
+    out += r.looking_glass;
+    out += '|';
+    out += mlp::join(r.ixps, ";");
+    out += '\n';
+  }
+  return out;
+}
+
+PeeringDb PeeringDb::parse(std::string_view text) {
+  PeeringDb db;
+  for (const auto& line : mlp::split(text, '\n')) {
+    if (mlp::trim(line).empty()) continue;
+    const auto fields = mlp::split(line, '|');
+    if (fields.size() != 6)
+      throw ParseError("PeeringDb::parse: expected 6 fields, got " +
+                       std::to_string(fields.size()) + " in: " + line);
+    NetworkRecord r;
+    auto asn = mlp::parse_u32(fields[0]);
+    if (!asn) throw ParseError("PeeringDb::parse: bad ASN in: " + line);
+    r.asn = *asn;
+    r.name = fields[1];
+    if (!fields[2].empty()) {
+      r.policy = parse_policy(fields[2]);
+      if (!r.policy)
+        throw ParseError("PeeringDb::parse: bad policy in: " + line);
+    }
+    auto scope = parse_scope(fields[3]);
+    if (!scope) throw ParseError("PeeringDb::parse: bad scope in: " + line);
+    r.scope = *scope;
+    r.looking_glass = fields[4];
+    if (!fields[5].empty()) {
+      for (auto& ixp : mlp::split(fields[5], ';'))
+        if (!ixp.empty()) r.ixps.push_back(std::move(ixp));
+    }
+    db.upsert(std::move(r));
+  }
+  return db;
+}
+
+}  // namespace mlp::registry

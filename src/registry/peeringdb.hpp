@@ -1,0 +1,76 @@
+// A PeeringDB-like registry of self-reported network facts.
+//
+// The paper pulls three things from PeeringDB: self-reported peering
+// policies (figures 9 and 11), geographic scope (figure 13), and looking
+// glass addresses for validation (section 5.1). Records are voluntary, so
+// fields can be undisclosed -- the analyses must tolerate that.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgp/asn.hpp"
+
+namespace mlp::registry {
+
+using bgp::Asn;
+
+/// Self-reported peering policy (paper section 5.2: 72% open, 24%
+/// selective, 4% restrictive among disclosed).
+enum class PeeringPolicy : std::uint8_t { Open, Selective, Restrictive };
+
+std::string to_string(PeeringPolicy policy);
+std::optional<PeeringPolicy> parse_policy(std::string_view text);
+
+/// Self-reported geographic scope (figure 13 buckets).
+enum class GeoScope : std::uint8_t { Global, Europe, Regional, NotDisclosed };
+
+std::string to_string(GeoScope scope);
+std::optional<GeoScope> parse_scope(std::string_view text);
+
+/// One network record.
+struct NetworkRecord {
+  Asn asn = 0;
+  std::string name;
+  /// nullopt when the operator did not disclose a policy.
+  std::optional<PeeringPolicy> policy;
+  GeoScope scope = GeoScope::NotDisclosed;
+  /// Looking glass URL, empty if none registered.
+  std::string looking_glass;
+  /// IXP names the network reports presence at.
+  std::vector<std::string> ixps;
+
+  bool has_looking_glass() const { return !looking_glass.empty(); }
+};
+
+/// The registry: keyed by ASN, with the aggregate queries the figures use.
+class PeeringDb {
+ public:
+  /// Insert or replace a record.
+  void upsert(NetworkRecord record);
+
+  const NetworkRecord* find(Asn asn) const;
+  std::size_t size() const { return records_.size(); }
+
+  std::vector<Asn> asns() const;
+
+  /// Networks that disclose a policy.
+  std::vector<const NetworkRecord*> with_policy() const;
+
+  /// Networks registering a looking glass.
+  std::vector<const NetworkRecord*> with_looking_glass() const;
+
+  /// Serialise to a pipe-separated text table (one record per line) and
+  /// parse it back; the shape of a PeeringDB CSV export.
+  std::string dump() const;
+  static PeeringDb parse(std::string_view text);
+
+ private:
+  std::map<Asn, NetworkRecord> records_;
+};
+
+}  // namespace mlp::registry

@@ -1,0 +1,114 @@
+#include "routeserver/export_policy.hpp"
+
+#include <algorithm>
+
+namespace mlp::routeserver {
+
+bool ExportPolicy::allows(Asn member) const {
+  const bool listed = peers_.count(member) != 0;
+  return mode_ == Mode::AllExcept ? !listed : listed;
+}
+
+double ExportPolicy::allowed_fraction(std::size_t member_count) const {
+  if (member_count == 0) return 1.0;
+  const double listed = static_cast<double>(
+      std::min(peers_.size(), member_count));
+  const double n = static_cast<double>(member_count);
+  return mode_ == Mode::AllExcept ? (n - listed) / n : listed / n;
+}
+
+std::vector<Community> ExportPolicy::to_communities(
+    const IxpCommunityScheme& scheme, bool explicit_all) const {
+  std::vector<Community> out;
+  if (mode_ == Mode::AllExcept) {
+    if (explicit_all) out.push_back(scheme.all_community());
+    for (const Asn peer : peers_)
+      out.push_back(scheme.exclude_community(peer));
+  } else {
+    out.push_back(scheme.none_community());
+    for (const Asn peer : peers_)
+      out.push_back(scheme.include_community(peer));
+  }
+  return out;
+}
+
+std::optional<ExportPolicy> ExportPolicy::from_communities(
+    const std::vector<Community>& communities,
+    const IxpCommunityScheme& scheme) {
+  bool saw_all = false;
+  bool saw_none = false;
+  std::set<Asn> excluded;
+  std::set<Asn> included;
+  for (const Community community : communities) {
+    Asn peer = 0;
+    switch (scheme.classify(community, &peer)) {
+      case CommunityTag::All:
+        saw_all = true;
+        break;
+      case CommunityTag::None:
+        saw_none = true;
+        break;
+      case CommunityTag::Exclude:
+        excluded.insert(peer);
+        break;
+      case CommunityTag::Include:
+        included.insert(peer);
+        break;
+      case CommunityTag::Unrelated:
+        break;
+    }
+  }
+  if (!saw_all && !saw_none && excluded.empty() && included.empty())
+    return std::nullopt;
+
+  // NONE (or INCLUDE without ALL) selects the allow-list mode; the IXPs in
+  // the paper document INCLUDE only in combination with NONE, but tolerant
+  // parsing matters for operator sloppiness.
+  if (saw_none || (!saw_all && !included.empty() && excluded.empty()))
+    return ExportPolicy(Mode::NoneExcept, std::move(included));
+  return ExportPolicy(Mode::AllExcept, std::move(excluded));
+}
+
+ExportPolicy ExportPolicy::intersect(const ExportPolicy& a,
+                                     const ExportPolicy& b,
+                                     const std::set<Asn>& member_universe) {
+  if (a.mode_ == b.mode_) {
+    if (a.mode_ == Mode::AllExcept) {
+      // Union of exclusions.
+      std::set<Asn> peers = a.peers_;
+      peers.insert(b.peers_.begin(), b.peers_.end());
+      return ExportPolicy(Mode::AllExcept, std::move(peers));
+    }
+    // Intersection of inclusions.
+    std::set<Asn> peers;
+    std::set_intersection(a.peers_.begin(), a.peers_.end(), b.peers_.begin(),
+                          b.peers_.end(),
+                          std::inserter(peers, peers.begin()));
+    return ExportPolicy(Mode::NoneExcept, std::move(peers));
+  }
+  // Mixed modes: materialise the allow-list of the AllExcept side over the
+  // member universe and intersect with the NoneExcept allow-list.
+  const ExportPolicy& all_side = a.mode_ == Mode::AllExcept ? a : b;
+  const ExportPolicy& none_side = a.mode_ == Mode::AllExcept ? b : a;
+  std::set<Asn> allowed;
+  for (const Asn member : member_universe) {
+    if (all_side.allows(member) && none_side.allows(member))
+      allowed.insert(member);
+  }
+  return ExportPolicy(Mode::NoneExcept, std::move(allowed));
+}
+
+std::string ExportPolicy::to_string() const {
+  std::string out =
+      mode_ == Mode::AllExcept ? "all-except{" : "none-except{";
+  bool first = true;
+  for (const Asn peer : peers_) {
+    if (!first) out += ' ';
+    out += std::to_string(peer);
+    first = false;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace mlp::routeserver

@@ -1,0 +1,74 @@
+// Export policies toward route-server members, and their round-trip to
+// BGP community lists under an IXP's scheme.
+//
+// A member's outbound filter at a route server is either "advertise to
+// everyone except these peers" (ALL + EXCLUDE) or "advertise to nobody
+// except these peers" (NONE + INCLUDE) -- the binary pattern of paper
+// figure 11.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "routeserver/scheme.hpp"
+
+namespace mlp::routeserver {
+
+/// One member's outbound policy for one route (or one session).
+class ExportPolicy {
+ public:
+  enum class Mode : std::uint8_t {
+    AllExcept,   // advertise to all members except `peers`
+    NoneExcept,  // advertise only to `peers`
+  };
+
+  ExportPolicy() = default;
+  ExportPolicy(Mode mode, std::set<Asn> peers)
+      : mode_(mode), peers_(std::move(peers)) {}
+
+  /// The open-to-everyone default.
+  static ExportPolicy open() { return ExportPolicy(Mode::AllExcept, {}); }
+
+  Mode mode() const { return mode_; }
+  const std::set<Asn>& peers() const { return peers_; }
+
+  /// Whether `member` may receive routes under this policy.
+  bool allows(Asn member) const;
+
+  /// Fraction of `member_count` members allowed, given `peers_` are all
+  /// members (figure 11's y-axis). Returns 1.0 for an open policy.
+  double allowed_fraction(std::size_t member_count) const;
+
+  /// Encode as a community list. For AllExcept the explicit ALL community
+  /// is emitted only when `explicit_all` is set (many operators omit the
+  /// default, which matters for passive IXP attribution, section 4.2).
+  std::vector<Community> to_communities(const IxpCommunityScheme& scheme,
+                                        bool explicit_all = false) const;
+
+  /// Decode from a community list under a scheme. Returns nullopt when no
+  /// community of the scheme is present (pure default: the caller decides
+  /// whether default-open applies). Unrelated communities are ignored.
+  /// INCLUDE with no NONE still yields NoneExcept if any INCLUDE exists
+  /// without ALL; EXCLUDE values force AllExcept.
+  static std::optional<ExportPolicy> from_communities(
+      const std::vector<Community>& communities,
+      const IxpCommunityScheme& scheme);
+
+  /// Intersection of what two observations of the same member allow
+  /// (paper step 4: N_a is intersected across the member's prefixes).
+  /// `member_universe` is required to intersect policies of mixed modes.
+  static ExportPolicy intersect(const ExportPolicy& a, const ExportPolicy& b,
+                                const std::set<Asn>& member_universe);
+
+  std::string to_string() const;
+
+  friend bool operator==(const ExportPolicy&, const ExportPolicy&) = default;
+
+ private:
+  Mode mode_ = Mode::AllExcept;
+  std::set<Asn> peers_;
+};
+
+}  // namespace mlp::routeserver

@@ -1,0 +1,125 @@
+#include "routeserver/route_server.hpp"
+
+#include "util/errors.hpp"
+
+namespace mlp::routeserver {
+
+void RouteServer::connect(Asn member, std::uint32_t ixp_ip) {
+  sessions_[member] = MemberSession{member, ixp_ip};
+}
+
+void RouteServer::disconnect(Asn member) {
+  sessions_.erase(member);
+  import_filters_.erase(member);
+  rib_.drop_peer(member);
+  policy_cache_.erase(member);
+}
+
+std::vector<MemberSession> RouteServer::members() const {
+  std::vector<MemberSession> out;
+  out.reserve(sessions_.size());
+  for (const auto& [asn, session] : sessions_) out.push_back(session);
+  return out;
+}
+
+void RouteServer::set_import_filter(Asn member, ExportPolicy filter) {
+  import_filters_[member] = std::move(filter);
+}
+
+void RouteServer::announce(Asn member, bgp::Route route) {
+  auto it = sessions_.find(member);
+  if (it == sessions_.end())
+    throw InvalidArgument("RouteServer::announce: AS" +
+                          std::to_string(member) + " has no session");
+  rib_.announce(member, it->second.ixp_ip, std::move(route));
+  policy_cache_.erase(member);
+}
+
+void RouteServer::withdraw(Asn member, const bgp::IpPrefix& prefix) {
+  rib_.withdraw(member, prefix);
+  policy_cache_.erase(member);
+}
+
+ExportPolicy RouteServer::effective_policy(Asn member) const {
+  auto cached = policy_cache_.find(member);
+  if (cached != policy_cache_.end()) return cached->second;
+
+  std::set<Asn> universe;
+  for (const auto& [asn, session] : sessions_) universe.insert(asn);
+
+  bool first = true;
+  ExportPolicy policy = ExportPolicy::open();
+  for (const auto& entry : rib_.entries_from_peer(member)) {
+    auto parsed =
+        ExportPolicy::from_communities(entry.route.attrs.communities, scheme_);
+    const ExportPolicy route_policy =
+        parsed.value_or(ExportPolicy::open());  // no RS communities: default
+    if (first) {
+      policy = route_policy;
+      first = false;
+    } else {
+      policy = ExportPolicy::intersect(policy, route_policy, universe);
+    }
+  }
+  policy_cache_.emplace(member, policy);
+  return policy;
+}
+
+bool RouteServer::member_allows(Asn setter, Asn receiver) const {
+  if (!effective_policy(setter).allows(receiver)) return false;
+  if (options_.honour_import_filters) {
+    auto it = import_filters_.find(receiver);
+    if (it != import_filters_.end() && !it->second.allows(setter))
+      return false;
+  }
+  return true;
+}
+
+std::vector<bgp::RibEntry> RouteServer::exports_to(Asn member) const {
+  std::vector<bgp::RibEntry> out;
+  if (!sessions_.count(member)) return out;
+  for (const auto& prefix : rib_.prefixes()) {
+    for (const auto& entry : rib_.paths(prefix)) {
+      const Asn setter = entry.peer_asn;
+      if (setter == member) continue;
+      if (!member_allows(setter, member)) continue;
+      bgp::RibEntry exported = entry;
+      if (options_.strip_communities) exported.route.attrs.communities.clear();
+      if (options_.prepend_rs_asn)
+        exported.route.attrs.as_path.prepend(scheme_.rs_asn());
+      out.push_back(std::move(exported));
+    }
+  }
+  return out;
+}
+
+std::set<bgp::AsLink> RouteServer::reciprocal_links() const {
+  // Cache each member's effective policy once; pairwise reciprocity check.
+  std::vector<Asn> asns;
+  asns.reserve(sessions_.size());
+  for (const auto& [asn, session] : sessions_) asns.push_back(asn);
+
+  std::map<Asn, ExportPolicy> policies;
+  for (const Asn asn : asns) policies.emplace(asn, effective_policy(asn));
+
+  auto allows = [&](Asn setter, Asn receiver) {
+    if (!policies.at(setter).allows(receiver)) return false;
+    if (options_.honour_import_filters) {
+      auto it = import_filters_.find(receiver);
+      if (it != import_filters_.end() && !it->second.allows(setter))
+        return false;
+    }
+    return true;
+  };
+
+  std::set<bgp::AsLink> links;
+  for (std::size_t i = 0; i < asns.size(); ++i) {
+    for (std::size_t j = i + 1; j < asns.size(); ++j) {
+      if (allows(asns[i], asns[j]) && allows(asns[j], asns[i]))
+        links.insert(bgp::AsLink(asns[i], asns[j]));
+    }
+  }
+  return links;
+}
+
+}  // namespace mlp::routeserver

@@ -1,0 +1,137 @@
+#include "routeserver/scheme.hpp"
+
+#include "util/errors.hpp"
+
+namespace mlp::routeserver {
+
+std::string to_string(CommunityTag tag) {
+  switch (tag) {
+    case CommunityTag::All:
+      return "ALL";
+    case CommunityTag::None:
+      return "NONE";
+    case CommunityTag::Exclude:
+      return "EXCLUDE";
+    case CommunityTag::Include:
+      return "INCLUDE";
+    case CommunityTag::Unrelated:
+      return "unrelated";
+  }
+  return "unknown";
+}
+
+IxpCommunityScheme IxpCommunityScheme::make(std::string ixp_name, Asn rs_asn,
+                                            SchemeStyle style) {
+  IxpCommunityScheme scheme;
+  scheme.ixp_name_ = std::move(ixp_name);
+  scheme.rs_asn_ = rs_asn;
+  scheme.style_ = style;
+  switch (style) {
+    case SchemeStyle::RsAsnBased: {
+      if (!bgp::is_16bit(rs_asn))
+        throw InvalidArgument(
+            "IxpCommunityScheme: RsAsnBased style needs a 16-bit RS ASN");
+      const auto rs16 = static_cast<std::uint16_t>(rs_asn);
+      scheme.all_ = Community(rs16, rs16);
+      scheme.none_ = Community(0, rs16);
+      scheme.exclude_high_ = 0;
+      scheme.include_high_ = rs16;
+      break;
+    }
+    case SchemeStyle::PrivateRangeBased: {
+      if (!bgp::is_16bit(rs_asn))
+        throw InvalidArgument(
+            "IxpCommunityScheme: route-server ASN must fit 16 bits");
+      const auto rs16 = static_cast<std::uint16_t>(rs_asn);
+      scheme.all_ = Community(rs16, rs16);
+      scheme.none_ = Community(65000, 0);
+      scheme.exclude_high_ = 64960;
+      scheme.include_high_ = 65000;
+      break;
+    }
+  }
+  return scheme;
+}
+
+void IxpCommunityScheme::add_alias(Asn member, std::uint16_t alias) {
+  if (!bgp::is_32bit_only(member))
+    throw InvalidArgument("add_alias: AS" + std::to_string(member) +
+                          " fits in 16 bits and needs no alias");
+  if (alias < bgp::kPrivate16First || alias > bgp::kPrivate16Last)
+    throw InvalidArgument("add_alias: alias " + std::to_string(alias) +
+                          " outside the 16-bit private range");
+  if (alias_of_.count(member))
+    throw InvalidArgument("add_alias: AS" + std::to_string(member) +
+                          " already aliased");
+  if (alias_for_.count(alias))
+    throw InvalidArgument("add_alias: alias " + std::to_string(alias) +
+                          " already in use");
+  alias_of_[member] = alias;
+  alias_for_[alias] = member;
+}
+
+std::optional<std::uint16_t> IxpCommunityScheme::encode_peer(
+    Asn member) const {
+  if (bgp::is_16bit(member)) return static_cast<std::uint16_t>(member);
+  auto it = alias_of_.find(member);
+  if (it == alias_of_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Asn> IxpCommunityScheme::decode_peer(
+    std::uint16_t value) const {
+  auto it = alias_for_.find(value);
+  if (it != alias_for_.end()) return it->second;
+  // Unaliased private-range values have no meaning as peer targets.
+  if (value >= bgp::kPrivate16First) return std::nullopt;
+  return static_cast<Asn>(value);
+}
+
+Community IxpCommunityScheme::exclude_community(Asn member) const {
+  auto peer = encode_peer(member);
+  if (!peer)
+    throw InvalidArgument("exclude_community: AS" + std::to_string(member) +
+                          " has no 16-bit encoding at " + ixp_name_);
+  return Community(exclude_high_, *peer);
+}
+
+Community IxpCommunityScheme::include_community(Asn member) const {
+  auto peer = encode_peer(member);
+  if (!peer)
+    throw InvalidArgument("include_community: AS" + std::to_string(member) +
+                          " has no 16-bit encoding at " + ixp_name_);
+  return Community(include_high_, *peer);
+}
+
+CommunityTag IxpCommunityScheme::classify(Community community,
+                                          Asn* peer_out) const {
+  // Exact (non-parameterised) values take precedence: at a RsAsnBased IXP
+  // the NONE value 0:rs-asn would otherwise parse as EXCLUDE of the RS.
+  if (community == all_) return CommunityTag::All;
+  if (community == none_) return CommunityTag::None;
+  if (community.high == exclude_high_) {
+    auto peer = decode_peer(community.low);
+    if (peer) {
+      if (peer_out) *peer_out = *peer;
+      return CommunityTag::Exclude;
+    }
+    return CommunityTag::Unrelated;
+  }
+  if (community.high == include_high_) {
+    auto peer = decode_peer(community.low);
+    if (peer) {
+      if (peer_out) *peer_out = *peer;
+      return CommunityTag::Include;
+    }
+    return CommunityTag::Unrelated;
+  }
+  return CommunityTag::Unrelated;
+}
+
+bool IxpCommunityScheme::encodes_rs_asn(Community community) const {
+  if (!bgp::is_16bit(rs_asn_)) return false;
+  const auto rs16 = static_cast<std::uint16_t>(rs_asn_);
+  return community.high == rs16 || community.low == rs16;
+}
+
+}  // namespace mlp::routeserver

@@ -1,0 +1,285 @@
+#include <algorithm>
+#include <unordered_map>
+
+#include "scenario/builder.hpp"
+#include "util/errors.hpp"
+
+namespace mlp::scenario {
+
+using registry::PeeringPolicy;
+using routeserver::ExportPolicy;
+using routeserver::IxpCommunityScheme;
+using topology::Tier;
+
+void ScenarioBuilder::assign_policies() {
+  for (const auto& [asn, profile] : s.topo_.profiles) {
+    PeeringPolicy policy;
+    if (profile.content_heavy) {
+      policy = PeeringPolicy::Open;
+    } else if (profile.tier == Tier::Clique) {
+      // Tier-1 networks do not peer openly.
+      policy = rng.chance(0.6) ? PeeringPolicy::Selective
+                               : PeeringPolicy::Restrictive;
+    } else {
+      const double draw = rng.uniform01();
+      if (draw < s.params_.frac_open)
+        policy = PeeringPolicy::Open;
+      else if (draw < s.params_.frac_open + s.params_.frac_selective)
+        policy = PeeringPolicy::Selective;
+      else
+        policy = PeeringPolicy::Restrictive;
+    }
+    s.true_policy_[asn] = policy;
+  }
+}
+
+void ScenarioBuilder::assign_prefixes() {
+  // Deterministic allocation of /16s out of 10.0.0.0/8 and then /20s out
+  // of 100.64.0.0/10 once the /16 pool is exhausted.
+  std::uint32_t next16 = 0x0A000000;
+  const std::uint32_t end16 = 0x0AFF0000;
+  std::uint32_t next20 = 0x64400000;
+
+  for (const Asn asn : s.topo_.graph.ases()) {
+    const auto& profile = s.topo_.profile(asn);
+    const std::size_t count = profile.content_heavy
+                                  ? rng.uniform(4, 8)
+                                  : rng.uniform(1, 3);
+    auto& list = s.prefixes_[asn];
+    for (std::size_t i = 0; i < count; ++i) {
+      IpPrefix prefix;
+      if (next16 < end16) {
+        prefix = IpPrefix(next16, 16);
+        next16 += 0x10000;
+      } else {
+        prefix = IpPrefix(next20, 20);
+        next20 += 0x1000;
+      }
+      list.push_back(prefix);
+      s.origins_.push_back({prefix, asn});
+    }
+  }
+}
+
+void ScenarioBuilder::build_ixps() {
+  const auto roster = paper_ixp_roster();
+  double total_weight = 0.0;
+  for (const auto& spec : roster) total_weight += spec.size_weight;
+  (void)total_weight;
+
+  std::uint32_t lan_base = 0xC6120000;  // 198.18.0.0/15, a /23 per IXP
+  Asn next_rs_asn = 64000;              // unused, 16-bit, non-private
+
+  for (const auto& spec : roster) {
+    IxpDeployment ixp;
+    ixp.spec = spec;
+    ixp.rs_asn = next_rs_asn++;
+    ixp.lan_base = lan_base;
+    lan_base += 0x200;
+
+    // --- Membership: ASes present in the IXP's region, weighted by role.
+    const auto eligible = s.topo_.ases_in(spec.region);
+    const std::size_t target = std::max<std::size_t>(
+        8, static_cast<std::size_t>(spec.size_weight *
+                                    s.params_.membership_scale));
+    std::vector<double> weights(eligible.size());
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+      const auto& profile = s.topo_.profile(eligible[i]);
+      double w = 1.0;
+      if (profile.tier == Tier::Transit) w = 4.0;
+      if (profile.tier == Tier::Clique) w = 2.0;
+      if (profile.content_heavy) w = 6.0;
+      weights[i] = w;
+    }
+    while (ixp.members.size() < std::min(target, eligible.size())) {
+      const Asn candidate = eligible[rng.weighted_index(weights)];
+      ixp.members.insert(candidate);
+    }
+
+    // --- Route server opt-in by true policy.
+    IxpCommunityScheme scheme =
+        IxpCommunityScheme::make(spec.name, ixp.rs_asn, spec.style);
+    std::uint16_t next_alias = bgp::kPrivate16First;
+    for (const Asn member : ixp.members) {
+      double optin = s.params_.rs_optin_open;
+      switch (s.true_policy_.at(member)) {
+        case PeeringPolicy::Open:
+          optin = s.params_.rs_optin_open;
+          break;
+        case PeeringPolicy::Selective:
+          optin = s.params_.rs_optin_selective;
+          break;
+        case PeeringPolicy::Restrictive:
+          optin = s.params_.rs_optin_restrictive;
+          break;
+      }
+      if (!rng.chance(optin)) continue;
+      ixp.rs_members.insert(member);
+      if (bgp::is_32bit_only(member)) scheme.add_alias(member, next_alias++);
+    }
+
+    routeserver::RouteServer::Options options;
+    options.strip_communities = spec.strips_communities;
+    ixp.server = std::make_unique<routeserver::RouteServer>(scheme, options);
+    for (const Asn member : ixp.rs_members)
+      ixp.server->connect(member, ixp.lan_ip(member));
+
+    // --- Ground-truth filters.
+    for (const Asn member : ixp.rs_members) {
+      ExportPolicy exports = draw_export_policy(ixp, member);
+      // Imports are at most as restrictive (section 4.4): half the
+      // members accept everyone, half mirror their export filter.
+      ExportPolicy imports =
+          rng.chance(0.5) ? ExportPolicy::open() : exports;
+      ixp.exports.emplace(member, std::move(exports));
+      ixp.imports.emplace(member, imports);
+      ixp.server->set_import_filter(member, std::move(imports));
+      ixp.explicit_all[member] = rng.chance(s.params_.explicit_all_prob);
+    }
+    s.ixps_.push_back(std::move(ixp));
+  }
+}
+
+ExportPolicy ScenarioBuilder::draw_export_policy(const IxpDeployment& ixp,
+                                                 Asn member) {
+  const PeeringPolicy policy = s.true_policy_.at(member);
+  const auto& graph = s.topo_.graph;
+  const auto cone = graph.customer_cone(member);
+
+  auto open_style = [&](double random_exclude_prob) {
+    std::set<Asn> excluded;
+    for (const Asn other : ixp.rs_members) {
+      if (other == member) continue;
+      const bool is_content = s.topo_.profile(other).content_heavy;
+      const bool private_peering = graph.rel(member, other) == bgp::Rel::P2P;
+      const bool direct_customer = graph.rel(member, other) == bgp::Rel::P2C;
+      const bool in_cone = cone.count(other) != 0;
+      double p = random_exclude_prob;
+      if (is_content && private_peering) {
+        // Prefers the direct peering over the multilateral one (the
+        // Google/Akamai pattern of figure 13).
+        p = 0.85;
+      } else if (direct_customer) {
+        // Providers rarely also peer multilaterally with their own
+        // customers; most EXCLUDE usage targets the cone (section 5.5).
+        p = 0.80;
+      } else if (in_cone) {
+        p = 0.85;
+      }
+      if (rng.chance(p)) excluded.insert(other);
+    }
+    return ExportPolicy(ExportPolicy::Mode::AllExcept, std::move(excluded));
+  };
+
+  auto allowlist_style = [&](std::size_t lo, std::size_t hi) {
+    std::vector<Asn> others;
+    for (const Asn other : ixp.rs_members)
+      if (other != member) others.push_back(other);
+    const std::size_t want =
+        std::min<std::size_t>(others.size(), rng.uniform(lo, hi));
+    std::set<Asn> included;
+    for (const Asn chosen : rng.sample(others, want)) included.insert(chosen);
+    return ExportPolicy(ExportPolicy::Mode::NoneExcept, std::move(included));
+  };
+
+  switch (policy) {
+    case PeeringPolicy::Open:
+      return open_style(0.4 / std::max<std::size_t>(1, ixp.rs_members.size()));
+    case PeeringPolicy::Selective:
+      if (rng.chance(0.55)) return open_style(0.05);
+      return allowlist_style(
+          1, std::max<std::size_t>(2, ixp.rs_members.size() / 10));
+    case PeeringPolicy::Restrictive:
+      return allowlist_style(1, 4);
+  }
+  return ExportPolicy::open();
+}
+
+std::vector<bgp::Community> ScenarioBuilder::wire_communities(
+    const IxpDeployment& ixp, Asn setter) const {
+  auto it = ixp.exports.find(setter);
+  if (it == ixp.exports.end()) return {};
+  return it->second.to_communities(ixp.server->scheme(),
+                                   ixp.explicit_all.at(setter));
+}
+
+void ScenarioBuilder::announce_to_route_servers() {
+  // Each RS member announces its own prefixes plus its customer cone's,
+  // with the provider chain as AS path -- which is why one prefix is often
+  // advertised by several members (figure 5).
+  for (auto& ixp : s.ixps_) {
+    for (const Asn member : ixp.rs_members) {
+      // BFS down customer edges recording the chain member -> origin.
+      std::unordered_map<Asn, Asn> parent;
+      std::vector<Asn> queue = {member};
+      parent[member] = member;
+      for (std::size_t head = 0; head < queue.size(); ++head) {
+        const Asn current = queue[head];
+        for (const Asn customer : s.topo_.graph.customers(current)) {
+          if (parent.count(customer)) continue;
+          parent[customer] = current;
+          queue.push_back(customer);
+        }
+      }
+      const auto communities = wire_communities(ixp, member);
+      for (const Asn origin : queue) {
+        std::vector<Asn> chain;
+        for (Asn hop = origin; ; hop = parent[hop]) {
+          chain.push_back(hop);
+          if (hop == member) break;
+        }
+        std::reverse(chain.begin(), chain.end());  // member ... origin
+        for (const auto& prefix : s.prefixes_of(origin)) {
+          bgp::Route route;
+          route.prefix = prefix;
+          route.attrs.as_path = bgp::AsPath(chain);
+          route.attrs.next_hop = ixp.lan_ip(member);
+          route.attrs.communities = communities;
+          ixp.server->announce(member, std::move(route));
+        }
+      }
+    }
+  }
+}
+
+void ScenarioBuilder::derive_links_and_augment_graph() {
+  // Transit ASes that scrub community attributes on re-export.
+  for (const Asn asn : s.topo_.transits)
+    if (rng.chance(s.params_.scrub_prob)) s.scrubbers_.insert(asn);
+
+  for (std::size_t index = 0; index < s.ixps_.size(); ++index) {
+    IxpDeployment& ixp = s.ixps_[index];
+    ixp.rs_links = ixp.server->reciprocal_links();
+
+    // Multilateral links become p2p edges of the routed topology unless a
+    // relationship already exists (the hybrid case of section 5.6 keeps
+    // its transit edge).
+    for (const AsLink& link : ixp.rs_links) {
+      if (!s.topo_.graph.rel(link.a, link.b))
+        s.topo_.graph.add_edge(link.a, link.b, bgp::Rel::P2P);
+      s.crossings_[link].push_back(Crossing{index, true});
+    }
+
+    // Bilateral peering across the same fabric: invisible to the method.
+    const std::size_t n_bilateral = static_cast<std::size_t>(
+        static_cast<double>(ixp.rs_links.size()) *
+        s.params_.bilateral_factor);
+    std::vector<Asn> members(ixp.members.begin(), ixp.members.end());
+    std::size_t attempts = 0;
+    while (ixp.bilateral_links.size() < n_bilateral &&
+           attempts++ < n_bilateral * 20) {
+      const Asn a = rng.pick(members);
+      const Asn b = rng.pick(members);
+      if (a == b) continue;
+      const AsLink link(a, b);
+      if (ixp.rs_links.count(link) || ixp.bilateral_links.count(link))
+        continue;
+      if (!s.topo_.graph.rel(a, b))
+        s.topo_.graph.add_edge(a, b, bgp::Rel::P2P);
+      ixp.bilateral_links.insert(link);
+      s.crossings_[link].push_back(Crossing{index, false});
+    }
+  }
+}
+
+}  // namespace mlp::scenario

@@ -1,0 +1,125 @@
+#include "topology/as_graph.hpp"
+
+#include <algorithm>
+
+#include "util/errors.hpp"
+
+namespace mlp::topology {
+
+namespace {
+const std::vector<Neighbor> kNoNeighbors;
+}
+
+void AsGraph::add_as(Asn asn) { adj_.try_emplace(asn); }
+
+void AsGraph::add_edge(Asn a, Asn b, Rel rel) {
+  if (a == b) throw InvalidArgument("AsGraph: self-loop on AS" +
+                                    std::to_string(a));
+  add_as(a);
+  add_as(b);
+  auto upsert = [this](Asn from, Asn to, Rel r) {
+    auto& nbrs = adj_[from];
+    for (auto& n : nbrs) {
+      if (n.asn == to) {
+        n.rel = r;
+        return;
+      }
+    }
+    nbrs.push_back(Neighbor{to, r});
+  };
+  upsert(a, b, rel);
+  upsert(b, a, bgp::invert(rel));
+}
+
+std::size_t AsGraph::link_count() const {
+  std::size_t total = 0;
+  for (const auto& [asn, nbrs] : adj_) total += nbrs.size();
+  return total / 2;
+}
+
+std::optional<Rel> AsGraph::rel(Asn a, Asn b) const {
+  auto it = adj_.find(a);
+  if (it == adj_.end()) return std::nullopt;
+  for (const auto& n : it->second)
+    if (n.asn == b) return n.rel;
+  return std::nullopt;
+}
+
+bgp::RelFn AsGraph::rel_fn() const {
+  return [this](Asn from, Asn to) { return rel(from, to); };
+}
+
+const std::vector<Neighbor>& AsGraph::neighbors(Asn asn) const {
+  auto it = adj_.find(asn);
+  return it == adj_.end() ? kNoNeighbors : it->second;
+}
+
+std::vector<Asn> AsGraph::customers(Asn asn) const {
+  std::vector<Asn> out;
+  for (const auto& n : neighbors(asn))
+    if (n.rel == Rel::P2C) out.push_back(n.asn);
+  return out;
+}
+
+std::vector<Asn> AsGraph::providers(Asn asn) const {
+  std::vector<Asn> out;
+  for (const auto& n : neighbors(asn))
+    if (n.rel == Rel::C2P) out.push_back(n.asn);
+  return out;
+}
+
+std::vector<Asn> AsGraph::peers(Asn asn) const {
+  std::vector<Asn> out;
+  for (const auto& n : neighbors(asn))
+    if (n.rel == Rel::P2P) out.push_back(n.asn);
+  return out;
+}
+
+std::vector<Asn> AsGraph::siblings(Asn asn) const {
+  std::vector<Asn> out;
+  for (const auto& n : neighbors(asn))
+    if (n.rel == Rel::Sibling) out.push_back(n.asn);
+  return out;
+}
+
+std::size_t AsGraph::customer_degree(Asn asn) const {
+  std::size_t n = 0;
+  for (const auto& nb : neighbors(asn))
+    if (nb.rel == Rel::P2C) ++n;
+  return n;
+}
+
+std::set<Asn> AsGraph::customer_cone(Asn asn) const {
+  std::set<Asn> cone;
+  std::vector<Asn> stack = {asn};
+  while (!stack.empty()) {
+    const Asn current = stack.back();
+    stack.pop_back();
+    if (!cone.insert(current).second) continue;
+    for (const auto& n : neighbors(current))
+      if (n.rel == Rel::P2C && !cone.count(n.asn)) stack.push_back(n.asn);
+  }
+  return cone;
+}
+
+std::vector<Asn> AsGraph::ases() const {
+  std::vector<Asn> out;
+  out.reserve(adj_.size());
+  for (const auto& [asn, nbrs] : adj_) out.push_back(asn);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<AsLink, Rel>> AsGraph::links() const {
+  std::vector<std::pair<AsLink, Rel>> out;
+  for (const auto& [asn, nbrs] : adj_) {
+    for (const auto& n : nbrs) {
+      if (asn < n.asn) out.emplace_back(AsLink(asn, n.asn), n.rel);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  return out;
+}
+
+}  // namespace mlp::topology

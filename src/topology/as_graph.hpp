@@ -1,0 +1,81 @@
+// The AS-level business-relationship graph.
+//
+// Nodes are ASNs; edges carry a Gao-Rexford relationship (c2p, p2p or
+// sibling). This graph is the ground truth the synthetic ecosystem routes
+// over; the inference side only ever sees AS paths derived from it.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/aspath.hpp"
+#include "bgp/valley.hpp"
+
+namespace mlp::topology {
+
+using bgp::Asn;
+using bgp::AsLink;
+using bgp::Rel;
+
+/// Directed neighbor record: our relationship toward that neighbor.
+struct Neighbor {
+  Asn asn = 0;
+  Rel rel = Rel::P2P;  // relationship of the owning AS toward `asn`
+};
+
+/// Mutable AS relationship graph with cone/degree queries.
+class AsGraph {
+ public:
+  /// Adds an AS with no edges; idempotent.
+  void add_as(Asn asn);
+
+  /// Adds an undirected relationship edge. `rel` is the relationship of `a`
+  /// toward `b` (Rel::C2P means a is b's customer). Re-adding an existing
+  /// pair replaces the relationship. Self-loops are rejected.
+  void add_edge(Asn a, Asn b, Rel rel);
+
+  bool has_as(Asn asn) const { return adj_.count(asn) != 0; }
+  std::size_t as_count() const { return adj_.size(); }
+  std::size_t link_count() const;
+
+  /// Relationship of `a` toward `b`, or nullopt if not adjacent.
+  std::optional<Rel> rel(Asn a, Asn b) const;
+
+  /// Adapter for bgp::check_valley_free.
+  bgp::RelFn rel_fn() const;
+
+  const std::vector<Neighbor>& neighbors(Asn asn) const;
+  std::vector<Asn> customers(Asn asn) const;
+  std::vector<Asn> providers(Asn asn) const;
+  std::vector<Asn> peers(Asn asn) const;
+  std::vector<Asn> siblings(Asn asn) const;
+
+  /// Number of direct customers (the paper's "customer degree", fig. 7).
+  std::size_t customer_degree(Asn asn) const;
+
+  /// An AS with no customers is a stub (paper section 5).
+  bool is_stub(Asn asn) const { return customer_degree(asn) == 0; }
+
+  /// Total neighbor count.
+  std::size_t degree(Asn asn) const { return neighbors(asn).size(); }
+
+  /// The customer cone of `asn`: itself plus everything reachable by
+  /// repeatedly descending provider->customer edges (paper section 5.5,
+  /// following [32]). Sibling edges are not descended.
+  std::set<Asn> customer_cone(Asn asn) const;
+
+  /// All ASNs, sorted.
+  std::vector<Asn> ases() const;
+
+  /// All undirected links with the relationship seen from link.a's side.
+  std::vector<std::pair<AsLink, Rel>> links() const;
+
+ private:
+  std::unordered_map<Asn, std::vector<Neighbor>> adj_;
+};
+
+}  // namespace mlp::topology

@@ -1,0 +1,229 @@
+#include "topology/generator.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/errors.hpp"
+
+namespace mlp::topology {
+
+std::string to_string(Region region) {
+  switch (region) {
+    case Region::WesternEurope:
+      return "Western Europe";
+    case Region::EasternEurope:
+      return "Eastern Europe";
+    case Region::NorthAmerica:
+      return "North America";
+    case Region::AsiaPacific:
+      return "Asia/Pacific";
+    case Region::LatinAmerica:
+      return "Latin America";
+    case Region::Africa:
+      return "Africa";
+  }
+  return "unknown";
+}
+
+bool AsProfile::present_in(Region r) const {
+  return std::find(presence.begin(), presence.end(), r) != presence.end();
+}
+
+const AsProfile& Topology::profile(Asn asn) const {
+  auto it = profiles.find(asn);
+  if (it == profiles.end())
+    throw InvalidArgument("Topology::profile: unknown AS" +
+                          std::to_string(asn));
+  return it->second;
+}
+
+std::vector<Asn> Topology::ases_in(Region region) const {
+  std::vector<Asn> out;
+  for (const auto& [asn, profile] : profiles)
+    if (profile.present_in(region)) out.push_back(asn);
+  return out;
+}
+
+namespace {
+
+/// Draw `count` distinct ASNs: mostly 16-bit, a slice from the 32-bit space.
+std::vector<Asn> draw_asns(std::size_t count, double asn32_fraction,
+                           Rng& rng) {
+  std::unordered_set<Asn> used;
+  std::vector<Asn> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    Asn asn;
+    if (rng.chance(asn32_fraction)) {
+      asn = static_cast<Asn>(rng.uniform(196608, 400000));  // 32-bit only
+    } else {
+      asn = static_cast<Asn>(rng.uniform(1000, 62000));
+    }
+    if (bgp::is_reserved_or_unassigned(asn) || bgp::is_private(asn)) continue;
+    if (used.insert(asn).second) out.push_back(asn);
+  }
+  return out;
+}
+
+Region draw_region(const std::vector<double>& weights, Rng& rng) {
+  if (weights.size() != kRegionCount)
+    throw InvalidArgument("TopologyParams: region_weights must have 6 items");
+  return static_cast<Region>(rng.weighted_index(weights));
+}
+
+}  // namespace
+
+Topology generate_topology(const TopologyParams& params, Rng& rng) {
+  if (params.n_ases < params.n_clique + 10)
+    throw InvalidArgument("generate_topology: n_ases too small");
+
+  Topology topo;
+  const std::vector<Asn> asns =
+      draw_asns(params.n_ases, params.asn32_fraction, rng);
+
+  const std::size_t n_clique = params.n_clique;
+  const std::size_t n_transit = static_cast<std::size_t>(
+      static_cast<double>(params.n_ases - n_clique) * params.transit_fraction);
+
+  // --- Assign roles and regions. Clique members are globally present.
+  for (std::size_t i = 0; i < asns.size(); ++i) {
+    AsProfile profile;
+    profile.asn = asns[i];
+    profile.home_region = draw_region(params.region_weights, rng);
+    profile.presence = {profile.home_region};
+    if (i < n_clique) {
+      profile.tier = Tier::Clique;
+      for (std::size_t r = 0; r < kRegionCount; ++r) {
+        const Region region = static_cast<Region>(r);
+        if (!profile.present_in(region)) profile.presence.push_back(region);
+      }
+      topo.clique.push_back(profile.asn);
+    } else if (i < n_clique + n_transit) {
+      profile.tier = Tier::Transit;
+      // Transit providers reach 1-3 extra regions.
+      const std::size_t extra = rng.uniform(0, 2);
+      for (std::size_t k = 0; k < extra; ++k) {
+        const Region r = draw_region(params.region_weights, rng);
+        if (!profile.present_in(r)) profile.presence.push_back(r);
+      }
+      topo.transits.push_back(profile.asn);
+    } else {
+      profile.tier = Tier::Stub;
+      topo.stubs.push_back(profile.asn);
+    }
+    topo.profiles[profile.asn] = std::move(profile);
+    topo.graph.add_as(asns[i]);
+  }
+
+  // --- Content-heavy networks: drawn from the stub pool, promoted to a
+  // multi-region presence (they peer widely but buy little transit).
+  for (std::size_t i = 0; i < params.n_content && i < topo.stubs.size(); ++i) {
+    const Asn asn = topo.stubs[i];
+    AsProfile& profile = topo.profiles[asn];
+    profile.content_heavy = true;
+    for (std::size_t r = 0; r < kRegionCount; ++r) {
+      const Region region = static_cast<Region>(r);
+      if (!profile.present_in(region) && rng.chance(0.7))
+        profile.presence.push_back(region);
+    }
+    topo.content.push_back(asn);
+  }
+
+  // --- Clique: full p2p mesh.
+  for (std::size_t i = 0; i < topo.clique.size(); ++i)
+    for (std::size_t j = i + 1; j < topo.clique.size(); ++j)
+      topo.graph.add_edge(topo.clique[i], topo.clique[j], Rel::P2P);
+
+  // --- Transit layer: each transit AS buys from 1-3 providers drawn from
+  // the clique and earlier transits, preferentially by current customer
+  // degree (rich get richer) and biased toward shared regions.
+  std::vector<Asn> provider_pool = topo.clique;
+  for (const Asn asn : topo.transits) {
+    const AsProfile& profile = topo.profiles[asn];
+    const std::size_t want = rng.uniform(1, 3);
+    std::unordered_set<Asn> chosen;
+    for (std::size_t k = 0; k < want; ++k) {
+      std::vector<double> weights(provider_pool.size());
+      for (std::size_t p = 0; p < provider_pool.size(); ++p) {
+        const Asn cand = provider_pool[p];
+        if (chosen.count(cand)) {
+          weights[p] = 0.0;
+          continue;
+        }
+        double w =
+            1.0 + static_cast<double>(topo.graph.customer_degree(cand));
+        const AsProfile& cand_profile = topo.profiles[cand];
+        bool shares_region = false;
+        for (const Region r : profile.presence)
+          if (cand_profile.present_in(r)) shares_region = true;
+        if (shares_region) w *= 3.0;
+        weights[p] = w;
+      }
+      const Asn provider = provider_pool[rng.weighted_index(weights)];
+      if (chosen.insert(provider).second)
+        topo.graph.add_edge(asn, provider, Rel::C2P);
+    }
+    provider_pool.push_back(asn);
+  }
+
+  // --- Stubs: 1-2 providers, strongly biased toward transit ASes present
+  // in the stub's home region; content-heavy stubs multihome more.
+  for (const Asn asn : topo.stubs) {
+    const AsProfile& profile = topo.profiles[asn];
+    const std::size_t want =
+        profile.content_heavy ? rng.uniform(2, 4) : rng.uniform(1, 2);
+    std::unordered_set<Asn> chosen;
+    for (std::size_t k = 0; k < want; ++k) {
+      std::vector<double> weights(provider_pool.size());
+      for (std::size_t p = 0; p < provider_pool.size(); ++p) {
+        const Asn cand = provider_pool[p];
+        if (chosen.count(cand)) {
+          weights[p] = 0.0;
+          continue;
+        }
+        double w =
+            1.0 + static_cast<double>(topo.graph.customer_degree(cand));
+        if (topo.profiles[cand].present_in(profile.home_region)) w *= 6.0;
+        weights[p] = w;
+      }
+      const Asn provider = provider_pool[rng.weighted_index(weights)];
+      if (chosen.insert(provider).second)
+        topo.graph.add_edge(asn, provider, Rel::C2P);
+    }
+  }
+
+  // --- Siblings: occasional pairs among transit ASes (same organisation).
+  for (const Asn asn : topo.transits) {
+    if (!rng.chance(params.sibling_prob)) continue;
+    const Asn other = rng.pick(topo.transits);
+    if (other != asn && !topo.graph.rel(asn, other))
+      topo.graph.add_edge(asn, other, Rel::Sibling);
+  }
+
+  // --- Private (bilateral, non-IXP) peering between transit providers:
+  // the part of the peering ecosystem the paper's method does NOT see.
+  const std::size_t n_private = static_cast<std::size_t>(
+      static_cast<double>(topo.transits.size()) *
+      params.private_peering_factor);
+  for (std::size_t k = 0; k < n_private && topo.transits.size() >= 2; ++k) {
+    const Asn a = rng.pick(topo.transits);
+    const Asn b = rng.pick(topo.transits);
+    if (a == b || topo.graph.rel(a, b)) continue;
+    topo.graph.add_edge(a, b, Rel::P2P);
+  }
+
+  // --- Content networks privately peer with several transits (the
+  // "prefers direct peering over the route server" behaviour of fig. 13).
+  for (const Asn asn : topo.content) {
+    const std::size_t n_peers = rng.uniform(3, 8);
+    for (std::size_t k = 0; k < n_peers; ++k) {
+      const Asn peer = rng.pick(topo.transits);
+      if (peer != asn && !topo.graph.rel(asn, peer))
+        topo.graph.add_edge(asn, peer, Rel::P2P);
+    }
+  }
+
+  return topo;
+}
+
+}  // namespace mlp::topology

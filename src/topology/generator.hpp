@@ -1,0 +1,88 @@
+// Synthetic AS-level topology generation.
+//
+// Substitutes for the real May-2013 Internet (see DESIGN.md): a tiered
+// customer-provider hierarchy with a full-mesh top clique, regional transit
+// providers, a large stub edge, a handful of content-heavy networks, and
+// occasional sibling sets. IXP peering edges are NOT created here — the
+// scenario layer adds them from route-server ground truth, mirroring how
+// multilateral peering overlays the transit hierarchy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "topology/as_graph.hpp"
+#include "util/rng.hpp"
+
+namespace mlp::topology {
+
+/// Coarse geography, used for IXP membership locality and the paper's
+/// geographic-scope analyses (figure 13).
+enum class Region : std::uint8_t {
+  WesternEurope,
+  EasternEurope,
+  NorthAmerica,
+  AsiaPacific,
+  LatinAmerica,
+  Africa,
+};
+
+inline constexpr std::size_t kRegionCount = 6;
+std::string to_string(Region region);
+
+/// Structural role of an AS in the generated hierarchy.
+enum class Tier : std::uint8_t { Clique, Transit, Stub };
+
+/// Static per-AS facts produced by the generator.
+struct AsProfile {
+  Asn asn = 0;
+  Tier tier = Tier::Stub;
+  Region home_region = Region::WesternEurope;
+  /// Regions where the AS has PoPs (home region always included).
+  std::vector<Region> presence;
+  /// Content-heavy networks (Google/Akamai analogues): attractive peers
+  /// that are often also reachable via private interconnects (section 5.5).
+  bool content_heavy = false;
+
+  bool present_in(Region r) const;
+};
+
+struct TopologyParams {
+  std::size_t n_ases = 3000;
+  std::size_t n_clique = 10;
+  /// Fraction of non-clique ASes that provide transit.
+  double transit_fraction = 0.15;
+  /// Number of content-heavy networks.
+  std::size_t n_content = 8;
+  /// Probability that a transit AS has a sibling.
+  double sibling_prob = 0.02;
+  /// Fraction of ASes numbered above 16 bits (RFC 6793 adoption ~2013).
+  double asn32_fraction = 0.08;
+  /// Bilateral/private p2p links between transit ASes, as a fraction of
+  /// the number of transit ASes.
+  double private_peering_factor = 0.8;
+  /// Weights for the home region draw (Europe-heavy by default, matching
+  /// the paper's focus).
+  std::vector<double> region_weights = {0.34, 0.22, 0.18, 0.14, 0.07, 0.05};
+};
+
+/// A generated topology: relationship graph plus per-AS profiles.
+struct Topology {
+  AsGraph graph;
+  std::map<Asn, AsProfile> profiles;
+  std::vector<Asn> clique;
+  std::vector<Asn> transits;
+  std::vector<Asn> stubs;
+  std::vector<Asn> content;
+
+  const AsProfile& profile(Asn asn) const;
+  /// All ASes with a PoP in `region`.
+  std::vector<Asn> ases_in(Region region) const;
+};
+
+/// Deterministic generator: the same params+seed yield the same topology.
+Topology generate_topology(const TopologyParams& params, Rng& rng);
+
+}  // namespace mlp::topology

@@ -1,0 +1,174 @@
+#include "topology/relationship_inference.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mlp::topology {
+
+std::optional<Rel> InferredRelationships::rel(Asn a, Asn b) const {
+  auto it = rels_.find(AsLink(a, b));
+  if (it == rels_.end()) return std::nullopt;
+  // Stored relative to link.a; flip if the caller asked from the b side.
+  return a <= b ? it->second : bgp::invert(it->second);
+}
+
+bgp::RelFn InferredRelationships::rel_fn() const {
+  return [this](Asn from, Asn to) { return rel(from, to); };
+}
+
+void InferredRelationships::set_link(AsLink link, Rel rel_a_to_b) {
+  rels_[link] = rel_a_to_b;
+  if (rel_a_to_b == Rel::C2P) {
+    customers_[link.b].push_back(link.a);
+  } else if (rel_a_to_b == Rel::P2C) {
+    customers_[link.a].push_back(link.b);
+  }
+}
+
+std::set<Asn> InferredRelationships::customer_cone(Asn asn) const {
+  std::set<Asn> cone;
+  std::vector<Asn> stack = {asn};
+  while (!stack.empty()) {
+    const Asn current = stack.back();
+    stack.pop_back();
+    if (!cone.insert(current).second) continue;
+    auto it = customers_.find(current);
+    if (it == customers_.end()) continue;
+    for (const Asn customer : it->second)
+      if (!cone.count(customer)) stack.push_back(customer);
+  }
+  return cone;
+}
+
+std::size_t InferredRelationships::customer_degree(Asn asn) const {
+  auto it = customers_.find(asn);
+  if (it == customers_.end()) return 0;
+  std::unordered_set<Asn> distinct(it->second.begin(), it->second.end());
+  return distinct.size();
+}
+
+namespace {
+
+/// Transit degree: number of distinct neighbors an AS has in paths where
+/// it appears in a non-terminal position (it forwarded the route).
+std::unordered_map<Asn, std::size_t> transit_degrees(
+    const std::vector<bgp::AsPath>& paths) {
+  std::unordered_map<Asn, std::unordered_set<Asn>> neighbors;
+  for (const auto& path : paths) {
+    const auto& asns = path.asns();
+    for (std::size_t i = 1; i + 1 < asns.size(); ++i) {
+      neighbors[asns[i]].insert(asns[i - 1]);
+      neighbors[asns[i]].insert(asns[i + 1]);
+    }
+  }
+  std::unordered_map<Asn, std::size_t> out;
+  for (const auto& [asn, set] : neighbors) out[asn] = set.size();
+  return out;
+}
+
+struct Votes {
+  std::size_t toward_b = 0;  // votes for "a is customer of b"
+  std::size_t toward_a = 0;  // votes for "b is customer of a"
+  std::size_t peer = 0;
+};
+
+}  // namespace
+
+InferredRelationships infer_relationships(
+    const std::vector<bgp::AsPath>& paths,
+    const RelationshipInferenceParams& params) {
+  // Data cleaning, as in the paper: collapse prepending, drop cycles and
+  // reserved ASNs.
+  std::vector<bgp::AsPath> clean;
+  clean.reserve(paths.size());
+  for (const auto& path : paths) {
+    if (path.has_cycle() || path.has_reserved_asn()) continue;
+    bgp::AsPath flat = path.deduplicated();
+    if (flat.length() >= 2) clean.push_back(std::move(flat));
+  }
+
+  const auto degrees = transit_degrees(clean);
+  auto degree_of = [&](Asn asn) -> std::size_t {
+    auto it = degrees.find(asn);
+    return it == degrees.end() ? 0 : it->second;
+  };
+
+  // Clique: the top-N ASes by transit degree.
+  std::vector<Asn> ranked;
+  ranked.reserve(degrees.size());
+  for (const auto& [asn, degree] : degrees) ranked.push_back(asn);
+  std::sort(ranked.begin(), ranked.end(), [&](Asn a, Asn b) {
+    if (degree_of(a) != degree_of(b)) return degree_of(a) > degree_of(b);
+    return a < b;
+  });
+  std::set<Asn> clique(ranked.begin(),
+                       ranked.begin() + std::min(params.clique_size,
+                                                 ranked.size()));
+
+  // Vote per path relative to its summit (maximum transit degree).
+  std::map<AsLink, Votes> votes;
+  for (const auto& path : clean) {
+    const auto& asns = path.asns();
+    std::size_t summit = 0;
+    for (std::size_t i = 1; i < asns.size(); ++i)
+      if (degree_of(asns[i]) > degree_of(asns[summit])) summit = i;
+
+    for (std::size_t i = 0; i + 1 < asns.size(); ++i) {
+      const AsLink link(asns[i], asns[i + 1]);
+      Votes& v = votes[link];
+      const bool both_clique =
+          clique.count(asns[i]) && clique.count(asns[i + 1]);
+      // Summit-adjacent pair with comparable transit degree: likely p2p.
+      const bool at_summit = (i + 1 == summit) || (i == summit);
+      const double da = static_cast<double>(degree_of(asns[i]));
+      const double db = static_cast<double>(degree_of(asns[i + 1]));
+      const double hi = std::max(da, db);
+      const double lo = std::max(1.0, std::min(da, db));
+      const bool high_degree_pair =
+          std::min(da, db) >= static_cast<double>(params.min_peer_degree);
+      if (both_clique || (at_summit && high_degree_pair &&
+                          hi / lo <= params.peer_degree_ratio)) {
+        ++v.peer;
+        continue;
+      }
+      if (i + 1 <= summit) {
+        // Vantage side of the summit: route descended, so the AS closer to
+        // the summit is the provider: asns[i] is customer of asns[i+1].
+        if (link.a == asns[i])
+          ++v.toward_b;
+        else
+          ++v.toward_a;
+      } else {
+        // Origin side: the AS closer to the summit is the provider:
+        // asns[i+1] is customer of asns[i].
+        if (link.a == asns[i + 1])
+          ++v.toward_b;
+        else
+          ++v.toward_a;
+      }
+    }
+  }
+
+  InferredRelationships out;
+  out.set_clique(clique);
+  for (const auto& [link, v] : votes) {
+    const std::size_t directional = v.toward_a + v.toward_b;
+    if (v.peer >= directional) {
+      out.set_link(link, Rel::P2P);
+      continue;
+    }
+    const double hi = static_cast<double>(std::max(v.toward_a, v.toward_b));
+    const double lo = static_cast<double>(std::min(v.toward_a, v.toward_b));
+    if (lo > 0.0 && hi / lo < params.dominance) {
+      out.set_link(link, Rel::P2P);  // conflicting directions: call it p2p
+    } else if (v.toward_b >= v.toward_a) {
+      out.set_link(link, Rel::C2P);  // link.a is customer of link.b
+    } else {
+      out.set_link(link, Rel::P2C);
+    }
+  }
+  return out;
+}
+
+}  // namespace mlp::topology

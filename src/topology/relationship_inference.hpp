@@ -1,0 +1,82 @@
+// AS relationship inference from observed AS paths.
+//
+// A simplified reimplementation of the CAIDA AS-Rank approach the paper
+// relies on ([32], "AS Relationships, Customer Cones, and Validation"):
+// infer a top clique by transit degree, vote link directions per path
+// relative to the path's summit, and derive customer cones from the
+// inferred c2p edges. The paper uses these relationships (a) to identify
+// the RS setter in AS paths with more than two IXP members (section 4.2,
+// case 3) and (b) for the customer-cone analyses of sections 5.5-5.6.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "bgp/aspath.hpp"
+#include "bgp/valley.hpp"
+
+namespace mlp::topology {
+
+using bgp::Asn;
+using bgp::AsLink;
+using bgp::Rel;
+
+/// Inferred relationship set over the links observed in the input paths.
+class InferredRelationships {
+ public:
+  /// Relationship of `a` toward `b`, or nullopt if the link was never
+  /// observed.
+  std::optional<Rel> rel(Asn a, Asn b) const;
+
+  /// Adapter for bgp::check_valley_free.
+  bgp::RelFn rel_fn() const;
+
+  /// Customer cone of `asn` over the inferred c2p edges: the AS itself
+  /// plus every AS reachable by descending provider->customer links.
+  std::set<Asn> customer_cone(Asn asn) const;
+
+  /// Direct customers under the inferred graph.
+  std::size_t customer_degree(Asn asn) const;
+
+  /// The inferred top clique (by transit degree).
+  const std::set<Asn>& clique() const { return clique_; }
+
+  /// All inferred links with rel(link.a -> link.b).
+  const std::map<AsLink, Rel>& links() const { return rels_; }
+
+  std::size_t link_count() const { return rels_.size(); }
+
+  // Construction interface used by infer_relationships().
+  void set_clique(std::set<Asn> clique) { clique_ = std::move(clique); }
+  void set_link(AsLink link, Rel rel_a_to_b);
+
+ private:
+  std::map<AsLink, Rel> rels_;
+  std::set<Asn> clique_;
+  std::map<Asn, std::vector<Asn>> customers_;  // provider -> customers
+};
+
+struct RelationshipInferenceParams {
+  /// Size of the inferred top clique.
+  std::size_t clique_size = 10;
+  /// Two summit-adjacent ASes whose transit degrees are within this ratio
+  /// are assumed to peer rather than to have a c2p relationship.
+  double peer_degree_ratio = 2.5;
+  /// The ratio heuristic only applies when both sides have at least this
+  /// transit degree; low-degree summits are kept directional.
+  std::size_t min_peer_degree = 10;
+  /// A direction needs at least this multiple of opposing votes to win;
+  /// otherwise the link is classified p2p.
+  double dominance = 2.0;
+};
+
+/// Run the inference over a set of AS paths (vantage point first, origin
+/// last). Paths with cycles or reserved ASNs are ignored, as in the paper's
+/// data cleaning step.
+InferredRelationships infer_relationships(
+    const std::vector<bgp::AsPath>& paths,
+    const RelationshipInferenceParams& params = {});
+
+}  // namespace mlp::topology

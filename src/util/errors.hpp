@@ -1,0 +1,29 @@
+// Error types shared across the mlp libraries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mlp {
+
+/// Raised when textual or binary input cannot be decoded.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a caller violates an API precondition.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// Raised when a simulated remote endpoint rejects a request
+/// (e.g. a looking glass enforcing its rate limit).
+class QueryRefused : public std::runtime_error {
+ public:
+  explicit QueryRefused(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace mlp

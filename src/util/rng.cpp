@@ -1,0 +1,81 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace mlp {
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw InvalidArgument("Rng::uniform: lo > hi");
+  std::uniform_int_distribution<std::uint64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::uniform01() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::uint64_t Rng::pareto(std::uint64_t lo, std::uint64_t hi, double alpha) {
+  if (lo == 0) throw InvalidArgument("Rng::pareto: lo must be >= 1");
+  if (lo > hi) throw InvalidArgument("Rng::pareto: lo > hi");
+  if (alpha <= 0.0) throw InvalidArgument("Rng::pareto: alpha must be > 0");
+  // Inverse-CDF sampling of a bounded Pareto distribution.
+  const double l = static_cast<double>(lo);
+  const double h = static_cast<double>(hi) + 1.0;
+  const double u = uniform01();
+  const double la = std::pow(l, alpha);
+  const double ha = std::pow(h, alpha);
+  const double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  auto out = static_cast<std::uint64_t>(x);
+  return std::clamp<std::uint64_t>(out, lo, hi);
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  if (n == 0) throw InvalidArgument("Rng::zipf: n must be >= 1");
+  // Rejection-inversion would be faster; for the sizes used here (n in the
+  // thousands) a cached harmonic sum with binary search is adequate, but to
+  // keep the generator stateless we use the simple approximation via the
+  // integral of x^-s (valid for s != 1 handled separately).
+  const double u = uniform01();
+  if (s == 1.0) {
+    const double hn = std::log(static_cast<double>(n) + 1.0);
+    return std::clamp<std::uint64_t>(
+        static_cast<std::uint64_t>(std::exp(u * hn)), 1, n);
+  }
+  const double a = 1.0 - s;
+  const double hn = (std::pow(static_cast<double>(n) + 1.0, a) - 1.0) / a;
+  const double x = std::pow(u * hn * a + 1.0, 1.0 / a);
+  return std::clamp<std::uint64_t>(static_cast<std::uint64_t>(x), 1, n);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  if (weights.empty())
+    throw InvalidArgument("Rng::weighted_index: empty weights");
+  double total = 0.0;
+  for (double w : weights) total += std::max(0.0, w);
+  if (total <= 0.0)
+    throw InvalidArgument("Rng::weighted_index: non-positive total weight");
+  double r = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= std::max(0.0, weights[i]);
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork(std::uint64_t label) {
+  // SplitMix64-style mixing of (seed, label) gives independent streams.
+  std::uint64_t z = seed_ + 0x9e3779b97f4a7c15ULL * (label + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  return Rng(z);
+}
+
+}  // namespace mlp

@@ -1,0 +1,78 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in this repository draws from an explicitly
+// seeded Rng so that all experiments are reproducible bit-for-bit.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/errors.hpp"
+
+namespace mlp {
+
+/// Seedable random source wrapping std::mt19937_64 with the sampling
+/// helpers used by the topology and workload generators.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Geometric-ish heavy-tailed sample: floor of a bounded Pareto draw in
+  /// [lo, hi] with shape alpha. Used for degree distributions.
+  std::uint64_t pareto(std::uint64_t lo, std::uint64_t hi, double alpha);
+
+  /// Zipf-distributed rank in [1, n] with exponent s.
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  /// Requires a non-empty vector with a positive total weight.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Pick a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    if (v.empty()) throw InvalidArgument("Rng::pick: empty vector");
+    return v[static_cast<std::size_t>(uniform(0, v.size() - 1))];
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Sample k distinct elements (order randomised). If k >= v.size()
+  /// returns a shuffled copy of v.
+  template <typename T>
+  std::vector<T> sample(const std::vector<T>& v, std::size_t k) {
+    std::vector<T> copy = v;
+    shuffle(copy);
+    if (k < copy.size()) copy.resize(k);
+    return copy;
+  }
+
+  /// Derive an independent child generator; streams do not overlap for
+  /// distinct labels.
+  Rng fork(std::uint64_t label);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mlp

@@ -1,0 +1,39 @@
+// Small string helpers used by the textual parsers (RPSL, looking glass
+// output, community strings).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mlp {
+
+/// Split on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Split on any run of whitespace; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view text);
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Parse an unsigned integer; rejects trailing garbage and overflow.
+std::optional<std::uint64_t> parse_u64(std::string_view text);
+
+/// Parse an unsigned integer bounded to 32 bits.
+std::optional<std::uint32_t> parse_u32(std::string_view text);
+
+}  // namespace mlp

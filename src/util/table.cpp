@@ -1,0 +1,94 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace mlp {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '%' &&
+        c != '-' && c != '+' && c != ',' && c != 'x')
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : header_[c];
+      const std::size_t pad = widths[c] - cell.size();
+      if (c) out += "  ";
+      if (looks_numeric(cell)) {
+        out.append(pad, ' ');
+        out += cell;
+      } else {
+        out += cell;
+        out.append(pad, ' ');
+      }
+    }
+    // Trim trailing spaces for tidy diffs.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+
+  std::string out;
+  emit(header_, out);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit(row, out);
+  return out;
+}
+
+std::string fmt_count(std::size_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  int since = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (since == 3) {
+      out += ',';
+      since = 0;
+    }
+    out += *it;
+    ++since;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string fmt_percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace mlp

@@ -1,0 +1,34 @@
+// Aligned plain-text table rendering for the benchmark reports, so that each
+// bench binary can print the paper's tables side by side with measured rows.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mlp {
+
+/// Column-aligned monospace table. Numeric-looking cells are right-aligned,
+/// everything else left-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with a header underline. Rows shorter than the header are padded.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by the report generators.
+std::string fmt_count(std::size_t n);
+std::string fmt_percent(double fraction, int decimals = 1);
+std::string fmt_double(double v, int decimals = 2);
+
+}  // namespace mlp

@@ -1,0 +1,414 @@
+// Unit tests for the bgp library: ASN helpers, prefixes, communities,
+// AS paths, routes, RIB and the valley-free checker.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bgp/asn.hpp"
+#include "bgp/aspath.hpp"
+#include "bgp/community.hpp"
+#include "bgp/prefix.hpp"
+#include "bgp/rib.hpp"
+#include "bgp/route.hpp"
+#include "bgp/valley.hpp"
+#include "util/errors.hpp"
+
+namespace mlp::bgp {
+namespace {
+
+// ---------------------------------------------------------------- asn
+
+TEST(Asn, Ranges) {
+  EXPECT_TRUE(is_16bit(65535));
+  EXPECT_FALSE(is_16bit(65536));
+  EXPECT_TRUE(is_32bit_only(196608));
+  EXPECT_TRUE(is_private(64512));
+  EXPECT_TRUE(is_private(65534));
+  EXPECT_FALSE(is_private(64511));
+  EXPECT_TRUE(is_private(4200000000U));
+}
+
+TEST(Asn, ReservedFilter) {
+  EXPECT_TRUE(is_reserved_or_unassigned(0));
+  EXPECT_TRUE(is_reserved_or_unassigned(kAsTrans));
+  EXPECT_TRUE(is_reserved_or_unassigned(63488));
+  EXPECT_TRUE(is_reserved_or_unassigned(131071));
+  EXPECT_FALSE(is_reserved_or_unassigned(131072));
+  EXPECT_FALSE(is_reserved_or_unassigned(6695));
+  EXPECT_TRUE(is_reserved_or_unassigned(4294967295U));
+}
+
+// ---------------------------------------------------------------- prefix
+
+TEST(Prefix, CanonicalisesHostBits) {
+  IpPrefix p(0xC0A80101, 24);  // 192.168.1.1/24
+  EXPECT_EQ(p.to_string(), "192.168.1.0/24");
+  EXPECT_EQ(p, IpPrefix(0xC0A80100, 24));
+}
+
+TEST(Prefix, ParseRoundTrip) {
+  auto p = IpPrefix::parse("10.20.30.0/24");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->to_string(), "10.20.30.0/24");
+  EXPECT_EQ(p->length(), 24);
+}
+
+TEST(Prefix, ParseRejectsMalformed) {
+  EXPECT_FALSE(IpPrefix::parse("10.0.0.0"));        // no length
+  EXPECT_FALSE(IpPrefix::parse("10.0.0/8"));        // 3 octets
+  EXPECT_FALSE(IpPrefix::parse("10.0.0.256/8"));    // octet overflow
+  EXPECT_FALSE(IpPrefix::parse("10.0.0.0/33"));     // bad length
+  EXPECT_FALSE(IpPrefix::parse("10.0.0.0/x"));      // non-numeric
+  EXPECT_FALSE(IpPrefix::parse(""));
+}
+
+TEST(Prefix, DefaultRouteAndHostRoute) {
+  IpPrefix all(0x01020304, 0);
+  EXPECT_EQ(all.to_string(), "0.0.0.0/0");
+  EXPECT_TRUE(all.contains(0xffffffff));
+  IpPrefix host(0x01020304, 32);
+  EXPECT_TRUE(host.contains(0x01020304));
+  EXPECT_FALSE(host.contains(0x01020305));
+}
+
+TEST(Prefix, ContainsAndCovers) {
+  IpPrefix p = *IpPrefix::parse("10.0.0.0/8");
+  EXPECT_TRUE(p.contains(0x0A123456));
+  EXPECT_FALSE(p.contains(0x0B000000));
+  EXPECT_TRUE(p.covers(*IpPrefix::parse("10.1.0.0/16")));
+  EXPECT_TRUE(p.covers(p));
+  EXPECT_FALSE(p.covers(*IpPrefix::parse("0.0.0.0/0")));
+}
+
+TEST(Prefix, LengthValidation) {
+  EXPECT_THROW(IpPrefix(0, 33), InvalidArgument);
+}
+
+TEST(Prefix, Ordering) {
+  EXPECT_LT(*IpPrefix::parse("10.0.0.0/8"), *IpPrefix::parse("10.0.0.0/16"));
+  EXPECT_LT(*IpPrefix::parse("9.0.0.0/8"), *IpPrefix::parse("10.0.0.0/8"));
+}
+
+TEST(Prefix, Ipv4StringHelpers) {
+  EXPECT_EQ(ipv4_to_string(0x7f000001), "127.0.0.1");
+  EXPECT_EQ(parse_ipv4("127.0.0.1"), 0x7f000001u);
+  EXPECT_FALSE(parse_ipv4("1.2.3"));
+  EXPECT_FALSE(parse_ipv4("1.2.3.4.5"));
+}
+
+// ---------------------------------------------------------------- community
+
+TEST(Community, PackUnpack) {
+  Community c(6695, 8359);
+  EXPECT_EQ(c.value(), (6695u << 16) | 8359u);
+  EXPECT_EQ(Community::from_value(c.value()), c);
+}
+
+TEST(Community, ParseAndFormat) {
+  auto c = Community::parse("0:6695");
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->high, 0);
+  EXPECT_EQ(c->low, 6695);
+  EXPECT_EQ(c->to_string(), "0:6695");
+}
+
+TEST(Community, ParseRejectsMalformed) {
+  EXPECT_FALSE(Community::parse("6695"));
+  EXPECT_FALSE(Community::parse("65536:1"));
+  EXPECT_FALSE(Community::parse("1:65536"));
+  EXPECT_FALSE(Community::parse("a:b"));
+  EXPECT_FALSE(Community::parse(":"));
+}
+
+TEST(Community, WellKnown) {
+  EXPECT_TRUE(is_well_known(kNoExport));
+  EXPECT_EQ(kNoExport.value(), 0xFFFFFF01u);
+  EXPECT_FALSE(is_well_known(Community(6695, 6695)));
+}
+
+TEST(Community, ListParseAndFormat) {
+  auto list = parse_community_list("0:6695 6695:8359  6695:8447");
+  ASSERT_TRUE(list);
+  ASSERT_EQ(list->size(), 3u);
+  EXPECT_EQ(to_string(*list), "0:6695 6695:8359 6695:8447");
+  EXPECT_FALSE(parse_community_list("0:6695 bogus"));
+  auto empty = parse_community_list("");
+  ASSERT_TRUE(empty);
+  EXPECT_TRUE(empty->empty());
+}
+
+// ---------------------------------------------------------------- aspath
+
+TEST(AsPath, ParseAndAccessors) {
+  auto p = AsPath::parse("174 3356 15169");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->length(), 3u);
+  EXPECT_EQ(p->head(), 174u);
+  EXPECT_EQ(p->origin(), 15169u);
+  EXPECT_TRUE(p->contains(3356));
+  EXPECT_FALSE(p->contains(1));
+}
+
+TEST(AsPath, ParseAcceptsAsPrefix) {
+  auto p = AsPath::parse("AS174 AS3356");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->head(), 174u);
+}
+
+TEST(AsPath, ParseRejectsGarbage) {
+  EXPECT_FALSE(AsPath::parse("174 foo"));
+  EXPECT_FALSE(AsPath::parse("174 99999999999"));
+}
+
+TEST(AsPath, EmptyPathAccessorsThrow) {
+  AsPath p;
+  EXPECT_THROW(p.origin(), InvalidArgument);
+  EXPECT_THROW(p.head(), InvalidArgument);
+}
+
+TEST(AsPath, PrependBuildsBgpOrder) {
+  AsPath p{15169};
+  p.prepend(3356);
+  p.prepend(174);
+  EXPECT_EQ(p.to_string(), "174 3356 15169");
+}
+
+TEST(AsPath, CycleDetectionIgnoresPrepending) {
+  EXPECT_FALSE(AsPath({1, 2, 2, 2, 3}).has_cycle());
+  EXPECT_TRUE(AsPath({1, 2, 3, 2}).has_cycle());
+  EXPECT_FALSE(AsPath({1}).has_cycle());
+  EXPECT_FALSE(AsPath{}.has_cycle());
+}
+
+TEST(AsPath, ReservedAsnDetection) {
+  EXPECT_TRUE(AsPath({1, 23456, 3}).has_reserved_asn());
+  EXPECT_TRUE(AsPath({1, 64000, 65000}).has_reserved_asn());
+  EXPECT_FALSE(AsPath({174, 3356, 15169}).has_reserved_asn());
+}
+
+TEST(AsPath, DeduplicatedCollapsesPrepending) {
+  EXPECT_EQ(AsPath({1, 2, 2, 2, 3}).deduplicated(), AsPath({1, 2, 3}));
+  EXPECT_EQ(AsPath({1, 1}).deduplicated(), AsPath({1}));
+}
+
+TEST(AsPath, LinksFromPath) {
+  auto links = AsPath({1, 2, 2, 3}).links();
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_EQ(links[0], AsLink(1, 2));
+  EXPECT_EQ(links[1], AsLink(2, 3));
+  EXPECT_TRUE(AsPath({7}).links().empty());
+}
+
+TEST(AsLink, CanonicalOrdering) {
+  EXPECT_EQ(AsLink(5, 3), AsLink(3, 5));
+  EXPECT_EQ(AsLink(3, 5).a, 3u);
+  EXPECT_LT(AsLink(1, 2), AsLink(1, 3));
+}
+
+// ---------------------------------------------------------------- route
+
+TEST(Route, CommunityHelpers) {
+  PathAttributes attrs;
+  attrs.add_community(Community(0, 6695));
+  attrs.add_community(Community(0, 6695));  // dedup
+  attrs.add_community(Community(6695, 8359));
+  EXPECT_EQ(attrs.communities.size(), 2u);
+  EXPECT_TRUE(attrs.has_community(Community(0, 6695)));
+  attrs.remove_community(Community(0, 6695));
+  EXPECT_FALSE(attrs.has_community(Community(0, 6695)));
+  EXPECT_EQ(attrs.communities.size(), 1u);
+}
+
+TEST(Route, OriginAsn) {
+  Route r;
+  r.prefix = *IpPrefix::parse("10.0.0.0/24");
+  r.attrs.as_path = AsPath({174, 3356, 15169});
+  EXPECT_EQ(r.origin_asn(), 15169u);
+}
+
+TEST(Route, OriginToString) {
+  EXPECT_EQ(to_string(Origin::Igp), "IGP");
+  EXPECT_EQ(to_string(Origin::Egp), "EGP");
+  EXPECT_EQ(to_string(Origin::Incomplete), "incomplete");
+}
+
+// ---------------------------------------------------------------- rib
+
+Route make_route(const std::string& prefix, std::initializer_list<Asn> path) {
+  Route r;
+  r.prefix = *IpPrefix::parse(prefix);
+  r.attrs.as_path = AsPath(path);
+  return r;
+}
+
+TEST(Rib, AnnounceAndLookup) {
+  Rib rib;
+  rib.announce(100, 1, make_route("10.0.0.0/24", {100, 15169}));
+  rib.announce(200, 2, make_route("10.0.0.0/24", {200, 15169}));
+  EXPECT_EQ(rib.prefix_count(), 1u);
+  EXPECT_EQ(rib.path_count(), 2u);
+  EXPECT_EQ(rib.paths(*IpPrefix::parse("10.0.0.0/24")).size(), 2u);
+  EXPECT_TRUE(rib.paths(*IpPrefix::parse("99.0.0.0/24")).empty());
+}
+
+TEST(Rib, ReannouncementReplaces) {
+  Rib rib;
+  rib.announce(100, 1, make_route("10.0.0.0/24", {100, 15169}));
+  rib.announce(100, 1, make_route("10.0.0.0/24", {100, 3356, 15169}));
+  ASSERT_EQ(rib.path_count(), 1u);
+  EXPECT_EQ(rib.paths(*IpPrefix::parse("10.0.0.0/24"))[0]
+                .route.attrs.as_path.length(),
+            3u);
+}
+
+TEST(Rib, WithdrawRemovesOnlyThatPeer) {
+  Rib rib;
+  rib.announce(100, 1, make_route("10.0.0.0/24", {100, 15169}));
+  rib.announce(200, 2, make_route("10.0.0.0/24", {200, 15169}));
+  rib.withdraw(100, *IpPrefix::parse("10.0.0.0/24"));
+  ASSERT_EQ(rib.path_count(), 1u);
+  EXPECT_EQ(rib.paths(*IpPrefix::parse("10.0.0.0/24"))[0].peer_asn, 200u);
+  rib.withdraw(200, *IpPrefix::parse("10.0.0.0/24"));
+  EXPECT_TRUE(rib.empty());
+}
+
+TEST(Rib, DropPeerClearsAllRoutes) {
+  Rib rib;
+  rib.announce(100, 1, make_route("10.0.0.0/24", {100, 15169}));
+  rib.announce(100, 1, make_route("10.1.0.0/24", {100, 15169}));
+  rib.announce(200, 2, make_route("10.0.0.0/24", {200, 15169}));
+  rib.drop_peer(100);
+  EXPECT_EQ(rib.path_count(), 1u);
+  EXPECT_EQ(rib.peers(), std::vector<Asn>{200});
+}
+
+TEST(Rib, BestPrefersHigherLocalPref) {
+  Rib rib;
+  auto long_path = make_route("10.0.0.0/24", {100, 1, 2, 3, 15169});
+  long_path.attrs.has_local_pref = true;
+  long_path.attrs.local_pref = 200;
+  rib.announce(100, 1, long_path);
+  rib.announce(200, 2, make_route("10.0.0.0/24", {200, 15169}));
+  auto best = rib.best(*IpPrefix::parse("10.0.0.0/24"));
+  ASSERT_TRUE(best);
+  EXPECT_EQ(best->peer_asn, 100u);  // local-pref 200 beats shorter path
+}
+
+TEST(Rib, BestPrefersShorterPathAtEqualPref) {
+  Rib rib;
+  rib.announce(100, 1, make_route("10.0.0.0/24", {100, 3356, 15169}));
+  rib.announce(200, 2, make_route("10.0.0.0/24", {200, 15169}));
+  auto best = rib.best(*IpPrefix::parse("10.0.0.0/24"));
+  ASSERT_TRUE(best);
+  EXPECT_EQ(best->peer_asn, 200u);
+}
+
+TEST(Rib, BestDeterministicTieBreak) {
+  Rib rib;
+  rib.announce(200, 2, make_route("10.0.0.0/24", {200, 15169}));
+  rib.announce(100, 1, make_route("10.0.0.0/24", {100, 15169}));
+  auto best = rib.best(*IpPrefix::parse("10.0.0.0/24"));
+  ASSERT_TRUE(best);
+  EXPECT_EQ(best->peer_asn, 100u);  // lower peer ASN wins the tie
+}
+
+TEST(Rib, BestOfMissingPrefix) {
+  Rib rib;
+  EXPECT_FALSE(rib.best(*IpPrefix::parse("10.0.0.0/24")));
+}
+
+TEST(Rib, PrefixesFromPeer) {
+  Rib rib;
+  rib.announce(100, 1, make_route("10.0.0.0/24", {100, 15169}));
+  rib.announce(100, 1, make_route("10.1.0.0/24", {100, 15169}));
+  rib.announce(200, 2, make_route("10.2.0.0/24", {200, 15169}));
+  EXPECT_EQ(rib.prefixes_from_peer(100).size(), 2u);
+  EXPECT_EQ(rib.entries_from_peer(200).size(), 1u);
+  EXPECT_EQ(rib.prefixes().size(), 3u);
+}
+
+// ---------------------------------------------------------------- valley
+
+class ValleyTest : public ::testing::Test {
+ protected:
+  // Topology: 1 <- 2 <- 3 (providers to the left), 2~4 peers, 3=5 siblings.
+  std::map<std::pair<Asn, Asn>, Rel> rels_ = {
+      {{2, 1}, Rel::C2P}, {{3, 2}, Rel::C2P}, {{2, 4}, Rel::P2P},
+      {{3, 5}, Rel::Sibling},
+  };
+
+  RelFn rel_fn() {
+    return [this](Asn from, Asn to) -> std::optional<Rel> {
+      auto it = rels_.find({from, to});
+      if (it != rels_.end()) return it->second;
+      it = rels_.find({to, from});
+      if (it != rels_.end()) return invert(it->second);
+      return std::nullopt;
+    };
+  }
+};
+
+TEST_F(ValleyTest, UphillOnly) {
+  // Path as seen from 1's side: 1 learns from 2 who learns from origin 3.
+  EXPECT_TRUE(is_valley_free(AsPath({1, 2, 3}), rel_fn()));
+}
+
+TEST_F(ValleyTest, DownhillOnly) {
+  EXPECT_TRUE(is_valley_free(AsPath({3, 2, 1}), rel_fn()));
+}
+
+TEST_F(ValleyTest, PeakWithPeering) {
+  // 4 peers with 2; origin 3 is 2's customer: 4 2 3 is valley-free.
+  EXPECT_TRUE(is_valley_free(AsPath({4, 2, 3}), rel_fn()));
+}
+
+TEST_F(ValleyTest, ValleyDetected) {
+  // 1 2 4: from origin 4 the path goes p2p (4~2) then c2p (2->1):
+  // peer-then-up is a valley.
+  EXPECT_EQ(check_valley_free(AsPath({1, 2, 4}), rel_fn()),
+            ValleyVerdict::Valley);
+}
+
+TEST_F(ValleyTest, SiblingAnywhere) {
+  // 5 is 3's sibling; 5 3 2 ... descends after a sibling step: fine.
+  EXPECT_TRUE(is_valley_free(AsPath({1, 2, 3, 5}), rel_fn()));
+  EXPECT_TRUE(is_valley_free(AsPath({5, 3, 2, 1}), rel_fn()));
+}
+
+TEST_F(ValleyTest, UnknownLinkReported) {
+  EXPECT_EQ(check_valley_free(AsPath({1, 99}), rel_fn()),
+            ValleyVerdict::UnknownLink);
+}
+
+TEST_F(ValleyTest, ShortPathsTriviallyValleyFree) {
+  EXPECT_TRUE(is_valley_free(AsPath({1}), rel_fn()));
+  EXPECT_TRUE(is_valley_free(AsPath{}, rel_fn()));
+}
+
+TEST_F(ValleyTest, PrependingCollapsedBeforeCheck) {
+  EXPECT_TRUE(is_valley_free(AsPath({1, 2, 2, 2, 3}), rel_fn()));
+}
+
+TEST(ValleyExport, GaoRexfordMatrix) {
+  // Routes from customers/siblings are exported to everyone.
+  EXPECT_TRUE(may_export(Rel::P2C, Rel::C2P));
+  EXPECT_TRUE(may_export(Rel::P2C, Rel::P2P));
+  EXPECT_TRUE(may_export(Rel::Sibling, Rel::P2P));
+  // Routes from peers/providers only go to customers/siblings.
+  EXPECT_TRUE(may_export(Rel::P2P, Rel::P2C));
+  EXPECT_FALSE(may_export(Rel::P2P, Rel::P2P));
+  EXPECT_FALSE(may_export(Rel::P2P, Rel::C2P));
+  EXPECT_FALSE(may_export(Rel::C2P, Rel::P2P));
+  EXPECT_FALSE(may_export(Rel::C2P, Rel::C2P));
+  EXPECT_TRUE(may_export(Rel::C2P, Rel::Sibling));
+}
+
+TEST(ValleyExport, InvertIsInvolution) {
+  for (Rel r : {Rel::C2P, Rel::P2C, Rel::P2P, Rel::Sibling})
+    EXPECT_EQ(invert(invert(r)), r);
+  EXPECT_EQ(invert(Rel::C2P), Rel::P2C);
+  EXPECT_EQ(invert(Rel::P2P), Rel::P2P);
+}
+
+}  // namespace
+}  // namespace mlp::bgp

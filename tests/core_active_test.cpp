@@ -1,0 +1,243 @@
+// Tests for the active LG survey (sections 4.1/4.3) and the validation
+// framework (section 5.1), both running against simulated looking glasses.
+#include <gtest/gtest.h>
+
+#include "core/active.hpp"
+#include "core/engine.hpp"
+#include "core/validation.hpp"
+#include "routeserver/route_server.hpp"
+
+namespace mlp::core {
+namespace {
+
+using bgp::AsPath;
+using bgp::Community;
+using routeserver::ExportPolicy;
+using routeserver::IxpCommunityScheme;
+using routeserver::RouteServer;
+using routeserver::SchemeStyle;
+
+/// A small route server with four members; members 1 and 2 both announce
+/// a shared prefix (multi-origin, like an anycast or multihomed customer)
+/// to exercise the shared-query optimisation.
+class ActiveSurveyTest : public ::testing::Test {
+ protected:
+  ActiveSurveyTest()
+      : rs_(IxpCommunityScheme::make("DE-CIX", 6695,
+                                     SchemeStyle::RsAsnBased)) {
+    for (Asn member : {kA, kB, kC, kD}) rs_.connect(member, 0xC0000200 + member);
+    announce(kA, "10.1.0.0/16", {Community(0, kC)});  // A excludes C
+    announce(kA, "10.9.0.0/16", {Community(0, kC)});
+    announce(kB, "10.2.0.0/16", {Community(6695, 6695)});
+    announce(kB, "10.9.0.0/16", {Community(6695, 6695)});  // shared prefix
+    announce(kC, "10.3.0.0/16", {});
+    announce(kD, "10.4.0.0/16", {Community(0, 6695), Community(6695, kA)});
+  }
+
+  void announce(Asn member, const std::string& prefix,
+                std::vector<Community> communities) {
+    bgp::Route route;
+    route.prefix = *IpPrefix::parse(prefix);
+    route.attrs.as_path = AsPath({member});
+    route.attrs.next_hop = member;
+    route.attrs.communities = std::move(communities);
+    rs_.announce(member, std::move(route));
+  }
+
+  lg::LgConfig lg_config() {
+    lg::LgConfig config;
+    config.name = "lg.de-cix";
+    config.operator_asn = 6695;
+    return config;
+  }
+
+  static constexpr Asn kA = 11, kB = 12, kC = 13, kD = 14;
+  RouteServer rs_;
+};
+
+TEST_F(ActiveSurveyTest, Step1FindsAllMembers) {
+  lg::LookingGlassServer lg(lg_config(), &rs_.rib());
+  const auto result = run_active_survey(lg);
+  EXPECT_EQ(result.rs_members, (std::set<Asn>{kA, kB, kC, kD}));
+}
+
+TEST_F(ActiveSurveyTest, ObservationsFeedEngineCorrectly) {
+  lg::LookingGlassServer lg(lg_config(), &rs_.rib());
+  ActiveConfig config;
+  config.prefix_sample_fraction = 1.0;  // exhaustive for correctness check
+  const auto result = run_active_survey(lg, config);
+
+  IxpContext ctx;
+  ctx.name = "DE-CIX";
+  ctx.scheme = rs_.scheme();
+  ctx.rs_members = result.rs_members;
+  MlpInferenceEngine engine(ctx);
+  for (const auto& observation : result.observations)
+    engine.add(observation);
+
+  // Expected: A excludes C; D allows only A (NONE+INCLUDE);
+  // B, C open. Reciprocity: A-B, A-D, B-C. Not A-C (blocked), not B-D /
+  // C-D (D's allow-list holds only A).
+  const auto links = engine.infer_links();
+  EXPECT_TRUE(links.count(AsLink(kA, kB)));
+  EXPECT_TRUE(links.count(AsLink(kA, kD)));
+  EXPECT_TRUE(links.count(AsLink(kB, kC)));
+  EXPECT_FALSE(links.count(AsLink(kA, kC)));
+  EXPECT_FALSE(links.count(AsLink(kB, kD)));
+  EXPECT_FALSE(links.count(AsLink(kC, kD)));
+  EXPECT_EQ(links.size(), 3u);
+}
+
+TEST_F(ActiveSurveyTest, CostAccounting) {
+  lg::LookingGlassServer lg(lg_config(), &rs_.rib());
+  const auto result = run_active_survey(lg);
+  // 1 summary + 4 neighbor queries + prefix queries.
+  EXPECT_EQ(result.queries,
+            1 + result.member_queries + result.prefix_queries);
+  EXPECT_EQ(result.member_queries, 4u);
+  // naive = 1 + |A_RS| + sum |P_a| = 1 + 4 + 6 = 11.
+  EXPECT_EQ(result.naive_queries, 11u);
+  EXPECT_LE(result.queries, result.naive_queries);
+  EXPECT_DOUBLE_EQ(result.simulated_hours(3600.0),
+                   static_cast<double>(result.queries));
+}
+
+TEST_F(ActiveSurveyTest, SharedPrefixQueryCoversTwoMembers) {
+  lg::LookingGlassServer lg(lg_config(), &rs_.rib());
+  ActiveConfig shared;
+  shared.multiplicity_sort = true;
+  shared.share_prefix_queries = true;
+  const auto with = run_active_survey(lg, shared);
+
+  lg::LookingGlassServer lg2(lg_config(), &rs_.rib());
+  ActiveConfig unshared;
+  unshared.multiplicity_sort = false;
+  unshared.share_prefix_queries = false;
+  const auto without = run_active_survey(lg2, unshared);
+
+  EXPECT_LE(with.prefix_queries, without.prefix_queries);
+  // 10.9.0.0/16 is advertised by A and B; with sorting it is queried
+  // first for A and covers B too.
+  EXPECT_LT(with.prefix_queries, 1u + without.prefix_queries);
+}
+
+TEST_F(ActiveSurveyTest, SkipMembersReducesCost) {
+  lg::LookingGlassServer lg(lg_config(), &rs_.rib());
+  const auto full = run_active_survey(lg);
+  lg::LookingGlassServer lg2(lg_config(), &rs_.rib());
+  const auto reduced = run_active_survey(lg2, {}, {kA, kB});
+  EXPECT_LT(reduced.queries, full.queries);
+  EXPECT_EQ(reduced.member_queries, 2u);
+  // Observations only cover setters whose prefixes got queried; A and B
+  // may still appear via shared prefixes of C/D, but none exist here.
+  for (const auto& observation : reduced.observations)
+    EXPECT_TRUE(observation.setter == kC || observation.setter == kD);
+}
+
+TEST_F(ActiveSurveyTest, SampleCapRespected) {
+  lg::LookingGlassServer lg(lg_config(), &rs_.rib());
+  ActiveConfig config;
+  config.prefix_sample_fraction = 1.0;
+  config.prefix_sample_cap = 1;  // at most one prefix per member
+  const auto result = run_active_survey(lg, config);
+  EXPECT_LE(result.prefix_queries, 4u);
+}
+
+// ------------------------------------------------------------ validation
+
+TEST(Validation, PathConfirmsLink) {
+  EXPECT_TRUE(
+      path_confirms_link(AsPath({5, 10, 20}), AsLink(10, 20), {}));
+  EXPECT_TRUE(
+      path_confirms_link(AsPath({5, 10, 20}), AsLink(5, 10), {}));
+  EXPECT_FALSE(
+      path_confirms_link(AsPath({5, 10, 20}), AsLink(5, 20), {}));
+  // Interposed route-server ASN tolerated.
+  EXPECT_TRUE(path_confirms_link(AsPath({5, 10, 6695, 20}), AsLink(10, 20),
+                                 {6695}));
+  EXPECT_FALSE(path_confirms_link(AsPath({5, 10, 6695, 20}), AsLink(10, 20),
+                                  {}));
+  // Prepending collapsed.
+  EXPECT_TRUE(
+      path_confirms_link(AsPath({5, 10, 10, 20}), AsLink(10, 20), {}));
+}
+
+TEST(Validation, BestPathOnlyLgMissesAlternatePath) {
+  // RIB at the LG: two paths to 10.0.0.0/16; the best avoids link 30-40.
+  bgp::Rib rib;
+  bgp::Route best;
+  best.prefix = *IpPrefix::parse("10.0.0.0/16");
+  best.attrs.as_path = AsPath({20, 40});
+  best.attrs.next_hop = 1;
+  rib.announce(20, 1, best);
+  bgp::Route alt;
+  alt.prefix = *IpPrefix::parse("10.0.0.0/16");
+  alt.attrs.as_path = AsPath({30, 30, 40});  // longer: not best
+  alt.attrs.next_hop = 2;
+  rib.announce(30, 2, alt);
+
+  lg::LgConfig all_config{"lg-all", 99, /*show_all_paths=*/true, true, 10.0,
+                          {}};
+  lg::LgConfig best_config{"lg-best", 99, /*show_all_paths=*/false, true,
+                           10.0, {}};
+  lg::LookingGlassServer lg_all(all_config, &rib);
+  lg::LookingGlassServer lg_best(best_config, &rib);
+
+  const std::set<AsLink> links = {AsLink(30, 40)};
+  auto relevant = [](const ValidationLg&, const AsLink&) { return true; };
+  auto prefixes = [](Asn) {
+    return std::vector<IpPrefix>{*IpPrefix::parse("10.0.0.0/16")};
+  };
+  ValidationConfig config;
+
+  std::vector<ValidationLg> lgs_all = {{"lg-all", 99, &lg_all}};
+  const auto report_all =
+      validate_links(links, lgs_all, relevant, prefixes, config);
+  EXPECT_EQ(report_all.links_confirmed, 1u);
+
+  std::vector<ValidationLg> lgs_best = {{"lg-best", 99, &lg_best}};
+  const auto report_best =
+      validate_links(links, lgs_best, relevant, prefixes, config);
+  EXPECT_EQ(report_best.links_tested, 1u);
+  EXPECT_EQ(report_best.links_confirmed, 0u);
+  ASSERT_EQ(report_best.per_lg.size(), 1u);
+  EXPECT_FALSE(report_best.per_lg[0].shows_all_paths);
+}
+
+TEST(Validation, IrrelevantLgsSkipped) {
+  bgp::Rib rib;
+  lg::LgConfig config{"lg", 99, true, true, 10.0, {}};
+  lg::LookingGlassServer lg(config, &rib);
+  std::vector<ValidationLg> lgs = {{"lg", 99, &lg}};
+  const std::set<AsLink> links = {AsLink(1, 2)};
+  const auto report = validate_links(
+      links, lgs, [](const ValidationLg&, const AsLink&) { return false; },
+      [](Asn) { return std::vector<IpPrefix>{}; }, ValidationConfig{});
+  EXPECT_EQ(report.links_tested, 0u);
+  EXPECT_EQ(report.queries, 0u);
+  EXPECT_DOUBLE_EQ(report.confirm_rate(), 1.0);
+}
+
+TEST(Validation, PrefixBudgetRespected) {
+  bgp::Rib rib;  // empty: nothing ever confirms
+  lg::LgConfig config{"lg", 99, true, true, 10.0, {}};
+  lg::LookingGlassServer lg(config, &rib);
+  std::vector<ValidationLg> lgs = {{"lg", 7, &lg}};
+  const std::set<AsLink> links = {AsLink(7, 8)};
+  std::vector<IpPrefix> many;
+  for (int i = 0; i < 20; ++i)
+    many.push_back(IpPrefix(0x0A000000 + (i << 16), 16));
+  ValidationConfig vconfig;
+  vconfig.prefixes_per_link = 6;
+  const auto report = validate_links(
+      links, lgs, [](const ValidationLg&, const AsLink&) { return true; },
+      [&](Asn) { return many; }, vconfig);
+  // Operator 7 is an endpoint: only the far side (8) is queried, capped
+  // at 6 prefixes.
+  EXPECT_EQ(report.queries, 6u);
+  EXPECT_EQ(report.links_confirmed, 0u);
+  EXPECT_EQ(report.unconfirmed_links.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mlp::core

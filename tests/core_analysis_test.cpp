@@ -1,0 +1,230 @@
+// Tests for the section-5 analyses and the global estimate model.
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/estimate.hpp"
+
+namespace mlp::core {
+namespace {
+
+using bgp::Community;
+using routeserver::IxpCommunityScheme;
+using routeserver::SchemeStyle;
+
+TEST(Visibility, CountsAndOverlap) {
+  const std::set<AsLink> mlp = {AsLink(1, 2), AsLink(1, 3), AsLink(2, 3)};
+  const std::set<AsLink> passive = {AsLink(1, 2), AsLink(1, 9)};
+  const std::set<AsLink> active = {AsLink(2, 3), AsLink(5, 6)};
+  const auto cmp = compare_visibility(mlp, passive, active);
+  EXPECT_EQ(cmp.mlp_links, 3u);
+  EXPECT_EQ(cmp.overlap_mlp_passive, 1u);
+  EXPECT_EQ(cmp.overlap_mlp_active, 1u);
+  ASSERT_EQ(cmp.rows.size(), 3u);
+  // Rows sorted by MLP count desc; all three members have 2 MLP links.
+  EXPECT_EQ(cmp.rows[0].mlp, 2u);
+  // Member 1 has passive count 2 (links 1-2 and 1-9 touch it).
+  const auto& row1 = *std::find_if(
+      cmp.rows.begin(), cmp.rows.end(),
+      [](const VisibilityRow& r) { return r.member == 1; });
+  EXPECT_EQ(row1.passive, 2u);
+  EXPECT_EQ(row1.active, 0u);
+}
+
+TEST(Visibility, EmptySets) {
+  const auto cmp = compare_visibility({}, {}, {});
+  EXPECT_TRUE(cmp.rows.empty());
+  EXPECT_EQ(cmp.mlp_links, 0u);
+}
+
+TEST(Degrees, StubFractions) {
+  // Degrees: 1->0 (stub), 2->0 (stub), 3->15, 4->50.
+  auto degree = [](Asn asn) -> std::size_t {
+    switch (asn) {
+      case 3:
+        return 15;
+      case 4:
+        return 50;
+      default:
+        return 0;
+    }
+  };
+  const std::set<AsLink> links = {AsLink(1, 2), AsLink(1, 3), AsLink(3, 4),
+                                  AsLink(2, 4)};
+  const auto analysis = analyze_link_degrees(links, degree);
+  EXPECT_DOUBLE_EQ(analysis.frac_stub_stub, 0.25);  // only 1-2
+  EXPECT_DOUBLE_EQ(analysis.frac_one_stub, 0.75);   // all but 3-4
+  EXPECT_DOUBLE_EQ(analysis.frac_small, 0.75);      // min degree <= 10
+  ASSERT_EQ(analysis.smallest.size(), 4u);
+  EXPECT_EQ(*std::max_element(analysis.largest.begin(),
+                              analysis.largest.end()),
+            50u);
+}
+
+TEST(Density, PerMemberFractions) {
+  const std::set<Asn> members = {1, 2, 3, 4};
+  // 1 peers with everyone; 4 with nobody.
+  const std::set<AsLink> links = {AsLink(1, 2), AsLink(1, 3), AsLink(2, 3)};
+  const auto analysis = peering_density(links, members);
+  ASSERT_EQ(analysis.per_member.size(), 4u);
+  EXPECT_DOUBLE_EQ(analysis.per_member[0], 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(analysis.per_member[3], 0.0);
+  EXPECT_NEAR(analysis.mean, (2 + 2 + 2 + 0) / 3.0 / 4.0, 1e-9);
+}
+
+TEST(Density, DegenerateMemberSet) {
+  EXPECT_TRUE(peering_density({}, {}).per_member.empty());
+  EXPECT_TRUE(peering_density({}, {1}).per_member.empty());
+}
+
+TEST(Repellers, CountsConeAndCustomerBlocks) {
+  IxpContext ctx;
+  ctx.name = "DE-CIX";
+  ctx.scheme =
+      IxpCommunityScheme::make("DE-CIX", 6695, SchemeStyle::RsAsnBased);
+  ctx.rs_members = {1, 2, 3, 4};
+  MlpInferenceEngine engine(ctx);
+  auto obs = [&](Asn setter, const std::string& prefix,
+                 std::vector<Community> communities) {
+    Observation o;
+    o.setter = setter;
+    o.prefix = *IpPrefix::parse(prefix);
+    o.communities = std::move(communities);
+    engine.add(o);
+  };
+  // 1 excludes 2 (its customer) and 3; 4 excludes 3.
+  obs(1, "10.1.0.0/16", {Community(0, 2), Community(0, 3)});
+  obs(4, "10.4.0.0/16", {Community(0, 3)});
+
+  auto cone = [](Asn asn) -> std::set<Asn> {
+    if (asn == 1) return {1, 2};  // 2 in 1's cone
+    return {asn};
+  };
+  auto is_customer = [](Asn provider, Asn customer) {
+    return provider == 1 && customer == 2;
+  };
+  const std::vector<const MlpInferenceEngine*> engines = {&engine};
+  const auto report = analyze_repellers(engines, cone, is_customer);
+  EXPECT_EQ(report.exclude_applications, 3u);
+  EXPECT_EQ(report.repelled_members, 2u);       // targets 2 and 3
+  EXPECT_EQ(report.blocked_count.at(3), 2u);    // 3 blocked twice
+  EXPECT_EQ(report.cone_blocks, 1u);            // 1 blocks cone member 2
+  EXPECT_EQ(report.provider_blocks_customer, 1u);
+}
+
+TEST(Repellers, NonMemberTargetsIgnored) {
+  IxpContext ctx;
+  ctx.name = "DE-CIX";
+  ctx.scheme =
+      IxpCommunityScheme::make("DE-CIX", 6695, SchemeStyle::RsAsnBased);
+  ctx.rs_members = {1, 2};
+  MlpInferenceEngine engine(ctx);
+  Observation o;
+  o.setter = 1;
+  o.prefix = *IpPrefix::parse("10.0.0.0/16");
+  o.communities = {Community(0, 999)};  // 999 not a member
+  engine.add(o);
+  const std::vector<const MlpInferenceEngine*> engines = {&engine};
+  const auto report = analyze_repellers(engines, nullptr, nullptr);
+  EXPECT_EQ(report.exclude_applications, 0u);
+}
+
+TEST(Hybrid, DetectsC2pLabelledMlpLinks) {
+  const std::set<AsLink> mlp = {AsLink(1, 2), AsLink(3, 4)};
+  const std::set<AsLink> passive = {AsLink(1, 2), AsLink(3, 4),
+                                    AsLink(5, 6)};
+  auto rel = [](Asn a, Asn b) -> std::optional<bgp::Rel> {
+    if (AsLink(a, b) == AsLink(1, 2)) return bgp::Rel::C2P;
+    if (AsLink(a, b) == AsLink(3, 4)) return bgp::Rel::P2P;
+    return std::nullopt;
+  };
+  const auto report = find_hybrid_relationships(mlp, passive, rel);
+  EXPECT_EQ(report.candidates, 1u);
+  ASSERT_EQ(report.links.size(), 1u);
+  EXPECT_EQ(report.links[0], AsLink(1, 2));
+}
+
+// ------------------------------------------------------------- estimate
+
+IxpCensusEntry census(const std::string& name, std::set<bgp::Asn> members,
+                      bool rs, PricingModel pricing, bool na = false) {
+  IxpCensusEntry e;
+  e.name = name;
+  e.members = std::move(members);
+  e.has_route_server = rs;
+  e.pricing = pricing;
+  e.north_american = na;
+  return e;
+}
+
+TEST(Estimate, DensityRules) {
+  EstimateAssumptions a;
+  EXPECT_DOUBLE_EQ(
+      assumed_density(census("x", {}, true, PricingModel::FlatFee), a, false),
+      0.70);
+  EXPECT_DOUBLE_EQ(
+      assumed_density(census("x", {}, true, PricingModel::UsageBased), a,
+                      false),
+      0.60);
+  EXPECT_DOUBLE_EQ(
+      assumed_density(census("x", {}, false, PricingModel::FlatFee), a,
+                      false),
+      0.50);
+  EXPECT_DOUBLE_EQ(
+      assumed_density(
+          census("x", {}, true, PricingModel::FlatFee, /*na=*/true), a,
+          false),
+      0.40);
+  // Conservative cap.
+  EXPECT_DOUBLE_EQ(
+      assumed_density(census("x", {}, true, PricingModel::FlatFee), a, true),
+      0.60);
+}
+
+TEST(Estimate, TotalsAndPerIxp) {
+  // 5 members, flat fee + RS: C(5,2)=10 pairs * 0.7 = 7 links.
+  const std::vector<IxpCensusEntry> entries = {
+      census("A", {1, 2, 3, 4, 5}, true, PricingModel::FlatFee)};
+  const auto estimate = estimate_global_peerings(entries, {});
+  EXPECT_EQ(estimate.total_links, 7u);
+  EXPECT_EQ(estimate.unique_links, 7u);
+  EXPECT_EQ(estimate.distinct_ases, 5u);
+  ASSERT_EQ(estimate.per_ixp.size(), 1u);
+  EXPECT_EQ(estimate.per_ixp[0].second, 7u);
+}
+
+TEST(Estimate, OverlapReducesUniqueLinks) {
+  // Two identical 5-member IXPs: total 14, but the same pairs can host
+  // both IXPs' links, so the unique lower bound stays at 7... with
+  // budgets 7+7 over 10 pairs the greedy overlaps 7 pairs fully and
+  // needs 0 extra: unique = 7.
+  const std::set<bgp::Asn> members = {1, 2, 3, 4, 5};
+  const std::vector<IxpCensusEntry> entries = {
+      census("A", members, true, PricingModel::FlatFee),
+      census("B", members, true, PricingModel::FlatFee)};
+  const auto estimate = estimate_global_peerings(entries, {});
+  EXPECT_EQ(estimate.total_links, 14u);
+  EXPECT_EQ(estimate.unique_links, 7u);
+  EXPECT_EQ(estimate.distinct_ases, 5u);
+}
+
+TEST(Estimate, DisjointIxpsDoNotOverlap) {
+  const std::vector<IxpCensusEntry> entries = {
+      census("A", {1, 2, 3, 4, 5}, true, PricingModel::FlatFee),
+      census("B", {6, 7, 8, 9, 10}, true, PricingModel::UsageBased)};
+  const auto estimate = estimate_global_peerings(entries, {});
+  EXPECT_EQ(estimate.total_links, 7u + 6u);
+  EXPECT_EQ(estimate.unique_links, 13u);
+  EXPECT_EQ(estimate.distinct_ases, 10u);
+}
+
+TEST(Estimate, ConservativeVariantLowersTotals) {
+  const std::set<bgp::Asn> members = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<IxpCensusEntry> entries = {
+      census("A", members, true, PricingModel::FlatFee)};
+  const auto normal = estimate_global_peerings(entries, {}, false);
+  const auto conservative = estimate_global_peerings(entries, {}, true);
+  EXPECT_LT(conservative.total_links, normal.total_links);
+}
+
+}  // namespace
+}  // namespace mlp::core

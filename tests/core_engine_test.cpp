@@ -1,0 +1,179 @@
+// Tests for the MLP inference engine (algorithm steps 4-5) and for the
+// reciprocity checker (section 4.4).
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/reciprocity.hpp"
+
+namespace mlp::core {
+namespace {
+
+using bgp::Community;
+using routeserver::IxpCommunityScheme;
+using routeserver::SchemeStyle;
+
+IxpContext decix_context(std::set<Asn> members) {
+  IxpContext ctx;
+  ctx.name = "DE-CIX";
+  ctx.scheme = IxpCommunityScheme::make("DE-CIX", 6695,
+                                        SchemeStyle::RsAsnBased);
+  ctx.rs_members = std::move(members);
+  return ctx;
+}
+
+Observation obs(Asn setter, const std::string& prefix,
+                std::vector<Community> communities,
+                Source source = Source::Passive) {
+  Observation o;
+  o.setter = setter;
+  o.prefix = *IpPrefix::parse(prefix);
+  o.communities = std::move(communities);
+  o.source = source;
+  return o;
+}
+
+TEST(Engine, Figure3Links) {
+  // Paper figure 3: A(1) blocks C(3); B(2), C, D(4) open.
+  MlpInferenceEngine engine(decix_context({1, 2, 3, 4}));
+  engine.add(obs(1, "10.1.0.0/16",
+                 {Community(0, 6695), Community(6695, 2), Community(6695, 4)}));
+  engine.add(obs(2, "10.2.0.0/16", {Community(6695, 6695)}));
+  engine.add(obs(3, "10.3.0.0/16", {Community(6695, 6695)}));
+  engine.add(obs(4, "10.4.0.0/16", {}));  // no communities: default ALL
+
+  const auto links = engine.infer_links();
+  EXPECT_EQ(links.size(), 5u);
+  EXPECT_FALSE(links.count(AsLink(1, 3)));
+  EXPECT_TRUE(links.count(AsLink(1, 2)));
+  EXPECT_TRUE(links.count(AsLink(1, 4)));
+  EXPECT_TRUE(links.count(AsLink(2, 3)));
+  EXPECT_TRUE(links.count(AsLink(2, 4)));
+  EXPECT_TRUE(links.count(AsLink(3, 4)));
+}
+
+TEST(Engine, ReciprocityRequiresBothDirections) {
+  MlpInferenceEngine engine(decix_context({1, 2}));
+  // 1 excludes 2, 2 allows everyone: no link (one-way willingness).
+  engine.add(obs(1, "10.1.0.0/16", {Community(0, 2)}));
+  engine.add(obs(2, "10.2.0.0/16", {Community(6695, 6695)}));
+  EXPECT_TRUE(engine.infer_links().empty());
+}
+
+TEST(Engine, UnobservedMembersExcludedByDefault) {
+  MlpInferenceEngine engine(decix_context({1, 2, 3}));
+  engine.add(obs(1, "10.1.0.0/16", {}));
+  engine.add(obs(2, "10.2.0.0/16", {}));
+  // 3 never observed: participates only with assume-open.
+  EXPECT_EQ(engine.infer_links().size(), 1u);
+  EXPECT_EQ(engine.infer_links(true).size(), 3u);
+}
+
+TEST(Engine, NonMemberObservationsRejected) {
+  MlpInferenceEngine engine(decix_context({1, 2}));
+  engine.add(obs(99, "10.1.0.0/16", {}));
+  EXPECT_EQ(engine.rejected_observations(), 1u);
+  EXPECT_TRUE(engine.observed_members().empty());
+}
+
+TEST(Engine, PolicyIntersectionAcrossPrefixes) {
+  // Step 4: N_a intersected across prefixes. First prefix allows {2,3},
+  // second allows {2,4}: member 1 effectively allows only 2.
+  MlpInferenceEngine engine(decix_context({1, 2, 3, 4}));
+  engine.add(obs(1, "10.1.0.0/16",
+                 {Community(0, 6695), Community(6695, 2), Community(6695, 3)}));
+  engine.add(obs(1, "10.2.0.0/16",
+                 {Community(0, 6695), Community(6695, 2), Community(6695, 4)}));
+  const auto policy = engine.policy_of(1);
+  ASSERT_TRUE(policy);
+  EXPECT_TRUE(policy->allows(2));
+  EXPECT_FALSE(policy->allows(3));
+  EXPECT_FALSE(policy->allows(4));
+}
+
+TEST(Engine, ReannouncementReplacesPolicyForPrefix) {
+  MlpInferenceEngine engine(decix_context({1, 2}));
+  engine.add(obs(1, "10.1.0.0/16", {Community(0, 2)}));  // exclude 2
+  engine.add(obs(1, "10.1.0.0/16", {Community(6695, 6695)}));  // now open
+  const auto policy = engine.policy_of(1);
+  ASSERT_TRUE(policy);
+  EXPECT_TRUE(policy->allows(2));
+}
+
+TEST(Engine, StatsBreakdown) {
+  MlpInferenceEngine engine(decix_context({1, 2, 3, 4}));
+  engine.add(obs(1, "10.1.0.0/16", {}, Source::Passive));
+  engine.add(obs(2, "10.2.0.0/16", {}, Source::ActiveLg));
+  engine.add(obs(2, "10.3.0.0/16", {Community(0, 4)}, Source::ActiveLg));
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.rs_members, 4u);
+  EXPECT_EQ(stats.observed_members, 2u);
+  EXPECT_EQ(stats.passive_members, 1u);
+  EXPECT_EQ(stats.active_members, 1u);
+  EXPECT_EQ(stats.observations, 3u);
+  EXPECT_EQ(stats.inconsistent_members, 1u);  // member 2 differs per prefix
+  EXPECT_EQ(stats.links, 1u);                 // 1-2 only (2 blocks 4)
+}
+
+TEST(Engine, PolicyOfUnknownMember) {
+  MlpInferenceEngine engine(decix_context({1}));
+  EXPECT_FALSE(engine.policy_of(1));
+  EXPECT_FALSE(engine.policy_of(42));
+}
+
+// ------------------------------------------------------------ reciprocity
+
+TEST(Reciprocity, ConservativeFiltersPass) {
+  irr::IrrDatabase db;
+  // AS1 exports to {2,3}, imports from {2,3,4}: more permissive import.
+  db.load(
+      "aut-num: AS1\n"
+      "import: from AS2 accept ANY\nimport: from AS3 accept ANY\n"
+      "import: from AS4 accept ANY\n"
+      "export: to AS2 announce AS1\nexport: to AS3 announce AS1\n"
+      "\n"
+      "aut-num: AS2\n"
+      "import: from AS1 accept ANY\n"
+      "export: to AS1 announce AS2\n");
+  const auto report =
+      check_reciprocity(db, {1, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(report.members_checked, 2u);
+  EXPECT_EQ(report.violations, 0u);
+  EXPECT_EQ(report.more_permissive_imports, 1u);
+  EXPECT_EQ(report.equal_filters, 1u);
+  EXPECT_DOUBLE_EQ(report.violation_rate(), 0.0);
+}
+
+TEST(Reciprocity, ViolationDetected) {
+  irr::IrrDatabase db;
+  // AS1 exports to 2 but does not import from 2: violation.
+  db.load(
+      "aut-num: AS1\n"
+      "import: from AS3 accept ANY\n"
+      "export: to AS2 announce AS1\n");
+  const auto report = check_reciprocity(db, {1}, {2, 3});
+  EXPECT_EQ(report.violations, 1u);
+  ASSERT_EQ(report.violating_members.size(), 1u);
+  EXPECT_EQ(report.violating_members[0], 1u);
+}
+
+TEST(Reciprocity, AnyImportNeverViolates) {
+  irr::IrrDatabase db;
+  db.load(
+      "aut-num: AS1\n"
+      "import: from ANY accept ANY\n"
+      "export: to AS2 announce AS1\n");
+  const auto report = check_reciprocity(db, {1}, {2, 3, 4});
+  EXPECT_EQ(report.violations, 0u);
+  EXPECT_EQ(report.more_permissive_imports, 1u);
+}
+
+TEST(Reciprocity, MissingObjectsCounted) {
+  irr::IrrDatabase db;
+  db.load("aut-num: AS1\nexport: to AS2 announce AS1\n");  // no import
+  const auto report = check_reciprocity(db, {1, 5}, {2});
+  EXPECT_EQ(report.members_checked, 0u);
+  EXPECT_EQ(report.members_missing, 2u);
+}
+
+}  // namespace
+}  // namespace mlp::core

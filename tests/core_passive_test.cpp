@@ -1,0 +1,227 @@
+// Tests for the passive pipeline (section 4.2): IXP attribution,
+// RS-setter identification cases 1-3, transient filtering, MRT intake.
+#include <gtest/gtest.h>
+
+#include "core/passive.hpp"
+#include "mrt/table_dump.hpp"
+
+namespace mlp::core {
+namespace {
+
+using bgp::Community;
+using routeserver::IxpCommunityScheme;
+using routeserver::SchemeStyle;
+
+// Two IXPs with distinct schemes; members overlap partially so the
+// EXCLUDE-only disambiguation has something to chew on.
+std::vector<IxpContext> two_ixps() {
+  IxpContext decix;
+  decix.name = "DE-CIX";
+  decix.scheme =
+      IxpCommunityScheme::make("DE-CIX", 6695, SchemeStyle::RsAsnBased);
+  decix.rs_members = {10, 20, 30, 40};
+
+  IxpContext mskix;
+  mskix.name = "MSK-IX";
+  mskix.scheme =
+      IxpCommunityScheme::make("MSK-IX", 8631, SchemeStyle::RsAsnBased);
+  mskix.rs_members = {10, 20, 50, 60};
+  return {decix, mskix};
+}
+
+/// Ground-truth relationships for setter case 3: path 99 -> 10 -> 20 where
+/// 99 is customer of 10 and 10~20 peer.
+bgp::RelFn simple_rels() {
+  return [](Asn from, Asn to) -> std::optional<bgp::Rel> {
+    if (from == 99 && to == 10) return bgp::Rel::C2P;
+    if (from == 10 && to == 99) return bgp::Rel::P2C;
+    if ((from == 10 && to == 20) || (from == 20 && to == 10))
+      return bgp::Rel::P2P;
+    if (from == 20 && to == 30) return bgp::Rel::P2C;
+    if (from == 30 && to == 20) return bgp::Rel::C2P;
+    return std::nullopt;
+  };
+}
+
+IpPrefix pfx(const std::string& text) { return *IpPrefix::parse(text); }
+
+TEST(Passive, DirectAttributionByRsAsn) {
+  PassiveExtractor extractor(two_ixps(), nullptr);
+  // Path E(5) D(10) A(20): two members, setter = 20 (closest to origin);
+  // community 6695:6695 pins DE-CIX.
+  extractor.consume_path(bgp::AsPath({5, 10, 20}), pfx("10.0.0.0/16"),
+                         {Community(6695, 6695)});
+  const auto& obs = extractor.observations();
+  ASSERT_EQ(obs.count("DE-CIX"), 1u);
+  ASSERT_EQ(obs.at("DE-CIX").size(), 1u);
+  EXPECT_EQ(obs.at("DE-CIX")[0].setter, 20u);
+  EXPECT_EQ(extractor.stats().observations, 1u);
+}
+
+TEST(Passive, ExcludeOnlyDisambiguatedByMembership) {
+  PassiveExtractor extractor(two_ixps(), nullptr);
+  // 0:50 -- AS50 is only a member at MSK-IX, so the EXCLUDE-only set
+  // attributes there despite both schemes sharing the 0:peer pattern.
+  extractor.consume_path(bgp::AsPath({5, 10, 20}), pfx("10.0.0.0/16"),
+                         {Community(0, 50)});
+  const auto& obs = extractor.observations();
+  EXPECT_EQ(obs.count("DE-CIX"), 0u);
+  ASSERT_EQ(obs.count("MSK-IX"), 1u);
+  EXPECT_EQ(obs.at("MSK-IX")[0].setter, 20u);
+}
+
+TEST(Passive, ExcludeOnlyAmbiguousDropped) {
+  PassiveExtractor extractor(two_ixps(), nullptr);
+  // 0:10 -- AS10 is a member at both IXPs: unresolvable.
+  extractor.consume_path(bgp::AsPath({5, 10, 20}), pfx("10.0.0.0/16"),
+                         {Community(0, 10)});
+  EXPECT_TRUE(extractor.observations().empty());
+  EXPECT_EQ(extractor.stats().paths_ambiguous_ixp, 1u);
+}
+
+TEST(Passive, NoRsValues) {
+  PassiveExtractor extractor(two_ixps(), nullptr);
+  extractor.consume_path(bgp::AsPath({5, 10, 20}), pfx("10.0.0.0/16"),
+                         {Community(3356, 100)});
+  EXPECT_EQ(extractor.stats().paths_no_rs_values, 1u);
+  extractor.consume_path(bgp::AsPath({5, 10, 20}), pfx("10.0.0.0/16"), {});
+  EXPECT_EQ(extractor.stats().paths_no_rs_values, 2u);
+}
+
+TEST(Passive, SetterCase1TooFewMembers) {
+  PassiveExtractor extractor(two_ixps(), nullptr);
+  // Only one RS member (20) in the path: cannot pinpoint the setter.
+  extractor.consume_path(bgp::AsPath({5, 7, 20}), pfx("10.0.0.0/16"),
+                         {Community(6695, 6695)});
+  EXPECT_EQ(extractor.stats().paths_no_setter, 1u);
+  EXPECT_TRUE(extractor.observations().empty());
+}
+
+TEST(Passive, SetterCase2NonAdjacentMembersRejected) {
+  PassiveExtractor extractor(two_ixps(), nullptr);
+  // Members 10 and 20 separated by non-member 7: no RS crossing.
+  extractor.consume_path(bgp::AsPath({5, 10, 7, 20}), pfx("10.0.0.0/16"),
+                         {Community(6695, 6695)});
+  EXPECT_EQ(extractor.stats().paths_no_setter, 1u);
+}
+
+TEST(Passive, SetterCase3UsesRelationships) {
+  PassiveExtractor extractor(two_ixps(), simple_rels());
+  // Path 99 10 20 30: members 10, 20, 30 (three members). 10~20 is the
+  // p2p step; the setter is 20 (p2p side closest to the prefix).
+  extractor.consume_path(bgp::AsPath({99, 10, 20, 30}), pfx("10.0.0.0/16"),
+                         {Community(6695, 6695)});
+  const auto& obs = extractor.observations();
+  ASSERT_EQ(obs.count("DE-CIX"), 1u);
+  EXPECT_EQ(obs.at("DE-CIX")[0].setter, 20u);
+}
+
+TEST(Passive, SetterCase3FailsWithoutRelationships) {
+  PassiveExtractor extractor(two_ixps(), nullptr);
+  extractor.consume_path(bgp::AsPath({99, 10, 20, 30}), pfx("10.0.0.0/16"),
+                         {Community(6695, 6695)});
+  EXPECT_EQ(extractor.stats().paths_no_setter, 1u);
+}
+
+TEST(Passive, DirtyPathsDropped) {
+  PassiveExtractor extractor(two_ixps(), nullptr);
+  extractor.consume_path(bgp::AsPath({5, 10, 5, 20}), pfx("10.0.0.0/16"),
+                         {Community(6695, 6695)});  // cycle
+  extractor.consume_path(bgp::AsPath({5, 23456, 20}), pfx("10.0.0.0/16"),
+                         {Community(6695, 6695)});  // reserved ASN
+  EXPECT_EQ(extractor.stats().paths_dirty, 2u);
+  EXPECT_TRUE(extractor.observations().empty());
+}
+
+TEST(Passive, OnlySchemeCommunitiesRecorded) {
+  PassiveExtractor extractor(two_ixps(), nullptr);
+  extractor.consume_path(
+      bgp::AsPath({5, 10, 20}), pfx("10.0.0.0/16"),
+      {Community(6695, 6695), Community(3356, 42), Community(0, 30)});
+  const auto& obs = extractor.observations().at("DE-CIX");
+  ASSERT_EQ(obs.size(), 1u);
+  // 3356:42 is unrelated and must not leak into the observation.
+  EXPECT_EQ(obs[0].communities.size(), 2u);
+  EXPECT_EQ(obs[0].communities[0], Community(6695, 6695));
+  EXPECT_EQ(obs[0].communities[1], Community(0, 30));
+}
+
+TEST(Passive, TableDumpIntake) {
+  // Build a collector RIB with one RS-community-tagged path and parse the
+  // genuine MRT bytes end to end.
+  bgp::Rib rib;
+  bgp::Route route;
+  route.prefix = pfx("10.0.0.0/16");
+  route.attrs.as_path = bgp::AsPath({5, 10, 20});
+  route.attrs.next_hop = 1;
+  route.attrs.communities = {Community(6695, 6695)};
+  rib.announce(5, 0x0505, route);
+  const auto archive = mrt::dump_rib(rib, 1367366400, 1, "bview");
+
+  PassiveExtractor extractor(two_ixps(), nullptr);
+  extractor.consume_table_dump(archive);
+  EXPECT_EQ(extractor.stats().observations, 1u);
+  EXPECT_EQ(extractor.observations().at("DE-CIX")[0].setter, 20u);
+}
+
+TEST(Passive, TransientAnnouncementsFiltered) {
+  PassiveConfig config;
+  config.min_duration_s = 600;
+  PassiveExtractor extractor(two_ixps(), nullptr, config);
+
+  std::vector<mrt::ObservedUpdate> updates;
+  auto announce = [&](std::uint32_t t, const std::string& prefix) {
+    mrt::ObservedUpdate u;
+    u.timestamp = t;
+    u.peer_asn = 5;
+    u.peer_ip = 0x0505;
+    u.update.nlri = {pfx(prefix)};
+    u.update.attrs.as_path = bgp::AsPath({5, 10, 20});
+    u.update.attrs.next_hop = 1;
+    u.update.attrs.communities = {Community(6695, 6695)};
+    updates.push_back(std::move(u));
+  };
+  auto withdraw = [&](std::uint32_t t, const std::string& prefix) {
+    mrt::ObservedUpdate u;
+    u.timestamp = t;
+    u.peer_asn = 5;
+    u.peer_ip = 0x0505;
+    u.update.withdrawn = {pfx(prefix)};
+    updates.push_back(std::move(u));
+  };
+
+  announce(1000, "10.0.0.0/16");   // withdrawn after 100s: transient
+  withdraw(1100, "10.0.0.0/16");
+  announce(1000, "10.1.0.0/16");   // withdrawn after 2000s: stable
+  withdraw(3000, "10.1.0.0/16");
+  announce(5000, "10.2.0.0/16");   // never withdrawn: stable
+
+  const auto archive = mrt::dump_updates(updates, 65000, 1);
+  extractor.consume_update_stream(archive);
+  EXPECT_EQ(extractor.stats().paths_transient, 1u);
+  EXPECT_EQ(extractor.stats().observations, 2u);
+}
+
+TEST(Passive, MultipleStrongAttributionsBothRecorded) {
+  // A route carrying both IXPs' ALL values (member of both, tagging all
+  // sessions identically): each IXP receives an observation.
+  PassiveExtractor extractor(two_ixps(), nullptr);
+  extractor.consume_path(bgp::AsPath({5, 10, 20}), pfx("10.0.0.0/16"),
+                         {Community(6695, 6695), Community(8631, 8631)});
+  EXPECT_EQ(extractor.observations().count("DE-CIX"), 1u);
+  EXPECT_EQ(extractor.observations().count("MSK-IX"), 1u);
+}
+
+TEST(Passive, StatsAccumulate) {
+  PassiveExtractor extractor(two_ixps(), nullptr);
+  extractor.consume_path(bgp::AsPath({5, 10, 20}), pfx("10.0.0.0/16"),
+                         {Community(6695, 6695)});
+  extractor.consume_path(bgp::AsPath({5, 10, 20}), pfx("10.1.0.0/16"), {});
+  const auto& stats = extractor.stats();
+  EXPECT_EQ(stats.paths_seen, 2u);
+  EXPECT_EQ(stats.observations, 1u);
+  EXPECT_EQ(stats.paths_no_rs_values, 1u);
+}
+
+}  // namespace
+}  // namespace mlp::core

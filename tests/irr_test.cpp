@@ -1,0 +1,203 @@
+// Tests for the IRR substrate: RPSL parsing/serialisation, as-set
+// expansion, and aut-num import/export filter extraction.
+#include <gtest/gtest.h>
+
+#include "irr/database.hpp"
+#include "irr/rpsl.hpp"
+#include "util/errors.hpp"
+
+namespace mlp::irr {
+namespace {
+
+constexpr const char* kSampleDb = R"(% RIPE-style comment header
+
+aut-num:        AS8359
+as-name:        MTS
+import:         from AS6777 accept ANY
+import:         from AS8447 accept ANY
+export:         to AS6777 announce AS8359
+export:         to AS8447 announce AS8359
+mnt-by:         TEST-MNT
+
+as-set:         AS6695:AS-MEMBERS
+descr:          DE-CIX route server members
+members:        AS8359, AS8447
+members:        AS5410
+members:        AS6695:AS-NESTED
+
+as-set:         AS6695:AS-NESTED
+members:        AS12389 AS9002
+
+aut-num:        AS15169
+as-name:        CONTENT
+import:         from ANY accept ANY
+export:         to ANY announce AS15169
+)";
+
+TEST(Rpsl, ParsesObjectsAndClasses) {
+  const auto objects = parse_rpsl(kSampleDb);
+  ASSERT_EQ(objects.size(), 4u);
+  EXPECT_EQ(objects[0].class_name(), "aut-num");
+  EXPECT_EQ(objects[0].primary_key(), "AS8359");
+  EXPECT_EQ(objects[1].class_name(), "as-set");
+  EXPECT_EQ(objects[1].primary_key(), "AS6695:AS-MEMBERS");
+}
+
+TEST(Rpsl, AttributeAccessors) {
+  const auto objects = parse_rpsl(kSampleDb);
+  const auto& autnum = objects[0];
+  EXPECT_EQ(autnum.first("as-name"), "MTS");
+  EXPECT_EQ(autnum.first("missing"), std::nullopt);
+  EXPECT_EQ(autnum.all("import").size(), 2u);
+  EXPECT_EQ(autnum.all("export").size(), 2u);
+  // Keys are case-insensitive.
+  EXPECT_EQ(autnum.first("AS-NAME"), "MTS");
+}
+
+TEST(Rpsl, ContinuationLines) {
+  const auto objects = parse_rpsl(
+      "as-set: AS-X\n"
+      "members: AS1,\n"
+      "         AS2\n"
+      "+        AS3\n");
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].first("members"), "AS1, AS2 AS3");
+}
+
+TEST(Rpsl, CommentsStripped) {
+  const auto objects = parse_rpsl(
+      "% full line comment\n"
+      "aut-num: AS1 # trailing comment\n");
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].primary_key(), "AS1");
+}
+
+TEST(Rpsl, MalformedInputThrows) {
+  EXPECT_THROW(parse_rpsl("this line has no colon\n"), ParseError);
+  EXPECT_THROW(parse_rpsl("   dangling continuation\n"), ParseError);
+  EXPECT_THROW(parse_rpsl(":empty key\n"), ParseError);
+}
+
+TEST(Rpsl, SerializeParsesBack) {
+  const auto objects = parse_rpsl(kSampleDb);
+  const std::string text = serialize(objects);
+  const auto reparsed = parse_rpsl(text);
+  EXPECT_EQ(reparsed, objects);
+}
+
+TEST(Rpsl, EmptyInput) {
+  EXPECT_TRUE(parse_rpsl("").empty());
+  EXPECT_TRUE(parse_rpsl("\n\n% only comments\n\n").empty());
+}
+
+// ---------------------------------------------------------------- database
+
+TEST(IrrDb, FindByClassAndKey) {
+  IrrDatabase db;
+  db.load(kSampleDb);
+  EXPECT_EQ(db.object_count(), 4u);
+  ASSERT_NE(db.find("aut-num", "AS8359"), nullptr);
+  // Lookup is case-insensitive.
+  ASSERT_NE(db.find("AUT-NUM", "as8359"), nullptr);
+  EXPECT_EQ(db.find("aut-num", "AS9999"), nullptr);
+  EXPECT_EQ(db.find("as-set", "AS8359"), nullptr);
+}
+
+TEST(IrrDb, LaterObjectsReplaceEarlier) {
+  IrrDatabase db;
+  db.load("aut-num: AS1\nas-name: OLD\n");
+  db.load("aut-num: AS1\nas-name: NEW\n");
+  EXPECT_EQ(db.object_count(), 1u);
+  EXPECT_EQ(db.find("aut-num", "AS1")->first("as-name"), "NEW");
+}
+
+TEST(IrrDb, AsSetExpansionRecursive) {
+  IrrDatabase db;
+  db.load(kSampleDb);
+  const auto members = db.expand_as_set("AS6695:AS-MEMBERS");
+  ASSERT_TRUE(members);
+  EXPECT_EQ(*members,
+            (std::set<Asn>{8359, 8447, 5410, 12389, 9002}));
+}
+
+TEST(IrrDb, AsSetExpansionHandlesCycles) {
+  IrrDatabase db;
+  db.load(
+      "as-set: AS-A\nmembers: AS1, AS-B\n\n"
+      "as-set: AS-B\nmembers: AS2, AS-A\n");
+  const auto members = db.expand_as_set("AS-A");
+  ASSERT_TRUE(members);
+  EXPECT_EQ(*members, (std::set<Asn>{1, 2}));
+}
+
+TEST(IrrDb, AsSetUnknownNestedIgnored) {
+  IrrDatabase db;
+  db.load("as-set: AS-A\nmembers: AS1, AS-MISSING\n");
+  const auto members = db.expand_as_set("AS-A");
+  ASSERT_TRUE(members);
+  EXPECT_EQ(*members, std::set<Asn>{1});
+}
+
+TEST(IrrDb, MissingAsSetIsNullopt) {
+  IrrDatabase db;
+  EXPECT_FALSE(db.expand_as_set("AS-NOPE"));
+}
+
+TEST(IrrDb, ImportExportFilters) {
+  IrrDatabase db;
+  db.load(kSampleDb);
+  const auto imports = db.import_filter(8359);
+  ASSERT_TRUE(imports);
+  EXPECT_FALSE(imports->any);
+  EXPECT_EQ(imports->peers, (std::set<Asn>{6777, 8447}));
+  EXPECT_TRUE(imports->allows(6777));
+  EXPECT_FALSE(imports->allows(15169));
+
+  const auto exports = db.export_filter(8359);
+  ASSERT_TRUE(exports);
+  EXPECT_EQ(exports->peers, (std::set<Asn>{6777, 8447}));
+}
+
+TEST(IrrDb, AnyFilters) {
+  IrrDatabase db;
+  db.load(kSampleDb);
+  const auto imports = db.import_filter(15169);
+  ASSERT_TRUE(imports);
+  EXPECT_TRUE(imports->any);
+  EXPECT_TRUE(imports->allows(1));
+  const auto exports = db.export_filter(15169);
+  ASSERT_TRUE(exports);
+  EXPECT_TRUE(exports->any);
+}
+
+TEST(IrrDb, MissingAutNumFilters) {
+  IrrDatabase db;
+  db.load(kSampleDb);
+  EXPECT_FALSE(db.import_filter(4242));
+  // aut-num without import lines:
+  db.load("aut-num: AS4242\nas-name: NOFILTER\n");
+  EXPECT_FALSE(db.import_filter(4242));
+  EXPECT_FALSE(db.export_filter(4242));
+}
+
+TEST(IrrDb, DumpReloadsIdentically) {
+  IrrDatabase db;
+  db.load(kSampleDb);
+  IrrDatabase copy;
+  copy.load(db.dump());
+  EXPECT_EQ(copy.object_count(), db.object_count());
+  EXPECT_EQ(copy.expand_as_set("AS6695:AS-MEMBERS"),
+            db.expand_as_set("AS6695:AS-MEMBERS"));
+  EXPECT_EQ(copy.import_filter(8359), db.import_filter(8359));
+}
+
+TEST(IrrDb, ParseAsReference) {
+  EXPECT_EQ(parse_as_reference("AS8359"), 8359u);
+  EXPECT_EQ(parse_as_reference("as8359"), 8359u);
+  EXPECT_FALSE(parse_as_reference("AS-SET-NAME"));
+  EXPECT_FALSE(parse_as_reference("8359"));
+  EXPECT_FALSE(parse_as_reference("ASmany"));
+}
+
+}  // namespace
+}  // namespace mlp::irr

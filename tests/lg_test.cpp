@@ -1,0 +1,231 @@
+// Tests for the looking-glass server/client: command rendering, response
+// parsing, best-path-only hiding, member hiding and query accounting.
+#include <gtest/gtest.h>
+
+#include "lg/lg_client.hpp"
+#include "lg/lg_server.hpp"
+#include "util/errors.hpp"
+
+namespace mlp::lg {
+namespace {
+
+using bgp::AsPath;
+using bgp::Community;
+using bgp::IpPrefix;
+
+bgp::Rib sample_rib() {
+  bgp::Rib rib;
+  bgp::Route r1;
+  r1.prefix = *IpPrefix::parse("10.0.0.0/24");
+  r1.attrs.as_path = AsPath({8359, 15169});
+  r1.attrs.next_hop = 0xC0000201;
+  r1.attrs.communities = {Community(0, 6695), Community(6695, 8447)};
+  rib.announce(8359, 0xC0000201, r1);
+
+  bgp::Route r2;
+  r2.prefix = *IpPrefix::parse("10.0.0.0/24");
+  r2.attrs.as_path = AsPath({3356, 1299, 15169});
+  r2.attrs.next_hop = 0xC0000202;
+  rib.announce(3356, 0xC0000202, r2);
+
+  bgp::Route r3;
+  r3.prefix = *IpPrefix::parse("10.7.0.0/16");
+  r3.attrs.as_path = AsPath({8359, 8447});
+  r3.attrs.next_hop = 0xC0000201;
+  rib.announce(8359, 0xC0000201, r3);
+  return rib;
+}
+
+LgConfig config_named(const std::string& name) {
+  LgConfig c;
+  c.name = name;
+  c.operator_asn = 6695;
+  return c;
+}
+
+TEST(LgServer, SummaryListsSessions) {
+  const bgp::Rib rib = sample_rib();
+  LookingGlassServer server(config_named("rs1.de-cix"), &rib);
+  const std::string out = server.execute("show ip bgp summary");
+  EXPECT_NE(out.find("192.0.2.1 8359 2"), std::string::npos);
+  EXPECT_NE(out.find("192.0.2.2 3356 1"), std::string::npos);
+  EXPECT_NE(out.find("Total neighbors: 2"), std::string::npos);
+}
+
+TEST(LgServer, BareShowIpBgpAliasesSummary) {
+  const bgp::Rib rib = sample_rib();
+  LookingGlassServer server(config_named("lg"), &rib);
+  EXPECT_EQ(server.execute("show ip bgp"),
+            server.execute("show ip bgp summary"));
+}
+
+TEST(LgServer, NeighborRoutes) {
+  const bgp::Rib rib = sample_rib();
+  LookingGlassServer server(config_named("lg"), &rib);
+  const std::string out =
+      server.execute("show ip bgp neighbors 192.0.2.1 routes");
+  EXPECT_NE(out.find("10.0.0.0/24"), std::string::npos);
+  EXPECT_NE(out.find("10.7.0.0/16"), std::string::npos);
+  EXPECT_NE(out.find("Total: 2"), std::string::npos);
+}
+
+TEST(LgServer, PrefixDetailAllPaths) {
+  const bgp::Rib rib = sample_rib();
+  LookingGlassServer server(config_named("lg"), &rib);
+  const std::string out = server.execute("show ip bgp 10.0.0.0/24");
+  EXPECT_NE(out.find("Paths: (2 available)"), std::string::npos);
+  EXPECT_NE(out.find("8359 15169"), std::string::npos);
+  EXPECT_NE(out.find("3356 1299 15169"), std::string::npos);
+  EXPECT_NE(out.find("communities: 0:6695 6695:8447"), std::string::npos);
+  EXPECT_NE(out.find("best"), std::string::npos);
+}
+
+TEST(LgServer, BestPathOnlyHidesAlternatives) {
+  const bgp::Rib rib = sample_rib();
+  LgConfig config = config_named("lg");
+  config.show_all_paths = false;
+  LookingGlassServer server(config, &rib);
+  const std::string out = server.execute("show ip bgp 10.0.0.0/24");
+  EXPECT_NE(out.find("Paths: (1 available)"), std::string::npos);
+  // The shorter path 8359 15169 is best; 3356's path must be hidden.
+  EXPECT_NE(out.find("8359 15169"), std::string::npos);
+  EXPECT_EQ(out.find("3356 1299 15169"), std::string::npos);
+}
+
+TEST(LgServer, CommunitiesSuppressed) {
+  const bgp::Rib rib = sample_rib();
+  LgConfig config = config_named("france-ix-style");
+  config.show_communities = false;
+  LookingGlassServer server(config, &rib);
+  const std::string out = server.execute("show ip bgp 10.0.0.0/24");
+  EXPECT_EQ(out.find("communities"), std::string::npos);
+}
+
+TEST(LgServer, HiddenMembersInvisibleEverywhere) {
+  const bgp::Rib rib = sample_rib();
+  LgConfig config = config_named("dtel-ix-style");
+  config.hidden_members = {8359};
+  LookingGlassServer server(config, &rib);
+  EXPECT_EQ(server.execute("show ip bgp summary").find("8359"),
+            std::string::npos);
+  EXPECT_NE(server.execute("show ip bgp 10.0.0.0/24").find("3356"),
+            std::string::npos);
+  EXPECT_EQ(server.execute("show ip bgp 10.0.0.0/24").find("8359"),
+            std::string::npos);
+  // 10.7.0.0/16 only had the hidden member's path.
+  EXPECT_NE(server.execute("show ip bgp 10.7.0.0/16").find("% Network"),
+            std::string::npos);
+}
+
+TEST(LgServer, ErrorsForBadInput) {
+  const bgp::Rib rib = sample_rib();
+  LookingGlassServer server(config_named("lg"), &rib);
+  EXPECT_NE(server.execute("show version").find("% Unknown"),
+            std::string::npos);
+  EXPECT_NE(server.execute("show ip bgp 10.0.0.0").find("% Invalid prefix"),
+            std::string::npos);
+  EXPECT_NE(server.execute("show ip bgp neighbors nope routes")
+                .find("% Invalid neighbor"),
+            std::string::npos);
+  EXPECT_NE(server.execute("show ip bgp 99.0.0.0/24").find("% Network"),
+            std::string::npos);
+}
+
+TEST(LgServer, QueryAccounting) {
+  const bgp::Rib rib = sample_rib();
+  LgConfig config = config_named("lg");
+  config.min_query_interval_s = 10.0;
+  LookingGlassServer server(config, &rib);
+  server.execute("show ip bgp summary");
+  server.execute("show ip bgp 10.0.0.0/24");
+  EXPECT_EQ(server.queries_served(), 2u);
+  EXPECT_DOUBLE_EQ(server.simulated_elapsed_s(), 20.0);
+}
+
+// ---------------------------------------------------------------- client
+
+TEST(LgClient, NeighborsRoundTrip) {
+  const bgp::Rib rib = sample_rib();
+  LookingGlassServer server(config_named("lg"), &rib);
+  LookingGlassClient client(server);
+  const auto neighbors = client.neighbors();
+  ASSERT_EQ(neighbors.size(), 2u);
+  EXPECT_EQ(neighbors[0].ip, 0xC0000201u);
+  EXPECT_EQ(neighbors[0].asn, 8359u);
+  EXPECT_EQ(neighbors[0].prefixes_received, 2u);
+  EXPECT_EQ(neighbors[1].asn, 3356u);
+  EXPECT_EQ(client.queries_issued(), 1u);
+}
+
+TEST(LgClient, NeighborRoutesRoundTrip) {
+  const bgp::Rib rib = sample_rib();
+  LookingGlassServer server(config_named("lg"), &rib);
+  LookingGlassClient client(server);
+  const auto routes = client.neighbor_routes(0xC0000201);
+  ASSERT_EQ(routes.size(), 2u);
+  EXPECT_EQ(routes[0], *IpPrefix::parse("10.0.0.0/24"));
+  EXPECT_EQ(routes[1], *IpPrefix::parse("10.7.0.0/16"));
+}
+
+TEST(LgClient, PrefixDetailRoundTrip) {
+  const bgp::Rib rib = sample_rib();
+  LookingGlassServer server(config_named("lg"), &rib);
+  LookingGlassClient client(server);
+  const auto paths = client.prefix_detail(*IpPrefix::parse("10.0.0.0/24"));
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].as_path, AsPath({8359, 15169}));
+  EXPECT_EQ(paths[0].from_asn, 8359u);
+  EXPECT_EQ(paths[0].from_ip, 0xC0000201u);
+  EXPECT_EQ(paths[0].next_hop, 0xC0000201u);
+  ASSERT_EQ(paths[0].communities.size(), 2u);
+  EXPECT_EQ(paths[0].communities[0], Community(0, 6695));
+  EXPECT_TRUE(paths[0].best);
+  EXPECT_FALSE(paths[1].best);
+  EXPECT_EQ(paths[1].as_path, AsPath({3356, 1299, 15169}));
+}
+
+TEST(LgClient, MissingPrefixYieldsEmpty) {
+  const bgp::Rib rib = sample_rib();
+  LookingGlassServer server(config_named("lg"), &rib);
+  LookingGlassClient client(server);
+  EXPECT_TRUE(client.prefix_detail(*IpPrefix::parse("99.0.0.0/24")).empty());
+}
+
+TEST(LgClient, ParserRejectsErrorBanner) {
+  EXPECT_THROW(parse_summary("% Unknown command\n"), ParseError);
+  EXPECT_THROW(parse_summary("no table here\n"), ParseError);
+  EXPECT_THROW(parse_neighbor_routes("% Invalid neighbor address: x\n"),
+               ParseError);
+}
+
+TEST(LgClient, ParserToleratesDecoration) {
+  const std::string text =
+      "Some banner line\n"
+      "BGP router identifier lg, local AS number 6695\n"
+      "Neighbor         AS        PfxRcd\n"
+      "192.0.2.1 8359 2\n"
+      "--- separator ---\n"
+      "192.0.2.2 3356 1\n"
+      "Total neighbors: 2\n";
+  const auto neighbors = parse_summary(text);
+  ASSERT_EQ(neighbors.size(), 2u);
+  EXPECT_EQ(neighbors[1].asn, 3356u);
+}
+
+TEST(LgClient, PrefixDetailParserHandlesNoCommunities) {
+  const std::string text =
+      "BGP routing table entry for 10.0.0.0/24\n"
+      "Paths: (1 available)\n"
+      "  3356 15169\n"
+      "    from 192.0.2.2 (AS3356)\n"
+      "    next-hop 192.0.2.2, localpref 100\n"
+      "    best\n";
+  const auto paths = parse_prefix_detail(text);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(paths[0].communities.empty());
+  EXPECT_TRUE(paths[0].best);
+  EXPECT_EQ(paths[0].local_pref, 100u);
+}
+
+}  // namespace
+}  // namespace mlp::lg

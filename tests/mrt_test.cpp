@@ -1,0 +1,274 @@
+// Tests for the MRT (RFC 6396) codec and the RIB <-> archive conversions.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "mrt/mrt.hpp"
+#include "mrt/table_dump.hpp"
+#include "util/errors.hpp"
+
+namespace mlp::mrt {
+namespace {
+
+using bgp::AsPath;
+using bgp::Community;
+using bgp::IpPrefix;
+
+PeerIndexTable sample_peers() {
+  PeerIndexTable t;
+  t.collector_bgp_id = 0x0A000001;
+  t.view_name = "rrc-test";
+  t.peers = {
+      PeerEntry{0x01010101, 0x01010101, 6695, true},
+      PeerEntry{0x02020202, 0x02020202, 64512, false},
+      PeerEntry{0x03030303, 0x03030303, 196608, true},  // 32-bit ASN
+  };
+  return t;
+}
+
+RibRecord sample_rib_record() {
+  RibRecord r;
+  r.sequence = 7;
+  r.prefix = *IpPrefix::parse("10.42.0.0/16");
+  RibEntryRecord e1;
+  e1.peer_index = 0;
+  e1.originated_time = 1367366400;  // May 1 2013
+  e1.attrs.as_path = AsPath({6695, 8359, 15169});
+  e1.attrs.next_hop = 0xC0000201;
+  e1.attrs.communities = {Community(0, 6695), Community(6695, 8359)};
+  RibEntryRecord e2;
+  e2.peer_index = 2;
+  e2.originated_time = 1367366401;
+  e2.attrs.as_path = AsPath({196608, 15169});
+  e2.attrs.next_hop = 0xC0000202;
+  r.entries = {e1, e2};
+  return r;
+}
+
+TEST(Mrt, PeerIndexRoundTrip) {
+  MrtWriter w;
+  w.write_peer_index(1367366400, sample_peers());
+  auto records = decode_all(w.data());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].timestamp, 1367366400u);
+  const auto& table = std::get<PeerIndexTable>(records[0].body);
+  EXPECT_EQ(table, sample_peers());
+}
+
+TEST(Mrt, RibRecordRoundTrip) {
+  MrtWriter w;
+  w.write_peer_index(1, sample_peers());
+  w.write_rib(2, sample_rib_record());
+  auto records = decode_all(w.data());
+  ASSERT_EQ(records.size(), 2u);
+  const auto& rib = std::get<RibRecord>(records[1].body);
+  EXPECT_EQ(rib, sample_rib_record());
+}
+
+TEST(Mrt, Bgp4mpRoundTripAs4) {
+  Bgp4mpMessage m;
+  m.peer_asn = 196608;
+  m.local_asn = 6447;
+  m.peer_ip = 0x01020304;
+  m.local_ip = 0x05060708;
+  m.four_octet_as = true;
+  m.update.nlri = {*IpPrefix::parse("10.0.0.0/8")};
+  m.update.attrs.as_path = AsPath({196608, 15169});
+  m.update.attrs.next_hop = 0x01020304;
+  MrtWriter w;
+  w.write_bgp4mp(1367366400, m);
+  auto records = decode_all(w.data());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(std::get<Bgp4mpMessage>(records[0].body), m);
+}
+
+TEST(Mrt, Bgp4mpAs2RejectsWideAsn) {
+  Bgp4mpMessage m;
+  m.peer_asn = 196608;  // needs 4 bytes
+  m.local_asn = 6447;
+  m.four_octet_as = false;
+  m.update.attrs.as_path = AsPath({15169});
+  m.update.attrs.next_hop = 1;
+  m.update.nlri = {*IpPrefix::parse("10.0.0.0/8")};
+  MrtWriter w;
+  EXPECT_THROW(w.write_bgp4mp(0, m), InvalidArgument);
+}
+
+TEST(Mrt, Bgp4mpAs2RoundTrip) {
+  Bgp4mpMessage m;
+  m.peer_asn = 6695;
+  m.local_asn = 6447;
+  m.four_octet_as = false;
+  m.update.attrs.as_path = AsPath({6695, 15169});
+  m.update.attrs.next_hop = 1;
+  m.update.nlri = {*IpPrefix::parse("10.0.0.0/8")};
+  MrtWriter w;
+  w.write_bgp4mp(5, m);
+  auto records = decode_all(w.data());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(std::get<Bgp4mpMessage>(records[0].body), m);
+}
+
+TEST(Mrt, UnknownRecordTypesSkipped) {
+  MrtWriter w;
+  w.write_peer_index(1, sample_peers());
+  // Splice in an unknown record (type 99) between two known ones.
+  ByteWriter raw;
+  raw.bytes(w.data());
+  raw.u32(0);    // timestamp
+  raw.u16(99);   // unknown type
+  raw.u16(1);    // subtype
+  raw.u32(4);    // length
+  raw.u32(0xdeadbeef);
+  MrtWriter w2;
+  w2.write_rib(2, sample_rib_record());
+  raw.bytes(w2.data());
+
+  MrtReader reader(raw.data());
+  std::size_t known = 0;
+  while (auto r = reader.next()) ++known;
+  EXPECT_EQ(known, 2u);
+  EXPECT_EQ(reader.skipped(), 1u);
+}
+
+TEST(Mrt, TruncatedStreamThrows) {
+  MrtWriter w;
+  w.write_peer_index(1, sample_peers());
+  auto data = w.take();
+  data.resize(data.size() - 2);
+  MrtReader reader(data);
+  EXPECT_THROW(
+      {
+        while (reader.next()) {
+        }
+      },
+      ParseError);
+}
+
+TEST(Mrt, EmptyStream) {
+  std::vector<std::uint8_t> empty;
+  MrtReader reader(empty);
+  EXPECT_FALSE(reader.next());
+}
+
+// --------------------------------------------------------- table_dump
+
+bgp::Rib sample_rib() {
+  bgp::Rib rib;
+  bgp::Route r1;
+  r1.prefix = *IpPrefix::parse("10.0.0.0/24");
+  r1.attrs.as_path = AsPath({6695, 15169});
+  r1.attrs.next_hop = 11;
+  r1.attrs.communities = {Community(6695, 6695)};
+  rib.announce(6695, 0x0101, r1);
+  bgp::Route r2;
+  r2.prefix = *IpPrefix::parse("10.0.0.0/24");
+  r2.attrs.as_path = AsPath({8359, 15169});
+  r2.attrs.next_hop = 12;
+  rib.announce(8359, 0x0202, r2);
+  bgp::Route r3;
+  r3.prefix = *IpPrefix::parse("192.168.0.0/16");
+  r3.attrs.as_path = AsPath({196608, 3356, 15169});
+  r3.attrs.next_hop = 13;
+  rib.announce(196608, 0x0303, r3);
+  return rib;
+}
+
+TEST(TableDump, RibRoundTrip) {
+  const bgp::Rib rib = sample_rib();
+  auto archive = dump_rib(rib, 1367366400, 0x0A000001, "test-view");
+  const bgp::Rib parsed = parse_rib(archive);
+  EXPECT_EQ(parsed.prefix_count(), rib.prefix_count());
+  EXPECT_EQ(parsed.path_count(), rib.path_count());
+  for (const auto& prefix : rib.prefixes()) {
+    const auto& want = rib.paths(prefix);
+    const auto& got = parsed.paths(prefix);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].peer_asn, want[i].peer_asn);
+      EXPECT_EQ(got[i].route, want[i].route);
+    }
+  }
+}
+
+TEST(TableDump, EmptyRib) {
+  bgp::Rib rib;
+  auto archive = dump_rib(rib, 0, 1, "empty");
+  const bgp::Rib parsed = parse_rib(archive);
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(TableDump, RibBeforePeerIndexThrows) {
+  MrtWriter w;
+  w.write_rib(2, sample_rib_record());
+  EXPECT_THROW(parse_rib(w.data()), ParseError);
+}
+
+TEST(TableDump, OutOfRangePeerIndexThrows) {
+  MrtWriter w;
+  PeerIndexTable small;
+  small.peers = {PeerEntry{1, 1, 6695, true}};
+  w.write_peer_index(1, small);
+  w.write_rib(2, sample_rib_record());  // references peer index 2
+  EXPECT_THROW(parse_rib(w.data()), ParseError);
+}
+
+TEST(TableDump, UpdateStreamRoundTrip) {
+  std::vector<ObservedUpdate> updates(2);
+  updates[0].timestamp = 100;
+  updates[0].peer_asn = 6695;
+  updates[0].peer_ip = 0x0101;
+  updates[0].update.nlri = {*IpPrefix::parse("10.0.0.0/8")};
+  updates[0].update.attrs.as_path = AsPath({6695, 15169});
+  updates[0].update.attrs.next_hop = 1;
+  updates[1].timestamp = 101;
+  updates[1].peer_asn = 8359;
+  updates[1].peer_ip = 0x0202;
+  updates[1].update.withdrawn = {*IpPrefix::parse("10.0.0.0/8")};
+
+  auto archive = dump_updates(updates, 6447, 0x0909);
+  auto parsed = parse_updates(archive);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].timestamp, 100u);
+  EXPECT_EQ(parsed[0].peer_asn, 6695u);
+  EXPECT_EQ(parsed[0].update, updates[0].update);
+  EXPECT_EQ(parsed[1].update.withdrawn, updates[1].update.withdrawn);
+}
+
+TEST(TableDump, ParseUpdatesIgnoresTableDump) {
+  MrtWriter w;
+  w.write_peer_index(1, sample_peers());
+  w.write_rib(2, sample_rib_record());
+  EXPECT_TRUE(parse_updates(w.data()).empty());
+}
+
+TEST(TableDump, MixedStreamRibIgnoresBgp4mp) {
+  const bgp::Rib rib = sample_rib();
+  auto archive = dump_rib(rib, 1, 1, "v");
+  Bgp4mpMessage m;
+  m.peer_asn = 1;
+  m.local_asn = 2;
+  m.four_octet_as = true;
+  m.update.withdrawn = {*IpPrefix::parse("10.0.0.0/8")};
+  MrtWriter extra;
+  extra.write_bgp4mp(9, m);
+  archive.insert(archive.end(), extra.data().begin(), extra.data().end());
+  const bgp::Rib parsed = parse_rib(archive);
+  EXPECT_EQ(parsed.path_count(), rib.path_count());
+}
+
+TEST(MrtFile, SaveAndLoad) {
+  MrtWriter w;
+  w.write_peer_index(1, sample_peers());
+  const auto path =
+      (std::filesystem::temp_directory_path() / "mlp_mrt_test.mrt").string();
+  save_file(path, w.data());
+  auto loaded = load_file(path);
+  EXPECT_EQ(loaded, w.data());
+  std::remove(path.c_str());
+  EXPECT_THROW(load_file("/nonexistent/dir/file.mrt"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mlp::mrt

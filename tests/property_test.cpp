@@ -1,0 +1,266 @@
+// Property-based tests: randomised sweeps (TEST_P over seeds) asserting
+// the invariants the system's correctness rests on.
+#include <gtest/gtest.h>
+
+#include "bgp/rib.hpp"
+#include "bgp/valley.hpp"
+#include "bgp/wire.hpp"
+#include "core/engine.hpp"
+#include "mrt/table_dump.hpp"
+#include "propagation/routing.hpp"
+#include "routeserver/route_server.hpp"
+#include "topology/generator.hpp"
+#include "util/rng.hpp"
+
+namespace mlp {
+namespace {
+
+using bgp::AsPath;
+using bgp::Community;
+using bgp::IpPrefix;
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+// ---- Export policies encode/decode losslessly under random schemes.
+
+TEST_P(SeededProperty, ExportPolicyCommunityRoundTrip) {
+  Rng rng(GetParam());
+  const auto style = rng.chance(0.5)
+                         ? routeserver::SchemeStyle::RsAsnBased
+                         : routeserver::SchemeStyle::PrivateRangeBased;
+  auto scheme = routeserver::IxpCommunityScheme::make(
+      "prop", static_cast<bgp::Asn>(rng.uniform(1000, 64000)), style);
+
+  std::vector<bgp::Asn> members;
+  for (int i = 0; i < 40; ++i)
+    members.push_back(static_cast<bgp::Asn>(rng.uniform(1, 60000)));
+
+  for (int round = 0; round < 20; ++round) {
+    const bool allowlist = rng.chance(0.5);
+    std::set<bgp::Asn> peers;
+    const std::size_t n = rng.uniform(0, 6);
+    for (std::size_t k = 0; k < n; ++k) peers.insert(rng.pick(members));
+    const routeserver::ExportPolicy policy(
+        allowlist ? routeserver::ExportPolicy::Mode::NoneExcept
+                  : routeserver::ExportPolicy::Mode::AllExcept,
+        peers);
+    const auto communities = policy.to_communities(scheme, rng.chance(0.5));
+    const auto decoded =
+        routeserver::ExportPolicy::from_communities(communities, scheme);
+    if (!allowlist && peers.empty()) {
+      // Pure default: decodes to nothing or the explicit ALL.
+      if (decoded) EXPECT_EQ(*decoded, policy);
+    } else {
+      ASSERT_TRUE(decoded);
+      EXPECT_EQ(*decoded, policy);
+    }
+    // The decoded policy must agree with the original on every member.
+    if (decoded)
+      for (const auto member : members)
+        EXPECT_EQ(decoded->allows(member), policy.allows(member));
+  }
+}
+
+// ---- The inference engine reproduces the route server's ground truth
+// when fed the very communities the members announced (precision and
+// recall 1.0 with import filters mirroring exports).
+
+TEST_P(SeededProperty, EngineMatchesRouteServerGroundTruth) {
+  Rng rng(GetParam() ^ 0xbeef);
+  auto scheme = routeserver::IxpCommunityScheme::make(
+      "prop", 64321, routeserver::SchemeStyle::RsAsnBased);
+  routeserver::RouteServer rs(scheme);
+
+  std::vector<bgp::Asn> members;
+  for (int i = 0; i < 25; ++i)
+    members.push_back(static_cast<bgp::Asn>(2000 + i));
+  for (const auto member : members) rs.connect(member, member);
+
+  core::IxpContext ctx;
+  ctx.name = "prop";
+  ctx.scheme = scheme;
+  ctx.rs_members = {members.begin(), members.end()};
+  core::MlpInferenceEngine engine(ctx);
+
+  for (const auto member : members) {
+    std::set<bgp::Asn> peers;
+    const std::size_t n = rng.uniform(0, 5);
+    for (std::size_t k = 0; k < n; ++k) {
+      const auto peer = rng.pick(members);
+      if (peer != member) peers.insert(peer);
+    }
+    const routeserver::ExportPolicy policy(
+        rng.chance(0.25) ? routeserver::ExportPolicy::Mode::NoneExcept
+                         : routeserver::ExportPolicy::Mode::AllExcept,
+        peers);
+    const std::size_t prefixes = rng.uniform(1, 3);
+    for (std::size_t p = 0; p < prefixes; ++p) {
+      bgp::Route route;
+      route.prefix =
+          IpPrefix(0x0A000000 + (static_cast<std::uint32_t>(member) << 12) +
+                       (static_cast<std::uint32_t>(p) << 8),
+                   24);
+      route.attrs.as_path = AsPath({member});
+      route.attrs.next_hop = member;
+      route.attrs.communities = policy.to_communities(scheme, rng.chance(0.3));
+      rs.announce(member, route);
+
+      core::Observation obs;
+      obs.setter = member;
+      obs.prefix = route.prefix;
+      obs.communities = route.attrs.communities;
+      engine.add(obs);
+    }
+  }
+  EXPECT_EQ(engine.infer_links(), rs.reciprocal_links());
+}
+
+// ---- Wire/MRT round trips on randomised inputs.
+
+TEST_P(SeededProperty, UpdateWireRoundTrip) {
+  Rng rng(GetParam() ^ 0x77);
+  for (int round = 0; round < 25; ++round) {
+    bgp::UpdateMessage update;
+    const std::size_t path_len = rng.uniform(1, 8);
+    std::vector<bgp::Asn> asns;
+    for (std::size_t i = 0; i < path_len; ++i)
+      asns.push_back(static_cast<bgp::Asn>(rng.uniform(1, 4000000)));
+    update.attrs.as_path = AsPath(asns);
+    update.attrs.next_hop = static_cast<std::uint32_t>(rng.uniform(1, 1u << 31));
+    if (rng.chance(0.5)) {
+      update.attrs.has_local_pref = true;
+      update.attrs.local_pref = static_cast<std::uint32_t>(rng.uniform(0, 500));
+    }
+    const std::size_t n_comm = rng.uniform(0, 10);
+    for (std::size_t i = 0; i < n_comm; ++i)
+      update.attrs.communities.push_back(Community(
+          static_cast<std::uint16_t>(rng.uniform(0, 0xffff)),
+          static_cast<std::uint16_t>(rng.uniform(0, 0xffff))));
+    const std::size_t n_nlri = rng.uniform(1, 4);
+    for (std::size_t i = 0; i < n_nlri; ++i)
+      update.nlri.push_back(
+          IpPrefix(static_cast<std::uint32_t>(rng.uniform(0, 0xffffffff)),
+                   static_cast<std::uint8_t>(rng.uniform(8, 32))));
+    const auto bytes = bgp::encode_update(update, true);
+    EXPECT_EQ(bgp::decode_update(bytes, true), update);
+  }
+}
+
+TEST_P(SeededProperty, MrtRibRoundTrip) {
+  Rng rng(GetParam() ^ 0x99);
+  bgp::Rib rib;
+  const std::size_t n = rng.uniform(5, 40);
+  for (std::size_t i = 0; i < n; ++i) {
+    bgp::Route route;
+    route.prefix =
+        IpPrefix(static_cast<std::uint32_t>(rng.uniform(0, 0xffffffff)),
+                 static_cast<std::uint8_t>(rng.uniform(8, 28)));
+    route.attrs.as_path =
+        AsPath({static_cast<bgp::Asn>(rng.uniform(1, 70000)),
+                static_cast<bgp::Asn>(rng.uniform(1, 70000))});
+    route.attrs.next_hop = 1;
+    if (rng.chance(0.7))
+      route.attrs.communities.push_back(
+          Community(static_cast<std::uint16_t>(rng.uniform(0, 0xffff)),
+                    static_cast<std::uint16_t>(rng.uniform(0, 0xffff))));
+    rib.announce(static_cast<bgp::Asn>(rng.uniform(1, 70000)),
+                 static_cast<std::uint32_t>(rng.uniform(1, 1000)),
+                 std::move(route));
+  }
+  const auto archive = mrt::dump_rib(rib, 7, 9, "prop");
+  const bgp::Rib parsed = mrt::parse_rib(archive);
+  EXPECT_EQ(parsed.path_count(), rib.path_count());
+  for (const auto& prefix : rib.prefixes()) {
+    const auto& want = rib.paths(prefix);
+    const auto& got = parsed.paths(prefix);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+      EXPECT_EQ(got[i].route, want[i].route);
+  }
+}
+
+// ---- Every path selected by the propagation model is valley-free, on
+// random topologies.
+
+TEST_P(SeededProperty, RoutingPathsAreValleyFree) {
+  topology::TopologyParams params;
+  params.n_ases = 150;
+  params.n_clique = 4;
+  Rng rng(GetParam() ^ 0x1234);
+  const auto topo = topology::generate_topology(params, rng);
+  const auto rel = topo.graph.rel_fn();
+
+  Rng pick(GetParam());
+  const auto ases = topo.graph.ases();
+  for (int round = 0; round < 6; ++round) {
+    const auto origin = pick.pick(ases);
+    const auto tree = propagation::compute_routes(topo.graph, origin);
+    for (const auto asn : ases) {
+      auto path = tree.path_from(asn);
+      if (!path) continue;
+      EXPECT_TRUE(bgp::is_valley_free(*path, rel))
+          << "origin " << origin << " path " << path->to_string();
+      EXPECT_EQ(path->origin(), origin);
+      EXPECT_EQ(path->head(), asn);
+      EXPECT_FALSE(path->has_cycle());
+    }
+  }
+}
+
+// ---- RIB best-path is maximal under the decision process.
+
+TEST_P(SeededProperty, RibBestIsMaximal) {
+  Rng rng(GetParam() ^ 0x4242);
+  bgp::Rib rib;
+  const IpPrefix prefix(0x0A000000, 16);
+  const std::size_t n = rng.uniform(2, 10);
+  for (std::size_t i = 0; i < n; ++i) {
+    bgp::Route route;
+    route.prefix = prefix;
+    std::vector<bgp::Asn> asns;
+    const std::size_t len = rng.uniform(1, 5);
+    for (std::size_t k = 0; k < len; ++k)
+      asns.push_back(static_cast<bgp::Asn>(rng.uniform(1, 9999)));
+    route.attrs.as_path = AsPath(asns);
+    route.attrs.next_hop = static_cast<std::uint32_t>(i);
+    if (rng.chance(0.5)) {
+      route.attrs.has_local_pref = true;
+      route.attrs.local_pref = static_cast<std::uint32_t>(rng.uniform(50, 200));
+    }
+    rib.announce(static_cast<bgp::Asn>(100 + i), static_cast<std::uint32_t>(i),
+                 std::move(route));
+  }
+  const auto best = rib.best(prefix);
+  ASSERT_TRUE(best);
+  for (const auto& entry : rib.paths(prefix)) {
+    EXPECT_FALSE(bgp::Rib::better(entry, *best))
+        << "entry from AS" << entry.peer_asn << " beats the chosen best";
+  }
+}
+
+// ---- Customer cones are monotone: a provider's cone contains each
+// customer's cone.
+
+TEST_P(SeededProperty, CustomerConesAreMonotone) {
+  topology::TopologyParams params;
+  params.n_ases = 120;
+  params.n_clique = 4;
+  Rng rng(GetParam() ^ 0x5150);
+  const auto topo = topology::generate_topology(params, rng);
+  for (const auto asn : topo.transits) {
+    const auto cone = topo.graph.customer_cone(asn);
+    for (const auto customer : topo.graph.customers(asn)) {
+      for (const auto member : topo.graph.customer_cone(customer))
+        EXPECT_TRUE(cone.count(member))
+            << "AS" << member << " in cone of customer AS" << customer
+            << " but not of provider AS" << asn;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlp

@@ -1,0 +1,86 @@
+// Tests for the PeeringDB-like registry.
+#include <gtest/gtest.h>
+
+#include "registry/peeringdb.hpp"
+#include "util/errors.hpp"
+
+namespace mlp::registry {
+namespace {
+
+NetworkRecord record(Asn asn, std::optional<PeeringPolicy> policy,
+                     GeoScope scope, std::string lg = "",
+                     std::vector<std::string> ixps = {}) {
+  NetworkRecord r;
+  r.asn = asn;
+  r.name = "AS" + std::to_string(asn) + "-NET";
+  r.policy = policy;
+  r.scope = scope;
+  r.looking_glass = std::move(lg);
+  r.ixps = std::move(ixps);
+  return r;
+}
+
+TEST(PeeringDb, UpsertAndFind) {
+  PeeringDb db;
+  db.upsert(record(8359, PeeringPolicy::Open, GeoScope::Europe));
+  ASSERT_NE(db.find(8359), nullptr);
+  EXPECT_EQ(db.find(8359)->policy, PeeringPolicy::Open);
+  EXPECT_EQ(db.find(1234), nullptr);
+  db.upsert(record(8359, PeeringPolicy::Selective, GeoScope::Global));
+  EXPECT_EQ(db.find(8359)->policy, PeeringPolicy::Selective);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(PeeringDb, PolicyAndLgSelectors) {
+  PeeringDb db;
+  db.upsert(record(1, PeeringPolicy::Open, GeoScope::Global, "lg.one.net"));
+  db.upsert(record(2, std::nullopt, GeoScope::NotDisclosed));
+  db.upsert(record(3, PeeringPolicy::Restrictive, GeoScope::Regional));
+  EXPECT_EQ(db.with_policy().size(), 2u);
+  EXPECT_EQ(db.with_looking_glass().size(), 1u);
+  EXPECT_EQ(db.with_looking_glass()[0]->asn, 1u);
+  EXPECT_EQ(db.asns(), (std::vector<Asn>{1, 2, 3}));
+}
+
+TEST(PeeringDb, DumpParseRoundTrip) {
+  PeeringDb db;
+  db.upsert(record(8359, PeeringPolicy::Open, GeoScope::Europe,
+                   "lg.mts.ru", {"DE-CIX", "MSK-IX"}));
+  db.upsert(record(15169, PeeringPolicy::Open, GeoScope::Global));
+  db.upsert(record(42, std::nullopt, GeoScope::NotDisclosed));
+  const PeeringDb copy = PeeringDb::parse(db.dump());
+  EXPECT_EQ(copy.size(), 3u);
+  ASSERT_NE(copy.find(8359), nullptr);
+  EXPECT_EQ(copy.find(8359)->ixps,
+            (std::vector<std::string>{"DE-CIX", "MSK-IX"}));
+  EXPECT_EQ(copy.find(8359)->looking_glass, "lg.mts.ru");
+  EXPECT_EQ(copy.find(42)->policy, std::nullopt);
+  EXPECT_EQ(copy.find(42)->scope, GeoScope::NotDisclosed);
+}
+
+TEST(PeeringDb, ParseRejectsMalformed) {
+  EXPECT_THROW(PeeringDb::parse("1|x|Open\n"), ParseError);
+  EXPECT_THROW(PeeringDb::parse("abc|x|Open|Global||\n"), ParseError);
+  EXPECT_THROW(PeeringDb::parse("1|x|Sneaky|Global||\n"), ParseError);
+  EXPECT_THROW(PeeringDb::parse("1|x|Open|Atlantis||\n"), ParseError);
+}
+
+TEST(PeeringDb, EnumStringRoundTrip) {
+  for (auto p : {PeeringPolicy::Open, PeeringPolicy::Selective,
+                 PeeringPolicy::Restrictive})
+    EXPECT_EQ(parse_policy(to_string(p)), p);
+  for (auto s : {GeoScope::Global, GeoScope::Europe, GeoScope::Regional,
+                 GeoScope::NotDisclosed})
+    EXPECT_EQ(parse_scope(to_string(s)), s);
+  EXPECT_FALSE(parse_policy("sometimes"));
+  EXPECT_FALSE(parse_scope("moon"));
+}
+
+TEST(PeeringDb, EmptyDump) {
+  PeeringDb db;
+  EXPECT_EQ(db.dump(), "");
+  EXPECT_EQ(PeeringDb::parse("").size(), 0u);
+}
+
+}  // namespace
+}  // namespace mlp::registry

@@ -1,0 +1,385 @@
+// Tests for the route-server substrate: community schemes (Table 1),
+// export policies, and the route server's filtering/reflection behaviour.
+#include <gtest/gtest.h>
+
+#include "routeserver/export_policy.hpp"
+#include "routeserver/route_server.hpp"
+#include "routeserver/scheme.hpp"
+#include "util/errors.hpp"
+
+namespace mlp::routeserver {
+namespace {
+
+using bgp::AsPath;
+using bgp::Community;
+using bgp::IpPrefix;
+
+// ---------------------------------------------------------------- scheme
+
+TEST(Scheme, DecixStylePatterns) {
+  // Table 1, DE-CIX column: RS-ASN 6695, ALL 6695:6695, EXCLUDE 0:peer,
+  // NONE 0:6695, INCLUDE 6695:peer.
+  const auto s =
+      IxpCommunityScheme::make("DE-CIX", 6695, SchemeStyle::RsAsnBased);
+  EXPECT_EQ(s.all_community(), Community(6695, 6695));
+  EXPECT_EQ(s.none_community(), Community(0, 6695));
+  EXPECT_EQ(s.exclude_community(8359), Community(0, 8359));
+  EXPECT_EQ(s.include_community(8359), Community(6695, 8359));
+}
+
+TEST(Scheme, EcixStylePatterns) {
+  // Table 1, ECIX column: RS-ASN 9033, ALL 9033:9033, EXCLUDE 64960:peer,
+  // NONE 65000:0, INCLUDE 65000:peer.
+  const auto s =
+      IxpCommunityScheme::make("ECIX", 9033, SchemeStyle::PrivateRangeBased);
+  EXPECT_EQ(s.all_community(), Community(9033, 9033));
+  EXPECT_EQ(s.none_community(), Community(65000, 0));
+  EXPECT_EQ(s.exclude_community(8447), Community(64960, 8447));
+  EXPECT_EQ(s.include_community(8447), Community(65000, 8447));
+}
+
+TEST(Scheme, ClassifyDecix) {
+  const auto s =
+      IxpCommunityScheme::make("DE-CIX", 6695, SchemeStyle::RsAsnBased);
+  bgp::Asn peer = 0;
+  EXPECT_EQ(s.classify(Community(6695, 6695)), CommunityTag::All);
+  // NONE takes precedence over EXCLUDE-of-the-RS reading.
+  EXPECT_EQ(s.classify(Community(0, 6695)), CommunityTag::None);
+  EXPECT_EQ(s.classify(Community(0, 8359), &peer), CommunityTag::Exclude);
+  EXPECT_EQ(peer, 8359u);
+  EXPECT_EQ(s.classify(Community(6695, 8447), &peer), CommunityTag::Include);
+  EXPECT_EQ(peer, 8447u);
+  EXPECT_EQ(s.classify(Community(3356, 100)), CommunityTag::Unrelated);
+  EXPECT_EQ(s.classify(bgp::kNoExport), CommunityTag::Unrelated);
+}
+
+TEST(Scheme, RsAsnBasedNeeds16BitAsn) {
+  EXPECT_THROW(
+      IxpCommunityScheme::make("X", 196608, SchemeStyle::RsAsnBased),
+      InvalidArgument);
+}
+
+TEST(Scheme, AliasRoundTrip32Bit) {
+  auto s = IxpCommunityScheme::make("DE-CIX", 6695, SchemeStyle::RsAsnBased);
+  s.add_alias(196629, 64512);
+  EXPECT_EQ(s.encode_peer(196629), 64512);
+  EXPECT_EQ(s.decode_peer(64512), 196629u);
+  EXPECT_EQ(s.exclude_community(196629), Community(0, 64512));
+  bgp::Asn peer = 0;
+  EXPECT_EQ(s.classify(Community(0, 64512), &peer), CommunityTag::Exclude);
+  EXPECT_EQ(peer, 196629u);
+}
+
+TEST(Scheme, UnaliasedPrivateLowIsUnrelated) {
+  const auto s =
+      IxpCommunityScheme::make("DE-CIX", 6695, SchemeStyle::RsAsnBased);
+  EXPECT_EQ(s.classify(Community(0, 64999)), CommunityTag::Unrelated);
+  EXPECT_FALSE(s.decode_peer(64999));
+}
+
+TEST(Scheme, AliasValidation) {
+  auto s = IxpCommunityScheme::make("DE-CIX", 6695, SchemeStyle::RsAsnBased);
+  EXPECT_THROW(s.add_alias(8359, 64512), InvalidArgument);    // fits 16 bits
+  EXPECT_THROW(s.add_alias(196629, 1000), InvalidArgument);   // not private
+  s.add_alias(196629, 64512);
+  EXPECT_THROW(s.add_alias(196629, 64513), InvalidArgument);  // dup member
+  EXPECT_THROW(s.add_alias(196630, 64512), InvalidArgument);  // dup alias
+}
+
+TEST(Scheme, Unaliased32BitCannotBeTargeted) {
+  const auto s =
+      IxpCommunityScheme::make("DE-CIX", 6695, SchemeStyle::RsAsnBased);
+  EXPECT_FALSE(s.can_target(196629));
+  EXPECT_THROW(s.exclude_community(196629), InvalidArgument);
+  EXPECT_TRUE(s.can_target(8359));
+}
+
+TEST(Scheme, EncodesRsAsn) {
+  const auto s =
+      IxpCommunityScheme::make("DE-CIX", 6695, SchemeStyle::RsAsnBased);
+  EXPECT_TRUE(s.encodes_rs_asn(Community(6695, 6695)));
+  EXPECT_TRUE(s.encodes_rs_asn(Community(0, 6695)));
+  EXPECT_TRUE(s.encodes_rs_asn(Community(6695, 8359)));
+  EXPECT_FALSE(s.encodes_rs_asn(Community(0, 8359)));
+}
+
+// ---------------------------------------------------------------- policy
+
+TEST(ExportPolicy, OpenAllowsEveryone) {
+  const auto p = ExportPolicy::open();
+  EXPECT_TRUE(p.allows(1));
+  EXPECT_TRUE(p.allows(999999));
+  EXPECT_DOUBLE_EQ(p.allowed_fraction(100), 1.0);
+}
+
+TEST(ExportPolicy, AllExceptBlocksListed) {
+  const ExportPolicy p(ExportPolicy::Mode::AllExcept, {5410, 8732});
+  EXPECT_FALSE(p.allows(5410));
+  EXPECT_FALSE(p.allows(8732));
+  EXPECT_TRUE(p.allows(8359));
+  EXPECT_DOUBLE_EQ(p.allowed_fraction(10), 0.8);
+}
+
+TEST(ExportPolicy, NoneExceptAllowsListed) {
+  const ExportPolicy p(ExportPolicy::Mode::NoneExcept, {8359, 8447});
+  EXPECT_TRUE(p.allows(8359));
+  EXPECT_FALSE(p.allows(5410));
+  EXPECT_DOUBLE_EQ(p.allowed_fraction(10), 0.2);
+}
+
+TEST(ExportPolicy, ToCommunitiesFigure2a) {
+  // Figure 2(a): NONE + INCLUDE toward 8359 and 8447 at DE-CIX.
+  const auto s =
+      IxpCommunityScheme::make("DE-CIX", 6695, SchemeStyle::RsAsnBased);
+  const ExportPolicy p(ExportPolicy::Mode::NoneExcept, {8359, 8447});
+  const auto communities = p.to_communities(s);
+  ASSERT_EQ(communities.size(), 3u);
+  EXPECT_EQ(communities[0], Community(0, 6695));
+  EXPECT_EQ(communities[1], Community(6695, 8359));
+  EXPECT_EQ(communities[2], Community(6695, 8447));
+}
+
+TEST(ExportPolicy, ToCommunitiesFigure2b) {
+  // Figure 2(b): ALL + EXCLUDE of 5410 and 8732.
+  const auto s =
+      IxpCommunityScheme::make("DE-CIX", 6695, SchemeStyle::RsAsnBased);
+  const ExportPolicy p(ExportPolicy::Mode::AllExcept, {5410, 8732});
+  const auto with_all = p.to_communities(s, /*explicit_all=*/true);
+  ASSERT_EQ(with_all.size(), 3u);
+  EXPECT_EQ(with_all[0], Community(6695, 6695));
+  EXPECT_EQ(with_all[1], Community(0, 5410));
+  EXPECT_EQ(with_all[2], Community(0, 8732));
+  // The ALL community is the default and is often omitted (section 4.2).
+  EXPECT_EQ(p.to_communities(s, false).size(), 2u);
+}
+
+TEST(ExportPolicy, FromCommunitiesRoundTrip) {
+  const auto s =
+      IxpCommunityScheme::make("DE-CIX", 6695, SchemeStyle::RsAsnBased);
+  for (const auto& p :
+       {ExportPolicy(ExportPolicy::Mode::AllExcept, {5410, 8732}),
+        ExportPolicy(ExportPolicy::Mode::NoneExcept, {8359}),
+        ExportPolicy::open()}) {
+    const auto decoded =
+        ExportPolicy::from_communities(p.to_communities(s, true), s);
+    ASSERT_TRUE(decoded) << p.to_string();
+    EXPECT_EQ(*decoded, p) << p.to_string();
+  }
+}
+
+TEST(ExportPolicy, FromCommunitiesNoSchemeValues) {
+  const auto s =
+      IxpCommunityScheme::make("DE-CIX", 6695, SchemeStyle::RsAsnBased);
+  EXPECT_FALSE(ExportPolicy::from_communities({}, s));
+  EXPECT_FALSE(
+      ExportPolicy::from_communities({Community(3356, 100)}, s));
+}
+
+TEST(ExportPolicy, FromCommunitiesExcludeWithoutAll) {
+  // An EXCLUDE-only list (ALL omitted) still means AllExcept.
+  const auto s =
+      IxpCommunityScheme::make("MSK-IX", 8631, SchemeStyle::RsAsnBased);
+  const auto p =
+      ExportPolicy::from_communities({Community(0, 2854)}, s);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->mode(), ExportPolicy::Mode::AllExcept);
+  EXPECT_FALSE(p->allows(2854));
+  EXPECT_TRUE(p->allows(12389));
+}
+
+TEST(ExportPolicy, IntersectSameModes) {
+  const std::set<bgp::Asn> universe = {1, 2, 3, 4, 5};
+  const ExportPolicy a(ExportPolicy::Mode::AllExcept, {1});
+  const ExportPolicy b(ExportPolicy::Mode::AllExcept, {2});
+  const auto ab = ExportPolicy::intersect(a, b, universe);
+  EXPECT_FALSE(ab.allows(1));
+  EXPECT_FALSE(ab.allows(2));
+  EXPECT_TRUE(ab.allows(3));
+
+  const ExportPolicy c(ExportPolicy::Mode::NoneExcept, {1, 2, 3});
+  const ExportPolicy d(ExportPolicy::Mode::NoneExcept, {2, 3, 4});
+  const auto cd = ExportPolicy::intersect(c, d, universe);
+  EXPECT_FALSE(cd.allows(1));
+  EXPECT_TRUE(cd.allows(2));
+  EXPECT_TRUE(cd.allows(3));
+  EXPECT_FALSE(cd.allows(4));
+}
+
+TEST(ExportPolicy, IntersectMixedModes) {
+  const std::set<bgp::Asn> universe = {1, 2, 3, 4};
+  const ExportPolicy all_except(ExportPolicy::Mode::AllExcept, {2});
+  const ExportPolicy none_except(ExportPolicy::Mode::NoneExcept, {2, 3});
+  const auto both =
+      ExportPolicy::intersect(all_except, none_except, universe);
+  EXPECT_FALSE(both.allows(1));
+  EXPECT_FALSE(both.allows(2));  // excluded by one side
+  EXPECT_TRUE(both.allows(3));   // allowed by both
+  EXPECT_FALSE(both.allows(4));
+}
+
+// ---------------------------------------------------------------- server
+
+bgp::Route member_route(const std::string& prefix, bgp::Asn origin,
+                        std::vector<Community> communities) {
+  bgp::Route r;
+  r.prefix = *IpPrefix::parse(prefix);
+  r.attrs.as_path = AsPath({origin});
+  r.attrs.next_hop = origin;
+  r.attrs.communities = std::move(communities);
+  return r;
+}
+
+class RouteServerTest : public ::testing::Test {
+ protected:
+  RouteServerTest()
+      : rs_(IxpCommunityScheme::make("DE-CIX", 6695,
+                                     SchemeStyle::RsAsnBased)) {
+    // Figure 3: A, B, C, D connected; A excludes C; others open.
+    rs_.connect(kA, 0xC0000201);
+    rs_.connect(kB, 0xC0000202);
+    rs_.connect(kC, 0xC0000203);
+    rs_.connect(kD, 0xC0000204);
+    rs_.announce(kA, member_route("10.1.0.0/16", kA,
+                                  {Community(0, 6695), Community(6695, kB),
+                                   Community(6695, kD)}));
+    rs_.announce(kB, member_route("10.2.0.0/16", kB,
+                                  {Community(0, 6695), Community(6695, kA),
+                                   Community(6695, kC), Community(6695, kD)}));
+    rs_.announce(kC, member_route("10.3.0.0/16", kC,
+                                  {Community(6695, 6695)}));
+    rs_.announce(kD, member_route("10.4.0.0/16", kD,
+                                  {Community(6695, 6695)}));
+  }
+
+  static constexpr bgp::Asn kA = 1111, kB = 2222, kC = 3333, kD = 4444;
+  RouteServer rs_;
+};
+
+TEST_F(RouteServerTest, MembersTracked) {
+  EXPECT_EQ(rs_.member_count(), 4u);
+  EXPECT_TRUE(rs_.is_member(kA));
+  EXPECT_FALSE(rs_.is_member(9999));
+}
+
+TEST_F(RouteServerTest, AnnounceRequiresSession) {
+  EXPECT_THROW(rs_.announce(9999, member_route("10.9.0.0/16", 9999, {})),
+               InvalidArgument);
+}
+
+TEST_F(RouteServerTest, EffectivePolicies) {
+  const auto pa = rs_.effective_policy(kA);
+  EXPECT_EQ(pa.mode(), ExportPolicy::Mode::NoneExcept);
+  EXPECT_TRUE(pa.allows(kB));
+  EXPECT_TRUE(pa.allows(kD));
+  EXPECT_FALSE(pa.allows(kC));
+  const auto pc = rs_.effective_policy(kC);
+  EXPECT_TRUE(pc.allows(kA));
+  EXPECT_TRUE(pc.allows(kB));
+}
+
+TEST_F(RouteServerTest, ExportsFilterBySetterPolicy) {
+  // C receives routes from B and D but not from A (A's policy omits C).
+  const auto to_c = rs_.exports_to(kC);
+  std::set<bgp::Asn> setters;
+  for (const auto& e : to_c) setters.insert(e.peer_asn);
+  EXPECT_EQ(setters, (std::set<bgp::Asn>{kB, kD}));
+  // A receives from B, C, D (all allow A).
+  const auto to_a = rs_.exports_to(kA);
+  setters.clear();
+  for (const auto& e : to_a) setters.insert(e.peer_asn);
+  EXPECT_EQ(setters, (std::set<bgp::Asn>{kB, kC, kD}));
+}
+
+TEST_F(RouteServerTest, ReciprocalLinksFigure3) {
+  // Figure 3(b): every pair except A-C.
+  const auto links = rs_.reciprocal_links();
+  EXPECT_EQ(links.size(), 5u);
+  EXPECT_FALSE(links.count(bgp::AsLink(kA, kC)));
+  EXPECT_TRUE(links.count(bgp::AsLink(kA, kB)));
+  EXPECT_TRUE(links.count(bgp::AsLink(kA, kD)));
+  EXPECT_TRUE(links.count(bgp::AsLink(kB, kC)));
+  EXPECT_TRUE(links.count(bgp::AsLink(kB, kD)));
+  EXPECT_TRUE(links.count(bgp::AsLink(kC, kD)));
+}
+
+TEST_F(RouteServerTest, ImportFiltersCanOnlyRestrict) {
+  // D refuses routes from B on import: D-B link disappears.
+  rs_.set_import_filter(kD,
+                        ExportPolicy(ExportPolicy::Mode::AllExcept, {kB}));
+  const auto links = rs_.reciprocal_links();
+  EXPECT_FALSE(links.count(bgp::AsLink(kB, kD)));
+  EXPECT_TRUE(links.count(bgp::AsLink(kA, kD)));
+  const auto to_d = rs_.exports_to(kD);
+  for (const auto& e : to_d) EXPECT_NE(e.peer_asn, kB);
+}
+
+TEST_F(RouteServerTest, DisconnectDropsRoutesAndLinks) {
+  rs_.disconnect(kD);
+  EXPECT_EQ(rs_.member_count(), 3u);
+  EXPECT_TRUE(rs_.exports_to(kD).empty());
+  const auto links = rs_.reciprocal_links();
+  EXPECT_FALSE(links.count(bgp::AsLink(kA, kD)));
+  EXPECT_EQ(links.size(), 2u);  // A-B, B-C
+}
+
+TEST_F(RouteServerTest, PolicyIntersectedAcrossPrefixes) {
+  // A announces a second prefix excluding B: N_A = intersection, so the
+  // A-B link must disappear (step 4 of the algorithm).
+  rs_.announce(kA, member_route("10.11.0.0/16", kA,
+                                {Community(0, 6695), Community(6695, kD)}));
+  const auto pa = rs_.effective_policy(kA);
+  EXPECT_FALSE(pa.allows(kB));
+  EXPECT_TRUE(pa.allows(kD));
+  const auto links = rs_.reciprocal_links();
+  EXPECT_FALSE(links.count(bgp::AsLink(kA, kB)));
+  EXPECT_TRUE(links.count(bgp::AsLink(kA, kD)));
+}
+
+TEST_F(RouteServerTest, StripCommunitiesOption) {
+  RouteServer::Options options;
+  options.strip_communities = true;
+  RouteServer netnod(
+      IxpCommunityScheme::make("Netnod", 52005, SchemeStyle::RsAsnBased),
+      options);
+  netnod.connect(kA, 1);
+  netnod.connect(kB, 2);
+  netnod.announce(kA, member_route("10.1.0.0/16", kA,
+                                   {Community(52005, 52005)}));
+  const auto to_b = netnod.exports_to(kB);
+  ASSERT_EQ(to_b.size(), 1u);
+  EXPECT_TRUE(to_b[0].route.attrs.communities.empty());
+}
+
+TEST_F(RouteServerTest, PrependRsAsnOption) {
+  RouteServer::Options options;
+  options.prepend_rs_asn = true;
+  RouteServer visible(
+      IxpCommunityScheme::make("X-IX", 64700, SchemeStyle::RsAsnBased),
+      options);
+  visible.connect(kA, 1);
+  visible.connect(kB, 2);
+  visible.announce(kA, member_route("10.1.0.0/16", kA, {}));
+  const auto to_b = visible.exports_to(kB);
+  ASSERT_EQ(to_b.size(), 1u);
+  EXPECT_EQ(to_b[0].route.attrs.as_path, AsPath({64700, kA}));
+}
+
+TEST_F(RouteServerTest, WithdrawRemovesRoute) {
+  rs_.withdraw(kC, *IpPrefix::parse("10.3.0.0/16"));
+  const auto to_a = rs_.exports_to(kA);
+  for (const auto& e : to_a) EXPECT_NE(e.peer_asn, kC);
+}
+
+TEST(RouteServerEdge, NoAnnouncementsMeansDefaultOpen) {
+  RouteServer rs(
+      IxpCommunityScheme::make("DE-CIX", 6695, SchemeStyle::RsAsnBased));
+  rs.connect(1, 1);
+  rs.connect(2, 2);
+  // Members with sessions but no routes default to open policies; with no
+  // routes there is still reciprocal willingness.
+  EXPECT_TRUE(rs.effective_policy(1).allows(2));
+  EXPECT_EQ(rs.reciprocal_links().size(), 1u);
+}
+
+}  // namespace
+}  // namespace mlp::routeserver

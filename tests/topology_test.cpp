@@ -1,0 +1,280 @@
+// Tests for the topology library: AsGraph, generator invariants and the
+// AS-Rank-style relationship inference baseline.
+#include <gtest/gtest.h>
+
+#include "topology/as_graph.hpp"
+#include "topology/generator.hpp"
+#include "topology/relationship_inference.hpp"
+#include "util/errors.hpp"
+
+namespace mlp::topology {
+namespace {
+
+using bgp::AsPath;
+
+// ---------------------------------------------------------------- AsGraph
+
+TEST(AsGraph, AddAndQueryEdges) {
+  AsGraph g;
+  g.add_edge(10, 20, Rel::C2P);  // 10 is customer of 20
+  EXPECT_TRUE(g.has_as(10));
+  EXPECT_TRUE(g.has_as(20));
+  EXPECT_EQ(g.rel(10, 20), Rel::C2P);
+  EXPECT_EQ(g.rel(20, 10), Rel::P2C);
+  EXPECT_FALSE(g.rel(10, 30));
+  EXPECT_EQ(g.link_count(), 1u);
+}
+
+TEST(AsGraph, SelfLoopRejected) {
+  AsGraph g;
+  EXPECT_THROW(g.add_edge(5, 5, Rel::P2P), InvalidArgument);
+}
+
+TEST(AsGraph, ReAddReplacesRelationship) {
+  AsGraph g;
+  g.add_edge(1, 2, Rel::P2P);
+  g.add_edge(1, 2, Rel::C2P);
+  EXPECT_EQ(g.rel(1, 2), Rel::C2P);
+  EXPECT_EQ(g.link_count(), 1u);
+}
+
+TEST(AsGraph, NeighborClassification) {
+  AsGraph g;
+  g.add_edge(1, 2, Rel::C2P);      // 2 is provider of 1
+  g.add_edge(1, 3, Rel::P2C);      // 3 is customer of 1
+  g.add_edge(1, 4, Rel::P2P);      // 4 peers with 1
+  g.add_edge(1, 5, Rel::Sibling);  // 5 is sibling of 1
+  EXPECT_EQ(g.providers(1), std::vector<bgp::Asn>{2});
+  EXPECT_EQ(g.customers(1), std::vector<bgp::Asn>{3});
+  EXPECT_EQ(g.peers(1), std::vector<bgp::Asn>{4});
+  EXPECT_EQ(g.siblings(1), std::vector<bgp::Asn>{5});
+  EXPECT_EQ(g.degree(1), 4u);
+  EXPECT_EQ(g.customer_degree(1), 1u);
+  EXPECT_FALSE(g.is_stub(1));
+  EXPECT_TRUE(g.is_stub(3));
+}
+
+TEST(AsGraph, CustomerConeTransitive) {
+  AsGraph g;
+  g.add_edge(2, 1, Rel::C2P);  // 2 customer of 1
+  g.add_edge(3, 2, Rel::C2P);  // 3 customer of 2
+  g.add_edge(4, 2, Rel::C2P);
+  g.add_edge(5, 1, Rel::P2P);  // peer: not in cone
+  auto cone = g.customer_cone(1);
+  EXPECT_EQ(cone, (std::set<bgp::Asn>{1, 2, 3, 4}));
+  EXPECT_EQ(g.customer_cone(3), std::set<bgp::Asn>{3});
+}
+
+TEST(AsGraph, CustomerConeHandlesSharedCustomers) {
+  AsGraph g;
+  g.add_edge(3, 1, Rel::C2P);
+  g.add_edge(3, 2, Rel::C2P);  // 3 multihomes to 1 and 2
+  g.add_edge(2, 1, Rel::C2P);
+  EXPECT_EQ(g.customer_cone(1), (std::set<bgp::Asn>{1, 2, 3}));
+  EXPECT_EQ(g.customer_cone(2), (std::set<bgp::Asn>{2, 3}));
+}
+
+TEST(AsGraph, LinksEnumeration) {
+  AsGraph g;
+  g.add_edge(1, 2, Rel::C2P);
+  g.add_edge(2, 3, Rel::P2P);
+  auto links = g.links();
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_EQ(links[0].first, bgp::AsLink(1, 2));
+  EXPECT_EQ(links[0].second, Rel::C2P);  // stored from the lower ASN side
+  EXPECT_EQ(links[1].first, bgp::AsLink(2, 3));
+}
+
+TEST(AsGraph, RelFnAdapter) {
+  AsGraph g;
+  g.add_edge(1, 2, Rel::C2P);
+  auto fn = g.rel_fn();
+  EXPECT_EQ(fn(1, 2), Rel::C2P);
+  EXPECT_EQ(fn(2, 1), Rel::P2C);
+  EXPECT_FALSE(fn(1, 9));
+}
+
+// ---------------------------------------------------------------- generator
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  static Topology make(std::uint64_t seed, std::size_t n = 600) {
+    TopologyParams params;
+    params.n_ases = n;
+    Rng rng(seed);
+    return generate_topology(params, rng);
+  }
+};
+
+TEST_F(GeneratorTest, CountsMatchParams) {
+  const Topology topo = make(1);
+  EXPECT_EQ(topo.graph.as_count(), 600u);
+  EXPECT_EQ(topo.clique.size(), 10u);
+  EXPECT_EQ(topo.transits.size(),
+            static_cast<std::size_t>((600 - 10) * 0.15));
+  EXPECT_EQ(topo.clique.size() + topo.transits.size() + topo.stubs.size(),
+            600u);
+  EXPECT_EQ(topo.content.size(), 8u);
+}
+
+TEST_F(GeneratorTest, DeterministicForSeed) {
+  const Topology a = make(42);
+  const Topology b = make(42);
+  EXPECT_EQ(a.graph.as_count(), b.graph.as_count());
+  EXPECT_EQ(a.graph.link_count(), b.graph.link_count());
+  EXPECT_EQ(a.graph.links(), b.graph.links());
+  const Topology c = make(43);
+  EXPECT_NE(a.graph.links(), c.graph.links());
+}
+
+TEST_F(GeneratorTest, CliqueIsFullMesh) {
+  const Topology topo = make(2);
+  for (std::size_t i = 0; i < topo.clique.size(); ++i)
+    for (std::size_t j = i + 1; j < topo.clique.size(); ++j)
+      EXPECT_EQ(topo.graph.rel(topo.clique[i], topo.clique[j]), Rel::P2P);
+}
+
+TEST_F(GeneratorTest, EveryNonCliqueAsHasAProvider) {
+  const Topology topo = make(3);
+  for (const auto& [asn, profile] : topo.profiles) {
+    if (profile.tier == Tier::Clique) continue;
+    EXPECT_FALSE(topo.graph.providers(asn).empty())
+        << "AS" << asn << " has no provider";
+  }
+}
+
+TEST_F(GeneratorTest, StubsHaveNoCustomers) {
+  const Topology topo = make(4);
+  for (const bgp::Asn asn : topo.stubs)
+    EXPECT_TRUE(topo.graph.is_stub(asn)) << "AS" << asn;
+}
+
+TEST_F(GeneratorTest, ProfilesConsistent) {
+  const Topology topo = make(5);
+  for (const auto& [asn, profile] : topo.profiles) {
+    EXPECT_EQ(profile.asn, asn);
+    EXPECT_TRUE(profile.present_in(profile.home_region));
+    EXPECT_FALSE(profile.presence.empty());
+  }
+  EXPECT_THROW(topo.profile(999999999), InvalidArgument);
+}
+
+TEST_F(GeneratorTest, ContentNetworksPeerWidely) {
+  const Topology topo = make(6);
+  for (const bgp::Asn asn : topo.content) {
+    EXPECT_TRUE(topo.profile(asn).content_heavy);
+    EXPECT_GE(topo.graph.peers(asn).size(), 1u);
+  }
+}
+
+TEST_F(GeneratorTest, Some32BitAsns) {
+  const Topology topo = make(7, 1200);
+  std::size_t wide = 0;
+  for (const auto& [asn, profile] : topo.profiles)
+    if (bgp::is_32bit_only(asn)) ++wide;
+  EXPECT_GT(wide, 1200 * 0.03);
+  EXPECT_LT(wide, 1200 * 0.16);
+}
+
+TEST_F(GeneratorTest, NoReservedAsnsGenerated) {
+  const Topology topo = make(8);
+  for (const auto& [asn, profile] : topo.profiles) {
+    EXPECT_FALSE(bgp::is_reserved_or_unassigned(asn));
+    EXPECT_FALSE(bgp::is_private(asn));
+  }
+}
+
+TEST_F(GeneratorTest, RegionQueryMatchesProfiles) {
+  const Topology topo = make(9);
+  const auto in_we = topo.ases_in(Region::WesternEurope);
+  EXPECT_FALSE(in_we.empty());
+  for (const bgp::Asn asn : in_we)
+    EXPECT_TRUE(topo.profile(asn).present_in(Region::WesternEurope));
+}
+
+TEST_F(GeneratorTest, RejectsTooSmall) {
+  TopologyParams params;
+  params.n_ases = 5;
+  Rng rng(1);
+  EXPECT_THROW(generate_topology(params, rng), InvalidArgument);
+}
+
+// ------------------------------------------------- relationship inference
+
+TEST(RelInference, SimpleHierarchyFromPaths) {
+  // Topology: 1 and 2 are high-degree cores peering; 3,4 customers of 1;
+  // 5,6 customers of 2; stubs 7,8 customers of 3 and 5.
+  std::vector<AsPath> paths = {
+      // Paths from a vantage at 4 (customer of 1).
+      AsPath({4, 1, 3, 7}), AsPath({4, 1, 2, 5, 8}), AsPath({4, 1, 2, 6}),
+      AsPath({4, 1, 3}),    AsPath({4, 1, 2, 5}),
+      // Paths from a vantage at 6.
+      AsPath({6, 2, 5, 8}), AsPath({6, 2, 1, 3, 7}), AsPath({6, 2, 1, 4}),
+      AsPath({6, 2, 1, 3}), AsPath({6, 2, 5}),
+  };
+  RelationshipInferenceParams params;
+  params.clique_size = 2;
+  const auto inferred = infer_relationships(paths, params);
+
+  EXPECT_EQ(inferred.rel(1, 2), Rel::P2P);
+  EXPECT_EQ(inferred.rel(3, 1), Rel::C2P);
+  EXPECT_EQ(inferred.rel(5, 2), Rel::C2P);
+  EXPECT_EQ(inferred.rel(7, 3), Rel::C2P);
+  EXPECT_EQ(inferred.rel(8, 5), Rel::C2P);
+  EXPECT_EQ(inferred.rel(1, 3), Rel::P2C);  // symmetric view
+  EXPECT_TRUE(inferred.clique().count(1));
+  EXPECT_TRUE(inferred.clique().count(2));
+}
+
+TEST(RelInference, CustomerConesFromInferredEdges) {
+  std::vector<AsPath> paths = {
+      AsPath({4, 1, 3, 7}), AsPath({4, 1, 2, 5, 8}), AsPath({4, 1, 2, 6}),
+      AsPath({6, 2, 1, 3, 7}), AsPath({6, 2, 5, 8}), AsPath({6, 2, 1, 4}),
+  };
+  RelationshipInferenceParams params;
+  params.clique_size = 2;
+  const auto inferred = infer_relationships(paths, params);
+  const auto cone1 = inferred.customer_cone(1);
+  EXPECT_TRUE(cone1.count(1));
+  EXPECT_TRUE(cone1.count(3));
+  EXPECT_TRUE(cone1.count(7));
+  EXPECT_FALSE(cone1.count(2));
+  EXPECT_FALSE(cone1.count(5));
+  EXPECT_EQ(inferred.customer_cone(7), std::set<bgp::Asn>{7});
+}
+
+TEST(RelInference, DirtyPathsIgnored) {
+  std::vector<AsPath> paths = {
+      AsPath({4, 1, 3, 7}),
+      AsPath({4, 1, 3, 1, 7}),   // cycle: dropped
+      AsPath({4, 23456, 3, 7}),  // reserved ASN: dropped
+  };
+  const auto inferred = infer_relationships(paths);
+  // Only the clean path contributes links.
+  EXPECT_EQ(inferred.link_count(), 3u);
+}
+
+TEST(RelInference, PrependingCollapsed) {
+  std::vector<AsPath> paths = {AsPath({4, 1, 1, 1, 3, 7})};
+  const auto inferred = infer_relationships(paths);
+  EXPECT_EQ(inferred.link_count(), 3u);
+  EXPECT_TRUE(inferred.rel(4, 1).has_value());
+}
+
+TEST(RelInference, EmptyInput) {
+  const auto inferred = infer_relationships({});
+  EXPECT_EQ(inferred.link_count(), 0u);
+  EXPECT_FALSE(inferred.rel(1, 2));
+  EXPECT_EQ(inferred.customer_cone(5), std::set<bgp::Asn>{5});
+}
+
+TEST(RelInference, RelFnAdapter) {
+  std::vector<AsPath> paths = {AsPath({4, 1, 3}), AsPath({4, 1, 3})};
+  const auto inferred = infer_relationships(paths);
+  auto fn = inferred.rel_fn();
+  EXPECT_TRUE(fn(4, 1).has_value());
+  EXPECT_FALSE(fn(4, 99).has_value());
+}
+
+}  // namespace
+}  // namespace mlp::topology

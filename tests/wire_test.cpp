@@ -1,0 +1,185 @@
+// Tests for the BGP UPDATE wire codec (RFC 4271 / RFC 6793 encoding).
+#include <gtest/gtest.h>
+
+#include "bgp/wire.hpp"
+#include "util/errors.hpp"
+
+namespace mlp::bgp {
+namespace {
+
+UpdateMessage sample_update() {
+  UpdateMessage u;
+  u.nlri = {*IpPrefix::parse("10.1.2.0/24"), *IpPrefix::parse("10.4.0.0/14")};
+  u.attrs.origin = Origin::Igp;
+  u.attrs.as_path = AsPath({6695, 8359, 15169});
+  u.attrs.next_hop = 0xC0000201;
+  u.attrs.has_med = true;
+  u.attrs.med = 50;
+  u.attrs.has_local_pref = true;
+  u.attrs.local_pref = 120;
+  u.attrs.communities = {Community(0, 6695), Community(6695, 8359)};
+  return u;
+}
+
+TEST(Wire, UpdateRoundTripAs4) {
+  const UpdateMessage u = sample_update();
+  auto bytes = encode_update(u, /*four_octet_as=*/true);
+  const UpdateMessage decoded = decode_update(bytes, true);
+  EXPECT_EQ(decoded, u);
+}
+
+TEST(Wire, UpdateRoundTripAs2) {
+  const UpdateMessage u = sample_update();
+  auto bytes = encode_update(u, /*four_octet_as=*/false);
+  const UpdateMessage decoded = decode_update(bytes, false);
+  EXPECT_EQ(decoded, u);
+}
+
+TEST(Wire, As2EncodingSubstitutesAsTrans) {
+  UpdateMessage u = sample_update();
+  u.attrs.as_path = AsPath({196608, 15169});  // 32-bit ASN in path
+  auto bytes = encode_update(u, /*four_octet_as=*/false);
+  const UpdateMessage decoded = decode_update(bytes, false);
+  EXPECT_EQ(decoded.attrs.as_path, AsPath({kAsTrans, 15169}));
+}
+
+TEST(Wire, WithdrawOnlyUpdate) {
+  UpdateMessage u;
+  u.withdrawn = {*IpPrefix::parse("10.1.2.0/24")};
+  auto bytes = encode_update(u, true);
+  const UpdateMessage decoded = decode_update(bytes, true);
+  EXPECT_EQ(decoded.withdrawn, u.withdrawn);
+  EXPECT_TRUE(decoded.nlri.empty());
+}
+
+TEST(Wire, OptionalAttributesOmittedWhenAbsent) {
+  UpdateMessage u;
+  u.nlri = {*IpPrefix::parse("10.0.0.0/8")};
+  u.attrs.as_path = AsPath({3356, 15169});
+  u.attrs.next_hop = 1;
+  auto bytes = encode_update(u, true);
+  const UpdateMessage decoded = decode_update(bytes, true);
+  EXPECT_FALSE(decoded.attrs.has_med);
+  EXPECT_FALSE(decoded.attrs.has_local_pref);
+  EXPECT_TRUE(decoded.attrs.communities.empty());
+}
+
+TEST(Wire, LongAsPathUsesMultipleSegments) {
+  UpdateMessage u;
+  std::vector<Asn> asns;
+  for (Asn a = 1; a <= 300; ++a) asns.push_back(a);  // > 255, two segments
+  u.attrs.as_path = AsPath(asns);
+  u.attrs.next_hop = 1;
+  u.nlri = {*IpPrefix::parse("10.0.0.0/8")};
+  auto bytes = encode_update(u, true);
+  const UpdateMessage decoded = decode_update(bytes, true);
+  EXPECT_EQ(decoded.attrs.as_path.length(), 300u);
+  EXPECT_EQ(decoded.attrs.as_path, u.attrs.as_path);
+}
+
+TEST(Wire, ManyCommunitiesRoundTrip) {
+  UpdateMessage u;
+  u.attrs.as_path = AsPath({6695, 1});
+  u.attrs.next_hop = 1;
+  for (std::uint16_t i = 0; i < 120; ++i)
+    u.attrs.communities.push_back(Community(0, i));
+  u.nlri = {*IpPrefix::parse("10.0.0.0/8")};
+  const UpdateMessage decoded = decode_update(encode_update(u, true), true);
+  EXPECT_EQ(decoded.attrs.communities.size(), 120u);
+}
+
+TEST(Wire, PrefixLengthEncodingIsMinimal) {
+  // A /8 NLRI takes 2 bytes (length + 1 address byte), a /24 takes 4.
+  ByteWriter w8, w24;
+  encode_nlri_prefix(w8, *IpPrefix::parse("10.0.0.0/8"));
+  encode_nlri_prefix(w24, *IpPrefix::parse("10.1.2.0/24"));
+  EXPECT_EQ(w8.size(), 2u);
+  EXPECT_EQ(w24.size(), 4u);
+}
+
+TEST(Wire, NlriZeroLengthPrefix) {
+  ByteWriter w;
+  encode_nlri_prefix(w, IpPrefix(0, 0));
+  EXPECT_EQ(w.size(), 1u);
+  ByteReader r(w.data());
+  EXPECT_EQ(decode_nlri_prefix(r), IpPrefix(0, 0));
+}
+
+TEST(Wire, DecodeRejectsBadMarker) {
+  auto bytes = encode_update(sample_update(), true);
+  bytes[0] = 0x00;
+  EXPECT_THROW(decode_update(bytes, true), ParseError);
+}
+
+TEST(Wire, DecodeRejectsLengthMismatch) {
+  auto bytes = encode_update(sample_update(), true);
+  bytes.push_back(0x00);  // trailing garbage
+  EXPECT_THROW(decode_update(bytes, true), ParseError);
+}
+
+TEST(Wire, DecodeRejectsTruncatedMessage) {
+  auto bytes = encode_update(sample_update(), true);
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW(decode_update(bytes, true), ParseError);
+}
+
+TEST(Wire, DecodeRejectsNlriWithoutAttributes) {
+  // Hand-build an UPDATE with NLRI but an empty attribute block.
+  ByteWriter w;
+  for (int i = 0; i < 16; ++i) w.u8(0xff);
+  auto len_off = w.placeholder(2);
+  w.u8(2);   // UPDATE
+  w.u16(0);  // no withdrawn
+  w.u16(0);  // no attributes
+  encode_nlri_prefix(w, *IpPrefix::parse("10.0.0.0/8"));
+  w.patch_u16(len_off, static_cast<std::uint16_t>(w.size()));
+  EXPECT_THROW(decode_update(w.data(), true), ParseError);
+}
+
+TEST(Wire, DecodeRejectsBadPrefixLength) {
+  ByteWriter w;
+  for (int i = 0; i < 16; ++i) w.u8(0xff);
+  auto len_off = w.placeholder(2);
+  w.u8(2);
+  w.u16(1);   // withdrawn block of 1 byte
+  w.u8(64);   // prefix length 64: invalid for IPv4
+  w.u16(0);
+  w.patch_u16(len_off, static_cast<std::uint16_t>(w.size()));
+  EXPECT_THROW(decode_update(w.data(), true), ParseError);
+}
+
+TEST(Wire, AttributeRoundTripBare) {
+  PathAttributes attrs;
+  attrs.origin = Origin::Incomplete;
+  attrs.as_path = AsPath({1, 2, 3});
+  attrs.next_hop = 42;
+  attrs.communities = {Community(65000, 0)};
+  ByteWriter w;
+  encode_path_attributes(w, attrs, true);
+  ByteReader r(w.data());
+  const PathAttributes decoded = decode_path_attributes(r, true);
+  EXPECT_EQ(decoded, attrs);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, UnknownAttributeSkipped) {
+  PathAttributes attrs;
+  attrs.as_path = AsPath({1});
+  attrs.next_hop = 9;
+  ByteWriter w;
+  encode_path_attributes(w, attrs, true);
+  // Append an unknown attribute type 99 with 3 bytes of payload.
+  w.u8(0xC0);
+  w.u8(99);
+  w.u8(3);
+  w.u8(1);
+  w.u8(2);
+  w.u8(3);
+  ByteReader r(w.data());
+  const PathAttributes decoded = decode_path_attributes(r, true);
+  EXPECT_EQ(decoded.as_path, attrs.as_path);
+  EXPECT_TRUE(r.done());
+}
+
+}  // namespace
+}  // namespace mlp::bgp
