@@ -2,8 +2,8 @@
 
 #include <cstdio>
 
-#include "core/active.hpp"
 #include "lg/lg_client.hpp"
+#include "pipeline/pipeline.hpp"
 
 namespace mlp::bench {
 
@@ -20,12 +20,12 @@ namespace {
 
 /// Third-party survey for IXPs without a usable RS LG (paper: "we use 11
 /// LGs provided by their RS members"): query member looking glasses for
-/// prefixes of the IXP's members and push the returned paths (with the
-/// operator prepended, since displayed paths start at the neighbor)
-/// through the passive attribution machinery.
-void run_third_party_survey(scenario::Scenario& s, std::size_t ixp_index,
-                            core::PassiveExtractor& extractor,
-                            std::size_t& queries) {
+/// prefixes of the IXP's members and collect the returned paths (with the
+/// operator prepended, since displayed paths start at the neighbor) for
+/// the pipeline's attribution machinery.
+std::vector<pipeline::RawPath> collect_third_party_paths(
+    scenario::Scenario& s, std::size_t ixp_index, std::size_t& queries) {
+  std::vector<pipeline::RawPath> collected;
   const auto& ixp = s.ixps()[ixp_index];
   for (auto& lg : s.member_lgs()) {
     if (!ixp.rs_members.count(lg.operator_asn)) continue;
@@ -40,11 +40,13 @@ void run_third_party_survey(scenario::Scenario& s, std::size_t ixp_index,
         bgp::AsPath full = path.as_path;
         if (full.empty() || full.head() != lg.operator_asn)
           full.prepend(lg.operator_asn);
-        extractor.consume_path(full, prefixes.front(), path.communities,
-                               core::Source::ThirdPartyLg);
+        collected.push_back(pipeline::RawPath{
+            std::move(full), prefixes.front(), path.communities,
+            core::Source::ThirdPartyLg});
       }
     }
   }
+  return collected;
 }
 
 }  // namespace
@@ -60,45 +62,43 @@ InferenceRun run_full_inference(scenario::Scenario& s) {
     for (const auto& link : path.links()) run.public_bgp_links.insert(link);
   run.relationships = topology::infer_relationships(paths);
 
-  // Passive pass over the archived MRT table dumps.
-  core::PassiveExtractor extractor(s.ixp_contexts(),
-                                   run.relationships.rel_fn());
-  for (auto& collector : s.collectors())
-    extractor.consume_table_dump(collector.table_dump(1367366400));
-
-  // Third-party LG pass for IXPs without a community-displaying RS LG.
+  // Assemble the parallel pipeline: every IXP is one shard; collector
+  // archives and the third-party LG paths are the passive sources; IXPs
+  // with a community-displaying RS LG also get the active survey
+  // (skipping members already covered, equation 2).
+  pipeline::InferencePipeline pipe;
   run.active_queries.assign(s.ixps().size(), 0);
   for (std::size_t i = 0; i < s.ixps().size(); ++i) {
     const auto& spec = s.ixps()[i].spec;
-    if (!spec.has_rs_lg || !spec.lg_shows_communities)
-      run_third_party_survey(s, i, extractor, run.active_queries[i]);
+    auto* lg = spec.lg_shows_communities ? s.rs_lg(i) : nullptr;
+    pipe.add_ixp(s.ixp_context(i), lg);
   }
-  run.passive_stats = extractor.stats();
+  pipe.set_relationships(run.relationships.rel_fn());
 
-  // Per-IXP engines: passive observations first, then direct RS-LG
-  // surveys skipping members already covered (equation 2).
+  for (auto& collector : s.collectors())
+    pipe.add_table_dump(collector.table_dump(1367366400));
+
+  std::vector<pipeline::RawPath> third_party;
   for (std::size_t i = 0; i < s.ixps().size(); ++i) {
-    core::MlpInferenceEngine engine(s.ixp_context(i));
-    std::set<Asn> covered;
-    auto it = extractor.observations().find(s.ixps()[i].spec.name);
-    if (it != extractor.observations().end()) {
-      for (const auto& observation : it->second) {
-        engine.add(observation);
-        covered.insert(observation.setter);
-      }
-    }
-    auto* lg = s.rs_lg(i);
-    if (lg && s.ixps()[i].spec.lg_shows_communities) {
-      const auto survey = core::run_active_survey(*lg, {}, covered);
-      run.active_queries[i] += survey.queries;
-      for (const auto& observation : survey.observations)
-        engine.add(observation);
-    }
-    const auto links = engine.infer_links();
-    run.links_per_ixp.push_back(links);
-    run.all_links.insert(links.begin(), links.end());
-    run.engines.push_back(std::move(engine));
+    const auto& spec = s.ixps()[i].spec;
+    if (spec.has_rs_lg && spec.lg_shows_communities) continue;
+    auto collected =
+        collect_third_party_paths(s, i, run.active_queries[i]);
+    third_party.insert(third_party.end(),
+                       std::make_move_iterator(collected.begin()),
+                       std::make_move_iterator(collected.end()));
   }
+  if (!third_party.empty()) pipe.add_paths(std::move(third_party));
+
+  auto result = pipe.run();
+
+  run.passive_stats = result.passive;
+  for (std::size_t i = 0; i < result.per_ixp.size(); ++i) {
+    run.active_queries[i] += result.per_ixp[i].active_queries;
+    run.links_per_ixp.push_back(std::move(result.per_ixp[i].links));
+  }
+  run.all_links = std::move(result.all_links);
+  run.engines = std::move(result.engines);
   return run;
 }
 

@@ -1,7 +1,8 @@
 // Shared harness for the per-table/per-figure benchmark binaries: builds
-// the synthetic ecosystem and runs the paper's full inference pipeline
-// (passive MRT pass, then active LG surveys, then third-party LGs for
-// IXPs without a usable route-server LG).
+// the synthetic ecosystem and runs the paper's full inference through
+// pipeline::InferencePipeline (passive MRT sources and third-party LG
+// paths extracted in parallel, per-IXP shards with active LG surveys for
+// IXPs whose route-server LG displays communities).
 #pragma once
 
 #include <map>

@@ -2,12 +2,12 @@
 //
 // Four ASes (A, B, C, D) connect to a DE-CIX-style route server. A tags
 // its routes so only B and D receive them; everyone else is open. The
-// inference engine must find every p2p link except A-C.
+// inference pipeline must find every p2p link except A-C.
 //
 //   build/examples/quickstart
 #include <cstdio>
 
-#include "core/engine.hpp"
+#include "pipeline/pipeline.hpp"
 #include "routeserver/route_server.hpp"
 
 int main() {
@@ -41,26 +41,32 @@ int main() {
   announce(C, "192.0.2.0/24", {});
   announce(D, "198.18.0.0/24", {scheme.all_community()});
 
-  // 3. Run the inference: connectivity (A_RS) + reachability (the
+  // 3. Run the inference pipeline: connectivity (A_RS) + reachability (the
   //    communities) + the reciprocity assumption = multilateral links.
+  //    The RS RIB is read directly, so the observations are pre-attributed.
   core::IxpContext ctx;
   ctx.name = "DEMO-IX";
   ctx.scheme = scheme;
   ctx.rs_members = {A, B, C, D};
-  core::MlpInferenceEngine engine(ctx);
+
+  pipeline::InferencePipeline pipe;
+  pipe.add_ixp(ctx);
+  std::vector<core::Observation> observations;
   for (const auto& session : rs.members()) {
     for (const auto& entry : rs.rib().entries_from_peer(session.asn)) {
       core::Observation obs;
       obs.setter = session.asn;
       obs.prefix = entry.route.prefix;
       obs.communities = entry.route.attrs.communities;
-      engine.add(obs);
+      observations.push_back(std::move(obs));
     }
   }
+  pipe.add_observations("DEMO-IX", std::move(observations));
+  const auto result = pipe.run();
 
   std::printf("inferred multilateral peering links:\n");
-  for (const auto& link : engine.infer_links())
+  for (const auto& link : result.all_links)
     std::printf("  AS%u -- AS%u\n", link.a, link.b);
   std::printf("(A-C is correctly absent: A's filter excludes C)\n");
-  return 0;
+  return result.all_links.size() == 5 ? 0 : 1;
 }

@@ -1,0 +1,33 @@
+# ctest smoke: mlp_infer gen -> infer round trip in a scratch directory.
+# Usage: cmake -DMLP_INFER=<path-to-binary> -DWORK_DIR=<dir> -P this-file
+if(NOT MLP_INFER OR NOT WORK_DIR)
+  message(FATAL_ERROR "MLP_INFER and WORK_DIR are required")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${MLP_INFER}" gen --out "${WORK_DIR}" --ases 600
+  RESULT_VARIABLE gen_rc)
+if(NOT gen_rc EQUAL 0)
+  message(FATAL_ERROR "mlp_infer gen failed (rc=${gen_rc})")
+endif()
+
+file(GLOB archives "${WORK_DIR}/*.mrt")
+if(NOT archives)
+  message(FATAL_ERROR "mlp_infer gen produced no .mrt archives")
+endif()
+
+execute_process(
+  COMMAND "${MLP_INFER}" infer --config "${WORK_DIR}/ixps.conf" --threads 4
+          ${archives}
+  OUTPUT_VARIABLE infer_out
+  RESULT_VARIABLE infer_rc)
+if(NOT infer_rc EQUAL 0)
+  message(FATAL_ERROR "mlp_infer infer failed (rc=${infer_rc})")
+endif()
+if(NOT infer_out MATCHES "unique multilateral links: [1-9]")
+  message(FATAL_ERROR "mlp_infer inferred no links:\n${infer_out}")
+endif()
+message(STATUS "mlp_infer smoke OK")

@@ -16,6 +16,17 @@ std::string to_string(Source source) {
   return "unknown";
 }
 
+EngineStats& operator+=(EngineStats& lhs, const EngineStats& rhs) {
+  lhs.rs_members += rhs.rs_members;
+  lhs.observed_members += rhs.observed_members;
+  lhs.passive_members += rhs.passive_members;
+  lhs.active_members += rhs.active_members;
+  lhs.observations += rhs.observations;
+  lhs.inconsistent_members += rhs.inconsistent_members;
+  lhs.links += rhs.links;
+  return lhs;
+}
+
 void MlpInferenceEngine::add(const Observation& observation) {
   if (!context_.is_member(observation.setter)) {
     ++rejected_;
@@ -81,6 +92,10 @@ std::set<AsLink> MlpInferenceEngine::infer_links(
 }
 
 EngineStats MlpInferenceEngine::stats() const {
+  return stats(infer_links().size());
+}
+
+EngineStats MlpInferenceEngine::stats(std::size_t precomputed_links) const {
   EngineStats stats;
   stats.rs_members = context_.rs_members.size();
   stats.observed_members = members_.size();
@@ -104,7 +119,7 @@ EngineStats MlpInferenceEngine::stats() const {
     }
     if (inconsistent) ++stats.inconsistent_members;
   }
-  stats.links = infer_links().size();
+  stats.links = precomputed_links;
   return stats;
 }
 

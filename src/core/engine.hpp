@@ -30,6 +30,9 @@ struct EngineStats {
   std::size_t links = 0;
 };
 
+/// Field-wise sum, for aggregating per-IXP stats into pipeline totals.
+EngineStats& operator+=(EngineStats& lhs, const EngineStats& rhs);
+
 /// Per-route-server accumulation and link inference.
 class MlpInferenceEngine {
  public:
@@ -57,6 +60,10 @@ class MlpInferenceEngine {
   std::set<AsLink> infer_links(bool assume_open_for_unobserved = false) const;
 
   EngineStats stats() const;
+
+  /// stats() with a link count the caller already computed via
+  /// infer_links, skipping the second O(|A_RS|^2) inference pass.
+  EngineStats stats(std::size_t precomputed_links) const;
 
   std::size_t rejected_observations() const { return rejected_; }
 

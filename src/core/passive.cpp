@@ -6,9 +6,27 @@
 
 namespace mlp::core {
 
+PassiveStats& operator+=(PassiveStats& lhs, const PassiveStats& rhs) {
+  lhs.paths_seen += rhs.paths_seen;
+  lhs.paths_dirty += rhs.paths_dirty;
+  lhs.paths_transient += rhs.paths_transient;
+  lhs.paths_no_rs_values += rhs.paths_no_rs_values;
+  lhs.paths_ambiguous_ixp += rhs.paths_ambiguous_ixp;
+  lhs.paths_no_setter += rhs.paths_no_setter;
+  lhs.observations += rhs.observations;
+  return lhs;
+}
+
 PassiveExtractor::PassiveExtractor(std::vector<IxpContext> ixps,
                                    bgp::RelFn relationships,
                                    PassiveConfig config)
+    : PassiveExtractor(
+          std::make_shared<const std::vector<IxpContext>>(std::move(ixps)),
+          std::move(relationships), config) {}
+
+PassiveExtractor::PassiveExtractor(
+    std::shared_ptr<const std::vector<IxpContext>> ixps,
+    bgp::RelFn relationships, PassiveConfig config)
     : ixps_(std::move(ixps)),
       relationships_(std::move(relationships)),
       config_(config) {}
@@ -17,7 +35,7 @@ std::vector<PassiveExtractor::Attribution> PassiveExtractor::attribute_ixps(
     const std::vector<Community>& communities) const {
   std::vector<Attribution> strong;  // a value encodes the RS ASN
   std::vector<Attribution> weak;    // peer-targeted values only
-  for (const IxpContext& ixp : ixps_) {
+  for (const IxpContext& ixp : *ixps_) {
     Attribution attribution;
     attribution.ixp = &ixp;
     bool peers_are_members = true;

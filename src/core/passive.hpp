@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -29,6 +30,9 @@ struct PassiveStats {
   std::size_t observations = 0;       // successfully attributed
 };
 
+/// Field-wise sum, for merging the stats of parallel extraction passes.
+PassiveStats& operator+=(PassiveStats& lhs, const PassiveStats& rhs);
+
 /// Configuration of the passive pipeline.
 struct PassiveConfig {
   /// Drop announcements visible for less than this long before being
@@ -42,6 +46,12 @@ class PassiveExtractor {
   /// relationship set or a ground-truth oracle. May be null (case 3 then
   /// fails as "no setter").
   PassiveExtractor(std::vector<IxpContext> ixps, bgp::RelFn relationships,
+                   PassiveConfig config = PassiveConfig{});
+
+  /// Shared-context overload: parallel extractors (one per archive in the
+  /// pipeline) reference one immutable IXP set instead of each copying it.
+  PassiveExtractor(std::shared_ptr<const std::vector<IxpContext>> ixps,
+                   bgp::RelFn relationships,
                    PassiveConfig config = PassiveConfig{});
 
   /// Consume a TABLE_DUMP_V2 archive (a collector RIB snapshot).
@@ -63,6 +73,12 @@ class PassiveExtractor {
     return observations_;
   }
 
+  /// Move the accumulated observations out (the extractor is spent
+  /// afterwards); avoids copying the main data product per source.
+  std::map<std::string, std::vector<Observation>> take_observations() {
+    return std::move(observations_);
+  }
+
   const PassiveStats& stats() const { return stats_; }
 
  private:
@@ -82,7 +98,7 @@ class PassiveExtractor {
   /// when no setter can be pinpointed.
   Asn identify_setter(const AsPath& path, const IxpContext& ixp) const;
 
-  std::vector<IxpContext> ixps_;
+  std::shared_ptr<const std::vector<IxpContext>> ixps_;
   bgp::RelFn relationships_;
   PassiveConfig config_;
   PassiveStats stats_;

@@ -1,0 +1,109 @@
+#include "pipeline/ixp_config.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/errors.hpp"
+#include "util/strings.hpp"
+
+namespace mlp::pipeline {
+
+namespace {
+
+using routeserver::SchemeStyle;
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw ParseError("ixp config line " + std::to_string(line_no) +
+                         ": " + what);
+}
+
+SchemeStyle parse_style(std::string_view token, std::size_t line_no) {
+  if (token == "rs-asn") return SchemeStyle::RsAsnBased;
+  if (token == "private-range") return SchemeStyle::PrivateRangeBased;
+  fail(line_no, "unknown style '" + std::string(token) + "'");
+}
+
+std::string_view style_token(SchemeStyle style) {
+  return style == SchemeStyle::RsAsnBased ? "rs-asn" : "private-range";
+}
+
+}  // namespace
+
+std::vector<core::IxpContext> parse_ixp_configs(std::string_view text) {
+  std::vector<core::IxpContext> contexts;
+  std::map<std::string, std::size_t> by_name;
+
+  std::size_t line_no = 0;
+  for (const auto& raw_line : split(text, '\n')) {
+    ++line_no;
+    const auto line = trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    const auto fields = split_ws(line);
+
+    if (fields[0] == "ixp") {
+      // ixp <name> rs-asn <asn> style <style> members <asn>...
+      if (fields.size() < 7 || fields[2] != "rs-asn" || fields[4] != "style" ||
+          fields[6] != "members")
+        fail(line_no,
+             "expected 'ixp <name> rs-asn <asn> style <style> members ...'");
+      const std::string& name = fields[1];
+      if (by_name.count(name)) fail(line_no, "duplicate ixp " + name);
+      const auto rs_asn = parse_u32(fields[3]);
+      if (!rs_asn) fail(line_no, "bad rs-asn '" + fields[3] + "'");
+
+      core::IxpContext context;
+      context.name = name;
+      try {
+        context.scheme = routeserver::IxpCommunityScheme::make(
+            name, *rs_asn, parse_style(fields[5], line_no));
+      } catch (const InvalidArgument& e) {
+        fail(line_no, e.what());
+      }
+      for (std::size_t i = 7; i < fields.size(); ++i) {
+        const auto member = parse_u32(fields[i]);
+        if (!member) fail(line_no, "bad member ASN '" + fields[i] + "'");
+        context.rs_members.insert(*member);
+      }
+      by_name.emplace(name, contexts.size());
+      contexts.push_back(std::move(context));
+    } else if (fields[0] == "alias") {
+      // alias <ixp-name> <member-asn> <16-bit value>
+      if (fields.size() != 4)
+        fail(line_no, "expected 'alias <ixp> <member> <value>'");
+      auto it = by_name.find(fields[1]);
+      if (it == by_name.end())
+        fail(line_no, "alias before ixp '" + fields[1] + "'");
+      const auto member = parse_u32(fields[2]);
+      const auto value = parse_u32(fields[3]);
+      if (!member || !value || *value > 0xFFFF)
+        fail(line_no, "bad alias operands");
+      try {
+        contexts[it->second].scheme.add_alias(
+            *member, static_cast<std::uint16_t>(*value));
+      } catch (const InvalidArgument& e) {
+        fail(line_no, e.what());
+      }
+    } else {
+      fail(line_no, "unknown directive '" + fields[0] + "'");
+    }
+  }
+  return contexts;
+}
+
+std::string serialize_ixp_configs(
+    const std::vector<core::IxpContext>& contexts) {
+  std::ostringstream out;
+  out << "# mlp_infer IXP scheme configuration\n";
+  for (const auto& context : contexts) {
+    out << "ixp " << context.name << " rs-asn " << context.scheme.rs_asn()
+        << " style " << style_token(context.scheme.style()) << " members";
+    for (const auto member : context.rs_members) out << ' ' << member;
+    out << '\n';
+    for (const auto& [member, value] : context.scheme.aliases())
+      out << "alias " << context.name << ' ' << member << ' ' << value
+          << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace mlp::pipeline

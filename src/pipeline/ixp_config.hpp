@@ -1,0 +1,30 @@
+// Textual IXP-scheme configuration for the mlp_infer CLI.
+//
+// One IXP per `ixp` line, optional 32-bit member aliases on `alias` lines:
+//
+//   # comment
+//   ixp DE-CIX rs-asn 6695 style rs-asn members 64496 64497 64498
+//   ixp ECIX rs-asn 9033 style private-range members 64500 64501
+//   alias DE-CIX 4200000001 64512
+//
+// `style` names the Table-1 layout family: `rs-asn` (DE-CIX/MSK-IX) or
+// `private-range` (ECIX). round-trips with serialize_ixp_configs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mlp::pipeline {
+
+/// Parse a whole config document. Throws util::ParseError with a
+/// 1-based line number on malformed input.
+std::vector<core::IxpContext> parse_ixp_configs(std::string_view text);
+
+/// Render contexts back to the textual form (including aliases).
+std::string serialize_ixp_configs(
+    const std::vector<core::IxpContext>& contexts);
+
+}  // namespace mlp::pipeline

@@ -1,0 +1,52 @@
+#include "pipeline/observation_queue.hpp"
+
+#include "util/errors.hpp"
+
+namespace mlp::pipeline {
+
+ObservationQueue::ObservationQueue(std::size_t n_sources)
+    : sources_(n_sources) {}
+
+void ObservationQueue::push(std::size_t source,
+                            std::vector<core::Observation> batch) {
+  if (batch.empty()) return;
+  {
+    std::lock_guard lock(mutex_);
+    if (source >= sources_.size())
+      throw InvalidArgument("observation queue: bad source index");
+    sources_[source].batches.push_back(std::move(batch));
+    if (source != cursor_) return;  // consumer is not waiting on this source
+  }
+  ready_.notify_one();
+}
+
+void ObservationQueue::close(std::size_t source) {
+  {
+    std::lock_guard lock(mutex_);
+    if (source >= sources_.size())
+      throw InvalidArgument("observation queue: bad source index");
+    sources_[source].closed = true;
+  }
+  ready_.notify_one();
+}
+
+bool ObservationQueue::pop(std::vector<core::Observation>& out) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    // Skip past closed, drained sources; serve the first pending batch.
+    while (cursor_ < sources_.size()) {
+      Source& source = sources_[cursor_];
+      if (!source.batches.empty()) {
+        out = std::move(source.batches.front());
+        source.batches.pop_front();
+        return true;
+      }
+      if (!source.closed) break;
+      ++cursor_;
+    }
+    if (cursor_ == sources_.size()) return false;
+    ready_.wait(lock);
+  }
+}
+
+}  // namespace mlp::pipeline

@@ -1,0 +1,48 @@
+// Ordered multi-producer batch queue feeding one MlpInferenceEngine.
+//
+// Observation order matters to the engine (a re-announcement replaces the
+// per-prefix policy), so concurrent producers cannot simply interleave.
+// Each producer owns a source index; the consumer drains batches in strict
+// source order, streaming from source 0 while later sources are still
+// extracting. This keeps the inferred link set byte-identical for any
+// thread count while still overlapping extraction with inference.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mlp::pipeline {
+
+class ObservationQueue {
+ public:
+  /// `n_sources` producers, indexed [0, n_sources).
+  explicit ObservationQueue(std::size_t n_sources);
+
+  /// Append one batch from `source`. Empty batches are dropped.
+  void push(std::size_t source, std::vector<core::Observation> batch);
+
+  /// Mark `source` finished; the consumer can advance past it.
+  void close(std::size_t source);
+
+  /// Blocking pop of the next batch in source order. Returns false once
+  /// every source is closed and drained.
+  bool pop(std::vector<core::Observation>& out);
+
+ private:
+  struct Source {
+    std::deque<std::vector<core::Observation>> batches;
+    bool closed = false;
+  };
+
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::vector<Source> sources_;
+  std::size_t cursor_ = 0;  // first source not yet fully drained
+};
+
+}  // namespace mlp::pipeline

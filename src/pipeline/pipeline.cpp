@@ -1,0 +1,240 @@
+#include "pipeline/pipeline.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "pipeline/observation_queue.hpp"
+#include "pipeline/thread_pool.hpp"
+#include "util/errors.hpp"
+
+namespace mlp::pipeline {
+
+InferencePipeline::InferencePipeline(PipelineConfig config)
+    : config_(std::move(config)) {
+  if (config_.batch_size == 0) config_.batch_size = 1;
+}
+
+std::size_t InferencePipeline::add_ixp(core::IxpContext context,
+                                       lg::LookingGlassServer* lg) {
+  if (ixp_index_.count(context.name))
+    throw InvalidArgument("pipeline: duplicate IXP " + context.name);
+  const std::size_t index = ixps_.size();
+  ixp_index_.emplace(context.name, index);
+  ixps_.push_back(IxpSlot{std::move(context), lg});
+  return index;
+}
+
+void InferencePipeline::add_table_dump(std::vector<std::uint8_t> archive) {
+  Feed feed;
+  feed.kind = FeedKind::TableDump;
+  feed.archive = std::move(archive);
+  feeds_.push_back(std::move(feed));
+}
+
+void InferencePipeline::add_update_stream(std::vector<std::uint8_t> archive) {
+  Feed feed;
+  feed.kind = FeedKind::UpdateStream;
+  feed.archive = std::move(archive);
+  feeds_.push_back(std::move(feed));
+}
+
+void InferencePipeline::add_paths(std::vector<RawPath> paths) {
+  Feed feed;
+  feed.kind = FeedKind::Paths;
+  feed.paths = std::move(paths);
+  feeds_.push_back(std::move(feed));
+}
+
+void InferencePipeline::add_observations(
+    const std::string& ixp_name,
+    std::vector<core::Observation> observations) {
+  auto it = ixp_index_.find(ixp_name);
+  if (it == ixp_index_.end())
+    throw InvalidArgument("pipeline: unknown IXP " + ixp_name);
+  Feed feed;
+  feed.kind = FeedKind::Preattributed;
+  feed.target_ixp = it->second;
+  feed.observations = std::move(observations);
+  feeds_.push_back(std::move(feed));
+}
+
+void InferencePipeline::set_relationships(bgp::RelFn relationships) {
+  relationships_ = std::move(relationships);
+}
+
+void InferencePipeline::set_irr(const irr::IrrDatabase* database) {
+  irr_ = database;
+}
+
+namespace {
+
+/// Split `observations` into batches of `batch_size` pushed under `source`.
+void push_batched(ObservationQueue& queue, std::size_t source,
+                  std::vector<core::Observation> observations,
+                  std::size_t batch_size) {
+  if (observations.size() <= batch_size) {
+    queue.push(source, std::move(observations));
+    return;
+  }
+  std::vector<core::Observation> batch;
+  batch.reserve(batch_size);
+  for (auto& observation : observations) {
+    batch.push_back(std::move(observation));
+    if (batch.size() == batch_size) {
+      queue.push(source, std::move(batch));
+      batch.clear();
+      batch.reserve(batch_size);
+    }
+  }
+  queue.push(source, std::move(batch));
+}
+
+/// First-error-wins collector shared by every task.
+struct ErrorSlot {
+  std::mutex mutex;
+  std::string message;
+
+  void record(const std::string& message_in) {
+    std::lock_guard lock(mutex);
+    if (message.empty()) message = message_in;
+  }
+};
+
+}  // namespace
+
+PipelineResult InferencePipeline::run() {
+  if (ran_) throw InvalidArgument("pipeline: run() already executed");
+  ran_ = true;
+
+  const std::size_t n_ixps = ixps_.size();
+  const std::size_t n_sources = feeds_.size();
+
+  PipelineResult result;
+  result.per_ixp.resize(n_ixps);
+  result.engines.reserve(n_ixps);
+  for (const IxpSlot& slot : ixps_)
+    result.engines.emplace_back(slot.context);
+
+  std::vector<std::unique_ptr<ObservationQueue>> queues;
+  queues.reserve(n_ixps);
+  for (std::size_t i = 0; i < n_ixps; ++i)
+    queues.push_back(std::make_unique<ObservationQueue>(n_sources));
+
+  std::vector<core::PassiveStats> source_stats(n_sources);
+  ErrorSlot error;
+
+  // One immutable context set shared by every extraction task.
+  auto contexts = [this] {
+    std::vector<core::IxpContext> out;
+    out.reserve(ixps_.size());
+    for (const IxpSlot& slot : ixps_) out.push_back(slot.context);
+    return std::make_shared<const std::vector<core::IxpContext>>(
+        std::move(out));
+  }();
+
+  ThreadPool pool(ThreadPool::resolve(config_.threads));
+
+  // Producers first (FIFO pool => they are never starved by a waiting
+  // consumer). Each owns source index `s` in every IXP queue and closes it
+  // unconditionally, even on a decode error, so consumers always finish.
+  for (std::size_t s = 0; s < n_sources; ++s) {
+    pool.submit([this, s, contexts, &queues, &source_stats, &error] {
+      Feed& feed = feeds_[s];
+      try {
+        if (feed.kind == FeedKind::Preattributed) {
+          push_batched(*queues[feed.target_ixp], s,
+                       std::move(feed.observations), config_.batch_size);
+        } else {
+          core::PassiveExtractor extractor(contexts, relationships_,
+                                           config_.passive);
+          switch (feed.kind) {
+            case FeedKind::TableDump:
+              extractor.consume_table_dump(feed.archive);
+              break;
+            case FeedKind::UpdateStream:
+              extractor.consume_update_stream(feed.archive);
+              break;
+            case FeedKind::Paths:
+              for (const RawPath& raw : feed.paths)
+                extractor.consume_path(raw.path, raw.prefix, raw.communities,
+                                       raw.source);
+              break;
+            case FeedKind::Preattributed:
+              break;  // handled above
+          }
+          source_stats[s] = extractor.stats();
+          // Observations are keyed by IXP name; route each list to its
+          // registered queue (unknown names can only arise from contexts
+          // we supplied, so every key resolves).
+          for (auto& [name, observations] : extractor.take_observations())
+            push_batched(*queues[ixp_index_.at(name)], s,
+                         std::move(observations), config_.batch_size);
+        }
+      } catch (const std::exception& e) {
+        error.record("source " + std::to_string(s) + ": " + e.what());
+      }
+      for (auto& queue : queues) queue->close(s);
+    });
+  }
+
+  // Consumers: one per IXP. Drain the ordered queue into the engine,
+  // then survey the LG for members passive data did not cover
+  // (equation 2), then infer links.
+  for (std::size_t i = 0; i < n_ixps; ++i) {
+    pool.submit([this, i, &queues, &result, &error] {
+      try {
+        core::MlpInferenceEngine& engine = result.engines[i];
+        std::set<Asn> covered;
+        std::vector<core::Observation> batch;
+        while (queues[i]->pop(batch)) {
+          for (const core::Observation& observation : batch) {
+            covered.insert(observation.setter);
+            engine.add(observation);
+          }
+        }
+        IxpResult& slot = result.per_ixp[i];
+        slot.name = ixps_[i].context.name;
+        if (ixps_[i].lg != nullptr) {
+          const auto survey =
+              core::run_active_survey(*ixps_[i].lg, config_.active, covered);
+          slot.active_queries = survey.queries;
+          for (const core::Observation& observation : survey.observations)
+            engine.add(observation);
+        }
+        slot.links = engine.infer_links(config_.assume_open_for_unobserved);
+        slot.stats = engine.stats(slot.links.size());
+        slot.rejected_observations = engine.rejected_observations();
+      } catch (const std::exception& e) {
+        error.record("ixp " + std::to_string(i) + ": " + e.what());
+      }
+    });
+  }
+
+  pool.wait_idle();
+  if (!error.message.empty())
+    throw ParseError("pipeline: " + error.message);
+
+  for (const core::PassiveStats& stats : source_stats)
+    result.passive += stats;
+  for (const IxpResult& slot : result.per_ixp) {
+    result.totals += slot.stats;
+    result.total_active_queries += slot.active_queries;
+    result.all_links.insert(slot.links.begin(), slot.links.end());
+  }
+
+  if (irr_ != nullptr) {
+    std::set<Asn> members;
+    std::set<Asn> candidate_peers;
+    for (std::size_t i = 0; i < n_ixps; ++i) {
+      const auto observed = result.engines[i].observed_members();
+      members.insert(observed.begin(), observed.end());
+      candidate_peers.insert(ixps_[i].context.rs_members.begin(),
+                             ixps_[i].context.rs_members.end());
+    }
+    result.reciprocity = core::check_reciprocity(*irr_, members,
+                                                 candidate_peers);
+  }
+  return result;
+}
+
+}  // namespace mlp::pipeline

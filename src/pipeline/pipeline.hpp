@@ -1,0 +1,160 @@
+// Parallel multi-IXP inference pipeline.
+//
+// The paper's method runs the same passive-extraction -> per-RS
+// policy-intersection -> reciprocity chain independently per IXP, an
+// embarrassingly parallel shape this orchestrator exploits:
+//
+//   MRT archives / raw paths / pre-attributed observations   (sources)
+//        |  one PassiveExtractor task per source, in parallel
+//        v
+//   per-IXP ObservationQueue (ordered by source index: deterministic)
+//        |  one consumer task per IXP, in parallel
+//        v
+//   MlpInferenceEngine::add -> active LG survey for uncovered members
+//        -> infer_links
+//        |
+//        v
+//   join: global link set, merged PassiveStats/EngineStats, optional
+//   IRR reciprocity validation pass
+//
+// The link sets are byte-identical for any thread count: sources merge in
+// submission order and each IXP's engine consumes them in that order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/active.hpp"
+#include "core/engine.hpp"
+#include "core/passive.hpp"
+#include "core/reciprocity.hpp"
+#include "core/types.hpp"
+#include "lg/lg_server.hpp"
+
+namespace mlp::pipeline {
+
+using bgp::AsLink;
+using core::Asn;
+
+struct PipelineConfig {
+  /// Worker threads; 0 means hardware concurrency.
+  std::size_t threads = 0;
+  /// Observations per queue batch.
+  std::size_t batch_size = 256;
+  core::PassiveConfig passive;
+  core::ActiveConfig active;
+  /// Forwarded to MlpInferenceEngine::infer_links.
+  bool assume_open_for_unobserved = false;
+};
+
+/// One decoded path observation (the third-party-LG feed).
+struct RawPath {
+  bgp::AsPath path;
+  bgp::IpPrefix prefix;
+  std::vector<bgp::Community> communities;
+  core::Source source = core::Source::ThirdPartyLg;
+};
+
+/// Per-IXP outcome, aligned with add_ixp order.
+struct IxpResult {
+  std::string name;
+  core::EngineStats stats;
+  std::set<AsLink> links;
+  std::size_t active_queries = 0;
+  std::size_t rejected_observations = 0;
+};
+
+struct PipelineResult {
+  std::vector<IxpResult> per_ixp;
+  /// The engines themselves (policy_of etc. for downstream reports),
+  /// aligned with per_ixp.
+  std::vector<core::MlpInferenceEngine> engines;
+  /// Union of links over every IXP.
+  std::set<AsLink> all_links;
+  /// Passive stats merged over all extraction sources.
+  core::PassiveStats passive;
+  /// Engine stats summed over all IXPs.
+  core::EngineStats totals;
+  std::size_t total_active_queries = 0;
+  /// Section 4.4 validation, present when an IRR database was attached.
+  std::optional<core::ReciprocityReport> reciprocity;
+};
+
+/// Orchestrates passive + active inference over many IXPs on a thread
+/// pool. Register IXPs and input sources, then call run() exactly once.
+class InferencePipeline {
+ public:
+  explicit InferencePipeline(PipelineConfig config = PipelineConfig{});
+
+  /// Register one IXP. `lg` (optional, non-owning, must outlive run())
+  /// enables the active survey for members without passive coverage.
+  /// Returns the IXP's index.
+  std::size_t add_ixp(core::IxpContext context,
+                      lg::LookingGlassServer* lg = nullptr);
+
+  /// Queue a TABLE_DUMP_V2 archive for passive extraction.
+  void add_table_dump(std::vector<std::uint8_t> archive);
+
+  /// Queue a BGP4MP update archive (transient filtering applies).
+  void add_update_stream(std::vector<std::uint8_t> archive);
+
+  /// Queue already-decoded paths (e.g. gathered from member LGs); they run
+  /// through the same attribution machinery as the archives.
+  void add_paths(std::vector<RawPath> paths);
+
+  /// Queue pre-attributed observations for one registered IXP, bypassing
+  /// extraction (e.g. a route-server RIB read directly).
+  void add_observations(const std::string& ixp_name,
+                        std::vector<core::Observation> observations);
+
+  /// Relationship oracle for setter case 3 (may stay unset).
+  void set_relationships(bgp::RelFn relationships);
+
+  /// Attach an IRR database: run() then ends with a reciprocity
+  /// validation pass over every observed member (non-owning).
+  void set_irr(const irr::IrrDatabase* database);
+
+  const PipelineConfig& config() const { return config_; }
+  std::size_t ixp_count() const { return ixps_.size(); }
+
+  /// Execute the pipeline. Consumes the queued inputs; callable once.
+  /// Throws mlp::ParseError if any source fails to decode (the other
+  /// sources still drain, so the pipeline never hangs).
+  PipelineResult run();
+
+ private:
+  struct IxpSlot {
+    core::IxpContext context;
+    lg::LookingGlassServer* lg = nullptr;
+  };
+
+  enum class FeedKind : std::uint8_t {
+    TableDump,
+    UpdateStream,
+    Paths,
+    Preattributed,
+  };
+
+  struct Feed {
+    FeedKind kind = FeedKind::TableDump;
+    std::vector<std::uint8_t> archive;       // TableDump / UpdateStream
+    std::vector<RawPath> paths;              // Paths
+    std::size_t target_ixp = 0;              // Preattributed
+    std::vector<core::Observation> observations;  // Preattributed
+  };
+
+  PipelineConfig config_;
+  std::vector<IxpSlot> ixps_;
+  std::map<std::string, std::size_t> ixp_index_;
+  std::vector<Feed> feeds_;
+  bgp::RelFn relationships_;
+  const irr::IrrDatabase* irr_ = nullptr;
+  bool ran_ = false;
+};
+
+}  // namespace mlp::pipeline

@@ -1,0 +1,53 @@
+// A small fixed-size FIFO thread pool for the inference pipeline.
+//
+// FIFO submission order is part of the contract: the pipeline enqueues all
+// extraction producers before the per-IXP consumers, so producers (which
+// never block) always run ahead of consumers that wait on their output,
+// and the pipeline cannot deadlock even with a single worker thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mlp::pipeline {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to at least one).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task. Tasks start in submission order.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// The pool size to use for `requested` (0 means hardware concurrency).
+  static std::size_t resolve(std::size_t requested);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mlp::pipeline

@@ -95,6 +95,10 @@ class IxpCommunityScheme {
   /// Validation hook: whether `asn` can appear as a peer target.
   bool can_target(Asn member) const { return encode_peer(member).has_value(); }
 
+  /// The registered 32-bit member aliases (member -> private-range value),
+  /// e.g. for serialising a scheme back to a config file.
+  const std::map<Asn, std::uint16_t>& aliases() const { return alias_of_; }
+
  private:
   std::string ixp_name_;
   Asn rs_asn_ = 0;

@@ -1,0 +1,358 @@
+// Tests for the parallel multi-IXP inference pipeline: thread pool and
+// ordered queue primitives, IXP-scheme config round-trip, determinism
+// under 1 vs N threads, merged-stats correctness, and edge cases.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/passive.hpp"
+#include "pipeline/ixp_config.hpp"
+#include "pipeline/observation_queue.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/thread_pool.hpp"
+#include "scenario/scenario.hpp"
+#include "topology/relationship_inference.hpp"
+#include "util/errors.hpp"
+
+namespace mlp::pipeline {
+namespace {
+
+using bgp::Community;
+using routeserver::IxpCommunityScheme;
+using routeserver::SchemeStyle;
+
+// ------------------------------------------------------------ thread pool
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, FifoStartOrderWithOneWorker) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    pool.submit([&order, i] { order.push_back(i); });
+  pool.wait_idle();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ResolveDefaults) {
+  EXPECT_EQ(ThreadPool::resolve(3), 3u);
+  EXPECT_GE(ThreadPool::resolve(0), 1u);
+}
+
+// ------------------------------------------------------------ queue
+
+core::Observation make_obs(core::Asn setter, const char* prefix) {
+  core::Observation obs;
+  obs.setter = setter;
+  obs.prefix = *bgp::IpPrefix::parse(prefix);
+  return obs;
+}
+
+TEST(ObservationQueue, DrainsSourcesInIndexOrder) {
+  ObservationQueue queue(3);
+  // Sources push out of order; the consumer must still see 0, then 1,
+  // then 2.
+  queue.push(2, {make_obs(3, "10.3.0.0/16")});
+  queue.close(2);
+  queue.push(0, {make_obs(1, "10.1.0.0/16")});
+  queue.close(0);
+  queue.push(1, {make_obs(2, "10.2.0.0/16")});
+  queue.close(1);
+
+  std::vector<core::Asn> setters;
+  std::vector<core::Observation> batch;
+  while (queue.pop(batch))
+    for (const auto& obs : batch) setters.push_back(obs.setter);
+  ASSERT_EQ(setters.size(), 3u);
+  EXPECT_EQ(setters[0], 1u);
+  EXPECT_EQ(setters[1], 2u);
+  EXPECT_EQ(setters[2], 3u);
+}
+
+TEST(ObservationQueue, BlockingConsumerFinishesAfterClose) {
+  ObservationQueue queue(1);
+  std::vector<core::Asn> seen;
+  std::thread consumer([&] {
+    std::vector<core::Observation> batch;
+    while (queue.pop(batch))
+      for (const auto& obs : batch) seen.push_back(obs.setter);
+  });
+  queue.push(0, {make_obs(7, "10.0.0.0/16")});
+  queue.close(0);
+  consumer.join();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 7u);
+}
+
+TEST(ObservationQueue, EmptyBatchesDropped) {
+  ObservationQueue queue(1);
+  queue.push(0, {});
+  queue.close(0);
+  std::vector<core::Observation> batch;
+  EXPECT_FALSE(queue.pop(batch));
+}
+
+// ------------------------------------------------------------ config
+
+TEST(IxpConfig, RoundTrip) {
+  const char* text =
+      "# comment\n"
+      "ixp DE-CIX rs-asn 6695 style rs-asn members 64496 64497 64498\n"
+      "ixp ECIX rs-asn 9033 style private-range members 64500 4200000001\n"
+      "alias ECIX 4200000001 64512\n";
+  const auto contexts = parse_ixp_configs(text);
+  ASSERT_EQ(contexts.size(), 2u);
+  EXPECT_EQ(contexts[0].name, "DE-CIX");
+  EXPECT_EQ(contexts[0].scheme.rs_asn(), 6695u);
+  EXPECT_EQ(contexts[0].scheme.style(), SchemeStyle::RsAsnBased);
+  EXPECT_EQ(contexts[0].rs_members.size(), 3u);
+  EXPECT_EQ(contexts[1].scheme.style(), SchemeStyle::PrivateRangeBased);
+  EXPECT_EQ(contexts[1].scheme.encode_peer(4200000001u),
+            std::optional<std::uint16_t>(64512));
+
+  // Serialize and re-parse: identical structure.
+  const auto reparsed = parse_ixp_configs(serialize_ixp_configs(contexts));
+  ASSERT_EQ(reparsed.size(), 2u);
+  EXPECT_EQ(reparsed[0].rs_members, contexts[0].rs_members);
+  EXPECT_EQ(reparsed[1].scheme.encode_peer(4200000001u),
+            std::optional<std::uint16_t>(64512));
+}
+
+TEST(IxpConfig, ErrorsCarryLineNumbers) {
+  EXPECT_THROW(parse_ixp_configs("bogus directive\n"), ParseError);
+  EXPECT_THROW(parse_ixp_configs("ixp X rs-asn nope style rs-asn members\n"),
+               ParseError);
+  EXPECT_THROW(
+      parse_ixp_configs("ixp X rs-asn 1 style weird members 2\n"),
+      ParseError);
+  EXPECT_THROW(parse_ixp_configs("alias NOIXP 1 2\n"), ParseError);
+  try {
+    parse_ixp_configs("\n\nnope\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------ pipeline
+
+core::IxpContext demo_context(const std::string& name, bgp::Asn rs_asn,
+                              std::set<core::Asn> members) {
+  core::IxpContext ctx;
+  ctx.name = name;
+  ctx.scheme = IxpCommunityScheme::make(name, rs_asn, SchemeStyle::RsAsnBased);
+  ctx.rs_members = std::move(members);
+  return ctx;
+}
+
+TEST(Pipeline, PreattributedObservationsInferLinks) {
+  InferencePipeline pipe;
+  pipe.add_ixp(demo_context("DEMO", 6695, {1, 2, 3}));
+  std::vector<core::Observation> observations;
+  for (core::Asn member : {1u, 2u, 3u}) {
+    core::Observation obs;
+    obs.setter = member;
+    obs.prefix = *bgp::IpPrefix::parse("10.0.0.0/16");
+    observations.push_back(obs);
+  }
+  pipe.add_observations("DEMO", std::move(observations));
+  const auto result = pipe.run();
+  EXPECT_EQ(result.all_links.size(), 3u);
+  EXPECT_EQ(result.per_ixp[0].stats.observed_members, 3u);
+  EXPECT_EQ(result.totals.observations, 3u);
+}
+
+TEST(Pipeline, UnknownIxpNameRejected) {
+  InferencePipeline pipe;
+  pipe.add_ixp(demo_context("DEMO", 6695, {1}));
+  EXPECT_THROW(pipe.add_observations("NOPE", {}), InvalidArgument);
+  EXPECT_THROW(pipe.add_ixp(demo_context("DEMO", 6695, {1})),
+               InvalidArgument);
+}
+
+TEST(Pipeline, RunTwiceRejected) {
+  InferencePipeline pipe;
+  pipe.add_ixp(demo_context("DEMO", 6695, {1}));
+  pipe.run();
+  EXPECT_THROW(pipe.run(), InvalidArgument);
+}
+
+TEST(Pipeline, MalformedArchiveThrowsWithoutHanging) {
+  InferencePipeline pipe;
+  pipe.add_ixp(demo_context("DEMO", 6695, {1, 2}));
+  pipe.add_table_dump({0xde, 0xad, 0xbe, 0xef});
+  EXPECT_THROW(pipe.run(), ParseError);
+}
+
+TEST(Pipeline, EmptyIxpAndNoObservations) {
+  // No feeds at all: every IXP yields an empty link set, including an IXP
+  // with no members, and the merged stats stay zero.
+  PipelineConfig config;
+  config.threads = 3;
+  InferencePipeline pipe(config);
+  pipe.add_ixp(demo_context("EMPTY", 6695, {}));
+  pipe.add_ixp(demo_context("UNOBSERVED", 9033, {1, 2, 3}));
+  const auto result = pipe.run();
+  ASSERT_EQ(result.per_ixp.size(), 2u);
+  EXPECT_TRUE(result.all_links.empty());
+  EXPECT_TRUE(result.per_ixp[0].links.empty());
+  EXPECT_TRUE(result.per_ixp[1].links.empty());
+  EXPECT_EQ(result.totals.observations, 0u);
+  EXPECT_EQ(result.totals.observed_members, 0u);
+  EXPECT_EQ(result.totals.rs_members, 3u);
+  EXPECT_EQ(result.passive.paths_seen, 0u);
+}
+
+/// Full scenario run (passive archives + active LG surveys over every
+/// IXP) with a given thread count.
+PipelineResult scenario_run(scenario::Scenario& s,
+                            const topology::InferredRelationships& rels,
+                            std::size_t threads) {
+  PipelineConfig config;
+  config.threads = threads;
+  InferencePipeline pipe(config);
+  for (std::size_t i = 0; i < s.ixps().size(); ++i) {
+    auto* lg = s.ixps()[i].spec.lg_shows_communities ? s.rs_lg(i) : nullptr;
+    pipe.add_ixp(s.ixp_context(i), lg);
+  }
+  pipe.set_relationships(rels.rel_fn());
+  for (auto& collector : s.collectors())
+    pipe.add_table_dump(collector.table_dump(1367366400));
+  return pipe.run();
+}
+
+scenario::ScenarioParams small_params() {
+  scenario::ScenarioParams params;
+  params.topology.n_ases = 700;
+  params.membership_scale = 0.15;
+  params.seed = 424242;
+  return params;
+}
+
+TEST(Pipeline, DeterministicAcrossThreadCounts) {
+  // N >= 2 IXPs, 1 vs 4 threads: byte-identical link sets and stats.
+  scenario::Scenario s1(small_params());
+  scenario::Scenario s4(small_params());
+  const auto rels1 = topology::infer_relationships(s1.collector_paths());
+  const auto rels4 = topology::infer_relationships(s4.collector_paths());
+
+  const auto run1 = scenario_run(s1, rels1, 1);
+  const auto run4 = scenario_run(s4, rels4, 4);
+
+  ASSERT_GE(run1.per_ixp.size(), 2u);
+  EXPECT_FALSE(run1.all_links.empty());
+  EXPECT_EQ(run1.all_links, run4.all_links);
+  ASSERT_EQ(run1.per_ixp.size(), run4.per_ixp.size());
+  for (std::size_t i = 0; i < run1.per_ixp.size(); ++i) {
+    EXPECT_EQ(run1.per_ixp[i].links, run4.per_ixp[i].links) << "ixp " << i;
+    EXPECT_EQ(run1.per_ixp[i].stats.observed_members,
+              run4.per_ixp[i].stats.observed_members);
+    EXPECT_EQ(run1.per_ixp[i].stats.observations,
+              run4.per_ixp[i].stats.observations);
+    EXPECT_EQ(run1.per_ixp[i].active_queries, run4.per_ixp[i].active_queries);
+  }
+  EXPECT_EQ(run1.passive.paths_seen, run4.passive.paths_seen);
+  EXPECT_EQ(run1.passive.observations, run4.passive.observations);
+  EXPECT_EQ(run1.total_active_queries, run4.total_active_queries);
+}
+
+TEST(Pipeline, MergedStatsMatchSequentialExtraction) {
+  // The passive stats merged over per-archive extraction tasks must equal
+  // one extractor consuming every archive sequentially; the engine totals
+  // must be the field-wise sum over IXPs.
+  scenario::Scenario s(small_params());
+  const auto rels = topology::infer_relationships(s.collector_paths());
+
+  std::vector<std::vector<std::uint8_t>> archives;
+  for (auto& collector : s.collectors())
+    archives.push_back(collector.table_dump(1367366400));
+
+  core::PassiveExtractor sequential(s.ixp_contexts(), rels.rel_fn());
+  for (const auto& archive : archives)
+    sequential.consume_table_dump(archive);
+  const auto& expected = sequential.stats();
+
+  PipelineConfig config;
+  config.threads = 4;
+  InferencePipeline pipe(config);
+  for (std::size_t i = 0; i < s.ixps().size(); ++i)
+    pipe.add_ixp(s.ixp_context(i));
+  pipe.set_relationships(rels.rel_fn());
+  for (auto& archive : archives) pipe.add_table_dump(std::move(archive));
+  const auto result = pipe.run();
+
+  EXPECT_EQ(result.passive.paths_seen, expected.paths_seen);
+  EXPECT_EQ(result.passive.paths_dirty, expected.paths_dirty);
+  EXPECT_EQ(result.passive.paths_no_rs_values, expected.paths_no_rs_values);
+  EXPECT_EQ(result.passive.paths_ambiguous_ixp,
+            expected.paths_ambiguous_ixp);
+  EXPECT_EQ(result.passive.paths_no_setter, expected.paths_no_setter);
+  EXPECT_EQ(result.passive.observations, expected.observations);
+
+  core::EngineStats sum;
+  std::set<bgp::AsLink> all;
+  for (const auto& per_ixp : result.per_ixp) {
+    sum += per_ixp.stats;
+    all.insert(per_ixp.links.begin(), per_ixp.links.end());
+  }
+  EXPECT_EQ(result.totals.observations, sum.observations);
+  EXPECT_EQ(result.totals.observed_members, sum.observed_members);
+  EXPECT_EQ(result.totals.links, sum.links);
+  EXPECT_EQ(result.all_links, all);
+}
+
+TEST(Pipeline, BatchSizeDoesNotChangeResults) {
+  scenario::Scenario sa(small_params());
+  scenario::Scenario sb(small_params());
+  const auto rels_a = topology::infer_relationships(sa.collector_paths());
+  const auto rels_b = topology::infer_relationships(sb.collector_paths());
+
+  PipelineConfig tiny;
+  tiny.threads = 2;
+  tiny.batch_size = 1;
+  InferencePipeline pa(tiny);
+  for (std::size_t i = 0; i < sa.ixps().size(); ++i)
+    pa.add_ixp(sa.ixp_context(i));
+  pa.set_relationships(rels_a.rel_fn());
+  for (auto& collector : sa.collectors())
+    pa.add_table_dump(collector.table_dump(1367366400));
+
+  PipelineConfig huge;
+  huge.threads = 2;
+  huge.batch_size = 100000;
+  InferencePipeline pb(huge);
+  for (std::size_t i = 0; i < sb.ixps().size(); ++i)
+    pb.add_ixp(sb.ixp_context(i));
+  pb.set_relationships(rels_b.rel_fn());
+  for (auto& collector : sb.collectors())
+    pb.add_table_dump(collector.table_dump(1367366400));
+
+  EXPECT_EQ(pa.run().all_links, pb.run().all_links);
+}
+
+TEST(Pipeline, ReciprocityPassRunsWhenIrrAttached) {
+  scenario::Scenario s(small_params());
+  PipelineConfig config;
+  config.threads = 2;
+  InferencePipeline pipe(config);
+  for (std::size_t i = 0; i < s.ixps().size(); ++i)
+    pipe.add_ixp(s.ixp_context(i));
+  for (auto& collector : s.collectors())
+    pipe.add_table_dump(collector.table_dump(1367366400));
+  pipe.set_irr(&s.irr());
+  const auto result = pipe.run();
+  ASSERT_TRUE(result.reciprocity.has_value());
+  // Section 4.4: the assumption is conservative against IRR filters.
+  EXPECT_EQ(result.reciprocity->violations, 0u);
+}
+
+}  // namespace
+}  // namespace mlp::pipeline

@@ -22,10 +22,10 @@ using Rel = bgp::Rel;
 /// Small reference topology:
 ///
 ///        1 ----- 2          (p2p clique)
-///       / \       \
-///      3   4       5        (customers of 1/2)
-///      |    \     /|
-///      6     7   8 |        (stubs)
+///       / \       |
+///      3   4      5         (customers of 1/2)
+///      |    \    /|
+///      6     7  8 |         (stubs)
 ///      3 ~ 5 peers; 4 ~ 9 siblings.
 AsGraph small_graph() {
   AsGraph g;

@@ -53,15 +53,18 @@ TEST_P(SeededProperty, ExportPolicyCommunityRoundTrip) {
         routeserver::ExportPolicy::from_communities(communities, scheme);
     if (!allowlist && peers.empty()) {
       // Pure default: decodes to nothing or the explicit ALL.
-      if (decoded) EXPECT_EQ(*decoded, policy);
+      if (decoded) {
+        EXPECT_EQ(*decoded, policy);
+      }
     } else {
       ASSERT_TRUE(decoded);
       EXPECT_EQ(*decoded, policy);
     }
     // The decoded policy must agree with the original on every member.
-    if (decoded)
+    if (decoded) {
       for (const auto member : members)
         EXPECT_EQ(decoded->allows(member), policy.allows(member));
+    }
   }
 }
 
