@@ -1,14 +1,21 @@
 // Micro-benchmarks (google-benchmark): the hot paths of the pipelines --
-// MRT decode, community classification, export-policy round-trip,
-// reciprocity link inference, and routing-tree computation.
+// MRT decode, community classification, export-policy algebra, reciprocity
+// link inference, passive extraction, the end-to-end pipeline, and
+// routing-tree computation.
 #include <benchmark/benchmark.h>
+
+#include <set>
 
 #include "bgp/wire.hpp"
 #include "core/engine.hpp"
+#include "core/passive.hpp"
 #include "mrt/table_dump.hpp"
+#include "pipeline/pipeline.hpp"
 #include "propagation/routing.hpp"
 #include "routeserver/export_policy.hpp"
+#include "scenario/scenario.hpp"
 #include "topology/generator.hpp"
+#include "topology/relationship_inference.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -19,7 +26,8 @@ std::vector<std::uint8_t> make_archive(std::size_t prefixes) {
   bgp::Rib rib;
   for (std::size_t i = 0; i < prefixes; ++i) {
     bgp::Route route;
-    route.prefix = bgp::IpPrefix(0x0A000000 + (static_cast<std::uint32_t>(i) << 8), 24);
+    route.prefix =
+        bgp::IpPrefix(0x0A000000 + (static_cast<std::uint32_t>(i) << 8), 24);
     route.attrs.as_path = bgp::AsPath({6695, 8359, 15169});
     route.attrs.next_hop = 1;
     route.attrs.communities = {bgp::Community(0, 6695),
@@ -72,8 +80,11 @@ void BM_CommunityClassification(benchmark::State& state) {
 }
 BENCHMARK(BM_CommunityClassification);
 
-void BM_ReciprocityInference(benchmark::State& state) {
-  const std::size_t members = static_cast<std::size_t>(state.range(0));
+/// An engine over `members` RS members with one observation per member.
+/// Policies mirror the paper's figure-11 mix: mostly default-open or
+/// ALL+EXCLUDE of a handful of peers, a restrictive tail of NONE+INCLUDE
+/// allowlists.
+core::MlpInferenceEngine make_engine(std::size_t members) {
   core::IxpContext ctx;
   ctx.name = "bench";
   ctx.scheme = routeserver::IxpCommunityScheme::make(
@@ -82,21 +93,161 @@ void BM_ReciprocityInference(benchmark::State& state) {
     ctx.rs_members.insert(static_cast<bgp::Asn>(100 + i));
   core::MlpInferenceEngine engine(ctx);
   Rng rng(7);
+  auto random_member = [&] {
+    return static_cast<std::uint16_t>(100 + rng.uniform(0, members - 1));
+  };
   for (const auto member : ctx.rs_members) {
     core::Observation obs;
     obs.setter = member;
     obs.prefix = bgp::IpPrefix(0x0A000000 + (member << 8), 24);
-    if (rng.chance(0.2))
-      obs.communities = {bgp::Community(
-          0, static_cast<std::uint16_t>(100 + rng.uniform(0, members - 1)))};
+    if (rng.chance(0.15)) {
+      // Restrictive allowlist: NONE plus a few INCLUDEs.
+      obs.communities.push_back(bgp::Community(0, 6695));
+      const std::size_t n = rng.uniform(1, 12);
+      for (std::size_t k = 0; k < n; ++k)
+        obs.communities.push_back(bgp::Community(6695, random_member()));
+    } else if (rng.chance(0.25)) {
+      // Open with targeted EXCLUDEs (the repeller pattern).
+      const std::size_t n = rng.uniform(1, 8);
+      for (std::size_t k = 0; k < n; ++k)
+        obs.communities.push_back(bgp::Community(0, random_member()));
+    }
     engine.add(obs);
   }
+  return engine;
+}
+
+void BM_ReciprocityInference(benchmark::State& state) {
+  const auto engine = make_engine(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
     auto links = engine.infer_links();
     benchmark::DoNotOptimize(links.size());
   }
 }
-BENCHMARK(BM_ReciprocityInference)->Arg(50)->Arg(200);
+BENCHMARK(BM_ReciprocityInference)->Arg(50)->Arg(200)->Arg(1000);
+
+void BM_EngineStats(benchmark::State& state) {
+  // stats() without a precomputed link count re-runs the reciprocity
+  // pass for its `links` field: the counting-only hot path.
+  const auto engine = make_engine(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto stats = engine.stats();
+    benchmark::DoNotOptimize(stats.links);
+  }
+}
+BENCHMARK(BM_EngineStats)->Arg(200)->Arg(1000);
+
+void BM_PolicyIntersect(benchmark::State& state) {
+  // Mixed-mode intersection materialises an allow-list over the member
+  // universe: the worst case of the step-4 policy merge.
+  const std::size_t members = static_cast<std::size_t>(state.range(0));
+  core::IxpContext ctx;
+  Rng rng(13);
+  for (std::size_t i = 0; i < members; ++i)
+    ctx.rs_members.insert(static_cast<bgp::Asn>(100 + i));
+  std::set<bgp::Asn> excluded;
+  std::set<bgp::Asn> included;
+  for (std::size_t k = 0; k < members / 10; ++k) {
+    excluded.insert(static_cast<bgp::Asn>(100 + rng.uniform(0, members - 1)));
+    included.insert(static_cast<bgp::Asn>(100 + rng.uniform(0, members - 1)));
+  }
+  const routeserver::ExportPolicy all_except(
+      routeserver::ExportPolicy::Mode::AllExcept, excluded);
+  const routeserver::ExportPolicy none_except(
+      routeserver::ExportPolicy::Mode::NoneExcept, included);
+  for (auto _ : state) {
+    auto merged = routeserver::ExportPolicy::intersect(all_except, none_except,
+                                                       ctx.rs_members);
+    benchmark::DoNotOptimize(merged.peers().size());
+    auto same = routeserver::ExportPolicy::intersect(all_except, all_except,
+                                                     ctx.rs_members);
+    benchmark::DoNotOptimize(same.peers().size());
+  }
+}
+BENCHMARK(BM_PolicyIntersect)->Arg(200)->Arg(1000);
+
+/// Synthetic multi-IXP collector archive: every path crosses one of three
+/// route servers (two adjacent members) and carries that IXP's scheme
+/// values, mixing ALL-tagged, EXCLUDE-tagged and unrelated communities.
+struct PassiveFixture {
+  std::vector<core::IxpContext> ixps;
+  std::vector<std::uint8_t> archive;
+
+  explicit PassiveFixture(std::size_t prefixes) {
+    const bgp::Asn rs_asns[3] = {6695, 8631, 9033};
+    for (int x = 0; x < 3; ++x) {
+      core::IxpContext ctx;
+      ctx.name = "IXP" + std::to_string(x);
+      ctx.scheme = routeserver::IxpCommunityScheme::make(
+          ctx.name, rs_asns[x], routeserver::SchemeStyle::RsAsnBased);
+      for (bgp::Asn m = 0; m < 200; ++m)
+        ctx.rs_members.insert(1000 + 200 * x + m);
+      ixps.push_back(std::move(ctx));
+    }
+    bgp::Rib rib;
+    Rng rng(23);
+    for (std::size_t i = 0; i < prefixes; ++i) {
+      const int x = static_cast<int>(i % 3);
+      const bgp::Asn base = 1000 + 200 * x;
+      const bgp::Asn setter = base + rng.uniform(0, 198);
+      bgp::Route route;
+      route.prefix =
+          bgp::IpPrefix(0x0A000000 + (static_cast<std::uint32_t>(i) << 8), 24);
+      route.attrs.as_path = bgp::AsPath({300, setter + 1, setter});
+      route.attrs.next_hop = 1;
+      route.attrs.communities.push_back(bgp::Community(3356, 42));
+      if (rng.chance(0.5)) {
+        route.attrs.communities.push_back(
+            bgp::Community(rs_asns[x], rs_asns[x]));
+      } else {
+        route.attrs.communities.push_back(bgp::Community(
+            0, static_cast<std::uint16_t>(base + rng.uniform(0, 198))));
+      }
+      rib.announce(300, 1, std::move(route));
+    }
+    archive = mrt::dump_rib(rib, 0, 1, "bench");
+  }
+};
+
+void BM_PassiveExtraction(benchmark::State& state) {
+  const PassiveFixture fixture(static_cast<std::size_t>(state.range(0)));
+  const auto shared =
+      std::make_shared<const std::vector<core::IxpContext>>(fixture.ixps);
+  for (auto _ : state) {
+    core::PassiveExtractor extractor(shared, nullptr);
+    extractor.consume_table_dump(fixture.archive);
+    benchmark::DoNotOptimize(extractor.stats().observations);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PassiveExtraction)->Arg(1000)->Arg(5000);
+
+void BM_PipelineRun(benchmark::State& state) {
+  // End-to-end InferencePipeline::run over a small synthetic ecosystem:
+  // passive-only (no LG surveys), 2 worker threads.
+  scenario::ScenarioParams params;
+  params.topology.n_ases = 500;
+  params.membership_scale = 0.15;
+  params.seed = 424242;
+  scenario::Scenario s(params);
+  const auto rels = topology::infer_relationships(s.collector_paths());
+  std::vector<std::vector<std::uint8_t>> archives;
+  for (auto& collector : s.collectors())
+    archives.push_back(collector.table_dump(1367366400));
+
+  for (auto _ : state) {
+    pipeline::PipelineConfig config;
+    config.threads = 2;
+    pipeline::InferencePipeline pipe(config);
+    for (std::size_t i = 0; i < s.ixps().size(); ++i)
+      pipe.add_ixp(s.ixp_context(i));
+    pipe.set_relationships(rels.rel_fn());
+    for (const auto& archive : archives) pipe.add_table_dump(archive);
+    auto result = pipe.run();
+    benchmark::DoNotOptimize(result.all_links.size());
+  }
+}
+BENCHMARK(BM_PipelineRun)->Unit(benchmark::kMillisecond);
 
 void BM_RoutingTree(benchmark::State& state) {
   topology::TopologyParams params;

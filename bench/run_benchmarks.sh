@@ -1,0 +1,156 @@
+#!/usr/bin/env bash
+# Benchmark regression harness.
+#
+# Runs the micro_perf google-benchmark suite in JSON mode (3 repetitions,
+# aggregates only), writes the result to BENCH_<short-sha>.json at the
+# repository root, and compares the medians against the committed baseline
+# (the BENCH_*.json of the most recent ancestor commit that has one),
+# failing when any benchmark regressed by more than the threshold.
+#
+# Usage:
+#   bench/run_benchmarks.sh [--build-dir DIR] [--out FILE]
+#                           [--baseline FILE] [--threshold PCT]
+#                           [--filter REGEX] [--no-compare]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+out=""
+baseline=""
+threshold=25
+filter=""
+compare=1
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --out) out="$2"; shift 2 ;;
+    --baseline) baseline="$2"; shift 2 ;;
+    --threshold) threshold="$2"; shift 2 ;;
+    --filter) filter="$2"; shift 2 ;;
+    --no-compare) compare=0; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+micro_perf="$build_dir/bench/micro_perf"
+if [ ! -x "$micro_perf" ]; then
+  echo "error: $micro_perf not built (configure with google-benchmark installed)" >&2
+  exit 1
+fi
+
+sha="$(git -C "$repo_root" rev-parse --short=7 HEAD 2>/dev/null || echo local)"
+if [ -z "$out" ]; then
+  out="$repo_root/BENCH_${sha}.json"
+fi
+# Canonicalize so the baseline self-exclusion check below compares like
+# with like even when --out was given relative.
+case "$out" in
+  /*) ;;
+  *) out="$(pwd)/$out" ;;
+esac
+
+args=(--benchmark_format=console
+      --benchmark_out="$out" --benchmark_out_format=json
+      --benchmark_repetitions=3 --benchmark_report_aggregates_only=true)
+if [ -n "$filter" ]; then
+  args+=("--benchmark_filter=$filter")
+fi
+echo "running $micro_perf -> $out"
+"$micro_perf" "${args[@]}"
+
+if [ "$compare" = 0 ]; then
+  exit 0
+fi
+
+# Default baseline: walk the ancestry for the most recent commit that
+# committed a BENCH_<sha>.json still present in the tree. Abbreviation is
+# pinned to 7 chars to match the committed file names (git's automatic
+# %h length grows with the object count).
+if [ -z "$baseline" ]; then
+  for ancestor in \
+      $(git -C "$repo_root" log --format=%h --abbrev=7 -n 200 2>/dev/null); do
+    candidate="$repo_root/BENCH_${ancestor}.json"
+    if [ -f "$candidate" ] && [ "$candidate" != "$out" ]; then
+      baseline="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$baseline" ] || [ ! -f "$baseline" ]; then
+  echo "no committed baseline found: skipping regression comparison"
+  exit 0
+fi
+
+echo "comparing against baseline $baseline (threshold ${threshold}%)"
+python3 - "$baseline" "$out" "$threshold" <<'EOF'
+import json
+import statistics
+import sys
+
+baseline_path, current_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+
+def medians(path):
+    """cpu_time per benchmark, preferring the _median aggregate rows."""
+    data = json.load(open(path))
+    out = {}
+    for row in data.get("benchmarks", []):
+        name = row["name"]
+        if name.endswith("_median"):
+            out[name.removesuffix("_median")] = (row["cpu_time"], row["time_unit"])
+        elif row.get("run_type") != "aggregate" and name not in out:
+            out.setdefault(name, (row["cpu_time"], row["time_unit"]))
+    return out
+
+
+before = medians(baseline_path)
+after = medians(current_path)
+
+# The committed baseline may come from different hardware than this run.
+# Absolute cpu_time comparison would then flag (or mask) everything, so
+# ratios are normalised by the fleet-wide median ratio: a uniformly
+# slower/faster machine shifts every benchmark alike and cancels out,
+# while a genuine regression moves one benchmark against the fleet. The
+# factor is clamped so a broad real regression (most of the suite slower)
+# cannot absorb itself into the normalisation and fail open; when the raw
+# factor leaves the clamp band, regenerate the baseline on this machine
+# class if the shift is genuinely hardware.
+ratios = {}
+for name in before.keys() & after.keys():
+    (b, bu), (a, au) = before[name], after[name]
+    if bu == au and b > 0:
+        ratios[name] = a / b
+raw_factor = statistics.median(ratios.values()) if ratios else 1.0
+machine_factor = min(max(raw_factor, 2.0 / 3.0), 1.5)
+if machine_factor != raw_factor:
+    print(f"WARNING: fleet-median ratio {raw_factor:.2f}x clamped to "
+          f"{machine_factor:.2f}x — either different hardware (regenerate "
+          "the baseline) or a suite-wide regression")
+
+regressions = []
+print(f"machine-speed factor (median ratio): {machine_factor:.2f}x")
+print(f"{'benchmark':34s} {'baseline':>12s} {'current':>12s} {'norm-ratio':>10s}")
+for name in sorted(before):
+    if name not in after:
+        continue
+    (b, bu), (a, au) = before[name], after[name]
+    if bu != au:
+        print(f"{name:34s}  unit changed ({bu} -> {au}): skipped")
+        continue
+    ratio = ratios.get(name, 1.0) / machine_factor
+    flag = ""
+    if ratio > 1.0 + threshold / 100.0:
+        regressions.append((name, ratio))
+        flag = "  <-- REGRESSION"
+    print(f"{name:34s} {b:10.0f}{bu} {a:10.0f}{au} {ratio:8.2f}x{flag}")
+for name in sorted(set(after) - set(before)):
+    print(f"{name:34s} (new, no baseline)")
+if regressions:
+    print(f"\n{len(regressions)} benchmark(s) regressed more than {threshold}%"
+          " (machine-normalised):")
+    for name, ratio in regressions:
+        print(f"  {name}: {ratio:.2f}x baseline")
+    sys.exit(1)
+print("\nno regression beyond threshold")
+EOF

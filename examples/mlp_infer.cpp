@@ -149,6 +149,9 @@ int run_infer(int argc, char** argv) {
   // fed to the pipeline directly instead of paying a second MRT decode;
   // with --no-rels the raw archives go in and decode inside the parallel
   // extraction tasks.
+  //
+  // `rels` must outlive pipe.run(): rel_fn() captures a pointer to it.
+  topology::InferredRelationships rels;
   if (infer_rels) {
     std::vector<bgp::AsPath> paths;
     for (std::size_t i = 0; i < raw.size(); ++i) {
@@ -169,7 +172,7 @@ int run_infer(int argc, char** argv) {
       }
       pipe.add_paths(std::move(decoded));
     }
-    auto rels = topology::infer_relationships(paths);
+    rels = topology::infer_relationships(paths);
     std::printf("relationship baseline: %zu links\n", rels.link_count());
     pipe.set_relationships(rels.rel_fn());
   } else {

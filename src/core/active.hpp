@@ -33,7 +33,7 @@ struct ActiveConfig {
 
 struct ActiveSurveyResult {
   /// A_RS as seen in step 1.
-  std::set<Asn> rs_members;
+  FlatAsnSet rs_members;
   /// Communities observed, one per (setter, prefix) path block.
   std::vector<Observation> observations;
   /// Cost c: 1 + member queries + prefix queries (equation 1/2).

@@ -93,7 +93,7 @@ DegreeAnalysis analyze_link_degrees(const std::set<AsLink>& links,
 }
 
 DensityAnalysis peering_density(const std::set<AsLink>& links,
-                                const std::set<Asn>& rs_members) {
+                                const FlatAsnSet& rs_members) {
   DensityAnalysis out;
   if (rs_members.size() < 2) return out;
   const auto counts = links_per_member(links);

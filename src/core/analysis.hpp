@@ -57,7 +57,7 @@ struct DensityAnalysis {
 };
 
 DensityAnalysis peering_density(const std::set<AsLink>& links,
-                                const std::set<Asn>& rs_members);
+                                const FlatAsnSet& rs_members);
 
 /// Figure 13 / section 5.5: repeller analysis over EXCLUDE usage.
 struct RepellerReport {

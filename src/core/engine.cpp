@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
-#include <vector>
+#include <algorithm>
+#include <bit>
 
 namespace mlp::core {
 
@@ -27,6 +28,23 @@ EngineStats& operator+=(EngineStats& lhs, const EngineStats& rhs) {
   return lhs;
 }
 
+MlpInferenceEngine::MemberData& MlpInferenceEngine::member_slot(Asn member) {
+  const bool inserted = member_ids_.insert(member);
+  const std::size_t index = member_ids_.index_of(member);
+  if (inserted)
+    member_data_.insert(member_data_.begin() +
+                            static_cast<std::ptrdiff_t>(index),
+                        MemberData{});
+  return member_data_[index];
+}
+
+const MlpInferenceEngine::MemberData* MlpInferenceEngine::find_member(
+    Asn member) const {
+  const std::size_t index = member_ids_.index_of(member);
+  if (index == FlatAsnSet::npos) return nullptr;
+  return &member_data_[index];
+}
+
 void MlpInferenceEngine::add(const Observation& observation) {
   if (!context_.is_member(observation.setter)) {
     ++rejected_;
@@ -34,72 +52,180 @@ void MlpInferenceEngine::add(const Observation& observation) {
   }
   auto policy =
       ExportPolicy::from_communities(observation.communities, context_.scheme);
-  MemberData& data = members_[observation.setter];
+  MemberData& data = member_slot(observation.setter);
   ++data.observations;
   if (observation.source == Source::Passive)
     data.passive = true;
   else
     data.active = true;
-  // No RS communities on the route: the default ALL behaviour.
-  data.per_prefix[observation.prefix] =
-      policy.value_or(ExportPolicy::open());
+  // No RS communities on the route: the default ALL behaviour. A
+  // re-announcement of a known prefix replaces its policy.
+  ExportPolicy resolved = policy.value_or(ExportPolicy::open());
+  const auto it = std::lower_bound(
+      data.per_prefix.begin(), data.per_prefix.end(), observation.prefix,
+      [](const auto& entry, const IpPrefix& prefix) {
+        return entry.first < prefix;
+      });
+  if (it != data.per_prefix.end() && it->first == observation.prefix)
+    it->second = std::move(resolved);
+  else
+    data.per_prefix.emplace(it, observation.prefix, std::move(resolved));
+  data.merged_valid = false;
 }
 
-std::set<Asn> MlpInferenceEngine::observed_members() const {
-  std::set<Asn> out;
-  for (const auto& [asn, data] : members_) out.insert(asn);
-  return out;
+const std::vector<Asn>& MlpInferenceEngine::observed_members() const {
+  return member_ids_.values();
 }
 
-std::optional<ExportPolicy> MlpInferenceEngine::policy_of(Asn member) const {
-  auto it = members_.find(member);
-  if (it == members_.end()) return std::nullopt;
-  const MemberData& data = it->second;
-  std::optional<ExportPolicy> merged;
-  for (const auto& [prefix, policy] : data.per_prefix) {
-    if (!merged) {
-      merged = policy;
-    } else {
-      merged = ExportPolicy::intersect(*merged, policy, context_.rs_members);
+const ExportPolicy& MlpInferenceEngine::merged_policy(
+    const MemberData& data) const {
+  if (!data.merged_valid) {
+    ExportPolicy merged;
+    bool first = true;
+    for (const auto& [prefix, policy] : data.per_prefix) {
+      if (first) {
+        merged = policy;
+        first = false;
+      } else {
+        merged = ExportPolicy::intersect(merged, policy, context_.rs_members);
+      }
     }
+    data.merged = std::move(merged);
+    data.merged_valid = true;
   }
-  return merged;
+  return data.merged;
+}
+
+const ExportPolicy* MlpInferenceEngine::policy_of(Asn member) const {
+  const MemberData* data = find_member(member);
+  if (data == nullptr) return nullptr;
+  return &merged_policy(*data);
+}
+
+MlpInferenceEngine::ReciprocityMatrix MlpInferenceEngine::build_matrix(
+    bool assume_open_for_unobserved) const {
+  ReciprocityMatrix m;
+  // Participants stay sorted: observed members only, or all of A_RS when
+  // unobserved members default to open.
+  m.participants =
+      assume_open_for_unobserved ? context_.rs_members : member_ids_;
+  const std::size_t n = m.participants.size();
+  m.words = (n + 63) / 64;
+  if (n == 0) return m;
+  m.allows.assign(n * m.words, 0);
+  m.allowed_by.assign(n * m.words, 0);
+
+  // Bit j of row i of `allows` says participant i exports to participant
+  // j. `allowed_by` is the transpose, built in the same pass so the
+  // reciprocity test is a word-wise AND of two rows. Default-open rows
+  // (AllExcept) are runs of ones, so the transpose starts from a per-word
+  // mask of the open-mode columns and both matrices are then corrected
+  // with one bit operation per listed peer.
+  const std::uint64_t tail_mask =
+      (n % 64) ? ((std::uint64_t{1} << (n % 64)) - 1) : ~std::uint64_t{0};
+  std::vector<const ExportPolicy*> policies(n, nullptr);
+  for (std::size_t i = 0; i < n; ++i) {
+    const MemberData* data = find_member(m.participants.values()[i]);
+    policies[i] = data ? &merged_policy(*data) : nullptr;  // null: open
+  }
+
+  std::vector<std::uint64_t> open_cols(m.words, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (policies[i] == nullptr ||
+        policies[i]->mode() == ExportPolicy::Mode::AllExcept)
+      open_cols[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+
+  auto row = [&](std::vector<std::uint64_t>& matrix, std::size_t i) {
+    return matrix.data() + i * m.words;
+  };
+  auto clear_bit = [](std::uint64_t* r, std::size_t j) {
+    r[j / 64] &= ~(std::uint64_t{1} << (j % 64));
+  };
+  auto set_bit = [](std::uint64_t* r, std::size_t j) {
+    r[j / 64] |= std::uint64_t{1} << (j % 64);
+  };
+
+  for (std::size_t j = 0; j < n; ++j)
+    std::copy(open_cols.begin(), open_cols.end(), row(m.allowed_by, j));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t* allows_row = row(m.allows, i);
+    const bool open_mode =
+        policies[i] == nullptr ||
+        policies[i]->mode() == ExportPolicy::Mode::AllExcept;
+    if (open_mode) {
+      std::fill(allows_row, allows_row + m.words, ~std::uint64_t{0});
+      allows_row[m.words - 1] = tail_mask;
+    }
+    if (policies[i] != nullptr) {
+      for (const Asn peer : policies[i]->peers()) {
+        const std::size_t j = m.participants.index_of(peer);
+        if (j == FlatAsnSet::npos) continue;  // listed peer not present
+        if (open_mode) {
+          clear_bit(allows_row, j);
+          clear_bit(row(m.allowed_by, j), i);
+        } else {
+          set_bit(allows_row, j);
+          set_bit(row(m.allowed_by, j), i);
+        }
+      }
+    }
+    // A member never links to itself.
+    clear_bit(allows_row, i);
+    clear_bit(row(m.allowed_by, i), i);
+  }
+  return m;
 }
 
 std::set<AsLink> MlpInferenceEngine::infer_links(
     bool assume_open_for_unobserved) const {
-  // Materialise the policy of every participating member once.
-  std::vector<std::pair<Asn, ExportPolicy>> policies;
-  for (const Asn member : context_.rs_members) {
-    auto policy = policy_of(member);
-    if (!policy) {
-      if (!assume_open_for_unobserved) continue;
-      policy = ExportPolicy::open();
-    }
-    policies.emplace_back(member, std::move(*policy));
-  }
-
+  const ReciprocityMatrix m = build_matrix(assume_open_for_unobserved);
+  const std::size_t n = m.participants.size();
   std::set<AsLink> links;
-  for (std::size_t i = 0; i < policies.size(); ++i) {
-    for (std::size_t j = i + 1; j < policies.size(); ++j) {
-      const auto& [a, policy_a] = policies[i];
-      const auto& [b, policy_b] = policies[j];
-      if (policy_a.allows(b) && policy_b.allows(a))
-        links.insert(AsLink(a, b));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t* allows_row = m.allows.data() + i * m.words;
+    const std::uint64_t* allowed_row = m.allowed_by.data() + i * m.words;
+    // Reciprocal pairs above the diagonal, in ascending order: the
+    // end-hinted insert keeps the set build linear in the link count.
+    for (std::size_t w = i / 64; w < m.words; ++w) {
+      std::uint64_t reciprocal = allows_row[w] & allowed_row[w];
+      if (w == i / 64)
+        reciprocal &= ~((std::uint64_t{2} << (i % 64)) - 1);  // j > i only
+      while (reciprocal != 0) {
+        const std::size_t j =
+            w * 64 + static_cast<std::size_t>(std::countr_zero(reciprocal));
+        links.insert(links.end(),
+                     AsLink(m.participants.values()[i],
+                            m.participants.values()[j]));
+        reciprocal &= reciprocal - 1;
+      }
     }
   }
   return links;
 }
 
+std::size_t MlpInferenceEngine::count_links(
+    bool assume_open_for_unobserved) const {
+  const ReciprocityMatrix m = build_matrix(assume_open_for_unobserved);
+  std::size_t doubled = 0;
+  for (std::size_t k = 0; k < m.allows.size(); ++k)
+    doubled += static_cast<std::size_t>(
+        std::popcount(m.allows[k] & m.allowed_by[k]));
+  // The matrix is zero on the diagonal and the reciprocal relation is
+  // symmetric, so every link was counted once per direction.
+  return doubled / 2;
+}
+
 EngineStats MlpInferenceEngine::stats() const {
-  return stats(infer_links().size());
+  return stats(count_links());
 }
 
 EngineStats MlpInferenceEngine::stats(std::size_t precomputed_links) const {
   EngineStats stats;
   stats.rs_members = context_.rs_members.size();
-  stats.observed_members = members_.size();
-  for (const auto& [asn, data] : members_) {
+  stats.observed_members = member_ids_.size();
+  for (const MemberData& data : member_data_) {
     if (data.passive)
       ++stats.passive_members;
     else if (data.active)

@@ -5,12 +5,19 @@
 // policy is the intersection of its per-prefix policies (N_a), and a p2p
 // link is inferred between members a and a' iff a in N_a' and a' in N_a
 // (the reciprocity assumption validated in section 4.4).
+//
+// Data-plane layout: members live in a sorted flat vector (dense-index
+// order), each member's per-prefix policies in a small sorted vector
+// (section 4.3: members almost never carry more than one distinct
+// policy), and the reciprocity pass materialises each participant's
+// allow-set as a bitmask row so the pairwise test is an AND over
+// 64-member words instead of n^2 tree lookups.
 #pragma once
 
 #include <cstddef>
-#include <map>
-#include <optional>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "core/types.hpp"
 #include "routeserver/export_policy.hpp"
@@ -34,6 +41,10 @@ struct EngineStats {
 EngineStats& operator+=(EngineStats& lhs, const EngineStats& rhs);
 
 /// Per-route-server accumulation and link inference.
+///
+/// Not thread-safe: the accessors memoise the merged per-member policy,
+/// so even const calls must not race add() or each other. The pipeline
+/// confines each engine to one consumer task.
 class MlpInferenceEngine {
  public:
   explicit MlpInferenceEngine(IxpContext context)
@@ -46,12 +57,15 @@ class MlpInferenceEngine {
   /// cannot form links.
   void add(const Observation& observation);
 
-  /// Members with at least one observation.
-  std::set<Asn> observed_members() const;
+  /// Members with at least one observation, in ascending ASN order (the
+  /// engine's own member index); the reference stays valid until the next
+  /// add().
+  const std::vector<Asn>& observed_members() const;
 
   /// N_a as an export policy: the per-prefix policies intersected
-  /// (step 4). Nullopt if the member was never observed.
-  std::optional<ExportPolicy> policy_of(Asn member) const;
+  /// (step 4). Null if the member was never observed; the pointer stays
+  /// valid until the next add().
+  const ExportPolicy* policy_of(Asn member) const;
 
   /// Step 5: infer p2p links among observed members by reciprocity.
   /// If `assume_open_for_unobserved` is set, members of A_RS without
@@ -59,26 +73,52 @@ class MlpInferenceEngine {
   /// behaviour); the paper's conservative default is off.
   std::set<AsLink> infer_links(bool assume_open_for_unobserved = false) const;
 
+  /// The size of infer_links' result without materialising it: a popcount
+  /// over the reciprocity bitset (the stats() fast path).
+  std::size_t count_links(bool assume_open_for_unobserved = false) const;
+
   EngineStats stats() const;
 
   /// stats() with a link count the caller already computed via
-  /// infer_links, skipping the second O(|A_RS|^2) inference pass.
+  /// infer_links, skipping the second O(|A_RS|^2/64) counting pass.
   EngineStats stats(std::size_t precomputed_links) const;
 
   std::size_t rejected_observations() const { return rejected_; }
 
  private:
   struct MemberData {
-    // Distinct policies seen per prefix; consistency tracked for the
-    // section 4.3 claim that policies rarely differ across prefixes.
-    std::map<IpPrefix, ExportPolicy> per_prefix;
+    // Distinct policies seen per prefix, sorted by prefix; consistency
+    // tracked for the section 4.3 claim that policies rarely differ
+    // across prefixes (so this stays a one-element vector in practice).
+    std::vector<std::pair<IpPrefix, ExportPolicy>> per_prefix;
     bool passive = false;
     bool active = false;
     std::size_t observations = 0;
+    // Memoised intersection of per_prefix (N_a); rebuilt on demand after
+    // an add() invalidates it.
+    mutable ExportPolicy merged;
+    mutable bool merged_valid = false;
   };
 
+  /// The member's slot, created on first use (keeps member_ids_ sorted).
+  MemberData& member_slot(Asn member);
+  const MemberData* find_member(Asn member) const;
+  const ExportPolicy& merged_policy(const MemberData& data) const;
+
+  /// Participants of the reciprocity pass (sorted) and their bitmask
+  /// rows over dense participant indices: row i bit j says i allows j.
+  struct ReciprocityMatrix {
+    FlatAsnSet participants;
+    std::size_t words = 0;                // per-row word count
+    std::vector<std::uint64_t> allows;    // row-major, participants x words
+    std::vector<std::uint64_t> allowed_by;  // the transpose
+  };
+  ReciprocityMatrix build_matrix(bool assume_open_for_unobserved) const;
+
   IxpContext context_;
-  std::map<Asn, MemberData> members_;
+  // Sorted member ASNs with payloads in parallel (dense-index layout).
+  FlatAsnSet member_ids_;
+  std::vector<MemberData> member_data_;
   std::size_t rejected_ = 0;
 };
 

@@ -3,8 +3,8 @@
 namespace mlp::core {
 
 ReciprocityReport check_reciprocity(
-    const irr::IrrDatabase& database, const std::set<bgp::Asn>& members,
-    const std::set<bgp::Asn>& candidate_peers) {
+    const irr::IrrDatabase& database, const util::FlatAsnSet& members,
+    const util::FlatAsnSet& candidate_peers) {
   ReciprocityReport report;
   for (const bgp::Asn member : members) {
     const auto imports = database.import_filter(member);

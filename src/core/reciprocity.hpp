@@ -10,11 +10,11 @@
 #pragma once
 
 #include <cstddef>
-#include <set>
 #include <vector>
 
 #include "bgp/asn.hpp"
 #include "irr/database.hpp"
+#include "util/flat_set.hpp"
 
 namespace mlp::core {
 
@@ -43,7 +43,7 @@ struct ReciprocityReport {
 /// against IRR-registered filters. `candidate_peers` is the universe to
 /// evaluate filters over (the other RS members).
 ReciprocityReport check_reciprocity(const irr::IrrDatabase& database,
-                                    const std::set<bgp::Asn>& members,
-                                    const std::set<bgp::Asn>& candidate_peers);
+                                    const util::FlatAsnSet& members,
+                                    const util::FlatAsnSet& candidate_peers);
 
 }  // namespace mlp::core

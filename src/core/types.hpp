@@ -4,12 +4,14 @@
 #include <map>
 #include <set>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "bgp/aspath.hpp"
 #include "bgp/community.hpp"
 #include "bgp/prefix.hpp"
 #include "routeserver/scheme.hpp"
+#include "util/flat_set.hpp"
 
 namespace mlp::core {
 
@@ -18,6 +20,11 @@ using bgp::AsLink;
 using bgp::AsPath;
 using bgp::Community;
 using bgp::IpPrefix;
+using util::FlatAsnSet;
+
+static_assert(std::is_same_v<Asn, FlatAsnSet::value_type>,
+              "FlatAsnSet is defined over raw std::uint32_t so util stays "
+              "below bgp in the module order; the types must agree");
 
 /// Where a reachability observation came from (table 2's Pasv/Active
 /// split).
@@ -28,12 +35,17 @@ std::string to_string(Source source);
 /// Everything the inference needs to know about one IXP route server:
 /// its community dialect and the connectivity data A_RS (from an LG, an
 /// IRR AS-SET or the IXP website -- section 4).
+///
+/// A_RS is a flat sorted vector: membership tests (the passive
+/// extractor's per-community check is the hottest of them) are binary
+/// searches over contiguous memory, and its sorted order doubles as the
+/// dense row index of the reciprocity bitset.
 struct IxpContext {
   std::string name;
   routeserver::IxpCommunityScheme scheme;
-  std::set<Asn> rs_members;
+  FlatAsnSet rs_members;
 
-  bool is_member(Asn asn) const { return rs_members.count(asn) != 0; }
+  bool is_member(Asn asn) const { return rs_members.contains(asn); }
 };
 
 /// One reachability observation: RS communities applied by `setter` on its

@@ -223,13 +223,13 @@ PipelineResult InferencePipeline::run() {
   }
 
   if (irr_ != nullptr) {
-    std::set<Asn> members;
-    std::set<Asn> candidate_peers;
+    core::FlatAsnSet members;
+    core::FlatAsnSet candidate_peers;
     for (std::size_t i = 0; i < n_ixps; ++i) {
-      const auto observed = result.engines[i].observed_members();
-      members.insert(observed.begin(), observed.end());
-      candidate_peers.insert(ixps_[i].context.rs_members.begin(),
-                             ixps_[i].context.rs_members.end());
+      members = core::FlatAsnSet::set_union(
+          members, core::FlatAsnSet(result.engines[i].observed_members()));
+      candidate_peers = core::FlatAsnSet::set_union(
+          candidate_peers, ixps_[i].context.rs_members);
     }
     result.reciprocity = core::check_reciprocity(*irr_, members,
                                                  candidate_peers);

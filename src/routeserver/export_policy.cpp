@@ -5,7 +5,7 @@
 namespace mlp::routeserver {
 
 bool ExportPolicy::allows(Asn member) const {
-  const bool listed = peers_.count(member) != 0;
+  const bool listed = peers_.contains(member);
   return mode_ == Mode::AllExcept ? !listed : listed;
 }
 
@@ -37,8 +37,8 @@ std::optional<ExportPolicy> ExportPolicy::from_communities(
     const IxpCommunityScheme& scheme) {
   bool saw_all = false;
   bool saw_none = false;
-  std::set<Asn> excluded;
-  std::set<Asn> included;
+  FlatAsnSet excluded;
+  FlatAsnSet included;
   for (const Community community : communities) {
     Asn peer = 0;
     switch (scheme.classify(community, &peer)) {
@@ -71,31 +71,26 @@ std::optional<ExportPolicy> ExportPolicy::from_communities(
 
 ExportPolicy ExportPolicy::intersect(const ExportPolicy& a,
                                      const ExportPolicy& b,
-                                     const std::set<Asn>& member_universe) {
+                                     const FlatAsnSet& member_universe) {
   if (a.mode_ == b.mode_) {
     if (a.mode_ == Mode::AllExcept) {
       // Union of exclusions.
-      std::set<Asn> peers = a.peers_;
-      peers.insert(b.peers_.begin(), b.peers_.end());
-      return ExportPolicy(Mode::AllExcept, std::move(peers));
+      return ExportPolicy(Mode::AllExcept,
+                          FlatAsnSet::set_union(a.peers_, b.peers_));
     }
     // Intersection of inclusions.
-    std::set<Asn> peers;
-    std::set_intersection(a.peers_.begin(), a.peers_.end(), b.peers_.begin(),
-                          b.peers_.end(),
-                          std::inserter(peers, peers.begin()));
-    return ExportPolicy(Mode::NoneExcept, std::move(peers));
+    return ExportPolicy(Mode::NoneExcept,
+                        FlatAsnSet::set_intersection(a.peers_, b.peers_));
   }
-  // Mixed modes: materialise the allow-list of the AllExcept side over the
-  // member universe and intersect with the NoneExcept allow-list.
+  // Mixed modes: the members allowed by both sides are the NoneExcept
+  // allow-list minus the AllExcept exclusions, restricted to the universe.
   const ExportPolicy& all_side = a.mode_ == Mode::AllExcept ? a : b;
   const ExportPolicy& none_side = a.mode_ == Mode::AllExcept ? b : a;
-  std::set<Asn> allowed;
-  for (const Asn member : member_universe) {
-    if (all_side.allows(member) && none_side.allows(member))
-      allowed.insert(member);
-  }
-  return ExportPolicy(Mode::NoneExcept, std::move(allowed));
+  return ExportPolicy(
+      Mode::NoneExcept,
+      FlatAsnSet::set_difference(
+          FlatAsnSet::set_intersection(none_side.peers_, member_universe),
+          all_side.peers_));
 }
 
 std::string ExportPolicy::to_string() const {

@@ -8,15 +8,22 @@
 #pragma once
 
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "routeserver/scheme.hpp"
+#include "util/flat_set.hpp"
 
 namespace mlp::routeserver {
 
+using util::FlatAsnSet;
+
 /// One member's outbound policy for one route (or one session).
+///
+/// The peer list is a sorted flat vector: policies sit on the inference
+/// hot path (step-4 intersection per prefix, step-5 reciprocity per member
+/// pair) where node-based sets cost more in pointer chasing than the whole
+/// set algebra.
 class ExportPolicy {
  public:
   enum class Mode : std::uint8_t {
@@ -25,14 +32,14 @@ class ExportPolicy {
   };
 
   ExportPolicy() = default;
-  ExportPolicy(Mode mode, std::set<Asn> peers)
+  ExportPolicy(Mode mode, FlatAsnSet peers)
       : mode_(mode), peers_(std::move(peers)) {}
 
   /// The open-to-everyone default.
   static ExportPolicy open() { return ExportPolicy(Mode::AllExcept, {}); }
 
   Mode mode() const { return mode_; }
-  const std::set<Asn>& peers() const { return peers_; }
+  const FlatAsnSet& peers() const { return peers_; }
 
   /// Whether `member` may receive routes under this policy.
   bool allows(Asn member) const;
@@ -60,7 +67,7 @@ class ExportPolicy {
   /// (paper step 4: N_a is intersected across the member's prefixes).
   /// `member_universe` is required to intersect policies of mixed modes.
   static ExportPolicy intersect(const ExportPolicy& a, const ExportPolicy& b,
-                                const std::set<Asn>& member_universe);
+                                const FlatAsnSet& member_universe);
 
   std::string to_string() const;
 
@@ -68,7 +75,7 @@ class ExportPolicy {
 
  private:
   Mode mode_ = Mode::AllExcept;
-  std::set<Asn> peers_;
+  FlatAsnSet peers_;
 };
 
 }  // namespace mlp::routeserver

@@ -6,10 +6,12 @@ namespace mlp::routeserver {
 
 void RouteServer::connect(Asn member, std::uint32_t ixp_ip) {
   sessions_[member] = MemberSession{member, ixp_ip};
+  member_set_.insert(member);
 }
 
 void RouteServer::disconnect(Asn member) {
   sessions_.erase(member);
+  member_set_.erase(member);
   import_filters_.erase(member);
   rib_.drop_peer(member);
   policy_cache_.erase(member);
@@ -44,9 +46,6 @@ ExportPolicy RouteServer::effective_policy(Asn member) const {
   auto cached = policy_cache_.find(member);
   if (cached != policy_cache_.end()) return cached->second;
 
-  std::set<Asn> universe;
-  for (const auto& [asn, session] : sessions_) universe.insert(asn);
-
   bool first = true;
   ExportPolicy policy = ExportPolicy::open();
   for (const auto& entry : rib_.entries_from_peer(member)) {
@@ -58,7 +57,7 @@ ExportPolicy RouteServer::effective_policy(Asn member) const {
       policy = route_policy;
       first = false;
     } else {
-      policy = ExportPolicy::intersect(policy, route_policy, universe);
+      policy = ExportPolicy::intersect(policy, route_policy, member_set_);
     }
   }
   policy_cache_.emplace(member, policy);

@@ -56,6 +56,9 @@ class RouteServer {
   bool is_member(Asn asn) const { return sessions_.count(asn) != 0; }
   std::vector<MemberSession> members() const;
   std::size_t member_count() const { return sessions_.size(); }
+  /// The connected members as a flat sorted set (the policy-intersection
+  /// universe, maintained by connect/disconnect).
+  const FlatAsnSet& member_set() const { return member_set_; }
 
   /// Set a member's import filter (who it accepts routes from). Defaults
   /// to accept-everyone. Only consulted if honour_import_filters is set.
@@ -93,6 +96,7 @@ class RouteServer {
   IxpCommunityScheme scheme_;
   Options options_;
   std::map<Asn, MemberSession> sessions_;
+  FlatAsnSet member_set_;
   std::map<Asn, ExportPolicy> import_filters_;
   bgp::Rib rib_;
   /// effective_policy is derived from RIB state; memoised because

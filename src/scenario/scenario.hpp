@@ -31,6 +31,7 @@
 #include "registry/peeringdb.hpp"
 #include "routeserver/route_server.hpp"
 #include "topology/generator.hpp"
+#include "util/flat_set.hpp"
 #include "util/rng.hpp"
 
 namespace mlp::scenario {
@@ -92,8 +93,8 @@ struct IxpDeployment {
   IxpSpec spec;
   Asn rs_asn = 0;
   std::unique_ptr<routeserver::RouteServer> server;
-  std::set<Asn> members;     // everyone at the IXP
-  std::set<Asn> rs_members;  // subset connected to the route server
+  std::set<Asn> members;          // everyone at the IXP
+  util::FlatAsnSet rs_members;    // subset connected to the route server
   /// Ground-truth outbound filters (what each member configures).
   std::map<Asn, routeserver::ExportPolicy> exports;
   /// Ground-truth inbound filters (at most as restrictive, section 4.4).

@@ -1,0 +1,67 @@
+#include "util/flat_set.hpp"
+
+#include <algorithm>
+
+namespace mlp::util {
+
+void FlatAsnSet::normalize() {
+  std::sort(values_.begin(), values_.end());
+  values_.erase(std::unique(values_.begin(), values_.end()), values_.end());
+}
+
+bool FlatAsnSet::insert(value_type value) {
+  const auto it = std::lower_bound(values_.begin(), values_.end(), value);
+  if (it != values_.end() && *it == value) return false;
+  values_.insert(it, value);
+  return true;
+}
+
+bool FlatAsnSet::erase(value_type value) {
+  const auto it = std::lower_bound(values_.begin(), values_.end(), value);
+  if (it == values_.end() || *it != value) return false;
+  values_.erase(it);
+  return true;
+}
+
+bool FlatAsnSet::contains(value_type value) const {
+  return std::binary_search(values_.begin(), values_.end(), value);
+}
+
+std::size_t FlatAsnSet::index_of(value_type value) const {
+  const auto it = std::lower_bound(values_.begin(), values_.end(), value);
+  if (it == values_.end() || *it != value) return npos;
+  return static_cast<std::size_t>(it - values_.begin());
+}
+
+FlatAsnSet FlatAsnSet::set_union(const FlatAsnSet& a, const FlatAsnSet& b) {
+  FlatAsnSet out;
+  out.values_.reserve(a.size() + b.size());
+  std::set_union(a.values_.begin(), a.values_.end(), b.values_.begin(),
+                 b.values_.end(), std::back_inserter(out.values_));
+  return out;
+}
+
+FlatAsnSet FlatAsnSet::set_intersection(const FlatAsnSet& a,
+                                        const FlatAsnSet& b) {
+  FlatAsnSet out;
+  out.values_.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.values_.begin(), a.values_.end(), b.values_.begin(),
+                        b.values_.end(), std::back_inserter(out.values_));
+  return out;
+}
+
+FlatAsnSet FlatAsnSet::set_difference(const FlatAsnSet& a,
+                                      const FlatAsnSet& b) {
+  FlatAsnSet out;
+  out.values_.reserve(a.size());
+  std::set_difference(a.values_.begin(), a.values_.end(), b.values_.begin(),
+                      b.values_.end(), std::back_inserter(out.values_));
+  return out;
+}
+
+bool operator==(const FlatAsnSet& a, const std::set<std::uint32_t>& b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin());
+}
+
+}  // namespace mlp::util

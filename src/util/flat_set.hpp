@@ -1,0 +1,87 @@
+// A sorted flat set of ASNs: the data-plane container of the inference
+// hot path.
+//
+// The step-4/step-5 algorithm is intersection-heavy -- per-prefix policy
+// merges followed by an O(|A_RS|^2) reciprocity pass -- and node-based
+// std::set spends that budget chasing pointers. A sorted std::vector keeps
+// the same set semantics (unique, ordered, O(log n) membership) with
+// contiguous memory: intersections and unions become linear merges and
+// iteration is cache-friendly. Element type is std::uint32_t rather than
+// bgp::Asn only to keep util below bgp in the module order; the two are
+// the same type (asserted where they meet in core/types.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <set>
+#include <vector>
+
+namespace mlp::util {
+
+class FlatAsnSet {
+ public:
+  using value_type = std::uint32_t;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  /// index_of result for values not in the set.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  FlatAsnSet() = default;
+  FlatAsnSet(std::initializer_list<value_type> values)
+      : values_(values) {
+    normalize();
+  }
+  /// Takes any vector, sorting and deduplicating it.
+  explicit FlatAsnSet(std::vector<value_type> values)
+      : values_(std::move(values)) {
+    normalize();
+  }
+  /// Implicit bridge from the node-based representation, so call sites
+  /// migrating one layer at a time keep compiling.
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  FlatAsnSet(const std::set<value_type>& values)
+      : values_(values.begin(), values.end()) {}
+  template <typename It>
+  FlatAsnSet(It first, It last) : values_(first, last) {
+    normalize();
+  }
+
+  /// Returns true when the value was not already present.
+  bool insert(value_type value);
+  /// Returns true when the value was present.
+  bool erase(value_type value);
+  void clear() { values_.clear(); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  bool contains(value_type value) const;
+  std::size_t count(value_type value) const { return contains(value) ? 1 : 0; }
+  /// Dense index of `value` in sorted order, or npos when absent -- the
+  /// row/column index of the reciprocity bitset.
+  std::size_t index_of(value_type value) const;
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const_iterator begin() const { return values_.begin(); }
+  const_iterator end() const { return values_.end(); }
+  /// The backing sorted vector (dense-index order).
+  const std::vector<value_type>& values() const { return values_; }
+
+  static FlatAsnSet set_union(const FlatAsnSet& a, const FlatAsnSet& b);
+  static FlatAsnSet set_intersection(const FlatAsnSet& a, const FlatAsnSet& b);
+  /// Elements of `a` not in `b`.
+  static FlatAsnSet set_difference(const FlatAsnSet& a, const FlatAsnSet& b);
+
+  friend bool operator==(const FlatAsnSet&, const FlatAsnSet&) = default;
+
+ private:
+  void normalize();
+
+  std::vector<value_type> values_;
+};
+
+/// Mixed comparison for call sites still holding std::set on one side
+/// (C++20 synthesises the reversed operand order).
+bool operator==(const FlatAsnSet& a, const std::set<std::uint32_t>& b);
+
+}  // namespace mlp::util

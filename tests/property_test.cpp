@@ -122,6 +122,100 @@ TEST_P(SeededProperty, EngineMatchesRouteServerGroundTruth) {
   EXPECT_EQ(engine.infer_links(), rs.reciprocal_links());
 }
 
+// ---- The bitset reciprocity pass is byte-identical to a naive reference
+// implementation of steps 4-5 (per-member allow-sets as node-based
+// std::set, pairwise reciprocity by lookup), on randomised scenarios with
+// inconsistent per-prefix policies, unobserved members, self-targeted and
+// non-member-targeted communities.
+
+TEST_P(SeededProperty, InferLinksMatchesNaiveReference) {
+  Rng rng(GetParam() ^ 0xfeed);
+  auto scheme = routeserver::IxpCommunityScheme::make(
+      "prop", 64321, routeserver::SchemeStyle::RsAsnBased);
+
+  const std::size_t n_members = rng.uniform(20, 60);
+  std::vector<bgp::Asn> members;
+  for (std::size_t i = 0; i < n_members; ++i)
+    members.push_back(static_cast<bgp::Asn>(3000 + 3 * i));
+
+  core::IxpContext ctx;
+  ctx.name = "prop";
+  ctx.scheme = scheme;
+  ctx.rs_members = {members.begin(), members.end()};
+  core::MlpInferenceEngine engine(ctx);
+
+  // Per member: 0 prefixes (unobserved) or 1-3 prefixes with independently
+  // drawn policies. The reference keeps the raw policy list.
+  std::map<bgp::Asn, std::vector<routeserver::ExportPolicy>> truth;
+  for (const auto member : members) {
+    if (rng.chance(0.25)) continue;  // unobserved
+    const std::size_t prefixes = rng.uniform(1, 3);
+    for (std::size_t p = 0; p < prefixes; ++p) {
+      util::FlatAsnSet peers;
+      const std::size_t n_peers = rng.uniform(0, 6);
+      for (std::size_t k = 0; k < n_peers; ++k) {
+        if (rng.chance(0.15)) {
+          peers.insert(member);  // self-targeted: must never self-link
+        } else if (rng.chance(0.15)) {
+          // Target outside A_RS: ignored by reciprocity either way.
+          peers.insert(static_cast<bgp::Asn>(rng.uniform(100, 2000)));
+        } else {
+          peers.insert(rng.pick(members));
+        }
+      }
+      const routeserver::ExportPolicy policy(
+          rng.chance(0.3) ? routeserver::ExportPolicy::Mode::NoneExcept
+                          : routeserver::ExportPolicy::Mode::AllExcept,
+          peers);
+      core::Observation obs;
+      obs.setter = member;
+      obs.prefix = bgp::IpPrefix(
+          0x0A000000 + (static_cast<std::uint32_t>(member) << 12) +
+              (static_cast<std::uint32_t>(p) << 8),
+          24);
+      obs.communities = policy.to_communities(scheme, rng.chance(0.5));
+      engine.add(obs);
+      // An AllExcept policy with no peers encodes to nothing (or the bare
+      // ALL value): the engine records default-open, which allows() agrees
+      // with, so the raw policy doubles as the reference.
+      truth[member].push_back(policy);
+    }
+  }
+
+  for (const bool assume_open : {false, true}) {
+    // Reference step 4+5 over node-based sets.
+    std::map<bgp::Asn, std::set<bgp::Asn>> allow;
+    for (const auto member : members) {
+      const auto it = truth.find(member);
+      if (it == truth.end() && !assume_open) continue;
+      std::set<bgp::Asn> allowed;
+      for (const auto other : members) {
+        if (other == member) continue;
+        bool ok = true;
+        if (it != truth.end()) {
+          for (const auto& policy : it->second)
+            if (!policy.allows(other)) ok = false;
+        }
+        if (ok) allowed.insert(other);
+      }
+      allow.emplace(member, std::move(allowed));
+    }
+    std::set<bgp::AsLink> expected;
+    for (const auto& [a, allowed_a] : allow) {
+      for (const auto& [b, allowed_b] : allow) {
+        if (a >= b) continue;
+        if (allowed_a.count(b) && allowed_b.count(a))
+          expected.insert(bgp::AsLink(a, b));
+      }
+    }
+
+    const auto inferred = engine.infer_links(assume_open);
+    EXPECT_EQ(inferred, expected) << "assume_open=" << assume_open;
+    EXPECT_EQ(engine.count_links(assume_open), expected.size())
+        << "assume_open=" << assume_open;
+  }
+}
+
 // ---- Wire/MRT round trips on randomised inputs.
 
 TEST_P(SeededProperty, UpdateWireRoundTrip) {
@@ -133,7 +227,8 @@ TEST_P(SeededProperty, UpdateWireRoundTrip) {
     for (std::size_t i = 0; i < path_len; ++i)
       asns.push_back(static_cast<bgp::Asn>(rng.uniform(1, 4000000)));
     update.attrs.as_path = AsPath(asns);
-    update.attrs.next_hop = static_cast<std::uint32_t>(rng.uniform(1, 1u << 31));
+    update.attrs.next_hop =
+        static_cast<std::uint32_t>(rng.uniform(1, 1u << 31));
     if (rng.chance(0.5)) {
       update.attrs.has_local_pref = true;
       update.attrs.local_pref = static_cast<std::uint32_t>(rng.uniform(0, 500));

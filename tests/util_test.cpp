@@ -1,10 +1,13 @@
-// Unit tests for the util library: rng, strings, bytes, stats, table.
+// Unit tests for the util library: rng, strings, bytes, stats, table,
+// flat ASN sets.
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "util/bytes.hpp"
 #include "util/errors.hpp"
+#include "util/flat_set.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
@@ -12,6 +15,99 @@
 
 namespace mlp {
 namespace {
+
+using util::FlatAsnSet;
+
+// --------------------------------------------------------- FlatAsnSet
+
+TEST(FlatAsnSet, EmptyBehaviour) {
+  FlatAsnSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_EQ(s.count(1), 0u);
+  EXPECT_EQ(s.index_of(1), FlatAsnSet::npos);
+  EXPECT_FALSE(s.erase(1));
+  EXPECT_EQ(s, FlatAsnSet{});
+  EXPECT_TRUE(FlatAsnSet::set_union(s, s).empty());
+  EXPECT_TRUE(FlatAsnSet::set_intersection(s, s).empty());
+  EXPECT_TRUE(FlatAsnSet::set_difference(s, s).empty());
+}
+
+TEST(FlatAsnSet, InsertKeepsSortedUniqueOrder) {
+  FlatAsnSet s;
+  EXPECT_TRUE(s.insert(30));
+  EXPECT_TRUE(s.insert(10));
+  EXPECT_TRUE(s.insert(20));
+  EXPECT_FALSE(s.insert(20));  // duplicate insert is a no-op
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.values(), (std::vector<std::uint32_t>{10, 20, 30}));
+  EXPECT_EQ(s.index_of(10), 0u);
+  EXPECT_EQ(s.index_of(20), 1u);
+  EXPECT_EQ(s.index_of(30), 2u);
+  EXPECT_EQ(s.index_of(15), FlatAsnSet::npos);
+  EXPECT_TRUE(s.erase(20));
+  EXPECT_FALSE(s.erase(20));
+  EXPECT_EQ(s.values(), (std::vector<std::uint32_t>{10, 30}));
+}
+
+TEST(FlatAsnSet, ConstructorsNormalise) {
+  const FlatAsnSet from_list{5, 3, 5, 1};
+  EXPECT_EQ(from_list.values(), (std::vector<std::uint32_t>{1, 3, 5}));
+  const FlatAsnSet from_vector(std::vector<std::uint32_t>{9, 7, 9, 7});
+  EXPECT_EQ(from_vector.values(), (std::vector<std::uint32_t>{7, 9}));
+  const std::set<std::uint32_t> node_set{4, 2, 6};
+  const FlatAsnSet from_set = node_set;
+  EXPECT_EQ(from_set.values(), (std::vector<std::uint32_t>{2, 4, 6}));
+  EXPECT_EQ(from_set, node_set);       // mixed comparison, both directions
+  EXPECT_EQ(node_set, from_set);
+  const std::vector<std::uint32_t> raw{8, 8, 2};
+  const FlatAsnSet from_iters(raw.begin(), raw.end());
+  EXPECT_EQ(from_iters.values(), (std::vector<std::uint32_t>{2, 8}));
+}
+
+TEST(FlatAsnSet, DisjointAlgebra) {
+  const FlatAsnSet a{1, 3, 5};
+  const FlatAsnSet b{2, 4, 6};
+  EXPECT_EQ(FlatAsnSet::set_union(a, b), (FlatAsnSet{1, 2, 3, 4, 5, 6}));
+  EXPECT_TRUE(FlatAsnSet::set_intersection(a, b).empty());
+  EXPECT_EQ(FlatAsnSet::set_difference(a, b), a);
+  EXPECT_EQ(FlatAsnSet::set_difference(b, a), b);
+}
+
+TEST(FlatAsnSet, SubsetAlgebra) {
+  const FlatAsnSet all{1, 2, 3, 4, 5};
+  const FlatAsnSet sub{2, 4};
+  EXPECT_EQ(FlatAsnSet::set_union(all, sub), all);
+  EXPECT_EQ(FlatAsnSet::set_intersection(all, sub), sub);
+  EXPECT_EQ(FlatAsnSet::set_difference(all, sub), (FlatAsnSet{1, 3, 5}));
+  EXPECT_TRUE(FlatAsnSet::set_difference(sub, all).empty());
+}
+
+TEST(FlatAsnSet, OverlappingAlgebra) {
+  const FlatAsnSet a{1, 2, 3};
+  const FlatAsnSet b{2, 3, 4};
+  EXPECT_EQ(FlatAsnSet::set_union(a, b), (FlatAsnSet{1, 2, 3, 4}));
+  EXPECT_EQ(FlatAsnSet::set_intersection(a, b), (FlatAsnSet{2, 3}));
+  EXPECT_EQ(FlatAsnSet::set_difference(a, b), (FlatAsnSet{1}));
+  EXPECT_EQ(FlatAsnSet::set_difference(b, a), (FlatAsnSet{4}));
+}
+
+TEST(FlatAsnSet, MatchesNodeSetOnRandomisedOperations) {
+  Rng rng(77);
+  FlatAsnSet flat;
+  std::set<std::uint32_t> reference;
+  for (int round = 0; round < 2000; ++round) {
+    const auto value = static_cast<std::uint32_t>(rng.uniform(0, 200));
+    if (rng.chance(0.3)) {
+      EXPECT_EQ(flat.erase(value), reference.erase(value) == 1);
+    } else {
+      EXPECT_EQ(flat.insert(value), reference.insert(value).second);
+    }
+    EXPECT_EQ(flat.contains(value), reference.count(value) == 1);
+  }
+  EXPECT_EQ(flat, reference);
+}
 
 // ---------------------------------------------------------------- Rng
 
