@@ -1,14 +1,29 @@
 // Micro-benchmarks (google-benchmark): the hot paths of the pipelines --
 // MRT decode, community classification, export-policy algebra, reciprocity
-// link inference, passive extraction, the end-to-end pipeline, and
-// routing-tree computation.
+// link inference, passive extraction (materialized and streamed), update
+// stream ingest, the end-to-end pipeline, and routing-tree computation.
+//
+// The binary replaces the global allocator with a counting wrapper so the
+// extraction benchmarks can report peak live heap growth: the evidence
+// that the streamed ingest path never materializes a whole-archive RIB or
+// record vector.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
 #include <set>
+
+#if __has_include(<malloc.h>)
+#include <malloc.h>
+#define MLP_HAVE_MALLOC_USABLE_SIZE 1
+#endif
 
 #include "bgp/wire.hpp"
 #include "core/engine.hpp"
 #include "core/passive.hpp"
+#include "mrt/cursor.hpp"
 #include "mrt/table_dump.hpp"
 #include "pipeline/pipeline.hpp"
 #include "propagation/routing.hpp"
@@ -17,6 +32,134 @@
 #include "topology/generator.hpp"
 #include "topology/relationship_inference.hpp"
 #include "util/rng.hpp"
+
+// ------------------------------------------------------------ allocation
+// tracker. Disarmed it costs one relaxed load per alloc/free, so the
+// timing benchmarks are untaxed; the extraction benchmarks arm it around
+// each iteration to measure peak heap growth. Accounting uses
+// malloc_usable_size on both sides so sized and unsized deallocation stay
+// consistent; where it is unavailable the tracker still counts
+// allocations but not live bytes.
+
+namespace alloc_tracker {
+
+std::atomic<bool> armed{false};
+std::atomic<long long> live{0};
+std::atomic<long long> peak{0};
+std::atomic<unsigned long long> allocs{0};
+
+inline void on_alloc(void* p, std::size_t n) {
+  if (!armed.load(std::memory_order_relaxed)) return;
+  allocs.fetch_add(1, std::memory_order_relaxed);
+#if MLP_HAVE_MALLOC_USABLE_SIZE
+  (void)n;
+  const long long size = static_cast<long long>(malloc_usable_size(p));
+  const long long now =
+      live.fetch_add(size, std::memory_order_relaxed) + size;
+  long long seen = peak.load(std::memory_order_relaxed);
+  while (now > seen &&
+         !peak.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+  }
+#else
+  // Without malloc_usable_size an unsized delete cannot be attributed, so
+  // live/peak accounting would only ratchet upward; count allocs only.
+  (void)p;
+  (void)n;
+#endif
+}
+
+inline void on_free(void* p, std::size_t n) {
+  (void)n;
+  if (p == nullptr || !armed.load(std::memory_order_relaxed)) return;
+#if MLP_HAVE_MALLOC_USABLE_SIZE
+  live.fetch_sub(static_cast<long long>(malloc_usable_size(p)),
+                 std::memory_order_relaxed);
+#else
+  (void)p;
+#endif
+}
+
+/// Arm the tracker and open a measurement window at the current live
+/// level; returns the window base. Allocations made and freed entirely
+/// inside the window account exactly; the caller keeps long-lived fixture
+/// data out of it.
+inline long long arm_window() {
+  const long long base = live.load(std::memory_order_relaxed);
+  peak.store(base, std::memory_order_relaxed);
+  allocs.store(0, std::memory_order_relaxed);
+  armed.store(true, std::memory_order_relaxed);
+  return base;
+}
+
+/// Close the window; returns its peak heap growth in bytes.
+inline long long disarm_window(long long base) {
+  armed.store(false, std::memory_order_relaxed);
+  return peak.load(std::memory_order_relaxed) - base;
+}
+
+}  // namespace alloc_tracker
+
+// The replaced operators intentionally pair ::operator new with
+// std::malloc/std::free; gcc's heuristic cannot see that the pairing is
+// total and flags the frees.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t n) {
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc();
+  alloc_tracker::on_alloc(p, n);
+  return p;
+}
+
+void* operator new[](std::size_t n) { return ::operator new(n); }
+
+void* operator new(std::size_t n, std::align_val_t align) {
+  void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                               (n + static_cast<std::size_t>(align) - 1) &
+                                   ~(static_cast<std::size_t>(align) - 1));
+  if (p == nullptr) throw std::bad_alloc();
+  alloc_tracker::on_alloc(p, n);
+  return p;
+}
+
+void* operator new[](std::size_t n, std::align_val_t align) {
+  return ::operator new(n, align);
+}
+
+void operator delete(void* p) noexcept {
+  alloc_tracker::on_free(p, 0);
+  std::free(p);
+}
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::size_t n) noexcept {
+  alloc_tracker::on_free(p, n);
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t n) noexcept {
+  ::operator delete(p, n);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  alloc_tracker::on_free(p, 0);
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t align) noexcept {
+  ::operator delete(p, align);
+}
+void operator delete(void* p, std::size_t n, std::align_val_t) noexcept {
+  alloc_tracker::on_free(p, n);
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t n,
+                       std::align_val_t align) noexcept {
+  ::operator delete(p, n, align);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace {
 
@@ -46,6 +189,20 @@ void BM_MrtDecode(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_MrtDecode)->Arg(100)->Arg(1000);
+
+void BM_MrtCursorWalk(benchmark::State& state) {
+  // Streaming equivalent of BM_MrtDecode: same archive, no RIB
+  // materialization, scratch buffers reused across records.
+  const auto archive = make_archive(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    mrt::MrtCursor cursor(archive);
+    std::size_t entries = 0;
+    while (cursor.next() != mrt::MrtCursor::Event::End) ++entries;
+    benchmark::DoNotOptimize(entries);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MrtCursorWalk)->Arg(100)->Arg(1000);
 
 void BM_UpdateCodec(benchmark::State& state) {
   bgp::UpdateMessage update;
@@ -173,6 +330,34 @@ struct PassiveFixture {
   std::vector<core::IxpContext> ixps;
   std::vector<std::uint8_t> archive;
 
+  /// The same routes replayed as a BGP4MP announcement stream with a tail
+  /// of quick withdrawals, exercising the transient-filter window.
+  std::vector<std::uint8_t> updates_archive() const {
+    const bgp::Rib rib = mrt::parse_rib(archive);
+    std::vector<mrt::ObservedUpdate> updates;
+    std::uint32_t t = 1367366400;
+    for (const auto& prefix : rib.prefixes()) {
+      for (const auto& entry : rib.paths(prefix)) {
+        mrt::ObservedUpdate u;
+        u.timestamp = t++;
+        u.peer_asn = entry.peer_asn;
+        u.peer_ip = entry.peer_ip;
+        u.update.nlri = {prefix};
+        u.update.attrs = entry.route.attrs;
+        updates.push_back(std::move(u));
+        if (updates.size() % 10 == 0) {
+          mrt::ObservedUpdate w;  // flapping announcement: withdrawn fast
+          w.timestamp = t++;
+          w.peer_asn = entry.peer_asn;
+          w.peer_ip = entry.peer_ip;
+          w.update.withdrawn = {prefix};
+          updates.push_back(std::move(w));
+        }
+      }
+    }
+    return mrt::dump_updates(updates, 65000, 1);
+  }
+
   explicit PassiveFixture(std::size_t prefixes) {
     const bgp::Asn rs_asns[3] = {6695, 8631, 9033};
     for (int x = 0; x < 3; ++x) {
@@ -213,14 +398,88 @@ void BM_PassiveExtraction(benchmark::State& state) {
   const PassiveFixture fixture(static_cast<std::size_t>(state.range(0)));
   const auto shared =
       std::make_shared<const std::vector<core::IxpContext>>(fixture.ixps);
+  // Peak heap growth is measured on one untimed pass so the timed loop
+  // below runs with the tracker disarmed, like the rest of the suite.
+  long long peak_growth = 0;
+  {
+    const long long base = alloc_tracker::arm_window();
+    {
+      core::PassiveExtractor extractor(shared, nullptr);
+      extractor.consume_table_dump(fixture.archive);
+      benchmark::DoNotOptimize(extractor.stats().observations);
+    }
+    peak_growth = alloc_tracker::disarm_window(base);
+  }
   for (auto _ : state) {
     core::PassiveExtractor extractor(shared, nullptr);
     extractor.consume_table_dump(fixture.archive);
     benchmark::DoNotOptimize(extractor.stats().observations);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["peak_heap_growth_B"] =
+      static_cast<double>(peak_growth);
+  state.counters["archive_B"] = static_cast<double>(fixture.archive.size());
 }
 BENCHMARK(BM_PassiveExtraction)->Arg(1000)->Arg(5000);
+
+void BM_PassiveExtractionStreamed(benchmark::State& state) {
+  // The pipeline's actual ingest mode: sink callback, batches leave the
+  // extractor as they fill. peak_heap_growth_B stays O(batch x IXPs) --
+  // no whole-archive RIB/record vector, unlike the accumulate mode above
+  // whose footprint includes the full observation product.
+  const PassiveFixture fixture(static_cast<std::size_t>(state.range(0)));
+  const auto shared =
+      std::make_shared<const std::vector<core::IxpContext>>(fixture.ixps);
+  std::size_t drained = 0;
+  auto streamed_pass = [&] {
+    core::PassiveExtractor extractor(shared, nullptr);
+    extractor.set_sink(
+        [&drained](std::size_t, std::vector<core::Observation>&& batch) {
+          drained += batch.size();  // consumed and dropped, like a queue pop
+        },
+        256);
+    extractor.consume_table_dump(fixture.archive);
+    extractor.finish();
+    benchmark::DoNotOptimize(extractor.stats().observations);
+  };
+  // One untimed armed pass for the memory counter, then a disarmed timed
+  // loop (see BM_PassiveExtraction).
+  long long peak_growth = 0;
+  {
+    const long long base = alloc_tracker::arm_window();
+    streamed_pass();
+    peak_growth = alloc_tracker::disarm_window(base);
+  }
+  for (auto _ : state) streamed_pass();
+  benchmark::DoNotOptimize(drained);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["peak_heap_growth_B"] =
+      static_cast<double>(peak_growth);
+  state.counters["archive_B"] = static_cast<double>(fixture.archive.size());
+}
+BENCHMARK(BM_PassiveExtractionStreamed)->Arg(1000)->Arg(5000);
+
+void BM_UpdateStreamIngest(benchmark::State& state) {
+  // End-to-end pipeline over a BGP4MP update archive (the live-stream
+  // path): streaming extraction with transient filtering, per-IXP
+  // inference, 2 worker threads.
+  const PassiveFixture fixture(static_cast<std::size_t>(state.range(0)));
+  const auto archive = std::make_shared<const std::vector<std::uint8_t>>(
+      fixture.updates_archive());
+  for (auto _ : state) {
+    pipeline::PipelineConfig config;
+    config.threads = 2;
+    config.passive.min_duration_s = 600;
+    config.keep_engines = false;
+    pipeline::InferencePipeline pipe(config);
+    for (const auto& ixp : fixture.ixps) pipe.add_ixp(ixp);
+    pipe.add_update_stream(archive);
+    auto result = pipe.run();
+    benchmark::DoNotOptimize(result.all_links.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_UpdateStreamIngest)->Arg(5000)->Unit(benchmark::kMillisecond);
 
 void BM_PipelineRun(benchmark::State& state) {
   // End-to-end InferencePipeline::run over a small synthetic ecosystem:
@@ -231,13 +490,17 @@ void BM_PipelineRun(benchmark::State& state) {
   params.seed = 424242;
   scenario::Scenario s(params);
   const auto rels = topology::infer_relationships(s.collector_paths());
-  std::vector<std::vector<std::uint8_t>> archives;
+  // Archives are registered through the shared-buffer overload: one
+  // decode-in-place copy for the whole benchmark, zero per-run copies.
+  std::vector<std::shared_ptr<const std::vector<std::uint8_t>>> archives;
   for (auto& collector : s.collectors())
-    archives.push_back(collector.table_dump(1367366400));
+    archives.push_back(std::make_shared<const std::vector<std::uint8_t>>(
+        collector.table_dump(1367366400)));
 
   for (auto _ : state) {
     pipeline::PipelineConfig config;
     config.threads = 2;
+    config.keep_engines = false;  // stats+links product, like the CLI
     pipeline::InferencePipeline pipe(config);
     for (std::size_t i = 0; i < s.ixps().size(); ++i)
       pipe.add_ixp(s.ixp_context(i));

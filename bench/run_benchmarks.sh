@@ -52,7 +52,8 @@ esac
 
 args=(--benchmark_format=console
       --benchmark_out="$out" --benchmark_out_format=json
-      --benchmark_repetitions=3 --benchmark_report_aggregates_only=true)
+      --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
+      --benchmark_counters_tabular=true)
 if [ -n "$filter" ]; then
   args+=("--benchmark_filter=$filter")
 fi

@@ -2,23 +2,31 @@
 //
 // Two subcommands:
 //
-//   mlp_infer gen --out DIR [--seed S] [--ases N]
+//   mlp_infer gen --out DIR [--seed S] [--ases N] [--updates]
 //     Build the synthetic ecosystem and write its collector RIB snapshots
 //     (TABLE_DUMP_V2, one .mrt file per collector) plus the matching
 //     IXP-scheme configuration (ixps.conf) into DIR -- the same artefact
-//     set a real measurement study starts from.
+//     set a real measurement study starts from. With --updates, each
+//     collector table is additionally replayed as a BGP4MP update stream
+//     (<collector>-updates.mrt), the live-feed artefact.
 //
 //   mlp_infer infer --config FILE [--threads N] [--batch N]
 //                   [--min-duration S] [--assume-open] [--no-rels]
-//                   ARCHIVE.mrt...
+//                   [--updates] ARCHIVE.mrt...
 //     Run the parallel inference pipeline over the archives: one
-//     extraction task per archive, one inference shard per configured
-//     IXP. AS relationships (setter case 3) are inferred from the input
-//     paths themselves unless --no-rels is given.
+//     streaming extraction task per archive, one inference shard per
+//     configured IXP. AS relationships (setter case 3) are inferred from
+//     the input paths themselves unless --no-rels is given. With
+//     --updates the archives are BGP4MP update streams ingested through
+//     the transient-filtering announce-window (pair with --min-duration).
 //
-// Typical round trip:
+// Typical round trips:
 //   mlp_infer gen --out /tmp/mlp
 //   mlp_infer infer --config /tmp/mlp/ixps.conf --threads 4 /tmp/mlp/*.mrt
+//
+//   mlp_infer gen --out /tmp/mlp --updates
+//   mlp_infer infer --config /tmp/mlp/ixps.conf --updates
+//       --min-duration 600 /tmp/mlp/*-updates.mrt   (one line)
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -26,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "mrt/cursor.hpp"
 #include "mrt/table_dump.hpp"
 #include "pipeline/ixp_config.hpp"
 #include "pipeline/pipeline.hpp"
@@ -40,10 +49,10 @@ using namespace mlp;
 int usage() {
   std::fprintf(
       stderr,
-      "usage: mlp_infer gen --out DIR [--seed S] [--ases N]\n"
+      "usage: mlp_infer gen --out DIR [--seed S] [--ases N] [--updates]\n"
       "       mlp_infer infer --config FILE [--threads N] [--batch N]\n"
       "                       [--min-duration S] [--assume-open] [--no-rels]\n"
-      "                       ARCHIVE.mrt...\n");
+      "                       [--updates] ARCHIVE.mrt...\n");
   return 2;
 }
 
@@ -64,6 +73,7 @@ void write_file(const std::string& path, const void* data,
 
 int run_gen(int argc, char** argv) {
   std::string out_dir;
+  bool write_updates = false;
   scenario::ScenarioParams params;
   params.topology.n_ases = 1200;
   params.membership_scale = 0.2;
@@ -75,6 +85,8 @@ int run_gen(int argc, char** argv) {
       params.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--ases" && i + 1 < argc) {
       params.topology.n_ases = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--updates") {
+      write_updates = true;
     } else {
       return usage();
     }
@@ -98,6 +110,14 @@ int run_gen(int argc, char** argv) {
     write_file(path, archive.data(), archive.size());
     std::printf("wrote %s (%zu prefixes, %zu bytes)\n", path.c_str(),
                 collector.rib().prefix_count(), archive.size());
+    if (write_updates) {
+      const auto updates = collector.update_dump(1367366400);
+      const std::string update_path =
+          out_dir + "/" + collector.name() + "-updates.mrt";
+      write_file(update_path, updates.data(), updates.size());
+      std::printf("wrote %s (%zu bytes, BGP4MP)\n", update_path.c_str(),
+                  updates.size());
+    }
   }
   return 0;
 }
@@ -106,7 +126,11 @@ int run_infer(int argc, char** argv) {
   std::string config_path;
   std::vector<std::string> archives;
   pipeline::PipelineConfig config;
+  // The CLI reports stats and links only; the engines would be dead
+  // weight in the result.
+  config.keep_engines = false;
   bool infer_rels = true;
+  bool updates_mode = false;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--config" && i + 1 < argc) {
@@ -122,6 +146,8 @@ int run_infer(int argc, char** argv) {
       config.assume_open_for_unobserved = true;
     } else if (arg == "--no-rels") {
       infer_rels = false;
+    } else if (arg == "--updates") {
+      updates_mode = true;
     } else if (!arg.empty() && arg.front() == '-') {
       return usage();
     } else {
@@ -152,7 +178,33 @@ int run_infer(int argc, char** argv) {
   //
   // `rels` must outlive pipe.run(): rel_fn() captures a pointer to it.
   topology::InferredRelationships rels;
-  if (infer_rels) {
+  if (updates_mode) {
+    // BGP4MP streams feed the pipeline as raw bytes so the parallel
+    // extraction tasks apply the transient-filtering announce-window.
+    // For the relationship baseline, a streaming cursor walk collects
+    // just the AS paths -- no whole-archive materialization.
+    std::vector<bgp::AsPath> paths;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      std::printf("update archive %s: %zu bytes\n", archives[i].c_str(),
+                  raw[i].size());
+      if (infer_rels) {
+        mrt::MrtCursor cursor(raw[i], mrt::MrtCursor::Skip::TableDumpV2);
+        for (;;) {
+          const auto event = cursor.next();
+          if (event == mrt::MrtCursor::Event::End) break;
+          if (event != mrt::MrtCursor::Event::Update) continue;
+          if (!cursor.update().update->nlri.empty())
+            paths.push_back(cursor.update().update->attrs.as_path);
+        }
+      }
+      pipe.add_update_stream(std::move(raw[i]));
+    }
+    if (infer_rels) {
+      rels = topology::infer_relationships(paths);
+      std::printf("relationship baseline: %zu links\n", rels.link_count());
+      pipe.set_relationships(rels.rel_fn());
+    }
+  } else if (infer_rels) {
     std::vector<bgp::AsPath> paths;
     for (std::size_t i = 0; i < raw.size(); ++i) {
       std::printf("archive %s: %zu bytes\n", archives[i].c_str(),

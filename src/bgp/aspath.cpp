@@ -36,8 +36,24 @@ bool AsPath::contains(Asn asn) const {
 }
 
 bool AsPath::has_cycle() const {
+  // A cycle is the same ASN at two non-adjacent positions, i.e. a value
+  // repeated across runs of the prepending-collapsed sequence. Real AS
+  // paths are a handful of hops, so the quadratic run-start scan beats a
+  // hash set (which costs an allocation per path on the extraction hot
+  // path); pathologically long paths fall back to the set.
+  const std::size_t n = asns_.size();
+  if (n <= 64) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i > 0 && asns_[i] == asns_[i - 1]) continue;  // prepending
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (asns_[j] == asns_[j - 1]) continue;  // prepending
+        if (asns_[j] == asns_[i]) return true;
+      }
+    }
+    return false;
+  }
   std::unordered_set<Asn> seen;
-  for (std::size_t i = 0; i < asns_.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     if (i > 0 && asns_[i] == asns_[i - 1]) continue;  // prepending
     if (!seen.insert(asns_[i]).second) return true;
   }

@@ -53,6 +53,11 @@ class AsPath {
   /// BGP prepending on export: the exporting AS adds itself at the front.
   void prepend(Asn asn) { asns_.insert(asns_.begin(), asn); }
 
+  /// Move the underlying storage out, leaving the path empty. Streaming
+  /// decoders use this to recycle capacity across records instead of
+  /// allocating a fresh vector per AS_PATH attribute.
+  std::vector<Asn> release() { return std::move(asns_); }
+
   /// True if any ASN occurs in two non-adjacent positions (adjacent repeats
   /// are legitimate path prepending, not cycles).
   bool has_cycle() const;

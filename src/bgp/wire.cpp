@@ -48,8 +48,8 @@ void encode_as_path(ByteWriter& w, const AsPath& path, bool four_octet_as) {
   w.bytes(body.data());
 }
 
-AsPath decode_as_path(ByteReader r, bool four_octet_as) {
-  std::vector<Asn> asns;
+void decode_as_path_into(ByteReader r, bool four_octet_as,
+                         std::vector<Asn>& asns) {
   while (!r.done()) {
     const std::uint8_t segment_type = r.u8();
     const std::uint8_t count = r.u8();
@@ -59,7 +59,6 @@ AsPath decode_as_path(ByteReader r, bool four_octet_as) {
     for (std::uint8_t k = 0; k < count; ++k)
       asns.push_back(four_octet_as ? r.u32() : r.u16());
   }
-  return AsPath(std::move(asns));
 }
 
 }  // namespace
@@ -108,9 +107,18 @@ void encode_path_attributes(ByteWriter& w, const PathAttributes& attrs,
   }
 }
 
-PathAttributes decode_path_attributes(ByteReader& reader,
-                                      bool four_octet_as) {
-  PathAttributes attrs;
+void decode_path_attributes_into(ByteReader& reader, bool four_octet_as,
+                                 PathAttributes& out) {
+  out.origin = Origin::Igp;
+  out.next_hop = 0;
+  out.has_med = false;
+  out.med = 0;
+  out.has_local_pref = false;
+  out.local_pref = 0;
+  out.communities.clear();
+  // Recycle the AS-path storage: filled in place, re-adopted at the end.
+  std::vector<Asn> asns = out.as_path.release();
+  asns.clear();
   while (!reader.done()) {
     const std::uint8_t flags = reader.u8();
     const auto type = static_cast<AttrType>(reader.u8());
@@ -121,28 +129,29 @@ PathAttributes decode_path_attributes(ByteReader& reader,
       case AttrType::Origin: {
         const std::uint8_t o = body.u8();
         if (o > 2) throw ParseError("ORIGIN: invalid code");
-        attrs.origin = static_cast<Origin>(o);
+        out.origin = static_cast<Origin>(o);
         break;
       }
       case AttrType::AsPath:
-        attrs.as_path = decode_as_path(body, four_octet_as);
+        asns.clear();  // last AS_PATH attribute wins
+        decode_as_path_into(body, four_octet_as, asns);
         break;
       case AttrType::NextHop:
-        attrs.next_hop = body.u32();
+        out.next_hop = body.u32();
         break;
       case AttrType::Med:
-        attrs.has_med = true;
-        attrs.med = body.u32();
+        out.has_med = true;
+        out.med = body.u32();
         break;
       case AttrType::LocalPref:
-        attrs.has_local_pref = true;
-        attrs.local_pref = body.u32();
+        out.has_local_pref = true;
+        out.local_pref = body.u32();
         break;
       case AttrType::Communities: {
         if (length % 4 != 0)
           throw ParseError("COMMUNITIES: length not a multiple of 4");
         while (!body.done())
-          attrs.communities.push_back(Community::from_value(body.u32()));
+          out.communities.push_back(Community::from_value(body.u32()));
         break;
       }
       default:
@@ -150,6 +159,13 @@ PathAttributes decode_path_attributes(ByteReader& reader,
         break;
     }
   }
+  out.as_path = AsPath(std::move(asns));
+}
+
+PathAttributes decode_path_attributes(ByteReader& reader,
+                                      bool four_octet_as) {
+  PathAttributes attrs;
+  decode_path_attributes_into(reader, four_octet_as, attrs);
   return attrs;
 }
 
@@ -179,8 +195,8 @@ std::vector<std::uint8_t> encode_update(const UpdateMessage& update,
   return w.take();
 }
 
-UpdateMessage decode_update(std::span<const std::uint8_t> data,
-                            bool four_octet_as) {
+void decode_update_into(std::span<const std::uint8_t> data,
+                        bool four_octet_as, UpdateMessage& out) {
   ByteReader r(data);
   for (int i = 0; i < 16; ++i) {
     if (r.u8() != 0xff) throw ParseError("BGP header: bad marker");
@@ -194,18 +210,24 @@ UpdateMessage decode_update(std::span<const std::uint8_t> data,
   if (type != MessageType::Update)
     throw ParseError("decode_update: not an UPDATE message");
 
-  UpdateMessage update;
+  out.withdrawn.clear();
+  out.nlri.clear();
   ByteReader withdrawn = r.sub(r.u16());
   while (!withdrawn.done())
-    update.withdrawn.push_back(decode_nlri_prefix(withdrawn));
+    out.withdrawn.push_back(decode_nlri_prefix(withdrawn));
 
   ByteReader attrs = r.sub(r.u16());
-  if (!attrs.done())
-    update.attrs = decode_path_attributes(attrs, four_octet_as);
+  decode_path_attributes_into(attrs, four_octet_as, out.attrs);
 
-  while (!r.done()) update.nlri.push_back(decode_nlri_prefix(r));
-  if (!update.nlri.empty() && update.attrs.as_path.empty())
+  while (!r.done()) out.nlri.push_back(decode_nlri_prefix(r));
+  if (!out.nlri.empty() && out.attrs.as_path.empty())
     throw ParseError("UPDATE: NLRI present but no AS_PATH attribute");
+}
+
+UpdateMessage decode_update(std::span<const std::uint8_t> data,
+                            bool four_octet_as) {
+  UpdateMessage update;
+  decode_update_into(data, four_octet_as, update);
   return update;
 }
 

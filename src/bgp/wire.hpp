@@ -54,6 +54,13 @@ std::vector<std::uint8_t> encode_update(const UpdateMessage& update,
 UpdateMessage decode_update(std::span<const std::uint8_t> data,
                             bool four_octet_as);
 
+/// In-place variant used by streaming decoders: `out` is fully reset but
+/// its vectors (withdrawn, NLRI, communities, AS path) keep their capacity,
+/// so a scratch UpdateMessage reused across records stops allocating once
+/// warm.
+void decode_update_into(std::span<const std::uint8_t> data,
+                        bool four_octet_as, UpdateMessage& out);
+
 /// NLRI helpers shared with the TABLE_DUMP_V2 codec.
 void encode_nlri_prefix(mlp::ByteWriter& writer, const IpPrefix& prefix);
 IpPrefix decode_nlri_prefix(mlp::ByteReader& reader);
@@ -64,5 +71,10 @@ void encode_path_attributes(mlp::ByteWriter& writer,
                             const PathAttributes& attrs, bool four_octet_as);
 PathAttributes decode_path_attributes(mlp::ByteReader& reader,
                                       bool four_octet_as);
+
+/// In-place variant for streaming decoders; same reset-but-keep-capacity
+/// contract as decode_update_into.
+void decode_path_attributes_into(mlp::ByteReader& reader, bool four_octet_as,
+                                 PathAttributes& out);
 
 }  // namespace mlp::bgp

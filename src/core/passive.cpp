@@ -1,8 +1,10 @@
 #include "core/passive.hpp"
 
+#include <iterator>
 #include <utility>
 
-#include "mrt/table_dump.hpp"
+#include "mrt/cursor.hpp"
+#include "util/errors.hpp"
 
 namespace mlp::core {
 
@@ -29,46 +31,68 @@ PassiveExtractor::PassiveExtractor(
     bgp::RelFn relationships, PassiveConfig config)
     : ixps_(std::move(ixps)),
       relationships_(std::move(relationships)),
-      config_(config) {}
+      config_(config),
+      by_ixp_(ixps_->size()) {}
 
-std::vector<PassiveExtractor::Attribution> PassiveExtractor::attribute_ixps(
-    const std::vector<Community>& communities) const {
-  std::vector<Attribution> strong;  // a value encodes the RS ASN
-  std::vector<Attribution> weak;    // peer-targeted values only
-  for (const IxpContext& ixp : *ixps_) {
+void PassiveExtractor::set_sink(ObservationSink sink,
+                                std::size_t batch_size) {
+  if (stats_.paths_seen != 0 || stats_.observations != 0)
+    throw InvalidArgument("passive: set_sink after input was consumed");
+  sink_ = std::move(sink);
+  sink_batch_ = batch_size == 0 ? 1 : batch_size;
+}
+
+std::size_t PassiveExtractor::attribute_ixps(
+    const std::vector<Community>& communities) {
+  attr_scratch_.clear();
+  comm_scratch_.clear();
+  std::size_t strong = 0;  // attributions where a value encodes the RS ASN
+  for (std::size_t index = 0; index < ixps_->size(); ++index) {
+    const IxpContext& ixp = (*ixps_)[index];
     Attribution attribution;
-    attribution.ixp = &ixp;
+    attribution.ixp_index = index;
+    attribution.comm_begin = static_cast<std::uint32_t>(comm_scratch_.size());
     bool peers_are_members = true;
     for (const Community community : communities) {
       Asn peer = 0;
       const auto tag = ixp.scheme.classify(community, &peer);
       if (tag == routeserver::CommunityTag::Unrelated) continue;
-      attribution.rs_communities.push_back(community);
+      comm_scratch_.push_back(community);
       if (ixp.scheme.encodes_rs_asn(community)) attribution.rs_encoded = true;
       if ((tag == routeserver::CommunityTag::Exclude ||
            tag == routeserver::CommunityTag::Include) &&
           !ixp.is_member(peer))
         peers_are_members = false;
     }
-    if (attribution.rs_communities.empty()) continue;
+    attribution.comm_end = static_cast<std::uint32_t>(comm_scratch_.size());
+    if (attribution.comm_end == attribution.comm_begin) continue;
     // The combination of targeted ASes must all be members of the IXP
     // (section 4.2's disambiguation rule).
-    if (!peers_are_members) continue;
-    (attribution.rs_encoded ? strong : weak)
-        .push_back(std::move(attribution));
+    if (!peers_are_members) {
+      comm_scratch_.resize(attribution.comm_begin);
+      continue;
+    }
+    if (attribution.rs_encoded) ++strong;
+    attr_scratch_.push_back(attribution);
   }
-  if (!strong.empty()) return strong;
-  return weak;  // caller treats size()>1 as ambiguous
+  return strong;
 }
 
 Asn PassiveExtractor::identify_setter(const AsPath& path,
-                                      const IxpContext& ixp) const {
-  const AsPath flat = path.deduplicated();
-  const auto& asns = flat.asns();
-
-  std::vector<std::size_t> member_positions;
-  for (std::size_t i = 0; i < asns.size(); ++i)
-    if (ixp.is_member(asns[i])) member_positions.push_back(i);
+                                      const IxpContext& ixp) {
+  // Collapse prepending in place (the scratch equivalent of
+  // path.deduplicated()) and record the member positions as we go.
+  flat_scratch_.clear();
+  member_pos_scratch_.clear();
+  for (const Asn asn : path.asns()) {
+    if (!flat_scratch_.empty() && flat_scratch_.back() == asn) continue;
+    if (ixp.is_member(asn))
+      member_pos_scratch_.push_back(
+          static_cast<std::uint32_t>(flat_scratch_.size()));
+    flat_scratch_.push_back(asn);
+  }
+  const auto& asns = flat_scratch_;
+  const auto& member_positions = member_pos_scratch_;
 
   // Case 1: fewer than two members -- the RS crossing is not in the path.
   if (member_positions.size() < 2) return 0;
@@ -101,6 +125,21 @@ Asn PassiveExtractor::identify_setter(const AsPath& path,
   return setter;
 }
 
+void PassiveExtractor::emit(std::size_t index, Observation observation) {
+  auto& bucket = by_ixp_[index];
+  bucket.push_back(std::move(observation));
+  ++stats_.observations;
+  if (sink_) {
+    if (bucket.size() >= sink_batch_) {
+      sink_(index, std::move(bucket));
+      bucket = {};
+      bucket.reserve(sink_batch_);
+    }
+  } else {
+    view_dirty_ = true;
+  }
+}
+
 void PassiveExtractor::consume_path(const AsPath& path,
                                     const IpPrefix& prefix,
                                     const std::vector<Community>& communities,
@@ -110,28 +149,32 @@ void PassiveExtractor::consume_path(const AsPath& path,
     ++stats_.paths_dirty;
     return;
   }
-  auto attributions = attribute_ixps(communities);
-  if (attributions.empty()) {
+  const std::size_t strong = attribute_ixps(communities);
+  if (attr_scratch_.empty()) {
     ++stats_.paths_no_rs_values;
     return;
   }
-  if (attributions.size() > 1 && !attributions.front().rs_encoded) {
+  if (strong == 0 && attr_scratch_.size() > 1) {
     // Multiple weak (EXCLUDE-only) candidates: the excluded-AS combination
     // exists at more than one IXP. Unresolvable.
     ++stats_.paths_ambiguous_ixp;
     return;
   }
   bool attributed = false;
-  for (const Attribution& attribution : attributions) {
-    const Asn setter = identify_setter(path, *attribution.ixp);
+  for (const Attribution& attribution : attr_scratch_) {
+    // With any strong candidate present, the weak ones are superseded.
+    if (strong > 0 && !attribution.rs_encoded) continue;
+    const Asn setter =
+        identify_setter(path, (*ixps_)[attribution.ixp_index]);
     if (setter == 0) continue;
     Observation observation;
     observation.setter = setter;
     observation.prefix = prefix;
-    observation.communities = attribution.rs_communities;
+    observation.communities.assign(
+        comm_scratch_.begin() + attribution.comm_begin,
+        comm_scratch_.begin() + attribution.comm_end);
     observation.source = source;
-    observations_[attribution.ixp->name].push_back(std::move(observation));
-    ++stats_.observations;
+    emit(attribution.ixp_index, std::move(observation));
     attributed = true;
   }
   if (!attributed) ++stats_.paths_no_setter;
@@ -139,64 +182,160 @@ void PassiveExtractor::consume_path(const AsPath& path,
 
 void PassiveExtractor::consume_table_dump(
     std::span<const std::uint8_t> archive) {
-  const bgp::Rib rib = mrt::parse_rib(archive);
-  for (const auto& prefix : rib.prefixes()) {
-    for (const auto& entry : rib.paths(prefix)) {
-      consume_path(entry.route.attrs.as_path, prefix,
-                   entry.route.attrs.communities, Source::Passive);
-    }
+  mrt::MrtCursor cursor(archive);
+  for (;;) {
+    const auto event = cursor.next();
+    if (event == mrt::MrtCursor::Event::End) break;
+    if (event != mrt::MrtCursor::Event::RibEntry)
+      continue;  // BGP4MP in a mixed stream: not a RIB entry
+    const mrt::RibEntryView& entry = cursor.rib_entry();
+    consume_path(entry.attrs->as_path, *entry.prefix,
+                 entry.attrs->communities, Source::Passive);
   }
+}
+
+void PassiveExtractor::settle(const PendingKey& key, const Pending& entry,
+                              std::uint32_t now) {
+  const std::uint32_t age = now - entry.announced_at;
+  if (age < config_.min_duration_s) {
+    ++stats_.paths_transient;  // short-lived: likely misconfiguration
+  } else {
+    consume_path(entry.path, key.second, entry.communities,
+                 Source::Passive);
+  }
+}
+
+void PassiveExtractor::evict_pending(std::uint32_t now) {
+  // Drop stale FIFO fronts (their announcement was withdrawn or replaced)
+  // so the deque stays proportional to the live window.
+  auto stale = [this](const std::pair<PendingKey, std::uint32_t>& front) {
+    const auto it = pending_.find(front.first);
+    return it == pending_.end() ||
+           it->second.announced_at != front.second;
+  };
+  while (!pending_fifo_.empty() && stale(pending_fifo_.front()))
+    pending_fifo_.pop_front();
+  // A long-lived announcement stuck at the front shields stale entries
+  // behind it from the pop loop; once they are the majority, compact in
+  // place (order-preserving, amortized O(1) per update since at most
+  // pending_.size() entries survive).
+  if (pending_fifo_.size() > 2 * pending_.size() + 16) {
+    std::deque<std::pair<PendingKey, std::uint32_t>> live;
+    for (auto& entry : pending_fifo_)
+      if (!stale(entry)) live.push_back(std::move(entry));
+    pending_fifo_ = std::move(live);
+  }
+  if (config_.max_pending_announcements == 0) return;
+  while (pending_.size() > config_.max_pending_announcements) {
+    // The window is full: the oldest standing announcement is settled
+    // as if the observation period ended for it now.
+    const auto [key, announced_at] = pending_fifo_.front();
+    pending_fifo_.pop_front();
+    const auto it = pending_.find(key);
+    if (it == pending_.end() || it->second.announced_at != announced_at)
+      continue;  // stale entry
+    settle(key, it->second, now);
+    pending_.erase(it);
+    while (!pending_fifo_.empty() && stale(pending_fifo_.front()))
+      pending_fifo_.pop_front();
+  }
+}
+
+void PassiveExtractor::consume_update(std::uint32_t timestamp, Asn peer_asn,
+                                      const bgp::UpdateMessage& update) {
+  for (const auto& prefix : update.withdrawn) {
+    const auto key = std::make_pair(peer_asn, prefix);
+    auto it = pending_.find(key);
+    if (it == pending_.end()) continue;
+    settle(key, it->second, timestamp);
+    pending_.erase(it);
+  }
+  for (const auto& prefix : update.nlri) {
+    const auto key = std::make_pair(peer_asn, prefix);
+    auto it = pending_.find(key);
+    if (it != pending_.end()) {
+      // Re-announcement: the earlier version lived long enough only if
+      // it aged past the threshold.
+      settle(key, it->second, timestamp);
+      it->second.announced_at = timestamp;
+      it->second.path = update.attrs.as_path;
+      it->second.communities = update.attrs.communities;
+    } else {
+      pending_.emplace(key, Pending{timestamp, update.attrs.as_path,
+                                    update.attrs.communities});
+    }
+    pending_fifo_.emplace_back(key, timestamp);
+  }
+  evict_pending(timestamp);
+}
+
+void PassiveExtractor::flush_pending() {
+  // Announcements still standing at the end of the window are stable.
+  for (const auto& [key, entry] : pending_)
+    consume_path(entry.path, key.second, entry.communities,
+                 Source::Passive);
+  pending_.clear();
+  pending_fifo_.clear();
 }
 
 void PassiveExtractor::consume_update_stream(
     std::span<const std::uint8_t> archive) {
-  const auto updates = mrt::parse_updates(archive);
-
-  struct Pending {
-    std::uint32_t announced_at = 0;
-    AsPath path;
-    std::vector<Community> communities;
-  };
-  std::map<std::pair<Asn, IpPrefix>, Pending> pending;
-
-  auto flush = [&](const std::pair<Asn, IpPrefix>& key,
-                   const Pending& entry) {
-    consume_path(entry.path, key.second, entry.communities, Source::Passive);
-  };
-
-  for (const auto& update : updates) {
-    for (const auto& prefix : update.update.withdrawn) {
-      const auto key = std::make_pair(update.peer_asn, prefix);
-      auto it = pending.find(key);
-      if (it == pending.end()) continue;
-      const std::uint32_t age =
-          update.timestamp - it->second.announced_at;
-      if (age < config_.min_duration_s) {
-        ++stats_.paths_transient;  // short-lived: likely misconfiguration
-      } else {
-        flush(key, it->second);
-      }
-      pending.erase(it);
-    }
-    for (const auto& prefix : update.update.nlri) {
-      const auto key = std::make_pair(update.peer_asn, prefix);
-      auto it = pending.find(key);
-      if (it != pending.end()) {
-        // Re-announcement: the earlier version lived long enough only if
-        // it aged past the threshold.
-        const std::uint32_t age =
-            update.timestamp - it->second.announced_at;
-        if (age >= config_.min_duration_s)
-          flush(key, it->second);
-        else
-          ++stats_.paths_transient;
-      }
-      pending[key] = Pending{update.timestamp, update.update.attrs.as_path,
-                             update.update.attrs.communities};
-    }
+  // TABLE_DUMP_V2 records in a mixed stream are stepped over without
+  // being decoded (parse_updates tolerance: even an orphaned RIB record
+  // must not abort an update ingest).
+  mrt::MrtCursor cursor(archive, mrt::MrtCursor::Skip::TableDumpV2);
+  for (;;) {
+    const auto event = cursor.next();
+    if (event == mrt::MrtCursor::Event::End) break;
+    if (event != mrt::MrtCursor::Event::Update) continue;
+    const mrt::UpdateView& view = cursor.update();
+    consume_update(view.timestamp, view.peer_asn, *view.update);
   }
-  // Announcements still standing at the end of the window are stable.
-  for (const auto& [key, entry] : pending) flush(key, entry);
+  flush_pending();
+}
+
+void PassiveExtractor::finish() {
+  flush_pending();
+  if (!sink_) return;
+  for (std::size_t index = 0; index < by_ixp_.size(); ++index) {
+    if (by_ixp_[index].empty()) continue;
+    sink_(index, std::move(by_ixp_[index]));
+    by_ixp_[index] = {};
+  }
+}
+
+const std::map<std::string, std::vector<Observation>>&
+PassiveExtractor::observations() {
+  if (sink_)
+    throw InvalidArgument(
+        "passive: observations() unavailable in streaming mode");
+  if (view_dirty_) {
+    // Fold the dense buckets into the name-keyed view by move (appending
+    // after an earlier fold preserves attribution order), so the product
+    // is never held twice.
+    for (std::size_t index = 0; index < by_ixp_.size(); ++index) {
+      auto& bucket = by_ixp_[index];
+      if (bucket.empty()) continue;
+      auto& dst = observations_view_[(*ixps_)[index].name];
+      if (dst.empty()) {
+        dst = std::move(bucket);
+      } else {
+        dst.insert(dst.end(), std::make_move_iterator(bucket.begin()),
+                   std::make_move_iterator(bucket.end()));
+      }
+      bucket.clear();
+    }
+    view_dirty_ = false;
+  }
+  return observations_view_;
+}
+
+std::map<std::string, std::vector<Observation>>
+PassiveExtractor::take_observations() {
+  observations();  // folds any un-viewed buckets (throws in sink mode)
+  auto out = std::move(observations_view_);
+  observations_view_ = {};
+  return out;
 }
 
 }  // namespace mlp::core

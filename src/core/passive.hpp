@@ -6,15 +6,41 @@
 // combination of excluded ASes against the candidate IXPs' member lists --
 // and pinpoints the RS setter using the membership cases 1-3, falling
 // back to AS relationships when a path holds more than two members.
+//
+// Two consumption modes:
+//
+//   accumulate (default): observations collect internally, grouped per
+//   IXP, and are read back via observations()/take_observations() once
+//   the input is consumed.
+//
+//   streaming (set_sink): attributed observations are emitted to a
+//   callback in bounded batches, keyed by dense IXP index (the position
+//   in the IXP vector passed to the constructor), while MRT decode is
+//   still in progress. Peak memory stays O(batch x IXPs) instead of
+//   O(archive), and a downstream consumer can overlap inference with
+//   decode. Call finish() after the last input to flush partial batches.
+//
+// MRT archives are walked with the streaming mrt::MrtCursor -- no
+// whole-archive RIB or record vector is ever materialized. Update streams
+// are filtered through a bounded announce-window keyed on (peer, prefix),
+// so BGP4MP input can also be fed incrementally via consume_update.
+//
+// Like the inference engine, an extractor is deliberately NOT thread-safe
+// (scratch buffers are reused across consume calls); confine each
+// instance to one task.
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "bgp/valley.hpp"
+#include "bgp/wire.hpp"
 #include "core/types.hpp"
 
 namespace mlp::core {
@@ -38,10 +64,21 @@ struct PassiveConfig {
   /// Drop announcements visible for less than this long before being
   /// withdrawn (misconfiguration guard, section 5). 0 disables.
   std::uint32_t min_duration_s = 0;
+  /// Cap on the (peer, prefix) announce-window used for transient
+  /// filtering of update streams. When full, the oldest announcement is
+  /// evicted through the same age test as a withdrawal at the current
+  /// stream time. 0 means unbounded.
+  std::size_t max_pending_announcements = 1u << 20;
 };
 
 class PassiveExtractor {
  public:
+  /// Streaming emission callback: one batch of attributed observations
+  /// for the IXP at `ixp_index` (dense index into the constructor's IXP
+  /// vector). Batches for one IXP arrive in attribution order.
+  using ObservationSink = std::function<void(
+      std::size_t ixp_index, std::vector<Observation>&& batch)>;
+
   /// `relationships` resolves setter case 3; it may be an inferred
   /// relationship set or a ground-truth oracle. May be null (case 3 then
   /// fails as "no setter").
@@ -54,12 +91,27 @@ class PassiveExtractor {
                    bgp::RelFn relationships,
                    PassiveConfig config = PassiveConfig{});
 
-  /// Consume a TABLE_DUMP_V2 archive (a collector RIB snapshot).
+  /// Switch to streaming mode: observations are emitted to `sink` in
+  /// batches of at most `batch_size` per IXP instead of accumulating.
+  /// Must be set before any input is consumed.
+  void set_sink(ObservationSink sink, std::size_t batch_size = 256);
+
+  /// Consume a TABLE_DUMP_V2 archive (a collector RIB snapshot),
+  /// streaming entry by entry; BGP4MP records in a mixed stream are
+  /// ignored, matching the materializing parse_rib behaviour.
   void consume_table_dump(std::span<const std::uint8_t> archive);
 
   /// Consume a BGP4MP update archive; withdrawals cancel announcements
-  /// younger than min_duration_s (transient filtering).
+  /// younger than min_duration_s (transient filtering). Announcements
+  /// still standing at end of archive are flushed as stable.
   void consume_update_stream(std::span<const std::uint8_t> archive);
+
+  /// Consume one already-decoded update message (incremental form of
+  /// consume_update_stream; updates must arrive in timestamp order).
+  /// Stable announcements surface once withdrawn, replaced, evicted from
+  /// the bounded window, or flushed via flush_pending()/finish().
+  void consume_update(std::uint32_t timestamp, Asn peer_asn,
+                      const bgp::UpdateMessage& update);
 
   /// Consume one already-decoded path observation.
   void consume_path(const AsPath& path,
@@ -67,42 +119,91 @@ class PassiveExtractor {
                     const std::vector<Community>& communities,
                     Source source = Source::Passive);
 
-  /// Observations grouped by IXP name, ready for MlpInferenceEngine::add.
-  const std::map<std::string, std::vector<Observation>>& observations()
-      const {
-    return observations_;
-  }
+  /// Flush announcements still standing in the announce-window (end of a
+  /// live stream's observation period).
+  void flush_pending();
+
+  /// End of input: flush the announce-window and, in streaming mode, the
+  /// partial per-IXP batches.
+  void finish();
+
+  /// Observations grouped by IXP name, ready for MlpInferenceEngine::add
+  /// (accumulate mode only; the view is rebuilt lazily after new input).
+  const std::map<std::string, std::vector<Observation>>& observations();
 
   /// Move the accumulated observations out (the extractor is spent
   /// afterwards); avoids copying the main data product per source.
-  std::map<std::string, std::vector<Observation>> take_observations() {
-    return std::move(observations_);
-  }
+  std::map<std::string, std::vector<Observation>> take_observations();
 
   const PassiveStats& stats() const { return stats_; }
 
  private:
   struct Attribution {
-    const IxpContext* ixp = nullptr;
-    std::vector<Community> rs_communities;
+    std::size_t ixp_index = 0;
+    /// Range of this IXP's RS communities inside comm_scratch_.
+    std::uint32_t comm_begin = 0;
+    std::uint32_t comm_end = 0;
     /// Some community value encodes the RS ASN (direct attribution);
     /// otherwise only peer-targeted values matched (EXCLUDE-only case).
     bool rs_encoded = false;
   };
 
-  /// Attribute the RS communities on a route to exactly one candidate IXP.
-  std::vector<Attribution> attribute_ixps(
-      const std::vector<Community>& communities) const;
+  /// Attribute the RS communities on a route to candidate IXPs; fills
+  /// attr_scratch_/comm_scratch_ and returns the number of strong
+  /// (RS-encoded) attributions.
+  std::size_t attribute_ixps(const std::vector<Community>& communities);
 
   /// Identify the RS setter in `path` for an IXP (cases 1-3). Returns 0
   /// when no setter can be pinpointed.
-  Asn identify_setter(const AsPath& path, const IxpContext& ixp) const;
+  Asn identify_setter(const AsPath& path, const IxpContext& ixp);
+
+  /// Append one attributed observation for the IXP at `index`, emitting a
+  /// batch in streaming mode when the bucket is full.
+  void emit(std::size_t index, Observation observation);
+
+  /// One standing announcement in the transient-filter window.
+  struct Pending {
+    std::uint32_t announced_at = 0;
+    AsPath path;
+    std::vector<Community> communities;
+  };
+  using PendingKey = std::pair<Asn, IpPrefix>;
+
+  /// Age-test `entry` against `now` and either consume it as stable or
+  /// count it transient.
+  void settle(const PendingKey& key, const Pending& entry,
+              std::uint32_t now);
+
+  /// Enforce max_pending_announcements after an insertion.
+  void evict_pending(std::uint32_t now);
 
   std::shared_ptr<const std::vector<IxpContext>> ixps_;
   bgp::RelFn relationships_;
   PassiveConfig config_;
   PassiveStats stats_;
-  std::map<std::string, std::vector<Observation>> observations_;
+
+  /// Per-IXP observation buffers, dense-indexed in ixps_ order. In
+  /// accumulate mode this is the full product; in streaming mode, the
+  /// partial batches not yet emitted.
+  std::vector<std::vector<Observation>> by_ixp_;
+  ObservationSink sink_;
+  std::size_t sink_batch_ = 256;
+
+  /// Lazily materialized name-keyed view of by_ixp_ (accumulate mode).
+  std::map<std::string, std::vector<Observation>> observations_view_;
+  bool view_dirty_ = false;
+
+  /// Transient-filter announce-window plus its FIFO eviction order
+  /// (lazily pruned: replaced announcements leave stale FIFO entries
+  /// behind, recognized by a mismatching announced_at).
+  std::map<PendingKey, Pending> pending_;
+  std::deque<std::pair<PendingKey, std::uint32_t>> pending_fifo_;
+
+  // Reusable per-path scratch (why consume calls are not thread-safe).
+  std::vector<Attribution> attr_scratch_;
+  std::vector<Community> comm_scratch_;
+  std::vector<Asn> flat_scratch_;           // deduplicated path
+  std::vector<std::uint32_t> member_pos_scratch_;
 };
 
 }  // namespace mlp::core

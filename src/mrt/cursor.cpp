@@ -1,0 +1,86 @@
+#include "mrt/cursor.hpp"
+
+#include "mrt/record_codec.hpp"
+#include "util/errors.hpp"
+
+namespace mlp::mrt {
+
+void MrtCursor::decode_rib_entry() {
+  const std::uint16_t peer_index = record_.u16();
+  const std::uint32_t originated = record_.u32();
+  ByteReader attrs = record_.sub(record_.u16());
+  bgp::decode_path_attributes_into(attrs, /*four_octet_as=*/true, attrs_);
+  if (peer_index >= peers_.peers.size())
+    throw ParseError("TABLE_DUMP_V2: peer index " +
+                     std::to_string(peer_index) + " out of range");
+  const PeerEntry& peer = peers_.peers[peer_index];
+  rib_view_.timestamp = record_timestamp_;
+  rib_view_.sequence = sequence_;
+  rib_view_.originated_time = originated;
+  rib_view_.peer_asn = peer.asn;
+  rib_view_.peer_ip = peer.ip;
+  rib_view_.prefix = &prefix_;
+  rib_view_.attrs = &attrs_;
+  --entries_left_;
+  if (entries_left_ == 0 && !record_.done())
+    throw ParseError("RIB record: trailing bytes");
+}
+
+MrtCursor::Event MrtCursor::next() {
+  if (entries_left_ > 0) {
+    decode_rib_entry();
+    return Event::RibEntry;
+  }
+  while (!reader_.done()) {
+    const std::uint32_t timestamp = reader_.u32();
+    const std::uint16_t type = reader_.u16();
+    const std::uint16_t subtype = reader_.u16();
+    const std::uint32_t length = reader_.u32();
+    ByteReader body = reader_.sub(length);
+
+    if (type == static_cast<std::uint16_t>(MrtType::TableDumpV2)) {
+      if (skip_ == Skip::TableDumpV2) continue;  // stepped over, undecoded
+      if (subtype ==
+          static_cast<std::uint16_t>(TableDumpV2Subtype::PeerIndexTable)) {
+        peers_ = detail::decode_peer_index(body);
+        have_peers_ = true;
+        continue;
+      }
+      if (subtype ==
+          static_cast<std::uint16_t>(TableDumpV2Subtype::RibIpv4Unicast)) {
+        if (!have_peers_)
+          throw ParseError(
+              "TABLE_DUMP_V2: RIB record before PEER_INDEX_TABLE");
+        record_timestamp_ = timestamp;
+        sequence_ = body.u32();
+        prefix_ = bgp::decode_nlri_prefix(body);
+        entries_left_ = body.u16();
+        record_ = body;
+        if (entries_left_ == 0) {
+          if (!record_.done()) throw ParseError("RIB record: trailing bytes");
+          continue;  // prefix with no paths: nothing to emit
+        }
+        decode_rib_entry();
+        return Event::RibEntry;
+      }
+    } else if (type == static_cast<std::uint16_t>(MrtType::Bgp4mp)) {
+      const bool as4 =
+          subtype == static_cast<std::uint16_t>(Bgp4mpSubtype::MessageAs4);
+      if (as4 ||
+          subtype == static_cast<std::uint16_t>(Bgp4mpSubtype::Message)) {
+        const auto header = detail::decode_bgp4mp_header(body, as4);
+        bgp::decode_update_into(body.bytes(body.remaining()), as4,
+                                update_msg_);
+        update_view_.timestamp = timestamp;
+        update_view_.peer_asn = header.peer_asn;
+        update_view_.peer_ip = header.peer_ip;
+        update_view_.update = &update_msg_;
+        return Event::Update;
+      }
+    }
+    ++skipped_;  // unknown type/subtype: skip the body and continue
+  }
+  return Event::End;
+}
+
+}  // namespace mlp::mrt

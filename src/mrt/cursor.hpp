@@ -1,0 +1,105 @@
+// Streaming MRT decode: walk an archive in place, one logical event at a
+// time, without materializing a whole-archive record vector or RIB.
+//
+// The materializing helpers (decode_all / parse_rib / parse_updates) hold
+// O(archive) decoded state; MrtCursor holds O(1) scratch (plus the peer
+// index table, which is O(peers)) and re-decodes each event into reusable
+// buffers. The passive-extraction front end of the paper's pipeline runs
+// on this cursor so MRT decode overlaps inference instead of completing
+// before it starts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bgp/asn.hpp"
+#include "bgp/prefix.hpp"
+#include "bgp/route.hpp"
+#include "bgp/wire.hpp"
+#include "mrt/mrt.hpp"
+#include "util/bytes.hpp"
+
+namespace mlp::mrt {
+
+/// Borrowed view of one TABLE_DUMP_V2 RIB entry (one peer's path for one
+/// prefix). The pointed-to data lives in the cursor's scratch buffers and
+/// is valid only until the next call to MrtCursor::next().
+struct RibEntryView {
+  std::uint32_t timestamp = 0;  // MRT header timestamp of the record
+  std::uint32_t sequence = 0;
+  std::uint32_t originated_time = 0;
+  bgp::Asn peer_asn = 0;
+  std::uint32_t peer_ip = 0;
+  const bgp::IpPrefix* prefix = nullptr;
+  const bgp::PathAttributes* attrs = nullptr;
+};
+
+/// Borrowed view of one BGP4MP update message; same lifetime contract as
+/// RibEntryView.
+struct UpdateView {
+  std::uint32_t timestamp = 0;
+  bgp::Asn peer_asn = 0;
+  std::uint32_t peer_ip = 0;
+  const bgp::UpdateMessage* update = nullptr;
+};
+
+/// Incremental walk over the known record types of an MRT byte stream.
+/// TABLE_DUMP_V2 RIB records are flattened to one RibEntry event per
+/// (prefix, peer) pair with the peer resolved through the preceding
+/// PEER_INDEX_TABLE, exactly like parse_rib; BGP4MP messages yield Update
+/// events; unknown record types are skipped and counted. Throws ParseError
+/// on structurally invalid input.
+class MrtCursor {
+ public:
+  enum class Event : std::uint8_t { RibEntry, Update, End };
+
+  /// Record families an update-only (or RIB-only) consumer can have the
+  /// cursor step over without decoding, matching the tolerance of the
+  /// materializing parse_updates (which never resolved RIB records and
+  /// so accepted streams with a stray or orphaned TABLE_DUMP_V2 record).
+  enum class Skip : std::uint8_t { None, TableDumpV2 };
+
+  explicit MrtCursor(std::span<const std::uint8_t> data,
+                     Skip skip = Skip::None)
+      : reader_(data), skip_(skip) {}
+
+  /// Advance to the next event. Views returned by rib_entry()/update()
+  /// are invalidated by this call.
+  Event next();
+
+  /// Valid after next() returned RibEntry / Update respectively.
+  const RibEntryView& rib_entry() const { return rib_view_; }
+  const UpdateView& update() const { return update_view_; }
+
+  /// The most recent PEER_INDEX_TABLE (empty until one is seen).
+  const PeerIndexTable& peer_index() const { return peers_; }
+
+  /// Number of unknown-type records skipped so far.
+  std::size_t skipped() const { return skipped_; }
+
+ private:
+  /// Decode the next entry of the current RIB record into the scratch
+  /// buffers and fill rib_view_.
+  void decode_rib_entry();
+
+  ByteReader reader_;
+  Skip skip_ = Skip::None;
+  ByteReader record_{std::span<const std::uint8_t>{}};  // current RIB body
+  std::uint16_t entries_left_ = 0;
+  std::uint32_t record_timestamp_ = 0;
+  std::uint32_t sequence_ = 0;
+
+  PeerIndexTable peers_;
+  bool have_peers_ = false;
+
+  // Reusable scratch: decoded in place, overwritten per event.
+  bgp::IpPrefix prefix_;
+  bgp::PathAttributes attrs_;
+  bgp::UpdateMessage update_msg_;
+
+  RibEntryView rib_view_;
+  UpdateView update_view_;
+  std::size_t skipped_ = 0;
+};
+
+}  // namespace mlp::mrt

@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "mrt/record_codec.hpp"
 #include "util/errors.hpp"
 
 namespace mlp::mrt {
@@ -34,29 +35,6 @@ std::vector<std::uint8_t> encode_peer_index(const PeerIndexTable& table) {
     }
   }
   return w.take();
-}
-
-PeerIndexTable decode_peer_index(ByteReader& r) {
-  PeerIndexTable table;
-  table.collector_bgp_id = r.u32();
-  const std::uint16_t name_len = r.u16();
-  auto name = r.bytes(name_len);
-  table.view_name.assign(name.begin(), name.end());
-  const std::uint16_t count = r.u16();
-  table.peers.reserve(count);
-  for (std::uint16_t i = 0; i < count; ++i) {
-    PeerEntry peer;
-    const std::uint8_t type = r.u8();
-    if (type & 0x01)
-      throw ParseError("PEER_INDEX_TABLE: IPv6 peers not supported");
-    peer.four_octet_as = (type & kPeerTypeAs4) != 0;
-    peer.bgp_id = r.u32();
-    peer.ip = r.u32();
-    peer.asn = peer.four_octet_as ? r.u32() : r.u16();
-    table.peers.push_back(peer);
-  }
-  if (!r.done()) throw ParseError("PEER_INDEX_TABLE: trailing bytes");
-  return table;
 }
 
 std::vector<std::uint8_t> encode_rib(const RibRecord& record) {
@@ -121,24 +99,62 @@ std::vector<std::uint8_t> encode_bgp4mp(const Bgp4mpMessage& message) {
 Bgp4mpMessage decode_bgp4mp(ByteReader& r, bool four_octet_as) {
   Bgp4mpMessage message;
   message.four_octet_as = four_octet_as;
-  if (four_octet_as) {
-    message.peer_asn = r.u32();
-    message.local_asn = r.u32();
-  } else {
-    message.peer_asn = r.u16();
-    message.local_asn = r.u16();
-  }
-  message.interface_index = r.u16();
-  const std::uint16_t afi = r.u16();
-  if (afi != 1) throw ParseError("BGP4MP: only AFI 1 (IPv4) supported");
-  message.peer_ip = r.u32();
-  message.local_ip = r.u32();
+  const auto header = detail::decode_bgp4mp_header(r, four_octet_as);
+  message.peer_asn = header.peer_asn;
+  message.local_asn = header.local_asn;
+  message.interface_index = header.interface_index;
+  message.peer_ip = header.peer_ip;
+  message.local_ip = header.local_ip;
   auto raw = r.bytes(r.remaining());
   message.update = bgp::decode_update(raw, four_octet_as);
   return message;
 }
 
 }  // namespace
+
+namespace detail {
+
+PeerIndexTable decode_peer_index(ByteReader& r) {
+  PeerIndexTable table;
+  table.collector_bgp_id = r.u32();
+  const std::uint16_t name_len = r.u16();
+  auto name = r.bytes(name_len);
+  table.view_name.assign(name.begin(), name.end());
+  const std::uint16_t count = r.u16();
+  table.peers.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    PeerEntry peer;
+    const std::uint8_t type = r.u8();
+    if (type & 0x01)
+      throw ParseError("PEER_INDEX_TABLE: IPv6 peers not supported");
+    peer.four_octet_as = (type & kPeerTypeAs4) != 0;
+    peer.bgp_id = r.u32();
+    peer.ip = r.u32();
+    peer.asn = peer.four_octet_as ? r.u32() : r.u16();
+    table.peers.push_back(peer);
+  }
+  if (!r.done()) throw ParseError("PEER_INDEX_TABLE: trailing bytes");
+  return table;
+}
+
+Bgp4mpHeader decode_bgp4mp_header(ByteReader& r, bool four_octet_as) {
+  Bgp4mpHeader header;
+  if (four_octet_as) {
+    header.peer_asn = r.u32();
+    header.local_asn = r.u32();
+  } else {
+    header.peer_asn = r.u16();
+    header.local_asn = r.u16();
+  }
+  header.interface_index = r.u16();
+  const std::uint16_t afi = r.u16();
+  if (afi != 1) throw ParseError("BGP4MP: only AFI 1 (IPv4) supported");
+  header.peer_ip = r.u32();
+  header.local_ip = r.u32();
+  return header;
+}
+
+}  // namespace detail
 
 void MrtWriter::header(std::uint32_t timestamp, MrtType type,
                        std::uint16_t subtype,
@@ -183,7 +199,7 @@ std::optional<MrtRecord> MrtReader::next() {
     if (type == static_cast<std::uint16_t>(MrtType::TableDumpV2)) {
       if (subtype ==
           static_cast<std::uint16_t>(TableDumpV2Subtype::PeerIndexTable))
-        return MrtRecord{timestamp, decode_peer_index(body)};
+        return MrtRecord{timestamp, detail::decode_peer_index(body)};
       if (subtype ==
           static_cast<std::uint16_t>(TableDumpV2Subtype::RibIpv4Unicast))
         return MrtRecord{timestamp, decode_rib(body)};

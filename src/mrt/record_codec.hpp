@@ -1,0 +1,31 @@
+// Internal record-body decoders shared between the materializing
+// MrtReader (mrt.cpp) and the streaming MrtCursor (cursor.cpp). Not part
+// of the public MRT surface.
+#pragma once
+
+#include <cstdint>
+
+#include "bgp/asn.hpp"
+#include "mrt/mrt.hpp"
+#include "util/bytes.hpp"
+
+namespace mlp::mrt::detail {
+
+/// Decode a PEER_INDEX_TABLE body; throws ParseError on trailing bytes.
+PeerIndexTable decode_peer_index(ByteReader& r);
+
+/// The fixed-size BGP4MP_MESSAGE prelude (everything before the embedded
+/// BGP message).
+struct Bgp4mpHeader {
+  bgp::Asn peer_asn = 0;
+  bgp::Asn local_asn = 0;
+  std::uint16_t interface_index = 0;
+  std::uint32_t peer_ip = 0;
+  std::uint32_t local_ip = 0;
+};
+
+/// Decode the BGP4MP prelude, leaving `r` positioned at the raw BGP
+/// message bytes. Throws ParseError for non-IPv4 AFIs.
+Bgp4mpHeader decode_bgp4mp_header(ByteReader& r, bool four_octet_as);
+
+}  // namespace mlp::mrt::detail

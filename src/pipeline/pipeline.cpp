@@ -1,5 +1,6 @@
 #include "pipeline/pipeline.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -25,6 +26,12 @@ std::size_t InferencePipeline::add_ixp(core::IxpContext context,
 }
 
 void InferencePipeline::add_table_dump(std::vector<std::uint8_t> archive) {
+  add_table_dump(std::make_shared<const std::vector<std::uint8_t>>(
+      std::move(archive)));
+}
+
+void InferencePipeline::add_table_dump(
+    std::shared_ptr<const std::vector<std::uint8_t>> archive) {
   Feed feed;
   feed.kind = FeedKind::TableDump;
   feed.archive = std::move(archive);
@@ -32,6 +39,12 @@ void InferencePipeline::add_table_dump(std::vector<std::uint8_t> archive) {
 }
 
 void InferencePipeline::add_update_stream(std::vector<std::uint8_t> archive) {
+  add_update_stream(std::make_shared<const std::vector<std::uint8_t>>(
+      std::move(archive)));
+}
+
+void InferencePipeline::add_update_stream(
+    std::shared_ptr<const std::vector<std::uint8_t>> archive) {
   Feed feed;
   feed.kind = FeedKind::UpdateStream;
   feed.archive = std::move(archive);
@@ -72,6 +85,7 @@ namespace {
 void push_batched(ObservationQueue& queue, std::size_t source,
                   std::vector<core::Observation> observations,
                   std::size_t batch_size) {
+  if (observations.empty()) return;
   if (observations.size() <= batch_size) {
     queue.push(source, std::move(observations));
     return;
@@ -86,7 +100,9 @@ void push_batched(ObservationQueue& queue, std::size_t source,
       batch.reserve(batch_size);
     }
   }
-  queue.push(source, std::move(batch));
+  // An exact multiple of batch_size leaves nothing behind; don't push a
+  // trailing empty batch.
+  if (!batch.empty()) queue.push(source, std::move(batch));
 }
 
 /// First-error-wins collector shared by every task.
@@ -111,9 +127,11 @@ PipelineResult InferencePipeline::run() {
 
   PipelineResult result;
   result.per_ixp.resize(n_ixps);
-  result.engines.reserve(n_ixps);
-  for (const IxpSlot& slot : ixps_)
-    result.engines.emplace_back(slot.context);
+  if (config_.keep_engines) {
+    result.engines.reserve(n_ixps);
+    for (const IxpSlot& slot : ixps_)
+      result.engines.emplace_back(slot.context);
+  }
 
   std::vector<std::unique_ptr<ObservationQueue>> queues;
   queues.reserve(n_ixps);
@@ -137,6 +155,11 @@ PipelineResult InferencePipeline::run() {
   // Producers first (FIFO pool => they are never starved by a waiting
   // consumer). Each owns source index `s` in every IXP queue and closes it
   // unconditionally, even on a decode error, so consumers always finish.
+  // Extraction runs in streaming mode: the sink pushes each full batch
+  // into its IXP's queue mid-decode (the extractor's dense IXP index is
+  // the add_ixp registration order, i.e. the queue index), so inference
+  // starts while the archive is still being decoded and no task holds
+  // more than O(batch x IXPs) observations.
   for (std::size_t s = 0; s < n_sources; ++s) {
     pool.submit([this, s, contexts, &queues, &source_stats, &error] {
       Feed& feed = feeds_[s];
@@ -147,12 +170,18 @@ PipelineResult InferencePipeline::run() {
         } else {
           core::PassiveExtractor extractor(contexts, relationships_,
                                            config_.passive);
+          extractor.set_sink(
+              [&queues, s](std::size_t ixp,
+                           std::vector<core::Observation>&& batch) {
+                queues[ixp]->push(s, std::move(batch));
+              },
+              config_.batch_size);
           switch (feed.kind) {
             case FeedKind::TableDump:
-              extractor.consume_table_dump(feed.archive);
+              extractor.consume_table_dump(*feed.archive);
               break;
             case FeedKind::UpdateStream:
-              extractor.consume_update_stream(feed.archive);
+              extractor.consume_update_stream(*feed.archive);
               break;
             case FeedKind::Paths:
               for (const RawPath& raw : feed.paths)
@@ -162,13 +191,8 @@ PipelineResult InferencePipeline::run() {
             case FeedKind::Preattributed:
               break;  // handled above
           }
+          extractor.finish();
           source_stats[s] = extractor.stats();
-          // Observations are keyed by IXP name; route each list to its
-          // registered queue (unknown names can only arise from contexts
-          // we supplied, so every key resolves).
-          for (auto& [name, observations] : extractor.take_observations())
-            push_batched(*queues[ixp_index_.at(name)], s,
-                         std::move(observations), config_.batch_size);
         }
       } catch (const std::exception& e) {
         error.record("source " + std::to_string(s) + ": " + e.what());
@@ -183,7 +207,13 @@ PipelineResult InferencePipeline::run() {
   for (std::size_t i = 0; i < n_ixps; ++i) {
     pool.submit([this, i, &queues, &result, &error] {
       try {
-        core::MlpInferenceEngine& engine = result.engines[i];
+        // Without keep_engines the engine is task-local: it is built,
+        // consumed and destroyed here, keeping its (large) teardown off
+        // the caller's thread and out of the result.
+        std::optional<core::MlpInferenceEngine> local;
+        core::MlpInferenceEngine& engine =
+            config_.keep_engines ? result.engines[i]
+                                 : local.emplace(ixps_[i].context);
         std::set<Asn> covered;
         std::vector<core::Observation> batch;
         while (queues[i]->pop(batch)) {
@@ -203,6 +233,7 @@ PipelineResult InferencePipeline::run() {
         }
         slot.links = engine.infer_links(config_.assume_open_for_unobserved);
         slot.stats = engine.stats(slot.links.size());
+        slot.observed_members = core::FlatAsnSet(engine.observed_members());
         slot.rejected_observations = engine.rejected_observations();
       } catch (const std::exception& e) {
         error.record("ixp " + std::to_string(i) + ": " + e.what());
@@ -216,23 +247,37 @@ PipelineResult InferencePipeline::run() {
 
   for (const core::PassiveStats& stats : source_stats)
     result.passive += stats;
+  // Union the per-IXP link sets through a sorted vector: sort + unique +
+  // hinted tail inserts are linear-ish, while inserting every element into
+  // a growing std::set pays a tree rebalance per link.
+  std::vector<AsLink> merged;
   for (const IxpResult& slot : result.per_ixp) {
     result.totals += slot.stats;
     result.total_active_queries += slot.active_queries;
-    result.all_links.insert(slot.links.begin(), slot.links.end());
+    merged.insert(merged.end(), slot.links.begin(), slot.links.end());
   }
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  for (const AsLink& link : merged)
+    result.all_links.insert(result.all_links.end(), link);
 
   if (irr_ != nullptr) {
-    core::FlatAsnSet members;
-    core::FlatAsnSet candidate_peers;
+    // Concatenate every IXP's contribution once and let the FlatAsnSet
+    // constructor sort+unique, instead of re-merging the accumulated set
+    // per IXP.
+    std::vector<Asn> member_pool;
+    std::vector<Asn> peer_pool;
     for (std::size_t i = 0; i < n_ixps; ++i) {
-      members = core::FlatAsnSet::set_union(
-          members, core::FlatAsnSet(result.engines[i].observed_members()));
-      candidate_peers = core::FlatAsnSet::set_union(
-          candidate_peers, ixps_[i].context.rs_members);
+      const auto& observed = result.per_ixp[i].observed_members;
+      member_pool.insert(member_pool.end(), observed.begin(),
+                         observed.end());
+      const auto& rs_members = ixps_[i].context.rs_members;
+      peer_pool.insert(peer_pool.end(), rs_members.begin(),
+                       rs_members.end());
     }
-    result.reciprocity = core::check_reciprocity(*irr_, members,
-                                                 candidate_peers);
+    result.reciprocity =
+        core::check_reciprocity(*irr_, core::FlatAsnSet(std::move(member_pool)),
+                                core::FlatAsnSet(std::move(peer_pool)));
   }
   return result;
 }

@@ -5,7 +5,10 @@
 // embarrassingly parallel shape this orchestrator exploits:
 //
 //   MRT archives / raw paths / pre-attributed observations   (sources)
-//        |  one PassiveExtractor task per source, in parallel
+//        |  one streaming PassiveExtractor task per source, in parallel;
+//        |  batches are pushed mid-decode (mrt::MrtCursor + sink mode),
+//        |  so decode overlaps inference and no task ever materializes a
+//        |  whole archive
 //        v
 //   per-IXP ObservationQueue (ordered by source index: deterministic)
 //        |  one consumer task per IXP, in parallel
@@ -24,6 +27,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -50,6 +54,11 @@ struct PipelineConfig {
   core::ActiveConfig active;
   /// Forwarded to MlpInferenceEngine::infer_links.
   bool assume_open_for_unobserved = false;
+  /// Keep the per-IXP engines in PipelineResult::engines for downstream
+  /// policy queries. Stats-and-links-only callers (the CLI, benchmarks)
+  /// can turn this off: each engine then lives and dies inside its
+  /// consumer task and the result carries no engine state.
+  bool keep_engines = true;
 };
 
 /// One decoded path observation (the third-party-LG feed).
@@ -65,6 +74,9 @@ struct IxpResult {
   std::string name;
   core::EngineStats stats;
   std::set<AsLink> links;
+  /// Members with at least one accepted observation (the engine's sorted
+  /// member index), available whether or not engines are kept.
+  core::FlatAsnSet observed_members;
   std::size_t active_queries = 0;
   std::size_t rejected_observations = 0;
 };
@@ -72,7 +84,8 @@ struct IxpResult {
 struct PipelineResult {
   std::vector<IxpResult> per_ixp;
   /// The engines themselves (policy_of etc. for downstream reports),
-  /// aligned with per_ixp.
+  /// aligned with per_ixp. Empty when PipelineConfig::keep_engines is
+  /// false.
   std::vector<core::MlpInferenceEngine> engines;
   /// Union of links over every IXP.
   std::set<AsLink> all_links;
@@ -100,8 +113,16 @@ class InferencePipeline {
   /// Queue a TABLE_DUMP_V2 archive for passive extraction.
   void add_table_dump(std::vector<std::uint8_t> archive);
 
+  /// Zero-copy overload: the pipeline borrows the shared buffer (e.g. one
+  /// archive fed to several pipelines, or an mmapped file wrapper).
+  void add_table_dump(std::shared_ptr<const std::vector<std::uint8_t>> archive);
+
   /// Queue a BGP4MP update archive (transient filtering applies).
   void add_update_stream(std::vector<std::uint8_t> archive);
+
+  /// Zero-copy overload of add_update_stream.
+  void add_update_stream(
+      std::shared_ptr<const std::vector<std::uint8_t>> archive);
 
   /// Queue already-decoded paths (e.g. gathered from member LGs); they run
   /// through the same attribution machinery as the archives.
@@ -142,7 +163,8 @@ class InferencePipeline {
 
   struct Feed {
     FeedKind kind = FeedKind::TableDump;
-    std::vector<std::uint8_t> archive;       // TableDump / UpdateStream
+    /// TableDump / UpdateStream bytes, shared so registration is zero-copy.
+    std::shared_ptr<const std::vector<std::uint8_t>> archive;
     std::vector<RawPath> paths;              // Paths
     std::size_t target_ixp = 0;              // Preattributed
     std::vector<core::Observation> observations;  // Preattributed

@@ -202,6 +202,164 @@ TEST(Passive, TransientAnnouncementsFiltered) {
   EXPECT_EQ(extractor.stats().observations, 2u);
 }
 
+TEST(Passive, SinkModeStreamsBatchesByDenseIndex) {
+  PassiveExtractor extractor(two_ixps(), nullptr);
+  std::vector<std::pair<std::size_t, std::size_t>> batches;  // (ixp, size)
+  std::size_t during_consume = 0;
+  extractor.set_sink(
+      [&](std::size_t ixp, std::vector<Observation>&& batch) {
+        batches.emplace_back(ixp, batch.size());
+      },
+      /*batch_size=*/2);
+
+  // Three DE-CIX (dense index 0) observations: a full batch of 2 must be
+  // emitted while input is still being consumed, the remainder on
+  // finish().
+  for (int i = 0; i < 3; ++i) {
+    extractor.consume_path(bgp::AsPath({5, 10, 20}), pfx("10.0.0.0/16"),
+                           {Community(6695, 6695)});
+    if (i == 1) during_consume = batches.size();
+  }
+  EXPECT_EQ(during_consume, 1u);  // emitted mid-stream, not at the end
+  // One MSK-IX (dense index 1) observation stays below the batch size.
+  extractor.consume_path(bgp::AsPath({5, 10, 20}), pfx("10.1.0.0/16"),
+                         {Community(8631, 8631)});
+  extractor.finish();
+
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0], (std::pair<std::size_t, std::size_t>{0, 2}));
+  EXPECT_EQ(batches[1], (std::pair<std::size_t, std::size_t>{0, 1}));
+  EXPECT_EQ(batches[2], (std::pair<std::size_t, std::size_t>{1, 1}));
+  EXPECT_EQ(extractor.stats().observations, 4u);
+  // The accumulate-mode accessors are off limits in streaming mode.
+  EXPECT_THROW(extractor.observations(), InvalidArgument);
+}
+
+TEST(Passive, IncrementalUpdatesMatchArchiveConsumption) {
+  // consume_update fed message by message must equal consume_update_stream
+  // over the serialized archive (same announce-window, same flush).
+  PassiveConfig config;
+  config.min_duration_s = 600;
+
+  std::vector<mrt::ObservedUpdate> updates;
+  auto announce = [&](std::uint32_t t, const std::string& prefix) {
+    mrt::ObservedUpdate u;
+    u.timestamp = t;
+    u.peer_asn = 5;
+    u.update.nlri = {pfx(prefix)};
+    u.update.attrs.as_path = bgp::AsPath({5, 10, 20});
+    u.update.attrs.next_hop = 1;
+    u.update.attrs.communities = {Community(6695, 6695)};
+    updates.push_back(std::move(u));
+  };
+  auto withdraw = [&](std::uint32_t t, const std::string& prefix) {
+    mrt::ObservedUpdate u;
+    u.timestamp = t;
+    u.peer_asn = 5;
+    u.update.withdrawn = {pfx(prefix)};
+    updates.push_back(std::move(u));
+  };
+  announce(1000, "10.0.0.0/16");
+  withdraw(1100, "10.0.0.0/16");   // transient
+  announce(1000, "10.1.0.0/16");
+  withdraw(3000, "10.1.0.0/16");   // stable
+  announce(2000, "10.2.0.0/16");
+  announce(2100, "10.2.0.0/16");   // fast re-announcement: transient
+  announce(5000, "10.3.0.0/16");   // standing at end: stable
+
+  PassiveExtractor streamed(two_ixps(), nullptr, config);
+  const auto archive = mrt::dump_updates(updates, 65000, 1);
+  streamed.consume_update_stream(archive);
+
+  PassiveExtractor incremental(two_ixps(), nullptr, config);
+  for (const auto& u : updates)
+    incremental.consume_update(u.timestamp, u.peer_asn, u.update);
+  incremental.finish();
+
+  EXPECT_EQ(streamed.stats().paths_transient,
+            incremental.stats().paths_transient);
+  EXPECT_EQ(streamed.stats().observations, incremental.stats().observations);
+  EXPECT_EQ(streamed.stats().paths_seen, incremental.stats().paths_seen);
+  EXPECT_EQ(incremental.stats().paths_transient, 2u);
+  EXPECT_EQ(incremental.stats().observations, 3u);
+}
+
+TEST(Passive, UpdateStreamToleratesOrphanedRibRecord) {
+  // A stray TABLE_DUMP_V2 record (even one with no preceding peer table)
+  // must not abort an update ingest, matching the old parse_updates
+  // tolerance.
+  mrt::MrtWriter w;
+  mrt::RibRecord orphan;
+  orphan.sequence = 1;
+  orphan.prefix = pfx("10.9.0.0/16");
+  w.write_rib(1, orphan);
+  mrt::Bgp4mpMessage m;
+  m.peer_asn = 5;
+  m.local_asn = 65000;
+  m.four_octet_as = true;
+  m.update.nlri = {pfx("10.0.0.0/16")};
+  m.update.attrs.as_path = bgp::AsPath({5, 10, 20});
+  m.update.attrs.next_hop = 1;
+  m.update.attrs.communities = {Community(6695, 6695)};
+  w.write_bgp4mp(2, m);
+
+  PassiveExtractor extractor(two_ixps(), nullptr);
+  extractor.consume_update_stream(w.data());
+  EXPECT_EQ(extractor.stats().observations, 1u);
+}
+
+TEST(Passive, BoundedAnnounceWindowEvictsOldest) {
+  PassiveConfig config;
+  config.min_duration_s = 600;
+  config.max_pending_announcements = 2;
+  PassiveExtractor extractor(two_ixps(), nullptr, config);
+
+  bgp::UpdateMessage announce;
+  announce.attrs.as_path = bgp::AsPath({5, 10, 20});
+  announce.attrs.next_hop = 1;
+  announce.attrs.communities = {Community(6695, 6695)};
+
+  // Three standing announcements with a window of two: the oldest is
+  // evicted through the age test at the third announcement's timestamp.
+  announce.nlri = {pfx("10.0.0.0/16")};
+  extractor.consume_update(1000, 5, announce);
+  announce.nlri = {pfx("10.1.0.0/16")};
+  extractor.consume_update(1100, 5, announce);
+  announce.nlri = {pfx("10.2.0.0/16")};
+  extractor.consume_update(2000, 5, announce);
+  // 10.0/16 was evicted at t=2000 with age 1000 >= 600: stable.
+  EXPECT_EQ(extractor.stats().observations, 1u);
+  EXPECT_EQ(extractor.stats().paths_transient, 0u);
+
+  // A fourth announcement 100s later evicts 10.1/16 at age 1000: stable
+  // again; then one 10s later evicts 10.2/16 at age 110 < 600: transient.
+  announce.nlri = {pfx("10.3.0.0/16")};
+  extractor.consume_update(2100, 5, announce);
+  EXPECT_EQ(extractor.stats().observations, 2u);
+  announce.nlri = {pfx("10.4.0.0/16")};
+  extractor.consume_update(2110, 5, announce);
+  EXPECT_EQ(extractor.stats().paths_transient, 1u);
+
+  // The two survivors flush as stable at end of stream.
+  extractor.finish();
+  EXPECT_EQ(extractor.stats().observations, 4u);
+  EXPECT_EQ(extractor.stats().paths_transient, 1u);
+}
+
+TEST(Passive, TakeObservationsDrainsAndViewRebuilds) {
+  PassiveExtractor extractor(two_ixps(), nullptr);
+  extractor.consume_path(bgp::AsPath({5, 10, 20}), pfx("10.0.0.0/16"),
+                         {Community(6695, 6695)});
+  EXPECT_EQ(extractor.observations().at("DE-CIX").size(), 1u);
+  // More input after a read: the lazily-built view must refresh.
+  extractor.consume_path(bgp::AsPath({5, 10, 20}), pfx("10.1.0.0/16"),
+                         {Community(6695, 6695)});
+  EXPECT_EQ(extractor.observations().at("DE-CIX").size(), 2u);
+  auto taken = extractor.take_observations();
+  EXPECT_EQ(taken.at("DE-CIX").size(), 2u);
+  EXPECT_TRUE(extractor.observations().empty());
+}
+
 TEST(Passive, MultipleStrongAttributionsBothRecorded) {
   // A route carrying both IXPs' ALL values (member of both, tagging all
   // sessions identically): each IXP receives an observation.

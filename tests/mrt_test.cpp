@@ -1,9 +1,11 @@
-// Tests for the MRT (RFC 6396) codec and the RIB <-> archive conversions.
+// Tests for the MRT (RFC 6396) codec, the RIB <-> archive conversions,
+// and the streaming MrtCursor (record equivalence with decode_all).
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <filesystem>
 
+#include "mrt/cursor.hpp"
 #include "mrt/mrt.hpp"
 #include "mrt/table_dump.hpp"
 #include "util/errors.hpp"
@@ -150,6 +152,240 @@ TEST(Mrt, EmptyStream) {
   std::vector<std::uint8_t> empty;
   MrtReader reader(empty);
   EXPECT_FALSE(reader.next());
+}
+
+// --------------------------------------------------------- cursor
+
+bgp::Rib sample_rib();  // defined with the table_dump tests below
+
+/// Flatten what the streaming cursor yields so it can be compared against
+/// the decode_all materialization of the same bytes.
+struct CursorDump {
+  struct Entry {
+    std::uint32_t timestamp;
+    std::uint32_t sequence;
+    std::uint32_t originated_time;
+    bgp::Asn peer_asn;
+    std::uint32_t peer_ip;
+    IpPrefix prefix;
+    bgp::PathAttributes attrs;
+  };
+  struct Update {
+    std::uint32_t timestamp;
+    bgp::Asn peer_asn;
+    std::uint32_t peer_ip;
+    bgp::UpdateMessage message;
+  };
+  std::vector<Entry> entries;
+  std::vector<Update> updates;
+  std::size_t skipped = 0;
+};
+
+CursorDump walk_cursor(std::span<const std::uint8_t> data) {
+  CursorDump dump;
+  MrtCursor cursor(data);
+  for (;;) {
+    const auto event = cursor.next();
+    if (event == MrtCursor::Event::End) break;
+    if (event == MrtCursor::Event::RibEntry) {
+      const auto& v = cursor.rib_entry();
+      dump.entries.push_back({v.timestamp, v.sequence, v.originated_time,
+                              v.peer_asn, v.peer_ip, *v.prefix, *v.attrs});
+    } else {
+      const auto& v = cursor.update();
+      dump.updates.push_back(
+          {v.timestamp, v.peer_asn, v.peer_ip, *v.update});
+    }
+  }
+  dump.skipped = cursor.skipped();
+  return dump;
+}
+
+/// A mixed archive covering every record shape the cursor handles:
+/// multi-entry RIB records, a prefix with no paths, an unknown record
+/// type, and BGP4MP updates (AS4 and AS2) interleaved after the table.
+std::vector<std::uint8_t> mixed_archive() {
+  MrtWriter w;
+  w.write_peer_index(1, sample_peers());
+  w.write_rib(2, sample_rib_record());
+  RibRecord empty;
+  empty.sequence = 8;
+  empty.prefix = *IpPrefix::parse("10.99.0.0/16");
+  w.write_rib(3, empty);
+
+  ByteWriter raw;
+  raw.bytes(w.data());
+  raw.u32(4);    // timestamp
+  raw.u16(99);   // unknown type
+  raw.u16(1);    // subtype
+  raw.u32(4);    // length
+  raw.u32(0xdeadbeef);
+
+  MrtWriter tail;
+  Bgp4mpMessage m4;
+  m4.peer_asn = 196608;
+  m4.local_asn = 6447;
+  m4.peer_ip = 0x01020304;
+  m4.local_ip = 0x05060708;
+  m4.four_octet_as = true;
+  m4.update.nlri = {*IpPrefix::parse("10.0.0.0/8")};
+  m4.update.attrs.as_path = AsPath({196608, 15169});
+  m4.update.attrs.next_hop = 0x01020304;
+  m4.update.attrs.communities = {Community(0, 6695)};
+  tail.write_bgp4mp(5, m4);
+  Bgp4mpMessage m2;
+  m2.peer_asn = 6695;
+  m2.local_asn = 6447;
+  m2.four_octet_as = false;
+  m2.update.withdrawn = {*IpPrefix::parse("10.0.0.0/8")};
+  tail.write_bgp4mp(6, m2);
+  RibRecord more = sample_rib_record();
+  more.sequence = 9;
+  more.prefix = *IpPrefix::parse("10.77.0.0/16");
+  tail.write_rib(7, more);
+  raw.bytes(tail.data());
+  return raw.take();
+}
+
+TEST(MrtCursor, MatchesDecodeAllOnMixedStream) {
+  const auto archive = mixed_archive();
+  const auto dump = walk_cursor(archive);
+
+  // Reference: materialize every record, then flatten RIB records through
+  // the peer table exactly as the cursor does.
+  MrtReader reader(archive);
+  const PeerIndexTable* peers = nullptr;
+  PeerIndexTable table;
+  std::vector<CursorDump::Entry> want_entries;
+  std::vector<CursorDump::Update> want_updates;
+  while (auto record = reader.next()) {
+    if (auto* pit = std::get_if<PeerIndexTable>(&record->body)) {
+      table = std::move(*pit);
+      peers = &table;
+    } else if (auto* rib = std::get_if<RibRecord>(&record->body)) {
+      ASSERT_NE(peers, nullptr);
+      for (const auto& entry : rib->entries) {
+        ASSERT_LT(entry.peer_index, peers->peers.size());
+        const PeerEntry& peer = peers->peers[entry.peer_index];
+        want_entries.push_back({record->timestamp, rib->sequence,
+                                entry.originated_time, peer.asn, peer.ip,
+                                rib->prefix, entry.attrs});
+      }
+    } else if (auto* msg = std::get_if<Bgp4mpMessage>(&record->body)) {
+      want_updates.push_back({record->timestamp, msg->peer_asn,
+                              msg->peer_ip, msg->update});
+    }
+  }
+  EXPECT_EQ(reader.skipped(), dump.skipped);
+
+  ASSERT_EQ(dump.entries.size(), want_entries.size());
+  for (std::size_t i = 0; i < want_entries.size(); ++i) {
+    EXPECT_EQ(dump.entries[i].timestamp, want_entries[i].timestamp);
+    EXPECT_EQ(dump.entries[i].sequence, want_entries[i].sequence);
+    EXPECT_EQ(dump.entries[i].originated_time,
+              want_entries[i].originated_time);
+    EXPECT_EQ(dump.entries[i].peer_asn, want_entries[i].peer_asn);
+    EXPECT_EQ(dump.entries[i].peer_ip, want_entries[i].peer_ip);
+    EXPECT_EQ(dump.entries[i].prefix, want_entries[i].prefix);
+    EXPECT_EQ(dump.entries[i].attrs, want_entries[i].attrs) << "entry " << i;
+  }
+  ASSERT_EQ(dump.updates.size(), want_updates.size());
+  for (std::size_t i = 0; i < want_updates.size(); ++i) {
+    EXPECT_EQ(dump.updates[i].timestamp, want_updates[i].timestamp);
+    EXPECT_EQ(dump.updates[i].peer_asn, want_updates[i].peer_asn);
+    EXPECT_EQ(dump.updates[i].peer_ip, want_updates[i].peer_ip);
+    EXPECT_EQ(dump.updates[i].message, want_updates[i].message)
+        << "update " << i;
+  }
+}
+
+TEST(MrtCursor, MatchesParseRibOnCollectorArchive) {
+  // A dump_rib archive streamed through the cursor yields exactly the
+  // paths parse_rib materializes, in the same (prefix-sorted) order.
+  const bgp::Rib rib = sample_rib();
+  const auto archive = dump_rib(rib, 1367366400, 1, "bview");
+  const auto dump = walk_cursor(archive);
+  const bgp::Rib parsed = parse_rib(archive);
+
+  std::size_t i = 0;
+  for (const auto& prefix : parsed.prefixes()) {
+    for (const auto& entry : parsed.paths(prefix)) {
+      ASSERT_LT(i, dump.entries.size());
+      EXPECT_EQ(dump.entries[i].prefix, prefix);
+      EXPECT_EQ(dump.entries[i].peer_asn, entry.peer_asn);
+      EXPECT_EQ(dump.entries[i].attrs, entry.route.attrs);
+      ++i;
+    }
+  }
+  EXPECT_EQ(i, dump.entries.size());
+}
+
+TEST(MrtCursor, RibEntryBeforePeerIndexThrows) {
+  MrtWriter w;
+  w.write_rib(2, sample_rib_record());
+  MrtCursor cursor(w.data());
+  EXPECT_THROW(cursor.next(), ParseError);
+}
+
+TEST(MrtCursor, OutOfRangePeerIndexThrows) {
+  MrtWriter w;
+  PeerIndexTable small;
+  small.peers = {PeerEntry{1, 1, 6695, true}};
+  w.write_peer_index(1, small);
+  w.write_rib(2, sample_rib_record());  // references peer index 2
+  MrtCursor cursor(w.data());
+  EXPECT_THROW(
+      {
+        while (cursor.next() != MrtCursor::Event::End) {
+        }
+      },
+      ParseError);
+}
+
+TEST(MrtCursor, SkipTableDumpV2StepsOverOrphanedRibRecords) {
+  // An update consumer must tolerate a stray RIB record with no peer
+  // table (parse_updates never resolved RIB records); Skip::TableDumpV2
+  // steps over the whole family without decoding it.
+  MrtWriter w;
+  w.write_rib(1, sample_rib_record());  // orphaned: no PEER_INDEX_TABLE
+  Bgp4mpMessage m;
+  m.peer_asn = 6695;
+  m.local_asn = 6447;
+  m.four_octet_as = true;
+  m.update.nlri = {*IpPrefix::parse("10.0.0.0/8")};
+  m.update.attrs.as_path = AsPath({6695, 15169});
+  m.update.attrs.next_hop = 1;
+  w.write_bgp4mp(2, m);
+
+  MrtCursor strict(w.data());
+  EXPECT_THROW(strict.next(), ParseError);
+
+  MrtCursor tolerant(w.data(), MrtCursor::Skip::TableDumpV2);
+  ASSERT_EQ(tolerant.next(), MrtCursor::Event::Update);
+  EXPECT_EQ(tolerant.update().peer_asn, 6695u);
+  EXPECT_EQ(tolerant.next(), MrtCursor::Event::End);
+}
+
+TEST(MrtCursor, EmptyStream) {
+  std::vector<std::uint8_t> empty;
+  MrtCursor cursor(empty);
+  EXPECT_EQ(cursor.next(), MrtCursor::Event::End);
+  EXPECT_EQ(cursor.next(), MrtCursor::Event::End);  // idempotent at end
+}
+
+TEST(MrtCursor, ScratchViewsAreOverwrittenPerEvent) {
+  // Two RIB entries with different attribute sets: the view must reflect
+  // the current entry only (the scratch buffers are reused, so leftover
+  // state from a richer earlier record must not leak forward).
+  MrtWriter w;
+  w.write_peer_index(1, sample_peers());
+  RibRecord rich = sample_rib_record();  // entry 0 has two communities
+  w.write_rib(2, rich);
+  const auto dump = walk_cursor(w.data());
+  ASSERT_EQ(dump.entries.size(), 2u);
+  EXPECT_EQ(dump.entries[0].attrs.communities.size(), 2u);
+  EXPECT_TRUE(dump.entries[1].attrs.communities.empty());
+  EXPECT_FALSE(dump.entries[1].attrs.has_med);
 }
 
 // --------------------------------------------------------- table_dump

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <iterator>
+#include <map>
 #include <thread>
 
 #include "core/passive.hpp"
@@ -336,6 +338,146 @@ TEST(Pipeline, BatchSizeDoesNotChangeResults) {
     pb.add_table_dump(collector.table_dump(1367366400));
 
   EXPECT_EQ(pa.run().all_links, pb.run().all_links);
+}
+
+TEST(Pipeline, StreamedIngestMatchesPerSourceFlushReference) {
+  // The streamed ingest path (batches pushed mid-decode) must reproduce
+  // the pre-streaming contract byte for byte: extract every source fully,
+  // flush its observations per IXP in source order, feed each IXP's
+  // engine that concatenation. Any thread count and any batch size must
+  // match the reference exactly.
+  scenario::Scenario s(small_params());
+  const auto rels = topology::infer_relationships(s.collector_paths());
+  std::vector<std::vector<std::uint8_t>> archives;
+  for (auto& collector : s.collectors())
+    archives.push_back(collector.table_dump(1367366400));
+
+  // Reference: one extractor per source, materialized per-source flush.
+  std::vector<std::set<bgp::AsLink>> want_links;
+  {
+    std::map<std::string, std::vector<core::Observation>> per_ixp;
+    for (const auto& archive : archives) {
+      core::PassiveExtractor extractor(s.ixp_contexts(), rels.rel_fn());
+      extractor.consume_table_dump(archive);
+      for (auto& [name, observations] : extractor.take_observations()) {
+        auto& sink = per_ixp[name];
+        sink.insert(sink.end(),
+                    std::make_move_iterator(observations.begin()),
+                    std::make_move_iterator(observations.end()));
+      }
+    }
+    for (std::size_t i = 0; i < s.ixps().size(); ++i) {
+      core::MlpInferenceEngine engine(s.ixp_context(i));
+      auto it = per_ixp.find(s.ixp_context(i).name);
+      if (it != per_ixp.end())
+        for (const auto& observation : it->second) engine.add(observation);
+      want_links.push_back(engine.infer_links());
+    }
+  }
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const std::size_t batch :
+         {std::size_t{1}, std::size_t{7}, std::size_t{100000}}) {
+      PipelineConfig config;
+      config.threads = threads;
+      config.batch_size = batch;
+      InferencePipeline pipe(config);
+      for (std::size_t i = 0; i < s.ixps().size(); ++i)
+        pipe.add_ixp(s.ixp_context(i));
+      pipe.set_relationships(rels.rel_fn());
+      for (const auto& archive : archives) pipe.add_table_dump(archive);
+      const auto result = pipe.run();
+      ASSERT_EQ(result.per_ixp.size(), want_links.size());
+      for (std::size_t i = 0; i < want_links.size(); ++i)
+        EXPECT_EQ(result.per_ixp[i].links, want_links[i])
+            << "ixp " << i << " threads " << threads << " batch " << batch;
+    }
+  }
+}
+
+TEST(Pipeline, UpdateStreamIngestDeterministicAcrossConfigs) {
+  // The BGP4MP live path end to end: the same update archives must yield
+  // byte-identical link sets for any thread count and batch size, and
+  // match a sequential extractor running the same announce-window.
+  scenario::Scenario s(small_params());
+  std::vector<std::vector<std::uint8_t>> archives;
+  for (auto& collector : s.collectors())
+    archives.push_back(collector.update_dump(1367366400));
+
+  core::PassiveConfig passive;
+  passive.min_duration_s = 600;
+
+  auto run_with = [&](std::size_t threads, std::size_t batch) {
+    PipelineConfig config;
+    config.threads = threads;
+    config.batch_size = batch;
+    config.passive = passive;
+    InferencePipeline pipe(config);
+    for (std::size_t i = 0; i < s.ixps().size(); ++i)
+      pipe.add_ixp(s.ixp_context(i));
+    for (const auto& archive : archives) pipe.add_update_stream(archive);
+    return pipe.run();
+  };
+
+  const auto base = run_with(1, 256);
+  EXPECT_FALSE(base.all_links.empty());
+
+  core::PassiveStats sequential_stats;
+  {
+    core::PassiveStats merged;
+    for (const auto& archive : archives) {
+      core::PassiveExtractor extractor(s.ixp_contexts(), nullptr, passive);
+      extractor.consume_update_stream(archive);
+      merged += extractor.stats();
+    }
+    sequential_stats = merged;
+  }
+  EXPECT_EQ(base.passive.paths_seen, sequential_stats.paths_seen);
+  EXPECT_EQ(base.passive.observations, sequential_stats.observations);
+  EXPECT_EQ(base.passive.paths_transient, sequential_stats.paths_transient);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{512}}) {
+      const auto result = run_with(threads, batch);
+      EXPECT_EQ(result.all_links, base.all_links)
+          << "threads " << threads << " batch " << batch;
+      ASSERT_EQ(result.per_ixp.size(), base.per_ixp.size());
+      for (std::size_t i = 0; i < base.per_ixp.size(); ++i)
+        EXPECT_EQ(result.per_ixp[i].links, base.per_ixp[i].links);
+    }
+  }
+}
+
+TEST(Pipeline, KeepEnginesOffMatchesDefault) {
+  // keep_engines=false must change only what the result carries, never
+  // what it contains.
+  scenario::Scenario sa(small_params());
+  scenario::Scenario sb(small_params());
+  auto run_with = [](scenario::Scenario& s, bool keep) {
+    PipelineConfig config;
+    config.threads = 2;
+    config.keep_engines = keep;
+    InferencePipeline pipe(config);
+    for (std::size_t i = 0; i < s.ixps().size(); ++i)
+      pipe.add_ixp(s.ixp_context(i));
+    for (auto& collector : s.collectors())
+      pipe.add_table_dump(collector.table_dump(1367366400));
+    return pipe.run();
+  };
+  const auto with = run_with(sa, true);
+  const auto without = run_with(sb, false);
+  EXPECT_EQ(with.engines.size(), with.per_ixp.size());
+  EXPECT_TRUE(without.engines.empty());
+  EXPECT_EQ(with.all_links, without.all_links);
+  ASSERT_EQ(with.per_ixp.size(), without.per_ixp.size());
+  for (std::size_t i = 0; i < with.per_ixp.size(); ++i) {
+    EXPECT_EQ(with.per_ixp[i].links, without.per_ixp[i].links);
+    EXPECT_EQ(with.per_ixp[i].observed_members,
+              without.per_ixp[i].observed_members);
+    // The kept engine agrees with the per-IXP observed-member product.
+    EXPECT_EQ(core::FlatAsnSet(with.engines[i].observed_members()),
+              with.per_ixp[i].observed_members);
+  }
 }
 
 TEST(Pipeline, ReciprocityPassRunsWhenIrrAttached) {
