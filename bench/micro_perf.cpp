@@ -25,10 +25,13 @@
 #include "core/passive.hpp"
 #include "mrt/cursor.hpp"
 #include "mrt/table_dump.hpp"
+#include "pipeline/live_session.hpp"
 #include "pipeline/pipeline.hpp"
 #include "propagation/routing.hpp"
 #include "routeserver/export_policy.hpp"
 #include "scenario/scenario.hpp"
+#include "stream/decoder.hpp"
+#include "stream/framer.hpp"
 #include "topology/generator.hpp"
 #include "topology/relationship_inference.hpp"
 #include "util/rng.hpp"
@@ -480,6 +483,80 @@ void BM_UpdateStreamIngest(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_UpdateStreamIngest)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_LiveFraming(benchmark::State& state) {
+  // Frame + decode a live byte stream chunk by chunk (64 KiB reads, the
+  // CLI's follow-mode shape). peak_heap_growth_B staying flat across the
+  // Arg sizes is the no-backlog-materialization check: the framer holds
+  // one partial record, the decoder reuses its scratch.
+  const PassiveFixture fixture(static_cast<std::size_t>(state.range(0)));
+  const auto data = fixture.updates_archive();
+  constexpr std::size_t kChunk = 65536;
+  std::size_t updates = 0;
+  auto framed_pass = [&] {
+    stream::MrtFramer framer;
+    stream::UpdateDecoder decoder;
+    for (std::size_t at = 0; at < data.size(); at += kChunk) {
+      framer.feed(std::span<const std::uint8_t>(
+          data.data() + at, std::min(kChunk, data.size() - at)));
+      for (;;) {
+        const auto record = framer.next();
+        if (!record) break;
+        if (decoder.decode(*record) != nullptr) ++updates;
+      }
+    }
+    benchmark::DoNotOptimize(framer.records());
+  };
+  // One untimed armed pass for the memory counter, then a disarmed timed
+  // loop (see BM_PassiveExtraction).
+  long long peak_growth = 0;
+  {
+    const long long base = alloc_tracker::arm_window();
+    framed_pass();
+    peak_growth = alloc_tracker::disarm_window(base);
+  }
+  for (auto _ : state) framed_pass();
+  benchmark::DoNotOptimize(updates);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+  state.counters["peak_heap_growth_B"] = static_cast<double>(peak_growth);
+  state.counters["stream_B"] = static_cast<double>(data.size());
+}
+// 5000 -> 20000 quintuples the byte stream; the flat peak_heap_growth_B
+// between them (the buffer converges to ~2 chunks once the vector's
+// growth settles) is the no-backlog evidence for the live path.
+BENCHMARK(BM_LiveFraming)->Arg(1000)->Arg(5000)->Arg(20000);
+
+void BM_LiveSessionSnapshot(benchmark::State& state) {
+  // The follow-mode hot loop: LiveSession ingest in 64 KiB chunks with a
+  // cheap count_links snapshot after every chunk. Snapshot cost rides on
+  // the engine's popcount path, so per-chunk snapshots must not dominate
+  // ingest.
+  const PassiveFixture fixture(5000);
+  const auto data = fixture.updates_archive();
+  constexpr std::size_t kChunk = 65536;
+  std::size_t snapshots = 0;
+  std::size_t links = 0;
+  for (auto _ : state) {
+    pipeline::LiveConfig config;
+    config.threads = 2;
+    config.passive.max_pending_announcements = 1024;  // live surfacing
+    pipeline::LiveSession session(config, fixture.ixps);
+    for (std::size_t at = 0; at < data.size(); at += kChunk) {
+      session.feed(std::span<const std::uint8_t>(
+          data.data() + at, std::min(kChunk, data.size() - at)));
+      const auto snap = session.snapshot();
+      for (const std::size_t count : snap.links_per_ixp) links += count;
+      ++snapshots;
+    }
+    auto result = session.finish();
+    benchmark::DoNotOptimize(result.all_links.size());
+  }
+  benchmark::DoNotOptimize(links);
+  state.SetItemsProcessed(static_cast<std::int64_t>(snapshots));
+  state.counters["stream_B"] = static_cast<double>(data.size());
+}
+BENCHMARK(BM_LiveSessionSnapshot)->Unit(benchmark::kMillisecond);
 
 void BM_PipelineRun(benchmark::State& state) {
   // End-to-end InferencePipeline::run over a small synthetic ecosystem:

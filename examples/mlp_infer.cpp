@@ -1,6 +1,6 @@
 // mlp_infer: end-to-end multilateral-peering inference from MRT archives.
 //
-// Two subcommands:
+// Three subcommands:
 //
 //   mlp_infer gen --out DIR [--seed S] [--ases N] [--updates]
 //     Build the synthetic ecosystem and write its collector RIB snapshots
@@ -20,6 +20,16 @@
 //     --updates the archives are BGP4MP update streams ingested through
 //     the transient-filtering announce-window (pair with --min-duration).
 //
+//   mlp_infer follow --config FILE [--threads N] [--batch N]
+//                    [--min-duration S] [--assume-open] [--tolerant]
+//                    [--snapshot-every N] [--listen PORT] [FILE]
+//     Live mode: frame a BGP4MP update feed incrementally (stdin by
+//     default, a TCP loopback socket with --listen, or FILE) and drive
+//     the inference engines message-by-message, printing a cheap
+//     link-count snapshot every N records and the full summary at end of
+//     stream. --tolerant skips malformed records (counted) instead of
+//     aborting. `infer --follow` is an alias.
+//
 // Typical round trips:
 //   mlp_infer gen --out /tmp/mlp
 //   mlp_infer infer --config /tmp/mlp/ixps.conf --threads 4 /tmp/mlp/*.mrt
@@ -27,20 +37,29 @@
 //   mlp_infer gen --out /tmp/mlp --updates
 //   mlp_infer infer --config /tmp/mlp/ixps.conf --updates
 //       --min-duration 600 /tmp/mlp/*-updates.mrt   (one line)
+//
+//   cat /tmp/mlp/*-updates.mrt | mlp_infer follow
+//       --config /tmp/mlp/ixps.conf --min-duration 600   (one line)
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "mrt/cursor.hpp"
 #include "mrt/table_dump.hpp"
 #include "pipeline/ixp_config.hpp"
+#include "pipeline/live_session.hpp"
 #include "pipeline/pipeline.hpp"
 #include "scenario/scenario.hpp"
+#include "stream/source.hpp"
 #include "topology/relationship_inference.hpp"
 #include "util/errors.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
@@ -52,8 +71,32 @@ int usage() {
       "usage: mlp_infer gen --out DIR [--seed S] [--ases N] [--updates]\n"
       "       mlp_infer infer --config FILE [--threads N] [--batch N]\n"
       "                       [--min-duration S] [--assume-open] [--no-rels]\n"
-      "                       [--updates] ARCHIVE.mrt...\n");
+      "                       [--updates] ARCHIVE.mrt...\n"
+      "       mlp_infer follow --config FILE [--threads N] [--batch N]\n"
+      "                        [--min-duration S] [--assume-open]\n"
+      "                        [--tolerant] [--window N]\n"
+      "                        [--snapshot-every N] [--listen PORT]\n"
+      "                        [FILE]   (default: stdin)\n");
   return 2;
+}
+
+/// Shared tail of `infer` and `follow`: the merged passive stats, the
+/// per-IXP table and the global link count, in one format so the two
+/// modes can be diffed against each other.
+void print_summary(const core::PassiveStats& stats,
+                   const std::vector<pipeline::IxpResult>& per_ixp,
+                   std::size_t all_links) {
+  std::printf("\npaths seen %zu | dirty %zu | no RS values %zu | ambiguous "
+              "%zu | no setter %zu | observations %zu\n\n",
+              stats.paths_seen, stats.paths_dirty, stats.paths_no_rs_values,
+              stats.paths_ambiguous_ixp, stats.paths_no_setter,
+              stats.observations);
+  std::printf("%-10s %8s %8s %8s\n", "IXP", "members", "covered", "links");
+  for (const auto& ixp : per_ixp)
+    std::printf("%-10s %8zu %8zu %8zu\n", ixp.name.c_str(),
+                ixp.stats.rs_members, ixp.stats.observed_members,
+                ixp.links.size());
+  std::printf("\nunique multilateral links: %zu\n", all_links);
 }
 
 std::vector<std::uint8_t> read_file(const std::string& path) {
@@ -122,7 +165,13 @@ int run_gen(int argc, char** argv) {
   return 0;
 }
 
+int run_follow(int argc, char** argv);
+
 int run_infer(int argc, char** argv) {
+  // `infer --follow` is an alias for the follow subcommand (the flag
+  // itself is tolerated and ignored by run_follow's parser).
+  for (int i = 0; i < argc; ++i)
+    if (std::strcmp(argv[i], "--follow") == 0) return run_follow(argc, argv);
   std::string config_path;
   std::vector<std::string> archives;
   pipeline::PipelineConfig config;
@@ -236,20 +285,115 @@ int run_infer(int argc, char** argv) {
   }
 
   const auto result = pipe.run();
+  print_summary(result.passive, result.per_ixp, result.all_links.size());
+  return 0;
+}
 
-  const auto& stats = result.passive;
-  std::printf("\npaths seen %zu | dirty %zu | no RS values %zu | ambiguous "
-              "%zu | no setter %zu | observations %zu\n\n",
-              stats.paths_seen, stats.paths_dirty, stats.paths_no_rs_values,
-              stats.paths_ambiguous_ixp, stats.paths_no_setter,
-              stats.observations);
+int run_follow(int argc, char** argv) {
+  std::string config_path;
+  std::string input_path;
+  pipeline::LiveConfig config;
+  std::uint64_t snapshot_every = 0;
+  long listen_port = -1;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--config" && i + 1 < argc) {
+      config_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      config.threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--batch" && i + 1 < argc) {
+      config.batch_size = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--min-duration" && i + 1 < argc) {
+      config.passive.min_duration_s =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--assume-open") {
+      config.assume_open_for_unobserved = true;
+    } else if (arg == "--tolerant") {
+      config.passive.tolerate_malformed = true;
+    } else if (arg == "--window" && i + 1 < argc) {
+      // Cap the announce-window: stable announcements then surface
+      // continuously through FIFO eviction instead of only at end of
+      // stream, so mid-stream snapshots track the live link set.
+      config.passive.max_pending_announcements =
+          std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--snapshot-every" && i + 1 < argc) {
+      snapshot_every = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--listen" && i + 1 < argc) {
+      const auto port = parse_u32(argv[++i]);
+      if (!port || *port == 0 || *port > 65535) return usage();
+      listen_port = static_cast<long>(*port);
+    } else if (arg == "--follow") {
+      // tolerated so `infer --follow ...` forwards verbatim
+    } else if (!arg.empty() && arg.front() == '-' && arg != "-") {
+      return usage();
+    } else if (input_path.empty()) {
+      input_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (config_path.empty()) return usage();
+  // A FILE operand and --listen name two different feeds: refuse the
+  // ambiguity instead of silently ignoring one.
+  if (listen_port >= 0 && !input_path.empty()) return usage();
 
-  std::printf("%-10s %8s %8s %8s\n", "IXP", "members", "covered", "links");
-  for (const auto& per_ixp : result.per_ixp)
-    std::printf("%-10s %8zu %8zu %8zu\n", per_ixp.name.c_str(),
-                per_ixp.stats.rs_members, per_ixp.stats.observed_members,
-                per_ixp.links.size());
-  std::printf("\nunique multilateral links: %zu\n", result.all_links.size());
+  const auto config_bytes = read_file(config_path);
+  auto contexts = pipeline::parse_ixp_configs(
+      std::string(config_bytes.begin(), config_bytes.end()));
+  std::fprintf(stderr, "%zu IXPs configured from %s\n", contexts.size(),
+               config_path.c_str());
+
+  // In live mode no relationship baseline can be prescanned from the
+  // input (setter case 3 then fails as "no setter", matching
+  // `infer --updates --no-rels`).
+  std::vector<std::string> names;
+  names.reserve(contexts.size());
+  for (const auto& context : contexts) names.push_back(context.name);
+  pipeline::LiveSession session(config, std::move(contexts));
+
+  std::unique_ptr<stream::StreamSource> source;
+  if (listen_port >= 0) {
+    std::fprintf(stderr, "listening on 127.0.0.1:%ld...\n", listen_port);
+    source = std::make_unique<stream::FdSource>(stream::tcp_listen_accept(
+        static_cast<std::uint16_t>(listen_port)));
+  } else if (input_path.empty() || input_path == "-") {
+    source = std::make_unique<stream::FdSource>(0, /*owned=*/false);
+  } else {
+    source = std::make_unique<stream::MemorySource>(read_file(input_path));
+  }
+
+  std::vector<std::uint8_t> buffer(config.read_chunk);
+  std::uint64_t last_snapshot_records = 0;
+  for (;;) {
+    const std::size_t n = source->read(buffer);
+    if (n == 0) break;
+    session.feed(std::span<const std::uint8_t>(buffer.data(), n));
+    if (snapshot_every == 0) continue;
+    // The framed-record count is free to read; only take the (batch
+    // flush + pool settle) snapshot once the cadence is due.
+    if (session.records() - last_snapshot_records < snapshot_every)
+      continue;
+    const auto snap = session.snapshot();
+    last_snapshot_records = snap.records;
+    std::size_t links = 0;
+    for (const std::size_t count : snap.links_per_ixp) links += count;
+    std::printf("snapshot: %llu bytes, %llu records (%zu malformed, "
+                "%zu skipped), %zu observations, links/IXP",
+                static_cast<unsigned long long>(snap.bytes_fed),
+                static_cast<unsigned long long>(snap.records),
+                snap.passive.records_malformed, snap.records_skipped,
+                snap.passive.observations);
+    for (std::size_t i = 0; i < snap.links_per_ixp.size(); ++i)
+      std::printf(" %s=%zu", names[i].c_str(), snap.links_per_ixp[i]);
+    std::printf(" (sum %zu)\n", links);
+    std::fflush(stdout);
+  }
+
+  const auto result = session.finish();
+  std::printf("end of stream: %llu records (%zu malformed, %zu skipped)\n",
+              static_cast<unsigned long long>(result.records),
+              result.passive.records_malformed, result.records_skipped);
+  print_summary(result.passive, result.per_ixp, result.all_links.size());
   return 0;
 }
 
@@ -262,6 +406,8 @@ int main(int argc, char** argv) {
       return run_gen(argc - 2, argv + 2);
     if (std::strcmp(argv[1], "infer") == 0)
       return run_infer(argc - 2, argv + 2);
+    if (std::strcmp(argv[1], "follow") == 0)
+      return run_follow(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mlp_infer: %s\n", e.what());
     return 1;

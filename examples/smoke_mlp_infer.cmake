@@ -30,4 +30,54 @@ endif()
 if(NOT infer_out MATCHES "unique multilateral links: [1-9]")
   message(FATAL_ERROR "mlp_infer inferred no links:\n${infer_out}")
 endif()
+
+# Live path: regenerate with update archives, pipe one feed in two chunks
+# through `follow`, and demand the same final link count as archive-mode
+# `infer --updates --no-rels` (chunking independence, end to end).
+if(UNIX)
+  execute_process(
+    COMMAND "${MLP_INFER}" gen --out "${WORK_DIR}" --ases 600 --updates
+    RESULT_VARIABLE gen_rc OUTPUT_QUIET)
+  if(NOT gen_rc EQUAL 0)
+    message(FATAL_ERROR "mlp_infer gen --updates failed (rc=${gen_rc})")
+  endif()
+  file(GLOB update_archives "${WORK_DIR}/*-updates.mrt")
+  if(NOT update_archives)
+    message(FATAL_ERROR "mlp_infer gen produced no update archives")
+  endif()
+  list(GET update_archives 0 feed)
+  execute_process(
+    COMMAND sh -c "size=$(wc -c < '${feed}'); half=$((size / 2)); \
+{ head -c $half '${feed}'; tail -c +$((half + 1)) '${feed}'; } | \
+'${MLP_INFER}' follow --config '${WORK_DIR}/ixps.conf' \
+--min-duration 600 --snapshot-every 2000 --threads 2"
+    OUTPUT_VARIABLE follow_out
+    RESULT_VARIABLE follow_rc)
+  if(NOT follow_rc EQUAL 0)
+    message(FATAL_ERROR "mlp_infer follow failed (rc=${follow_rc})")
+  endif()
+  execute_process(
+    COMMAND "${MLP_INFER}" infer --config "${WORK_DIR}/ixps.conf"
+            --updates --no-rels --min-duration 600 --threads 2 "${feed}"
+    OUTPUT_VARIABLE updates_out
+    RESULT_VARIABLE updates_rc)
+  if(NOT updates_rc EQUAL 0)
+    message(FATAL_ERROR "mlp_infer infer --updates failed (rc=${updates_rc})")
+  endif()
+  if(NOT follow_out MATCHES "snapshot: [0-9]+ bytes")
+    message(FATAL_ERROR "mlp_infer follow emitted no snapshot lines:\n"
+                        "${follow_out}")
+  endif()
+  string(REGEX MATCH "unique multilateral links: [0-9]+" follow_links
+         "${follow_out}")
+  string(REGEX MATCH "unique multilateral links: [0-9]+" updates_links
+         "${updates_out}")
+  if(NOT follow_links OR NOT follow_links STREQUAL updates_links)
+    message(FATAL_ERROR
+      "follow/infer link counts diverge: '${follow_links}' vs "
+      "'${updates_links}'")
+  endif()
+  message(STATUS "mlp_infer follow smoke OK (${follow_links})")
+endif()
+
 message(STATUS "mlp_infer smoke OK")

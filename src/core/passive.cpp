@@ -16,6 +16,7 @@ PassiveStats& operator+=(PassiveStats& lhs, const PassiveStats& rhs) {
   lhs.paths_ambiguous_ixp += rhs.paths_ambiguous_ixp;
   lhs.paths_no_setter += rhs.paths_no_setter;
   lhs.observations += rhs.observations;
+  lhs.records_malformed += rhs.records_malformed;
   return lhs;
 }
 
@@ -180,11 +181,31 @@ void PassiveExtractor::consume_path(const AsPath& path,
   if (!attributed) ++stats_.paths_no_setter;
 }
 
+namespace {
+
+/// Advance `cursor`, resyncing past malformed records when tolerated.
+/// Returns End once the stream is exhausted (or abandoned).
+mrt::MrtCursor::Event advance(mrt::MrtCursor& cursor,
+                              const PassiveConfig& config,
+                              PassiveStats& stats) {
+  for (;;) {
+    try {
+      return cursor.next();
+    } catch (const ParseError&) {
+      if (!config.tolerate_malformed) throw;
+      ++stats.records_malformed;
+      if (!cursor.resync()) return mrt::MrtCursor::Event::End;
+    }
+  }
+}
+
+}  // namespace
+
 void PassiveExtractor::consume_table_dump(
     std::span<const std::uint8_t> archive) {
   mrt::MrtCursor cursor(archive);
   for (;;) {
-    const auto event = cursor.next();
+    const auto event = advance(cursor, config_, stats_);
     if (event == mrt::MrtCursor::Event::End) break;
     if (event != mrt::MrtCursor::Event::RibEntry)
       continue;  // BGP4MP in a mixed stream: not a RIB entry
@@ -285,7 +306,7 @@ void PassiveExtractor::consume_update_stream(
   // must not abort an update ingest).
   mrt::MrtCursor cursor(archive, mrt::MrtCursor::Skip::TableDumpV2);
   for (;;) {
-    const auto event = cursor.next();
+    const auto event = advance(cursor, config_, stats_);
     if (event == mrt::MrtCursor::Event::End) break;
     if (event != mrt::MrtCursor::Event::Update) continue;
     const mrt::UpdateView& view = cursor.update();
@@ -294,14 +315,18 @@ void PassiveExtractor::consume_update_stream(
   flush_pending();
 }
 
-void PassiveExtractor::finish() {
-  flush_pending();
+void PassiveExtractor::flush_batches() {
   if (!sink_) return;
   for (std::size_t index = 0; index < by_ixp_.size(); ++index) {
     if (by_ixp_[index].empty()) continue;
     sink_(index, std::move(by_ixp_[index]));
     by_ixp_[index] = {};
   }
+}
+
+void PassiveExtractor::finish() {
+  flush_pending();
+  flush_batches();
 }
 
 const std::map<std::string, std::vector<Observation>>&

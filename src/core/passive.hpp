@@ -54,6 +54,7 @@ struct PassiveStats {
   std::size_t paths_ambiguous_ixp = 0;
   std::size_t paths_no_setter = 0;    // membership cases that fail
   std::size_t observations = 0;       // successfully attributed
+  std::size_t records_malformed = 0;  // skipped in tolerant mode
 };
 
 /// Field-wise sum, for merging the stats of parallel extraction passes.
@@ -69,6 +70,12 @@ struct PassiveConfig {
   /// evicted through the same age test as a withdrawal at the current
   /// stream time. 0 means unbounded.
   std::size_t max_pending_announcements = 1u << 20;
+  /// Survive malformed MRT records: instead of aborting the whole ingest
+  /// (fatal for a live feed), skip forward to the next plausible record
+  /// header and count the casualty in PassiveStats::records_malformed.
+  /// Off by default: strict mode keeps erroring with the record's byte
+  /// offset in the message.
+  bool tolerate_malformed = false;
 };
 
 class PassiveExtractor {
@@ -123,9 +130,20 @@ class PassiveExtractor {
   /// live stream's observation period).
   void flush_pending();
 
+  /// Streaming mode: emit the partially-filled per-IXP batches now, so a
+  /// downstream snapshot reflects everything consumed so far. Does NOT
+  /// touch the announce-window (unlike finish(), it is safe mid-stream);
+  /// a no-op in accumulate mode.
+  void flush_batches();
+
   /// End of input: flush the announce-window and, in streaming mode, the
   /// partial per-IXP batches.
   void finish();
+
+  /// Count one malformed record skipped by a tolerant caller that frames
+  /// and decodes outside the extractor (the live-session path), keeping
+  /// records_malformed meaningful for every ingest front end.
+  void note_malformed_record() { ++stats_.records_malformed; }
 
   /// Observations grouped by IXP name, ready for MlpInferenceEngine::add
   /// (accumulate mode only; the view is rebuilt lazily after new input).
@@ -136,6 +154,12 @@ class PassiveExtractor {
   std::map<std::string, std::vector<Observation>> take_observations();
 
   const PassiveStats& stats() const { return stats_; }
+
+  /// The shared IXP context set; a streaming sink's dense index is the
+  /// position in this vector.
+  const std::shared_ptr<const std::vector<IxpContext>>& contexts() const {
+    return ixps_;
+  }
 
  private:
   struct Attribution {

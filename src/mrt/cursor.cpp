@@ -1,5 +1,8 @@
 #include "mrt/cursor.hpp"
 
+#include <algorithm>
+#include <string>
+
 #include "mrt/record_codec.hpp"
 #include "util/errors.hpp"
 
@@ -27,11 +30,47 @@ void MrtCursor::decode_rib_entry() {
 }
 
 MrtCursor::Event MrtCursor::next() {
+  try {
+    return next_impl();
+  } catch (const ParseError& e) {
+    throw ParseError(std::string(e.what()) + " (record at byte offset " +
+                     std::to_string(record_offset_) + ")");
+  }
+}
+
+bool MrtCursor::resync() {
+  // Abandon whatever the cursor was mid-way through.
+  entries_left_ = 0;
+  record_ = ByteReader(std::span<const std::uint8_t>{});
+  // The bad record's header itself may be the lie (a corrupt length
+  // field), so the scan restarts one byte past its start -- never
+  // backwards from wherever decoding got to.
+  std::size_t from = std::max(record_offset_ + 1, reader_.position());
+  if (reader_.position() > record_offset_ &&
+      reader_.position() <= record_offset_ + detail::kMrtHeaderBytes)
+    from = record_offset_ + 1;  // died inside the header: distrust it all
+  for (; from + detail::kMrtHeaderBytes <= data_.size(); ++from) {
+    const auto peek = detail::peek_header(data_.subspan(from));
+    if (!peek || !detail::known_record_kind(peek->type, peek->subtype))
+      continue;
+    if (peek->length >
+        data_.size() - from - detail::kMrtHeaderBytes)
+      continue;  // claims more body than the stream holds
+    reader_.seek(from);
+    record_offset_ = from;
+    return true;
+  }
+  reader_.seek(data_.size());
+  return false;
+}
+
+MrtCursor::Event MrtCursor::next_impl() {
   if (entries_left_ > 0) {
     decode_rib_entry();
     return Event::RibEntry;
   }
   while (!reader_.done()) {
+    record_offset_ = reader_.position();
     const std::uint32_t timestamp = reader_.u32();
     const std::uint16_t type = reader_.u16();
     const std::uint16_t subtype = reader_.u16();

@@ -48,7 +48,8 @@ struct UpdateView {
 /// (prefix, peer) pair with the peer resolved through the preceding
 /// PEER_INDEX_TABLE, exactly like parse_rib; BGP4MP messages yield Update
 /// events; unknown record types are skipped and counted. Throws ParseError
-/// on structurally invalid input.
+/// on structurally invalid input, naming the offending record's byte
+/// offset; a tolerant caller can then resync() past it.
 class MrtCursor {
  public:
   enum class Event : std::uint8_t { RibEntry, Update, End };
@@ -61,11 +62,23 @@ class MrtCursor {
 
   explicit MrtCursor(std::span<const std::uint8_t> data,
                      Skip skip = Skip::None)
-      : reader_(data), skip_(skip) {}
+      : data_(data), reader_(data), skip_(skip) {}
 
   /// Advance to the next event. Views returned by rib_entry()/update()
   /// are invalidated by this call.
   Event next();
+
+  /// After next() threw: abandon the record it choked on and scan forward
+  /// for the next plausible record header (a known type/subtype whose
+  /// length fits the remaining stream). Returns false when no such header
+  /// exists; the cursor is then positioned at end of stream, so the next
+  /// call to next() returns End. Calling this on a healthy cursor skips
+  /// the record most recently started.
+  bool resync();
+
+  /// Byte offset of the header of the record the cursor is currently
+  /// positioned in (the record named by strict-mode errors).
+  std::size_t record_offset() const { return record_offset_; }
 
   /// Valid after next() returned RibEntry / Update respectively.
   const RibEntryView& rib_entry() const { return rib_view_; }
@@ -82,12 +95,17 @@ class MrtCursor {
   /// buffers and fill rib_view_.
   void decode_rib_entry();
 
+  /// next() without the record-offset error context.
+  Event next_impl();
+
+  std::span<const std::uint8_t> data_;
   ByteReader reader_;
   Skip skip_ = Skip::None;
   ByteReader record_{std::span<const std::uint8_t>{}};  // current RIB body
   std::uint16_t entries_left_ = 0;
   std::uint32_t record_timestamp_ = 0;
   std::uint32_t sequence_ = 0;
+  std::size_t record_offset_ = 0;  // header offset of the current record
 
   PeerIndexTable peers_;
   bool have_peers_ = false;

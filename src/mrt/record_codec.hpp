@@ -1,15 +1,61 @@
 // Internal record-body decoders shared between the materializing
-// MrtReader (mrt.cpp) and the streaming MrtCursor (cursor.cpp). Not part
-// of the public MRT surface.
+// MrtReader (mrt.cpp), the streaming MrtCursor (cursor.cpp) and the
+// incremental stream framer (stream/framer.cpp). Not part of the public
+// MRT surface.
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <span>
 
 #include "bgp/asn.hpp"
 #include "mrt/mrt.hpp"
 #include "util/bytes.hpp"
 
 namespace mlp::mrt::detail {
+
+/// Byte size of the common MRT record header (timestamp, type, subtype,
+/// length).
+inline constexpr std::size_t kMrtHeaderBytes = 12;
+
+/// The fields of a common MRT header, read without consuming input.
+struct HeaderPeek {
+  std::uint32_t timestamp = 0;
+  std::uint16_t type = 0;
+  std::uint16_t subtype = 0;
+  std::uint32_t length = 0;  // body bytes following the header
+};
+
+/// Decode the 12-byte header at the front of `data`; nullopt when fewer
+/// than 12 bytes are available. Does not consume the caller's span.
+inline std::optional<HeaderPeek> peek_header(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < kMrtHeaderBytes) return std::nullopt;
+  ByteReader reader(data.first(kMrtHeaderBytes));
+  HeaderPeek peek;
+  peek.timestamp = reader.u32();
+  peek.type = reader.u16();
+  peek.subtype = reader.u16();
+  peek.length = reader.u32();
+  return peek;
+}
+
+/// True for the (type, subtype) pairs this codec decodes. Used as the
+/// resync anchor: tolerant consumers scan for one of these after a
+/// malformed record, which keeps random garbage from being mistaken for
+/// a record boundary.
+inline bool known_record_kind(std::uint16_t type, std::uint16_t subtype) {
+  if (type == static_cast<std::uint16_t>(MrtType::TableDumpV2))
+    return subtype ==
+               static_cast<std::uint16_t>(
+                   TableDumpV2Subtype::PeerIndexTable) ||
+           subtype ==
+               static_cast<std::uint16_t>(TableDumpV2Subtype::RibIpv4Unicast);
+  if (type == static_cast<std::uint16_t>(MrtType::Bgp4mp))
+    return subtype == static_cast<std::uint16_t>(Bgp4mpSubtype::Message) ||
+           subtype == static_cast<std::uint16_t>(Bgp4mpSubtype::MessageAs4);
+  return false;
+}
 
 /// Decode a PEER_INDEX_TABLE body; throws ParseError on trailing bytes.
 PeerIndexTable decode_peer_index(ByteReader& r);

@@ -1,5 +1,6 @@
 #include "pipeline/ixp_config.hpp"
 
+#include <cctype>
 #include <map>
 #include <sstream>
 
@@ -29,6 +30,18 @@ std::string_view style_token(SchemeStyle style) {
 
 }  // namespace
 
+void validate_ixp_name(std::string_view name) {
+  if (name.empty())
+    throw InvalidArgument("ixp name must not be empty");
+  if (name.front() == '#')
+    throw InvalidArgument("ixp name '" + std::string(name) +
+                          "' must not start with '#' (comment marker)");
+  for (const char c : name)
+    if (std::isspace(static_cast<unsigned char>(c)))
+      throw InvalidArgument("ixp name '" + std::string(name) +
+                            "' must not contain whitespace");
+}
+
 std::vector<core::IxpContext> parse_ixp_configs(std::string_view text) {
   std::vector<core::IxpContext> contexts;
   std::map<std::string, std::size_t> by_name;
@@ -47,6 +60,11 @@ std::vector<core::IxpContext> parse_ixp_configs(std::string_view text) {
         fail(line_no,
              "expected 'ixp <name> rs-asn <asn> style <style> members ...'");
       const std::string& name = fields[1];
+      try {
+        validate_ixp_name(name);
+      } catch (const InvalidArgument& e) {
+        fail(line_no, e.what());
+      }
       if (by_name.count(name)) fail(line_no, "duplicate ixp " + name);
       const auto rs_asn = parse_u32(fields[3]);
       if (!rs_asn) fail(line_no, "bad rs-asn '" + fields[3] + "'");
@@ -95,6 +113,7 @@ std::string serialize_ixp_configs(
   std::ostringstream out;
   out << "# mlp_infer IXP scheme configuration\n";
   for (const auto& context : contexts) {
+    validate_ixp_name(context.name);
     out << "ixp " << context.name << " rs-asn " << context.scheme.rs_asn()
         << " style " << style_token(context.scheme.style()) << " members";
     for (const auto member : context.rs_members) out << ' ' << member;

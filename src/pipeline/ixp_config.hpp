@@ -19,11 +19,21 @@
 
 namespace mlp::pipeline {
 
+/// Reject IXP names the textual form cannot represent: empty names,
+/// names containing whitespace (the parser splits fields on it) and
+/// names starting with '#' (the comment marker). Throws InvalidArgument
+/// naming the offense. Both the parser and the serializer enforce this,
+/// so a config that serializes is guaranteed to round-trip.
+void validate_ixp_name(std::string_view name);
+
 /// Parse a whole config document. Throws util::ParseError with a
 /// 1-based line number on malformed input.
 std::vector<core::IxpContext> parse_ixp_configs(std::string_view text);
 
 /// Render contexts back to the textual form (including aliases).
+/// Throws InvalidArgument if any context's name fails validate_ixp_name
+/// (emitting it raw would produce a document that cannot be parsed
+/// back).
 std::string serialize_ixp_configs(
     const std::vector<core::IxpContext>& contexts);
 

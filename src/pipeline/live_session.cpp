@@ -1,0 +1,150 @@
+#include "pipeline/live_session.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "util/errors.hpp"
+
+namespace mlp::pipeline {
+
+namespace {
+
+std::shared_ptr<const std::vector<core::IxpContext>> share(
+    std::vector<core::IxpContext> ixps) {
+  return std::make_shared<const std::vector<core::IxpContext>>(
+      std::move(ixps));
+}
+
+}  // namespace
+
+LiveSession::LiveSession(LiveConfig config,
+                         std::vector<core::IxpContext> ixps,
+                         bgp::RelFn relationships)
+    : config_(std::move(config)),
+      framer_(config_.framing),
+      extractor_(share(std::move(ixps)), std::move(relationships),
+                 config_.passive),
+      pool_(ThreadPool::resolve(config_.threads)) {
+  if (config_.batch_size == 0) config_.batch_size = 1;
+  const auto& contexts = *extractor_.contexts();
+  shards_.reserve(contexts.size());
+  for (const core::IxpContext& context : contexts)
+    shards_.push_back(std::make_unique<Shard>(context));
+  extractor_.set_sink(
+      [this](std::size_t ixp, std::vector<core::Observation>&& batch) {
+        shards_[ixp]->queue.push(0, std::move(batch));
+        schedule_pump(ixp);
+      },
+      config_.batch_size);
+}
+
+void LiveSession::pump(std::size_t index) {
+  Shard& shard = *shards_[index];
+  std::vector<core::Observation> batch;
+  for (;;) {
+    while (shard.queue.try_pop(batch))
+      for (const core::Observation& observation : batch)
+        shard.engine.add(observation);
+    shard.pump_scheduled.store(false, std::memory_order_release);
+    if (!shard.queue.has_ready()) return;
+    // A push raced in after the drain: reclaim sole ownership unless the
+    // producer already scheduled a successor pump.
+    if (shard.pump_scheduled.exchange(true, std::memory_order_acq_rel))
+      return;
+  }
+}
+
+void LiveSession::schedule_pump(std::size_t index) {
+  Shard& shard = *shards_[index];
+  if (!shard.pump_scheduled.exchange(true, std::memory_order_acq_rel))
+    pool_.submit([this, index] { pump(index); });
+}
+
+void LiveSession::feed(std::span<const std::uint8_t> chunk) {
+  if (finished_)
+    throw InvalidArgument("live session: feed() after finish()");
+  framer_.feed(chunk);
+  for (;;) {
+    std::span<const std::uint8_t> record;
+    try {
+      const auto framed = framer_.next();
+      if (!framed) break;  // mid-record: wait for more bytes
+      record = *framed;
+    } catch (const ParseError&) {  // absurd length field
+      if (!config_.passive.tolerate_malformed) throw;
+      extractor_.note_malformed_record();
+      framer_.resync();
+      continue;
+    }
+    try {
+      const stream::UpdateRecordView* view = decoder_.decode(record);
+      if (view == nullptr) continue;  // stepped over (not an update)
+      extractor_.consume_update(view->timestamp, view->peer_asn,
+                                *view->update);
+    } catch (const ParseError& e) {
+      if (!config_.passive.tolerate_malformed)
+        throw ParseError(std::string(e.what()) +
+                         " (record at stream offset " +
+                         std::to_string(framer_.last_record_offset()) + ")");
+      extractor_.note_malformed_record();
+      framer_.resync();
+    }
+  }
+}
+
+std::uint64_t LiveSession::drain(stream::StreamSource& source) {
+  std::vector<std::uint8_t> buffer(
+      std::max<std::size_t>(1, config_.read_chunk));
+  std::uint64_t total = 0;
+  for (;;) {
+    const std::size_t n = source.read(buffer);
+    if (n == 0) break;
+    total += n;
+    feed(std::span<const std::uint8_t>(buffer.data(), n));
+  }
+  return total;
+}
+
+LiveSnapshot LiveSession::snapshot() {
+  // Push the partially-filled batches out so the engines see everything
+  // consumed so far, then let the pumps settle. wait_idle also rethrows
+  // anything a pump leaked.
+  extractor_.flush_batches();
+  pool_.wait_idle();
+  LiveSnapshot snap;
+  snap.bytes_fed = framer_.bytes_fed();
+  snap.records = framer_.records();
+  snap.records_skipped = decoder_.skipped();
+  snap.passive = extractor_.stats();
+  snap.links_per_ixp.reserve(shards_.size());
+  for (const auto& shard : shards_)
+    snap.links_per_ixp.push_back(
+        shard->engine.count_links(config_.assume_open_for_unobserved));
+  return snap;
+}
+
+LiveResult LiveSession::finish() {
+  if (finished_)
+    throw InvalidArgument("live session: finish() already called");
+  finished_ = true;
+  extractor_.finish();  // flush announce-window + partial batches
+  for (auto& shard : shards_) shard->queue.close(0);
+  pool_.wait_idle();
+
+  LiveResult result;
+  result.per_ixp.resize(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const core::MlpInferenceEngine& engine = shards_[i]->engine;
+    IxpResult& slot = result.per_ixp[i];
+    slot.name = engine.context().name;
+    fill_ixp_result(slot, engine, config_.assume_open_for_unobserved);
+  }
+  result.all_links = merge_links(result.per_ixp);
+  result.passive = extractor_.stats();
+  result.records = framer_.records();
+  result.records_skipped = decoder_.skipped();
+  return result;
+}
+
+}  // namespace mlp::pipeline

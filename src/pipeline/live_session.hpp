@@ -1,0 +1,143 @@
+// Live update-stream inference session.
+//
+// The archive pipeline (InferencePipeline) consumes complete MRT files;
+// a live deployment instead watches a route-collector feed and wants the
+// multilateral link set to evolve as updates arrive. LiveSession is that
+// front end:
+//
+//   bytes (any chunking)            feed() / drain(StreamSource)
+//        |  stream::MrtFramer -- yields complete record spans, never
+//        |  buffering more than one partial record
+//        v
+//   stream::UpdateDecoder -- BGP4MP updates decoded into reused scratch
+//        |
+//        v
+//   PassiveExtractor::consume_update -- timestamp-driven announce-window
+//        |  (transient filtering + bounded eviction), streaming sink
+//        v
+//   per-IXP ObservationQueue -> MlpInferenceEngine::add on a thread pool
+//
+// Determinism: decoding happens on the caller's thread in stream order,
+// each IXP has a single-source FIFO queue, and each engine is drained by
+// at most one pump task at a time -- so the final link set is
+// byte-identical to consume_update_stream over the same bytes, for every
+// chunking and every thread count.
+//
+// snapshot() is cheap on purpose: it flushes partial batches, lets the
+// pool settle, and reads each engine's link count via count_links (a
+// popcount over the reciprocity bitset) -- no link-set materialization.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/passive.hpp"
+#include "pipeline/observation_queue.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/thread_pool.hpp"
+#include "stream/decoder.hpp"
+#include "stream/framer.hpp"
+#include "stream/source.hpp"
+
+namespace mlp::pipeline {
+
+struct LiveConfig {
+  /// Inference pool workers; 0 means hardware concurrency.
+  std::size_t threads = 1;
+  /// Observations per emitted batch.
+  std::size_t batch_size = 256;
+  /// Transient filtering, announce-window bound, tolerate_malformed.
+  core::PassiveConfig passive;
+  /// Forwarded to infer_links / count_links.
+  bool assume_open_for_unobserved = false;
+  /// Record-length cap for the framer.
+  stream::MrtFramer::Config framing;
+  /// Read-buffer size used by drain().
+  std::size_t read_chunk = 65536;
+};
+
+/// Cheap point-in-time view of a running session.
+struct LiveSnapshot {
+  std::uint64_t bytes_fed = 0;
+  std::uint64_t records = 0;        // complete records framed
+  std::size_t records_skipped = 0;  // non-update records stepped over
+  core::PassiveStats passive;       // includes records_malformed
+  /// count_links per IXP, in construction order.
+  std::vector<std::size_t> links_per_ixp;
+};
+
+/// Final product, shaped like the archive pipeline's result.
+struct LiveResult {
+  std::vector<IxpResult> per_ixp;
+  std::set<AsLink> all_links;
+  core::PassiveStats passive;
+  std::uint64_t records = 0;
+  std::size_t records_skipped = 0;
+};
+
+class LiveSession {
+ public:
+  /// `relationships` resolves setter case 3 (may be null). IXP order
+  /// fixes the per_ixp / links_per_ixp index.
+  LiveSession(LiveConfig config, std::vector<core::IxpContext> ixps,
+              bgp::RelFn relationships = nullptr);
+
+  LiveSession(const LiveSession&) = delete;
+  LiveSession& operator=(const LiveSession&) = delete;
+
+  /// Ingest one chunk of raw stream bytes (any chunking: the framer
+  /// reassembles records across boundaries). Strict mode throws
+  /// ParseError on a malformed record, naming its stream offset; with
+  /// PassiveConfig::tolerate_malformed the record is skipped and counted.
+  void feed(std::span<const std::uint8_t> chunk);
+
+  /// Read `source` to end of stream, feeding every chunk; returns the
+  /// number of bytes consumed.
+  std::uint64_t drain(stream::StreamSource& source);
+
+  /// Point-in-time stats + per-IXP link counts. Reflects every record
+  /// fed so far; safe to interleave with feed() from the same thread.
+  LiveSnapshot snapshot();
+
+  /// End of stream: flush the announce-window, drain the queues and
+  /// infer the final link sets. Callable once; feed() afterwards throws.
+  LiveResult finish();
+
+  std::size_t ixp_count() const { return shards_.size(); }
+
+  /// Complete records framed so far. Cheap (a counter read on the
+  /// feeding thread): callers can pace snapshot() off it without paying
+  /// snapshot()'s flush-and-settle.
+  std::uint64_t records() const { return framer_.records(); }
+
+ private:
+  /// One IXP's inference lane: a single-source FIFO queue feeding an
+  /// engine, drained by at most one pump task at a time.
+  struct Shard {
+    explicit Shard(core::IxpContext context)
+        : engine(std::move(context)) {}
+    ObservationQueue queue{1};
+    core::MlpInferenceEngine engine;
+    /// Owner flag of the pump task (the engine is not thread-safe).
+    std::atomic<bool> pump_scheduled{false};
+  };
+
+  /// Drain shard `index`'s queue into its engine, rearm-safe.
+  void pump(std::size_t index);
+  void schedule_pump(std::size_t index);
+
+  LiveConfig config_;
+  stream::MrtFramer framer_;
+  stream::UpdateDecoder decoder_;
+  core::PassiveExtractor extractor_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Declared after shards_ so its destructor (which joins the workers)
+  // runs first: no pump can outlive the shards it drains.
+  ThreadPool pool_;
+  bool finished_ = false;
+};
+
+}  // namespace mlp::pipeline

@@ -30,6 +30,32 @@ void ObservationQueue::close(std::size_t source) {
   ready_.notify_one();
 }
 
+bool ObservationQueue::try_pop(std::vector<core::Observation>& out) {
+  std::lock_guard lock(mutex_);
+  while (cursor_ < sources_.size()) {
+    Source& source = sources_[cursor_];
+    if (!source.batches.empty()) {
+      out = std::move(source.batches.front());
+      source.batches.pop_front();
+      return true;
+    }
+    if (!source.closed) break;
+    ++cursor_;
+  }
+  return false;
+}
+
+bool ObservationQueue::has_ready() {
+  std::lock_guard lock(mutex_);
+  // Walk like try_pop (every source before a non-empty one must already
+  // be closed and drained) without advancing the cursor.
+  for (std::size_t i = cursor_; i < sources_.size(); ++i) {
+    if (!sources_[i].batches.empty()) return true;
+    if (!sources_[i].closed) return false;
+  }
+  return false;
+}
+
 bool ObservationQueue::pop(std::vector<core::Observation>& out) {
   std::unique_lock lock(mutex_);
   for (;;) {

@@ -33,6 +33,15 @@ class ObservationQueue {
   /// every source is closed and drained.
   bool pop(std::vector<core::Observation>& out);
 
+  /// Non-blocking pop: false when no batch is ready right now (the
+  /// in-order source has nothing pending), whether or not more input may
+  /// still arrive. Live consumers poll with this instead of parking in
+  /// pop() on a queue that only closes at end of session.
+  bool try_pop(std::vector<core::Observation>& out);
+
+  /// True when try_pop would return a batch.
+  bool has_ready();
+
  private:
   struct Source {
     std::deque<std::vector<core::Observation>> batches;

@@ -79,6 +79,26 @@ void InferencePipeline::set_irr(const irr::IrrDatabase* database) {
   irr_ = database;
 }
 
+void fill_ixp_result(IxpResult& slot,
+                     const core::MlpInferenceEngine& engine,
+                     bool assume_open_for_unobserved) {
+  slot.links = engine.infer_links(assume_open_for_unobserved);
+  slot.stats = engine.stats(slot.links.size());
+  slot.observed_members = core::FlatAsnSet(engine.observed_members());
+  slot.rejected_observations = engine.rejected_observations();
+}
+
+std::set<AsLink> merge_links(const std::vector<IxpResult>& per_ixp) {
+  std::vector<AsLink> merged;
+  for (const IxpResult& slot : per_ixp)
+    merged.insert(merged.end(), slot.links.begin(), slot.links.end());
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  std::set<AsLink> out;
+  for (const AsLink& link : merged) out.insert(out.end(), link);
+  return out;
+}
+
 namespace {
 
 /// Split `observations` into batches of `batch_size` pushed under `source`.
@@ -231,10 +251,7 @@ PipelineResult InferencePipeline::run() {
           for (const core::Observation& observation : survey.observations)
             engine.add(observation);
         }
-        slot.links = engine.infer_links(config_.assume_open_for_unobserved);
-        slot.stats = engine.stats(slot.links.size());
-        slot.observed_members = core::FlatAsnSet(engine.observed_members());
-        slot.rejected_observations = engine.rejected_observations();
+        fill_ixp_result(slot, engine, config_.assume_open_for_unobserved);
       } catch (const std::exception& e) {
         error.record("ixp " + std::to_string(i) + ": " + e.what());
       }
@@ -247,19 +264,11 @@ PipelineResult InferencePipeline::run() {
 
   for (const core::PassiveStats& stats : source_stats)
     result.passive += stats;
-  // Union the per-IXP link sets through a sorted vector: sort + unique +
-  // hinted tail inserts are linear-ish, while inserting every element into
-  // a growing std::set pays a tree rebalance per link.
-  std::vector<AsLink> merged;
   for (const IxpResult& slot : result.per_ixp) {
     result.totals += slot.stats;
     result.total_active_queries += slot.active_queries;
-    merged.insert(merged.end(), slot.links.begin(), slot.links.end());
   }
-  std::sort(merged.begin(), merged.end());
-  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
-  for (const AsLink& link : merged)
-    result.all_links.insert(result.all_links.end(), link);
+  result.all_links = merge_links(result.per_ixp);
 
   if (irr_ != nullptr) {
     // Concatenate every IXP's contribution once and let the FlatAsnSet

@@ -81,6 +81,17 @@ struct IxpResult {
   std::size_t rejected_observations = 0;
 };
 
+/// Fill `slot` from a fully-fed engine: links, stats, observed members,
+/// rejects. Shared by the archive pipeline's consumer tasks and
+/// LiveSession::finish so the two products cannot drift.
+void fill_ixp_result(IxpResult& slot,
+                     const core::MlpInferenceEngine& engine,
+                     bool assume_open_for_unobserved);
+
+/// Union the per-IXP link sets through one sort+unique pass plus hinted
+/// tail inserts (cheaper than set-inserting every element).
+std::set<AsLink> merge_links(const std::vector<IxpResult>& per_ixp);
+
 struct PipelineResult {
   std::vector<IxpResult> per_ixp;
   /// The engines themselves (policy_of etc. for downstream reports),

@@ -1,6 +1,7 @@
 #include "pipeline/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace mlp::pipeline {
 
@@ -31,6 +32,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 std::size_t ThreadPool::resolve(std::size_t requested) {
@@ -51,11 +57,23 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
-    {
+    // The in-flight count must drop on every exit path -- a leak here
+    // would wedge wait_idle() forever -- so it lives in an RAII guard
+    // rather than after the call.
+    struct InFlightGuard {
+      ThreadPool& pool;
+      ~InFlightGuard() {
+        std::lock_guard lock(pool.mutex_);
+        --pool.in_flight_;
+        if (pool.queue_.empty() && pool.in_flight_ == 0)
+          pool.idle_.notify_all();
+      }
+    } guard{*this};
+    try {
+      task();
+    } catch (...) {
       std::lock_guard lock(mutex_);
-      --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+      if (!first_error_) first_error_ = std::current_exception();
     }
   }
 }

@@ -9,6 +9,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -27,10 +28,14 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue one task. Tasks start in submission order.
+  /// Enqueue one task. Tasks start in submission order. An exception
+  /// escaping a task never terminates the worker: the first one is
+  /// captured and rethrown from wait_idle().
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished. If any task threw,
+  /// rethrows the first captured exception (later ones are dropped); the
+  /// pool stays usable afterwards.
   void wait_idle();
 
   std::size_t thread_count() const { return workers_.size(); }
@@ -47,6 +52,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_error_;  // first exception a task leaked
   std::vector<std::thread> workers_;
 };
 

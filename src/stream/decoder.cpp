@@ -1,0 +1,40 @@
+#include "stream/decoder.hpp"
+
+#include "mrt/record_codec.hpp"
+#include "util/bytes.hpp"
+#include "util/errors.hpp"
+
+namespace mlp::stream {
+
+const UpdateRecordView* UpdateDecoder::decode(
+    std::span<const std::uint8_t> record) {
+  ByteReader reader(record);
+  const std::uint32_t timestamp = reader.u32();
+  const std::uint16_t type = reader.u16();
+  const std::uint16_t subtype = reader.u16();
+  const std::uint32_t length = reader.u32();
+  ByteReader body = reader.sub(length);
+  if (!reader.done())
+    throw ParseError("update record: trailing bytes after framed body");
+
+  if (type != static_cast<std::uint16_t>(mrt::MrtType::Bgp4mp)) {
+    ++skipped_;  // TABLE_DUMP_V2 or unknown: stepped over, undecoded
+    return nullptr;
+  }
+  const bool as4 =
+      subtype == static_cast<std::uint16_t>(mrt::Bgp4mpSubtype::MessageAs4);
+  if (!as4 &&
+      subtype != static_cast<std::uint16_t>(mrt::Bgp4mpSubtype::Message)) {
+    ++skipped_;
+    return nullptr;
+  }
+  const auto header = mrt::detail::decode_bgp4mp_header(body, as4);
+  bgp::decode_update_into(body.bytes(body.remaining()), as4, scratch_);
+  view_.timestamp = timestamp;
+  view_.peer_asn = header.peer_asn;
+  view_.peer_ip = header.peer_ip;
+  view_.update = &scratch_;
+  return &view_;
+}
+
+}  // namespace mlp::stream

@@ -1,0 +1,72 @@
+#include "stream/framer.hpp"
+
+#include <string>
+
+#include "mrt/record_codec.hpp"
+#include "util/errors.hpp"
+
+namespace mlp::stream {
+
+using mrt::detail::kMrtHeaderBytes;
+
+void MrtFramer::compact() {
+  if (pos_ == 0) return;
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+  base_offset_ += pos_;
+  pos_ = 0;
+  last_record_pos_ = 0;
+}
+
+void MrtFramer::feed(std::span<const std::uint8_t> chunk) {
+  // Compacting before the append keeps the buffer at O(partial record +
+  // chunk): the drained front never survives into the next cycle.
+  compact();
+  buf_.insert(buf_.end(), chunk.begin(), chunk.end());
+  bytes_fed_ += chunk.size();
+}
+
+std::optional<std::span<const std::uint8_t>> MrtFramer::next() {
+  const std::span<const std::uint8_t> all(buf_);
+  if (resyncing_) {
+    // Scan for the next plausible record header; the anchor check only
+    // needs the 12 header bytes, so a partial candidate simply waits for
+    // the next feed.
+    while (buf_.size() - pos_ >= kMrtHeaderBytes) {
+      const auto peek = mrt::detail::peek_header(all.subspan(pos_));
+      if (mrt::detail::known_record_kind(peek->type, peek->subtype) &&
+          peek->length <= config_.max_record_bytes) {
+        resyncing_ = false;
+        break;
+      }
+      ++pos_;
+    }
+    if (resyncing_) return std::nullopt;
+  }
+  const auto peek = mrt::detail::peek_header(all.subspan(pos_));
+  if (!peek) return std::nullopt;
+  last_record_pos_ = pos_;
+  last_record_offset_ = base_offset_ + pos_;
+  if (peek->length > config_.max_record_bytes)
+    throw ParseError("MrtFramer: record claims " +
+                     std::to_string(peek->length) +
+                     " body bytes (cap " +
+                     std::to_string(config_.max_record_bytes) +
+                     ") at stream offset " +
+                     std::to_string(last_record_offset_));
+  const std::size_t total = kMrtHeaderBytes + peek->length;
+  if (buf_.size() - pos_ < total) return std::nullopt;
+  const auto record = all.subspan(pos_, total);
+  pos_ += total;
+  ++records_;
+  return record;
+}
+
+void MrtFramer::resync() {
+  // Rewind to one byte past the suspect record's start: its own header
+  // (length field included) is what we no longer trust.
+  pos_ = last_record_pos_ + 1;
+  if (pos_ > buf_.size()) pos_ = buf_.size();
+  resyncing_ = true;
+}
+
+}  // namespace mlp::stream

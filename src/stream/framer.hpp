@@ -1,0 +1,80 @@
+// Incremental MRT framing for live byte streams.
+//
+// A live feed (socket, pipe, BMP-style relay) delivers bytes in arbitrary
+// chunks that need not respect record boundaries. MrtFramer buffers the
+// chunks and yields one complete MRT record span at a time, so a consumer
+// can decode message-by-message while the stream is still flowing.
+//
+// Memory contract: the framer never materializes the backlog. After the
+// complete records of a feed() are drained through next(), the buffer
+// holds at most the one trailing partial record (plus the bytes of the
+// current chunk while it is being drained), so peak footprint is
+// O(chunk + one record) regardless of total stream length.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace mlp::stream {
+
+class MrtFramer {
+ public:
+  struct Config {
+    /// Upper bound on a single record's body length. A corrupt length
+    /// field would otherwise make the framer buffer (nearly) forever
+    /// waiting for a record that never completes; anything above the cap
+    /// throws ParseError from next(). Real RIB records run to a few MB;
+    /// BGP4MP messages are <= 4 KiB.
+    std::uint32_t max_record_bytes = 1u << 24;
+  };
+
+  MrtFramer() = default;
+  explicit MrtFramer(Config config) : config_(config) {}
+
+  /// Append one chunk of stream bytes.
+  void feed(std::span<const std::uint8_t> chunk);
+
+  /// The next complete record (header + body), or nullopt when the
+  /// buffered bytes end mid-record (feed more and retry). The span
+  /// borrows the internal buffer: it is invalidated by the next call to
+  /// feed(), next() or resync(). Throws ParseError when the record at the
+  /// front claims a body larger than Config::max_record_bytes.
+  std::optional<std::span<const std::uint8_t>> next();
+
+  /// Tolerant recovery: distrust the most recently framed (or currently
+  /// front) record, drop one byte past its start and scan forward for the
+  /// next plausible record header (known type/subtype, sane length). The
+  /// scan continues across future feeds until an anchor is found.
+  void resync();
+
+  /// Bytes accepted so far (total stream length fed).
+  std::uint64_t bytes_fed() const { return bytes_fed_; }
+
+  /// Complete records framed so far.
+  std::uint64_t records() const { return records_; }
+
+  /// Bytes currently buffered (the partial tail record, between drains).
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+  /// Absolute stream offset of the record most recently returned by
+  /// next() (error-message context for the decode layer).
+  std::uint64_t last_record_offset() const { return last_record_offset_; }
+
+ private:
+  /// Drop consumed bytes so the buffer only holds the unframed tail.
+  void compact();
+
+  Config config_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;             // start of the unconsumed region
+  std::size_t last_record_pos_ = 0; // buffer pos of the last framed record
+  std::uint64_t base_offset_ = 0;   // stream offset of buf_[0]
+  std::uint64_t bytes_fed_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint64_t last_record_offset_ = 0;
+  bool resyncing_ = false;
+};
+
+}  // namespace mlp::stream

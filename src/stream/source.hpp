@@ -1,0 +1,95 @@
+// Byte-stream transports feeding the live update pipeline.
+//
+// StreamSource is the minimal pull interface the live session drains:
+// read() fills a caller buffer and returns 0 at end of stream. The
+// concrete transports cover the test matrix and the CLI:
+//
+//   MemorySource     -- an owned buffer replayed in bounded chunks
+//                       (chunk-boundary determinism tests)
+//   FdSource         -- any readable file descriptor: a pipe, one end of
+//                       a socketpair, an accepted TCP connection, stdin
+//
+// The fd helpers build connected read/write pairs inside the process so
+// tests exercise real kernel transports (pipe, AF_UNIX socketpair, TCP
+// over loopback) without external infrastructure.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mlp::stream {
+
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  /// Read up to out.size() bytes into `out`; returns the count read, or 0
+  /// at end of stream. Blocks until at least one byte is available.
+  virtual std::size_t read(std::span<std::uint8_t> out) = 0;
+};
+
+/// Replays an owned buffer, at most `max_chunk` bytes per read -- the
+/// deterministic stand-in for a network feed.
+class MemorySource final : public StreamSource {
+ public:
+  explicit MemorySource(std::vector<std::uint8_t> data,
+                        std::size_t max_chunk = 65536);
+
+  std::size_t read(std::span<std::uint8_t> out) override;
+
+ private:
+  std::vector<std::uint8_t> data_;
+  std::size_t max_chunk_;
+  std::size_t pos_ = 0;
+};
+
+/// Reads a POSIX file descriptor (pipe, socket, stdin). Retries EINTR;
+/// throws mlp::ParseError on hard read errors.
+class FdSource final : public StreamSource {
+ public:
+  /// Wrap `fd`; closes it on destruction when `owned`.
+  explicit FdSource(int fd, bool owned = true);
+  ~FdSource() override;
+
+  FdSource(const FdSource&) = delete;
+  FdSource& operator=(const FdSource&) = delete;
+
+  std::size_t read(std::span<std::uint8_t> out) override;
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+  bool owned_;
+};
+
+/// A connected unidirectional byte channel: bytes written to write_fd
+/// arrive at read_fd; closing write_fd ends the stream.
+struct FdPair {
+  int read_fd = -1;
+  int write_fd = -1;
+};
+
+/// pipe(2).
+FdPair open_pipe();
+
+/// socketpair(2), AF_UNIX stream.
+FdPair open_socketpair();
+
+/// A real TCP connection over 127.0.0.1: listen on an ephemeral port,
+/// connect, accept, close the listener. read_fd is the accepted side.
+FdPair open_tcp_loopback();
+
+/// Listen on 127.0.0.1:`port` and accept one connection (blocking);
+/// returns the connected descriptor. The CLI's socket-feed mode.
+int tcp_listen_accept(std::uint16_t port);
+
+/// Write all of `data` to `fd` (test/CLI helper; retries short writes).
+void write_all(int fd, std::span<const std::uint8_t> data);
+
+/// close(2) wrapper so tests need not include platform headers.
+void close_fd(int fd);
+
+}  // namespace mlp::stream

@@ -93,4 +93,11 @@ std::span<const std::uint8_t> ByteReader::bytes(std::size_t n) {
 
 ByteReader ByteReader::sub(std::size_t n) { return ByteReader(bytes(n)); }
 
+void ByteReader::seek(std::size_t pos) {
+  if (pos > data_.size())
+    throw ParseError("ByteReader::seek: offset " + std::to_string(pos) +
+                     " past end (" + std::to_string(data_.size()) + ")");
+  pos_ = pos;
+}
+
 }  // namespace mlp

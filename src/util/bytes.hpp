@@ -54,6 +54,10 @@ class ByteReader {
   bool done() const { return pos_ == data_.size(); }
   std::size_t position() const { return pos_; }
 
+  /// Reposition to an absolute offset (resync support for tolerant
+  /// decoders). Throws ParseError past the end of the buffer.
+  void seek(std::size_t pos);
+
  private:
   void need(std::size_t n) const;
   std::span<const std::uint8_t> data_;

@@ -370,6 +370,103 @@ TEST(Passive, MultipleStrongAttributionsBothRecorded) {
   EXPECT_EQ(extractor.observations().count("MSK-IX"), 1u);
 }
 
+// ------------------------------------------------------ tolerant mode
+
+/// One attributable BGP4MP update record (path 5 10 20, DE-CIX ALL).
+std::vector<std::uint8_t> good_update_record(std::uint32_t timestamp,
+                                             const std::string& prefix) {
+  mrt::MrtWriter w;
+  mrt::Bgp4mpMessage m;
+  m.peer_asn = 5;
+  m.local_asn = 65000;
+  m.four_octet_as = true;
+  m.update.nlri = {pfx(prefix)};
+  m.update.attrs.as_path = bgp::AsPath({5, 10, 20});
+  m.update.attrs.next_hop = 1;
+  m.update.attrs.communities = {Community(6695, 6695)};
+  w.write_bgp4mp(timestamp, m);
+  return w.take();
+}
+
+/// good record + garbage + good record + truncated tail.
+std::vector<std::uint8_t> corrupted_update_stream() {
+  auto data = good_update_record(1000, "10.0.0.0/16");
+  data.insert(data.end(), 16, std::uint8_t{0xFF});  // bogus record
+  const auto second = good_update_record(2000, "10.1.0.0/16");
+  data.insert(data.end(), second.begin(), second.end());
+  data.insert(data.end(), 7, std::uint8_t{0});  // truncated header
+  return data;
+}
+
+TEST(Passive, StrictModeAbortsOnMalformedRecordWithOffset) {
+  PassiveExtractor extractor(two_ixps(), nullptr);
+  try {
+    extractor.consume_update_stream(corrupted_update_stream());
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("byte offset"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(extractor.stats().records_malformed, 0u);
+}
+
+TEST(Passive, TolerantModeSkipsAndCountsMalformedRecords) {
+  PassiveConfig config;
+  config.tolerate_malformed = true;
+  PassiveExtractor extractor(two_ixps(), nullptr, config);
+  extractor.consume_update_stream(corrupted_update_stream());
+  // Both well-formed updates made it through the garbage...
+  EXPECT_EQ(extractor.stats().paths_seen, 2u);
+  EXPECT_EQ(extractor.stats().observations, 2u);
+  // ...and the garbage run plus the truncated tail were counted.
+  EXPECT_EQ(extractor.stats().records_malformed, 2u);
+}
+
+TEST(Passive, TolerantModeTableDumpSkipsBadPeerIndex) {
+  // A RIB record referencing a peer index the table does not have: the
+  // record is skipped, the rest of the archive still contributes.
+  bgp::Rib rib;
+  bgp::Route route;
+  route.prefix = pfx("10.0.0.0/16");
+  route.attrs.as_path = bgp::AsPath({5, 10, 20});
+  route.attrs.next_hop = 1;
+  route.attrs.communities = {Community(6695, 6695)};
+  rib.announce(5, 0x0505, route);
+  auto archive = mrt::dump_rib(rib, 1367366400, 1, "bview");
+
+  mrt::MrtWriter bad;
+  mrt::RibRecord broken;
+  broken.sequence = 2;
+  broken.prefix = pfx("10.5.0.0/16");
+  mrt::RibEntryRecord entry;
+  entry.peer_index = 77;  // out of range
+  broken.entries = {entry};
+  bad.write_rib(3, broken);
+  archive.insert(archive.end(), bad.data().begin(), bad.data().end());
+
+  route.prefix = pfx("10.1.0.0/16");
+  bgp::Rib rib2;
+  rib2.announce(5, 0x0505, route);
+  const auto tail = mrt::dump_rib(rib2, 1367366401, 1, "bview");
+  archive.insert(archive.end(), tail.begin(), tail.end());
+
+  PassiveConfig config;
+  config.tolerate_malformed = true;
+  PassiveExtractor extractor(two_ixps(), nullptr, config);
+  extractor.consume_table_dump(archive);
+  EXPECT_EQ(extractor.stats().records_malformed, 1u);
+  EXPECT_EQ(extractor.stats().observations, 2u);
+}
+
+TEST(Passive, StatsMergeIncludesRecordsMalformed) {
+  PassiveStats a;
+  a.records_malformed = 2;
+  PassiveStats b;
+  b.records_malformed = 3;
+  a += b;
+  EXPECT_EQ(a.records_malformed, 5u);
+}
+
 TEST(Passive, StatsAccumulate) {
   PassiveExtractor extractor(two_ixps(), nullptr);
   extractor.consume_path(bgp::AsPath({5, 10, 20}), pfx("10.0.0.0/16"),

@@ -494,6 +494,174 @@ TEST(TableDump, MixedStreamRibIgnoresBgp4mp) {
   EXPECT_EQ(parsed.path_count(), rib.path_count());
 }
 
+// --------------------------------------------------- malformed corpus
+//
+// Strict mode must name the offending record's byte offset; resync()
+// must recover exactly at the next well-formed record (tolerant-mode
+// counting on top of this is pinned in core_passive_test).
+
+/// One well-formed BGP4MP update record announcing 10.<octet>.0.0/16.
+std::vector<std::uint8_t> update_record(std::uint32_t timestamp,
+                                        bgp::Asn peer,
+                                        std::uint8_t octet) {
+  MrtWriter w;
+  Bgp4mpMessage m;
+  m.peer_asn = peer;
+  m.local_asn = 6447;
+  m.peer_ip = 0x01020304;
+  m.local_ip = 0x05060708;
+  m.four_octet_as = true;
+  m.update.nlri = {
+      *IpPrefix::parse("10." + std::to_string(octet) + ".0.0/16")};
+  m.update.attrs.as_path = AsPath({peer, 15169});
+  m.update.attrs.next_hop = 0x01020304;
+  w.write_bgp4mp(timestamp, m);
+  return w.take();
+}
+
+void append(std::vector<std::uint8_t>& out,
+            std::span<const std::uint8_t> bytes) {
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+/// Walk to the first error and return its message (empty = no error).
+std::string first_error(std::span<const std::uint8_t> data) {
+  MrtCursor cursor(data);
+  try {
+    while (cursor.next() != MrtCursor::Event::End) {
+    }
+  } catch (const ParseError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(MrtCursorMalformed, TruncatedHeaderNamesRecordOffset) {
+  auto data = update_record(1, 65001, 1);
+  const std::size_t good = data.size();
+  data.insert(data.end(), 6, std::uint8_t{0});  // half a header
+  const auto message = first_error(data);
+  EXPECT_NE(message.find("truncated"), std::string::npos) << message;
+  EXPECT_NE(message.find("byte offset " + std::to_string(good)),
+            std::string::npos)
+      << message;
+  // Nothing plausible follows the stump: resync reports end of stream.
+  MrtCursor cursor(data);
+  EXPECT_EQ(cursor.next(), MrtCursor::Event::Update);
+  EXPECT_THROW(cursor.next(), ParseError);
+  EXPECT_FALSE(cursor.resync());
+  EXPECT_EQ(cursor.next(), MrtCursor::Event::End);
+}
+
+TEST(MrtCursorMalformed, TruncatedBodyNamesRecordOffset) {
+  auto data = update_record(1, 65001, 1);
+  const std::size_t good = data.size();
+  auto tail = update_record(2, 65002, 2);
+  tail.resize(tail.size() - 5);  // body 5 bytes short of its length field
+  append(data, tail);
+  const auto message = first_error(data);
+  EXPECT_NE(message.find("truncated"), std::string::npos) << message;
+  EXPECT_NE(message.find("byte offset " + std::to_string(good)),
+            std::string::npos)
+      << message;
+}
+
+TEST(MrtCursorMalformed, BadPeerIndexNamesOffsetAndResyncRecovers) {
+  MrtWriter w;
+  PeerIndexTable small;
+  small.peers = {PeerEntry{1, 1, 6695, true}};
+  w.write_peer_index(1, small);
+  const std::size_t bad_offset = w.data().size();
+  RibRecord bad;
+  bad.sequence = 2;
+  bad.prefix = *IpPrefix::parse("10.5.0.0/16");
+  RibEntryRecord entry;
+  entry.peer_index = 7;  // out of range on the very first entry
+  bad.entries = {entry};
+  w.write_rib(2, bad);
+  auto data = w.take();
+  const std::size_t next_offset = data.size();
+  append(data, update_record(3, 65001, 1));
+
+  const auto message = first_error(data);
+  EXPECT_NE(message.find("peer index"), std::string::npos) << message;
+  EXPECT_NE(message.find("byte offset " + std::to_string(bad_offset)),
+            std::string::npos)
+      << message;
+
+  MrtCursor cursor(data);
+  EXPECT_THROW(cursor.next(), ParseError);
+  ASSERT_TRUE(cursor.resync());
+  EXPECT_EQ(cursor.record_offset(), next_offset);
+  EXPECT_EQ(cursor.next(), MrtCursor::Event::Update);
+  EXPECT_EQ(cursor.update().peer_asn, 65001u);
+  EXPECT_EQ(cursor.next(), MrtCursor::Event::End);
+}
+
+TEST(MrtCursorMalformed, TrailingBytesAfterLastRecord) {
+  auto data = update_record(1, 65001, 1);
+  const std::size_t good = data.size();
+  data.insert(data.end(), 5, std::uint8_t{0xFF});
+  MrtCursor cursor(data);
+  EXPECT_EQ(cursor.next(), MrtCursor::Event::Update);
+  try {
+    cursor.next();
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("byte offset " +
+                                         std::to_string(good)),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_FALSE(cursor.resync());  // garbage is not a plausible header
+}
+
+TEST(MrtCursorMalformed, GarbageBetweenRecordsResyncsToNextRecord) {
+  auto data = update_record(1, 65001, 1);
+  data.insert(data.end(), 16, std::uint8_t{0xFF});  // bogus length field
+  const std::size_t next_offset = data.size();
+  append(data, update_record(2, 65002, 2));
+
+  MrtCursor cursor(data);
+  EXPECT_EQ(cursor.next(), MrtCursor::Event::Update);
+  EXPECT_THROW(cursor.next(), ParseError);
+  ASSERT_TRUE(cursor.resync());
+  EXPECT_EQ(cursor.record_offset(), next_offset);
+  EXPECT_EQ(cursor.next(), MrtCursor::Event::Update);
+  EXPECT_EQ(cursor.update().peer_asn, 65002u);
+  EXPECT_EQ(cursor.next(), MrtCursor::Event::End);
+}
+
+TEST(MrtCursorMalformed, RibTrailingBytesNamesRecordOffset) {
+  MrtWriter w;
+  w.write_peer_index(1, sample_peers());
+  const std::size_t bad_offset = w.data().size();
+  w.write_rib(2, sample_rib_record());
+  auto data = w.take();
+  // Grow the RIB record's length field past its real body: the record
+  // reports trailing bytes. Length field sits 8 bytes into the header.
+  ByteWriter patched;
+  patched.bytes(std::span<const std::uint8_t>(data.data(), bad_offset));
+  {
+    std::span<const std::uint8_t> rest(data.data() + bad_offset,
+                                       data.size() - bad_offset);
+    ByteReader r(rest);
+    r.u32();  // timestamp
+    r.u16();  // type
+    r.u16();  // subtype
+    const std::uint32_t length = r.u32();
+    patched.bytes(rest.subspan(0, 8));
+    patched.u32(length + 2);
+    patched.bytes(rest.subspan(12));
+    patched.u16(0xBEEF);  // the trailing bytes the length now covers
+  }
+  const auto message = first_error(patched.data());
+  EXPECT_NE(message.find("trailing bytes"), std::string::npos) << message;
+  EXPECT_NE(message.find("byte offset " + std::to_string(bad_offset)),
+            std::string::npos)
+      << message;
+}
+
 TEST(MrtFile, SaveAndLoad) {
   MrtWriter w;
   w.write_peer_index(1, sample_peers());

@@ -6,6 +6,8 @@
 #include <atomic>
 #include <iterator>
 #include <map>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "core/passive.hpp"
@@ -16,6 +18,7 @@
 #include "scenario/scenario.hpp"
 #include "topology/relationship_inference.hpp"
 #include "util/errors.hpp"
+#include "util/rng.hpp"
 
 namespace mlp::pipeline {
 namespace {
@@ -47,6 +50,39 @@ TEST(ThreadPool, FifoStartOrderWithOneWorker) {
 TEST(ThreadPool, ResolveDefaults) {
   EXPECT_EQ(ThreadPool::resolve(3), 3u);
   EXPECT_GE(ThreadPool::resolve(0), 1u);
+}
+
+TEST(ThreadPool, ThrowingTaskSurfacesFromWaitIdleNotTerminate) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  // Tasks after the throwing one still run: the worker survives, and the
+  // in-flight count was released by the RAII guard (no wedged wait_idle).
+  for (int i = 0; i < 8; ++i) pool.submit([&ran] { ++ran; });
+  try {
+    pool.wait_idle();
+    FAIL() << "expected the task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task boom");
+  }
+  EXPECT_EQ(ran.load(), 8);
+  // The error was consumed: the pool is reusable and clean afterwards.
+  pool.submit([&ran] { ++ran; });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 9);
+}
+
+TEST(ThreadPool, FirstOfSeveralEscapedExceptionsWins) {
+  ThreadPool pool(1);  // single worker serializes the tasks
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::runtime_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  pool.wait_idle();  // later losers are dropped, not replayed
 }
 
 // ------------------------------------------------------------ queue
@@ -141,6 +177,85 @@ TEST(IxpConfig, ErrorsCarryLineNumbers) {
     FAIL() << "expected ParseError";
   } catch (const ParseError& e) {
     EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(IxpConfig, InvalidNamesRejected) {
+  // Names the textual form cannot represent must fail loudly instead of
+  // producing a document that cannot be parsed back.
+  EXPECT_THROW(validate_ixp_name(""), InvalidArgument);
+  EXPECT_THROW(validate_ixp_name("DE CIX"), InvalidArgument);
+  EXPECT_THROW(validate_ixp_name("DE\tCIX"), InvalidArgument);
+  EXPECT_THROW(validate_ixp_name("#DECIX"), InvalidArgument);
+  validate_ixp_name("DE-CIX");  // no throw
+
+  // The parser rejects a leading-'#' name (whitespace cannot reach it:
+  // field splitting already ate it).
+  EXPECT_THROW(parse_ixp_configs("ixp #X rs-asn 1 style rs-asn members 2\n"),
+               ParseError);
+
+  // The serializer refuses to emit a round-trip-breaking name raw.
+  core::IxpContext bad;
+  bad.name = "A B";
+  bad.scheme = IxpCommunityScheme::make("A B", 6695, SchemeStyle::RsAsnBased);
+  EXPECT_THROW(serialize_ixp_configs({bad}), InvalidArgument);
+  bad.name = "#A";
+  EXPECT_THROW(serialize_ixp_configs({bad}), InvalidArgument);
+}
+
+TEST(IxpConfig, RoundTripPropertyOverGeneratedConfigs) {
+  // serialize -> parse must reproduce every structural field for any
+  // valid config; names draw from the full accepted alphabet.
+  const std::string alphabet =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789.-_";
+  Rng rng(20260728);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<core::IxpContext> contexts;
+    const std::size_t n_ixps = 1 + rng.uniform(0, 5);
+    for (std::size_t i = 0; i < n_ixps; ++i) {
+      std::string name;
+      const std::size_t len = 1 + rng.uniform(0, 11);
+      for (std::size_t c = 0; c < len; ++c)
+        name.push_back(alphabet[static_cast<std::size_t>(
+            rng.uniform(0, alphabet.size() - 1))]);
+      name += std::to_string(i);  // uniqueness
+      if (name.front() == '#') name.front() = 'X';
+
+      const auto style = rng.chance(0.5) ? SchemeStyle::RsAsnBased
+                                         : SchemeStyle::PrivateRangeBased;
+      const bgp::Asn rs_asn = 1 + rng.uniform(0, 64000);
+      core::IxpContext context;
+      context.name = name;
+      context.scheme = IxpCommunityScheme::make(name, rs_asn, style);
+      const std::size_t n_members = rng.uniform(0, 20);
+      for (std::size_t m = 0; m < n_members; ++m)
+        context.rs_members.insert(
+            static_cast<core::Asn>(1 + rng.uniform(0, 70000)));
+      // Aliases apply to 32-bit members only (values in the private
+      // range), so generate a few dedicated wide members.
+      const std::size_t n_aliases = rng.uniform(0, 3);
+      for (std::size_t a = 0; a < n_aliases; ++a) {
+        const core::Asn wide =
+            4200000000u + static_cast<core::Asn>(round * 100 + i * 10 + a);
+        context.rs_members.insert(wide);
+        // Disjoint per-alias value ranges: add_alias rejects collisions.
+        context.scheme.add_alias(
+            wide,
+            static_cast<std::uint16_t>(64512 + a * 40 + rng.uniform(0, 30)));
+      }
+      contexts.push_back(std::move(context));
+    }
+
+    const auto reparsed = parse_ixp_configs(serialize_ixp_configs(contexts));
+    ASSERT_EQ(reparsed.size(), contexts.size()) << "round " << round;
+    for (std::size_t i = 0; i < contexts.size(); ++i) {
+      EXPECT_EQ(reparsed[i].name, contexts[i].name);
+      EXPECT_EQ(reparsed[i].scheme.rs_asn(), contexts[i].scheme.rs_asn());
+      EXPECT_EQ(reparsed[i].scheme.style(), contexts[i].scheme.style());
+      EXPECT_EQ(reparsed[i].rs_members, contexts[i].rs_members);
+      EXPECT_EQ(reparsed[i].scheme.aliases(), contexts[i].scheme.aliases())
+          << "round " << round << " ixp " << i;
+    }
   }
 }
 
