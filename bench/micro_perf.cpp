@@ -30,6 +30,7 @@
 #include "propagation/routing.hpp"
 #include "routeserver/export_policy.hpp"
 #include "scenario/scenario.hpp"
+#include "stream/bmp_framer.hpp"
 #include "stream/decoder.hpp"
 #include "stream/framer.hpp"
 #include "topology/generator.hpp"
@@ -526,6 +527,104 @@ void BM_LiveFraming(benchmark::State& state) {
 // between them (the buffer converges to ~2 chunks once the vector's
 // growth settles) is the no-backlog evidence for the live path.
 BENCHMARK(BM_LiveFraming)->Arg(1000)->Arg(5000)->Arg(20000);
+
+void BM_BmpFraming(benchmark::State& state) {
+  // Frame + unwrap + decode a BMP (RFC 7854) session chunk by chunk: the
+  // BmpFramer synthesizes BGP4MP records which flow through the same
+  // MrtFramer/UpdateDecoder pair as a raw MRT feed. peak_heap_growth_B
+  // staying flat across Arg sizes is the same no-backlog check as
+  // BM_LiveFraming, now for the BMP layer's buffer + record scratch.
+  const PassiveFixture fixture(static_cast<std::size_t>(state.range(0)));
+  const auto data = stream::bmp_wrap_updates(fixture.updates_archive());
+  constexpr std::size_t kChunk = 65536;
+  std::size_t updates = 0;
+  auto framed_pass = [&] {
+    stream::BmpFramer bmp;
+    stream::MrtFramer framer;
+    stream::UpdateDecoder decoder;
+    for (std::size_t at = 0; at < data.size(); at += kChunk) {
+      bmp.feed(std::span<const std::uint8_t>(
+          data.data() + at, std::min(kChunk, data.size() - at)));
+      for (;;) {
+        const auto message = bmp.next();
+        if (!message) break;
+        framer.feed(*message);
+        const auto record = framer.next();
+        if (record && decoder.decode(*record) != nullptr) ++updates;
+      }
+    }
+    benchmark::DoNotOptimize(bmp.messages());
+  };
+  long long peak_growth = 0;
+  {
+    const long long base = alloc_tracker::arm_window();
+    framed_pass();
+    peak_growth = alloc_tracker::disarm_window(base);
+  }
+  for (auto _ : state) framed_pass();
+  benchmark::DoNotOptimize(updates);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+  state.counters["peak_heap_growth_B"] = static_cast<double>(peak_growth);
+  state.counters["stream_B"] = static_cast<double>(data.size());
+}
+BENCHMARK(BM_BmpFraming)->Arg(5000)->Arg(20000);
+
+void BM_MultiFeedLiveSession(benchmark::State& state) {
+  // N concurrent feeds (a round-robin record split of one update stream)
+  // into one LiveSession, fed in interleaved 16 KiB chunks from the
+  // bench thread: the cross-feed merge cost of the live front end.
+  const PassiveFixture fixture(5000);
+  const auto data = fixture.updates_archive();
+  const std::size_t n_feeds = static_cast<std::size_t>(state.range(0));
+  // Split at record boundaries.
+  std::vector<std::vector<std::uint8_t>> streams(n_feeds);
+  {
+    std::size_t at = 0, index = 0;
+    const std::span<const std::uint8_t> all(data);
+    while (at < data.size()) {
+      ByteReader header(all.subspan(at, 12));
+      header.u32();
+      header.u16();
+      header.u16();
+      const std::size_t total = 12 + header.u32();
+      auto& stream = streams[index++ % n_feeds];
+      stream.insert(stream.end(), all.begin() + at,
+                    all.begin() + at + total);
+      at += total;
+    }
+  }
+  for (auto _ : state) {
+    pipeline::LiveConfig config;
+    config.threads = 2;
+    pipeline::LiveSession session(config, fixture.ixps);
+    std::vector<pipeline::FeedHandle> handles;
+    for (std::size_t f = 0; f < n_feeds; ++f)
+      handles.push_back(session.add_feed());
+    constexpr std::size_t kChunk = 16384;
+    std::vector<std::size_t> offsets(n_feeds, 0);
+    for (bool any = true; any;) {
+      any = false;
+      for (std::size_t f = 0; f < n_feeds; ++f) {
+        if (offsets[f] >= streams[f].size()) continue;
+        const std::size_t n =
+            std::min(kChunk, streams[f].size() - offsets[f]);
+        handles[f].feed(std::span<const std::uint8_t>(
+            streams[f].data() + offsets[f], n));
+        offsets[f] += n;
+        any = true;
+      }
+    }
+    auto result = session.finish();
+    benchmark::DoNotOptimize(result.all_links.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_MultiFeedLiveSession)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_LiveSessionSnapshot(benchmark::State& state) {
   // The follow-mode hot loop: LiveSession ingest in 64 KiB chunks with a

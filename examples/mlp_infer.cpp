@@ -22,13 +22,29 @@
 //
 //   mlp_infer follow --config FILE [--threads N] [--batch N]
 //                    [--min-duration S] [--assume-open] [--tolerant]
-//                    [--snapshot-every N] [--listen PORT] [FILE]
-//     Live mode: frame a BGP4MP update feed incrementally (stdin by
-//     default, a TCP loopback socket with --listen, or FILE) and drive
+//                    [--snapshot-every N] [--bmp] [--retry N]
+//                    [--feed SPEC]... [--listen PORT] [FILE]
+//     Live mode: frame one or more update feeds incrementally and drive
 //     the inference engines message-by-message, printing a cheap
 //     link-count snapshot every N records and the full summary at end of
-//     stream. --tolerant skips malformed records (counted) instead of
-//     aborting. `infer --follow` is an alias.
+//     stream. --feed is repeatable; each SPEC is one concurrent feed:
+//       -                   stdin
+//       PATH                a file replayed as a byte stream
+//       listen:PORT         accept one TCP connection on 127.0.0.1:PORT
+//       connect:HOST:PORT   dial out to a collector (IPv4)
+//     Multiple feeds merge deterministically in --feed order (the final
+//     link set equals archive-mode `infer --updates` over the per-feed
+//     archives). --bmp treats every feed as a BMP (RFC 7854) session and
+//     unwraps Route Monitoring messages. --retry N survives collector
+//     restarts on socket feeds: redial with bounded exponential backoff,
+//     up to N consecutive failures, resuming at a record boundary.
+//     --tolerant skips malformed records (counted) instead of aborting.
+//     `infer --follow` is an alias.
+//
+//   mlp_infer serve --port P [--bmp] [--chunk N] [--accepts K] FILE
+//     Replay an update archive over TCP: listen on 127.0.0.1:P, accept K
+//     connections in turn and stream the file to each (wrapped as a BMP
+//     session with --bmp). The test/demo peer for `follow` socket feeds.
 //
 // Typical round trips:
 //   mlp_infer gen --out /tmp/mlp
@@ -40,6 +56,14 @@
 //
 //   cat /tmp/mlp/*-updates.mrt | mlp_infer follow
 //       --config /tmp/mlp/ixps.conf --min-duration 600   (one line)
+//
+//   mlp_infer serve --port 11019 /tmp/mlp/rrc00-updates.mrt &
+//   mlp_infer serve --port 11020 /tmp/mlp/rrc01-updates.mrt &
+//   mlp_infer follow --config /tmp/mlp/ixps.conf --retry 20
+//       --feed connect:127.0.0.1:11019
+//       --feed connect:127.0.0.1:11020   (one line)
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -48,6 +72,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mrt/cursor.hpp"
@@ -56,6 +81,8 @@
 #include "pipeline/live_session.hpp"
 #include "pipeline/pipeline.hpp"
 #include "scenario/scenario.hpp"
+#include "stream/bmp_framer.hpp"
+#include "stream/reconnect.hpp"
 #include "stream/source.hpp"
 #include "topology/relationship_inference.hpp"
 #include "util/errors.hpp"
@@ -74,9 +101,13 @@ int usage() {
       "                       [--updates] ARCHIVE.mrt...\n"
       "       mlp_infer follow --config FILE [--threads N] [--batch N]\n"
       "                        [--min-duration S] [--assume-open]\n"
-      "                        [--tolerant] [--window N]\n"
-      "                        [--snapshot-every N] [--listen PORT]\n"
-      "                        [FILE]   (default: stdin)\n");
+      "                        [--tolerant] [--window N] [--bmp]\n"
+      "                        [--retry N] [--snapshot-every N]\n"
+      "                        [--feed SPEC]... [--listen PORT]\n"
+      "                        [FILE]   (default: one stdin feed)\n"
+      "         SPEC: '-' | PATH | listen:PORT | connect:HOST:PORT\n"
+      "       mlp_infer serve --port P [--bmp] [--chunk N] [--accepts K]\n"
+      "                       UPDATES.mrt\n");
   return 2;
 }
 
@@ -289,12 +320,121 @@ int run_infer(int argc, char** argv) {
   return 0;
 }
 
+/// One `--feed SPEC` (or legacy FILE / --listen) operand.
+struct FeedSpec {
+  enum class Kind { Stdin, File, Listen, Connect };
+  Kind kind = Kind::Stdin;
+  std::string raw;   // verbatim spec, used as the feed label
+  std::string path;  // File
+  std::string host;  // Connect
+  std::uint16_t port = 0;  // Listen / Connect
+};
+
+bool parse_feed_spec(const std::string& raw, FeedSpec& out) {
+  out.raw = raw;
+  if (raw.empty() || raw == "-") {
+    out.kind = FeedSpec::Kind::Stdin;
+    return true;
+  }
+  if (raw.rfind("listen:", 0) == 0) {
+    const auto port = parse_u32(raw.substr(7));
+    if (!port || *port == 0 || *port > 65535) return false;
+    out.kind = FeedSpec::Kind::Listen;
+    out.port = static_cast<std::uint16_t>(*port);
+    return true;
+  }
+  const bool connect = raw.rfind("connect:", 0) == 0;
+  if (connect || raw.rfind("tcp:", 0) == 0) {
+    const std::string rest = raw.substr(connect ? 8 : 4);
+    const auto colon = rest.rfind(':');
+    if (colon == std::string::npos) return false;
+    const auto port = parse_u32(rest.substr(colon + 1));
+    if (!port || *port == 0 || *port > 65535) return false;
+    out.kind = FeedSpec::Kind::Connect;
+    out.host = rest.substr(0, colon);
+    out.port = static_cast<std::uint16_t>(*port);
+    return !out.host.empty();
+  }
+  out.kind = FeedSpec::Kind::File;
+  out.path = raw;
+  return true;
+}
+
+/// Build the transport for one feed. With `retry` > 0, socket feeds are
+/// wrapped in a ReconnectingSource (bounded exponential backoff) whose
+/// on_reconnect resets the feed's framing state through `handle`.
+std::unique_ptr<stream::StreamSource> open_feed_source(
+    const FeedSpec& spec, std::size_t retry, pipeline::FeedHandle handle) {
+  switch (spec.kind) {
+    case FeedSpec::Kind::Stdin:
+      return std::make_unique<stream::FdSource>(0, /*owned=*/false);
+    case FeedSpec::Kind::File:
+      return std::make_unique<stream::MemorySource>(read_file(spec.path));
+    case FeedSpec::Kind::Listen:
+    case FeedSpec::Kind::Connect: {
+      auto dial = [spec]() -> std::unique_ptr<stream::StreamSource> {
+        if (spec.kind == FeedSpec::Kind::Listen) {
+          std::fprintf(stderr, "%s: listening on 127.0.0.1:%u...\n",
+                       spec.raw.c_str(), spec.port);
+          return std::make_unique<stream::FdSource>(
+              stream::tcp_listen_accept(spec.port));
+        }
+        return std::make_unique<stream::FdSource>(
+            stream::tcp_connect(spec.host, spec.port));
+      };
+      if (retry == 0) return dial();
+      stream::ReconnectPolicy policy;
+      policy.max_attempts = retry;
+      auto source = std::make_unique<stream::ReconnectingSource>(
+          std::move(dial), policy);
+      source->set_on_reconnect([handle]() mutable {
+        pipeline::FeedHandle h = handle;
+        h.note_disconnect();
+      });
+      return source;
+    }
+  }
+  return nullptr;  // unreachable
+}
+
+/// An exhausted dial budget ends the stream quietly at the source level;
+/// surface it so "collector gone" is distinguishable from "feed done".
+void warn_if_exhausted(const std::string& name,
+                       const stream::StreamSource& source) {
+  const auto* reconnecting =
+      dynamic_cast<const stream::ReconnectingSource*>(&source);
+  if (reconnecting == nullptr || !reconnecting->exhausted()) return;
+  std::fprintf(stderr, "%s: dial budget exhausted after %llu attempts%s%s\n",
+               name.c_str(),
+               static_cast<unsigned long long>(reconnecting->dial_attempts()),
+               reconnecting->last_error().empty() ? "" : ": ",
+               reconnecting->last_error().c_str());
+}
+
+void print_live_snapshot(const pipeline::LiveSnapshot& snap,
+                         const std::vector<std::string>& names) {
+  std::size_t links = 0;
+  for (const std::size_t count : snap.links_per_ixp) links += count;
+  std::printf("snapshot: %llu bytes, %llu records (%zu malformed, "
+              "%zu skipped), %zu observations, links/IXP",
+              static_cast<unsigned long long>(snap.bytes_fed),
+              static_cast<unsigned long long>(snap.records),
+              snap.passive.records_malformed, snap.records_skipped,
+              snap.passive.observations);
+  for (std::size_t i = 0; i < snap.links_per_ixp.size(); ++i)
+    std::printf(" %s=%zu", names[i].c_str(), snap.links_per_ixp[i]);
+  std::printf(" (sum %zu)\n", links);
+  std::fflush(stdout);
+}
+
 int run_follow(int argc, char** argv) {
   std::string config_path;
-  std::string input_path;
+  std::vector<FeedSpec> specs;
   pipeline::LiveConfig config;
   std::uint64_t snapshot_every = 0;
-  long listen_port = -1;
+  std::size_t retry = 0;
+  bool bmp = false;
+  bool saw_positional = false;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--config" && i + 1 < argc) {
@@ -318,24 +458,40 @@ int run_follow(int argc, char** argv) {
           std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--snapshot-every" && i + 1 < argc) {
       snapshot_every = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--feed" && i + 1 < argc) {
+      FeedSpec spec;
+      if (!parse_feed_spec(argv[++i], spec)) return usage();
+      specs.push_back(std::move(spec));
     } else if (arg == "--listen" && i + 1 < argc) {
-      const auto port = parse_u32(argv[++i]);
-      if (!port || *port == 0 || *port > 65535) return usage();
-      listen_port = static_cast<long>(*port);
+      // Legacy sugar for --feed listen:PORT.
+      FeedSpec spec;
+      if (!parse_feed_spec("listen:" + std::string(argv[++i]), spec))
+        return usage();
+      specs.push_back(std::move(spec));
+    } else if (arg == "--bmp") {
+      bmp = true;
+    } else if (arg == "--retry" && i + 1 < argc) {
+      retry = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--follow") {
       // tolerated so `infer --follow ...` forwards verbatim
     } else if (!arg.empty() && arg.front() == '-' && arg != "-") {
       return usage();
-    } else if (input_path.empty()) {
-      input_path = arg;
+    } else if (!saw_positional) {
+      // Legacy FILE operand (or "-"): one feed.
+      saw_positional = true;
+      FeedSpec spec;
+      if (!parse_feed_spec(arg, spec)) return usage();
+      specs.push_back(std::move(spec));
     } else {
       return usage();
     }
   }
   if (config_path.empty()) return usage();
-  // A FILE operand and --listen name two different feeds: refuse the
-  // ambiguity instead of silently ignoring one.
-  if (listen_port >= 0 && !input_path.empty()) return usage();
+  if (specs.empty()) specs.push_back(FeedSpec{});  // stdin
+  std::size_t stdin_feeds = 0;
+  for (const auto& spec : specs)
+    if (spec.kind == FeedSpec::Kind::Stdin) ++stdin_feeds;
+  if (stdin_feeds > 1) return usage();  // one stdin, obviously
 
   const auto config_bytes = read_file(config_path);
   auto contexts = pipeline::parse_ixp_configs(
@@ -351,49 +507,144 @@ int run_follow(int argc, char** argv) {
   for (const auto& context : contexts) names.push_back(context.name);
   pipeline::LiveSession session(config, std::move(contexts));
 
-  std::unique_ptr<stream::StreamSource> source;
-  if (listen_port >= 0) {
-    std::fprintf(stderr, "listening on 127.0.0.1:%ld...\n", listen_port);
-    source = std::make_unique<stream::FdSource>(stream::tcp_listen_accept(
-        static_cast<std::uint16_t>(listen_port)));
-  } else if (input_path.empty() || input_path == "-") {
-    source = std::make_unique<stream::FdSource>(0, /*owned=*/false);
-  } else {
-    source = std::make_unique<stream::MemorySource>(read_file(input_path));
+  std::vector<pipeline::FeedHandle> handles;
+  handles.reserve(specs.size());
+  for (const auto& spec : specs) {
+    pipeline::FeedOptions options;
+    options.name = spec.raw.empty() ? "stdin" : spec.raw;
+    options.bmp = bmp;
+    handles.push_back(session.add_feed(options));
   }
 
-  std::vector<std::uint8_t> buffer(config.read_chunk);
-  std::uint64_t last_snapshot_records = 0;
-  for (;;) {
-    const std::size_t n = source->read(buffer);
-    if (n == 0) break;
-    session.feed(std::span<const std::uint8_t>(buffer.data(), n));
-    if (snapshot_every == 0) continue;
-    // The framed-record count is free to read; only take the (batch
-    // flush + pool settle) snapshot once the cadence is due.
-    if (session.records() - last_snapshot_records < snapshot_every)
-      continue;
-    const auto snap = session.snapshot();
-    last_snapshot_records = snap.records;
-    std::size_t links = 0;
-    for (const std::size_t count : snap.links_per_ixp) links += count;
-    std::printf("snapshot: %llu bytes, %llu records (%zu malformed, "
-                "%zu skipped), %zu observations, links/IXP",
-                static_cast<unsigned long long>(snap.bytes_fed),
-                static_cast<unsigned long long>(snap.records),
-                snap.passive.records_malformed, snap.records_skipped,
-                snap.passive.observations);
-    for (std::size_t i = 0; i < snap.links_per_ixp.size(); ++i)
-      std::printf(" %s=%zu", names[i].c_str(), snap.links_per_ixp[i]);
-    std::printf(" (sum %zu)\n", links);
-    std::fflush(stdout);
+  bool feed_failed = false;
+  if (specs.size() == 1) {
+    // Single feed: drain on this thread so --snapshot-every fires at
+    // deterministic chunk boundaries (the scriptable shape).
+    auto source = open_feed_source(specs[0], retry, handles[0]);
+    std::vector<std::uint8_t> buffer(config.read_chunk);
+    std::uint64_t last_snapshot_records = 0;
+    for (;;) {
+      const std::size_t n = source->read(buffer);
+      if (n == 0) break;
+      handles[0].feed(std::span<const std::uint8_t>(buffer.data(), n));
+      if (snapshot_every == 0) continue;
+      // The framed-record count is free to read; only take the (batch
+      // flush + pool settle) snapshot once the cadence is due.
+      if (session.records() - last_snapshot_records < snapshot_every)
+        continue;
+      const auto snap = session.snapshot();
+      last_snapshot_records = snap.records;
+      print_live_snapshot(snap, names);
+    }
+    warn_if_exhausted(specs[0].raw, *source);
+  } else {
+    // Multi-feed: one reader thread per feed (lanes are independent; the
+    // cross-feed merge is deterministic regardless of arrival order).
+    // Snapshots come from this thread on the record-count cadence.
+    std::vector<std::thread> readers;
+    std::atomic<std::size_t> live{specs.size()};
+    std::atomic<bool> any_failed{false};
+    readers.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      readers.emplace_back([&, i] {
+        try {
+          auto source = open_feed_source(specs[i], retry, handles[i]);
+          handles[i].drain(*source);
+          warn_if_exhausted(specs[i].raw, *source);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "%s: %s\n", specs[i].raw.c_str(), e.what());
+          any_failed.store(true);
+        }
+        handles[i].close();
+        live.fetch_sub(1);
+      });
+    }
+    std::uint64_t last_snapshot_records = 0;
+    while (live.load() > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      if (snapshot_every == 0) continue;
+      if (session.records() - last_snapshot_records < snapshot_every)
+        continue;
+      const auto snap = session.snapshot();
+      last_snapshot_records = snap.records;
+      print_live_snapshot(snap, names);
+    }
+    for (auto& reader : readers) reader.join();
+    feed_failed = any_failed.load();
   }
 
   const auto result = session.finish();
   std::printf("end of stream: %llu records (%zu malformed, %zu skipped)\n",
               static_cast<unsigned long long>(result.records),
               result.passive.records_malformed, result.records_skipped);
+  for (const auto& feed : result.per_feed)
+    std::printf("feed %s: %llu bytes, %llu records, %zu malformed, "
+                "%llu clean / %llu dirty disconnects, %llu partials "
+                "dropped\n",
+                feed.name.c_str(),
+                static_cast<unsigned long long>(feed.bytes_fed),
+                static_cast<unsigned long long>(feed.records),
+                feed.passive.records_malformed,
+                static_cast<unsigned long long>(feed.clean_disconnects),
+                static_cast<unsigned long long>(feed.dirty_disconnects),
+                static_cast<unsigned long long>(
+                    feed.partial_records_dropped));
   print_summary(result.passive, result.per_ixp, result.all_links.size());
+  if (feed_failed) {
+    std::fprintf(stderr,
+                 "mlp_infer: one or more feeds failed; the summary above "
+                 "covers only what arrived\n");
+    return 1;
+  }
+  return 0;
+}
+
+int run_serve(int argc, char** argv) {
+  std::string path;
+  long port = -1;
+  std::size_t chunk = 65536;
+  std::size_t accepts = 1;
+  bool bmp = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      const auto parsed = parse_u32(argv[++i]);
+      if (!parsed || *parsed == 0 || *parsed > 65535) return usage();
+      port = static_cast<long>(*parsed);
+    } else if (arg == "--chunk" && i + 1 < argc) {
+      chunk = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--accepts" && i + 1 < argc) {
+      accepts = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--bmp") {
+      bmp = true;
+    } else if (!arg.empty() && arg.front() == '-') {
+      return usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (port < 0 || path.empty() || chunk == 0 || accepts == 0)
+    return usage();
+
+  std::vector<std::uint8_t> data = read_file(path);
+  if (bmp) data = stream::bmp_wrap_updates(data);
+  const auto listener =
+      stream::open_tcp_listener(static_cast<std::uint16_t>(port));
+  std::fprintf(stderr, "serving %s (%zu bytes%s) on 127.0.0.1:%u, %zu "
+               "accept(s)\n",
+               path.c_str(), data.size(), bmp ? ", BMP" : "",
+               listener.port, accepts);
+  for (std::size_t k = 0; k < accepts; ++k) {
+    const int fd = stream::tcp_accept(listener.fd);
+    for (std::size_t at = 0; at < data.size(); at += chunk)
+      stream::write_all(fd, std::span<const std::uint8_t>(
+                                data.data() + at,
+                                std::min(chunk, data.size() - at)));
+    stream::close_fd(fd);
+  }
+  stream::close_fd(listener.fd);
   return 0;
 }
 
@@ -408,6 +659,8 @@ int main(int argc, char** argv) {
       return run_infer(argc - 2, argv + 2);
     if (std::strcmp(argv[1], "follow") == 0)
       return run_follow(argc - 2, argv + 2);
+    if (std::strcmp(argv[1], "serve") == 0)
+      return run_serve(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mlp_infer: %s\n", e.what());
     return 1;

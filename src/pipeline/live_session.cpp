@@ -18,25 +18,97 @@ std::shared_ptr<const std::vector<core::IxpContext>> share(
 
 }  // namespace
 
+// ------------------------------------------------------------ FeedHandle
+
+void FeedHandle::feed(std::span<const std::uint8_t> chunk) {
+  if (!session_) throw InvalidArgument("feed handle: not attached");
+  LiveSession::Lane& target = session_->lane(index_);
+  std::lock_guard lock(target.mutex);
+  if (target.closed)
+    throw InvalidArgument("live session: feed() on closed feed " +
+                          target.name);
+  session_->lane_feed(target, chunk);
+}
+
+std::uint64_t FeedHandle::drain(stream::StreamSource& source) {
+  if (!session_) throw InvalidArgument("feed handle: not attached");
+  std::vector<std::uint8_t> buffer(
+      std::max<std::size_t>(1, session_->config_.read_chunk));
+  std::uint64_t total = 0;
+  for (;;) {
+    const std::size_t n = source.read(buffer);
+    if (n == 0) break;
+    total += n;
+    feed(std::span<const std::uint8_t>(buffer.data(), n));
+  }
+  return total;
+}
+
+void FeedHandle::note_disconnect() {
+  if (!session_) throw InvalidArgument("feed handle: not attached");
+  LiveSession::Lane& target = session_->lane(index_);
+  std::lock_guard lock(target.mutex);
+  std::size_t dropped = target.framer.reset();
+  if (target.bmp) dropped += target.bmp->reset();
+  if (dropped > 0) {
+    ++target.dirty_disconnects;
+    ++target.partial_records_dropped;
+  } else {
+    ++target.clean_disconnects;
+  }
+}
+
+void FeedHandle::close() {
+  if (!session_) throw InvalidArgument("feed handle: not attached");
+  LiveSession::Lane& target = session_->lane(index_);
+  std::lock_guard lock(target.mutex);
+  session_->close_locked(target, index_);
+}
+
+// ----------------------------------------------------------- LiveSession
+
 LiveSession::LiveSession(LiveConfig config,
                          std::vector<core::IxpContext> ixps,
                          bgp::RelFn relationships)
     : config_(std::move(config)),
-      framer_(config_.framing),
-      extractor_(share(std::move(ixps)), std::move(relationships),
-                 config_.passive),
+      contexts_(share(std::move(ixps))),
+      relationships_(std::move(relationships)),
       pool_(ThreadPool::resolve(config_.threads)) {
   if (config_.batch_size == 0) config_.batch_size = 1;
-  const auto& contexts = *extractor_.contexts();
-  shards_.reserve(contexts.size());
-  for (const core::IxpContext& context : contexts)
+  shards_.reserve(contexts_->size());
+  for (const core::IxpContext& context : *contexts_)
     shards_.push_back(std::make_unique<Shard>(context));
-  extractor_.set_sink(
-      [this](std::size_t ixp, std::vector<core::Observation>&& batch) {
-        shards_[ixp]->queue.push(0, std::move(batch));
+}
+
+FeedHandle LiveSession::add_feed(FeedOptions options) {
+  std::lock_guard lock(feeds_mutex_);
+  if (finished_.load(std::memory_order_acquire))
+    throw InvalidArgument("live session: add_feed() after finish()");
+  const std::size_t index = feeds_.size();
+  // Queue source slots stay in lockstep with feed indices: every shard
+  // grows exactly one source per add_feed, under the same lock.
+  for (auto& shard : shards_) shard->queue.add_source();
+  auto lane =
+      std::make_unique<Lane>(contexts_, relationships_, config_.passive);
+  lane->name =
+      options.name.empty() ? "feed" + std::to_string(index) : options.name;
+  lane->framer = stream::MrtFramer(config_.framing);
+  if (options.bmp) lane->bmp.emplace(options.bmp_framing);
+  lane->extractor.set_sink(
+      [this, index](std::size_t ixp, std::vector<core::Observation>&& batch) {
+        shards_[ixp]->queue.push(index, std::move(batch));
         schedule_pump(ixp);
       },
       config_.batch_size);
+  feeds_.push_back(std::move(lane));
+  return FeedHandle(this, index);
+}
+
+LiveSession::Lane& LiveSession::lane(std::size_t index) {
+  std::lock_guard lock(feeds_mutex_);
+  if (index >= feeds_.size())
+    throw InvalidArgument("live session: bad feed index");
+  return *feeds_[index];
 }
 
 void LiveSession::pump(std::size_t index) {
@@ -61,62 +133,158 @@ void LiveSession::schedule_pump(std::size_t index) {
     pool_.submit([this, index] { pump(index); });
 }
 
-void LiveSession::feed(std::span<const std::uint8_t> chunk) {
-  if (finished_)
-    throw InvalidArgument("live session: feed() after finish()");
-  framer_.feed(chunk);
+void LiveSession::drain_framer(Lane& target) {
   for (;;) {
     std::span<const std::uint8_t> record;
     try {
-      const auto framed = framer_.next();
+      const auto framed = target.framer.next();
       if (!framed) break;  // mid-record: wait for more bytes
       record = *framed;
     } catch (const ParseError&) {  // absurd length field
       if (!config_.passive.tolerate_malformed) throw;
-      extractor_.note_malformed_record();
-      framer_.resync();
+      target.extractor.note_malformed_record();
+      if (target.bmp) {
+        // The buffer holds exactly the one synthesized record that blew
+        // the cap (BMP lanes feed record-by-record): drop it whole. A
+        // resync scan could anchor inside the dropped record's bytes.
+        target.framer.reset();
+        break;
+      }
+      target.framer.resync();
       continue;
     }
     try {
-      const stream::UpdateRecordView* view = decoder_.decode(record);
+      const stream::UpdateRecordView* view = target.decoder.decode(record);
       if (view == nullptr) continue;  // stepped over (not an update)
-      extractor_.consume_update(view->timestamp, view->peer_asn,
-                                *view->update);
+      target.extractor.consume_update(view->timestamp, view->peer_asn,
+                                      *view->update);
     } catch (const ParseError& e) {
       if (!config_.passive.tolerate_malformed)
-        throw ParseError(std::string(e.what()) +
-                         " (record at stream offset " +
-                         std::to_string(framer_.last_record_offset()) + ")");
-      extractor_.note_malformed_record();
-      framer_.resync();
+        throw ParseError(std::string(e.what()) + " (" + target.name +
+                         ", record at stream offset " +
+                         std::to_string(target.framer.last_record_offset()) +
+                         ")");
+      target.extractor.note_malformed_record();
+      // A raw MRT stream needs a scan for the next plausible header; a
+      // BMP lane's record boundaries come from BMP framing and stay
+      // trusted, so the bad record is simply dropped.
+      if (!target.bmp) target.framer.resync();
     }
   }
 }
 
-std::uint64_t LiveSession::drain(stream::StreamSource& source) {
-  std::vector<std::uint8_t> buffer(
-      std::max<std::size_t>(1, config_.read_chunk));
-  std::uint64_t total = 0;
-  for (;;) {
-    const std::size_t n = source.read(buffer);
-    if (n == 0) break;
-    total += n;
-    feed(std::span<const std::uint8_t>(buffer.data(), n));
+void LiveSession::lane_feed(Lane& target, std::span<const std::uint8_t> chunk) {
+  if (finished_.load(std::memory_order_acquire))
+    throw InvalidArgument("live session: feed() after finish()");
+  if (!target.bmp) {
+    target.framer.feed(chunk);
+    drain_framer(target);
+    target.records_framed.store(target.framer.records(),
+                                std::memory_order_relaxed);
+    return;
   }
+  // BMP transport: unwrap Route Monitoring messages into synthesized
+  // BGP4MP records in front of the framer. Feeding record-by-record and
+  // draining immediately keeps the MRT layer's buffer at one record.
+  target.bmp->feed(chunk);
+  for (;;) {
+    std::optional<std::span<const std::uint8_t>> message;
+    try {
+      message = target.bmp->next();
+    } catch (const ParseError& e) {
+      if (!config_.passive.tolerate_malformed)
+        throw ParseError(std::string(e.what()) + " (" + target.name + ")");
+      target.extractor.note_malformed_record();
+      target.bmp->resync();
+      continue;
+    }
+    if (!message) break;
+    target.framer.feed(*message);
+    drain_framer(target);
+  }
+  target.records_framed.store(target.framer.records(),
+                              std::memory_order_relaxed);
+}
+
+void LiveSession::close_locked(Lane& target, std::size_t index) {
+  if (target.closed) return;
+  target.extractor.finish();  // flush announce-window + partial batches
+  target.closed = true;
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+    shards_[shard]->queue.close(index);
+    // Closing a source can make a LATER feed's buffered batches the
+    // in-order head; make sure a pump notices.
+    schedule_pump(shard);
+  }
+}
+
+void LiveSession::feed(std::span<const std::uint8_t> chunk) {
+  if (finished_.load(std::memory_order_acquire))
+    throw InvalidArgument("live session: feed() after finish()");
+  if (feed_count() == 0) add_feed();
+  FeedHandle(this, 0).feed(chunk);
+}
+
+std::uint64_t LiveSession::drain(stream::StreamSource& source) {
+  if (feed_count() == 0) add_feed();
+  return FeedHandle(this, 0).drain(source);
+}
+
+std::size_t LiveSession::feed_count() {
+  std::lock_guard lock(feeds_mutex_);
+  return feeds_.size();
+}
+
+std::uint64_t LiveSession::records() {
+  // Published counters, no lane mutexes: a feeder mid-chunk never blocks
+  // the pacing thread (and vice versa).
+  std::lock_guard lock(feeds_mutex_);
+  std::uint64_t total = 0;
+  for (auto& lane : feeds_)
+    total += lane->records_framed.load(std::memory_order_relaxed);
   return total;
 }
 
+FeedStats LiveSession::lane_stats(Lane& target) const {
+  FeedStats stats;
+  stats.name = target.name;
+  stats.bytes_fed =
+      target.bmp ? target.bmp->bytes_fed() : target.framer.bytes_fed();
+  stats.records = target.framer.records();
+  stats.records_skipped = target.decoder.skipped();
+  if (target.bmp) {
+    stats.bmp_messages = target.bmp->messages();
+    stats.bmp_skipped = target.bmp->skipped();
+  }
+  stats.clean_disconnects = target.clean_disconnects;
+  stats.dirty_disconnects = target.dirty_disconnects;
+  stats.partial_records_dropped = target.partial_records_dropped;
+  stats.passive = target.extractor.stats();
+  return stats;
+}
+
 LiveSnapshot LiveSession::snapshot() {
-  // Push the partially-filled batches out so the engines see everything
-  // consumed so far, then let the pumps settle. wait_idle also rethrows
-  // anything a pump leaked.
-  extractor_.flush_batches();
+  // Stop the world: holding every lane mutex blocks concurrent feeders,
+  // so after the batch flush and pool settle no producer can race the
+  // engine reads below. wait_idle also rethrows anything a pump leaked.
+  std::lock_guard feeds_lock(feeds_mutex_);
+  std::vector<std::unique_lock<std::mutex>> lane_locks;
+  lane_locks.reserve(feeds_.size());
+  for (auto& lane : feeds_) lane_locks.emplace_back(lane->mutex);
+  for (auto& lane : feeds_)
+    if (!lane->closed) lane->extractor.flush_batches();
   pool_.wait_idle();
+
   LiveSnapshot snap;
-  snap.bytes_fed = framer_.bytes_fed();
-  snap.records = framer_.records();
-  snap.records_skipped = decoder_.skipped();
-  snap.passive = extractor_.stats();
+  snap.per_feed.reserve(feeds_.size());
+  for (auto& lane : feeds_) {
+    FeedStats stats = lane_stats(*lane);
+    snap.bytes_fed += stats.bytes_fed;
+    snap.records += stats.records;
+    snap.records_skipped += stats.records_skipped;
+    snap.passive += stats.passive;
+    snap.per_feed.push_back(std::move(stats));
+  }
   snap.links_per_ixp.reserve(shards_.size());
   for (const auto& shard : shards_)
     snap.links_per_ixp.push_back(
@@ -125,14 +293,26 @@ LiveSnapshot LiveSession::snapshot() {
 }
 
 LiveResult LiveSession::finish() {
-  if (finished_)
+  std::lock_guard feeds_lock(feeds_mutex_);
+  if (finished_.exchange(true, std::memory_order_acq_rel))
     throw InvalidArgument("live session: finish() already called");
-  finished_ = true;
-  extractor_.finish();  // flush announce-window + partial batches
-  for (auto& shard : shards_) shard->queue.close(0);
+  // Close remaining feeds in add order (the cross-feed merge order).
+  for (std::size_t i = 0; i < feeds_.size(); ++i) {
+    std::lock_guard lane_lock(feeds_[i]->mutex);
+    close_locked(*feeds_[i], i);
+  }
   pool_.wait_idle();
 
   LiveResult result;
+  result.per_feed.reserve(feeds_.size());
+  for (auto& lane : feeds_) {
+    std::lock_guard lane_lock(lane->mutex);
+    FeedStats stats = lane_stats(*lane);
+    result.records += stats.records;
+    result.records_skipped += stats.records_skipped;
+    result.passive += stats.passive;
+    result.per_feed.push_back(std::move(stats));
+  }
   result.per_ixp.resize(shards_.size());
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     const core::MlpInferenceEngine& engine = shards_[i]->engine;
@@ -141,9 +321,6 @@ LiveResult LiveSession::finish() {
     fill_ixp_result(slot, engine, config_.assume_open_for_unobserved);
   }
   result.all_links = merge_links(result.per_ixp);
-  result.passive = extractor_.stats();
-  result.records = framer_.records();
-  result.records_skipped = decoder_.skipped();
   return result;
 }
 

@@ -1,27 +1,44 @@
 // Live update-stream inference session.
 //
 // The archive pipeline (InferencePipeline) consumes complete MRT files;
-// a live deployment instead watches a route-collector feed and wants the
+// a live deployment instead watches route-collector feeds and wants the
 // multilateral link set to evolve as updates arrive. LiveSession is that
-// front end:
+// front end, generalized to N concurrent feeds (one per collector):
 //
-//   bytes (any chunking)            feed() / drain(StreamSource)
-//        |  stream::MrtFramer -- yields complete record spans, never
-//        |  buffering more than one partial record
-//        v
-//   stream::UpdateDecoder -- BGP4MP updates decoded into reused scratch
-//        |
-//        v
-//   PassiveExtractor::consume_update -- timestamp-driven announce-window
-//        |  (transient filtering + bounded eviction), streaming sink
-//        v
-//   per-IXP ObservationQueue -> MlpInferenceEngine::add on a thread pool
+//   feed 0 bytes          feed 1 bytes            ...   add_feed()
+//        |                     |
+//   [stream::BmpFramer]   [stream::BmpFramer]     (BMP transports only:
+//        |                     |                   RFC 7854 unwrap)
+//   stream::MrtFramer     stream::MrtFramer       -- complete record
+//        |                     |                     spans, one partial
+//   stream::UpdateDecoder stream::UpdateDecoder     record max
+//        |                     |
+//   PassiveExtractor      PassiveExtractor        -- per-feed announce-
+//        |                     |                     window + stats
+//        +----------+----------+
+//                   v
+//   per-IXP ObservationQueue, source index == feed index
+//                   |
+//                   v
+//   MlpInferenceEngine::add on a thread pool (one pump per IXP)
 //
-// Determinism: decoding happens on the caller's thread in stream order,
-// each IXP has a single-source FIFO queue, and each engine is drained by
-// at most one pump task at a time -- so the final link set is
-// byte-identical to consume_update_stream over the same bytes, for every
-// chunking and every thread count.
+// Multi-feed determinism: each feed is an independent ingest lane, so
+// per-feed engine add-order equals that feed's stream order, and the
+// per-IXP queue's strict source-index drain merges feeds as the
+// CONCATENATION in add_feed order -- the final link sets depend only on
+// each feed's byte sequence, never on arrival interleaving or thread
+// count. The result is byte-identical to InferencePipeline over the same
+// per-feed archives, and to single-stream archive ingest of the per-feed
+// concatenation whenever the feeds observe disjoint (peer, prefix) keys
+// (distinct vantage points). The flip side of strict concatenation: a
+// later feed's observations are buffered in the queues until every
+// earlier feed closes, so feeds that never close defer cross-feed merge
+// work to finish().
+//
+// Threading: feed() calls on ONE lane must be serialized, but different
+// lanes may be driven from different threads concurrently (each reader
+// thread owns one FeedHandle). snapshot()/finish() briefly lock every
+// lane, so they are safe against concurrent feeding.
 //
 // snapshot() is cheap on purpose: it flushes partial batches, lets the
 // pool settle, and reads each engine's link count via count_links (a
@@ -31,13 +48,17 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/passive.hpp"
 #include "pipeline/observation_queue.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/thread_pool.hpp"
+#include "stream/bmp_framer.hpp"
 #include "stream/decoder.hpp"
 #include "stream/framer.hpp"
 #include "stream/source.hpp"
@@ -49,7 +70,8 @@ struct LiveConfig {
   std::size_t threads = 1;
   /// Observations per emitted batch.
   std::size_t batch_size = 256;
-  /// Transient filtering, announce-window bound, tolerate_malformed.
+  /// Transient filtering, announce-window bound, tolerate_malformed
+  /// (applied per feed: each lane runs its own extractor).
   core::PassiveConfig passive;
   /// Forwarded to infer_links / count_links.
   bool assume_open_for_unobserved = false;
@@ -59,23 +81,94 @@ struct LiveConfig {
   std::size_t read_chunk = 65536;
 };
 
+/// Per-feed transport/config of one add_feed call.
+struct FeedOptions {
+  /// Label used in stats and error messages; "feed<index>" by default.
+  std::string name;
+  /// The feed delivers BMP (RFC 7854) instead of raw MRT: Route
+  /// Monitoring messages are unwrapped in front of the framer.
+  bool bmp = false;
+  /// Message-length cap for the BMP layer.
+  stream::BmpFramer::Config bmp_framing;
+};
+
+/// Per-feed ingest and transport counters.
+struct FeedStats {
+  std::string name;
+  std::uint64_t bytes_fed = 0;      // transport bytes (BMP bytes for BMP)
+  std::uint64_t records = 0;        // complete update records framed
+  std::size_t records_skipped = 0;  // non-update records stepped over
+  std::uint64_t bmp_messages = 0;   // BMP feeds: complete messages framed
+  std::uint64_t bmp_skipped = 0;    // BMP feeds: non-RM/IPv6/non-UPDATE
+  std::uint64_t clean_disconnects = 0;   // note_disconnect at a boundary
+  std::uint64_t dirty_disconnects = 0;   // note_disconnect mid-record
+  std::uint64_t partial_records_dropped = 0;  // partials lost to resets
+  core::PassiveStats passive;       // this feed's extraction counters
+};
+
 /// Cheap point-in-time view of a running session.
 struct LiveSnapshot {
-  std::uint64_t bytes_fed = 0;
-  std::uint64_t records = 0;        // complete records framed
+  std::uint64_t bytes_fed = 0;      // summed over feeds
+  std::uint64_t records = 0;        // complete records framed, all feeds
   std::size_t records_skipped = 0;  // non-update records stepped over
-  core::PassiveStats passive;       // includes records_malformed
+  core::PassiveStats passive;       // merged over feeds
   /// count_links per IXP, in construction order.
   std::vector<std::size_t> links_per_ixp;
+  std::vector<FeedStats> per_feed;  // in add_feed order
 };
 
 /// Final product, shaped like the archive pipeline's result.
 struct LiveResult {
   std::vector<IxpResult> per_ixp;
   std::set<AsLink> all_links;
-  core::PassiveStats passive;
+  core::PassiveStats passive;       // merged over feeds
   std::uint64_t records = 0;
   std::size_t records_skipped = 0;
+  std::vector<FeedStats> per_feed;  // in add_feed order
+};
+
+class LiveSession;
+
+/// Lightweight reference to one feed of a LiveSession (copyable; the
+/// session must outlive it). One thread may drive one handle; distinct
+/// handles may be driven concurrently.
+class FeedHandle {
+ public:
+  FeedHandle() = default;
+
+  /// Ingest one chunk of this feed's raw stream bytes (any chunking).
+  /// Strict mode throws ParseError naming the feed and stream offset;
+  /// with PassiveConfig::tolerate_malformed the record is skipped and
+  /// counted in this feed's records_malformed.
+  void feed(std::span<const std::uint8_t> chunk);
+
+  /// Read `source` to end of stream, feeding every chunk; returns the
+  /// number of bytes consumed.
+  std::uint64_t drain(stream::StreamSource& source);
+
+  /// Transport-level disconnect notification (a reconnect is about to
+  /// resume the feed): drops the at-most-one partial record buffered in
+  /// the framers and carries every counter over. Counted as a dirty
+  /// disconnect when partial bytes were dropped, clean otherwise. Wire
+  /// this as ReconnectingSource's on_reconnect callback.
+  void note_disconnect();
+
+  /// End of this feed's stream: flush its announce-window and partial
+  /// batches, and close its source slot in every IXP queue so later
+  /// feeds' buffered observations become drainable. feed() afterwards
+  /// throws. Idempotent.
+  void close();
+
+  std::size_t index() const { return index_; }
+  bool valid() const { return session_ != nullptr; }
+
+ private:
+  friend class LiveSession;
+  FeedHandle(LiveSession* session, std::size_t index)
+      : session_(session), index_(index) {}
+
+  LiveSession* session_ = nullptr;
+  std::size_t index_ = 0;
 };
 
 class LiveSession {
@@ -88,38 +181,67 @@ class LiveSession {
   LiveSession(const LiveSession&) = delete;
   LiveSession& operator=(const LiveSession&) = delete;
 
-  /// Ingest one chunk of raw stream bytes (any chunking: the framer
-  /// reassembles records across boundaries). Strict mode throws
-  /// ParseError on a malformed record, naming its stream offset; with
-  /// PassiveConfig::tolerate_malformed the record is skipped and counted.
-  void feed(std::span<const std::uint8_t> chunk);
+  /// Register one more concurrent feed. Feed index (= queue source
+  /// index = cross-feed merge position) is the registration order.
+  /// Callable any time before finish(), including mid-stream.
+  FeedHandle add_feed(FeedOptions options = FeedOptions{});
 
-  /// Read `source` to end of stream, feeding every chunk; returns the
-  /// number of bytes consumed.
+  /// Single-feed compatibility: feed()/drain() on the session operate on
+  /// feed 0, creating it (raw MRT transport) on first use.
+  void feed(std::span<const std::uint8_t> chunk);
   std::uint64_t drain(stream::StreamSource& source);
 
   /// Point-in-time stats + per-IXP link counts. Reflects every record
-  /// fed so far; safe to interleave with feed() from the same thread.
+  /// fed so far; callable while other threads keep feeding (they block
+  /// on their lane for the duration of the flush).
   LiveSnapshot snapshot();
 
-  /// End of stream: flush the announce-window, drain the queues and
-  /// infer the final link sets. Callable once; feed() afterwards throws.
+  /// End of stream: close every remaining feed (announce-window flush,
+  /// in feed order), drain the queues and infer the final link sets.
+  /// Callable once; feed() afterwards throws.
   LiveResult finish();
 
   std::size_t ixp_count() const { return shards_.size(); }
+  std::size_t feed_count();
 
-  /// Complete records framed so far. Cheap (a counter read on the
-  /// feeding thread): callers can pace snapshot() off it without paying
-  /// snapshot()'s flush-and-settle.
-  std::uint64_t records() const { return framer_.records(); }
+  /// Complete records framed so far, summed over feeds. Much cheaper
+  /// than snapshot() (no batch flush, no pool settle): callers pace
+  /// snapshot() off it.
+  std::uint64_t records();
 
  private:
-  /// One IXP's inference lane: a single-source FIFO queue feeding an
-  /// engine, drained by at most one pump task at a time.
+  friend class FeedHandle;
+
+  /// One feed's independent ingest lane. All mutable state is guarded by
+  /// `mutex` so distinct lanes can be driven from distinct threads while
+  /// snapshot()/finish() can stop the world.
+  struct Lane {
+    Lane(std::shared_ptr<const std::vector<core::IxpContext>> ixps,
+         bgp::RelFn relationships, const core::PassiveConfig& passive)
+        : extractor(std::move(ixps), std::move(relationships), passive) {}
+
+    std::mutex mutex;
+    std::string name;
+    std::optional<stream::BmpFramer> bmp;  // engaged for BMP transports
+    stream::MrtFramer framer;
+    stream::UpdateDecoder decoder;
+    core::PassiveExtractor extractor;
+    /// Mirror of framer.records(), published after every feed so
+    /// records() can pace snapshots without taking lane mutexes.
+    std::atomic<std::uint64_t> records_framed{0};
+    std::uint64_t clean_disconnects = 0;
+    std::uint64_t dirty_disconnects = 0;
+    std::uint64_t partial_records_dropped = 0;
+    bool closed = false;
+  };
+
+  /// One IXP's inference lane: a multi-source FIFO queue (source ==
+  /// feed) feeding an engine, drained by at most one pump task at a
+  /// time.
   struct Shard {
     explicit Shard(core::IxpContext context)
-        : engine(std::move(context)) {}
-    ObservationQueue queue{1};
+        : queue(0), engine(std::move(context)) {}
+    ObservationQueue queue;
     core::MlpInferenceEngine engine;
     /// Owner flag of the pump task (the engine is not thread-safe).
     std::atomic<bool> pump_scheduled{false};
@@ -129,15 +251,23 @@ class LiveSession {
   void pump(std::size_t index);
   void schedule_pump(std::size_t index);
 
+  Lane& lane(std::size_t index);
+  /// Caller holds `lane.mutex`.
+  void lane_feed(Lane& target, std::span<const std::uint8_t> chunk);
+  void drain_framer(Lane& target);
+  void close_locked(Lane& target, std::size_t index);
+  FeedStats lane_stats(Lane& target) const;
+
   LiveConfig config_;
-  stream::MrtFramer framer_;
-  stream::UpdateDecoder decoder_;
-  core::PassiveExtractor extractor_;
+  std::shared_ptr<const std::vector<core::IxpContext>> contexts_;
+  bgp::RelFn relationships_;
+  std::mutex feeds_mutex_;  // guards feeds_ growth and finish()
+  std::vector<std::unique_ptr<Lane>> feeds_;
   std::vector<std::unique_ptr<Shard>> shards_;
   // Declared after shards_ so its destructor (which joins the workers)
   // runs first: no pump can outlive the shards it drains.
   ThreadPool pool_;
-  bool finished_ = false;
+  std::atomic<bool> finished_{false};
 };
 
 }  // namespace mlp::pipeline

@@ -7,6 +7,12 @@ namespace mlp::pipeline {
 ObservationQueue::ObservationQueue(std::size_t n_sources)
     : sources_(n_sources) {}
 
+std::size_t ObservationQueue::add_source() {
+  std::lock_guard lock(mutex_);
+  sources_.emplace_back();
+  return sources_.size() - 1;
+}
+
 void ObservationQueue::push(std::size_t source,
                             std::vector<core::Observation> batch) {
   if (batch.empty()) return;

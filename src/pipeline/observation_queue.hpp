@@ -20,8 +20,15 @@ namespace mlp::pipeline {
 
 class ObservationQueue {
  public:
-  /// `n_sources` producers, indexed [0, n_sources).
+  /// `n_sources` producers, indexed [0, n_sources). May be 0 when every
+  /// producer registers later through add_source (the live multi-feed
+  /// path).
   explicit ObservationQueue(std::size_t n_sources);
+
+  /// Register one more producer; returns its source index (registration
+  /// order). Safe while consumers poll with try_pop/has_ready -- the new
+  /// source simply extends the strict drain order.
+  std::size_t add_source();
 
   /// Append one batch from `source`. Empty batches are dropped.
   void push(std::size_t source, std::vector<core::Observation> batch);

@@ -1,0 +1,262 @@
+#include "stream/bmp_framer.hpp"
+
+#include <string>
+
+#include "bgp/asn.hpp"
+#include "mrt/record_codec.hpp"
+#include "util/bytes.hpp"
+#include "util/errors.hpp"
+
+namespace mlp::stream {
+
+namespace {
+
+constexpr std::uint8_t kBmpVersion = 3;
+constexpr std::size_t kBmpHeaderBytes = 6;   // version, length, type
+constexpr std::size_t kPerPeerBytes = 42;    // RFC 7854 section 4.2
+constexpr std::size_t kBgpHeaderBytes = 19;  // marker + length + type
+
+constexpr std::uint8_t kTypeRouteMonitoring = 0;
+constexpr std::uint8_t kTypeMax = 6;  // through Route Mirroring
+constexpr std::uint8_t kPeerFlagV = 0x80;  // IPv6 peer address
+constexpr std::uint8_t kPeerFlagA = 0x20;  // legacy 2-octet AS_PATH PDU
+
+constexpr std::uint8_t kBgpTypeUpdate = 2;
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+void push_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void push_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Minimum length a message of `type` can declare and still be decoded.
+std::size_t min_message_bytes(std::uint8_t type) {
+  std::size_t min = kBmpHeaderBytes;
+  if (type <= 3) min += kPerPeerBytes;  // RM, Stats, Peer Down, Peer Up
+  if (type == kTypeRouteMonitoring) min += kBgpHeaderBytes;
+  return min;
+}
+
+/// Resync anchor: a header that a later next() would accept.
+bool plausible_header(const std::uint8_t* p, std::uint32_t cap) {
+  if (p[0] != kBmpVersion) return false;
+  const std::uint32_t length = read_u32(p + 1);
+  const std::uint8_t type = p[5];
+  if (type > kTypeMax) return false;
+  return length >= min_message_bytes(type) && length <= cap;
+}
+
+}  // namespace
+
+void BmpFramer::compact() {
+  if (pos_ == 0) return;
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+  base_offset_ += pos_;
+  pos_ = 0;
+  last_message_pos_ = 0;
+}
+
+void BmpFramer::feed(std::span<const std::uint8_t> chunk) {
+  compact();
+  buf_.insert(buf_.end(), chunk.begin(), chunk.end());
+  bytes_fed_ += chunk.size();
+}
+
+std::optional<std::span<const std::uint8_t>> BmpFramer::next() {
+  for (;;) {
+    if (resyncing_) {
+      while (buf_.size() - pos_ >= kBmpHeaderBytes) {
+        if (plausible_header(buf_.data() + pos_, config_.max_message_bytes)) {
+          resyncing_ = false;
+          break;
+        }
+        ++pos_;
+      }
+      if (resyncing_) return std::nullopt;
+    }
+    if (buf_.size() - pos_ < kBmpHeaderBytes) return std::nullopt;
+    const std::uint8_t* head = buf_.data() + pos_;
+    const std::uint8_t version = head[0];
+    const std::uint32_t length = read_u32(head + 1);
+    const std::uint8_t type = head[5];
+    last_message_pos_ = pos_;
+    last_message_offset_ = base_offset_ + pos_;
+    if (version != kBmpVersion)
+      throw ParseError("BmpFramer: bad version " + std::to_string(version) +
+                       " at stream offset " +
+                       std::to_string(last_message_offset_));
+    if (type > kTypeMax)
+      throw ParseError("BmpFramer: unknown message type " +
+                       std::to_string(type) + " at stream offset " +
+                       std::to_string(last_message_offset_));
+    if (length < min_message_bytes(type) ||
+        length > config_.max_message_bytes)
+      throw ParseError("BmpFramer: message claims " + std::to_string(length) +
+                       " bytes (type " + std::to_string(type) + ", cap " +
+                       std::to_string(config_.max_message_bytes) +
+                       ") at stream offset " +
+                       std::to_string(last_message_offset_));
+    if (buf_.size() - pos_ < length) return std::nullopt;
+    const std::span<const std::uint8_t> message(head, length);
+    pos_ += length;
+    ++messages_;
+    if (type != kTypeRouteMonitoring) {
+      ++skipped_;
+      continue;
+    }
+
+    // Route Monitoring: per-peer header, then the verbatim BGP PDU.
+    const std::uint8_t* peer = head + kBmpHeaderBytes;
+    const std::uint8_t flags = peer[1];
+    if (flags & kPeerFlagV) {  // IPv6 peer: this reproduction is IPv4-only
+      ++skipped_;
+      continue;
+    }
+    const std::uint32_t peer_ip = read_u32(peer + 10 + 12);  // low 4 bytes
+    const std::uint32_t peer_asn = read_u32(peer + 26);
+    const std::uint32_t timestamp = read_u32(peer + 34);
+    const std::span<const std::uint8_t> pdu =
+        message.subspan(kBmpHeaderBytes + kPerPeerBytes);
+    if (pdu[18] != kBgpTypeUpdate) {  // OPEN/KEEPALIVE etc: stepped over
+      ++skipped_;
+      continue;
+    }
+
+    // Synthesize the BGP4MP record the MRT path expects. The A flag
+    // marks a legacy peer whose PDU carries 2-octet AS_PATH segments
+    // (RFC 7854 section 4.2): it maps to subtype Message, everything
+    // else to MessageAs4, so the downstream decoder parses the AS_PATH
+    // with the width the peer actually used.
+    const bool legacy = (flags & kPeerFlagA) != 0;
+    record_.clear();
+    push_u32(record_, timestamp);
+    push_u16(record_, static_cast<std::uint16_t>(mrt::MrtType::Bgp4mp));
+    push_u16(record_, static_cast<std::uint16_t>(
+                          legacy ? mrt::Bgp4mpSubtype::Message
+                                 : mrt::Bgp4mpSubtype::MessageAs4));
+    if (legacy) {
+      push_u32(record_, static_cast<std::uint32_t>(16 + pdu.size()));
+      push_u16(record_, static_cast<std::uint16_t>(
+                            bgp::is_16bit(peer_asn) ? peer_asn
+                                                    : bgp::kAsTrans));
+      push_u16(record_, 0);  // local ASN: the monitoring station has none
+    } else {
+      push_u32(record_, static_cast<std::uint32_t>(20 + pdu.size()));
+      push_u32(record_, peer_asn);
+      push_u32(record_, 0);
+    }
+    push_u16(record_, 0);  // interface index
+    push_u16(record_, 1);  // AFI IPv4
+    push_u32(record_, peer_ip);
+    push_u32(record_, 0);  // local IP
+    record_.insert(record_.end(), pdu.begin(), pdu.end());
+    return std::span<const std::uint8_t>(record_);
+  }
+}
+
+void BmpFramer::resync() {
+  pos_ = last_message_pos_ + 1;
+  if (pos_ > buf_.size()) pos_ = buf_.size();
+  resyncing_ = true;
+}
+
+std::size_t BmpFramer::reset() {
+  const std::size_t dropped = buf_.size() - pos_;
+  buf_.clear();
+  pos_ = 0;
+  last_message_pos_ = 0;
+  base_offset_ = bytes_fed_;
+  resyncing_ = false;
+  return dropped;
+}
+
+std::vector<std::uint8_t> bmp_route_monitoring(
+    std::uint32_t timestamp, std::uint32_t peer_asn, std::uint32_t peer_ip,
+    std::span<const std::uint8_t> bgp_pdu, bool legacy_as_path) {
+  ByteWriter w;
+  w.u8(kBmpVersion);
+  w.u32(static_cast<std::uint32_t>(kBmpHeaderBytes + kPerPeerBytes +
+                                   bgp_pdu.size()));
+  w.u8(kTypeRouteMonitoring);
+  w.u8(0);  // peer type: global instance
+  w.u8(legacy_as_path ? kPeerFlagA : 0);  // IPv4, pre-policy
+  w.u64(0);                               // peer distinguisher
+  w.u64(0);                               // IPv4-in-16B padding...
+  w.u32(0);
+  w.u32(peer_ip);
+  w.u32(peer_asn);
+  w.u32(peer_ip);  // BGP ID: mirrors the peer address
+  w.u32(timestamp);
+  w.u32(0);  // microseconds
+  w.bytes(bgp_pdu);
+  return w.take();
+}
+
+std::vector<std::uint8_t> bmp_initiation() {
+  ByteWriter w;
+  w.u8(kBmpVersion);
+  w.u32(kBmpHeaderBytes + 8);
+  w.u8(4);   // Initiation
+  w.u16(1);  // sysDescr TLV
+  w.u16(4);
+  w.bytes(std::string("mlp0"));
+  return w.take();
+}
+
+std::vector<std::uint8_t> bmp_termination() {
+  ByteWriter w;
+  w.u8(kBmpVersion);
+  w.u32(kBmpHeaderBytes + 6);
+  w.u8(5);   // Termination
+  w.u16(1);  // reason TLV
+  w.u16(2);
+  w.u16(0);  // administratively closed
+  return w.take();
+}
+
+std::vector<std::uint8_t> bmp_wrap_updates(
+    std::span<const std::uint8_t> mrt_updates) {
+  std::vector<std::uint8_t> out = bmp_initiation();
+  std::size_t pos = 0;
+  while (pos < mrt_updates.size()) {
+    const auto peek = mrt::detail::peek_header(mrt_updates.subspan(pos));
+    if (!peek) throw ParseError("bmp_wrap_updates: truncated MRT record");
+    const std::size_t total = mrt::detail::kMrtHeaderBytes + peek->length;
+    if (mrt_updates.size() - pos < total)
+      throw ParseError("bmp_wrap_updates: truncated MRT record body");
+    const bool as4 = peek->subtype == static_cast<std::uint16_t>(
+                                          mrt::Bgp4mpSubtype::MessageAs4);
+    if (peek->type == static_cast<std::uint16_t>(mrt::MrtType::Bgp4mp) &&
+        (as4 || peek->subtype == static_cast<std::uint16_t>(
+                                     mrt::Bgp4mpSubtype::Message))) {
+      ByteReader body(mrt_updates.subspan(
+          pos + mrt::detail::kMrtHeaderBytes, peek->length));
+      const auto header = mrt::detail::decode_bgp4mp_header(body, as4);
+      // A 2-octet-AS record's PDU carries 2-octet AS_PATH segments:
+      // flag the peer as legacy so the unwrap side restores the subtype.
+      const auto message = bmp_route_monitoring(
+          peek->timestamp, header.peer_asn, header.peer_ip,
+          body.bytes(body.remaining()), /*legacy_as_path=*/!as4);
+      out.insert(out.end(), message.begin(), message.end());
+    }
+    pos += total;
+  }
+  const auto termination = bmp_termination();
+  out.insert(out.end(), termination.begin(), termination.end());
+  return out;
+}
+
+}  // namespace mlp::stream

@@ -1,0 +1,120 @@
+// BMP (RFC 7854) transport in front of the MRT update path.
+//
+// Route collectors increasingly export live feeds over the BGP Monitoring
+// Protocol instead of raw MRT byte streams: each monitored BGP UPDATE
+// arrives wrapped in a Route Monitoring message (common header + per-peer
+// header + the verbatim BGP PDU). BmpFramer buffers arbitrary transport
+// chunks, frames complete BMP messages, and unwraps each Route Monitoring
+// message into a synthesized MRT BGP4MP_MESSAGE_AS4 record -- so the
+// existing MrtFramer/UpdateDecoder/PassiveExtractor chain consumes a BMP
+// feed unchanged, and the two transports cannot diverge semantically.
+//
+// Non-Route-Monitoring messages (Initiation, Peer Up/Down, Stats Reports,
+// Termination) are framed, counted in skipped() and stepped over, as are
+// Route Monitoring messages for IPv6 peers (this reproduction is
+// IPv4-only) and PDUs that are not UPDATEs.
+//
+// Memory contract mirrors MrtFramer: the buffer never holds more than one
+// partial message after a drain, and the synthesized record scratch is
+// reused across next() calls, so peak footprint is O(chunk + one message).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace mlp::stream {
+
+class BmpFramer {
+ public:
+  struct Config {
+    /// Upper bound on one BMP message. A corrupt length field must not
+    /// make the framer buffer forever; RFC 7854 messages carry one BGP
+    /// PDU (<= 4 KiB) plus fixed headers, so even 64 KiB is generous.
+    std::uint32_t max_message_bytes = 1u << 20;
+  };
+
+  BmpFramer() = default;
+  explicit BmpFramer(Config config) : config_(config) {}
+
+  /// Append one chunk of transport bytes.
+  void feed(std::span<const std::uint8_t> chunk);
+
+  /// The next Route Monitoring update, synthesized as a complete MRT
+  /// BGP4MP_MESSAGE_AS4 record (header + body), or nullopt when the
+  /// buffered bytes end mid-message and every complete message has been
+  /// served. The span borrows an internal scratch buffer: it is
+  /// invalidated by the next call to feed(), next() or resync(). Throws
+  /// ParseError on a structurally invalid message (bad version, absurd
+  /// length, truncated Route Monitoring payload), naming the message's
+  /// byte offset in the stream.
+  std::optional<std::span<const std::uint8_t>> next();
+
+  /// Tolerant recovery: distrust the message at the front, drop one byte
+  /// past its start and scan for the next plausible BMP header (version
+  /// 3, known type, sane length). The scan continues across feeds.
+  void resync();
+
+  /// Transport-level resume (a reconnect): drop the buffered partial
+  /// message and any pending resync scan, keeping the counters. Returns
+  /// the number of bytes dropped.
+  std::size_t reset();
+
+  /// Transport bytes accepted so far.
+  std::uint64_t bytes_fed() const { return bytes_fed_; }
+
+  /// Complete BMP messages framed so far (all types).
+  std::uint64_t messages() const { return messages_; }
+
+  /// Messages stepped over without yielding a record: non-Route-
+  /// Monitoring types, IPv6 peers, non-UPDATE PDUs.
+  std::uint64_t skipped() const { return skipped_; }
+
+  /// Bytes currently buffered (the partial tail message, between drains).
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+  /// Absolute stream offset of the message most recently framed.
+  std::uint64_t last_message_offset() const { return last_message_offset_; }
+
+ private:
+  void compact();
+
+  Config config_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;              // start of the unconsumed region
+  std::size_t last_message_pos_ = 0; // buffer pos of the last framed message
+  std::uint64_t base_offset_ = 0;    // stream offset of buf_[0]
+  std::uint64_t bytes_fed_ = 0;
+  std::uint64_t messages_ = 0;
+  std::uint64_t skipped_ = 0;
+  std::uint64_t last_message_offset_ = 0;
+  bool resyncing_ = false;
+  std::vector<std::uint8_t> record_;  // synthesized MRT record scratch
+};
+
+/// Encode one BMP Route Monitoring message wrapping `bgp_pdu` (a complete
+/// BGP message, marker included) as seen from `peer_asn`/`peer_ip` at
+/// `timestamp`. `legacy_as_path` sets the RFC 7854 A flag: the PDU's
+/// AS_PATH uses 2-octet ASNs (unwrapped as subtype Message instead of
+/// MessageAs4). Test/bench/replay helper -- the encode mirror of what
+/// BmpFramer::next() unwraps.
+std::vector<std::uint8_t> bmp_route_monitoring(
+    std::uint32_t timestamp, std::uint32_t peer_asn, std::uint32_t peer_ip,
+    std::span<const std::uint8_t> bgp_pdu, bool legacy_as_path = false);
+
+/// Encode a minimal Initiation (type 4) / Termination (type 5) message;
+/// real collectors bracket a session with these, and the framer must step
+/// over them.
+std::vector<std::uint8_t> bmp_initiation();
+std::vector<std::uint8_t> bmp_termination();
+
+/// Re-wrap a BGP4MP update archive as a BMP session byte stream:
+/// Initiation, one Route Monitoring message per update record (peer and
+/// timestamp carried over), Termination. Non-update records are dropped.
+/// The replay-side bridge used by tests, benchmarks and `mlp_infer serve
+/// --bmp`.
+std::vector<std::uint8_t> bmp_wrap_updates(
+    std::span<const std::uint8_t> mrt_updates);
+
+}  // namespace mlp::stream

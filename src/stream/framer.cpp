@@ -61,6 +61,18 @@ std::optional<std::span<const std::uint8_t>> MrtFramer::next() {
   return record;
 }
 
+std::size_t MrtFramer::reset() {
+  const std::size_t dropped = buf_.size() - pos_;
+  buf_.clear();
+  pos_ = 0;
+  last_record_pos_ = 0;
+  // Offsets keep naming positions in the total fed stream: the next byte
+  // fed is byte bytes_fed_ of the (logical) stream.
+  base_offset_ = bytes_fed_;
+  resyncing_ = false;
+  return dropped;
+}
+
 void MrtFramer::resync() {
   // Rewind to one byte past the suspect record's start: its own header
   // (length field included) is what we no longer trust.

@@ -49,6 +49,13 @@ class MrtFramer {
   /// scan continues across future feeds until an anchor is found.
   void resync();
 
+  /// Transport-level resume (a reconnect): the byte stream restarts at a
+  /// record boundary, so the buffered partial record can never complete.
+  /// Drops the buffered tail and any pending resync scan, keeping the
+  /// counters (bytes_fed/records carry over the reconnect). Returns the
+  /// number of bytes dropped (0 means the disconnect was record-aligned).
+  std::size_t reset();
+
   /// Bytes accepted so far (total stream length fed).
   std::uint64_t bytes_fed() const { return bytes_fed_; }
 

@@ -1,0 +1,100 @@
+#include "stream/reconnect.hpp"
+
+#include <thread>
+#include <utility>
+
+#include "util/errors.hpp"
+
+namespace mlp::stream {
+
+ReconnectingSource::ReconnectingSource(Dial dial, ReconnectPolicy policy,
+                                       Sleep sleep)
+    : dial_(std::move(dial)), policy_(policy), sleep_(std::move(sleep)) {
+  if (!dial_) throw InvalidArgument("ReconnectingSource: null dial");
+  if (policy_.max_attempts == 0) policy_.max_attempts = 1;
+  if (!sleep_)
+    sleep_ = [](std::chrono::milliseconds d) {
+      std::this_thread::sleep_for(d);
+    };
+}
+
+bool ReconnectingSource::connect_with_backoff(bool delay_first) {
+  std::chrono::milliseconds backoff = policy_.initial_backoff;
+  if (delay_first) {
+    // Redialing after a barren connection: the dial itself "works", so
+    // the per-round backoff never engages -- throttle here instead,
+    // escalating with the barren streak.
+    for (std::size_t i = 1; i < barren_streak_; ++i)
+      backoff = std::min(backoff * 2, policy_.max_backoff);
+    sleep_(backoff);
+    backoff = std::min(backoff * 2, policy_.max_backoff);
+  }
+  for (std::size_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      sleep_(backoff);
+      backoff = std::min(backoff * 2, policy_.max_backoff);
+    }
+    ++dial_attempts_;
+    try {
+      current_ = dial_();
+      if (current_) return true;
+      last_error_ = "dial returned no source";
+    } catch (const InvalidArgument&) {
+      // A precondition failure (bad address, bad fd) is permanent:
+      // retrying with backoff would only delay the inevitable report.
+      throw;
+    } catch (const std::exception& e) {
+      // Transient dial failure: remember it (exhausted() callers report
+      // it) and fall through to the next backed-off attempt.
+      last_error_ = e.what();
+    }
+  }
+  return false;
+}
+
+std::size_t ReconnectingSource::read(std::span<std::uint8_t> out) {
+  for (;;) {
+    if (exhausted_) return 0;
+    if (!current_) {
+      if (barren_streak_ >= policy_.max_attempts) {
+        // max_attempts connections in a row died without a byte: the
+        // peer is up but broken (crash loop behind a live listen
+        // queue). Treat like an exhausted dial budget.
+        if (last_error_.empty())
+          last_error_ = "peer keeps closing before serving any bytes";
+        exhausted_ = true;
+        return 0;
+      }
+      const bool redial = ever_connected_;
+      if (!connect_with_backoff(/*delay_first=*/barren_streak_ > 0)) {
+        exhausted_ = true;
+        return 0;
+      }
+      ever_connected_ = true;
+      current_served_ = false;
+      if (redial) {
+        ++reconnects_;
+        if (on_reconnect_) on_reconnect_();
+      }
+    }
+    std::size_t n = 0;
+    bool failed = false;
+    try {
+      n = current_->read(out);
+    } catch (const std::exception& e) {
+      failed = true;  // hard read error: treated like a dropped connection
+      last_error_ = e.what();
+    }
+    if (!failed && n > 0) {
+      current_served_ = true;
+      barren_streak_ = 0;
+      return n;
+    }
+    ++disconnects_;
+    if (!current_served_) ++barren_streak_;
+    current_.reset();
+    if (!failed && !policy_.reconnect_on_clean_eof) return 0;
+  }
+}
+
+}  // namespace mlp::stream

@@ -1,0 +1,115 @@
+// Reconnect/resume wrapper for long-lived live feeds.
+//
+// A collector restart drops the TCP session; a long-running `mlp_infer
+// follow` should redial and carry on instead of dying with the socket.
+// ReconnectingSource wraps a dial function (anything producing a
+// StreamSource) and presents one continuous byte stream: when the current
+// connection ends -- a clean end-of-stream or a hard read error -- it
+// redials with bounded exponential backoff and keeps reading.
+//
+// Resume protocol: the wrapper cannot splice byte streams (the new
+// connection restarts at a record boundary, the old one may have died
+// mid-record), so it notifies the consumer through on_reconnect BEFORE
+// serving bytes from a new connection. The live-session lane resets its
+// framers there (dropping at most one partial record) and carries its
+// counters over -- the clean/dirty-disconnect distinction is exactly
+// whether that reset found partial bytes to drop.
+//
+// The backoff sleep is injectable so tests can pin the exact delay
+// sequence without waiting it out.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "stream/source.hpp"
+
+namespace mlp::stream {
+
+struct ReconnectPolicy {
+  /// Consecutive failed dial attempts before the stream is declared over
+  /// (read() then returns 0). A successful dial resets the budget.
+  std::size_t max_attempts = 8;
+  /// Delay before the 2nd, 3rd, ... attempt of one dial round; doubles
+  /// per failure (bounded by max_backoff). The first attempt is
+  /// immediate.
+  std::chrono::milliseconds initial_backoff{100};
+  std::chrono::milliseconds max_backoff{5000};
+  /// Redial when the peer closes cleanly (a collector restart reads as
+  /// EOF). Off means a clean EOF ends the stream, like a plain source.
+  bool reconnect_on_clean_eof = true;
+};
+
+class ReconnectingSource final : public StreamSource {
+ public:
+  using Dial = std::function<std::unique_ptr<StreamSource>()>;
+  using Sleep = std::function<void(std::chrono::milliseconds)>;
+
+  /// `dial` opens one connection (throwing on failure). `sleep` defaults
+  /// to std::this_thread::sleep_for.
+  explicit ReconnectingSource(Dial dial,
+                              ReconnectPolicy policy = ReconnectPolicy{},
+                              Sleep sleep = Sleep{});
+
+  /// Invoked after every successful REdial (not the first connect),
+  /// before any byte of the new connection is served. The consumer
+  /// resets its framing state here.
+  void set_on_reconnect(std::function<void()> callback) {
+    on_reconnect_ = std::move(callback);
+  }
+
+  /// One continuous stream across connections; returns 0 only when the
+  /// stream is over (clean EOF without reconnect_on_clean_eof, or the
+  /// dial budget is exhausted -- see exhausted()). A dial round that
+  /// follows a barren connection (one that ended without serving a
+  /// single byte) starts with a backoff sleep, and max_attempts barren
+  /// connections in a row exhaust the stream -- a crash-looping peer
+  /// whose accept queue keeps completing handshakes cannot spin this
+  /// loop hot or keep it alive forever.
+  std::size_t read(std::span<std::uint8_t> out) override;
+
+  /// Connections that ended (EOF or read error), barren ones included.
+  std::uint64_t disconnects() const { return disconnects_; }
+
+  /// Successful redials after a disconnect.
+  std::uint64_t reconnects() const { return reconnects_; }
+
+  /// Total dial attempts, failures included.
+  std::uint64_t dial_attempts() const { return dial_attempts_; }
+
+  /// True when read() returned 0 because max_attempts dials in a row
+  /// failed (as opposed to a clean end of stream).
+  bool exhausted() const { return exhausted_; }
+
+  /// The last transient dial failure's message (empty when every dial
+  /// succeeded). Report it alongside exhausted(): an end of stream that
+  /// spent the dial budget is only "clean" if the peer really finished.
+  /// A permanent failure (InvalidArgument from the dial) is not
+  /// recorded here -- it propagates out of read() immediately.
+  const std::string& last_error() const { return last_error_; }
+
+ private:
+  /// Dial with backoff; false once the attempt budget is spent. With
+  /// `delay_first`, the round opens with a sleep scaled by the barren
+  /// streak instead of an immediate attempt.
+  bool connect_with_backoff(bool delay_first);
+
+  Dial dial_;
+  ReconnectPolicy policy_;
+  Sleep sleep_;
+  std::function<void()> on_reconnect_;
+  std::unique_ptr<StreamSource> current_;
+  std::string last_error_;
+  bool ever_connected_ = false;
+  bool exhausted_ = false;
+  bool current_served_ = false;      // current connection delivered bytes
+  std::size_t barren_streak_ = 0;    // consecutive zero-byte connections
+  std::uint64_t disconnects_ = 0;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t dial_attempts_ = 0;
+};
+
+}  // namespace mlp::stream

@@ -111,9 +111,9 @@ FdPair open_tcp_loopback() {
   return FdPair{accepted, client};
 }
 
-int tcp_listen_accept(std::uint16_t port) {
+TcpListener open_tcp_listener(std::uint16_t port) {
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) fail_errno("tcp_listen_accept: socket");
+  if (listener < 0) fail_errno("open_tcp_listener: socket");
   const int one = 1;
   ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
@@ -122,14 +122,55 @@ int tcp_listen_accept(std::uint16_t port) {
   addr.sin_port = htons(port);
   if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
           0 ||
-      ::listen(listener, 1) != 0) {
+      ::listen(listener, 4) != 0) {
     ::close(listener);
-    fail_errno("tcp_listen_accept: bind/listen");
+    fail_errno("open_tcp_listener: bind/listen");
   }
-  const int accepted = ::accept(listener, nullptr, nullptr);
-  ::close(listener);
-  if (accepted < 0) fail_errno("tcp_listen_accept: accept");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    ::close(listener);
+    fail_errno("open_tcp_listener: getsockname");
+  }
+  return TcpListener{listener, ntohs(addr.sin_port)};
+}
+
+int tcp_accept(int listener_fd) {
+  for (;;) {
+    const int accepted = ::accept(listener_fd, nullptr, nullptr);
+    if (accepted >= 0) return accepted;
+    if (errno == EINTR) continue;
+    fail_errno("tcp_accept");
+  }
+}
+
+int tcp_listen_accept(std::uint16_t port) {
+  const TcpListener listener = open_tcp_listener(port);
+  int accepted = -1;
+  try {
+    accepted = tcp_accept(listener.fd);
+  } catch (...) {
+    ::close(listener.fd);
+    throw;
+  }
+  ::close(listener.fd);
   return accepted;
+}
+
+int tcp_connect(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw InvalidArgument("tcp_connect: not an IPv4 address: " + host);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("tcp_connect: socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    fail_errno("tcp_connect: connect to " + host + ":" +
+               std::to_string(port));
+  }
+  return fd;
 }
 
 void write_all(int fd, std::span<const std::uint8_t> data) {
@@ -165,9 +206,19 @@ FdPair open_tcp_loopback() {
   throw InvalidArgument(
       "open_tcp_loopback: not supported on this platform");
 }
+TcpListener open_tcp_listener(std::uint16_t) {
+  throw InvalidArgument(
+      "open_tcp_listener: not supported on this platform");
+}
+int tcp_accept(int) {
+  throw InvalidArgument("tcp_accept: not supported on this platform");
+}
 int tcp_listen_accept(std::uint16_t) {
   throw InvalidArgument(
       "tcp_listen_accept: not supported on this platform");
+}
+int tcp_connect(const std::string&, std::uint16_t) {
+  throw InvalidArgument("tcp_connect: not supported on this platform");
 }
 void write_all(int, std::span<const std::uint8_t>) {
   throw InvalidArgument("write_all: not supported on this platform");

@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace mlp::stream {
@@ -82,9 +83,28 @@ FdPair open_socketpair();
 /// connect, accept, close the listener. read_fd is the accepted side.
 FdPair open_tcp_loopback();
 
+/// A bound, listening TCP socket on 127.0.0.1. Unlike tcp_listen_accept
+/// it survives across accepts, so a flaky-server test (or a replay
+/// server) can accept, drop and re-accept on one stable port.
+struct TcpListener {
+  int fd = -1;
+  std::uint16_t port = 0;  // resolved port (ephemeral when 0 was asked)
+};
+
+/// Bind + listen on 127.0.0.1:`port` (0 picks an ephemeral port).
+TcpListener open_tcp_listener(std::uint16_t port);
+
+/// Accept one connection on a listener fd (blocking).
+int tcp_accept(int listener_fd);
+
 /// Listen on 127.0.0.1:`port` and accept one connection (blocking);
 /// returns the connected descriptor. The CLI's socket-feed mode.
 int tcp_listen_accept(std::uint16_t port);
+
+/// Connect to `host`:`port` (IPv4 dotted quad); returns the connected
+/// descriptor. The CLI's dial-out feed mode and the reconnect wrapper's
+/// usual dial target.
+int tcp_connect(const std::string& host, std::uint16_t port);
 
 /// Write all of `data` to `fd` (test/CLI helper; retries short writes).
 void write_all(int fd, std::span<const std::uint8_t> data);

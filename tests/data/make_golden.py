@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Regenerate the golden binary fixtures in this directory.
+
+The fixtures are hand-assembled from the RFC wire formats (RFC 4271 BGP
+UPDATE, RFC 6396 MRT, RFC 7854 BMP) on purpose -- they do NOT go through
+the repository's own encoders, so a codec regression cannot silently
+re-pin itself. The decode-side expectations live in mrt_test.cpp and
+stream_test.cpp (GoldenCorpus suites); if you change these bytes, update
+those pins in the same commit.
+
+Usage: python3 tests/data/make_golden.py
+"""
+import struct
+import pathlib
+
+HERE = pathlib.Path(__file__).resolve().parent
+
+
+def prefix_bytes(addr: str, plen: int) -> bytes:
+    """RFC 4271 NLRI encoding: length byte + minimal address bytes."""
+    octets = [int(x) for x in addr.split(".")]
+    need = (plen + 7) // 8
+    return bytes([plen] + octets[:need])
+
+
+def path_attrs(as_path, four_octet_as, communities=(), next_hop=0x0A0A0A0A):
+    out = b""
+    # ORIGIN (flags 0x40, type 1): IGP
+    out += bytes([0x40, 1, 1, 0])
+    # AS_PATH (flags 0x40, type 2): one AS_SEQUENCE segment
+    fmt = ">I" if four_octet_as else ">H"
+    seg = bytes([2, len(as_path)]) + b"".join(
+        struct.pack(fmt, a) for a in as_path)
+    out += bytes([0x40, 2, len(seg)]) + seg
+    # NEXT_HOP (flags 0x40, type 3)
+    out += bytes([0x40, 3, 4]) + struct.pack(">I", next_hop)
+    # COMMUNITIES (flags 0xC0, type 8)
+    if communities:
+        body = b"".join(struct.pack(">HH", hi, lo) for hi, lo in communities)
+        out += bytes([0xC0, 8, len(body)]) + body
+    return out
+
+
+def bgp_update(nlri=(), withdrawn=(), as_path=(), four_octet_as=True,
+               communities=()):
+    withdrawn_b = b"".join(prefix_bytes(a, p) for a, p in withdrawn)
+    attrs_b = path_attrs(as_path, four_octet_as, communities) if nlri else b""
+    nlri_b = b"".join(prefix_bytes(a, p) for a, p in nlri)
+    body = (struct.pack(">H", len(withdrawn_b)) + withdrawn_b +
+            struct.pack(">H", len(attrs_b)) + attrs_b + nlri_b)
+    total = 19 + len(body)
+    return b"\xff" * 16 + struct.pack(">H", total) + b"\x02" + body
+
+
+def mrt_record(timestamp, mrt_type, subtype, body):
+    return struct.pack(">IHHI", timestamp, mrt_type, subtype,
+                       len(body)) + body
+
+
+def bgp4mp_body(peer_asn, peer_ip, pdu, four_octet_as=True):
+    fmt = ">IIHHII" if four_octet_as else ">HHHHII"
+    return struct.pack(fmt, peer_asn, 0, 0, 1, peer_ip, 0) + pdu
+
+
+def ip(a, b, c, d):
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+def golden_updates() -> bytes:
+    out = b""
+    # 1: AS4 announce 10.1.0.0/16, path 5 10 20, DE-CIX ALL community
+    out += mrt_record(1000, 16, 4, bgp4mp_body(5, ip(10, 0, 0, 5), bgp_update(
+        nlri=[("10.1.0.0", 16)], as_path=[5, 10, 20],
+        communities=[(6695, 6695)])))
+    # 2: AS4 announce 10.2.0.0/16, reversed member order (setter 10)
+    out += mrt_record(1010, 16, 4, bgp4mp_body(5, ip(10, 0, 0, 5), bgp_update(
+        nlri=[("10.2.0.0", 16)], as_path=[5, 20, 10],
+        communities=[(6695, 6695)])))
+    # 3: 2-byte-AS subtype announce 10.3.0.0/16, MSK-IX community
+    out += mrt_record(1020, 16, 1, bgp4mp_body(5, ip(10, 0, 0, 5), bgp_update(
+        nlri=[("10.3.0.0", 16)], as_path=[5, 10, 20],
+        communities=[(8631, 8631)], four_octet_as=False),
+        four_octet_as=False))
+    # 4: AS4 withdrawal of 10.1.0.0/16 (settles the pending announcement)
+    out += mrt_record(1100, 16, 4, bgp4mp_body(5, ip(10, 0, 0, 5), bgp_update(
+        withdrawn=[("10.1.0.0", 16)])))
+    # 5: PEER_INDEX_TABLE (update consumers step over it)
+    peer_table = (struct.pack(">I", ip(192, 0, 2, 1)) +
+                  struct.pack(">H", 6) + b"golden" +
+                  struct.pack(">H", 1) +
+                  bytes([0x02]) + struct.pack(">III", ip(10, 0, 0, 5),
+                                              ip(10, 0, 0, 5), 5))
+    out += mrt_record(1150, 13, 1, peer_table)
+    # 6: AS4 announce 10.4.0.0/24 from a second vantage peer
+    out += mrt_record(1200, 16, 4, bgp4mp_body(7, ip(10, 0, 0, 7), bgp_update(
+        nlri=[("10.4.0.0", 24)], as_path=[7, 20, 10],
+        communities=[(8631, 8631)])))
+    return out
+
+
+def bmp_message(msg_type, payload):
+    return bytes([3]) + struct.pack(">I", 6 + len(payload)) + \
+        bytes([msg_type]) + payload
+
+
+def bmp_per_peer(peer_asn, peer_ip, timestamp, flags=0):
+    return (bytes([0, flags]) + b"\x00" * 8 + b"\x00" * 12 +
+            struct.pack(">I", peer_ip) + struct.pack(">I", peer_asn) +
+            struct.pack(">I", peer_ip) + struct.pack(">II", timestamp, 0))
+
+
+def golden_bmp() -> bytes:
+    out = b""
+    # Initiation with a sysDescr TLV
+    out += bmp_message(4, struct.pack(">HH", 1, 6) + b"golden")
+    # Route Monitoring: announce 10.1.0.0/16, path 5 10 20, DE-CIX ALL
+    out += bmp_message(0, bmp_per_peer(5, ip(10, 0, 0, 5), 2000) + bgp_update(
+        nlri=[("10.1.0.0", 16)], as_path=[5, 10, 20],
+        communities=[(6695, 6695)]))
+    # Route Monitoring wrapping a KEEPALIVE (type 4): stepped over
+    keepalive = b"\xff" * 16 + struct.pack(">H", 19) + b"\x04"
+    out += bmp_message(0, bmp_per_peer(5, ip(10, 0, 0, 5), 2005) + keepalive)
+    # Route Monitoring for an IPv6 peer (V flag): stepped over
+    out += bmp_message(0, bmp_per_peer(5, 0, 2010, flags=0x80) + bgp_update(
+        nlri=[("10.9.0.0", 16)], as_path=[5, 10, 20],
+        communities=[(6695, 6695)]))
+    # Stats Report (type 1): per-peer header + count of 0 TLVs
+    out += bmp_message(1, bmp_per_peer(5, ip(10, 0, 0, 5), 2015) +
+                       struct.pack(">I", 0))
+    # Route Monitoring: announce 10.2.0.0/16, reversed member order
+    out += bmp_message(0, bmp_per_peer(5, ip(10, 0, 0, 5), 2020) + bgp_update(
+        nlri=[("10.2.0.0", 16)], as_path=[5, 20, 10],
+        communities=[(6695, 6695)]))
+    # Route Monitoring from a legacy peer (A flag, RFC 7854 4.2): the PDU
+    # carries 2-octet AS_PATH segments and the MSK-IX community
+    out += bmp_message(0, bmp_per_peer(5, ip(10, 0, 0, 5), 2025, flags=0x20)
+                       + bgp_update(
+        nlri=[("10.3.0.0", 16)], as_path=[5, 10, 20],
+        communities=[(8631, 8631)], four_octet_as=False))
+    # Termination with a reason TLV
+    out += bmp_message(5, struct.pack(">HHH", 1, 2, 0))
+    return out
+
+
+def main():
+    (HERE / "golden_updates.mrt").write_bytes(golden_updates())
+    (HERE / "golden_session.bmp").write_bytes(golden_bmp())
+    print("wrote", HERE / "golden_updates.mrt")
+    print("wrote", HERE / "golden_session.bmp")
+
+
+if __name__ == "__main__":
+    main()

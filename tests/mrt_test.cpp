@@ -674,5 +674,91 @@ TEST(MrtFile, SaveAndLoad) {
   EXPECT_THROW(load_file("/nonexistent/dir/file.mrt"), InvalidArgument);
 }
 
+// -------------------------------------------------------- golden corpus
+//
+// tests/data/golden_updates.mrt is hand-assembled from the RFC 6396 /
+// RFC 4271 wire formats by make_golden.py (it does NOT round-trip through
+// MrtWriter), so these pins anchor the decoder against real committed
+// bytes: an encoding-convention regression cannot silently re-pin itself.
+
+std::vector<std::uint8_t> load_golden(const std::string& name) {
+  return load_file(std::string(MLP_TEST_DATA_DIR) + "/" + name);
+}
+
+TEST(GoldenCorpus, DecodesPinnedRecords) {
+  const auto data = load_golden("golden_updates.mrt");
+  const auto records = decode_all(data);
+  ASSERT_EQ(records.size(), 6u);
+
+  // Record 0: AS4 announce of 10.1.0.0/16 on path 5 10 20.
+  EXPECT_EQ(records[0].timestamp, 1000u);
+  {
+    const auto& m = std::get<Bgp4mpMessage>(records[0].body);
+    EXPECT_EQ(m.peer_asn, 5u);
+    EXPECT_EQ(m.peer_ip, 0x0A000005u);
+    EXPECT_TRUE(m.four_octet_as);
+    ASSERT_EQ(m.update.nlri.size(), 1u);
+    EXPECT_EQ(m.update.nlri[0], *IpPrefix::parse("10.1.0.0/16"));
+    EXPECT_EQ(m.update.attrs.as_path, AsPath({5, 10, 20}));
+    EXPECT_EQ(m.update.attrs.next_hop, 0x0A0A0A0Au);
+    const std::vector<Community> want = {Community(6695, 6695)};
+    EXPECT_EQ(m.update.attrs.communities, want);
+  }
+
+  // Record 2: 2-byte-AS subtype carrying the MSK-IX community.
+  EXPECT_EQ(records[2].timestamp, 1020u);
+  {
+    const auto& m = std::get<Bgp4mpMessage>(records[2].body);
+    EXPECT_FALSE(m.four_octet_as);
+    EXPECT_EQ(m.update.attrs.as_path, AsPath({5, 10, 20}));
+    const std::vector<Community> want = {Community(8631, 8631)};
+    EXPECT_EQ(m.update.attrs.communities, want);
+  }
+
+  // Record 3: pure withdrawal of record 0's prefix.
+  {
+    const auto& m = std::get<Bgp4mpMessage>(records[3].body);
+    EXPECT_TRUE(m.update.nlri.empty());
+    ASSERT_EQ(m.update.withdrawn.size(), 1u);
+    EXPECT_EQ(m.update.withdrawn[0], *IpPrefix::parse("10.1.0.0/16"));
+  }
+
+  // Record 4: the PEER_INDEX_TABLE.
+  {
+    const auto& t = std::get<PeerIndexTable>(records[4].body);
+    EXPECT_EQ(t.view_name, "golden");
+    ASSERT_EQ(t.peers.size(), 1u);
+    EXPECT_EQ(t.peers[0].asn, 5u);
+    EXPECT_TRUE(t.peers[0].four_octet_as);
+  }
+
+  // Record 5: the second vantage peer.
+  EXPECT_EQ(records[5].timestamp, 1200u);
+  {
+    const auto& m = std::get<Bgp4mpMessage>(records[5].body);
+    EXPECT_EQ(m.peer_asn, 7u);
+    ASSERT_EQ(m.update.nlri.size(), 1u);
+    EXPECT_EQ(m.update.nlri[0], *IpPrefix::parse("10.4.0.0/24"));
+    EXPECT_EQ(m.update.attrs.as_path, AsPath({7, 20, 10}));
+  }
+}
+
+TEST(GoldenCorpus, UpdateWalkersAgreeOnPinnedCounts) {
+  const auto data = load_golden("golden_updates.mrt");
+  const auto updates = parse_updates(data);
+  ASSERT_EQ(updates.size(), 5u);  // the PEER_INDEX_TABLE is stepped over
+  EXPECT_EQ(updates[0].peer_asn, 5u);
+  EXPECT_EQ(updates[4].peer_asn, 7u);
+
+  MrtCursor cursor(data, MrtCursor::Skip::TableDumpV2);
+  std::size_t update_events = 0;
+  for (;;) {
+    const auto event = cursor.next();
+    if (event == MrtCursor::Event::End) break;
+    if (event == MrtCursor::Event::Update) ++update_events;
+  }
+  EXPECT_EQ(update_events, updates.size());
+}
+
 }  // namespace
 }  // namespace mlp::mrt

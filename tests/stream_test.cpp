@@ -1,23 +1,32 @@
 // Tests for the live update-stream subsystem: incremental MRT framing,
-// the byte-stream transports, per-record update decoding, and the
-// LiveSession chunk-boundary determinism guarantee (final link sets
-// byte-identical to archive ingest for every chunking of the same byte
-// stream, across thread counts).
+// the BMP (RFC 7854) transport, the byte-stream transports including
+// reconnect/resume, per-record update decoding, the LiveSession
+// chunk-boundary determinism guarantee (final link sets byte-identical
+// to archive ingest for every chunking of the same byte stream, across
+// thread counts), its multi-feed generalization (cross-feed merge ==
+// deterministic feed-order concatenation, for every interleaving), and
+// the committed golden-corpus fixtures under tests/data/.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <numeric>
+#include <random>
 #include <set>
 #include <thread>
 
 #include "core/engine.hpp"
 #include "core/passive.hpp"
+#include "mrt/mrt.hpp"
 #include "mrt/record_codec.hpp"
 #include "mrt/table_dump.hpp"
 #include "pipeline/live_session.hpp"
+#include "pipeline/pipeline.hpp"
 #include "scenario/scenario.hpp"
+#include "stream/bmp_framer.hpp"
 #include "stream/decoder.hpp"
 #include "stream/framer.hpp"
+#include "stream/reconnect.hpp"
 #include "stream/source.hpp"
 #include "util/errors.hpp"
 
@@ -35,13 +44,14 @@ using routeserver::SchemeStyle;
 /// community (attributable by the two_ixps fixture).
 std::vector<std::uint8_t> update_record(std::uint32_t timestamp,
                                         const std::string& prefix,
-                                        bool flip = false) {
+                                        bool flip = false,
+                                        bool four_octet_as = true) {
   mrt::MrtWriter w;
   mrt::Bgp4mpMessage m;
   m.peer_asn = 5;
   m.local_asn = 65000;
   m.peer_ip = 0x0505;
-  m.four_octet_as = true;
+  m.four_octet_as = four_octet_as;
   m.update.nlri = {*bgp::IpPrefix::parse(prefix)};
   m.update.attrs.as_path =
       flip ? bgp::AsPath({5, 20, 10}) : bgp::AsPath({5, 10, 20});
@@ -498,6 +508,708 @@ TEST(LiveSession, StrictModeThrowsWithStreamOffset) {
               std::string::npos)
         << e.what();
   }
+}
+
+// ---------------------------------------------------------- BMP framer
+
+/// Feed `data` through a BmpFramer in `chunk`-sized slivers, collecting
+/// every synthesized MRT record.
+std::vector<std::vector<std::uint8_t>> bmp_frame_all(
+    std::span<const std::uint8_t> data, std::size_t chunk) {
+  BmpFramer framer;
+  std::vector<std::vector<std::uint8_t>> records;
+  for (std::size_t at = 0; at < data.size(); at += chunk) {
+    const std::size_t n = std::min(chunk, data.size() - at);
+    framer.feed(data.subspan(at, n));
+    for (;;) {
+      const auto record = framer.next();
+      if (!record) break;
+      records.emplace_back(record->begin(), record->end());
+    }
+  }
+  return records;
+}
+
+TEST(BmpFramer, UnwrapsRouteMonitoringForEveryChunking) {
+  // Mixed AS widths: every third record is a legacy 2-octet-AS message,
+  // which must round-trip through the BMP A flag (peer-header bit 0x20)
+  // back to subtype Message so the AS_PATH decodes at the right width.
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 12; ++i) {
+    const auto record =
+        update_record(2000 + i, "10." + std::to_string(i) + ".0.0/16",
+                      i % 2 == 1, /*four_octet_as=*/i % 3 != 0);
+    data.insert(data.end(), record.begin(), record.end());
+  }
+  const auto wrapped = bmp_wrap_updates(data);
+  const auto want = mrt::parse_updates(data);
+  ASSERT_EQ(want.size(), 12u);
+
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}, wrapped.size()}) {
+    const auto records = bmp_frame_all(wrapped, chunk);
+    ASSERT_EQ(records.size(), want.size()) << "chunk " << chunk;
+    UpdateDecoder decoder;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const UpdateRecordView* view = decoder.decode(records[i]);
+      ASSERT_NE(view, nullptr);
+      EXPECT_EQ(view->timestamp, want[i].timestamp);
+      EXPECT_EQ(view->peer_asn, want[i].peer_asn);
+      EXPECT_EQ(view->peer_ip, want[i].peer_ip);
+      EXPECT_EQ(*view->update, want[i].update);
+    }
+  }
+
+  BmpFramer framer;
+  framer.feed(wrapped);
+  while (framer.next()) {
+  }
+  EXPECT_EQ(framer.messages(), 14u);  // 12 RM + Initiation + Termination
+  EXPECT_EQ(framer.skipped(), 2u);
+  EXPECT_EQ(framer.buffered(), 0u);
+  EXPECT_EQ(framer.bytes_fed(), wrapped.size());
+}
+
+TEST(BmpFramer, BadVersionThrowsAndResyncRecovers) {
+  BmpFramer framer;
+  std::vector<std::uint8_t> garbage(10, 0x00);
+  framer.feed(garbage);
+  try {
+    framer.next();
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("stream offset 0"),
+              std::string::npos)
+        << e.what();
+  }
+  framer.resync();
+  EXPECT_FALSE(framer.next().has_value());  // still scanning
+  const auto record = update_record(5, "10.5.0.0/16");
+  const auto wrapped = bmp_wrap_updates(record);
+  framer.feed(wrapped);
+  const auto framed = framer.next();
+  ASSERT_TRUE(framed.has_value());
+  UpdateDecoder decoder;
+  EXPECT_NE(decoder.decode(*framed), nullptr);
+}
+
+TEST(BmpFramer, TruncatedRouteMonitoringThrows) {
+  // A type-0 message whose declared length cannot hold the per-peer
+  // header plus a BGP header is structurally invalid.
+  std::vector<std::uint8_t> bogus = {3, 0, 0, 0, 20, 0};
+  bogus.resize(20, 0);
+  BmpFramer framer;
+  framer.feed(bogus);
+  EXPECT_THROW(framer.next(), ParseError);
+}
+
+TEST(BmpFramer, ResetDropsPartialAndKeepsCounters) {
+  const auto wrapped = bmp_wrap_updates(update_record(6, "10.6.0.0/16"));
+  BmpFramer framer;
+  framer.feed(wrapped);
+  while (framer.next()) {
+  }
+  const auto tail =
+      std::span<const std::uint8_t>(wrapped).first(wrapped.size() / 2);
+  framer.feed(tail);
+  while (framer.next()) {
+  }
+  EXPECT_GT(framer.buffered(), 0u);
+  const std::size_t dropped = framer.reset();
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(framer.buffered(), 0u);
+  // Initiation + RM + Termination, plus the replayed Initiation that
+  // completed before the cut.
+  EXPECT_EQ(framer.messages(), 4u);
+  EXPECT_EQ(framer.bytes_fed(), wrapped.size() + tail.size());
+  // The framer accepts a fresh session after the reset.
+  framer.feed(wrapped);
+  std::size_t records = 0;
+  while (framer.next()) ++records;
+  EXPECT_EQ(records, 1u);
+}
+
+TEST(LiveSession, BmpLaneSurvivesRecordCapViolation) {
+  // A BMP message below the BMP cap can still synthesize an MRT record
+  // above LiveConfig::framing.max_record_bytes. In tolerant mode the
+  // lane must drop that one record (no MrtFramer resync scan -- BMP
+  // boundaries are trusted) and keep decoding the rest.
+  const auto ixps = two_ixps();
+  mrt::MrtWriter w;
+  mrt::Bgp4mpMessage big;
+  big.peer_asn = 5;
+  big.four_octet_as = true;
+  big.update.attrs.as_path = bgp::AsPath({5, 10, 20});
+  big.update.attrs.next_hop = 1;
+  for (int i = 0; i < 60; ++i)
+    big.update.nlri.push_back(
+        *bgp::IpPrefix::parse("10.7." + std::to_string(i) + ".0/24"));
+  w.write_bgp4mp(1500, big);
+  std::vector<std::uint8_t> data = update_record(1000, "10.0.0.0/16");
+  const auto big_record = w.take();
+  ASSERT_GT(big_record.size(), 256u);
+  data.insert(data.end(), big_record.begin(), big_record.end());
+  const auto last = update_record(2000, "10.1.0.0/16", true);
+  data.insert(data.end(), last.begin(), last.end());
+  const auto wrapped = bmp_wrap_updates(data);
+
+  LiveConfig config;
+  config.passive.tolerate_malformed = true;
+  config.framing.max_record_bytes = 256;
+  LiveSession session(config, ixps);
+  pipeline::FeedOptions options;
+  options.bmp = true;
+  pipeline::FeedHandle handle = session.add_feed(options);
+  for (std::size_t at = 0; at < wrapped.size(); at += 5)
+    handle.feed(std::span<const std::uint8_t>(wrapped).subspan(
+        at, std::min<std::size_t>(5, wrapped.size() - at)));
+  const LiveResult result = session.finish();
+  EXPECT_EQ(result.passive.records_malformed, 1u);
+  EXPECT_EQ(result.records, 2u);  // the two small updates survived
+  EXPECT_EQ(result.passive.observations, 2u);
+}
+
+TEST(LiveSession, BmpFeedMatchesArchiveIngest) {
+  scenario::ScenarioParams params;
+  params.topology.n_ases = 400;
+  params.membership_scale = 0.15;
+  params.seed = 99;
+  scenario::Scenario s(params);
+  const auto ixps = s.ixp_contexts();
+  const auto data = s.collectors().front().update_dump(1367366400);
+  const auto wrapped = bmp_wrap_updates(data);
+  const Reference ref = reference_run(ixps, data, core::PassiveConfig{});
+
+  LiveConfig config;
+  config.threads = 2;
+  LiveSession session(config, ixps);
+  pipeline::FeedOptions options;
+  options.name = "bmp-feed";
+  options.bmp = true;
+  pipeline::FeedHandle handle = session.add_feed(options);
+  for (std::size_t at = 0; at < wrapped.size(); at += 4096)
+    handle.feed(std::span<const std::uint8_t>(wrapped)
+                    .subspan(at, std::min<std::size_t>(
+                                     4096, wrapped.size() - at)));
+  const LiveResult result = session.finish();
+  ASSERT_EQ(result.per_ixp.size(), ref.links.size());
+  for (std::size_t i = 0; i < ref.links.size(); ++i)
+    EXPECT_EQ(result.per_ixp[i].links, ref.links[i]) << "ixp " << i;
+  EXPECT_EQ(result.passive.observations, ref.stats.observations);
+  ASSERT_EQ(result.per_feed.size(), 1u);
+  EXPECT_EQ(result.per_feed[0].name, "bmp-feed");
+  EXPECT_EQ(result.per_feed[0].bytes_fed, wrapped.size());
+  EXPECT_EQ(result.per_feed[0].records, result.records);
+  EXPECT_EQ(result.per_feed[0].bmp_skipped, 2u);  // Initiation+Termination
+}
+
+// ----------------------------------------------------------- multi-feed
+
+/// One synthetic feed: `n` update records with feed-unique prefixes
+/// (disjoint (peer, prefix) announce-window keys across feeds, so
+/// per-feed windows == one window over the concatenation).
+std::vector<std::uint8_t> synthetic_feed_stream(std::size_t feed,
+                                                std::size_t n) {
+  std::vector<std::uint8_t> data;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto record = update_record(
+        1000 + static_cast<std::uint32_t>(i),
+        "10." + std::to_string(feed) + "." + std::to_string(i) + ".0/24",
+        (feed + i) % 2 == 1);
+    data.insert(data.end(), record.begin(), record.end());
+  }
+  return data;
+}
+
+/// Cut list for one stream: fixed step, or record-aligned when step==0.
+std::vector<std::size_t> cuts_for(std::span<const std::uint8_t> data,
+                                  std::size_t step) {
+  if (step == 0) return record_boundaries(data);
+  return fixed_cuts(data.size(), step);
+}
+
+TEST(LiveSession, MultiFeedMatrixMatchesConcatenatedArchiveIngest) {
+  // The PR-5 acceptance matrix: {1,2,4} feeds x {1B,7B,record-aligned}
+  // chunking x {1,4} threads, interleave order shuffled by seed. The
+  // final link sets must be byte-identical to single-stream archive
+  // ingest of the per-feed concatenation in add_feed order, for EVERY
+  // interleaving -- the cross-feed merge depends only on the per-feed
+  // byte sequences.
+  const auto ixps = two_ixps();
+  const core::PassiveConfig passive;
+  for (const std::size_t n_feeds : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    std::vector<std::vector<std::uint8_t>> streams;
+    std::vector<std::uint8_t> concat;
+    for (std::size_t f = 0; f < n_feeds; ++f) {
+      streams.push_back(synthetic_feed_stream(f, 30));
+      concat.insert(concat.end(), streams.back().begin(),
+                    streams.back().end());
+    }
+    const Reference ref = reference_run(ixps, concat, passive);
+    ASSERT_GT(ref.stats.observations, 0u);
+
+    for (const std::size_t step : {std::size_t{1}, std::size_t{7},
+                                   std::size_t{0}}) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        for (const unsigned seed : {11u, 77u}) {
+          LiveConfig config;
+          config.threads = threads;
+          config.passive = passive;
+          config.batch_size = 16;
+          LiveSession session(config, ixps);
+          std::vector<pipeline::FeedHandle> handles;
+          for (std::size_t f = 0; f < n_feeds; ++f)
+            handles.push_back(session.add_feed());
+
+          // Shuffled round-robin: next chunk of a random live feed.
+          struct FeedCursor {
+            std::span<const std::uint8_t> data;
+            std::vector<std::size_t> cuts;
+            std::size_t at = 0;     // byte position
+            std::size_t cut = 0;    // next cut index
+          };
+          std::vector<FeedCursor> cursors;
+          for (std::size_t f = 0; f < n_feeds; ++f)
+            cursors.push_back(
+                FeedCursor{streams[f], cuts_for(streams[f], step)});
+          std::mt19937 rng(seed);
+          std::vector<std::size_t> live;
+          for (std::size_t f = 0; f < n_feeds; ++f) live.push_back(f);
+          while (!live.empty()) {
+            const std::size_t pick = std::uniform_int_distribution<
+                std::size_t>(0, live.size() - 1)(rng);
+            const std::size_t f = live[pick];
+            FeedCursor& cursor = cursors[f];
+            const std::size_t end = cursor.cuts[cursor.cut++];
+            handles[f].feed(cursor.data.subspan(cursor.at,
+                                                end - cursor.at));
+            cursor.at = end;
+            if (cursor.cut == cursor.cuts.size())
+              live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+          }
+
+          const LiveResult result = session.finish();
+          ASSERT_EQ(result.per_ixp.size(), ixps.size());
+          for (std::size_t i = 0; i < ixps.size(); ++i)
+            EXPECT_EQ(result.per_ixp[i].links, ref.links[i])
+                << n_feeds << " feeds, step " << step << ", threads "
+                << threads << ", seed " << seed << ", ixp " << i;
+          EXPECT_EQ(result.passive.paths_seen, ref.stats.paths_seen);
+          EXPECT_EQ(result.passive.observations, ref.stats.observations);
+          ASSERT_EQ(result.per_feed.size(), n_feeds);
+          for (std::size_t f = 0; f < n_feeds; ++f)
+            EXPECT_EQ(result.per_feed[f].records, 30u);
+        }
+      }
+    }
+  }
+}
+
+TEST(LiveSession, MultiFeedMatchesArchivePipelineOnScenarioSplit) {
+  // Stronger, fixture-independent form of the merge invariant: a live
+  // multi-feed session over ANY per-feed byte sequences equals
+  // InferencePipeline over the same sequences as update archives (the
+  // pipeline is per-archive extractors + strict source-order queues, by
+  // construction the same merge). Split a real scenario stream
+  // round-robin so feeds DO share (peer, prefix) keys.
+  scenario::ScenarioParams params;
+  params.topology.n_ases = 400;
+  params.membership_scale = 0.15;
+  params.seed = 1234;
+  scenario::Scenario s(params);
+  const auto ixps = s.ixp_contexts();
+  const auto data = s.collectors().front().update_dump(1367366400);
+  const auto bounds = record_boundaries(data);
+  ASSERT_EQ(bounds.back(), data.size());
+
+  constexpr std::size_t kFeeds = 3;
+  std::vector<std::vector<std::uint8_t>> streams(kFeeds);
+  std::size_t at = 0;
+  for (std::size_t r = 0; r < bounds.size(); ++r) {
+    const auto record =
+        std::span<const std::uint8_t>(data).subspan(at, bounds[r] - at);
+    auto& stream = streams[r % kFeeds];
+    stream.insert(stream.end(), record.begin(), record.end());
+    at = bounds[r];
+  }
+
+  pipeline::PipelineConfig pipe_config;
+  pipe_config.threads = 2;
+  pipeline::InferencePipeline pipe(pipe_config);
+  for (const auto& ixp : ixps) pipe.add_ixp(ixp);
+  for (const auto& stream : streams) {
+    auto copy = stream;
+    pipe.add_update_stream(std::move(copy));
+  }
+  const auto want = pipe.run();
+
+  LiveConfig config;
+  config.threads = 4;
+  LiveSession session(config, ixps);
+  std::vector<pipeline::FeedHandle> handles;
+  for (std::size_t f = 0; f < kFeeds; ++f)
+    handles.push_back(session.add_feed());
+  std::mt19937 rng(5);
+  std::vector<std::size_t> offsets(kFeeds, 0);
+  std::vector<std::size_t> live;
+  for (std::size_t f = 0; f < kFeeds; ++f)
+    if (!streams[f].empty()) live.push_back(f);
+  while (!live.empty()) {
+    const std::size_t pick =
+        std::uniform_int_distribution<std::size_t>(0, live.size() - 1)(rng);
+    const std::size_t f = live[pick];
+    const std::size_t n =
+        std::min<std::size_t>(1024 + 37, streams[f].size() - offsets[f]);
+    handles[f].feed(std::span<const std::uint8_t>(
+        streams[f].data() + offsets[f], n));
+    offsets[f] += n;
+    if (offsets[f] == streams[f].size())
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  const LiveResult result = session.finish();
+
+  ASSERT_EQ(result.per_ixp.size(), want.per_ixp.size());
+  for (std::size_t i = 0; i < want.per_ixp.size(); ++i)
+    EXPECT_EQ(result.per_ixp[i].links, want.per_ixp[i].links)
+        << "ixp " << i;
+  EXPECT_EQ(result.all_links, want.all_links);
+  EXPECT_EQ(result.passive.paths_seen, want.passive.paths_seen);
+  EXPECT_EQ(result.passive.observations, want.passive.observations);
+}
+
+TEST(LiveSession, ConcurrentFeedThreadsMatchReferenceUnderSnapshots) {
+  // Lanes are independent: one thread per feed, snapshots taken from the
+  // main thread while everything is in flight (the stop-the-world path
+  // TSan must bless), final result still the deterministic merge.
+  const auto ixps = two_ixps();
+  constexpr std::size_t kFeeds = 4;
+  std::vector<std::vector<std::uint8_t>> streams;
+  std::vector<std::uint8_t> concat;
+  for (std::size_t f = 0; f < kFeeds; ++f) {
+    streams.push_back(synthetic_feed_stream(f, 40));
+    concat.insert(concat.end(), streams.back().begin(),
+                  streams.back().end());
+  }
+  const Reference ref = reference_run(ixps, concat, core::PassiveConfig{});
+
+  LiveConfig config;
+  config.threads = 2;
+  LiveSession session(config, ixps);
+  std::vector<pipeline::FeedHandle> handles;
+  for (std::size_t f = 0; f < kFeeds; ++f)
+    handles.push_back(session.add_feed());
+
+  std::vector<std::thread> feeders;
+  for (std::size_t f = 0; f < kFeeds; ++f) {
+    feeders.emplace_back([&, f] {
+      const auto& stream = streams[f];
+      for (std::size_t feed_at = 0; feed_at < stream.size(); feed_at += 16)
+        handles[f].feed(std::span<const std::uint8_t>(stream).subspan(
+            feed_at, std::min<std::size_t>(16, stream.size() - feed_at)));
+      handles[f].close();
+    });
+  }
+  for (int i = 0; i < 5; ++i) {
+    const auto snap = session.snapshot();
+    EXPECT_LE(snap.records, kFeeds * 40u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  (void)session.records();
+  for (auto& feeder : feeders) feeder.join();
+
+  const LiveResult result = session.finish();
+  for (std::size_t i = 0; i < ixps.size(); ++i)
+    EXPECT_EQ(result.per_ixp[i].links, ref.links[i]) << "ixp " << i;
+  EXPECT_EQ(result.passive.observations, ref.stats.observations);
+}
+
+TEST(LiveSession, FeedLifecycleCloseOrderingAndErrors) {
+  const auto ixps = two_ixps();
+  const auto stream0 = synthetic_feed_stream(0, 10);
+  const auto stream1 = synthetic_feed_stream(1, 10);
+  std::vector<std::uint8_t> concat = stream0;
+  concat.insert(concat.end(), stream1.begin(), stream1.end());
+  const Reference ref = reference_run(ixps, concat, core::PassiveConfig{});
+
+  LiveConfig config;
+  LiveSession session(config, ixps);
+  pipeline::FeedHandle first = session.add_feed();
+  first.feed(stream0);
+  first.close();
+  first.close();  // idempotent
+  EXPECT_THROW(first.feed(stream0), InvalidArgument);
+  // A feed added mid-session continues the merge order.
+  pipeline::FeedHandle second = session.add_feed();
+  second.feed(stream1);
+  const LiveResult result = session.finish();
+  for (std::size_t i = 0; i < ixps.size(); ++i)
+    EXPECT_EQ(result.per_ixp[i].links, ref.links[i]) << "ixp " << i;
+  EXPECT_EQ(result.passive.observations, ref.stats.observations);
+  EXPECT_THROW(session.add_feed(), InvalidArgument);
+  EXPECT_THROW(session.finish(), InvalidArgument);
+}
+
+// ------------------------------------------------------------ reconnect
+
+TEST(ReconnectingSource, BackoffIsBoundedExponential) {
+  std::vector<std::chrono::milliseconds> sleeps;
+  int dials = 0;
+  ReconnectPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  policy.max_backoff = std::chrono::milliseconds(6);
+  policy.reconnect_on_clean_eof = false;
+  ReconnectingSource source(
+      [&]() -> std::unique_ptr<StreamSource> {
+        if (++dials < 5) throw ParseError("connection refused");
+        return std::make_unique<MemorySource>(
+            std::vector<std::uint8_t>{1, 2, 3});
+      },
+      policy,
+      [&](std::chrono::milliseconds d) { sleeps.push_back(d); });
+
+  std::uint8_t buffer[8];
+  EXPECT_EQ(source.read(buffer), 3u);
+  EXPECT_EQ(source.dial_attempts(), 5u);
+  // The first attempt is immediate; then 1, 2, 4 ms, capped at 6.
+  const std::vector<std::chrono::milliseconds> want = {
+      std::chrono::milliseconds(1), std::chrono::milliseconds(2),
+      std::chrono::milliseconds(4), std::chrono::milliseconds(6)};
+  EXPECT_EQ(sleeps, want);
+  EXPECT_EQ(source.read(buffer), 0u);  // clean EOF, no reconnect asked
+  EXPECT_EQ(source.disconnects(), 1u);
+  EXPECT_EQ(source.reconnects(), 0u);
+  EXPECT_FALSE(source.exhausted());
+}
+
+TEST(ReconnectingSource, ExhaustedDialBudgetEndsStream) {
+  std::vector<std::chrono::milliseconds> sleeps;
+  ReconnectPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  policy.max_backoff = std::chrono::milliseconds(100);
+  ReconnectingSource source(
+      []() -> std::unique_ptr<StreamSource> {
+        throw ParseError("connection refused");
+      },
+      policy, [&](std::chrono::milliseconds d) { sleeps.push_back(d); });
+  std::uint8_t buffer[8];
+  EXPECT_EQ(source.read(buffer), 0u);
+  EXPECT_TRUE(source.exhausted());
+  EXPECT_EQ(source.dial_attempts(), 3u);
+  const std::vector<std::chrono::milliseconds> want = {
+      std::chrono::milliseconds(1), std::chrono::milliseconds(2)};
+  EXPECT_EQ(sleeps, want);
+  EXPECT_EQ(source.read(buffer), 0u);  // stays over
+}
+
+TEST(ReconnectingSource, BarrenConnectionsAreThrottledAndBounded) {
+  // A crash-looping peer whose listen queue keeps completing handshakes:
+  // every dial succeeds, every connection dies without a byte. The
+  // wrapper must back off between such connections and give up after
+  // max_attempts of them instead of spinning forever.
+  std::vector<std::chrono::milliseconds> sleeps;
+  int dials = 0;
+  ReconnectPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  policy.max_backoff = std::chrono::milliseconds(4);
+  ReconnectingSource source(
+      [&]() -> std::unique_ptr<StreamSource> {
+        ++dials;
+        return std::make_unique<MemorySource>(std::vector<std::uint8_t>{});
+      },
+      policy, [&](std::chrono::milliseconds d) { sleeps.push_back(d); });
+  std::uint8_t buffer[8];
+  EXPECT_EQ(source.read(buffer), 0u);
+  EXPECT_TRUE(source.exhausted());
+  EXPECT_EQ(dials, 3);
+  EXPECT_EQ(source.disconnects(), 3u);
+  const std::vector<std::chrono::milliseconds> want = {
+      std::chrono::milliseconds(1), std::chrono::milliseconds(2)};
+  EXPECT_EQ(sleeps, want);
+  EXPECT_NE(source.last_error().find("before serving"), std::string::npos);
+}
+
+/// Flaky in-process TCP server: accept, send [0, first_stop), drop the
+/// connection, accept again, send [resume_at, end), then close the
+/// listener (so the client's post-stream redial fails fast) and the
+/// connection.
+void run_flaky_server(const TcpListener& listener,
+                      std::span<const std::uint8_t> data,
+                      std::size_t first_stop, std::size_t resume_at) {
+  int fd = tcp_accept(listener.fd);
+  write_all(fd, data.first(first_stop));
+  close_fd(fd);
+  fd = tcp_accept(listener.fd);
+  write_all(fd, data.subspan(resume_at));
+  close_fd(listener.fd);
+  close_fd(fd);
+}
+
+struct ReconnectOutcome {
+  std::uint64_t drained = 0;
+  std::uint64_t reconnects = 0;
+  bool exhausted = false;
+  pipeline::LiveResult result;
+};
+
+ReconnectOutcome run_reconnect_session(
+    const std::vector<core::IxpContext>& ixps,
+    std::span<const std::uint8_t> data, std::size_t first_stop,
+    std::size_t resume_at) {
+  const TcpListener listener = open_tcp_listener(0);
+  std::thread server(
+      [&] { run_flaky_server(listener, data, first_stop, resume_at); });
+
+  LiveConfig config;
+  config.threads = 2;
+  config.read_chunk = 512;
+  pipeline::LiveSession session(config, ixps);
+  pipeline::FeedHandle handle = session.add_feed();
+  ReconnectPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  policy.max_backoff = std::chrono::milliseconds(8);
+  const std::uint16_t port = listener.port;
+  ReconnectingSource source(
+      [port]() -> std::unique_ptr<StreamSource> {
+        return std::make_unique<FdSource>(tcp_connect("127.0.0.1", port));
+      },
+      policy);
+  source.set_on_reconnect([&handle]() { handle.note_disconnect(); });
+
+  ReconnectOutcome outcome;
+  outcome.drained = handle.drain(source);
+  server.join();
+  outcome.reconnects = source.reconnects();
+  outcome.exhausted = source.exhausted();
+  outcome.result = session.finish();
+  return outcome;
+}
+
+TEST(LiveSession, ReconnectResumesAfterMidRecordDrop) {
+  const auto ixps = two_ixps();
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 12; ++i) {
+    const auto record = update_record(
+        1000 + i, "10." + std::to_string(i) + ".0.0/16", i % 2 == 1);
+    data.insert(data.end(), record.begin(), record.end());
+  }
+  const auto bounds = record_boundaries(data);
+  ASSERT_EQ(bounds.size(), 12u);
+  const std::size_t resume_at = bounds[5];
+  const std::size_t first_stop = resume_at + 10;  // 10B into record 6
+  const Reference ref = reference_run(ixps, data, core::PassiveConfig{});
+
+  const ReconnectOutcome outcome =
+      run_reconnect_session(ixps, data, first_stop, resume_at);
+
+  // Every byte arrived, plus the torn partial that was dropped on resume.
+  EXPECT_EQ(outcome.drained, data.size() + 10);
+  EXPECT_EQ(outcome.reconnects, 1u);
+  EXPECT_TRUE(outcome.exhausted);  // the post-stream redial spent the budget
+  ASSERT_EQ(outcome.result.per_ixp.size(), ixps.size());
+  for (std::size_t i = 0; i < ixps.size(); ++i)
+    EXPECT_EQ(outcome.result.per_ixp[i].links, ref.links[i]) << "ixp " << i;
+  EXPECT_EQ(outcome.result.passive.observations, ref.stats.observations);
+  EXPECT_EQ(outcome.result.passive.records_malformed, 0u);
+  ASSERT_EQ(outcome.result.per_feed.size(), 1u);
+  const pipeline::FeedStats& feed = outcome.result.per_feed[0];
+  EXPECT_EQ(feed.records, 12u);
+  EXPECT_EQ(feed.dirty_disconnects, 1u);
+  EXPECT_EQ(feed.clean_disconnects, 0u);
+  EXPECT_EQ(feed.partial_records_dropped, 1u);
+}
+
+TEST(LiveSession, ReconnectAtRecordBoundaryIsClean) {
+  const auto ixps = two_ixps();
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 10; ++i) {
+    const auto record = update_record(
+        2000 + i, "10." + std::to_string(i) + ".0.0/16", i % 2 == 1);
+    data.insert(data.end(), record.begin(), record.end());
+  }
+  const auto bounds = record_boundaries(data);
+  const std::size_t cut = bounds[4];
+  const Reference ref = reference_run(ixps, data, core::PassiveConfig{});
+
+  const ReconnectOutcome outcome =
+      run_reconnect_session(ixps, data, cut, cut);
+
+  EXPECT_EQ(outcome.drained, data.size());
+  EXPECT_EQ(outcome.reconnects, 1u);
+  for (std::size_t i = 0; i < ixps.size(); ++i)
+    EXPECT_EQ(outcome.result.per_ixp[i].links, ref.links[i]) << "ixp " << i;
+  ASSERT_EQ(outcome.result.per_feed.size(), 1u);
+  const pipeline::FeedStats& feed = outcome.result.per_feed[0];
+  EXPECT_EQ(feed.records, 10u);
+  EXPECT_EQ(feed.clean_disconnects, 1u);
+  EXPECT_EQ(feed.dirty_disconnects, 0u);
+  EXPECT_EQ(feed.partial_records_dropped, 0u);
+  EXPECT_EQ(outcome.result.passive.records_malformed, 0u);
+}
+
+// -------------------------------------------------------- golden corpus
+
+std::vector<std::uint8_t> load_fixture(const std::string& name) {
+  return mrt::load_file(std::string(MLP_TEST_DATA_DIR) + "/" + name);
+}
+
+TEST(GoldenCorpus, UpdatesArchiveYieldsPinnedLinkSetAndStats) {
+  // tests/data/golden_updates.mrt is hand-assembled from the RFC wire
+  // formats (see make_golden.py) and committed: these pins anchor decode
+  // behavior to real bytes, not to the repo's own encoder.
+  const auto data = load_fixture("golden_updates.mrt");
+  const auto ixps = two_ixps();
+  LiveConfig config;
+  LiveSession session(config, ixps);
+  session.feed(data);
+  const LiveResult result = session.finish();
+
+  EXPECT_EQ(result.records, 6u);
+  EXPECT_EQ(result.records_skipped, 1u);  // the PEER_INDEX_TABLE
+  EXPECT_EQ(result.passive.paths_seen, 4u);
+  EXPECT_EQ(result.passive.observations, 4u);
+  EXPECT_EQ(result.passive.records_malformed, 0u);
+  ASSERT_EQ(result.per_ixp.size(), 2u);
+  const std::set<bgp::AsLink> want_link = {bgp::AsLink(10, 20)};
+  EXPECT_EQ(result.per_ixp[0].links, want_link);  // DE-CIX: 6695:6695
+  EXPECT_EQ(result.per_ixp[1].links, want_link);  // MSK-IX: 8631:8631
+}
+
+TEST(GoldenCorpus, BmpSessionYieldsPinnedSnapshot) {
+  const auto data = load_fixture("golden_session.bmp");
+  const auto ixps = two_ixps();
+  LiveConfig config;
+  LiveSession session(config, ixps);
+  pipeline::FeedOptions options;
+  options.bmp = true;
+  pipeline::FeedHandle handle = session.add_feed(options);
+  // 3-byte slivers: every BMP header and PDU straddles chunk boundaries.
+  for (std::size_t at = 0; at < data.size(); at += 3)
+    handle.feed(std::span<const std::uint8_t>(data).subspan(
+        at, std::min<std::size_t>(3, data.size() - at)));
+  const LiveResult result = session.finish();
+
+  ASSERT_EQ(result.per_feed.size(), 1u);
+  const pipeline::FeedStats& feed = result.per_feed[0];
+  EXPECT_EQ(feed.bmp_messages, 8u);
+  // Initiation, Termination, Stats Report, KEEPALIVE RM, IPv6-peer RM.
+  EXPECT_EQ(feed.bmp_skipped, 5u);
+  // The two AS4-peer update RMs plus the legacy (A flag, 2-octet
+  // AS_PATH) RM, whose path must decode with 2-byte ASN width.
+  EXPECT_EQ(feed.records, 3u);
+  EXPECT_EQ(result.passive.paths_seen, 3u);
+  EXPECT_EQ(result.passive.observations, 3u);
+  ASSERT_EQ(result.per_ixp.size(), 2u);
+  const std::set<bgp::AsLink> want_link = {bgp::AsLink(10, 20)};
+  EXPECT_EQ(result.per_ixp[0].links, want_link);  // DE-CIX
+  // The legacy RM carried the MSK-IX community: one observation (member
+  // 20), not enough for a reciprocal link.
+  EXPECT_TRUE(result.per_ixp[1].links.empty());
+  EXPECT_EQ(result.per_ixp[1].stats.observed_members, 1u);
 }
 
 }  // namespace
