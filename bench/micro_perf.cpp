@@ -26,6 +26,7 @@
 #include "mrt/cursor.hpp"
 #include "mrt/table_dump.hpp"
 #include "pipeline/live_session.hpp"
+#include "pipeline/observation_queue.hpp"
 #include "pipeline/pipeline.hpp"
 #include "propagation/routing.hpp"
 #include "routeserver/export_policy.hpp"
@@ -546,9 +547,10 @@ void BM_BmpFraming(benchmark::State& state) {
       bmp.feed(std::span<const std::uint8_t>(
           data.data() + at, std::min(kChunk, data.size() - at)));
       for (;;) {
-        const auto message = bmp.next();
-        if (!message) break;
-        framer.feed(*message);
+        const auto event = bmp.next();
+        if (!event) break;
+        if (event->kind != stream::BmpEvent::Kind::Update) continue;
+        framer.feed(event->record);
         const auto record = framer.next();
         if (record && decoder.decode(*record) != nullptr) ++updates;
       }
@@ -596,6 +598,9 @@ void BM_MultiFeedLiveSession(benchmark::State& state) {
   }
   for (auto _ : state) {
     pipeline::LiveConfig config;
+    // The legacy strict-order merge: the committed baseline compares
+    // against it, and BM_WatermarkMerge prices the new policy apart.
+    config.merge = pipeline::MergePolicy::Concatenate;
     config.threads = 2;
     pipeline::LiveSession session(config, fixture.ixps);
     std::vector<pipeline::FeedHandle> handles;
@@ -625,6 +630,41 @@ BENCHMARK(BM_MultiFeedLiveSession)
     ->Arg(1)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
+
+void BM_WatermarkMerge(benchmark::State& state) {
+  // Queue-level cost of the k-way watermark merge: k producers push
+  // timestamped batches round-robin with advancing watermarks while the
+  // consumer drains between rounds -- the per-observation overhead the
+  // Watermark policy adds over the strict concatenation drain.
+  const std::size_t n_sources = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kBatch = 64;
+  constexpr std::size_t kRounds = 256;
+  std::size_t drained = 0;
+  for (auto _ : state) {
+    pipeline::ObservationQueue queue(n_sources,
+                                     pipeline::MergePolicy::Watermark);
+    std::vector<core::Observation> out;
+    std::uint32_t ts = 1;
+    for (std::size_t round = 0; round < kRounds; ++round) {
+      for (std::size_t s = 0; s < n_sources; ++s) {
+        std::vector<core::Observation> batch(kBatch);
+        for (auto& observation : batch) observation.timestamp = ts;
+        ++ts;
+        queue.push(s, std::move(batch));
+        queue.set_watermark(s, ts);
+      }
+      while (queue.try_pop(out)) drained += out.size();
+    }
+    for (std::size_t s = 0; s < n_sources; ++s) queue.close(s);
+    while (queue.try_pop(out)) drained += out.size();
+  }
+  benchmark::DoNotOptimize(drained);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(kRounds * kBatch * n_sources));
+}
+BENCHMARK(BM_WatermarkMerge)->Arg(2)->Arg(8)->Unit(
+    benchmark::kMicrosecond);
 
 void BM_LiveSessionSnapshot(benchmark::State& state) {
   // The follow-mode hot loop: LiveSession ingest in 64 KiB chunks with a

@@ -32,9 +32,13 @@
 //       PATH                a file replayed as a byte stream
 //       listen:PORT         accept one TCP connection on 127.0.0.1:PORT
 //       connect:HOST:PORT   dial out to a collector (IPv4)
-//     Multiple feeds merge deterministically in --feed order (the final
-//     link set equals archive-mode `infer --updates` over the per-feed
-//     archives). --bmp treats every feed as a BMP (RFC 7854) session and
+//     Multiple feeds merge deterministically. --merge picks the policy:
+//     watermark (default) interleaves observations by timestamp across
+//     feeds, gated by the minimum per-feed watermark (--grace MS parks a
+//     stalled feed's watermark after MS ms of silence so one idle feed
+//     cannot hold the frontier); concat drains feeds in --feed order,
+//     reproducing archive-mode `infer --updates` over the per-feed
+//     archives. --bmp treats every feed as a BMP (RFC 7854) session and
 //     unwraps Route Monitoring messages. --retry N survives collector
 //     restarts on socket feeds: redial with bounded exponential backoff,
 //     up to N consecutive failures, resuming at a record boundary.
@@ -102,6 +106,7 @@ int usage() {
       "       mlp_infer follow --config FILE [--threads N] [--batch N]\n"
       "                        [--min-duration S] [--assume-open]\n"
       "                        [--tolerant] [--window N] [--bmp]\n"
+      "                        [--merge watermark|concat] [--grace MS]\n"
       "                        [--retry N] [--snapshot-every N]\n"
       "                        [--feed SPEC]... [--listen PORT]\n"
       "                        [FILE]   (default: one stdin feed)\n"
@@ -416,11 +421,12 @@ void print_live_snapshot(const pipeline::LiveSnapshot& snap,
   std::size_t links = 0;
   for (const std::size_t count : snap.links_per_ixp) links += count;
   std::printf("snapshot: %llu bytes, %llu records (%zu malformed, "
-              "%zu skipped), %zu observations, links/IXP",
+              "%zu skipped), %zu observations, watermark %lu, links/IXP",
               static_cast<unsigned long long>(snap.bytes_fed),
               static_cast<unsigned long long>(snap.records),
               snap.passive.records_malformed, snap.records_skipped,
-              snap.passive.observations);
+              snap.passive.observations,
+              static_cast<unsigned long>(snap.min_watermark));
   for (std::size_t i = 0; i < snap.links_per_ixp.size(); ++i)
     std::printf(" %s=%zu", names[i].c_str(), snap.links_per_ixp[i]);
   std::printf(" (sum %zu)\n", links);
@@ -470,6 +476,17 @@ int run_follow(int argc, char** argv) {
       specs.push_back(std::move(spec));
     } else if (arg == "--bmp") {
       bmp = true;
+    } else if (arg == "--merge" && i + 1 < argc) {
+      const std::string policy = argv[++i];
+      if (policy == "watermark") {
+        config.merge = pipeline::MergePolicy::Watermark;
+      } else if (policy == "concat") {
+        config.merge = pipeline::MergePolicy::Concatenate;
+      } else {
+        return usage();
+      }
+    } else if (arg == "--grace" && i + 1 < argc) {
+      config.idle_feed_grace_ms = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--retry" && i + 1 < argc) {
       retry = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--follow") {
@@ -512,7 +529,8 @@ int run_follow(int argc, char** argv) {
   for (const auto& spec : specs) {
     pipeline::FeedOptions options;
     options.name = spec.raw.empty() ? "stdin" : spec.raw;
-    options.bmp = bmp;
+    options.transport =
+        bmp ? pipeline::Transport::Bmp : pipeline::Transport::RawMrt;
     handles.push_back(session.add_feed(options));
   }
 
@@ -580,7 +598,7 @@ int run_follow(int argc, char** argv) {
   for (const auto& feed : result.per_feed)
     std::printf("feed %s: %llu bytes, %llu records, %zu malformed, "
                 "%llu clean / %llu dirty disconnects, %llu partials "
-                "dropped\n",
+                "dropped, watermark %lu, %llu peer ups / %llu downs\n",
                 feed.name.c_str(),
                 static_cast<unsigned long long>(feed.bytes_fed),
                 static_cast<unsigned long long>(feed.records),
@@ -588,7 +606,10 @@ int run_follow(int argc, char** argv) {
                 static_cast<unsigned long long>(feed.clean_disconnects),
                 static_cast<unsigned long long>(feed.dirty_disconnects),
                 static_cast<unsigned long long>(
-                    feed.partial_records_dropped));
+                    feed.partial_records_dropped),
+                static_cast<unsigned long>(feed.watermark),
+                static_cast<unsigned long long>(feed.bmp_peer_ups),
+                static_cast<unsigned long long>(feed.bmp_peer_downs));
   print_summary(result.passive, result.per_ixp, result.all_links.size());
   if (feed_failed) {
     std::fprintf(stderr,

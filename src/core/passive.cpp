@@ -17,6 +17,8 @@ PassiveStats& operator+=(PassiveStats& lhs, const PassiveStats& rhs) {
   lhs.paths_no_setter += rhs.paths_no_setter;
   lhs.observations += rhs.observations;
   lhs.records_malformed += rhs.records_malformed;
+  lhs.peer_session_resets += rhs.peer_session_resets;
+  lhs.pending_torn_down += rhs.pending_torn_down;
   return lhs;
 }
 
@@ -127,6 +129,10 @@ Asn PassiveExtractor::identify_setter(const AsPath& path,
 }
 
 void PassiveExtractor::emit(std::size_t index, Observation observation) {
+  // Stamp with the stream clock, not the record that settled it: the
+  // clock is a running max, so per-extractor emission timestamps are
+  // monotone -- the invariant the live watermark merge sorts by.
+  observation.timestamp = clock_;
   auto& bucket = by_ixp_[index];
   bucket.push_back(std::move(observation));
   ++stats_.observations;
@@ -264,6 +270,7 @@ void PassiveExtractor::evict_pending(std::uint32_t now) {
 
 void PassiveExtractor::consume_update(std::uint32_t timestamp, Asn peer_asn,
                                       const bgp::UpdateMessage& update) {
+  if (timestamp > clock_) clock_ = timestamp;
   for (const auto& prefix : update.withdrawn) {
     const auto key = std::make_pair(peer_asn, prefix);
     auto it = pending_.find(key);
@@ -288,6 +295,24 @@ void PassiveExtractor::consume_update(std::uint32_t timestamp, Asn peer_asn,
     pending_fifo_.emplace_back(key, timestamp);
   }
   evict_pending(timestamp);
+}
+
+void PassiveExtractor::peer_session_reset(Asn peer_asn,
+                                          std::uint32_t timestamp) {
+  if (timestamp > clock_) clock_ = timestamp;
+  ++stats_.peer_session_resets;
+  // pending_ is ordered by (peer, prefix), so the peer's announcements
+  // form one contiguous range; a default IpPrefix (0.0.0.0/0) is the
+  // minimum, making this the range's first entry.
+  auto it = pending_.lower_bound(std::make_pair(peer_asn, IpPrefix{}));
+  while (it != pending_.end() && it->first.first == peer_asn) {
+    // Same semantics as a withdrawal arriving at the session boundary:
+    // announcements that aged past min_duration settle as stable, the
+    // rest count as transient. Stale FIFO entries are pruned lazily.
+    settle(it->first, it->second, clock_);
+    ++stats_.pending_torn_down;
+    it = pending_.erase(it);
+  }
 }
 
 void PassiveExtractor::flush_pending() {

@@ -55,6 +55,8 @@ struct PassiveStats {
   std::size_t paths_no_setter = 0;    // membership cases that fail
   std::size_t observations = 0;       // successfully attributed
   std::size_t records_malformed = 0;  // skipped in tolerant mode
+  std::size_t peer_session_resets = 0;  // PeerUp/PeerDown teardowns applied
+  std::size_t pending_torn_down = 0;  // announcements settled by a teardown
 };
 
 /// Field-wise sum, for merging the stats of parallel extraction passes.
@@ -119,6 +121,20 @@ class PassiveExtractor {
   /// the bounded window, or flushed via flush_pending()/finish().
   void consume_update(std::uint32_t timestamp, Asn peer_asn,
                       const bgp::UpdateMessage& update);
+
+  /// BGP session boundary for `peer_asn` at stream time `timestamp` (a
+  /// BMP PeerDown, or a PeerUp that implies the previous session died
+  /// without one): every announcement standing in that peer's announce-
+  /// window is settled through the usual age test and evicted -- routes
+  /// of a dead session must not linger as pending state. Advances the
+  /// stream clock like consume_update.
+  void peer_session_reset(Asn peer_asn, std::uint32_t timestamp);
+
+  /// The extractor's stream clock: the running max of every record /
+  /// peer-event timestamp consumed so far. Emitted observations carry
+  /// this clock, so it doubles as the lane watermark of the live
+  /// cross-feed merge.
+  std::uint32_t stream_time() const { return clock_; }
 
   /// Consume one already-decoded path observation.
   void consume_path(const AsPath& path,
@@ -205,6 +221,8 @@ class PassiveExtractor {
   bgp::RelFn relationships_;
   PassiveConfig config_;
   PassiveStats stats_;
+  /// Stream clock: running max of consumed record/event timestamps.
+  std::uint32_t clock_ = 0;
 
   /// Per-IXP observation buffers, dense-indexed in ixps_ order. In
   /// accumulate mode this is the full product; in streaming mode, the

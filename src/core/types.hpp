@@ -1,6 +1,7 @@
 // Shared data model of the MLP inference framework (paper section 4).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -55,6 +56,11 @@ struct Observation {
   IpPrefix prefix;
   std::vector<Community> communities;
   Source source = Source::Passive;
+  /// Stream time at which the observation settled (the extractor's
+  /// running-max record clock; 0 for timeless inputs such as RIB dumps).
+  /// Monotone non-decreasing per extractor, which is what lets the live
+  /// cross-feed watermark merge order observations deterministically.
+  std::uint32_t timestamp = 0;
 };
 
 }  // namespace mlp::core

@@ -1,5 +1,6 @@
 #include "mrt/mrt.hpp"
 
+#include <algorithm>
 #include <fstream>
 
 #include "mrt/record_codec.hpp"
@@ -147,10 +148,27 @@ Bgp4mpHeader decode_bgp4mp_header(ByteReader& r, bool four_octet_as) {
     header.local_asn = r.u16();
   }
   header.interface_index = r.u16();
-  const std::uint16_t afi = r.u16();
-  if (afi != 1) throw ParseError("BGP4MP: only AFI 1 (IPv4) supported");
-  header.peer_ip = r.u32();
-  header.local_ip = r.u32();
+  header.afi = r.u16();
+  if (header.afi == 1) {
+    header.peer_ip = r.u32();
+    header.local_ip = r.u32();
+    // v4-mapped form (::ffff:a.b.c.d) so the 16-byte fields are uniform.
+    header.peer_addr[10] = header.peer_addr[11] = 0xff;
+    header.local_addr[10] = header.local_addr[11] = 0xff;
+    for (int i = 0; i < 4; ++i) {
+      header.peer_addr[12 + i] =
+          static_cast<std::uint8_t>(header.peer_ip >> (8 * (3 - i)));
+      header.local_addr[12 + i] =
+          static_cast<std::uint8_t>(header.local_ip >> (8 * (3 - i)));
+    }
+  } else if (header.afi == 2) {
+    auto peer = r.bytes(16);
+    auto local = r.bytes(16);
+    std::copy(peer.begin(), peer.end(), header.peer_addr);
+    std::copy(local.begin(), local.end(), header.local_addr);
+  } else {
+    throw ParseError("BGP4MP: unsupported AFI (want 1 or 2)");
+  }
   return header;
 }
 

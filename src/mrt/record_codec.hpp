@@ -66,12 +66,19 @@ struct Bgp4mpHeader {
   bgp::Asn peer_asn = 0;
   bgp::Asn local_asn = 0;
   std::uint16_t interface_index = 0;
+  /// 1 (IPv4) or 2 (IPv6). The u32 peer_ip/local_ip fields are only
+  /// meaningful for AFI 1 (they stay 0 for IPv6); the 16-byte forms below
+  /// always hold the addresses, v4-mapped when afi == 1.
+  std::uint16_t afi = 1;
   std::uint32_t peer_ip = 0;
   std::uint32_t local_ip = 0;
+  std::uint8_t peer_addr[16] = {};
+  std::uint8_t local_addr[16] = {};
 };
 
 /// Decode the BGP4MP prelude, leaving `r` positioned at the raw BGP
-/// message bytes. Throws ParseError for non-IPv4 AFIs.
+/// message bytes. Accepts AFI 1 (IPv4, 4-byte addresses) and AFI 2
+/// (IPv6, 16-byte addresses); throws ParseError for anything else.
 Bgp4mpHeader decode_bgp4mp_header(ByteReader& r, bool four_octet_as);
 
 }  // namespace mlp::mrt::detail

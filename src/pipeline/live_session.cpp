@@ -1,6 +1,8 @@
 #include "pipeline/live_session.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -16,6 +18,13 @@ std::shared_ptr<const std::vector<core::IxpContext>> share(
       std::move(ixps));
 }
 
+std::uint64_t steady_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 // ------------------------------------------------------------ FeedHandle
@@ -23,6 +32,8 @@ std::shared_ptr<const std::vector<core::IxpContext>> share(
 void FeedHandle::feed(std::span<const std::uint8_t> chunk) {
   if (!session_) throw InvalidArgument("feed handle: not attached");
   LiveSession::Lane& target = session_->lane(index_);
+  target.last_activity_ms.store(steady_now_ms(), std::memory_order_relaxed);
+  session_->refresh_idle(/*holds_feeds_mutex=*/false);
   std::lock_guard lock(target.mutex);
   if (target.closed)
     throw InvalidArgument("live session: feed() on closed feed " +
@@ -77,7 +88,7 @@ LiveSession::LiveSession(LiveConfig config,
   if (config_.batch_size == 0) config_.batch_size = 1;
   shards_.reserve(contexts_->size());
   for (const core::IxpContext& context : *contexts_)
-    shards_.push_back(std::make_unique<Shard>(context));
+    shards_.push_back(std::make_unique<Shard>(context, config_.merge));
 }
 
 FeedHandle LiveSession::add_feed(FeedOptions options) {
@@ -92,8 +103,11 @@ FeedHandle LiveSession::add_feed(FeedOptions options) {
       std::make_unique<Lane>(contexts_, relationships_, config_.passive);
   lane->name =
       options.name.empty() ? "feed" + std::to_string(index) : options.name;
+  lane->index = index;
   lane->framer = stream::MrtFramer(config_.framing);
-  if (options.bmp) lane->bmp.emplace(options.bmp_framing);
+  if (options.transport == Transport::Bmp)
+    lane->bmp.emplace(options.bmp_framing);
+  lane->last_activity_ms.store(steady_now_ms(), std::memory_order_relaxed);
   lane->extractor.set_sink(
       [this, index](std::size_t ixp, std::vector<core::Observation>&& batch) {
         shards_[ixp]->queue.push(index, std::move(batch));
@@ -131,6 +145,40 @@ void LiveSession::schedule_pump(std::size_t index) {
   Shard& shard = *shards_[index];
   if (!shard.pump_scheduled.exchange(true, std::memory_order_acq_rel))
     pool_.submit([this, index] { pump(index); });
+}
+
+void LiveSession::publish_watermark(Lane& target) {
+  if (config_.merge != MergePolicy::Watermark) return;
+  const std::uint32_t clock = target.extractor.stream_time();
+  if (clock <= target.watermark_published) return;
+  target.watermark_published = clock;
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+    shards_[shard]->queue.set_watermark(target.index, clock);
+    // Raising this lane's watermark can lift the merge frontier past
+    // other lanes' queued observations; make sure a pump notices.
+    schedule_pump(shard);
+  }
+}
+
+void LiveSession::refresh_idle(bool holds_feeds_mutex) {
+  if (config_.merge != MergePolicy::Watermark ||
+      config_.idle_feed_grace_ms == 0)
+    return;
+  std::unique_lock lock(feeds_mutex_, std::defer_lock);
+  if (!holds_feeds_mutex) lock.lock();
+  const std::uint64_t now = steady_now_ms();
+  for (auto& lane : feeds_) {
+    const std::uint64_t last =
+        lane->last_activity_ms.load(std::memory_order_relaxed);
+    const bool stale =
+        now > last && now - last > config_.idle_feed_grace_ms;
+    if (lane->idle.load(std::memory_order_relaxed) == stale) continue;
+    lane->idle.store(stale, std::memory_order_relaxed);
+    for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+      shards_[shard]->queue.set_idle(lane->index, stale);
+      schedule_pump(shard);
+    }
+  }
 }
 
 void LiveSession::drain_framer(Lane& target) {
@@ -181,16 +229,18 @@ void LiveSession::lane_feed(Lane& target, std::span<const std::uint8_t> chunk) {
     drain_framer(target);
     target.records_framed.store(target.framer.records(),
                                 std::memory_order_relaxed);
+    publish_watermark(target);
     return;
   }
   // BMP transport: unwrap Route Monitoring messages into synthesized
-  // BGP4MP records in front of the framer. Feeding record-by-record and
-  // draining immediately keeps the MRT layer's buffer at one record.
+  // BGP4MP records in front of the framer, and apply PeerUp/PeerDown
+  // session boundaries to the lane's extractor. Feeding record-by-record
+  // and draining immediately keeps the MRT layer's buffer at one record.
   target.bmp->feed(chunk);
   for (;;) {
-    std::optional<std::span<const std::uint8_t>> message;
+    std::optional<stream::BmpEvent> event;
     try {
-      message = target.bmp->next();
+      event = target.bmp->next();
     } catch (const ParseError& e) {
       if (!config_.passive.tolerate_malformed)
         throw ParseError(std::string(e.what()) + " (" + target.name + ")");
@@ -198,22 +248,37 @@ void LiveSession::lane_feed(Lane& target, std::span<const std::uint8_t> chunk) {
       target.bmp->resync();
       continue;
     }
-    if (!message) break;
-    target.framer.feed(*message);
-    drain_framer(target);
+    if (!event) break;
+    switch (event->kind) {
+      case stream::BmpEvent::Kind::Update:
+        target.framer.feed(event->record);
+        drain_framer(target);
+        break;
+      case stream::BmpEvent::Kind::PeerUp:
+      case stream::BmpEvent::Kind::PeerDown:
+        // Both are session boundaries for the peer: a PeerDown ends the
+        // session outright, a PeerUp implies any previous session died
+        // without one (state from it must not linger).
+        target.extractor.peer_session_reset(event->peer.asn,
+                                            event->peer.timestamp);
+        break;
+    }
   }
   target.records_framed.store(target.framer.records(),
                               std::memory_order_relaxed);
+  publish_watermark(target);
 }
 
 void LiveSession::close_locked(Lane& target, std::size_t index) {
   if (target.closed) return;
   target.extractor.finish();  // flush announce-window + partial batches
+  publish_watermark(target);
   target.closed = true;
   for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
     shards_[shard]->queue.close(index);
-    // Closing a source can make a LATER feed's buffered batches the
-    // in-order head; make sure a pump notices.
+    // Closing a source can unblock buffered batches (it stops
+    // constraining the watermark / later feeds become the in-order
+    // head); make sure a pump notices.
     schedule_pump(shard);
   }
 }
@@ -255,12 +320,40 @@ FeedStats LiveSession::lane_stats(Lane& target) const {
   if (target.bmp) {
     stats.bmp_messages = target.bmp->messages();
     stats.bmp_skipped = target.bmp->skipped();
+    stats.bmp_peer_ups = target.bmp->peer_ups();
+    stats.bmp_peer_downs = target.bmp->peer_downs();
   }
   stats.clean_disconnects = target.clean_disconnects;
   stats.dirty_disconnects = target.dirty_disconnects;
   stats.partial_records_dropped = target.partial_records_dropped;
+  stats.watermark = target.extractor.stream_time();
+  stats.idle = target.idle.load(std::memory_order_relaxed);
+  stats.closed = target.closed;
   stats.passive = target.extractor.stats();
   return stats;
+}
+
+SessionTotals LiveSession::collect_totals_locked() {
+  SessionTotals totals;
+  totals.per_feed.reserve(feeds_.size());
+  std::uint32_t frontier = std::numeric_limits<std::uint32_t>::max();
+  bool constrained = false;
+  for (auto& lane : feeds_) {
+    FeedStats stats = lane_stats(*lane);
+    totals.bytes_fed += stats.bytes_fed;
+    totals.records += stats.records;
+    totals.records_skipped += stats.records_skipped;
+    totals.passive += stats.passive;
+    if (!stats.closed && !stats.idle) {
+      constrained = true;
+      frontier = std::min(frontier, stats.watermark);
+    }
+    totals.per_feed.push_back(std::move(stats));
+  }
+  totals.min_watermark = feeds_.empty() ? 0
+                         : constrained  ? frontier
+                         : std::numeric_limits<std::uint32_t>::max();
+  return totals;
 }
 
 LiveSnapshot LiveSession::snapshot() {
@@ -268,23 +361,19 @@ LiveSnapshot LiveSession::snapshot() {
   // so after the batch flush and pool settle no producer can race the
   // engine reads below. wait_idle also rethrows anything a pump leaked.
   std::lock_guard feeds_lock(feeds_mutex_);
+  refresh_idle(/*holds_feeds_mutex=*/true);
   std::vector<std::unique_lock<std::mutex>> lane_locks;
   lane_locks.reserve(feeds_.size());
   for (auto& lane : feeds_) lane_locks.emplace_back(lane->mutex);
-  for (auto& lane : feeds_)
-    if (!lane->closed) lane->extractor.flush_batches();
+  for (auto& lane : feeds_) {
+    if (lane->closed) continue;
+    lane->extractor.flush_batches();
+    publish_watermark(*lane);
+  }
   pool_.wait_idle();
 
   LiveSnapshot snap;
-  snap.per_feed.reserve(feeds_.size());
-  for (auto& lane : feeds_) {
-    FeedStats stats = lane_stats(*lane);
-    snap.bytes_fed += stats.bytes_fed;
-    snap.records += stats.records;
-    snap.records_skipped += stats.records_skipped;
-    snap.passive += stats.passive;
-    snap.per_feed.push_back(std::move(stats));
-  }
+  static_cast<SessionTotals&>(snap) = collect_totals_locked();
   snap.links_per_ixp.reserve(shards_.size());
   for (const auto& shard : shards_)
     snap.links_per_ixp.push_back(
@@ -304,14 +393,11 @@ LiveResult LiveSession::finish() {
   pool_.wait_idle();
 
   LiveResult result;
-  result.per_feed.reserve(feeds_.size());
-  for (auto& lane : feeds_) {
-    std::lock_guard lane_lock(lane->mutex);
-    FeedStats stats = lane_stats(*lane);
-    result.records += stats.records;
-    result.records_skipped += stats.records_skipped;
-    result.passive += stats.passive;
-    result.per_feed.push_back(std::move(stats));
+  {
+    std::vector<std::unique_lock<std::mutex>> lane_locks;
+    lane_locks.reserve(feeds_.size());
+    for (auto& lane : feeds_) lane_locks.emplace_back(lane->mutex);
+    static_cast<SessionTotals&>(result) = collect_totals_locked();
   }
   result.per_ixp.resize(shards_.size());
   for (std::size_t i = 0; i < shards_.size(); ++i) {

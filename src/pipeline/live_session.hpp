@@ -8,14 +8,16 @@
 //   feed 0 bytes          feed 1 bytes            ...   add_feed()
 //        |                     |
 //   [stream::BmpFramer]   [stream::BmpFramer]     (BMP transports only:
-//        |                     |                   RFC 7854 unwrap)
+//        |                     |                   RFC 7854 unwrap +
+//        |                     |                   PeerUp/PeerDown
+//        |                     |                   session events)
 //   stream::MrtFramer     stream::MrtFramer       -- complete record
 //        |                     |                     spans, one partial
 //   stream::UpdateDecoder stream::UpdateDecoder     record max
 //        |                     |
 //   PassiveExtractor      PassiveExtractor        -- per-feed announce-
-//        |                     |                     window + stats
-//        +----------+----------+
+//        |                     |                     window + stats +
+//        +----------+----------+                     stream clock
 //                   v
 //   per-IXP ObservationQueue, source index == feed index
 //                   |
@@ -23,17 +25,35 @@
 //   MlpInferenceEngine::add on a thread pool (one pump per IXP)
 //
 // Multi-feed determinism: each feed is an independent ingest lane, so
-// per-feed engine add-order equals that feed's stream order, and the
-// per-IXP queue's strict source-index drain merges feeds as the
-// CONCATENATION in add_feed order -- the final link sets depend only on
-// each feed's byte sequence, never on arrival interleaving or thread
-// count. The result is byte-identical to InferencePipeline over the same
-// per-feed archives, and to single-stream archive ingest of the per-feed
-// concatenation whenever the feeds observe disjoint (peer, prefix) keys
-// (distinct vantage points). The flip side of strict concatenation: a
-// later feed's observations are buffered in the queues until every
-// earlier feed closes, so feeds that never close defer cross-feed merge
-// work to finish().
+// per-feed engine add-order equals that feed's stream order. How lanes
+// merge is LiveConfig::merge:
+//
+//   MergePolicy::Watermark (default) -- each lane publishes its
+//   extractor's stream clock (the running max of consumed record
+//   timestamps) as a watermark after every chunk; the per-IXP queues
+//   drain observations strictly below the minimum watermark over open
+//   feeds, smallest (timestamp, feed index) first. The merged engine
+//   order is the unique stable timestamp merge of the per-feed
+//   observation sequences: a pure function of each feed's byte
+//   sequence, independent of arrival interleaving, chunking and thread
+//   count. Open-ended feeds merge continuously -- snapshot() reflects
+//   cross-feed observations mid-stream, no close() required. A feed
+//   that stalls holds the frontier back; LiveConfig::idle_feed_grace
+//   lets the session park such a feed (its watermark stops counting)
+//   until it speaks again, trading the determinism guarantee for
+//   liveness -- leave it 0 for reproducible runs.
+//
+//   MergePolicy::Concatenate -- the legacy strict source-index drain:
+//   the merged order is the concatenation in add_feed order, and a later
+//   feed's observations buffer until every earlier feed closes. Pinned
+//   by the archive-equivalence matrix tests; matches InferencePipeline
+//   over the same per-feed archives.
+//
+// BMP session state: a BMP lane surfaces RFC 7854 PeerUp/PeerDown
+// messages as session boundaries -- the lane's extractor tears down the
+// peer's standing announce-window entries (they settle through the usual
+// age test) so routes of a dead session cannot linger as pending state.
+// IPv6 peers flow end-to-end (AFI-2 synthesized records).
 //
 // Threading: feed() calls on ONE lane must be serialized, but different
 // lanes may be driven from different threads concurrently (each reader
@@ -65,6 +85,15 @@
 
 namespace mlp::pipeline {
 
+/// Wire format of one feed.
+enum class Transport : std::uint8_t {
+  /// Raw concatenated MRT records (an archive replayed over a socket).
+  RawMrt,
+  /// BMP (RFC 7854): Route Monitoring unwrap plus PeerUp/PeerDown
+  /// session tracking.
+  Bmp,
+};
+
 struct LiveConfig {
   /// Inference pool workers; 0 means hardware concurrency.
   std::size_t threads = 1;
@@ -79,15 +108,22 @@ struct LiveConfig {
   stream::MrtFramer::Config framing;
   /// Read-buffer size used by drain().
   std::size_t read_chunk = 65536;
+  /// Cross-feed merge policy (see file comment).
+  MergePolicy merge = MergePolicy::Watermark;
+  /// Watermark policy only: a feed with no ingest for this many
+  /// milliseconds of wall time stops constraining the merge frontier
+  /// until it speaks again (checked on every feed()/snapshot()). 0
+  /// disables the check -- fully deterministic, but one stalled feed
+  /// freezes cross-feed draining at its last watermark.
+  std::uint64_t idle_feed_grace_ms = 0;
 };
 
 /// Per-feed transport/config of one add_feed call.
 struct FeedOptions {
   /// Label used in stats and error messages; "feed<index>" by default.
   std::string name;
-  /// The feed delivers BMP (RFC 7854) instead of raw MRT: Route
-  /// Monitoring messages are unwrapped in front of the framer.
-  bool bmp = false;
+  /// Wire format delivered by this feed.
+  Transport transport = Transport::RawMrt;
   /// Message-length cap for the BMP layer.
   stream::BmpFramer::Config bmp_framing;
 };
@@ -99,39 +135,52 @@ struct FeedStats {
   std::uint64_t records = 0;        // complete update records framed
   std::size_t records_skipped = 0;  // non-update records stepped over
   std::uint64_t bmp_messages = 0;   // BMP feeds: complete messages framed
-  std::uint64_t bmp_skipped = 0;    // BMP feeds: non-RM/IPv6/non-UPDATE
+  std::uint64_t bmp_skipped = 0;    // BMP feeds: non-RM/non-UPDATE
+  std::uint64_t bmp_peer_ups = 0;   // BMP feeds: PeerUp events applied
+  std::uint64_t bmp_peer_downs = 0; // BMP feeds: PeerDown events applied
   std::uint64_t clean_disconnects = 0;   // note_disconnect at a boundary
   std::uint64_t dirty_disconnects = 0;   // note_disconnect mid-record
   std::uint64_t partial_records_dropped = 0;  // partials lost to resets
+  /// The lane's stream clock / published merge watermark.
+  std::uint32_t watermark = 0;
+  bool idle = false;   // parked by idle_feed_grace_ms right now
+  bool closed = false;
   core::PassiveStats passive;       // this feed's extraction counters
 };
 
-/// Cheap point-in-time view of a running session.
-struct LiveSnapshot {
-  std::uint64_t bytes_fed = 0;      // summed over feeds
-  std::uint64_t records = 0;        // complete records framed, all feeds
-  std::size_t records_skipped = 0;  // non-update records stepped over
-  core::PassiveStats passive;       // merged over feeds
-  /// count_links per IXP, in construction order.
-  std::vector<std::size_t> links_per_ixp;
+/// Aggregate counters shared by the mid-stream snapshot and the final
+/// result (summed/merged over feeds).
+struct SessionTotals {
+  std::uint64_t bytes_fed = 0;
+  std::uint64_t records = 0;
+  std::size_t records_skipped = 0;
+  /// The cross-feed merge frontier: minimum watermark over open,
+  /// non-idle feeds. 0 when no feed has seen a timestamp yet;
+  /// UINT32_MAX once every feed is closed (nothing constrains the
+  /// merge). Meaningful under MergePolicy::Watermark.
+  std::uint32_t min_watermark = 0;
+  core::PassiveStats passive;
   std::vector<FeedStats> per_feed;  // in add_feed order
 };
 
+/// Cheap point-in-time view of a running session.
+struct LiveSnapshot : SessionTotals {
+  /// count_links per IXP, in construction order.
+  std::vector<std::size_t> links_per_ixp;
+};
+
 /// Final product, shaped like the archive pipeline's result.
-struct LiveResult {
+struct LiveResult : SessionTotals {
   std::vector<IxpResult> per_ixp;
   std::set<AsLink> all_links;
-  core::PassiveStats passive;       // merged over feeds
-  std::uint64_t records = 0;
-  std::size_t records_skipped = 0;
-  std::vector<FeedStats> per_feed;  // in add_feed order
 };
 
 class LiveSession;
 
 /// Lightweight reference to one feed of a LiveSession (copyable; the
 /// session must outlive it). One thread may drive one handle; distinct
-/// handles may be driven concurrently.
+/// handles may be driven concurrently. A default-constructed handle is
+/// detached: every operation throws InvalidArgument.
 class FeedHandle {
  public:
   FeedHandle() = default;
@@ -154,9 +203,9 @@ class FeedHandle {
   void note_disconnect();
 
   /// End of this feed's stream: flush its announce-window and partial
-  /// batches, and close its source slot in every IXP queue so later
-  /// feeds' buffered observations become drainable. feed() afterwards
-  /// throws. Idempotent.
+  /// batches, and close its source slot in every IXP queue so it stops
+  /// constraining the merge (Watermark) / later feeds become drainable
+  /// (Concatenate). feed() afterwards throws. Idempotent.
   void close();
 
   std::size_t index() const { return index_; }
@@ -192,7 +241,8 @@ class LiveSession {
   std::uint64_t drain(stream::StreamSource& source);
 
   /// Point-in-time stats + per-IXP link counts. Reflects every record
-  /// fed so far; callable while other threads keep feeding (they block
+  /// fed so far (under Watermark: every observation below the merge
+  /// frontier); callable while other threads keep feeding (they block
   /// on their lane for the duration of the flush).
   LiveSnapshot snapshot();
 
@@ -222,6 +272,7 @@ class LiveSession {
 
     std::mutex mutex;
     std::string name;
+    std::size_t index = 0;
     std::optional<stream::BmpFramer> bmp;  // engaged for BMP transports
     stream::MrtFramer framer;
     stream::UpdateDecoder decoder;
@@ -229,18 +280,22 @@ class LiveSession {
     /// Mirror of framer.records(), published after every feed so
     /// records() can pace snapshots without taking lane mutexes.
     std::atomic<std::uint64_t> records_framed{0};
+    /// Idle tracking (lock-free: read by other feeds' refresh_idle).
+    std::atomic<std::uint64_t> last_activity_ms{0};
+    std::atomic<bool> idle{false};
+    /// Highest watermark pushed to the queues (guarded by mutex).
+    std::uint32_t watermark_published = 0;
     std::uint64_t clean_disconnects = 0;
     std::uint64_t dirty_disconnects = 0;
     std::uint64_t partial_records_dropped = 0;
     bool closed = false;
   };
 
-  /// One IXP's inference lane: a multi-source FIFO queue (source ==
-  /// feed) feeding an engine, drained by at most one pump task at a
-  /// time.
+  /// One IXP's inference lane: a multi-source queue (source == feed)
+  /// feeding an engine, drained by at most one pump task at a time.
   struct Shard {
-    explicit Shard(core::IxpContext context)
-        : queue(0), engine(std::move(context)) {}
+    Shard(core::IxpContext context, MergePolicy policy)
+        : queue(0, policy), engine(std::move(context)) {}
     ObservationQueue queue;
     core::MlpInferenceEngine engine;
     /// Owner flag of the pump task (the engine is not thread-safe).
@@ -256,7 +311,15 @@ class LiveSession {
   void lane_feed(Lane& target, std::span<const std::uint8_t> chunk);
   void drain_framer(Lane& target);
   void close_locked(Lane& target, std::size_t index);
+  /// Caller holds `lane.mutex`: push the lane's stream clock to every
+  /// shard queue as its merge watermark (Watermark policy only).
+  void publish_watermark(Lane& target);
+  /// Watermark + idle_feed_grace_ms only: park/readmit feeds by wall-
+  /// clock staleness. Takes feeds_mutex_ when `locked` is false.
+  void refresh_idle(bool holds_feeds_mutex);
   FeedStats lane_stats(Lane& target) const;
+  /// Caller holds feeds_mutex_ and every lane mutex.
+  SessionTotals collect_totals_locked();
 
   LiveConfig config_;
   std::shared_ptr<const std::vector<core::IxpContext>> contexts_;

@@ -1,15 +1,19 @@
 #include "pipeline/observation_queue.hpp"
 
+#include <limits>
+#include <utility>
+
 #include "util/errors.hpp"
 
 namespace mlp::pipeline {
 
-ObservationQueue::ObservationQueue(std::size_t n_sources)
-    : sources_(n_sources) {}
+ObservationQueue::ObservationQueue(std::size_t n_sources, MergePolicy policy)
+    : policy_(policy), sources_(n_sources), open_count_(n_sources) {}
 
 std::size_t ObservationQueue::add_source() {
   std::lock_guard lock(mutex_);
   sources_.emplace_back();
+  ++open_count_;
   return sources_.size() - 1;
 }
 
@@ -20,8 +24,40 @@ void ObservationQueue::push(std::size_t source,
     std::lock_guard lock(mutex_);
     if (source >= sources_.size())
       throw InvalidArgument("observation queue: bad source index");
-    sources_[source].batches.push_back(std::move(batch));
-    if (source != cursor_) return;  // consumer is not waiting on this source
+    if (policy_ == MergePolicy::Watermark) {
+      auto& pending = sources_[source].pending;
+      pending.insert(pending.end(),
+                     std::make_move_iterator(batch.begin()),
+                     std::make_move_iterator(batch.end()));
+    } else {
+      sources_[source].batches.push_back(std::move(batch));
+      if (source != cursor_) return;  // consumer is not waiting on this
+    }
+  }
+  ready_.notify_one();
+}
+
+void ObservationQueue::set_watermark(std::size_t source,
+                                     std::uint32_t watermark) {
+  if (policy_ != MergePolicy::Watermark) return;
+  {
+    std::lock_guard lock(mutex_);
+    if (source >= sources_.size())
+      throw InvalidArgument("observation queue: bad source index");
+    Source& entry = sources_[source];
+    if (watermark <= entry.watermark) return;  // monotone
+    entry.watermark = watermark;
+  }
+  ready_.notify_one();
+}
+
+void ObservationQueue::set_idle(std::size_t source, bool idle) {
+  if (policy_ != MergePolicy::Watermark) return;
+  {
+    std::lock_guard lock(mutex_);
+    if (source >= sources_.size())
+      throw InvalidArgument("observation queue: bad source index");
+    sources_[source].idle = idle;
   }
   ready_.notify_one();
 }
@@ -31,13 +67,57 @@ void ObservationQueue::close(std::size_t source) {
     std::lock_guard lock(mutex_);
     if (source >= sources_.size())
       throw InvalidArgument("observation queue: bad source index");
-    sources_[source].closed = true;
+    if (!sources_[source].closed) {
+      sources_[source].closed = true;
+      --open_count_;
+    }
   }
   ready_.notify_one();
 }
 
-bool ObservationQueue::try_pop(std::vector<core::Observation>& out) {
-  std::lock_guard lock(mutex_);
+std::uint32_t ObservationQueue::min_watermark_locked() const {
+  std::uint32_t min = std::numeric_limits<std::uint32_t>::max();
+  bool constrained = false;
+  for (const Source& source : sources_) {
+    if (source.closed || source.idle) continue;
+    constrained = true;
+    if (source.watermark < min) min = source.watermark;
+  }
+  // No open non-idle source: nothing can emit below any timestamp, so
+  // everything queued is drainable (the sentinel max).
+  return constrained ? min : std::numeric_limits<std::uint32_t>::max();
+}
+
+bool ObservationQueue::merge_pop_locked(std::vector<core::Observation>& out) {
+  // Eligible: strictly below the min watermark (a source may still emit
+  // AT its own watermark, so ties with the watermark must wait) -- except
+  // when nothing constrains, where the sentinel admits everything.
+  const std::uint32_t min = min_watermark_locked();
+  const bool drain_all = min == std::numeric_limits<std::uint32_t>::max();
+  out.clear();
+  for (;;) {
+    std::size_t best = sources_.size();
+    std::uint32_t best_ts = 0;
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+      const auto& pending = sources_[i].pending;
+      if (pending.empty()) continue;
+      const std::uint32_t ts = pending.front().timestamp;
+      if (!drain_all && ts >= min) continue;
+      if (best == sources_.size() || ts < best_ts) {
+        best = i;  // equal timestamps: lowest source index wins
+        best_ts = ts;
+      }
+    }
+    if (best == sources_.size()) break;
+    auto& pending = sources_[best].pending;
+    out.push_back(std::move(pending.front()));
+    pending.pop_front();
+  }
+  return !out.empty();
+}
+
+bool ObservationQueue::ordered_pop_locked(
+    std::vector<core::Observation>& out) {
   while (cursor_ < sources_.size()) {
     Source& source = sources_[cursor_];
     if (!source.batches.empty()) {
@@ -51,8 +131,24 @@ bool ObservationQueue::try_pop(std::vector<core::Observation>& out) {
   return false;
 }
 
+bool ObservationQueue::try_pop(std::vector<core::Observation>& out) {
+  std::lock_guard lock(mutex_);
+  if (policy_ == MergePolicy::Watermark) return merge_pop_locked(out);
+  return ordered_pop_locked(out);
+}
+
 bool ObservationQueue::has_ready() {
   std::lock_guard lock(mutex_);
+  if (policy_ == MergePolicy::Watermark) {
+    const std::uint32_t min = min_watermark_locked();
+    const bool drain_all =
+        min == std::numeric_limits<std::uint32_t>::max();
+    for (const Source& source : sources_) {
+      if (source.pending.empty()) continue;
+      if (drain_all || source.pending.front().timestamp < min) return true;
+    }
+    return false;
+  }
   // Walk like try_pop (every source before a non-empty one must already
   // be closed and drained) without advancing the cursor.
   for (std::size_t i = cursor_; i < sources_.size(); ++i) {
@@ -65,18 +161,13 @@ bool ObservationQueue::has_ready() {
 bool ObservationQueue::pop(std::vector<core::Observation>& out) {
   std::unique_lock lock(mutex_);
   for (;;) {
-    // Skip past closed, drained sources; serve the first pending batch.
-    while (cursor_ < sources_.size()) {
-      Source& source = sources_[cursor_];
-      if (!source.batches.empty()) {
-        out = std::move(source.batches.front());
-        source.batches.pop_front();
-        return true;
-      }
-      if (!source.closed) break;
-      ++cursor_;
+    if (policy_ == MergePolicy::Watermark) {
+      if (merge_pop_locked(out)) return true;
+      if (open_count_ == 0) return false;  // closed and fully drained
+    } else {
+      if (ordered_pop_locked(out)) return true;
+      if (cursor_ == sources_.size()) return false;
     }
-    if (cursor_ == sources_.size()) return false;
     ready_.wait(lock);
   }
 }

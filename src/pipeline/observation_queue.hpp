@@ -2,14 +2,31 @@
 //
 // Observation order matters to the engine (a re-announcement replaces the
 // per-prefix policy), so concurrent producers cannot simply interleave.
-// Each producer owns a source index; the consumer drains batches in strict
-// source order, streaming from source 0 while later sources are still
-// extracting. This keeps the inferred link set byte-identical for any
-// thread count while still overlapping extraction with inference.
+// Each producer owns a source index, and the consumer drains under one of
+// two deterministic policies:
+//
+//   Concatenate (default): strict source order -- source k+1 is served
+//   only after source k closed and drained. The archive pipeline's merge:
+//   results equal single-stream ingest of the per-source concatenation.
+//
+//   Watermark: a k-way timestamp merge. Every producer publishes a
+//   monotone watermark (its extractor's stream clock); the consumer may
+//   pop any observation strictly below the minimum watermark over open,
+//   non-idle sources, smallest (timestamp, source index) first with
+//   per-source FIFO for ties. Because each source's observation
+//   timestamps are non-decreasing and a source never emits below its own
+//   watermark, the drained sequence is the unique stable merge of the
+//   per-source sequences -- a pure function of per-source contents, for
+//   any arrival interleaving. Open-ended sources therefore merge
+//   continuously instead of buffering until close.
+//
+// Either way the inferred link set is byte-identical for any thread
+// count while extraction overlaps inference.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <vector>
@@ -18,32 +35,57 @@
 
 namespace mlp::pipeline {
 
+/// Cross-source drain policy of an ObservationQueue (and of the live
+/// session built on top of it).
+enum class MergePolicy {
+  /// Strict source-index concatenation (the pinned legacy merge).
+  Concatenate,
+  /// Deterministic k-way timestamp merge under per-source watermarks.
+  Watermark,
+};
+
 class ObservationQueue {
  public:
   /// `n_sources` producers, indexed [0, n_sources). May be 0 when every
   /// producer registers later through add_source (the live multi-feed
   /// path).
-  explicit ObservationQueue(std::size_t n_sources);
+  explicit ObservationQueue(std::size_t n_sources,
+                            MergePolicy policy = MergePolicy::Concatenate);
 
   /// Register one more producer; returns its source index (registration
   /// order). Safe while consumers poll with try_pop/has_ready -- the new
-  /// source simply extends the strict drain order.
+  /// source simply extends the merge.
   std::size_t add_source();
 
-  /// Append one batch from `source`. Empty batches are dropped.
+  /// Append one batch from `source`. Empty batches are dropped. Under
+  /// Watermark, observation timestamps must be non-decreasing per source
+  /// (the extractor clock guarantees it).
   void push(std::size_t source, std::vector<core::Observation> batch);
 
-  /// Mark `source` finished; the consumer can advance past it.
+  /// Watermark policy: publish `source`'s monotone watermark -- a
+  /// promise that every future push from it carries timestamps >= the
+  /// watermark. Raising it can make other sources' observations
+  /// drainable. Ignored under Concatenate.
+  void set_watermark(std::size_t source, std::uint32_t watermark);
+
+  /// Watermark policy: exclude/readmit `source` from the minimum-
+  /// watermark computation (a stalled feed must not freeze the merge).
+  /// An idle source's queued observations still drain in timestamp
+  /// order. Ignored under Concatenate.
+  void set_idle(std::size_t source, bool idle);
+
+  /// Mark `source` finished; it stops constraining the merge and its
+  /// remaining observations become drainable.
   void close(std::size_t source);
 
-  /// Blocking pop of the next batch in source order. Returns false once
-  /// every source is closed and drained.
+  /// Blocking pop of the next ready batch. Returns false once every
+  /// source is closed and drained.
   bool pop(std::vector<core::Observation>& out);
 
-  /// Non-blocking pop: false when no batch is ready right now (the
-  /// in-order source has nothing pending), whether or not more input may
-  /// still arrive. Live consumers poll with this instead of parking in
-  /// pop() on a queue that only closes at end of session.
+  /// Non-blocking pop: false when nothing is ready right now (in-order
+  /// source empty / everything above the watermark), whether or not more
+  /// input may still arrive. Live consumers poll with this instead of
+  /// parking in pop() on a queue that only closes at end of session.
   bool try_pop(std::vector<core::Observation>& out);
 
   /// True when try_pop would return a batch.
@@ -51,14 +93,30 @@ class ObservationQueue {
 
  private:
   struct Source {
+    /// Concatenate: pushed batches, drained front to back.
     std::deque<std::vector<core::Observation>> batches;
+    /// Watermark: pushed observations flattened to per-source FIFO.
+    std::deque<core::Observation> pending;
+    std::uint32_t watermark = 0;
+    bool idle = false;
     bool closed = false;
   };
 
+  /// Caller holds mutex_. Minimum watermark over open, non-idle sources;
+  /// UINT32_MAX sentinel (drain everything) when no source constrains.
+  std::uint32_t min_watermark_locked() const;
+  /// Caller holds mutex_. Fill `out` with the watermark-eligible merge
+  /// front; false when none is eligible.
+  bool merge_pop_locked(std::vector<core::Observation>& out);
+  /// Caller holds mutex_. Concatenate-policy pop.
+  bool ordered_pop_locked(std::vector<core::Observation>& out);
+
   std::mutex mutex_;
   std::condition_variable ready_;
+  MergePolicy policy_;
   std::vector<Source> sources_;
-  std::size_t cursor_ = 0;  // first source not yet fully drained
+  std::size_t cursor_ = 0;    // Concatenate: first source not yet drained
+  std::size_t open_count_ = 0;
 };
 
 }  // namespace mlp::pipeline

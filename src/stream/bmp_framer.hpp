@@ -4,15 +4,25 @@
 // Protocol instead of raw MRT byte streams: each monitored BGP UPDATE
 // arrives wrapped in a Route Monitoring message (common header + per-peer
 // header + the verbatim BGP PDU). BmpFramer buffers arbitrary transport
-// chunks, frames complete BMP messages, and unwraps each Route Monitoring
-// message into a synthesized MRT BGP4MP_MESSAGE_AS4 record -- so the
-// existing MrtFramer/UpdateDecoder/PassiveExtractor chain consumes a BMP
-// feed unchanged, and the two transports cannot diverge semantically.
+// chunks, frames complete BMP messages, and surfaces the ones that carry
+// session semantics as events:
 //
-// Non-Route-Monitoring messages (Initiation, Peer Up/Down, Stats Reports,
-// Termination) are framed, counted in skipped() and stepped over, as are
-// Route Monitoring messages for IPv6 peers (this reproduction is
-// IPv4-only) and PDUs that are not UPDATEs.
+//   Update   -- a Route Monitoring UPDATE, synthesized into an MRT
+//               BGP4MP_MESSAGE[_AS4] record so the existing
+//               MrtFramer/UpdateDecoder/PassiveExtractor chain consumes a
+//               BMP feed unchanged (the two transports cannot diverge
+//               semantically). IPv6 peers synthesize AFI-2 records.
+//   PeerUp   -- RFC 7854 type 3: the monitored router (re)established a
+//               BGP session with the peer. Consumers tear down any state
+//               left from a previous session that died without a PeerDown.
+//   PeerDown -- RFC 7854 type 2, with the reason code when present: the
+//               peer's session ended; its pending announcements must not
+//               linger.
+//
+// Every event carries the fully parsed per-peer header. Messages without
+// session meaning to this pipeline (Initiation, Stats Reports,
+// Termination, Route Mirroring) and Route Monitoring PDUs that are not
+// UPDATEs are framed, counted in skipped() and stepped over.
 //
 // Memory contract mirrors MrtFramer: the buffer never holds more than one
 // partial message after a drain, and the synthesized record scratch is
@@ -25,6 +35,36 @@
 #include <vector>
 
 namespace mlp::stream {
+
+/// The RFC 7854 section 4.2 per-peer header, fully parsed.
+struct BmpPeerHeader {
+  std::uint8_t peer_type = 0;
+  std::uint8_t flags = 0;
+  bool ipv6 = false;            // V flag: 16-byte address is IPv6
+  bool legacy_as_path = false;  // A flag: PDU carries 2-octet AS_PATH
+  std::uint64_t distinguisher = 0;
+  std::uint8_t address[16] = {};  // verbatim 16-byte peer address field
+  std::uint32_t peer_ip = 0;      // low 4 bytes when !ipv6; 0 otherwise
+  std::uint32_t asn = 0;
+  std::uint32_t bgp_id = 0;
+  std::uint32_t timestamp = 0;     // seconds
+  std::uint32_t timestamp_us = 0;  // microseconds
+};
+
+/// One framed BMP message with session meaning.
+struct BmpEvent {
+  enum class Kind : std::uint8_t { Update, PeerUp, PeerDown };
+  Kind kind = Kind::Update;
+  BmpPeerHeader peer;
+  /// Update only: the synthesized MRT record (header + body). Borrows the
+  /// framer's scratch buffer -- invalidated by the next feed()/next()/
+  /// resync() call. Empty for PeerUp/PeerDown.
+  std::span<const std::uint8_t> record;
+  /// PeerDown only: the RFC 7854 reason code, 0 when the body is absent
+  /// or truncated (parsed defensively -- a missing reason is not an
+  /// error).
+  std::uint8_t peer_down_reason = 0;
+};
 
 class BmpFramer {
  public:
@@ -41,15 +81,12 @@ class BmpFramer {
   /// Append one chunk of transport bytes.
   void feed(std::span<const std::uint8_t> chunk);
 
-  /// The next Route Monitoring update, synthesized as a complete MRT
-  /// BGP4MP_MESSAGE_AS4 record (header + body), or nullopt when the
-  /// buffered bytes end mid-message and every complete message has been
-  /// served. The span borrows an internal scratch buffer: it is
-  /// invalidated by the next call to feed(), next() or resync(). Throws
-  /// ParseError on a structurally invalid message (bad version, absurd
-  /// length, truncated Route Monitoring payload), naming the message's
-  /// byte offset in the stream.
-  std::optional<std::span<const std::uint8_t>> next();
+  /// The next session event (Update / PeerUp / PeerDown), or nullopt when
+  /// the buffered bytes end mid-message and every complete message has
+  /// been served. Throws ParseError on a structurally invalid message
+  /// (bad version, absurd length, truncated Route Monitoring payload),
+  /// naming the message's byte offset in the stream.
+  std::optional<BmpEvent> next();
 
   /// Tolerant recovery: distrust the message at the front, drop one byte
   /// past its start and scan for the next plausible BMP header (version
@@ -67,9 +104,13 @@ class BmpFramer {
   /// Complete BMP messages framed so far (all types).
   std::uint64_t messages() const { return messages_; }
 
-  /// Messages stepped over without yielding a record: non-Route-
-  /// Monitoring types, IPv6 peers, non-UPDATE PDUs.
+  /// Messages stepped over without yielding an event: Initiation, Stats,
+  /// Termination, Mirroring, and non-UPDATE PDUs.
   std::uint64_t skipped() const { return skipped_; }
+
+  /// PeerUp / PeerDown events surfaced so far.
+  std::uint64_t peer_ups() const { return peer_ups_; }
+  std::uint64_t peer_downs() const { return peer_downs_; }
 
   /// Bytes currently buffered (the partial tail message, between drains).
   std::size_t buffered() const { return buf_.size() - pos_; }
@@ -88,6 +129,8 @@ class BmpFramer {
   std::uint64_t bytes_fed_ = 0;
   std::uint64_t messages_ = 0;
   std::uint64_t skipped_ = 0;
+  std::uint64_t peer_ups_ = 0;
+  std::uint64_t peer_downs_ = 0;
   std::uint64_t last_message_offset_ = 0;
   bool resyncing_ = false;
   std::vector<std::uint8_t> record_;  // synthesized MRT record scratch
@@ -103,6 +146,27 @@ std::vector<std::uint8_t> bmp_route_monitoring(
     std::uint32_t timestamp, std::uint32_t peer_asn, std::uint32_t peer_ip,
     std::span<const std::uint8_t> bgp_pdu, bool legacy_as_path = false);
 
+/// IPv6-peer variant: `peer_addr` is the 16-byte address; sets the V flag.
+std::vector<std::uint8_t> bmp_route_monitoring_v6(
+    std::uint32_t timestamp, std::uint32_t peer_asn,
+    std::span<const std::uint8_t> peer_addr,
+    std::span<const std::uint8_t> bgp_pdu, bool legacy_as_path = false);
+
+/// Encode a Peer Up (type 3) for `peer_asn`/`peer_ip`: per-peer header
+/// plus the RFC 7854 body (local address/ports and two minimal OPEN
+/// PDUs, which this pipeline does not parse).
+std::vector<std::uint8_t> bmp_peer_up(std::uint32_t timestamp,
+                                      std::uint32_t peer_asn,
+                                      std::uint32_t peer_ip);
+
+/// Encode a Peer Down (type 2) with `reason` (default 1: local system
+/// closed, notification follows omitted -- the body past the reason code
+/// is not parsed).
+std::vector<std::uint8_t> bmp_peer_down(std::uint32_t timestamp,
+                                        std::uint32_t peer_asn,
+                                        std::uint32_t peer_ip,
+                                        std::uint8_t reason = 1);
+
 /// Encode a minimal Initiation (type 4) / Termination (type 5) message;
 /// real collectors bracket a session with these, and the framer must step
 /// over them.
@@ -110,10 +174,10 @@ std::vector<std::uint8_t> bmp_initiation();
 std::vector<std::uint8_t> bmp_termination();
 
 /// Re-wrap a BGP4MP update archive as a BMP session byte stream:
-/// Initiation, one Route Monitoring message per update record (peer and
-/// timestamp carried over), Termination. Non-update records are dropped.
-/// The replay-side bridge used by tests, benchmarks and `mlp_infer serve
-/// --bmp`.
+/// Initiation, a Peer Up per distinct peer on first sight, one Route
+/// Monitoring message per update record (peer and timestamp carried
+/// over), Termination. Non-update records are dropped. The replay-side
+/// bridge used by tests, benchmarks and `mlp_infer serve --bmp`.
 std::vector<std::uint8_t> bmp_wrap_updates(
     std::span<const std::uint8_t> mrt_updates);
 

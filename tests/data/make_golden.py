@@ -103,16 +103,43 @@ def bmp_message(msg_type, payload):
         bytes([msg_type]) + payload
 
 
-def bmp_per_peer(peer_asn, peer_ip, timestamp, flags=0):
-    return (bytes([0, flags]) + b"\x00" * 8 + b"\x00" * 12 +
-            struct.pack(">I", peer_ip) + struct.pack(">I", peer_asn) +
+def bmp_per_peer(peer_asn, peer_ip, timestamp, flags=0, addr16=None):
+    """RFC 7854 4.2 per-peer header. `addr16` overrides the 16-byte peer
+    address field (IPv6 peers); otherwise peer_ip goes in the low 4 bytes."""
+    addr = addr16 if addr16 is not None else b"\x00" * 12 + \
+        struct.pack(">I", peer_ip)
+    assert len(addr) == 16
+    return (bytes([0, flags]) + b"\x00" * 8 + addr +
+            struct.pack(">I", peer_asn) +
             struct.pack(">I", peer_ip) + struct.pack(">II", timestamp, 0))
+
+
+def bgp_open(bgp_id):
+    """Minimal OPEN PDU for Peer Up bodies (not parsed by the pipeline)."""
+    body = bytes([4]) + struct.pack(">HH", 0, 180) + \
+        struct.pack(">I", bgp_id) + bytes([0])
+    return b"\xff" * 16 + struct.pack(">H", 19 + len(body)) + b"\x01" + body
+
+
+def bmp_peer_up(peer_asn, peer_ip, timestamp):
+    """Peer Up (type 3): per-peer header, local address/ports, two OPENs."""
+    body = b"\x00" * 16 + struct.pack(">HH", 179, 179) + \
+        bgp_open(ip(192, 0, 2, 1)) + bgp_open(peer_ip)
+    return bmp_message(3, bmp_per_peer(peer_asn, peer_ip, timestamp) + body)
+
+
+def bmp_peer_down(peer_asn, peer_ip, timestamp, reason=1):
+    """Peer Down (type 2): per-peer header + reason code."""
+    return bmp_message(2, bmp_per_peer(peer_asn, peer_ip, timestamp) +
+                       bytes([reason]))
 
 
 def golden_bmp() -> bytes:
     out = b""
     # Initiation with a sysDescr TLV
     out += bmp_message(4, struct.pack(">HH", 1, 6) + b"golden")
+    # Peer Up: the monitored router's session with peer 5 establishes
+    out += bmp_peer_up(5, ip(10, 0, 0, 5), 1995)
     # Route Monitoring: announce 10.1.0.0/16, path 5 10 20, DE-CIX ALL
     out += bmp_message(0, bmp_per_peer(5, ip(10, 0, 0, 5), 2000) + bgp_update(
         nlri=[("10.1.0.0", 16)], as_path=[5, 10, 20],
@@ -120,8 +147,11 @@ def golden_bmp() -> bytes:
     # Route Monitoring wrapping a KEEPALIVE (type 4): stepped over
     keepalive = b"\xff" * 16 + struct.pack(">H", 19) + b"\x04"
     out += bmp_message(0, bmp_per_peer(5, ip(10, 0, 0, 5), 2005) + keepalive)
-    # Route Monitoring for an IPv6 peer (V flag): stepped over
-    out += bmp_message(0, bmp_per_peer(5, 0, 2010, flags=0x80) + bgp_update(
+    # Route Monitoring for an IPv6 peer (V flag): synthesizes an AFI-2
+    # BGP4MP record end-to-end
+    v6 = bytes([0x20, 0x01, 0x0d, 0xb8]) + b"\x00" * 11 + bytes([5])
+    out += bmp_message(0, bmp_per_peer(5, 0, 2010, flags=0x80, addr16=v6) +
+                       bgp_update(
         nlri=[("10.9.0.0", 16)], as_path=[5, 10, 20],
         communities=[(6695, 6695)]))
     # Stats Report (type 1): per-peer header + count of 0 TLVs
@@ -137,6 +167,9 @@ def golden_bmp() -> bytes:
                        + bgp_update(
         nlri=[("10.3.0.0", 16)], as_path=[5, 10, 20],
         communities=[(8631, 8631)], four_octet_as=False))
+    # Peer Down (reason 1: local system closed): evicts peer 5's four
+    # still-pending announcements at stream time 2030
+    out += bmp_peer_down(5, ip(10, 0, 0, 5), 2030)
     # Termination with a reason TLV
     out += bmp_message(5, struct.pack(">HHH", 1, 2, 0))
     return out

@@ -103,17 +103,24 @@ void drive_bmp(const std::uint8_t* data, std::size_t size) {
     bmp.feed(std::span<const std::uint8_t>(data + at, chunk));
     at += chunk;
     for (;;) {
-      std::optional<std::span<const std::uint8_t>> message;
+      std::optional<stream::BmpEvent> event;
       try {
-        message = bmp.next();
+        event = bmp.next();
       } catch (const ParseError&) {
         bmp.resync();
         continue;
       }
-      if (!message) break;
+      if (!event) break;
+      if (event->kind != stream::BmpEvent::Kind::Update) {
+        // PeerUp/PeerDown: the parsed header is all a consumer reads;
+        // the record span must stay empty.
+        check(event->record.empty(),
+              "BmpFramer attached a record to a session event");
+        continue;
+      }
       // A synthesized record must always frame and survive decoding
       // (decode may reject the PDU, never crash).
-      framer.feed(*message);
+      framer.feed(event->record);
       const auto record = framer.next();
       check(record.has_value(), "BmpFramer synthesized a torn record");
       check(framer.buffered() == 0,

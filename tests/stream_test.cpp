@@ -15,6 +15,7 @@
 #include <set>
 #include <thread>
 
+#include "bgp/wire.hpp"
 #include "core/engine.hpp"
 #include "core/passive.hpp"
 #include "mrt/mrt.hpp"
@@ -513,7 +514,7 @@ TEST(LiveSession, StrictModeThrowsWithStreamOffset) {
 // ---------------------------------------------------------- BMP framer
 
 /// Feed `data` through a BmpFramer in `chunk`-sized slivers, collecting
-/// every synthesized MRT record.
+/// every synthesized MRT record (PeerUp/PeerDown events stepped over).
 std::vector<std::vector<std::uint8_t>> bmp_frame_all(
     std::span<const std::uint8_t> data, std::size_t chunk) {
   BmpFramer framer;
@@ -522,9 +523,10 @@ std::vector<std::vector<std::uint8_t>> bmp_frame_all(
     const std::size_t n = std::min(chunk, data.size() - at);
     framer.feed(data.subspan(at, n));
     for (;;) {
-      const auto record = framer.next();
-      if (!record) break;
-      records.emplace_back(record->begin(), record->end());
+      const auto event = framer.next();
+      if (!event) break;
+      if (event->kind == BmpEvent::Kind::Update)
+        records.emplace_back(event->record.begin(), event->record.end());
     }
   }
   return records;
@@ -564,8 +566,11 @@ TEST(BmpFramer, UnwrapsRouteMonitoringForEveryChunking) {
   framer.feed(wrapped);
   while (framer.next()) {
   }
-  EXPECT_EQ(framer.messages(), 14u);  // 12 RM + Initiation + Termination
+  // 12 RM + Initiation + Termination + one Peer Up (single peer 5).
+  EXPECT_EQ(framer.messages(), 15u);
   EXPECT_EQ(framer.skipped(), 2u);
+  EXPECT_EQ(framer.peer_ups(), 1u);
+  EXPECT_EQ(framer.peer_downs(), 0u);
   EXPECT_EQ(framer.buffered(), 0u);
   EXPECT_EQ(framer.bytes_fed(), wrapped.size());
 }
@@ -587,10 +592,14 @@ TEST(BmpFramer, BadVersionThrowsAndResyncRecovers) {
   const auto record = update_record(5, "10.5.0.0/16");
   const auto wrapped = bmp_wrap_updates(record);
   framer.feed(wrapped);
+  const auto up = framer.next();  // Initiation skipped; Peer Up first
+  ASSERT_TRUE(up.has_value());
+  EXPECT_EQ(up->kind, BmpEvent::Kind::PeerUp);
   const auto framed = framer.next();
   ASSERT_TRUE(framed.has_value());
+  ASSERT_EQ(framed->kind, BmpEvent::Kind::Update);
   UpdateDecoder decoder;
-  EXPECT_NE(decoder.decode(*framed), nullptr);
+  EXPECT_NE(decoder.decode(framed->record), nullptr);
 }
 
 TEST(BmpFramer, TruncatedRouteMonitoringThrows) {
@@ -609,8 +618,10 @@ TEST(BmpFramer, ResetDropsPartialAndKeepsCounters) {
   framer.feed(wrapped);
   while (framer.next()) {
   }
-  const auto tail =
-      std::span<const std::uint8_t>(wrapped).first(wrapped.size() / 2);
+  // Replay the Initiation in full plus a 6-byte sliver of the Peer Up: a
+  // complete header whose body never arrives.
+  const auto tail = std::span<const std::uint8_t>(wrapped)
+                        .first(bmp_initiation().size() + 6);
   framer.feed(tail);
   while (framer.next()) {
   }
@@ -618,15 +629,76 @@ TEST(BmpFramer, ResetDropsPartialAndKeepsCounters) {
   const std::size_t dropped = framer.reset();
   EXPECT_GT(dropped, 0u);
   EXPECT_EQ(framer.buffered(), 0u);
-  // Initiation + RM + Termination, plus the replayed Initiation that
-  // completed before the cut.
-  EXPECT_EQ(framer.messages(), 4u);
+  // Initiation + Peer Up + RM + Termination, plus the replayed
+  // Initiation that completed before the cut.
+  EXPECT_EQ(framer.messages(), 5u);
   EXPECT_EQ(framer.bytes_fed(), wrapped.size() + tail.size());
   // The framer accepts a fresh session after the reset.
   framer.feed(wrapped);
-  std::size_t records = 0;
-  while (framer.next()) ++records;
-  EXPECT_EQ(records, 1u);
+  std::size_t updates = 0;
+  for (auto event = framer.next(); event; event = framer.next())
+    if (event->kind == BmpEvent::Kind::Update) ++updates;
+  EXPECT_EQ(updates, 1u);
+}
+
+TEST(BmpFramer, PeerUpAndPeerDownSurfaceParsedHeaders) {
+  std::vector<std::uint8_t> data = bmp_peer_up(1700, 65666, 0x0a000001);
+  const auto down = bmp_peer_down(1800, 65666, 0x0a000001, /*reason=*/2);
+  data.insert(data.end(), down.begin(), down.end());
+
+  BmpFramer framer;
+  framer.feed(data);
+  const auto up = framer.next();
+  ASSERT_TRUE(up.has_value());
+  EXPECT_EQ(up->kind, BmpEvent::Kind::PeerUp);
+  EXPECT_EQ(up->peer.asn, 65666u);
+  EXPECT_EQ(up->peer.peer_ip, 0x0a000001u);
+  EXPECT_EQ(up->peer.timestamp, 1700u);
+  EXPECT_FALSE(up->peer.ipv6);
+  EXPECT_TRUE(up->record.empty());
+
+  const auto peer_down = framer.next();
+  ASSERT_TRUE(peer_down.has_value());
+  EXPECT_EQ(peer_down->kind, BmpEvent::Kind::PeerDown);
+  EXPECT_EQ(peer_down->peer.asn, 65666u);
+  EXPECT_EQ(peer_down->peer.timestamp, 1800u);
+  EXPECT_EQ(peer_down->peer_down_reason, 2u);
+
+  EXPECT_FALSE(framer.next().has_value());
+  EXPECT_EQ(framer.peer_ups(), 1u);
+  EXPECT_EQ(framer.peer_downs(), 1u);
+  EXPECT_EQ(framer.skipped(), 0u);
+}
+
+TEST(BmpFramer, Ipv6PeerSynthesizesAfi2Record) {
+  // An IPv6 peer (V flag) must survive the BMP -> MRT synthesis: the
+  // BGP4MP header carries AFI 2 with the verbatim 16-byte address, and
+  // the decoder reports peer_ip 0 (no 4-byte form exists).
+  const std::uint8_t v6[16] = {0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0,
+                               0,    0,    0,    0,    0, 0, 0, 1};
+  const auto record = update_record(3000, "10.42.0.0/16");
+  const auto want = mrt::parse_updates(record);
+  ASSERT_EQ(want.size(), 1u);
+  const auto pdu = bgp::encode_update(want[0].update, true);
+  const auto wrapped = bmp_route_monitoring_v6(3000, 5, v6, pdu);
+
+  BmpFramer framer;
+  framer.feed(wrapped);
+  const auto event = framer.next();
+  ASSERT_TRUE(event.has_value());
+  ASSERT_EQ(event->kind, BmpEvent::Kind::Update);
+  EXPECT_TRUE(event->peer.ipv6);
+  EXPECT_EQ(event->peer.peer_ip, 0u);
+  EXPECT_TRUE(std::equal(std::begin(v6), std::end(v6),
+                         std::begin(event->peer.address)));
+
+  UpdateDecoder decoder;
+  const UpdateRecordView* view = decoder.decode(event->record);
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->timestamp, 3000u);
+  EXPECT_EQ(view->peer_asn, 5u);
+  EXPECT_EQ(view->peer_ip, 0u);  // AFI 2: no 4-byte peer address
+  EXPECT_EQ(*view->update, want[0].update);
 }
 
 TEST(LiveSession, BmpLaneSurvivesRecordCapViolation) {
@@ -658,7 +730,7 @@ TEST(LiveSession, BmpLaneSurvivesRecordCapViolation) {
   config.framing.max_record_bytes = 256;
   LiveSession session(config, ixps);
   pipeline::FeedOptions options;
-  options.bmp = true;
+  options.transport = pipeline::Transport::Bmp;
   pipeline::FeedHandle handle = session.add_feed(options);
   for (std::size_t at = 0; at < wrapped.size(); at += 5)
     handle.feed(std::span<const std::uint8_t>(wrapped).subspan(
@@ -685,7 +757,7 @@ TEST(LiveSession, BmpFeedMatchesArchiveIngest) {
   LiveSession session(config, ixps);
   pipeline::FeedOptions options;
   options.name = "bmp-feed";
-  options.bmp = true;
+  options.transport = pipeline::Transport::Bmp;
   pipeline::FeedHandle handle = session.add_feed(options);
   for (std::size_t at = 0; at < wrapped.size(); at += 4096)
     handle.feed(std::span<const std::uint8_t>(wrapped)
@@ -701,6 +773,9 @@ TEST(LiveSession, BmpFeedMatchesArchiveIngest) {
   EXPECT_EQ(result.per_feed[0].bytes_fed, wrapped.size());
   EXPECT_EQ(result.per_feed[0].records, result.records);
   EXPECT_EQ(result.per_feed[0].bmp_skipped, 2u);  // Initiation+Termination
+  // bmp_wrap_updates inserts a Peer Up per distinct peer on first sight.
+  EXPECT_GE(result.per_feed[0].bmp_peer_ups, 1u);
+  EXPECT_EQ(result.per_feed[0].bmp_peer_downs, 0u);
 }
 
 // ----------------------------------------------------------- multi-feed
@@ -754,6 +829,9 @@ TEST(LiveSession, MultiFeedMatrixMatchesConcatenatedArchiveIngest) {
       for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
         for (const unsigned seed : {11u, 77u}) {
           LiveConfig config;
+          // This matrix pins the PR-5 legacy semantics: strict add_feed
+          // source order, equal to archive ingest of the concatenation.
+          config.merge = pipeline::MergePolicy::Concatenate;
           config.threads = threads;
           config.passive = passive;
           config.batch_size = 16;
@@ -845,6 +923,9 @@ TEST(LiveSession, MultiFeedMatchesArchivePipelineOnScenarioSplit) {
   const auto want = pipe.run();
 
   LiveConfig config;
+  // InferencePipeline drains archives in add order; only the pinned
+  // Concatenate policy reproduces that merge for shared keys.
+  config.merge = pipeline::MergePolicy::Concatenate;
   config.threads = 4;
   LiveSession session(config, ixps);
   std::vector<pipeline::FeedHandle> handles;
@@ -876,6 +957,343 @@ TEST(LiveSession, MultiFeedMatchesArchivePipelineOnScenarioSplit) {
   EXPECT_EQ(result.all_links, want.all_links);
   EXPECT_EQ(result.passive.paths_seen, want.passive.paths_seen);
   EXPECT_EQ(result.passive.observations, want.passive.observations);
+}
+
+// ------------------------------------------------------ watermark merge
+
+/// One BGP4MP record from `peer`: an announcement of `prefix` over
+/// `path` with `communities`, or a withdrawal when `path` is empty.
+std::vector<std::uint8_t> keyed_record(std::uint32_t timestamp,
+                                       bgp::Asn peer,
+                                       const std::string& prefix,
+                                       std::vector<bgp::Asn> path,
+                                       std::vector<Community> communities) {
+  mrt::MrtWriter w;
+  mrt::Bgp4mpMessage m;
+  m.peer_asn = peer;
+  m.local_asn = 65000;
+  m.peer_ip = 0x0505;
+  m.four_octet_as = true;
+  if (path.empty()) {
+    m.update.withdrawn = {*bgp::IpPrefix::parse(prefix)};
+  } else {
+    m.update.nlri = {*bgp::IpPrefix::parse(prefix)};
+    m.update.attrs.as_path = bgp::AsPath(std::move(path));
+    m.update.attrs.next_hop = 1;
+    m.update.attrs.communities = std::move(communities);
+  }
+  w.write_bgp4mp(timestamp, m);
+  return w.take();
+}
+
+/// Records of one feed for the watermark matrix, as (timestamp, bytes).
+///
+/// Every feed contends on the shared engine key (setter 20,
+/// 10.200.0.0/16): odd feeds attach EXCLUDE(10) next to ALL, so the
+/// surviving policy -- and with it link {10,20} -- depends on which
+/// feed's observation the engine applies last. Withdrawals settle the
+/// observations at globally distinct timestamps (k*100 + feed*7), which
+/// makes exactly one merge order correct. Peer ASNs are feed-unique so
+/// the per-feed announce windows equal one window over the
+/// timestamp-sorted concatenation -- the archive reference below.
+std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>>
+watermark_feed_records(std::size_t feed) {
+  const auto peer = static_cast<bgp::Asn>(100 + feed);
+  const auto t = [&](std::uint32_t k) {
+    return 1000 + k * 100 + static_cast<std::uint32_t>(feed) * 7;
+  };
+  std::vector<Community> shared = {Community(6695, 6695)};
+  if (feed % 2 == 1) shared.push_back(Community(0, 10));  // EXCLUDE 10
+  const std::string unique = "10.201." + std::to_string(feed) + ".0/24";
+  const std::string tail = "10.202." + std::to_string(feed) + ".0/24";
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>> records;
+  records.emplace_back(
+      t(0), keyed_record(t(0), peer, "10.200.0.0/16", {peer, 10, 20},
+                         shared));
+  records.emplace_back(t(1), keyed_record(t(1), peer, unique, {peer, 20, 10},
+                                          {Community(6695, 6695)}));
+  records.emplace_back(t(2),
+                       keyed_record(t(2), peer, "10.200.0.0/16", {}, {}));
+  records.emplace_back(t(3), keyed_record(t(3), peer, unique, {}, {}));
+  records.emplace_back(t(4), keyed_record(t(4), peer, tail, {peer, 10, 20},
+                                          {Community(6695, 6695)}));
+  return records;
+}
+
+TEST(LiveSession, WatermarkMergeDeterminismMatrix) {
+  // The PR-6 acceptance matrix: {2,4} open-ended feeds with SHARED
+  // engine keys and skewed timestamps, x {1B,7B,record-aligned} chunking
+  // x {1,4} threads x shuffled interleavings. The watermark merge must
+  // make every run equal archive ingest of the timestamp-sorted record
+  // concatenation -- the unique stable merge -- even though an arbitrary
+  // interleaving would flip the contended policy.
+  const auto ixps = two_ixps();
+  const core::PassiveConfig passive;
+  for (const std::size_t n_feeds : {std::size_t{2}, std::size_t{4}}) {
+    std::vector<std::vector<std::uint8_t>> streams;
+    std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>> merged;
+    for (std::size_t f = 0; f < n_feeds; ++f) {
+      std::vector<std::uint8_t> stream;
+      for (auto& [ts, record] : watermark_feed_records(f)) {
+        stream.insert(stream.end(), record.begin(), record.end());
+        merged.emplace_back(ts, std::move(record));
+      }
+      streams.push_back(std::move(stream));
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<std::uint8_t> sorted_concat;
+    for (const auto& [ts, record] : merged)
+      sorted_concat.insert(sorted_concat.end(), record.begin(),
+                           record.end());
+    const Reference ref = reference_run(ixps, sorted_concat, passive);
+    ASSERT_GT(ref.stats.observations, 0u);
+    // The contended key makes the fixture order-sensitive: the last
+    // settle of 10.200.0.0/16 comes from feed n-1 (odd), whose EXCLUDE
+    // community must win and suppress link {10,20} at DE-CIX.
+    EXPECT_EQ(ref.links[0].count(bgp::AsLink(10, 20)), 0u);
+
+    for (const std::size_t step : {std::size_t{1}, std::size_t{7},
+                                   std::size_t{0}}) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        for (const unsigned seed : {3u, 42u}) {
+          LiveConfig config;
+          config.threads = threads;
+          config.passive = passive;
+          config.batch_size = 4;
+          LiveSession session(config, ixps);
+          std::vector<pipeline::FeedHandle> handles;
+          for (std::size_t f = 0; f < n_feeds; ++f)
+            handles.push_back(session.add_feed());
+
+          struct FeedCursor {
+            std::span<const std::uint8_t> data;
+            std::vector<std::size_t> cuts;
+            std::size_t at = 0;
+            std::size_t cut = 0;
+          };
+          std::vector<FeedCursor> cursors;
+          for (std::size_t f = 0; f < n_feeds; ++f)
+            cursors.push_back(
+                FeedCursor{streams[f], cuts_for(streams[f], step)});
+          std::mt19937 rng(seed);
+          std::vector<std::size_t> live;
+          for (std::size_t f = 0; f < n_feeds; ++f) live.push_back(f);
+          while (!live.empty()) {
+            const std::size_t pick = std::uniform_int_distribution<
+                std::size_t>(0, live.size() - 1)(rng);
+            const std::size_t f = live[pick];
+            FeedCursor& cursor = cursors[f];
+            const std::size_t end = cursor.cuts[cursor.cut++];
+            handles[f].feed(cursor.data.subspan(cursor.at,
+                                                end - cursor.at));
+            cursor.at = end;
+            if (cursor.cut == cursor.cuts.size())
+              live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+          }
+
+          // No close() before finish(): the feeds are open-ended for
+          // their whole life; finish() alone releases the frontier.
+          const LiveResult result = session.finish();
+          ASSERT_EQ(result.per_ixp.size(), ixps.size());
+          for (std::size_t i = 0; i < ixps.size(); ++i)
+            EXPECT_EQ(result.per_ixp[i].links, ref.links[i])
+                << n_feeds << " feeds, step " << step << ", threads "
+                << threads << ", seed " << seed << ", ixp " << i;
+          EXPECT_EQ(result.passive.paths_seen, ref.stats.paths_seen);
+          EXPECT_EQ(result.passive.observations, ref.stats.observations);
+          EXPECT_EQ(result.min_watermark, UINT32_MAX);  // all closed
+        }
+      }
+    }
+  }
+}
+
+TEST(LiveSession, WatermarkSnapshotSeesBothOpenFeedsMidStream) {
+  // The headline behavior change vs Concatenate: with two OPEN feeds
+  // (no close(), no finish()), snapshot() must already reflect
+  // observations from BOTH feeds -- the DE-CIX link {10,20} needs
+  // setter 20 from feed 0 AND setter 10 from feed 1, each settled by a
+  // withdrawal below the shared merge frontier.
+  const auto ixps = two_ixps();
+  LiveConfig config;
+  LiveSession session(config, ixps);
+  pipeline::FeedHandle feed0 = session.add_feed();
+  pipeline::FeedHandle feed1 = session.add_feed();
+
+  const auto feed_records = [](pipeline::FeedHandle& handle,
+                               const auto&... records) {
+    (handle.feed(records), ...);
+  };
+  feed_records(
+      feed0,
+      keyed_record(1000, 5, "10.0.0.0/16", {5, 10, 20},
+                   {Community(6695, 6695)}),
+      keyed_record(1010, 5, "10.0.0.0/16", {}, {}),
+      // Frontier advance: a still-pending announcement at t=2000 lifts
+      // this lane's watermark without settling anything new.
+      keyed_record(2000, 5, "10.1.0.0/16", {5, 10, 20},
+                   {Community(6695, 6695)}));
+  feed_records(
+      feed1,
+      keyed_record(1005, 7, "10.2.0.0/16", {7, 20, 10},
+                   {Community(6695, 6695)}),
+      keyed_record(1020, 7, "10.2.0.0/16", {}, {}),
+      keyed_record(2000, 7, "10.3.0.0/16", {7, 20, 10},
+                   {Community(6695, 6695)}));
+
+  const pipeline::LiveSnapshot snap = session.snapshot();
+  EXPECT_EQ(snap.min_watermark, 2000u);
+  EXPECT_EQ(snap.records, 6u);
+  EXPECT_EQ(snap.passive.observations, 2u);  // both withdrawals settled
+  ASSERT_EQ(snap.links_per_ixp.size(), 2u);
+  EXPECT_EQ(snap.links_per_ixp[0], 1u);  // {10,20} live mid-stream
+  ASSERT_EQ(snap.per_feed.size(), 2u);
+  EXPECT_EQ(snap.per_feed[0].watermark, 2000u);
+  EXPECT_EQ(snap.per_feed[1].watermark, 2000u);
+  EXPECT_FALSE(snap.per_feed[0].closed);
+  EXPECT_FALSE(snap.per_feed[1].closed);
+
+  const LiveResult result = session.finish();
+  EXPECT_EQ(result.per_ixp[0].links,
+            std::set<bgp::AsLink>{bgp::AsLink(10, 20)});
+  EXPECT_EQ(result.passive.observations, 4u);  // tails flushed at close
+}
+
+TEST(LiveSession, DetachedFeedHandleThrows) {
+  pipeline::FeedHandle handle;
+  EXPECT_FALSE(handle.valid());
+  const std::vector<std::uint8_t> bytes = {1, 2, 3};
+  EXPECT_THROW(handle.feed(bytes), InvalidArgument);
+  EXPECT_THROW(handle.close(), InvalidArgument);
+  EXPECT_THROW(handle.note_disconnect(), InvalidArgument);
+  MemorySource source(bytes);
+  EXPECT_THROW(handle.drain(source), InvalidArgument);
+}
+
+TEST(LiveSession, PeerDownEvictsPendingAnnouncements) {
+  // BMP session semantics end-to-end: a PeerDown must tear down the
+  // peer's standing announce-window entries (they settle through the
+  // usual age test) and, once the merge frontier passes the teardown
+  // time, their observations must be live in the engines -- all while
+  // the feed stays open.
+  const auto ixps = two_ixps();
+  std::vector<std::uint8_t> archive = update_record(1000, "10.1.0.0/16");
+  const auto second = update_record(1001, "10.2.0.0/16", true);
+  archive.insert(archive.end(), second.begin(), second.end());
+  std::vector<std::uint8_t> data = bmp_wrap_updates(archive);
+  const auto down = bmp_peer_down(1500, 5, 0x0505);
+  data.insert(data.end(), down.begin(), down.end());
+  // Frontier advance past the teardown: a later record from another
+  // peer whose announcement stays pending.
+  const auto later = update_record(2000, "10.9.0.0/16");
+  const auto want = mrt::parse_updates(later);
+  ASSERT_EQ(want.size(), 1u);
+  const auto pdu = bgp::encode_update(want[0].update, true);
+  const auto rm = bmp_route_monitoring(2000, 9, 0x0909, pdu);
+  data.insert(data.end(), rm.begin(), rm.end());
+
+  LiveConfig config;
+  LiveSession session(config, ixps);
+  pipeline::FeedOptions options;
+  options.transport = pipeline::Transport::Bmp;
+  pipeline::FeedHandle handle = session.add_feed(options);
+  for (std::size_t at = 0; at < data.size(); at += 7)
+    handle.feed(std::span<const std::uint8_t>(data).subspan(
+        at, std::min<std::size_t>(7, data.size() - at)));
+
+  const pipeline::LiveSnapshot snap = session.snapshot();
+  ASSERT_EQ(snap.per_feed.size(), 1u);
+  EXPECT_EQ(snap.per_feed[0].bmp_peer_ups, 1u);
+  EXPECT_EQ(snap.per_feed[0].bmp_peer_downs, 1u);
+  // The PeerUp tore down an (empty) window; the PeerDown evicted peer
+  // 5's two pending announcements at stream time 1500.
+  EXPECT_EQ(snap.passive.peer_session_resets, 2u);
+  EXPECT_EQ(snap.passive.pending_torn_down, 2u);
+  EXPECT_EQ(snap.passive.observations, 2u);
+  EXPECT_EQ(snap.min_watermark, 2000u);
+  // Both evicted observations sit below the frontier: the link already
+  // reflects them with the feed still open.
+  ASSERT_EQ(snap.links_per_ixp.size(), 2u);
+  EXPECT_EQ(snap.links_per_ixp[0], 1u);
+
+  const LiveResult result = session.finish();
+  EXPECT_EQ(result.passive.peer_session_resets, 2u);
+  EXPECT_EQ(result.passive.pending_torn_down, 2u);
+  EXPECT_EQ(result.per_ixp[0].links,
+            std::set<bgp::AsLink>{bgp::AsLink(10, 20)});
+}
+
+TEST(ObservationQueue, WatermarkGatesDrainByMinimumFrontier) {
+  using core::Observation;
+  pipeline::ObservationQueue queue(2, pipeline::MergePolicy::Watermark);
+  const auto obs = [](std::uint32_t ts, const char* prefix) {
+    Observation o;
+    o.setter = 20;
+    o.prefix = *bgp::IpPrefix::parse(prefix);
+    o.timestamp = ts;
+    return o;
+  };
+  queue.push(0, {obs(100, "10.0.0.0/16"), obs(300, "10.1.0.0/16")});
+  queue.push(1, {obs(200, "10.2.0.0/16")});
+  // No watermarks yet: nothing is provably final.
+  EXPECT_FALSE(queue.has_ready());
+  std::vector<Observation> out;
+
+  queue.set_watermark(0, 301);
+  EXPECT_FALSE(queue.has_ready());  // source 1 still pins the frontier
+  queue.set_watermark(1, 250);
+  // Frontier 250: one batch of 100 (source 0) then 200 (source 1),
+  // holding 300 back.
+  ASSERT_TRUE(queue.try_pop(out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].timestamp, 100u);
+  EXPECT_EQ(out[1].timestamp, 200u);
+  EXPECT_FALSE(queue.try_pop(out));
+
+  // A stale watermark never lowers the frontier.
+  queue.set_watermark(1, 10);
+  EXPECT_FALSE(queue.has_ready());
+
+  // Parking source 1 as idle removes its constraint; its own queued
+  // observations would still drain in timestamp order.
+  queue.set_idle(1, true);
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out[0].timestamp, 300u);
+  queue.set_idle(1, false);
+
+  // Close both: the sentinel frontier drains the remainder, and pop()
+  // reports exhaustion.
+  queue.push(1, {obs(400, "10.3.0.0/16")});
+  queue.close(0);
+  queue.close(1);
+  ASSERT_TRUE(queue.pop(out));
+  EXPECT_EQ(out[0].timestamp, 400u);
+  EXPECT_FALSE(queue.pop(out));
+}
+
+TEST(ObservationQueue, WatermarkTiesBreakBySourceIndexThenFifo) {
+  using core::Observation;
+  pipeline::ObservationQueue queue(3, pipeline::MergePolicy::Watermark);
+  const auto obs = [](std::uint32_t ts, std::uint32_t setter) {
+    Observation o;
+    o.setter = setter;
+    o.prefix = *bgp::IpPrefix::parse("10.0.0.0/16");
+    o.timestamp = ts;
+    return o;
+  };
+  queue.push(2, {obs(100, 1), obs(100, 2)});
+  queue.push(0, {obs(100, 3)});
+  queue.push(1, {obs(50, 4)});
+  for (std::size_t source = 0; source < 3; ++source)
+    queue.close(source);
+  std::vector<std::uint32_t> setters;
+  std::vector<Observation> out;
+  while (queue.pop(out))
+    for (const auto& o : out) setters.push_back(o.setter);
+  // 50 first; the 100s by source index, FIFO within source 2.
+  const std::vector<std::uint32_t> want = {4, 3, 1, 2};
+  EXPECT_EQ(setters, want);
 }
 
 TEST(LiveSession, ConcurrentFeedThreadsMatchReferenceUnderSnapshots) {
@@ -1185,7 +1603,7 @@ TEST(GoldenCorpus, BmpSessionYieldsPinnedSnapshot) {
   LiveConfig config;
   LiveSession session(config, ixps);
   pipeline::FeedOptions options;
-  options.bmp = true;
+  options.transport = pipeline::Transport::Bmp;
   pipeline::FeedHandle handle = session.add_feed(options);
   // 3-byte slivers: every BMP header and PDU straddles chunk boundaries.
   for (std::size_t at = 0; at < data.size(); at += 3)
@@ -1195,14 +1613,22 @@ TEST(GoldenCorpus, BmpSessionYieldsPinnedSnapshot) {
 
   ASSERT_EQ(result.per_feed.size(), 1u);
   const pipeline::FeedStats& feed = result.per_feed[0];
-  EXPECT_EQ(feed.bmp_messages, 8u);
-  // Initiation, Termination, Stats Report, KEEPALIVE RM, IPv6-peer RM.
-  EXPECT_EQ(feed.bmp_skipped, 5u);
-  // The two AS4-peer update RMs plus the legacy (A flag, 2-octet
-  // AS_PATH) RM, whose path must decode with 2-byte ASN width.
-  EXPECT_EQ(feed.records, 3u);
-  EXPECT_EQ(result.passive.paths_seen, 3u);
-  EXPECT_EQ(result.passive.observations, 3u);
+  EXPECT_EQ(feed.bmp_messages, 10u);
+  // Initiation, Termination, Stats Report, KEEPALIVE RM.
+  EXPECT_EQ(feed.bmp_skipped, 4u);
+  EXPECT_EQ(feed.bmp_peer_ups, 1u);
+  EXPECT_EQ(feed.bmp_peer_downs, 1u);
+  // Two AS4-peer update RMs, the IPv6-peer RM (AFI-2 synthesis), and the
+  // legacy (A flag) RM whose path must decode with 2-byte ASN width.
+  EXPECT_EQ(feed.records, 4u);
+  EXPECT_EQ(result.passive.paths_seen, 4u);
+  EXPECT_EQ(result.passive.observations, 4u);
+  // The Peer Up found an empty window; the Peer Down at stream time 2030
+  // tore down all four still-pending announcements.
+  EXPECT_EQ(result.passive.peer_session_resets, 2u);
+  EXPECT_EQ(result.passive.pending_torn_down, 4u);
+  // The feed's lane clock advanced through the Peer Down timestamp.
+  EXPECT_EQ(feed.watermark, 2030u);
   ASSERT_EQ(result.per_ixp.size(), 2u);
   const std::set<bgp::AsLink> want_link = {bgp::AsLink(10, 20)};
   EXPECT_EQ(result.per_ixp[0].links, want_link);  // DE-CIX
