@@ -43,12 +43,25 @@
 //     restarts on socket feeds: redial with bounded exponential backoff,
 //     up to N consecutive failures, resuming at a record boundary.
 //     --tolerant skips malformed records (counted) instead of aborting.
+//     Every feed is health-supervised (Healthy/Degraded/Quarantined/
+//     Dead): a feed past its malformed-rate, dirty-disconnect, reconnect
+//     or stall budget stops gating the cross-feed merge and the healthy
+//     feeds keep going; transitions print to stderr. --stall-timeout,
+//     --malformed-window, --dirty-budget and --probation tune the
+//     budgets; --no-supervision turns the judgements off. --chaos SEED
+//     wraps every feed in a seeded fault injector (corrupt bytes,
+//     garbage, drops, stalls -- same seed, same failure sequence) to
+//     soak-test that machinery.
 //     `infer --follow` is an alias.
 //
 //   mlp_infer serve --port P [--bmp] [--chunk N] [--accepts K] FILE
 //     Replay an update archive over TCP: listen on 127.0.0.1:P, accept K
 //     connections in turn and stream the file to each (wrapped as a BMP
 //     session with --bmp). The test/demo peer for `follow` socket feeds.
+//     --chaos SEED[:PLAN] serves each connection through a seeded fault
+//     injector; a drop fault really severs the TCP connection and
+//     re-accepts, so a `follow --retry` client rehearses real collector
+//     flaps end to end.
 //
 // Typical round trips:
 //   mlp_infer gen --out /tmp/mlp
@@ -74,8 +87,10 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -86,6 +101,7 @@
 #include "pipeline/pipeline.hpp"
 #include "scenario/scenario.hpp"
 #include "stream/bmp_framer.hpp"
+#include "stream/fault.hpp"
 #include "stream/reconnect.hpp"
 #include "stream/source.hpp"
 #include "topology/relationship_inference.hpp"
@@ -108,11 +124,16 @@ int usage() {
       "                        [--tolerant] [--window N] [--bmp]\n"
       "                        [--merge watermark|concat] [--grace MS]\n"
       "                        [--retry N] [--snapshot-every N]\n"
+      "                        [--chaos SEED[:PLAN]] [--no-supervision]\n"
+      "                        [--stall-timeout MS] [--malformed-window N]\n"
+      "                        [--dirty-budget N] [--probation N]\n"
       "                        [--feed SPEC]... [--listen PORT]\n"
       "                        [FILE]   (default: one stdin feed)\n"
       "         SPEC: '-' | PATH | listen:PORT | connect:HOST:PORT\n"
+      "         PLAN: corrupt@OFF[xMASK] | garbage@OFF[xN] | drop@OFF[xN]\n"
+      "               | stall@OFF[xMS] | trunc@OFF | shatter (','-joined)\n"
       "       mlp_infer serve --port P [--bmp] [--chunk N] [--accepts K]\n"
-      "                       UPDATES.mrt\n");
+      "                       [--chaos SEED[:PLAN]] UPDATES.mrt\n");
   return 2;
 }
 
@@ -404,16 +425,53 @@ std::unique_ptr<stream::StreamSource> open_feed_source(
 
 /// An exhausted dial budget ends the stream quietly at the source level;
 /// surface it so "collector gone" is distinguishable from "feed done".
-void warn_if_exhausted(const std::string& name,
-                       const stream::StreamSource& source) {
-  const auto* reconnecting =
-      dynamic_cast<const stream::ReconnectingSource*>(&source);
-  if (reconnecting == nullptr || !reconnecting->exhausted()) return;
+/// Returns true when the budget was in fact exhausted (the caller then
+/// fails the feed so it stops gating the merge frontier).
+bool warn_if_exhausted(const std::string& name,
+                       const stream::ReconnectingSource* reconnecting) {
+  if (reconnecting == nullptr || !reconnecting->exhausted()) return false;
   std::fprintf(stderr, "%s: dial budget exhausted after %llu attempts%s%s\n",
                name.c_str(),
                static_cast<unsigned long long>(reconnecting->dial_attempts()),
                reconnecting->last_error().empty() ? "" : ": ",
                reconnecting->last_error().c_str());
+  return true;
+}
+
+/// --chaos in follow mode: size hint for materializing a bare-seed
+/// random plan (fault offsets land inside the stream when its length is
+/// knowable, and inside the first MiB of an open-ended socket feed).
+std::uint64_t chaos_stream_hint(const FeedSpec& spec) {
+  if (spec.kind == FeedSpec::Kind::File) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(spec.path, ec);
+    if (!ec) return size;
+  }
+  return 1u << 20;
+}
+
+/// Wrap one follow-mode feed in its fault injector. A bare-seed plan is
+/// materialized per feed (seed + index: each feed fails differently but
+/// reproducibly); an explicit plan applies to every feed verbatim. A
+/// drop fault notifies the feed's framing layer exactly like a real
+/// transport reconnect.
+std::unique_ptr<stream::StreamSource> wrap_chaos(
+    std::unique_ptr<stream::StreamSource> source,
+    const stream::FaultPlan& plan, std::size_t feed_index,
+    std::uint64_t stream_hint, pipeline::FeedHandle handle) {
+  stream::FaultPlan feed_plan = plan;
+  if (plan.empty())
+    feed_plan = stream::FaultPlan::random(plan.seed + feed_index, stream_hint);
+  std::fprintf(stderr, "feed %zu: chaos plan %s\n", feed_index,
+               feed_plan.to_string().c_str());
+  auto injected = std::make_unique<stream::FaultInjectingSource>(
+      std::move(source), std::move(feed_plan));
+  injected->set_on_fault([handle](const stream::Fault& fault) mutable {
+    if (fault.kind != stream::Fault::Kind::Disconnect) return;
+    pipeline::FeedHandle h = handle;
+    h.note_disconnect();
+  });
+  return injected;
 }
 
 void print_live_snapshot(const pipeline::LiveSnapshot& snap,
@@ -441,6 +499,7 @@ int run_follow(int argc, char** argv) {
   std::size_t retry = 0;
   bool bmp = false;
   bool saw_positional = false;
+  std::optional<stream::FaultPlan> chaos;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--config" && i + 1 < argc) {
@@ -489,6 +548,22 @@ int run_follow(int argc, char** argv) {
       config.idle_feed_grace_ms = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--retry" && i + 1 < argc) {
       retry = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--chaos" && i + 1 < argc) {
+      chaos = stream::FaultPlan::parse(argv[++i]);
+    } else if (arg == "--no-supervision") {
+      config.supervision.enabled = false;
+    } else if (arg == "--stall-timeout" && i + 1 < argc) {
+      config.supervision.stall_timeout_ms =
+          std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--malformed-window" && i + 1 < argc) {
+      config.supervision.malformed_window =
+          std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--dirty-budget" && i + 1 < argc) {
+      config.supervision.dirty_disconnect_budget =
+          std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--probation" && i + 1 < argc) {
+      config.supervision.probation_records =
+          std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--follow") {
       // tolerated so `infer --follow ...` forwards verbatim
     } else if (!arg.empty() && arg.front() == '-' && arg != "-") {
@@ -522,6 +597,16 @@ int run_follow(int argc, char** argv) {
   std::vector<std::string> names;
   names.reserve(contexts.size());
   for (const auto& context : contexts) names.push_back(context.name);
+  // Health transitions go to stderr as they fire (the summary repeats the
+  // final state per feed). Runs under the transitioning lane's mutex:
+  // print and return, nothing else.
+  config.on_health_change = [](const pipeline::HealthChange& change) {
+    std::fprintf(stderr, "feed %s: %s -> %s%s%s%s\n", change.name.c_str(),
+                 pipeline::to_string(change.from),
+                 pipeline::to_string(change.to),
+                 change.reason.empty() ? "" : " (", change.reason.c_str(),
+                 change.reason.empty() ? "" : ")");
+  };
   pipeline::LiveSession session(config, std::move(contexts));
 
   std::vector<pipeline::FeedHandle> handles;
@@ -539,6 +624,13 @@ int run_follow(int argc, char** argv) {
     // Single feed: drain on this thread so --snapshot-every fires at
     // deterministic chunk boundaries (the scriptable shape).
     auto source = open_feed_source(specs[0], retry, handles[0]);
+    // Grab the reconnect layer before chaos wraps it: exhaustion must
+    // stay observable through the fault injector.
+    const auto* reconnecting =
+        dynamic_cast<const stream::ReconnectingSource*>(source.get());
+    if (chaos)
+      source = wrap_chaos(std::move(source), *chaos, 0,
+                          chaos_stream_hint(specs[0]), handles[0]);
     std::vector<std::uint8_t> buffer(config.read_chunk);
     std::uint64_t last_snapshot_records = 0;
     for (;;) {
@@ -554,7 +646,8 @@ int run_follow(int argc, char** argv) {
       last_snapshot_records = snap.records;
       print_live_snapshot(snap, names);
     }
-    warn_if_exhausted(specs[0].raw, *source);
+    if (warn_if_exhausted(specs[0].raw, reconnecting))
+      handles[0].fail("reconnect budget exhausted");
   } else {
     // Multi-feed: one reader thread per feed (lanes are independent; the
     // cross-feed merge is deterministic regardless of arrival order).
@@ -567,8 +660,14 @@ int run_follow(int argc, char** argv) {
       readers.emplace_back([&, i] {
         try {
           auto source = open_feed_source(specs[i], retry, handles[i]);
+          const auto* reconnecting =
+              dynamic_cast<const stream::ReconnectingSource*>(source.get());
+          if (chaos)
+            source = wrap_chaos(std::move(source), *chaos, i,
+                                chaos_stream_hint(specs[i]), handles[i]);
           handles[i].drain(*source);
-          warn_if_exhausted(specs[i].raw, *source);
+          if (warn_if_exhausted(specs[i].raw, reconnecting))
+            handles[i].fail("reconnect budget exhausted");
         } catch (const std::exception& e) {
           std::fprintf(stderr, "%s: %s\n", specs[i].raw.c_str(), e.what());
           any_failed.store(true);
@@ -598,7 +697,9 @@ int run_follow(int argc, char** argv) {
   for (const auto& feed : result.per_feed)
     std::printf("feed %s: %llu bytes, %llu records, %zu malformed, "
                 "%llu clean / %llu dirty disconnects, %llu partials "
-                "dropped, watermark %lu, %llu peer ups / %llu downs\n",
+                "dropped, watermark %lu, %llu peer ups / %llu downs, "
+                "health %s, %llu transitions, %llu quarantines, "
+                "%llu observations discarded\n",
                 feed.name.c_str(),
                 static_cast<unsigned long long>(feed.bytes_fed),
                 static_cast<unsigned long long>(feed.records),
@@ -609,7 +710,12 @@ int run_follow(int argc, char** argv) {
                     feed.partial_records_dropped),
                 static_cast<unsigned long>(feed.watermark),
                 static_cast<unsigned long long>(feed.bmp_peer_ups),
-                static_cast<unsigned long long>(feed.bmp_peer_downs));
+                static_cast<unsigned long long>(feed.bmp_peer_downs),
+                pipeline::to_string(feed.health),
+                static_cast<unsigned long long>(feed.health_transitions),
+                static_cast<unsigned long long>(feed.times_quarantined),
+                static_cast<unsigned long long>(
+                    feed.observations_discarded));
   print_summary(result.passive, result.per_ixp, result.all_links.size());
   if (feed_failed) {
     std::fprintf(stderr,
@@ -626,6 +732,7 @@ int run_serve(int argc, char** argv) {
   std::size_t chunk = 65536;
   std::size_t accepts = 1;
   bool bmp = false;
+  std::optional<stream::FaultPlan> chaos;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--port" && i + 1 < argc) {
@@ -638,6 +745,8 @@ int run_serve(int argc, char** argv) {
       accepts = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--bmp") {
       bmp = true;
+    } else if (arg == "--chaos" && i + 1 < argc) {
+      chaos = stream::FaultPlan::parse(argv[++i]);
     } else if (!arg.empty() && arg.front() == '-') {
       return usage();
     } else if (path.empty()) {
@@ -651,6 +760,10 @@ int run_serve(int argc, char** argv) {
 
   std::vector<std::uint8_t> data = read_file(path);
   if (bmp) data = stream::bmp_wrap_updates(data);
+  if (chaos && chaos->empty())
+    chaos = stream::FaultPlan::random(chaos->seed, data.size());
+  if (chaos)
+    std::fprintf(stderr, "chaos plan: %s\n", chaos->to_string().c_str());
   const auto listener =
       stream::open_tcp_listener(static_cast<std::uint16_t>(port));
   std::fprintf(stderr, "serving %s (%zu bytes%s) on 127.0.0.1:%u, %zu "
@@ -658,11 +771,39 @@ int run_serve(int argc, char** argv) {
                path.c_str(), data.size(), bmp ? ", BMP" : "",
                listener.port, accepts);
   for (std::size_t k = 0; k < accepts; ++k) {
-    const int fd = stream::tcp_accept(listener.fd);
-    for (std::size_t at = 0; at < data.size(); at += chunk)
-      stream::write_all(fd, std::span<const std::uint8_t>(
-                                data.data() + at,
-                                std::min(chunk, data.size() - at)));
+    int fd = stream::tcp_accept(listener.fd);
+    if (!chaos) {
+      for (std::size_t at = 0; at < data.size(); at += chunk)
+        stream::write_all(fd, std::span<const std::uint8_t>(
+                                  data.data() + at,
+                                  std::min(chunk, data.size() - at)));
+      stream::close_fd(fd);
+      continue;
+    }
+    // Chaos replay: serve the archive through the fault injector. The
+    // same plan replays per accept turn, so every client sees the same
+    // failure sequence. A drop fault really severs the connection and
+    // re-accepts (not counted against --accepts: it is one turn's
+    // mid-stream flap), resuming past the dropped bytes -- a real
+    // collector restart as seen from `follow --retry`.
+    stream::FaultInjectingSource injected(
+        std::make_unique<stream::MemorySource>(data, chunk), *chaos);
+    bool drop_pending = false;
+    injected.set_on_fault([&](const stream::Fault& fault) {
+      if (fault.kind == stream::Fault::Kind::Disconnect) drop_pending = true;
+    });
+    std::vector<std::uint8_t> buffer(chunk);
+    for (;;) {
+      if (drop_pending) {
+        drop_pending = false;
+        stream::close_fd(fd);
+        fd = stream::tcp_accept(listener.fd);
+      }
+      const std::size_t n = injected.read(buffer);
+      if (n == 0) break;
+      stream::write_all(
+          fd, std::span<const std::uint8_t>(buffer.data(), n));
+    }
     stream::close_fd(fd);
   }
   stream::close_fd(listener.fd);

@@ -1,7 +1,6 @@
 #include "pipeline/live_session.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
 #include <string>
 #include <utility>
@@ -18,13 +17,6 @@ std::shared_ptr<const std::vector<core::IxpContext>> share(
       std::move(ixps));
 }
 
-std::uint64_t steady_now_ms() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::milliseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
 }  // namespace
 
 // ------------------------------------------------------------ FeedHandle
@@ -32,13 +24,31 @@ std::uint64_t steady_now_ms() {
 void FeedHandle::feed(std::span<const std::uint8_t> chunk) {
   if (!session_) throw InvalidArgument("feed handle: not attached");
   LiveSession::Lane& target = session_->lane(index_);
-  target.last_activity_ms.store(steady_now_ms(), std::memory_order_relaxed);
+  target.last_activity_ms.store(session_->clock_->now_ms(),
+                                std::memory_order_relaxed);
   session_->refresh_idle(/*holds_feeds_mutex=*/false);
+  session_->supervise_stalls(/*holds_feeds_mutex=*/false);
   std::lock_guard lock(target.mutex);
   if (target.closed)
     throw InvalidArgument("live session: feed() on closed feed " +
                           target.name);
-  session_->lane_feed(target, chunk);
+  // A Dead lane's transport may keep delivering (the reader loop has not
+  // noticed yet): drop the bytes at the door instead of throwing, so
+  // graceful degradation does not turn into reader-thread crashes.
+  if (!target.supervisor.ingesting()) {
+    target.bytes_discarded += chunk.size();
+    return;
+  }
+  try {
+    session_->lane_feed(target, chunk);
+  } catch (...) {
+    // An exception escaping mid-ingest (strict-mode ParseError, queue
+    // failure) leaves the lane's framing state untrustworthy AND is about
+    // to unwind the reader: make sure the close sentinels publish so the
+    // other feeds' merge frontier never waits on this lane.
+    session_->fail_locked(target, "ingest error (" + target.name + ")");
+    throw;
+  }
 }
 
 std::uint64_t FeedHandle::drain(stream::StreamSource& source) {
@@ -61,12 +71,23 @@ void FeedHandle::note_disconnect() {
   std::lock_guard lock(target.mutex);
   std::size_t dropped = target.framer.reset();
   if (target.bmp) dropped += target.bmp->reset();
-  if (dropped > 0) {
+  const bool dirty = dropped > 0;
+  if (dirty) {
     ++target.dirty_disconnects;
     ++target.partial_records_dropped;
   } else {
     ++target.clean_disconnects;
   }
+  const FeedHealth before = target.supervisor.health();
+  session_->apply_supervision(target, target.supervisor.note_disconnect(dirty),
+                              before);
+}
+
+void FeedHandle::fail(const std::string& reason) {
+  if (!session_) throw InvalidArgument("feed handle: not attached");
+  LiveSession::Lane& target = session_->lane(index_);
+  std::lock_guard lock(target.mutex);
+  session_->fail_locked(target, reason);
 }
 
 void FeedHandle::close() {
@@ -82,10 +103,16 @@ LiveSession::LiveSession(LiveConfig config,
                          std::vector<core::IxpContext> ixps,
                          bgp::RelFn relationships)
     : config_(std::move(config)),
+      clock_(config_.clock ? config_.clock : stream::system_clock()),
       contexts_(share(std::move(ixps))),
       relationships_(std::move(relationships)),
       pool_(ThreadPool::resolve(config_.threads)) {
   if (config_.batch_size == 0) config_.batch_size = 1;
+  // Concatenate's drain cursor advances past a closed-and-drained source
+  // and cannot rewind, so a quarantined feed could never merge again:
+  // escalate quarantine to Dead instead of pretending otherwise.
+  if (config_.merge == MergePolicy::Concatenate)
+    config_.supervision.allow_readmission = false;
   shards_.reserve(contexts_->size());
   for (const core::IxpContext& context : *contexts_)
     shards_.push_back(std::make_unique<Shard>(context, config_.merge));
@@ -107,9 +134,24 @@ FeedHandle LiveSession::add_feed(FeedOptions options) {
   lane->framer = stream::MrtFramer(config_.framing);
   if (options.transport == Transport::Bmp)
     lane->bmp.emplace(options.bmp_framing);
-  lane->last_activity_ms.store(steady_now_ms(), std::memory_order_relaxed);
+  const std::uint64_t now = clock_->now_ms();
+  lane->last_activity_ms.store(now, std::memory_order_relaxed);
+  lane->supervisor = FeedSupervisor(config_.supervision);
+  lane->supervisor.note_activity(now);
+  // The sink runs under the lane mutex (extractor calls happen there) but
+  // NOT under feeds_mutex_, and feeds_ may reallocate concurrently: hold
+  // the lane by its stable address, never through feeds_[index].
+  Lane* raw = lane.get();
   lane->extractor.set_sink(
-      [this, index](std::size_t ixp, std::vector<core::Observation>&& batch) {
+      [this, index, raw](std::size_t ixp,
+                         std::vector<core::Observation>&& batch) {
+        // A lane that is not merging (Quarantined/Dead) keeps extracting
+        // -- its announce-window must track the stream for a potential
+        // readmission -- but its output is discarded, not queued.
+        if (!raw->supervisor.merging()) {
+          raw->observations_discarded += batch.size();
+          return;
+        }
         shards_[ixp]->queue.push(index, std::move(batch));
         schedule_pump(ixp);
       },
@@ -166,7 +208,7 @@ void LiveSession::refresh_idle(bool holds_feeds_mutex) {
     return;
   std::unique_lock lock(feeds_mutex_, std::defer_lock);
   if (!holds_feeds_mutex) lock.lock();
-  const std::uint64_t now = steady_now_ms();
+  const std::uint64_t now = clock_->now_ms();
   for (auto& lane : feeds_) {
     const std::uint64_t last =
         lane->last_activity_ms.load(std::memory_order_relaxed);
@@ -181,6 +223,94 @@ void LiveSession::refresh_idle(bool holds_feeds_mutex) {
   }
 }
 
+void LiveSession::supervise_stalls(bool holds_feeds_mutex) {
+  if (!config_.supervision.enabled || config_.supervision.stall_timeout_ms == 0)
+    return;
+  std::unique_lock lock(feeds_mutex_, std::defer_lock);
+  if (!holds_feeds_mutex) lock.lock();
+  const std::uint64_t now = clock_->now_ms();
+  for (auto& lane : feeds_) {
+    // Lock-free pre-check: only a lane whose activity stamp is actually
+    // stale pays for its mutex, so the common all-healthy sweep is a few
+    // relaxed loads per feed.
+    const std::uint64_t last =
+        lane->last_activity_ms.load(std::memory_order_relaxed);
+    if (now <= last || now - last < config_.supervision.stall_timeout_ms)
+      continue;
+    std::lock_guard lane_lock(lane->mutex);
+    if (lane->closed) continue;
+    lane->supervisor.note_activity(last);
+    const FeedHealth before = lane->supervisor.health();
+    apply_supervision(*lane, lane->supervisor.check_stall(now), before);
+  }
+}
+
+void LiveSession::record_outcome(Lane& target, bool malformed) {
+  const FeedHealth before = target.supervisor.health();
+  apply_supervision(target, target.supervisor.note_record(malformed), before);
+}
+
+void LiveSession::fail_locked(Lane& target, const std::string& reason) {
+  const FeedHealth before = target.supervisor.health();
+  // Everything extracted while the lane merged was judged trustworthy at
+  // the time: flush its announce-window and watermark BEFORE the Dead
+  // transition, so a feed that dies at end of stream (the common
+  // reconnect-exhaustion shape) keeps its contribution. A lane already
+  // quarantined gets no such flush -- its window is suspect.
+  if (target.supervisor.merging() && !target.closed) {
+    target.extractor.finish();
+    publish_watermark(target);
+  }
+  apply_supervision(target, target.supervisor.note_fatal(reason), before);
+}
+
+void LiveSession::apply_supervision(Lane& target,
+                                    FeedSupervisor::Action action,
+                                    FeedHealth before) {
+  switch (action) {
+    case FeedSupervisor::Action::None:
+      break;
+    case FeedSupervisor::Action::Quarantine:
+    case FeedSupervisor::Action::Die:
+      if (!target.queues_closed) {
+        target.queues_closed = true;
+        for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+          // The close sentinel: the lane stops constraining the frontier
+          // (Watermark) / the drain cursor steps over it (Concatenate),
+          // and its already-queued observations become drainable.
+          shards_[shard]->queue.close(target.index);
+          schedule_pump(shard);
+        }
+      }
+      break;
+    case FeedSupervisor::Action::Readmit:
+      // Never resurrect a user-closed feed; readmission is only for
+      // supervision's own sentinels (and only under Watermark -- the
+      // supervisor cannot emit Readmit under Concatenate, where
+      // allow_readmission is forced off).
+      if (target.queues_closed && !target.closed) {
+        target.queues_closed = false;
+        for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+          shards_[shard]->queue.reopen(target.index);
+          schedule_pump(shard);
+        }
+      }
+      break;
+  }
+  const FeedHealth after = target.supervisor.health();
+  if (after == before || !config_.on_health_change) return;
+  HealthChange change;
+  change.feed = target.index;
+  change.name = target.name;
+  change.from = before;
+  change.to = after;
+  const auto& transitions = target.supervisor.transitions();
+  if (target.supervisor.transition_count() == transitions.size() &&
+      !transitions.empty())
+    change.reason = transitions.back().reason;
+  config_.on_health_change(change);
+}
+
 void LiveSession::drain_framer(Lane& target) {
   for (;;) {
     std::span<const std::uint8_t> record;
@@ -191,6 +321,7 @@ void LiveSession::drain_framer(Lane& target) {
     } catch (const ParseError&) {  // absurd length field
       if (!config_.passive.tolerate_malformed) throw;
       target.extractor.note_malformed_record();
+      record_outcome(target, /*malformed=*/true);
       if (target.bmp) {
         // The buffer holds exactly the one synthesized record that blew
         // the cap (BMP lanes feed record-by-record): drop it whole. A
@@ -203,9 +334,12 @@ void LiveSession::drain_framer(Lane& target) {
     }
     try {
       const stream::UpdateRecordView* view = target.decoder.decode(record);
-      if (view == nullptr) continue;  // stepped over (not an update)
-      target.extractor.consume_update(view->timestamp, view->peer_asn,
-                                      *view->update);
+      if (view != nullptr)
+        target.extractor.consume_update(view->timestamp, view->peer_asn,
+                                        *view->update);
+      // A stepped-over non-update record framed and decoded fine: it
+      // counts as a clean outcome for the health window.
+      record_outcome(target, /*malformed=*/false);
     } catch (const ParseError& e) {
       if (!config_.passive.tolerate_malformed)
         throw ParseError(std::string(e.what()) + " (" + target.name +
@@ -213,6 +347,7 @@ void LiveSession::drain_framer(Lane& target) {
                          std::to_string(target.framer.last_record_offset()) +
                          ")");
       target.extractor.note_malformed_record();
+      record_outcome(target, /*malformed=*/true);
       // A raw MRT stream needs a scan for the next plausible header; a
       // BMP lane's record boundaries come from BMP framing and stay
       // trusted, so the bad record is simply dropped.
@@ -245,6 +380,7 @@ void LiveSession::lane_feed(Lane& target, std::span<const std::uint8_t> chunk) {
       if (!config_.passive.tolerate_malformed)
         throw ParseError(std::string(e.what()) + " (" + target.name + ")");
       target.extractor.note_malformed_record();
+      record_outcome(target, /*malformed=*/true);
       target.bmp->resync();
       continue;
     }
@@ -330,6 +466,16 @@ FeedStats LiveSession::lane_stats(Lane& target) const {
   stats.idle = target.idle.load(std::memory_order_relaxed);
   stats.closed = target.closed;
   stats.passive = target.extractor.stats();
+  stats.health = target.supervisor.health();
+  stats.health_transitions = target.supervisor.transition_count();
+  stats.times_quarantined = target.supervisor.times_quarantined();
+  stats.bytes_discarded = target.bytes_discarded;
+  stats.observations_discarded = target.observations_discarded;
+  stats.malformed_rate = target.supervisor.malformed_rate();
+  stats.consecutive_dirty_disconnects =
+      target.supervisor.consecutive_dirty_disconnects();
+  stats.probation_clean_records = target.supervisor.probation_clean_records();
+  stats.transitions = target.supervisor.transitions();
   return stats;
 }
 
@@ -344,7 +490,26 @@ SessionTotals LiveSession::collect_totals_locked() {
     totals.records += stats.records;
     totals.records_skipped += stats.records_skipped;
     totals.passive += stats.passive;
-    if (!stats.closed && !stats.idle) {
+    totals.health_transitions += stats.health_transitions;
+    totals.observations_discarded += stats.observations_discarded;
+    switch (stats.health) {
+      case FeedHealth::Healthy:
+        break;
+      case FeedHealth::Degraded:
+        ++totals.feeds_degraded;
+        break;
+      case FeedHealth::Quarantined:
+        ++totals.feeds_quarantined;
+        break;
+      case FeedHealth::Dead:
+        ++totals.feeds_dead;
+        break;
+    }
+    // A quarantined/dead lane's queue sources are closed: it no longer
+    // constrains the frontier, and the published total must say so.
+    const bool merging = stats.health == FeedHealth::Healthy ||
+                         stats.health == FeedHealth::Degraded;
+    if (!stats.closed && !stats.idle && merging) {
       constrained = true;
       frontier = std::min(frontier, stats.watermark);
     }
@@ -362,6 +527,7 @@ LiveSnapshot LiveSession::snapshot() {
   // engine reads below. wait_idle also rethrows anything a pump leaked.
   std::lock_guard feeds_lock(feeds_mutex_);
   refresh_idle(/*holds_feeds_mutex=*/true);
+  supervise_stalls(/*holds_feeds_mutex=*/true);
   std::vector<std::unique_lock<std::mutex>> lane_locks;
   lane_locks.reserve(feeds_.size());
   for (auto& lane : feeds_) lane_locks.emplace_back(lane->mutex);

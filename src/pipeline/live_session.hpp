@@ -55,6 +55,16 @@
 // age test) so routes of a dead session cannot linger as pending state.
 // IPv6 peers flow end-to-end (AFI-2 synthesized records).
 //
+// Health supervision: each lane carries a FeedSupervisor (see
+// feed_supervisor.hpp) judging error budgets -- malformed rate over a
+// sliding window, consecutive dirty disconnects, a stall watchdog on the
+// injected LiveConfig::clock. A lane quarantined or dead by those budgets
+// publishes its queue close sentinels, so a persistently sick feed can
+// never gate the Concatenate drain order or the Watermark frontier: the
+// healthy feeds keep merging (graceful degradation). Quarantined lanes
+// still ingest -- their observations are discarded -- and earn
+// readmission by a probation run of clean records (Watermark only).
+//
 // Threading: feed() calls on ONE lane must be serialized, but different
 // lanes may be driven from different threads concurrently (each reader
 // thread owns one FeedHandle). snapshot()/finish() briefly lock every
@@ -67,6 +77,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -75,15 +86,27 @@
 #include <vector>
 
 #include "core/passive.hpp"
+#include "pipeline/feed_supervisor.hpp"
 #include "pipeline/observation_queue.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/thread_pool.hpp"
 #include "stream/bmp_framer.hpp"
+#include "stream/clock.hpp"
 #include "stream/decoder.hpp"
 #include "stream/framer.hpp"
 #include "stream/source.hpp"
 
 namespace mlp::pipeline {
+
+/// One feed's health transition, as delivered to
+/// LiveConfig::on_health_change.
+struct HealthChange {
+  std::size_t feed = 0;
+  std::string name;
+  FeedHealth from = FeedHealth::Healthy;
+  FeedHealth to = FeedHealth::Healthy;
+  std::string reason;
+};
 
 /// Wire format of one feed.
 enum class Transport : std::uint8_t {
@@ -116,6 +139,20 @@ struct LiveConfig {
   /// disables the check -- fully deterministic, but one stalled feed
   /// freezes cross-feed draining at its last watermark.
   std::uint64_t idle_feed_grace_ms = 0;
+  /// Per-feed health supervision budgets (see feed_supervisor.hpp).
+  /// Under MergePolicy::Concatenate the session forces
+  /// allow_readmission = false: the drain cursor cannot rewind past a
+  /// closed source, so quarantine escalates straight to Dead.
+  SupervisorConfig supervision;
+  /// Session time source: paces idle parking and the stall watchdog.
+  /// Null means the process SystemClock; tests inject a VirtualClock to
+  /// replay stall scenarios deterministically.
+  std::shared_ptr<stream::Clock> clock;
+  /// Invoked on every health transition, with the transitioning lane's
+  /// mutex held: the callback must be fast and must not call back into
+  /// the session (snapshot()/finish()/feed() would deadlock). May fire
+  /// concurrently for distinct feeds.
+  std::function<void(const HealthChange&)> on_health_change;
 };
 
 /// Per-feed transport/config of one add_feed call.
@@ -146,6 +183,16 @@ struct FeedStats {
   bool idle = false;   // parked by idle_feed_grace_ms right now
   bool closed = false;
   core::PassiveStats passive;       // this feed's extraction counters
+  // Health supervision (see feed_supervisor.hpp).
+  FeedHealth health = FeedHealth::Healthy;
+  std::uint64_t health_transitions = 0;  // total transitions fired
+  std::uint64_t times_quarantined = 0;
+  std::uint64_t bytes_discarded = 0;  // fed while Dead, dropped unread
+  std::uint64_t observations_discarded = 0;  // emitted while not merging
+  double malformed_rate = 0.0;        // current sliding-window rate
+  std::size_t consecutive_dirty_disconnects = 0;
+  std::size_t probation_clean_records = 0;
+  std::vector<HealthTransition> transitions;  // first 64, in order
 };
 
 /// Aggregate counters shared by the mid-stream snapshot and the final
@@ -161,6 +208,12 @@ struct SessionTotals {
   std::uint32_t min_watermark = 0;
   core::PassiveStats passive;
   std::vector<FeedStats> per_feed;  // in add_feed order
+  // Health rollup over feeds.
+  std::size_t feeds_degraded = 0;
+  std::size_t feeds_quarantined = 0;
+  std::size_t feeds_dead = 0;
+  std::uint64_t health_transitions = 0;
+  std::uint64_t observations_discarded = 0;
 };
 
 /// Cheap point-in-time view of a running session.
@@ -201,6 +254,16 @@ class FeedHandle {
   /// disconnect when partial bytes were dropped, clean otherwise. Wire
   /// this as ReconnectingSource's on_reconnect callback.
   void note_disconnect();
+
+  /// Unrecoverable transport failure (reconnect budget exhausted, a
+  /// reader thread giving up): the feed goes straight to
+  /// FeedHealth::Dead and its queue close sentinels publish so it can
+  /// never gate the merge frontier. A lane that was still merging gets
+  /// its announce-window flushed first (everything extracted while it
+  /// merged was judged trustworthy at the time); a lane already
+  /// quarantined does not -- its window is suspect. feed() afterwards
+  /// discards silently. Idempotent.
+  void fail(const std::string& reason);
 
   /// End of this feed's stream: flush its announce-window and partial
   /// batches, and close its source slot in every IXP queue so it stops
@@ -289,6 +352,14 @@ class LiveSession {
     std::uint64_t dirty_disconnects = 0;
     std::uint64_t partial_records_dropped = 0;
     bool closed = false;
+    /// Health supervision (guarded by mutex, like the counters below).
+    FeedSupervisor supervisor;
+    std::uint64_t bytes_discarded = 0;
+    std::uint64_t observations_discarded = 0;
+    /// Queue close sentinels published by supervision (Quarantined/Dead),
+    /// distinct from the user-visible `closed`: a readmitted feed reopens
+    /// its sources, a close()d one never does.
+    bool queues_closed = false;
   };
 
   /// One IXP's inference lane: a multi-source queue (source == feed)
@@ -317,11 +388,27 @@ class LiveSession {
   /// Watermark + idle_feed_grace_ms only: park/readmit feeds by wall-
   /// clock staleness. Takes feeds_mutex_ when `locked` is false.
   void refresh_idle(bool holds_feeds_mutex);
+  /// Stall watchdog sweep (supervision.stall_timeout_ms only): atomically
+  /// pre-checks every lane's last-activity stamp and quarantines stalled
+  /// ones. Takes feeds_mutex_ when the caller does not hold it, then
+  /// stale lanes' mutexes one at a time (never while a caller holds one).
+  void supervise_stalls(bool holds_feeds_mutex);
+  /// Caller holds `target.mutex`: feed the supervisor one record outcome
+  /// and enact the verdict.
+  void record_outcome(Lane& target, bool malformed);
+  /// Caller holds `target.mutex`: route the lane straight to Dead.
+  void fail_locked(Lane& target, const std::string& reason);
+  /// Caller holds `target.mutex`: enact a supervisor verdict -- close the
+  /// lane's queue sources on Quarantine/Die, reopen them on Readmit --
+  /// and fire on_health_change when the health level moved off `before`.
+  void apply_supervision(Lane& target, FeedSupervisor::Action action,
+                         FeedHealth before);
   FeedStats lane_stats(Lane& target) const;
   /// Caller holds feeds_mutex_ and every lane mutex.
   SessionTotals collect_totals_locked();
 
   LiveConfig config_;
+  std::shared_ptr<stream::Clock> clock_;  // config_.clock or SystemClock
   std::shared_ptr<const std::vector<core::IxpContext>> contexts_;
   bgp::RelFn relationships_;
   std::mutex feeds_mutex_;  // guards feeds_ growth and finish()

@@ -75,6 +75,22 @@ void ObservationQueue::close(std::size_t source) {
   ready_.notify_one();
 }
 
+void ObservationQueue::reopen(std::size_t source) {
+  {
+    std::lock_guard lock(mutex_);
+    if (policy_ != MergePolicy::Watermark)
+      throw InvalidArgument(
+          "observation queue: reopen() requires the Watermark policy");
+    if (source >= sources_.size())
+      throw InvalidArgument("observation queue: bad source index");
+    if (sources_[source].closed) {
+      sources_[source].closed = false;
+      ++open_count_;
+    }
+  }
+  ready_.notify_one();
+}
+
 std::uint32_t ObservationQueue::min_watermark_locked() const {
   std::uint32_t min = std::numeric_limits<std::uint32_t>::max();
   bool constrained = false;

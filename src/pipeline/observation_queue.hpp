@@ -78,6 +78,14 @@ class ObservationQueue {
   /// remaining observations become drainable.
   void close(std::size_t source);
 
+  /// Watermark policy: undo a close() -- the source constrains the merge
+  /// again and may push again (a quarantined feed readmitted after
+  /// probation). Its watermark survives the round trip, so the monotone
+  /// promise to the merge is unbroken. Throws InvalidArgument under
+  /// Concatenate: the drain cursor may already have advanced past the
+  /// source, and a position in a concatenation cannot be re-occupied.
+  void reopen(std::size_t source);
+
   /// Blocking pop of the next ready batch. Returns false once every
   /// source is closed and drained.
   bool pop(std::vector<core::Observation>& out);

@@ -1,0 +1,25 @@
+#include "stream/clock.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace mlp::stream {
+
+std::uint64_t SystemClock::now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SystemClock::sleep_ms(std::uint64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+std::shared_ptr<Clock> system_clock() {
+  static const std::shared_ptr<Clock> instance =
+      std::make_shared<SystemClock>();
+  return instance;
+}
+
+}  // namespace mlp::stream

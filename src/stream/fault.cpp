@@ -1,0 +1,276 @@
+#include "stream/fault.hpp"
+
+#include <algorithm>
+
+#include "util/errors.hpp"
+#include "util/strings.hpp"
+
+namespace mlp::stream {
+namespace {
+
+// splitmix64: one multiply-xor-shift chain per draw. Deterministic across
+// platforms, which is the whole point of a seeded plan.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t next_rand(std::uint64_t& state) {
+  state = state * 6364136223846793005ull + 1442695040888963407ull;
+  return mix64(state);
+}
+
+constexpr std::uint64_t kDefaultGarbageBytes = 16;
+constexpr std::uint64_t kDefaultDropBytes = 1024;
+constexpr std::uint64_t kDefaultStallMs = 1000;
+
+[[noreturn]] void bad_spec(const std::string& spec, const char* why) {
+  throw InvalidArgument("bad fault plan \"" + spec + "\": " + why);
+}
+
+}  // namespace
+
+const char* to_string(Fault::Kind kind) {
+  switch (kind) {
+    case Fault::Kind::Corrupt:
+      return "corrupt";
+    case Fault::Kind::Garbage:
+      return "garbage";
+    case Fault::Kind::Disconnect:
+      return "drop";
+    case Fault::Kind::Stall:
+      return "stall";
+    case Fault::Kind::Truncate:
+      return "trunc";
+  }
+  return "?";
+}
+
+void FaultPlan::sort_faults() {
+  std::stable_sort(
+      faults.begin(), faults.end(),
+      [](const Fault& a, const Fault& b) { return a.offset < b.offset; });
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  const auto colon = spec.find(':');
+  const std::string seed_part = spec.substr(0, colon);
+  const auto seed = mlp::parse_u64(seed_part);
+  if (!seed) bad_spec(spec, "seed must be an unsigned integer");
+  plan.seed = *seed;
+  if (colon == std::string::npos) return plan;
+
+  std::string rest = spec.substr(colon + 1);
+  if (rest.empty()) bad_spec(spec, "empty fault list after ':'");
+  std::size_t pos = 0;
+  while (pos <= rest.size()) {
+    auto comma = rest.find(',', pos);
+    if (comma == std::string::npos) comma = rest.size();
+    const std::string item = rest.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) bad_spec(spec, "empty fault entry");
+    if (item == "shatter") {
+      plan.shatter = true;
+      continue;
+    }
+    const auto at = item.find('@');
+    if (at == std::string::npos) bad_spec(spec, "fault needs name@OFFSET");
+    const std::string name = item.substr(0, at);
+    Fault fault;
+    if (name == "corrupt") {
+      fault.kind = Fault::Kind::Corrupt;
+    } else if (name == "garbage") {
+      fault.kind = Fault::Kind::Garbage;
+      fault.arg = kDefaultGarbageBytes;
+    } else if (name == "drop" || name == "disconnect") {
+      fault.kind = Fault::Kind::Disconnect;
+      fault.arg = kDefaultDropBytes;
+    } else if (name == "stall") {
+      fault.kind = Fault::Kind::Stall;
+      fault.arg = kDefaultStallMs;
+    } else if (name == "trunc") {
+      fault.kind = Fault::Kind::Truncate;
+    } else {
+      bad_spec(spec, "unknown fault kind");
+    }
+    std::string tail = item.substr(at + 1);
+    const auto x = tail.find('x');
+    std::string offset_part = tail.substr(0, x);
+    const auto offset = mlp::parse_u64(offset_part);
+    if (!offset) bad_spec(spec, "offset must be an unsigned integer");
+    fault.offset = *offset;
+    if (x != std::string::npos) {
+      if (fault.kind == Fault::Kind::Truncate)
+        bad_spec(spec, "trunc takes no argument");
+      const auto arg = mlp::parse_u64(tail.substr(x + 1));
+      if (!arg) bad_spec(spec, "argument must be an unsigned integer");
+      fault.arg = *arg;
+      if (fault.kind != Fault::Kind::Corrupt && fault.arg == 0)
+        bad_spec(spec, "argument must be positive");
+    }
+    plan.faults.push_back(fault);
+  }
+  plan.sort_faults();
+  return plan;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, std::uint64_t stream_bytes) {
+  FaultPlan plan;
+  plan.seed = seed;
+  if (stream_bytes == 0) return plan;
+  std::uint64_t rng = mix64(seed ^ 0xfa417a11ull);
+  const auto offset_in = [&](std::uint64_t lo_pct, std::uint64_t hi_pct) {
+    const std::uint64_t lo = stream_bytes * lo_pct / 100;
+    const std::uint64_t hi = std::max(lo + 1, stream_bytes * hi_pct / 100);
+    return lo + next_rand(rng) % (hi - lo);
+  };
+  // A spread of one fault per kind (no truncation: a soak run must be able
+  // to finish), each landing in its own band of the stream so strikes do
+  // not pile onto the same record.
+  plan.faults.push_back(
+      {Fault::Kind::Corrupt, offset_in(5, 25), 1 + next_rand(rng) % 255});
+  plan.faults.push_back(
+      {Fault::Kind::Garbage, offset_in(25, 45), 4 + next_rand(rng) % 60});
+  plan.faults.push_back(
+      {Fault::Kind::Disconnect, offset_in(45, 70), 64 + next_rand(rng) % 960});
+  plan.faults.push_back(
+      {Fault::Kind::Stall, offset_in(70, 90), 1 + next_rand(rng) % 50});
+  plan.shatter = (next_rand(rng) & 1) != 0;
+  plan.sort_faults();
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out = std::to_string(seed);
+  char sep = ':';
+  for (const auto& fault : faults) {
+    out += sep;
+    sep = ',';
+    out += stream::to_string(fault.kind);
+    out += '@';
+    out += std::to_string(fault.offset);
+    if (fault.kind != Fault::Kind::Truncate) {
+      out += 'x';
+      out += std::to_string(fault.arg);
+    }
+  }
+  if (shatter) {
+    out += sep;
+    out += "shatter";
+  }
+  return out;
+}
+
+FaultInjectingSource::FaultInjectingSource(std::unique_ptr<StreamSource> inner,
+                                           FaultPlan plan,
+                                           std::shared_ptr<Clock> clock)
+    : inner_(std::move(inner)),
+      plan_(std::move(plan)),
+      clock_(clock ? std::move(clock) : system_clock()),
+      shatter_rng_(mix64(plan_.seed ^ 0x5a77e512ull)) {
+  plan_.sort_faults();
+}
+
+bool FaultInjectingSource::discard_inner(std::uint64_t count) {
+  std::uint8_t scratch[4096];
+  while (count > 0) {
+    const std::size_t want =
+        static_cast<std::size_t>(std::min<std::uint64_t>(count, sizeof scratch));
+    const std::size_t got = inner_->read(std::span<std::uint8_t>(scratch, want));
+    if (got == 0) return false;
+    in_offset_ += got;
+    count -= got;
+  }
+  return true;
+}
+
+void FaultInjectingSource::strike(const Fault& fault) {
+  ++faults_injected_;
+  if (on_fault_) on_fault_(fault);
+}
+
+std::size_t FaultInjectingSource::read(std::span<std::uint8_t> out) {
+  if (out.empty()) return 0;
+  // Shatter caps the request size, never the byte content: the output
+  // byte sequence stays identical, only its chunk boundaries move.
+  if (plan_.shatter) {
+    const std::size_t cap =
+        1 + static_cast<std::size_t>(next_rand(shatter_rng_) % 61);
+    if (out.size() > cap) out = out.first(cap);
+  }
+  while (true) {
+    if (truncated_) return 0;
+    // Garbage spliced by an earlier strike drains before any inner byte.
+    if (garbage_remaining_ > 0) {
+      const std::size_t n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(garbage_remaining_, out.size()));
+      for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<std::uint8_t>(next_rand(garbage_rng_));
+      garbage_remaining_ -= n;
+      bytes_out_ += n;
+      return n;
+    }
+    // Handle every fault scheduled at the current input offset, in plan
+    // order; Corrupt is deferred to the read below (it rides on a byte).
+    bool corrupt_next = false;
+    std::uint64_t corrupt_mask = 0;
+    while (next_fault_ < plan_.faults.size() &&
+           plan_.faults[next_fault_].offset <= in_offset_) {
+      const Fault& fault = plan_.faults[next_fault_];
+      ++next_fault_;
+      switch (fault.kind) {
+        case Fault::Kind::Corrupt:
+          corrupt_next = true;
+          corrupt_mask = fault.arg != 0
+                             ? fault.arg
+                             : 1 + mix64(plan_.seed ^ fault.offset) % 255;
+          strike(fault);
+          break;
+        case Fault::Kind::Garbage:
+          garbage_remaining_ = fault.arg;
+          garbage_rng_ = mix64(plan_.seed ^ (fault.offset * 2 + 1));
+          strike(fault);
+          break;
+        case Fault::Kind::Disconnect: {
+          // Consume the gap first so the post-gap bytes are next in line,
+          // then tell the consumer the connection dropped.
+          const bool more = discard_inner(fault.arg);
+          strike(fault);
+          if (!more) {
+            truncated_ = true;
+            return 0;
+          }
+          break;
+        }
+        case Fault::Kind::Stall:
+          strike(fault);
+          clock_->sleep_ms(fault.arg);
+          break;
+        case Fault::Kind::Truncate:
+          strike(fault);
+          truncated_ = true;
+          return 0;
+      }
+    }
+    if (garbage_remaining_ > 0) continue;  // splice before the next byte
+    // Serve inner bytes, never crossing the next strike offset so every
+    // fault lands exactly at its input offset regardless of chunking.
+    std::size_t want = out.size();
+    if (next_fault_ < plan_.faults.size()) {
+      const std::uint64_t until = plan_.faults[next_fault_].offset - in_offset_;
+      want = static_cast<std::size_t>(std::min<std::uint64_t>(want, until));
+    }
+    if (corrupt_next) want = 1;
+    const std::size_t got = inner_->read(out.first(want));
+    if (got == 0) return 0;
+    in_offset_ += got;
+    if (corrupt_next) out[0] ^= static_cast<std::uint8_t>(corrupt_mask);
+    bytes_out_ += got;
+    return got;
+  }
+}
+
+}  // namespace mlp::stream

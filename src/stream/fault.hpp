@@ -1,0 +1,144 @@
+// Deterministic fault injection for live byte feeds.
+//
+// Real collector/BMP feeds fail in ways unit fixtures rarely reproduce:
+// a flipped byte deep inside a record, a connection torn mid-record, a
+// silent stall, garbage spliced between records, pathological chunk
+// boundaries. FaultInjectingSource wraps any StreamSource and replays
+// such failures from a declarative, seeded FaultPlan -- the same plan and
+// seed produce the byte-identical output sequence on every run, for any
+// read chunking, so a failure scenario is a reproducible test vector
+// instead of a flaky accident.
+//
+// Faults strike at INPUT stream offsets (bytes of the wrapped source),
+// which is what makes the output a pure function of (inner bytes, plan):
+//
+//   corrupt@OFF[xM]   XOR the input byte at OFF with mask M (seeded when
+//                     omitted; never a 0 mask)
+//   garbage@OFF[xN]   splice N seeded garbage bytes into the output
+//                     before the input byte at OFF (default 16)
+//   drop@OFF[xN]      lose input bytes [OFF, OFF+N) and signal a
+//                     disconnect -- exactly what a connection torn
+//                     mid-record and resumed later looks like to the
+//                     consumer (default 1024; alias: disconnect@)
+//   stall@OFF[xT]     before serving the input byte at OFF, let T
+//                     milliseconds pass on the injected Clock
+//                     (default 1000)
+//   trunc@OFF         end of stream at input offset OFF, permanently
+//   shatter           cap every read at a small seeded size so record
+//                     boundaries land in adversarial places
+//
+// The textual form above is FaultPlan::parse's input ("SEED" or
+// "SEED:FAULT,FAULT,..."), mlp_infer's --chaos argument, and
+// to_string()'s output, so any observed failure sequence can be quoted
+// back into a regression test verbatim.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/clock.hpp"
+#include "stream/source.hpp"
+
+namespace mlp::stream {
+
+/// One scheduled failure.
+struct Fault {
+  enum class Kind : std::uint8_t {
+    Corrupt,     // XOR one input byte
+    Garbage,     // splice seeded bytes into the output
+    Disconnect,  // drop a run of input bytes + signal a disconnect
+    Stall,       // let clock time pass before the next byte
+    Truncate,    // end the stream early
+  };
+  Kind kind = Kind::Corrupt;
+  /// Input-stream offset where the fault strikes.
+  std::uint64_t offset = 0;
+  /// Kind-specific argument: XOR mask (Corrupt, 0 = seeded), byte count
+  /// (Garbage/Disconnect), milliseconds (Stall). Unused for Truncate.
+  std::uint64_t arg = 0;
+};
+
+const char* to_string(Fault::Kind kind);
+
+/// A seeded, declarative failure schedule. Plans are value types: copy
+/// one per feed/connection so every replay starts from the same state.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  /// Strike schedule, sorted by offset (sort_faults() restores the
+  /// invariant after hand-editing). Offsets are unique per kind in
+  /// practice; ties strike in vector order.
+  std::vector<Fault> faults;
+  /// Seeded chunk-boundary shattering of every read.
+  bool shatter = false;
+
+  /// "SEED" (a fully seeded random plan, materialized against a stream
+  /// size by random()) or "SEED:FAULT,...". Throws InvalidArgument on
+  /// malformed specs.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Derive a plan of a few faults (corrupt, garbage, drop, stall,
+  /// shatter) with offsets spread over `stream_bytes`, entirely from
+  /// `seed`. Never truncates: a random soak plan must let the stream
+  /// finish.
+  static FaultPlan random(std::uint64_t seed, std::uint64_t stream_bytes);
+
+  /// True when parse(spec) left the strike schedule to random() (a bare
+  /// "SEED" spec).
+  bool empty() const { return faults.empty() && !shatter; }
+
+  /// Round-trips through parse().
+  std::string to_string() const;
+
+  void sort_faults();
+};
+
+/// StreamSource wrapper applying a FaultPlan to the wrapped stream.
+/// Single-consumer like every StreamSource; not thread-safe.
+class FaultInjectingSource final : public StreamSource {
+ public:
+  /// `clock` paces Stall faults; defaults to the process SystemClock.
+  FaultInjectingSource(std::unique_ptr<StreamSource> inner, FaultPlan plan,
+                       std::shared_ptr<Clock> clock = nullptr);
+
+  /// Invoked synchronously as each fault strikes, before the affected
+  /// bytes are served. A Disconnect strike fires AFTER the dropped bytes
+  /// are consumed -- the consumer's cue to reset framing state
+  /// (FeedHandle::note_disconnect) or drop a connection (serve --chaos).
+  void set_on_fault(std::function<void(const Fault&)> callback) {
+    on_fault_ = std::move(callback);
+  }
+
+  std::size_t read(std::span<std::uint8_t> out) override;
+
+  /// Faults struck so far (Truncate included).
+  std::uint64_t faults_injected() const { return faults_injected_; }
+  /// Bytes consumed from the wrapped source (dropped bytes included).
+  std::uint64_t bytes_in() const { return in_offset_; }
+  /// Bytes served downstream (garbage included, dropped excluded).
+  std::uint64_t bytes_out() const { return bytes_out_; }
+
+ private:
+  /// Consume and discard `count` inner bytes; false when the inner
+  /// stream ended first.
+  bool discard_inner(std::uint64_t count);
+  void strike(const Fault& fault);
+
+  std::unique_ptr<StreamSource> inner_;
+  FaultPlan plan_;
+  std::shared_ptr<Clock> clock_;
+  std::function<void(const Fault&)> on_fault_;
+  std::size_t next_fault_ = 0;      // cursor into plan_.faults
+  std::uint64_t in_offset_ = 0;     // input bytes consumed
+  std::uint64_t bytes_out_ = 0;
+  std::uint64_t faults_injected_ = 0;
+  std::uint64_t garbage_remaining_ = 0;
+  std::uint64_t garbage_rng_ = 0;   // re-seeded per Garbage strike
+  std::uint64_t shatter_rng_ = 0;
+  bool truncated_ = false;
+};
+
+}  // namespace mlp::stream

@@ -9,6 +9,9 @@
 //   - ParseError is the only escape hatch, and resync() always recovers
 //   - the one-partial-record memory invariant: after a full drain the
 //     framer buffers at most one capped record, whatever was fed
+//   - the FeedSupervisor state machine holds its invariants (Dead is
+//     absorbing, bounded transition log, rate in [0,1]) under arbitrary
+//     event interleavings and edge-case budget configs
 //
 // Built with -DMLP_FUZZ=ON. Under Clang the real libFuzzer entry point
 // is linked (-fsanitize=fuzzer, MLP_FUZZ_LIBFUZZER); elsewhere a
@@ -24,6 +27,7 @@
 #include <vector>
 
 #include "mrt/record_codec.hpp"
+#include "pipeline/feed_supervisor.hpp"
 #include "stream/bmp_framer.hpp"
 #include "stream/decoder.hpp"
 #include "stream/framer.hpp"
@@ -136,12 +140,86 @@ void drive_bmp(const std::uint8_t* data, std::size_t size) {
   check(bmp.bytes_fed() == size, "BmpFramer lost track of bytes_fed");
 }
 
+/// Drive the FeedSupervisor state machine with a byte-derived event
+/// stream: arbitrary interleavings of record outcomes, disconnects,
+/// stall polls and fatal failures must keep its invariants:
+///
+///   - Dead is absorbing (no transition ever leaves it)
+///   - the recorded transition list is capped, the rate stays in [0,1]
+///   - the action returned is consistent with the health it lands on
+void drive_supervisor(const std::uint8_t* data, std::size_t size) {
+  using pipeline::FeedHealth;
+  using pipeline::FeedSupervisor;
+  pipeline::SupervisorConfig config;
+  // Budgets derived from the input so the fuzzer explores edge configs
+  // (zero windows, zero budgets, disabled supervision) too.
+  std::uint64_t state = size ^ (size != 0 ? data[0] * 48271ULL : 3);
+  config.enabled = next_rand(state) % 4 != 0;
+  config.malformed_window = next_rand(state) % 16;
+  config.min_window_records = next_rand(state) % 8;
+  config.quarantine_malformed_rate = 0.5;
+  config.degraded_malformed_rate = 0.05;
+  config.dirty_disconnect_budget = next_rand(state) % 5;
+  config.max_quarantines = next_rand(state) % 3;
+  config.probation_records = next_rand(state) % 4;
+  config.stall_timeout_ms = next_rand(state) % 50;
+  config.allow_readmission = next_rand(state) % 2 != 0;
+  FeedSupervisor supervisor(config);
+
+  std::uint64_t now_ms = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    const std::uint8_t b = data[i];
+    const FeedHealth before = supervisor.health();
+    FeedSupervisor::Action action;
+    switch (b % 16) {
+      case 0:
+        action = supervisor.note_disconnect((b & 0x10) != 0);
+        break;
+      case 1:
+        now_ms += b;
+        action = supervisor.check_stall(now_ms);
+        break;
+      case 2:
+        supervisor.note_activity(now_ms);
+        action = FeedSupervisor::Action::None;
+        break;
+      case 3:
+        action = supervisor.note_fatal("fuzzed fatal");
+        check(supervisor.health() == FeedHealth::Dead,
+              "note_fatal left the feed alive");
+        break;
+      default:
+        action = supervisor.note_record(b % 3 == 0);
+        break;
+    }
+    const FeedHealth after = supervisor.health();
+    check(before != FeedHealth::Dead || after == FeedHealth::Dead,
+          "Dead is not absorbing");
+    if (action == FeedSupervisor::Action::Quarantine)
+      check(after == FeedHealth::Quarantined, "Quarantine action mismatch");
+    if (action == FeedSupervisor::Action::Die)
+      check(after == FeedHealth::Dead, "Die action mismatch");
+    if (action == FeedSupervisor::Action::Readmit)
+      check(after == FeedHealth::Healthy, "Readmit action mismatch");
+    check(!supervisor.merging() || supervisor.ingesting(),
+          "merging feed that is not ingesting");
+    const double rate = supervisor.malformed_rate();
+    check(rate >= 0.0 && rate <= 1.0, "malformed rate out of [0,1]");
+    check(supervisor.transitions().size() <=
+              FeedSupervisor::kMaxRecordedTransitions,
+          "recorded transitions exceed the cap");
+    check(supervisor.transitions().size() <= supervisor.transition_count(),
+          "recorded more transitions than fired");
+  }
+}
+
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
   drive_mrt(data, size);
   drive_bmp(data, size);
+  drive_supervisor(data, size);
   return 0;
 }
 

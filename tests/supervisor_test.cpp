@@ -1,0 +1,1015 @@
+// Tests for the fault-tolerance layer: the injectable Clock, the seeded
+// declarative FaultPlan and FaultInjectingSource (chaos output must be a
+// pure function of the wrapped byte stream and the plan, for any read
+// chunking), the FeedSupervisor health state machine over error budgets,
+// ObservationQueue close/reopen sentinels, and the LiveSession
+// integration -- a quarantined or dead feed never gates the cross-feed
+// merge frontier, surviving feeds' links are byte-identical to ingesting
+// their streams alone, and a seeded chaos run reproduces identical
+// counters and health transitions across chunkings and thread counts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bgp/wire.hpp"
+#include "core/engine.hpp"
+#include "core/passive.hpp"
+#include "mrt/mrt.hpp"
+#include "mrt/record_codec.hpp"
+#include "pipeline/feed_supervisor.hpp"
+#include "pipeline/live_session.hpp"
+#include "pipeline/observation_queue.hpp"
+#include "pipeline/pipeline.hpp"
+#include "stream/clock.hpp"
+#include "stream/fault.hpp"
+#include "stream/source.hpp"
+#include "util/errors.hpp"
+
+namespace mlp::pipeline {
+namespace {
+
+using bgp::Community;
+using routeserver::IxpCommunityScheme;
+using routeserver::SchemeStyle;
+using stream::Fault;
+using stream::FaultInjectingSource;
+using stream::FaultPlan;
+using stream::MemorySource;
+using stream::VirtualClock;
+
+// ------------------------------------------------------------- fixtures
+
+/// One BGP4MP update record announcing `prefix` on path 5 10 20 (or
+/// 5 20 10 when flipped) tagged with `community` -- the (6695, 6695)
+/// default is attributable by the two_ixps fixture.
+std::vector<std::uint8_t> update_record(
+    std::uint32_t timestamp, const std::string& prefix, bool flip = false,
+    Community community = Community(6695, 6695)) {
+  mrt::MrtWriter w;
+  mrt::Bgp4mpMessage m;
+  m.peer_asn = 5;
+  m.local_asn = 65000;
+  m.peer_ip = 0x0505;
+  m.four_octet_as = true;
+  m.update.nlri = {*bgp::IpPrefix::parse(prefix)};
+  m.update.attrs.as_path =
+      flip ? bgp::AsPath({5, 20, 10}) : bgp::AsPath({5, 10, 20});
+  m.update.attrs.next_hop = 1;
+  m.update.attrs.communities = {community};
+  w.write_bgp4mp(timestamp, m);
+  return w.take();
+}
+
+/// A record the framer frames (valid MRT header + declared length) whose
+/// body the update decoder rejects: one deterministic malformed-record
+/// outcome per record, the fuel of the supervisor's malformed budget.
+std::vector<std::uint8_t> malformed_record(std::uint32_t timestamp) {
+  auto record = update_record(timestamp, "10.99.0.0/16");
+  for (std::size_t i = mrt::detail::kMrtHeaderBytes; i < record.size(); ++i)
+    record[i] = 0xEE;
+  return record;
+}
+
+std::vector<core::IxpContext> two_ixps() {
+  core::IxpContext decix;
+  decix.name = "DE-CIX";
+  decix.scheme =
+      IxpCommunityScheme::make("DE-CIX", 6695, SchemeStyle::RsAsnBased);
+  decix.rs_members = {10, 20, 30, 40};
+  core::IxpContext mskix;
+  mskix.name = "MSK-IX";
+  mskix.scheme =
+      IxpCommunityScheme::make("MSK-IX", 8631, SchemeStyle::RsAsnBased);
+  mskix.rs_members = {10, 20, 50, 60};
+  return {decix, mskix};
+}
+
+std::vector<std::uint8_t> concat(
+    const std::vector<std::vector<std::uint8_t>>& streams) {
+  std::vector<std::uint8_t> data;
+  for (const auto& s : streams) data.insert(data.end(), s.begin(), s.end());
+  return data;
+}
+
+/// Cumulative end offset of each MRT record in `data`.
+std::vector<std::size_t> record_boundaries(
+    std::span<const std::uint8_t> data) {
+  std::vector<std::size_t> cuts;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const auto peek = mrt::detail::peek_header(data.subspan(pos));
+    if (!peek) break;
+    pos += mrt::detail::kMrtHeaderBytes + peek->length;
+    cuts.push_back(pos);
+  }
+  return cuts;
+}
+
+/// Archive-ingest reference: one accumulate-mode extractor over the
+/// whole byte stream, observations fed to per-IXP engines in order.
+std::vector<std::set<bgp::AsLink>> reference_links(
+    const std::vector<core::IxpContext>& ixps,
+    std::span<const std::uint8_t> data, core::PassiveConfig passive) {
+  core::PassiveExtractor extractor(ixps, nullptr, passive);
+  extractor.consume_update_stream(data);
+  std::vector<std::set<bgp::AsLink>> links;
+  auto observations = extractor.take_observations();
+  for (const auto& ixp : ixps) {
+    core::MlpInferenceEngine engine(ixp);
+    const auto it = observations.find(ixp.name);
+    if (it != observations.end())
+      for (const auto& observation : it->second) engine.add(observation);
+    links.push_back(engine.infer_links());
+  }
+  return links;
+}
+
+/// Read `source` to exhaustion through an `out_chunk`-byte buffer.
+struct Drained {
+  std::vector<std::uint8_t> bytes;
+  std::vector<std::size_t> read_sizes;
+};
+
+Drained drain_source(stream::StreamSource& source, std::size_t out_chunk) {
+  Drained result;
+  std::vector<std::uint8_t> buffer(out_chunk);
+  for (;;) {
+    const std::size_t n = source.read(buffer);
+    if (n == 0) break;
+    result.bytes.insert(result.bytes.end(), buffer.begin(),
+                        buffer.begin() + n);
+    result.read_sizes.push_back(n);
+  }
+  return result;
+}
+
+std::vector<std::uint8_t> pattern_bytes(std::size_t count) {
+  std::vector<std::uint8_t> data(count);
+  for (std::size_t i = 0; i < count; ++i)
+    data[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  return data;
+}
+
+// ---------------------------------------------------------------- clock
+
+TEST(VirtualClock, SleepAdvancesInsteadOfBlocking) {
+  VirtualClock clock(100);
+  EXPECT_EQ(clock.now_ms(), 100u);
+  clock.sleep_ms(250);
+  EXPECT_EQ(clock.now_ms(), 350u);
+  clock.advance_ms(50);
+  EXPECT_EQ(clock.now_ms(), 400u);
+}
+
+// ------------------------------------------------------------ FaultPlan
+
+TEST(FaultPlan, ParsesAndRoundTripsThroughToString) {
+  const auto plan = FaultPlan::parse(
+      "7:garbage@200x8,corrupt@100x255,drop@300x64,stall@400x50,"
+      "trunc@500,shatter");
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_TRUE(plan.shatter);
+  ASSERT_EQ(plan.faults.size(), 5u);
+  // sort_faults() restored offset order.
+  EXPECT_EQ(plan.faults[0].kind, Fault::Kind::Corrupt);
+  EXPECT_EQ(plan.faults[0].offset, 100u);
+  EXPECT_EQ(plan.faults[0].arg, 255u);
+  EXPECT_EQ(plan.faults[1].kind, Fault::Kind::Garbage);
+  EXPECT_EQ(plan.faults[1].arg, 8u);
+  EXPECT_EQ(plan.faults[2].kind, Fault::Kind::Disconnect);
+  EXPECT_EQ(plan.faults[2].arg, 64u);
+  EXPECT_EQ(plan.faults[3].kind, Fault::Kind::Stall);
+  EXPECT_EQ(plan.faults[3].arg, 50u);
+  EXPECT_EQ(plan.faults[4].kind, Fault::Kind::Truncate);
+
+  const auto reparsed = FaultPlan::parse(plan.to_string());
+  EXPECT_EQ(reparsed.seed, plan.seed);
+  EXPECT_EQ(reparsed.shatter, plan.shatter);
+  ASSERT_EQ(reparsed.faults.size(), plan.faults.size());
+  for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+    EXPECT_EQ(reparsed.faults[i].kind, plan.faults[i].kind) << i;
+    EXPECT_EQ(reparsed.faults[i].offset, plan.faults[i].offset) << i;
+    EXPECT_EQ(reparsed.faults[i].arg, plan.faults[i].arg) << i;
+  }
+}
+
+TEST(FaultPlan, BareSeedLeavesScheduleToRandom) {
+  const auto plan = FaultPlan::parse("42");
+  EXPECT_EQ(plan.seed, 42u);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  for (const char* spec :
+       {"", "x", "5:", "5:frobnicate@10", "5:corrupt", "5:corrupt@",
+        "5:corrupt@10x", "5:trunc@10x3", "5:garbage@10x0", "5:,",
+        "5:corrupt@10,,drop@20"}) {
+    EXPECT_THROW(FaultPlan::parse(spec), InvalidArgument) << spec;
+  }
+}
+
+TEST(FaultPlan, RandomIsSeedDeterministicAndNeverTruncates) {
+  const auto a = FaultPlan::random(7, 10000);
+  const auto b = FaultPlan::random(7, 10000);
+  ASSERT_EQ(a.faults.size(), b.faults.size());
+  EXPECT_FALSE(a.faults.empty());
+  for (std::size_t i = 0; i < a.faults.size(); ++i) {
+    EXPECT_EQ(a.faults[i].kind, b.faults[i].kind);
+    EXPECT_EQ(a.faults[i].offset, b.faults[i].offset);
+    EXPECT_EQ(a.faults[i].arg, b.faults[i].arg);
+    EXPECT_NE(a.faults[i].kind, Fault::Kind::Truncate);
+    EXPECT_LT(a.faults[i].offset, 10000u);
+  }
+  EXPECT_EQ(a.shatter, b.shatter);
+}
+
+// -------------------------------------------------- FaultInjectingSource
+
+TEST(FaultInjectingSource, OutputIsIndependentOfReadChunking) {
+  // The chaos guarantee: for a fixed (inner bytes, plan), the emitted
+  // byte sequence and every counter are identical for any inner chunking
+  // and any consumer read-buffer size.
+  const auto data = pattern_bytes(3000);
+  const auto plan = FaultPlan::parse(
+      "9:corrupt@100,garbage@500x24,drop@900x333,stall@1500x5,shatter");
+  std::vector<std::uint8_t> expected;
+  std::uint64_t expected_faults = 0;
+  bool first = true;
+  for (const std::size_t inner_chunk : {std::size_t{1}, std::size_t{13},
+                                        std::size_t{4096}}) {
+    for (const std::size_t out_chunk : {std::size_t{1}, std::size_t{7},
+                                        std::size_t{64}, std::size_t{4096}}) {
+      FaultInjectingSource source(
+          std::make_unique<MemorySource>(data, inner_chunk), plan,
+          std::make_shared<VirtualClock>());
+      const auto drained = drain_source(source, out_chunk);
+      if (first) {
+        expected = drained.bytes;
+        expected_faults = source.faults_injected();
+        first = false;
+      }
+      EXPECT_EQ(drained.bytes, expected)
+          << "inner " << inner_chunk << " out " << out_chunk;
+      EXPECT_EQ(source.faults_injected(), expected_faults);
+      EXPECT_EQ(source.bytes_in(), data.size());
+      EXPECT_EQ(source.bytes_out(), drained.bytes.size());
+    }
+  }
+  EXPECT_EQ(expected_faults, 4u);
+  // corrupt replaces, garbage adds 24, drop removes 333.
+  EXPECT_EQ(expected.size(), data.size() + 24 - 333);
+}
+
+TEST(FaultInjectingSource, CorruptXorsExactlyOneByte) {
+  const auto data = pattern_bytes(64);
+  FaultInjectingSource source(std::make_unique<MemorySource>(data),
+                              FaultPlan::parse("1:corrupt@10x85"));
+  const auto out = drain_source(source, 16).bytes;
+  ASSERT_EQ(out.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i == 10) {
+      EXPECT_EQ(out[i], static_cast<std::uint8_t>(data[i] ^ 85));
+    } else {
+      EXPECT_EQ(out[i], data[i]) << i;
+    }
+  }
+}
+
+TEST(FaultInjectingSource, DisconnectDropsBytesAndNotifies) {
+  const auto data = pattern_bytes(100);
+  FaultInjectingSource source(std::make_unique<MemorySource>(data),
+                              FaultPlan::parse("1:drop@10x20"));
+  std::vector<Fault::Kind> strikes;
+  source.set_on_fault(
+      [&](const Fault& fault) { strikes.push_back(fault.kind); });
+  const auto out = drain_source(source, 8).bytes;
+  std::vector<std::uint8_t> expected(data.begin(), data.begin() + 10);
+  expected.insert(expected.end(), data.begin() + 30, data.end());
+  EXPECT_EQ(out, expected);
+  ASSERT_EQ(strikes.size(), 1u);
+  EXPECT_EQ(strikes[0], Fault::Kind::Disconnect);
+  EXPECT_EQ(source.bytes_in(), 100u);
+  EXPECT_EQ(source.bytes_out(), 80u);
+}
+
+TEST(FaultInjectingSource, TruncateEndsTheStreamPermanently) {
+  const auto data = pattern_bytes(64);
+  FaultInjectingSource source(std::make_unique<MemorySource>(data),
+                              FaultPlan::parse("1:trunc@10"));
+  const auto out = drain_source(source, 16).bytes;
+  EXPECT_EQ(out, std::vector<std::uint8_t>(data.begin(), data.begin() + 10));
+  std::vector<std::uint8_t> buffer(16);
+  EXPECT_EQ(source.read(buffer), 0u);
+}
+
+TEST(FaultInjectingSource, StallSleepsOnTheInjectedClock) {
+  const auto data = pattern_bytes(16);
+  auto clock = std::make_shared<VirtualClock>();
+  FaultInjectingSource source(std::make_unique<MemorySource>(data),
+                              FaultPlan::parse("1:stall@4x250"), clock);
+  const auto out = drain_source(source, 16).bytes;
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(clock->now_ms(), 250u);
+}
+
+TEST(FaultInjectingSource, ShatterPreservesBytesWithSmallReads) {
+  const auto data = pattern_bytes(500);
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.shatter = true;
+  FaultInjectingSource source(std::make_unique<MemorySource>(data), plan);
+  const auto drained = drain_source(source, 4096);
+  EXPECT_EQ(drained.bytes, data);
+  EXPECT_GT(drained.read_sizes.size(), 1u);
+  for (const std::size_t n : drained.read_sizes) EXPECT_LE(n, 62u);
+}
+
+// --------------------------------------------------------- FeedSupervisor
+
+SupervisorConfig tight_budgets() {
+  SupervisorConfig config;
+  config.malformed_window = 8;
+  config.min_window_records = 4;
+  config.degraded_malformed_rate = 0.05;
+  config.quarantine_malformed_rate = 0.5;
+  config.dirty_disconnect_budget = 4;
+  config.max_quarantines = 4;
+  config.probation_records = 3;
+  return config;
+}
+
+TEST(FeedSupervisor, QuarantinesOnMalformedRate) {
+  FeedSupervisor supervisor(tight_budgets());
+  // Under min_window_records nothing is judged: a single bad first
+  // record is 100% malformed but must not trip the budget.
+  EXPECT_EQ(supervisor.note_record(true), FeedSupervisor::Action::None);
+  EXPECT_EQ(supervisor.malformed_rate(), 0.0);
+  EXPECT_EQ(supervisor.note_record(true), FeedSupervisor::Action::None);
+  EXPECT_EQ(supervisor.note_record(true), FeedSupervisor::Action::None);
+  EXPECT_EQ(supervisor.health(), FeedHealth::Healthy);
+  EXPECT_EQ(supervisor.note_record(true), FeedSupervisor::Action::Quarantine);
+  EXPECT_EQ(supervisor.health(), FeedHealth::Quarantined);
+  EXPECT_FALSE(supervisor.merging());
+  EXPECT_TRUE(supervisor.ingesting());
+  EXPECT_EQ(supervisor.times_quarantined(), 1u);
+  ASSERT_EQ(supervisor.transitions().size(), 1u);
+  EXPECT_EQ(supervisor.transitions()[0].from, FeedHealth::Healthy);
+  EXPECT_EQ(supervisor.transitions()[0].to, FeedHealth::Quarantined);
+  EXPECT_NE(supervisor.transitions()[0].reason.find("malformed rate"),
+            std::string::npos);
+}
+
+TEST(FeedSupervisor, DegradesThenRecovers) {
+  FeedSupervisor supervisor(tight_budgets());
+  supervisor.note_record(true);
+  for (int i = 0; i < 3; ++i) supervisor.note_record(false);
+  // 1/4 malformed: above the degraded rate, below quarantine.
+  EXPECT_EQ(supervisor.health(), FeedHealth::Degraded);
+  EXPECT_TRUE(supervisor.merging());
+  // The window slides the malformed record out: budgets recover.
+  for (int i = 0; i < 8; ++i) supervisor.note_record(false);
+  EXPECT_EQ(supervisor.health(), FeedHealth::Healthy);
+  ASSERT_EQ(supervisor.transitions().size(), 2u);
+  EXPECT_EQ(supervisor.transitions()[1].to, FeedHealth::Healthy);
+}
+
+TEST(FeedSupervisor, DirtyDisconnectBudgetIsConsecutive) {
+  FeedSupervisor supervisor(tight_budgets());
+  supervisor.note_disconnect(true);
+  supervisor.note_disconnect(true);
+  supervisor.note_disconnect(true);
+  // A clean reconnect resets the consecutive count.
+  supervisor.note_disconnect(false);
+  EXPECT_EQ(supervisor.consecutive_dirty_disconnects(), 0u);
+  supervisor.note_disconnect(true);
+  supervisor.note_disconnect(true);
+  EXPECT_EQ(supervisor.health(), FeedHealth::Degraded);  // budget half-spent
+  supervisor.note_disconnect(true);
+  EXPECT_EQ(supervisor.note_disconnect(true),
+            FeedSupervisor::Action::Quarantine);
+  EXPECT_EQ(supervisor.health(), FeedHealth::Quarantined);
+}
+
+TEST(FeedSupervisor, CleanRecordRunForgivesOldFlaps) {
+  FeedSupervisor supervisor(tight_budgets());  // probation_records = 3
+  supervisor.note_disconnect(true);
+  supervisor.note_disconnect(true);
+  EXPECT_EQ(supervisor.consecutive_dirty_disconnects(), 2u);
+  for (int i = 0; i < 3; ++i) supervisor.note_record(false);
+  EXPECT_EQ(supervisor.consecutive_dirty_disconnects(), 0u);
+}
+
+TEST(FeedSupervisor, ProbationReadmitsAndMalformedResetsIt) {
+  auto config = tight_budgets();
+  config.min_window_records = 2;
+  config.max_quarantines = 0;  // never dies by count
+  FeedSupervisor supervisor(config);
+  supervisor.note_record(true);
+  supervisor.note_record(true);
+  ASSERT_EQ(supervisor.health(), FeedHealth::Quarantined);
+  // Two clean records, then a malformed one: probation starts over.
+  supervisor.note_record(false);
+  supervisor.note_record(false);
+  EXPECT_EQ(supervisor.probation_clean_records(), 2u);
+  supervisor.note_record(true);
+  EXPECT_EQ(supervisor.probation_clean_records(), 0u);
+  supervisor.note_record(false);
+  supervisor.note_record(false);
+  EXPECT_EQ(supervisor.note_record(false), FeedSupervisor::Action::Readmit);
+  EXPECT_EQ(supervisor.health(), FeedHealth::Healthy);
+  // Readmission wiped the window: the feed is judged on fresh evidence.
+  EXPECT_EQ(supervisor.malformed_rate(), 0.0);
+  EXPECT_EQ(supervisor.times_quarantined(), 1u);
+}
+
+TEST(FeedSupervisor, DiesAfterMaxQuarantines) {
+  auto config = tight_budgets();
+  config.min_window_records = 2;
+  config.max_quarantines = 2;
+  FeedSupervisor supervisor(config);
+  supervisor.note_record(true);
+  EXPECT_EQ(supervisor.note_record(true), FeedSupervisor::Action::Quarantine);
+  supervisor.note_record(false);
+  supervisor.note_record(false);
+  EXPECT_EQ(supervisor.note_record(false), FeedSupervisor::Action::Readmit);
+  supervisor.note_record(true);
+  EXPECT_EQ(supervisor.note_record(true), FeedSupervisor::Action::Die);
+  EXPECT_EQ(supervisor.health(), FeedHealth::Dead);
+  EXPECT_FALSE(supervisor.ingesting());
+  EXPECT_EQ(supervisor.times_quarantined(), 2u);
+}
+
+TEST(FeedSupervisor, FirstQuarantineKillsWithoutReadmission) {
+  auto config = tight_budgets();
+  config.min_window_records = 2;
+  config.allow_readmission = false;
+  FeedSupervisor supervisor(config);
+  supervisor.note_record(true);
+  EXPECT_EQ(supervisor.note_record(true), FeedSupervisor::Action::Die);
+  EXPECT_EQ(supervisor.health(), FeedHealth::Dead);
+}
+
+TEST(FeedSupervisor, StallWatchdogQuarantinesSilentFeeds) {
+  auto config = tight_budgets();
+  config.stall_timeout_ms = 100;
+  FeedSupervisor supervisor(config);
+  supervisor.note_activity(0);
+  EXPECT_EQ(supervisor.check_stall(50), FeedSupervisor::Action::None);
+  EXPECT_EQ(supervisor.check_stall(150), FeedSupervisor::Action::Quarantine);
+  EXPECT_EQ(supervisor.health(), FeedHealth::Quarantined);
+  // No re-judgement while quarantined (probation owns recovery).
+  EXPECT_EQ(supervisor.check_stall(10000), FeedSupervisor::Action::None);
+  ASSERT_EQ(supervisor.transitions().size(), 1u);
+  EXPECT_NE(supervisor.transitions()[0].reason.find("stalled"),
+            std::string::npos);
+}
+
+TEST(FeedSupervisor, FatalIsAbsorbing) {
+  FeedSupervisor supervisor(tight_budgets());
+  EXPECT_EQ(supervisor.note_fatal("reconnect budget exhausted"),
+            FeedSupervisor::Action::Die);
+  EXPECT_EQ(supervisor.health(), FeedHealth::Dead);
+  // Dead is terminal: nothing moves the needle afterwards.
+  EXPECT_EQ(supervisor.note_fatal("again"), FeedSupervisor::Action::None);
+  EXPECT_EQ(supervisor.note_record(true), FeedSupervisor::Action::None);
+  EXPECT_EQ(supervisor.note_disconnect(true), FeedSupervisor::Action::None);
+  EXPECT_EQ(supervisor.check_stall(1u << 30), FeedSupervisor::Action::None);
+  EXPECT_EQ(supervisor.transition_count(), 1u);
+}
+
+TEST(FeedSupervisor, DisabledJudgesNothingButFatalStillKills) {
+  auto config = tight_budgets();
+  config.enabled = false;
+  config.stall_timeout_ms = 1;
+  FeedSupervisor supervisor(config);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(supervisor.note_record(true), FeedSupervisor::Action::None);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(supervisor.note_disconnect(true), FeedSupervisor::Action::None);
+  EXPECT_EQ(supervisor.check_stall(1u << 30), FeedSupervisor::Action::None);
+  EXPECT_EQ(supervisor.health(), FeedHealth::Healthy);
+  // Disabling mutes the budget judgements, not facts: a fatal failure
+  // must still publish the close sentinel (a liveness requirement).
+  EXPECT_EQ(supervisor.note_fatal("ingest error"),
+            FeedSupervisor::Action::Die);
+  EXPECT_EQ(supervisor.health(), FeedHealth::Dead);
+}
+
+// --------------------------------------------- ObservationQueue sentinels
+
+core::Observation make_obs(core::Asn setter, const char* prefix,
+                           std::uint32_t timestamp) {
+  core::Observation obs;
+  obs.setter = setter;
+  obs.prefix = *bgp::IpPrefix::parse(prefix);
+  obs.timestamp = timestamp;
+  return obs;
+}
+
+TEST(ObservationQueue, ReopenThrowsUnderConcatenate) {
+  ObservationQueue queue(2, MergePolicy::Concatenate);
+  queue.close(0);
+  EXPECT_THROW(queue.reopen(0), InvalidArgument);
+}
+
+TEST(ObservationQueue, ReopenRestoresWatermarkConstraint) {
+  ObservationQueue queue(2, MergePolicy::Watermark);
+  queue.push(0, {make_obs(10, "10.0.0.0/16", 50)});
+  queue.set_watermark(0, 100);
+  queue.set_watermark(1, 10);
+  std::vector<core::Observation> batch;
+  // Source 1's watermark (10) gates the merge: nothing below it yet.
+  EXPECT_FALSE(queue.try_pop(batch));
+  // Closing source 1 (the quarantine sentinel) releases the frontier.
+  queue.close(1);
+  ASSERT_TRUE(queue.try_pop(batch));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].timestamp, 50u);
+  // Reopening (readmission) makes the source constrain the merge again.
+  queue.reopen(1);
+  queue.push(0, {make_obs(10, "10.1.0.0/16", 150)});
+  queue.set_watermark(0, 200);
+  EXPECT_FALSE(queue.try_pop(batch));
+  queue.set_watermark(1, 300);
+  EXPECT_TRUE(queue.try_pop(batch));
+}
+
+TEST(ObservationQueue, CloseSentinelUnblocksConcatenateCursor) {
+  // The graceful-degradation requirement under Concatenate: a dead
+  // earlier source must not buffer later sources forever.
+  ObservationQueue queue(2, MergePolicy::Concatenate);
+  queue.push(1, {make_obs(10, "10.0.0.0/16", 5)});
+  std::vector<core::Observation> batch;
+  EXPECT_FALSE(queue.try_pop(batch));
+  queue.close(0);
+  EXPECT_TRUE(queue.try_pop(batch));
+}
+
+// -------------------------------------------------- LiveSession plumbing
+
+TEST(LiveSupervision, MalformedFixtureCountsOneMalformedPerRecord) {
+  // Pins the assumption every budget test rests on: malformed_record()
+  // frames cleanly and fails decode, exactly once per record.
+  LiveConfig config;
+  config.passive.tolerate_malformed = true;
+  LiveSession session(config, two_ixps());
+  session.feed(update_record(1000, "10.0.0.0/16"));
+  session.feed(malformed_record(1001));
+  session.feed(update_record(1002, "10.1.0.0/16"));
+  const auto result = session.finish();
+  EXPECT_EQ(result.records, 3u);
+  EXPECT_EQ(result.passive.records_malformed, 1u);
+  EXPECT_EQ(result.per_feed[0].health, FeedHealth::Healthy);
+}
+
+/// Supervision budgets that quarantine after 4 malformed records in a
+/// fresh window and escalate the first quarantine to Dead.
+SupervisorConfig lethal_budgets() {
+  SupervisorConfig supervision;
+  supervision.malformed_window = 8;
+  supervision.min_window_records = 4;
+  supervision.quarantine_malformed_rate = 0.5;
+  supervision.max_quarantines = 1;
+  return supervision;
+}
+
+TEST(LiveSupervision, DeadFeedNeverGatesTheWatermarkFrontier) {
+  // The acceptance pin: one healthy feed, one persistently sick feed.
+  // Once the sick feed dies, the frontier is the healthy feed's
+  // watermark, snapshot() reflects its progress, finish() terminates and
+  // the final links are byte-identical to ingesting the survivor alone.
+  const auto ixps = two_ixps();
+  std::vector<std::vector<std::uint8_t>> good;
+  for (int i = 0; i < 30; ++i)
+    good.push_back(update_record(1000 + i, "10." + std::to_string(i) +
+                                               ".0.0/16",
+                                 i % 2 == 1));
+  LiveConfig config;
+  config.threads = 2;
+  config.batch_size = 4;
+  config.passive.tolerate_malformed = true;
+  config.supervision = lethal_budgets();
+  std::vector<HealthChange> changes;
+  config.on_health_change = [&](const HealthChange& change) {
+    changes.push_back(change);
+  };
+  LiveSession session(config, ixps);
+  FeedOptions good_options;
+  good_options.name = "good";
+  FeedOptions sick_options;
+  sick_options.name = "sick";
+  auto good_handle = session.add_feed(good_options);
+  auto sick_handle = session.add_feed(sick_options);
+
+  // While the sick feed is under budget it still gates the frontier --
+  // it has consumed no timestamp, so its watermark is 0.
+  sick_handle.feed(malformed_record(2000));
+  sick_handle.feed(malformed_record(2001));
+  for (int i = 0; i < 10; ++i) good_handle.feed(good[i]);
+  auto snap = session.snapshot();
+  EXPECT_EQ(snap.min_watermark, 0u);
+  EXPECT_EQ(snap.feeds_dead, 0u);
+
+  // Blow the malformed budget: quarantine escalates straight to Dead.
+  for (int i = 0; i < 10; ++i) sick_handle.feed(malformed_record(2002 + i));
+  snap = session.snapshot();
+  EXPECT_EQ(snap.per_feed[1].health, FeedHealth::Dead);
+  EXPECT_EQ(snap.feeds_dead, 1u);
+  EXPECT_EQ(snap.min_watermark, 1009u);  // the survivor's watermark
+
+  for (int i = 10; i < 30; ++i) good_handle.feed(good[i]);
+  // Dead feeds drop bytes at the door, silently.
+  sick_handle.feed(good[0]);
+  snap = session.snapshot();
+  EXPECT_GT(snap.per_feed[1].bytes_discarded, 0u);
+  EXPECT_EQ(snap.min_watermark, 1029u);
+
+  const auto result = session.finish();
+  const auto ref = reference_links(ixps, concat(good), config.passive);
+  ASSERT_EQ(result.per_ixp.size(), ixps.size());
+  for (std::size_t i = 0; i < ixps.size(); ++i)
+    EXPECT_EQ(result.per_ixp[i].links, ref[i]) << ixps[i].name;
+  EXPECT_EQ(result.per_feed[1].times_quarantined, 1u);
+  EXPECT_EQ(result.per_feed[1].health_transitions, 1u);
+  ASSERT_EQ(result.per_feed[1].transitions.size(), 1u);
+  EXPECT_EQ(result.per_feed[1].transitions[0].to, FeedHealth::Dead);
+  EXPECT_EQ(result.per_feed[0].health, FeedHealth::Healthy);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].feed, 1u);
+  EXPECT_EQ(changes[0].name, "sick");
+  EXPECT_EQ(changes[0].to, FeedHealth::Dead);
+}
+
+TEST(LiveSupervision, ConcatenateForcesDeathAndUnblocksLaterFeeds) {
+  // Under Concatenate the drain cursor cannot rewind past a closed
+  // source, so the session forces allow_readmission = false: the first
+  // quarantine goes straight to Dead (even with max_quarantines = 4),
+  // its close sentinel publishes, and the later feed drains.
+  const auto ixps = two_ixps();
+  std::vector<std::vector<std::uint8_t>> good;
+  for (int i = 0; i < 30; ++i)
+    good.push_back(update_record(1000 + i, "10." + std::to_string(i) +
+                                               ".0.0/16",
+                                 i % 2 == 1));
+  LiveConfig config;
+  config.merge = MergePolicy::Concatenate;
+  config.passive.tolerate_malformed = true;
+  config.supervision = lethal_budgets();
+  config.supervision.max_quarantines = 4;  // readmission gone regardless
+  LiveSession session(config, ixps);
+  FeedOptions sick_options;
+  sick_options.name = "sick";
+  auto sick_handle = session.add_feed(sick_options);  // feed 0: gates feed 1
+  auto good_handle = session.add_feed();
+  for (int i = 0; i < 6; ++i) sick_handle.feed(malformed_record(2000 + i));
+  for (const auto& record : good) good_handle.feed(record);
+  auto snap = session.snapshot();
+  EXPECT_EQ(snap.per_feed[0].health, FeedHealth::Dead);
+  EXPECT_EQ(snap.per_feed[0].times_quarantined, 1u);
+  ASSERT_EQ(snap.per_feed[0].transitions.size(), 1u);
+  EXPECT_EQ(snap.per_feed[0].transitions[0].from, FeedHealth::Healthy);
+  EXPECT_EQ(snap.per_feed[0].transitions[0].to, FeedHealth::Dead);
+  const auto result = session.finish();
+  const auto ref = reference_links(ixps, concat(good), config.passive);
+  for (std::size_t i = 0; i < ixps.size(); ++i)
+    EXPECT_EQ(result.per_ixp[i].links, ref[i]) << ixps[i].name;
+}
+
+TEST(LiveSupervision, StrictParseErrorPublishesCloseSentinel) {
+  // Satellite regression: a lane-fatal ingest error (strict-mode parse
+  // failure) must route the lane to Dead and publish its queue close
+  // sentinels -- the other feed's frontier moves on.
+  const auto ixps = two_ixps();
+  LiveConfig config;  // tolerate_malformed = false: strict
+  config.supervision.enabled = false;  // fatal works without budgets too
+  LiveSession session(config, ixps);
+  auto good_handle = session.add_feed();
+  FeedOptions sick_options;
+  sick_options.name = "sick";
+  auto sick_handle = session.add_feed(sick_options);
+  good_handle.feed(update_record(1000, "10.0.0.0/16"));
+  EXPECT_THROW(sick_handle.feed(malformed_record(2000)), ParseError);
+  good_handle.feed(update_record(1001, "10.1.0.0/16"));
+  auto snap = session.snapshot();
+  EXPECT_EQ(snap.per_feed[1].health, FeedHealth::Dead);
+  EXPECT_EQ(snap.feeds_dead, 1u);
+  EXPECT_EQ(snap.min_watermark, 1001u);
+  ASSERT_EQ(snap.per_feed[1].transitions.size(), 1u);
+  EXPECT_NE(snap.per_feed[1].transitions[0].reason.find("ingest error"),
+            std::string::npos);
+  // Dead lanes discard instead of throwing: the reader thread that hit
+  // the error can keep pumping its transport without special-casing.
+  sick_handle.feed(update_record(2001, "10.2.0.0/16"));
+  EXPECT_NO_THROW(session.finish());
+}
+
+TEST(LiveSupervision, FailFlushesAMergingLanesWindow) {
+  // fail() on a still-merging lane (the reconnect-exhaustion shape)
+  // keeps everything it extracted while trusted: its announce-window
+  // flushes before the Dead transition.
+  const auto ixps = two_ixps();
+  std::vector<std::vector<std::uint8_t>> streams;
+  streams.push_back(update_record(500, "172.20.0.0/16"));
+  for (int i = 0; i < 30; ++i)
+    streams.push_back(update_record(1000 + i, "10." + std::to_string(i) +
+                                                  ".0.0/16",
+                                    i % 2 == 1));
+  LiveConfig config;
+  config.passive.tolerate_malformed = true;
+  LiveSession session(config, ixps);
+  FeedOptions dying_options;
+  dying_options.name = "dying";
+  auto dying_handle = session.add_feed(dying_options);
+  auto good_handle = session.add_feed();
+  dying_handle.feed(streams[0]);
+  dying_handle.fail("reconnect budget exhausted");
+  dying_handle.fail("twice");  // idempotent
+  for (std::size_t i = 1; i < streams.size(); ++i)
+    good_handle.feed(streams[i]);
+  const auto result = session.finish();
+  const auto ref = reference_links(ixps, concat(streams), config.passive);
+  for (std::size_t i = 0; i < ixps.size(); ++i)
+    EXPECT_EQ(result.per_ixp[i].links, ref[i]) << ixps[i].name;
+  EXPECT_EQ(result.per_feed[0].health, FeedHealth::Dead);
+  ASSERT_EQ(result.per_feed[0].transitions.size(), 1u);
+  EXPECT_EQ(result.per_feed[0].transitions[0].reason,
+            "reconnect budget exhausted");
+}
+
+TEST(LiveSupervision, QuarantineReadmissionMergesTheRecoveredFeed) {
+  // A feed that blows its malformed budget, then serves probation, is
+  // readmitted: its sources reopen and everything it extracted while
+  // trusted (including records fed during probation -- the window holds
+  // them) merges into the final links.
+  const auto ixps = two_ixps();
+  std::vector<std::vector<std::uint8_t>> good_a;
+  for (int i = 0; i < 30; ++i)
+    good_a.push_back(update_record(1000 + i, "10." + std::to_string(i) +
+                                                 ".0.0/16",
+                                   i % 2 == 1));
+  std::vector<std::vector<std::uint8_t>> good_b;
+  for (int i = 0; i < 6; ++i)
+    good_b.push_back(update_record(600 + i, "172." + std::to_string(16 + i) +
+                                                ".0.0/16",
+                                   i % 2 == 1));
+  LiveConfig config;
+  config.passive.tolerate_malformed = true;
+  config.supervision.malformed_window = 8;
+  config.supervision.min_window_records = 2;
+  config.supervision.quarantine_malformed_rate = 0.5;
+  config.supervision.probation_records = 3;
+  config.supervision.max_quarantines = 0;  // readmission, not death
+  std::vector<HealthChange> changes;
+  config.on_health_change = [&](const HealthChange& change) {
+    changes.push_back(change);
+  };
+  LiveSession session(config, ixps);
+  auto a_handle = session.add_feed();
+  FeedOptions b_options;
+  b_options.name = "flaky";
+  auto b_handle = session.add_feed(b_options);
+
+  b_handle.feed(malformed_record(599));
+  b_handle.feed(malformed_record(599));
+  for (int i = 0; i < 10; ++i) a_handle.feed(good_a[i]);
+  auto snap = session.snapshot();
+  EXPECT_EQ(snap.per_feed[1].health, FeedHealth::Quarantined);
+  EXPECT_EQ(snap.feeds_quarantined, 1u);
+  // A quarantined feed does not gate the frontier either.
+  EXPECT_EQ(snap.min_watermark, 1009u);
+
+  // Probation: three clean records readmit the feed.
+  for (int i = 0; i < 3; ++i) b_handle.feed(good_b[i]);
+  snap = session.snapshot();
+  EXPECT_EQ(snap.per_feed[1].health, FeedHealth::Healthy);
+  EXPECT_EQ(snap.per_feed[1].times_quarantined, 1u);
+  for (int i = 3; i < 6; ++i) b_handle.feed(good_b[i]);
+  for (int i = 10; i < 30; ++i) a_handle.feed(good_a[i]);
+
+  const auto result = session.finish();
+  // The readmitted feed's clean records all merged: links equal the
+  // archive reference over both feeds' good bytes (timestamp order).
+  auto streams = good_b;
+  streams.insert(streams.end(), good_a.begin(), good_a.end());
+  const auto ref = reference_links(ixps, concat(streams), config.passive);
+  for (std::size_t i = 0; i < ixps.size(); ++i)
+    EXPECT_EQ(result.per_ixp[i].links, ref[i]) << ixps[i].name;
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_EQ(changes[0].to, FeedHealth::Quarantined);
+  EXPECT_EQ(changes[1].from, FeedHealth::Quarantined);
+  EXPECT_EQ(changes[1].to, FeedHealth::Healthy);
+  EXPECT_EQ(result.per_feed[1].health_transitions, 2u);
+}
+
+TEST(LiveSupervision, StallWatchdogQuarantinesOnTheInjectedClock) {
+  const auto ixps = two_ixps();
+  auto clock = std::make_shared<VirtualClock>();
+  LiveConfig config;
+  config.clock = clock;
+  config.passive.tolerate_malformed = true;
+  config.supervision.stall_timeout_ms = 1000;
+  config.supervision.max_quarantines = 1;
+  LiveSession session(config, ixps);
+  auto live_handle = session.add_feed();
+  FeedOptions stalled_options;
+  stalled_options.name = "stalled";
+  auto stalled_handle = session.add_feed(stalled_options);
+  stalled_handle.feed(update_record(500, "172.16.0.0/16"));
+  live_handle.feed(update_record(1000, "10.0.0.0/16"));
+  auto snap = session.snapshot();
+  EXPECT_EQ(snap.per_feed[1].health, FeedHealth::Healthy);
+  EXPECT_EQ(snap.min_watermark, 500u);  // the soon-to-stall feed gates
+  clock->advance_ms(1500);
+  live_handle.feed(update_record(1001, "10.1.0.0/16"));  // sweeps stalls
+  snap = session.snapshot();
+  EXPECT_EQ(snap.per_feed[1].health, FeedHealth::Dead);
+  EXPECT_EQ(snap.min_watermark, 1001u);
+  ASSERT_GE(snap.per_feed[1].transitions.size(), 1u);
+  EXPECT_NE(snap.per_feed[1].transitions[0].reason.find("stalled"),
+            std::string::npos);
+  EXPECT_NO_THROW(session.finish());
+}
+
+// --------------------------------------------------- chaos determinism
+
+/// Everything a chaos run must reproduce bit-for-bit: per-feed counters,
+/// the health transition sequence, and the injector's own counters.
+std::string run_signature(const LiveResult& result,
+                          const FaultInjectingSource& source) {
+  std::string sig;
+  for (const auto& feed : result.per_feed) {
+    sig += feed.name + "{records=" + std::to_string(feed.records) +
+           " malformed=" + std::to_string(feed.passive.records_malformed) +
+           " clean_disc=" + std::to_string(feed.clean_disconnects) +
+           " dirty_disc=" + std::to_string(feed.dirty_disconnects) +
+           " discarded=" + std::to_string(feed.bytes_discarded) +
+           " health=" + to_string(feed.health) +
+           " quarantines=" + std::to_string(feed.times_quarantined) +
+           " watermark=" + std::to_string(feed.watermark) + " [";
+    for (const auto& transition : feed.transitions) {
+      sig += std::string(to_string(transition.from)) + ">" +
+             to_string(transition.to) + "@" +
+             std::to_string(transition.at_record) + ":" + transition.reason +
+             ";";
+    }
+    sig += "]} ";
+  }
+  sig += "faults=" + std::to_string(source.faults_injected()) +
+         " in=" + std::to_string(source.bytes_in()) +
+         " out=" + std::to_string(source.bytes_out());
+  return sig;
+}
+
+TEST(LiveSupervision, ChaosRunsAreDeterministicAcrossChunkingAndThreads) {
+  // The reproducibility acceptance matrix: a fixed fault plan applied to
+  // a fixed byte stream must produce identical counters, identical
+  // health transitions and identical surviving links for read-buffer
+  // sizes {1, 7, 64Ki} x thread counts {1, 4} -- and the survivor's
+  // links must equal ingesting its bytes alone, because the chaos feed
+  // dies before contributing anything attributable.
+  const auto ixps = two_ixps();
+  // The chaos feed carries records no configured IXP can attribute
+  // (foreign community): its death must cost zero observations.
+  std::vector<std::vector<std::uint8_t>> foreign;
+  for (int i = 0; i < 20; ++i)
+    foreign.push_back(update_record(500 + i, "192.168." + std::to_string(i) +
+                                                 ".0/24",
+                                    false, Community(9999, 9999)));
+  const auto chaos_bytes = concat(foreign);
+  const auto cuts = record_boundaries(chaos_bytes);
+  ASSERT_GE(cuts.size(), 7u);
+  std::vector<std::vector<std::uint8_t>> good;
+  for (int i = 0; i < 40; ++i)
+    good.push_back(update_record(1000 + i, "10." + std::to_string(i) +
+                                               ".0.0/16",
+                                 i % 2 == 1));
+  const auto good_bytes = concat(good);
+
+  // Two connection drops, each torn 10 bytes into a record (a dirty
+  // disconnect by construction) and resuming exactly at the next record
+  // boundary. Budget of 2 consecutive dirty + first-quarantine death ==
+  // the chaos feed dies deterministically on the second drop.
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.shatter = true;
+  plan.faults.push_back(
+      {Fault::Kind::Disconnect, cuts[2] + 10, (cuts[3] - cuts[2]) - 10});
+  plan.faults.push_back(
+      {Fault::Kind::Disconnect, cuts[5] + 10, (cuts[6] - cuts[5]) - 10});
+  plan.sort_faults();
+
+  std::string expected_sig;
+  std::vector<std::set<bgp::AsLink>> expected_links;
+  core::PassiveConfig passive;
+  passive.tolerate_malformed = true;
+  for (const std::size_t read_chunk : {std::size_t{1}, std::size_t{7},
+                                       std::size_t{65536}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      LiveConfig config;
+      config.threads = threads;
+      config.read_chunk = read_chunk;
+      config.batch_size = 4;
+      config.passive = passive;
+      config.supervision.dirty_disconnect_budget = 2;
+      config.supervision.probation_records = 1000;
+      config.supervision.max_quarantines = 1;
+      LiveSession session(config, ixps);
+      FeedOptions chaos_options;
+      chaos_options.name = "chaos";
+      auto chaos_handle = session.add_feed(chaos_options);
+      FeedOptions good_options;
+      good_options.name = "good";
+      auto good_handle = session.add_feed(good_options);
+
+      FaultInjectingSource chaos_source(
+          std::make_unique<MemorySource>(chaos_bytes, 4096), plan);
+      chaos_source.set_on_fault([&](const Fault& fault) {
+        if (fault.kind == Fault::Kind::Disconnect)
+          chaos_handle.note_disconnect();
+      });
+      chaos_handle.drain(chaos_source);
+      MemorySource good_source(good_bytes, 4096);
+      good_handle.drain(good_source);
+
+      const auto result = session.finish();
+      const std::string sig = run_signature(result, chaos_source);
+      if (expected_sig.empty()) {
+        expected_sig = sig;
+        for (const auto& ixp : result.per_ixp)
+          expected_links.push_back(ixp.links);
+      }
+      EXPECT_EQ(sig, expected_sig)
+          << "read_chunk " << read_chunk << " threads " << threads;
+      for (std::size_t i = 0; i < result.per_ixp.size(); ++i)
+        EXPECT_EQ(result.per_ixp[i].links, expected_links[i]);
+      // The deterministic death story, spelled out once.
+      EXPECT_EQ(result.per_feed[0].health, FeedHealth::Dead);
+      EXPECT_EQ(result.per_feed[0].dirty_disconnects, 2u);
+      EXPECT_EQ(result.per_feed[0].records, 5u);  // recs 0-2, 4-5
+      EXPECT_GT(result.per_feed[0].bytes_discarded, 0u);
+      EXPECT_EQ(result.per_feed[1].health, FeedHealth::Healthy);
+      EXPECT_EQ(result.per_feed[1].records, 40u);
+    }
+  }
+  // Survivor isolation: the final links equal ingesting the surviving
+  // feed's bytes alone.
+  const auto ref = reference_links(ixps, good_bytes, passive);
+  ASSERT_EQ(expected_links.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_EQ(expected_links[i], ref[i]) << ixps[i].name;
+}
+
+// ----------------------------------------------- concurrency (TSan prey)
+
+TEST(LiveSupervision, DisconnectsRaceSnapshotsSafely) {
+  // Satellite lock-order pin, meant to run under TSan: note_disconnect
+  // and supervision sweeps on feeding threads race snapshot()'s
+  // stop-the-world against both lanes, repeatedly.
+  const auto ixps = two_ixps();
+  LiveConfig config;
+  config.threads = 2;
+  config.batch_size = 8;
+  config.passive.tolerate_malformed = true;
+  config.supervision.stall_timeout_ms = 60000;  // sweep runs, never trips
+  config.supervision.dirty_disconnect_budget = 0;  // flaps never judged
+  LiveSession session(config, ixps);
+  auto a_handle = session.add_feed();
+  auto b_handle = session.add_feed();
+
+  const auto drive = [](FeedHandle handle, int base) {
+    for (int i = 0; i < 120; ++i) {
+      const auto record = update_record(
+          1000 + i, "10." + std::to_string(base + i) + ".0.0/16",
+          i % 2 == 1);
+      handle.feed(record);
+      if (i % 10 == 9) {
+        // A torn partial record, then the reconnect notification.
+        handle.feed(std::span<const std::uint8_t>(record.data(), 10));
+        handle.note_disconnect();
+      }
+    }
+  };
+  std::thread feeder_a(drive, a_handle, 0);
+  std::thread feeder_b(drive, b_handle, 128);
+  std::thread snapshotter([&] {
+    for (int i = 0; i < 40; ++i) (void)session.snapshot();
+  });
+  feeder_a.join();
+  feeder_b.join();
+  snapshotter.join();
+  const auto result = session.finish();
+  EXPECT_EQ(result.records, 240u);
+  EXPECT_EQ(result.per_feed[0].dirty_disconnects, 12u);
+  EXPECT_EQ(result.per_feed[1].dirty_disconnects, 12u);
+  EXPECT_EQ(result.per_feed[0].health, FeedHealth::Healthy);
+  EXPECT_EQ(result.per_feed[1].health, FeedHealth::Healthy);
+}
+
+}  // namespace
+}  // namespace mlp::pipeline
