@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <new>
 #include <set>
@@ -25,6 +26,7 @@
 #include "core/passive.hpp"
 #include "mrt/cursor.hpp"
 #include "mrt/table_dump.hpp"
+#include "pipeline/checkpoint.hpp"
 #include "pipeline/live_session.hpp"
 #include "pipeline/observation_queue.hpp"
 #include "pipeline/pipeline.hpp"
@@ -757,6 +759,69 @@ void BM_LiveSessionSnapshot(benchmark::State& state) {
   state.counters["stream_B"] = static_cast<double>(data.size());
 }
 BENCHMARK(BM_LiveSessionSnapshot)->Unit(benchmark::kMillisecond);
+
+void BM_CheckpointWrite(benchmark::State& state) {
+  // One durability cycle of `follow --checkpoint`: the stop-the-world
+  // serialize of a loaded mid-stream session (engines, announce-window,
+  // queues, framing positions) plus the CRC'd atomic file publish
+  // (temp write, fsync, generation rotate, rename). Prices the ingest
+  // stall a checkpoint cadence buys.
+  const PassiveFixture fixture(5000);
+  const auto data = fixture.updates_archive();
+  pipeline::LiveConfig config;
+  config.threads = 2;
+  config.passive.max_pending_announcements = 1024;
+  pipeline::LiveSession session(config, fixture.ixps);
+  auto handle = session.add_feed();
+  handle.feed(std::span<const std::uint8_t>(data.data(), data.size() / 2));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mlp_bench_ckpt.bin")
+          .string();
+  std::size_t payload_bytes = 0;
+  for (auto _ : state) {
+    pipeline::save_checkpoint(session, path);
+    benchmark::ClobberMemory();
+    if (payload_bytes == 0)
+      payload_bytes = std::filesystem::file_size(path) - 24;
+  }
+  state.counters["payload_B"] = static_cast<double>(payload_bytes);
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".1");
+  std::filesystem::remove(path + ".tmp");
+}
+BENCHMARK(BM_CheckpointWrite)->Unit(benchmark::kMillisecond);
+
+void BM_CheckpointLoad(benchmark::State& state) {
+  // The resume path: read + CRC validate + the two-pass (validate, then
+  // commit) restore into a freshly wired session. Bounds the restart
+  // cost after a crash.
+  const PassiveFixture fixture(5000);
+  const auto data = fixture.updates_archive();
+  pipeline::LiveConfig config;
+  config.threads = 2;
+  config.passive.max_pending_announcements = 1024;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mlp_bench_ckpt_load.bin")
+          .string();
+  {
+    pipeline::LiveSession session(config, fixture.ixps);
+    auto handle = session.add_feed();
+    handle.feed(
+        std::span<const std::uint8_t>(data.data(), data.size() / 2));
+    pipeline::save_checkpoint(session, path);
+  }
+  for (auto _ : state) {
+    pipeline::LiveSession resumed(config, fixture.ixps);
+    resumed.add_feed();
+    const auto loaded = pipeline::restore_checkpoint(resumed, path);
+    benchmark::DoNotOptimize(loaded.payload.size());
+  }
+  state.counters["payload_B"] =
+      static_cast<double>(std::filesystem::file_size(path) - 24);
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".1");
+}
+BENCHMARK(BM_CheckpointLoad)->Unit(benchmark::kMillisecond);
 
 void BM_PipelineRun(benchmark::State& state) {
   // End-to-end InferencePipeline::run over a small synthetic ecosystem:

@@ -43,6 +43,15 @@
 //     restarts on socket feeds: redial with bounded exponential backoff,
 //     up to N consecutive failures, resuming at a record boundary.
 //     --tolerant skips malformed records (counted) instead of aborting.
+//     --checkpoint PATH makes the session durable: a crash-safe snapshot
+//     of the full session (engines, announce-windows, watermarks, queue
+//     contents, per-feed byte offsets) is written atomically every
+//     --checkpoint-every N records (0: only at shutdown) and once more at
+//     end of stream or on SIGINT/SIGTERM. --resume loads the newest valid
+//     generation of PATH, seeks every re-dialed feed to its acknowledged
+//     offset and continues exactly-once: the final link sets match an
+//     uninterrupted run byte for byte. SIGINT/SIGTERM end the run
+//     gracefully (final checkpoint + the normal summary).
 //     Every feed is health-supervised (Healthy/Degraded/Quarantined/
 //     Dead): a feed past its malformed-rate, dirty-disconnect, reconnect
 //     or stall budget stops gating the cross-feed merge and the healthy
@@ -94,8 +103,14 @@
 #include <thread>
 #include <vector>
 
+#ifndef _WIN32
+#include <pthread.h>
+#include <signal.h>
+#endif
+
 #include "mrt/cursor.hpp"
 #include "mrt/table_dump.hpp"
+#include "pipeline/checkpoint.hpp"
 #include "pipeline/ixp_config.hpp"
 #include "pipeline/live_session.hpp"
 #include "pipeline/pipeline.hpp"
@@ -112,6 +127,63 @@ namespace {
 
 using namespace mlp;
 
+/// Graceful-shutdown flag, set by SIGINT/SIGTERM. The handlers are
+/// installed WITHOUT SA_RESTART so blocked reads and accepts wake with
+/// EINTR; the stream layer (stream::set_interrupt_flag) then turns the
+/// EINTR into a normal end of stream, every reader unwinds, and follow
+/// writes its final checkpoint and summary instead of dying mid-write.
+std::atomic<bool> g_stop{false};
+
+#ifndef _WIN32
+void handle_stop_signal(int) { g_stop.store(true); }
+
+void install_stop_handlers() {
+  stream::set_interrupt_flag(&g_stop);
+  struct sigaction action{};
+  action.sa_handler = handle_stop_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocked syscalls must EINTR
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+void ignore_sigpipe() {
+  struct sigaction action{};
+  action.sa_handler = SIG_IGN;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGPIPE, &action, nullptr);
+}
+#else
+void install_stop_handlers() {}
+void ignore_sigpipe() {}
+#endif
+
+/// Resume support: discard the first `skip` bytes of a re-dialed
+/// transport (the checkpoint already acknowledges them), then pass
+/// through. Wraps the reconnect layer, so serve-style peers that replay
+/// from byte zero on every accept line up with the checkpoint offset.
+class SkipSource final : public stream::StreamSource {
+ public:
+  SkipSource(std::unique_ptr<stream::StreamSource> inner, std::uint64_t skip)
+      : inner_(std::move(inner)), remaining_(skip) {}
+
+  std::size_t read(std::span<std::uint8_t> out) override {
+    std::vector<std::uint8_t> scratch;
+    while (remaining_ > 0) {
+      scratch.resize(static_cast<std::size_t>(
+          std::min<std::uint64_t>(remaining_, 65536)));
+      const std::size_t n = inner_->read(scratch);
+      if (n == 0) return 0;  // stream ended inside the skipped prefix
+      remaining_ -= n;
+    }
+    return inner_->read(out);
+  }
+
+ private:
+  std::unique_ptr<stream::StreamSource> inner_;
+  std::uint64_t remaining_;
+};
+
 int usage() {
   std::fprintf(
       stderr,
@@ -127,6 +199,8 @@ int usage() {
       "                        [--chaos SEED[:PLAN]] [--no-supervision]\n"
       "                        [--stall-timeout MS] [--malformed-window N]\n"
       "                        [--dirty-budget N] [--probation N]\n"
+      "                        [--checkpoint PATH [--checkpoint-every N]\n"
+      "                         [--resume]]\n"
       "                        [--feed SPEC]... [--listen PORT]\n"
       "                        [FILE]   (default: one stdin feed)\n"
       "         SPEC: '-' | PATH | listen:PORT | connect:HOST:PORT\n"
@@ -479,11 +553,12 @@ void print_live_snapshot(const pipeline::LiveSnapshot& snap,
   std::size_t links = 0;
   for (const std::size_t count : snap.links_per_ixp) links += count;
   std::printf("snapshot: %llu bytes, %llu records (%zu malformed, "
-              "%zu skipped), %zu observations, watermark %lu, links/IXP",
+              "%zu skipped), %zu observations (%zu queued), watermark %lu, "
+              "links/IXP",
               static_cast<unsigned long long>(snap.bytes_fed),
               static_cast<unsigned long long>(snap.records),
               snap.passive.records_malformed, snap.records_skipped,
-              snap.passive.observations,
+              snap.passive.observations, snap.queue_depth,
               static_cast<unsigned long>(snap.min_watermark));
   for (std::size_t i = 0; i < snap.links_per_ixp.size(); ++i)
     std::printf(" %s=%zu", names[i].c_str(), snap.links_per_ixp[i]);
@@ -500,6 +575,9 @@ int run_follow(int argc, char** argv) {
   bool bmp = false;
   bool saw_positional = false;
   std::optional<stream::FaultPlan> chaos;
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every = 0;  // 0: only at end of stream/signal
+  bool resume = false;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--config" && i + 1 < argc) {
@@ -564,6 +642,12 @@ int run_follow(int argc, char** argv) {
     } else if (arg == "--probation" && i + 1 < argc) {
       config.supervision.probation_records =
           std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--checkpoint" && i + 1 < argc) {
+      checkpoint_path = argv[++i];
+    } else if (arg == "--checkpoint-every" && i + 1 < argc) {
+      checkpoint_every = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--resume") {
+      resume = true;
     } else if (arg == "--follow") {
       // tolerated so `infer --follow ...` forwards verbatim
     } else if (!arg.empty() && arg.front() == '-' && arg != "-") {
@@ -579,6 +663,7 @@ int run_follow(int argc, char** argv) {
     }
   }
   if (config_path.empty()) return usage();
+  if (resume && checkpoint_path.empty()) return usage();
   if (specs.empty()) specs.push_back(FeedSpec{});  // stdin
   std::size_t stdin_feeds = 0;
   for (const auto& spec : specs)
@@ -619,6 +704,38 @@ int run_follow(int argc, char** argv) {
     handles.push_back(session.add_feed(options));
   }
 
+  install_stop_handlers();
+
+  // --resume: load the newest valid checkpoint generation into the
+  // freshly wired session, then seek every feed's transport to its
+  // acknowledged offset (the peer replays from byte zero; SkipSource
+  // discards the prefix the checkpoint already covers).
+  std::vector<std::uint64_t> resume_offsets(specs.size(), 0);
+  if (resume) {
+    const auto loaded =
+        pipeline::restore_checkpoint(session, checkpoint_path);
+    resume_offsets = session.acknowledged_offsets();
+    std::uint64_t acked = 0;
+    for (const std::uint64_t off : resume_offsets) acked += off;
+    std::fprintf(stderr,
+                 "resumed from %s%s: %llu records, %llu acknowledged "
+                 "bytes across %zu feed(s)\n",
+                 checkpoint_path.c_str(),
+                 loaded.from_previous_generation ? " (previous generation)"
+                                                 : "",
+                 static_cast<unsigned long long>(session.records()),
+                 static_cast<unsigned long long>(acked), specs.size());
+  }
+  std::uint64_t last_checkpoint_records = session.records();
+  const auto checkpoint_due = [&]() {
+    return !checkpoint_path.empty() && checkpoint_every > 0 &&
+           session.records() - last_checkpoint_records >= checkpoint_every;
+  };
+  const auto take_checkpoint = [&]() {
+    pipeline::save_checkpoint(session, checkpoint_path);
+    last_checkpoint_records = session.records();
+  };
+
   bool feed_failed = false;
   if (specs.size() == 1) {
     // Single feed: drain on this thread so --snapshot-every fires at
@@ -628,15 +745,20 @@ int run_follow(int argc, char** argv) {
     // stay observable through the fault injector.
     const auto* reconnecting =
         dynamic_cast<const stream::ReconnectingSource*>(source.get());
+    if (resume_offsets[0] > 0)
+      source = std::make_unique<SkipSource>(std::move(source),
+                                            resume_offsets[0]);
     if (chaos)
       source = wrap_chaos(std::move(source), *chaos, 0,
                           chaos_stream_hint(specs[0]), handles[0]);
     std::vector<std::uint8_t> buffer(config.read_chunk);
     std::uint64_t last_snapshot_records = 0;
     for (;;) {
+      if (g_stop.load()) break;
       const std::size_t n = source->read(buffer);
       if (n == 0) break;
       handles[0].feed(std::span<const std::uint8_t>(buffer.data(), n));
+      if (checkpoint_due()) take_checkpoint();
       if (snapshot_every == 0) continue;
       // The framed-record count is free to read; only take the (batch
       // flush + pool settle) snapshot once the cadence is due.
@@ -646,7 +768,9 @@ int run_follow(int argc, char** argv) {
       last_snapshot_records = snap.records;
       print_live_snapshot(snap, names);
     }
-    if (warn_if_exhausted(specs[0].raw, reconnecting))
+    // An interrupted run exhausts its dial budget by design; only an
+    // organic exhaustion is a feed failure.
+    if (!g_stop.load() && warn_if_exhausted(specs[0].raw, reconnecting))
       handles[0].fail("reconnect budget exhausted");
   } else {
     // Multi-feed: one reader thread per feed (lanes are independent; the
@@ -662,15 +786,25 @@ int run_follow(int argc, char** argv) {
           auto source = open_feed_source(specs[i], retry, handles[i]);
           const auto* reconnecting =
               dynamic_cast<const stream::ReconnectingSource*>(source.get());
+          if (resume_offsets[i] > 0)
+            source = std::make_unique<SkipSource>(std::move(source),
+                                                  resume_offsets[i]);
           if (chaos)
             source = wrap_chaos(std::move(source), *chaos, i,
                                 chaos_stream_hint(specs[i]), handles[i]);
           handles[i].drain(*source);
-          if (warn_if_exhausted(specs[i].raw, reconnecting))
+          if (!g_stop.load() &&
+              warn_if_exhausted(specs[i].raw, reconnecting))
             handles[i].fail("reconnect budget exhausted");
         } catch (const std::exception& e) {
-          std::fprintf(stderr, "%s: %s\n", specs[i].raw.c_str(), e.what());
-          any_failed.store(true);
+          // A shutdown signal unwinds blocked dials/accepts with an
+          // "interrupted" error; that is the graceful path, not a
+          // failure.
+          if (!g_stop.load()) {
+            std::fprintf(stderr, "%s: %s\n", specs[i].raw.c_str(),
+                         e.what());
+            any_failed.store(true);
+          }
         }
         handles[i].close();
         live.fetch_sub(1);
@@ -679,6 +813,16 @@ int run_follow(int argc, char** argv) {
     std::uint64_t last_snapshot_records = 0;
     while (live.load() > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
+#ifndef _WIN32
+      // A stop signal lands on ONE thread; readers parked in read() or
+      // accept() need their own EINTR to notice the flag. Re-poke them
+      // each tick until they unwind (idempotent: the handler only sets
+      // the already-set flag).
+      if (g_stop.load())
+        for (auto& reader : readers)
+          ::pthread_kill(reader.native_handle(), SIGTERM);
+#endif
+      if (checkpoint_due()) take_checkpoint();
       if (snapshot_every == 0) continue;
       if (session.records() - last_snapshot_records < snapshot_every)
         continue;
@@ -690,6 +834,15 @@ int run_follow(int argc, char** argv) {
     feed_failed = any_failed.load();
   }
 
+  // The final checkpoint covers everything ingested, interrupted or not;
+  // it must land before finish() tears the session down.
+  if (!checkpoint_path.empty()) {
+    pipeline::save_checkpoint(session, checkpoint_path);
+    std::fprintf(stderr, "%scheckpoint written to %s\n",
+                 g_stop.load() ? "interrupted: final " : "",
+                 checkpoint_path.c_str());
+  }
+
   const auto result = session.finish();
   std::printf("end of stream: %llu records (%zu malformed, %zu skipped)\n",
               static_cast<unsigned long long>(result.records),
@@ -697,9 +850,9 @@ int run_follow(int argc, char** argv) {
   for (const auto& feed : result.per_feed)
     std::printf("feed %s: %llu bytes, %llu records, %zu malformed, "
                 "%llu clean / %llu dirty disconnects, %llu partials "
-                "dropped, watermark %lu, %llu peer ups / %llu downs, "
-                "health %s, %llu transitions, %llu quarantines, "
-                "%llu observations discarded\n",
+                "dropped, watermark %lu, %zu queued, %llu peer ups / "
+                "%llu downs, health %s, %llu transitions, "
+                "%llu quarantines, %llu observations discarded\n",
                 feed.name.c_str(),
                 static_cast<unsigned long long>(feed.bytes_fed),
                 static_cast<unsigned long long>(feed.records),
@@ -709,6 +862,7 @@ int run_follow(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     feed.partial_records_dropped),
                 static_cast<unsigned long>(feed.watermark),
+                feed.queue_depth,
                 static_cast<unsigned long long>(feed.bmp_peer_ups),
                 static_cast<unsigned long long>(feed.bmp_peer_downs),
                 pipeline::to_string(feed.health),
@@ -764,47 +918,61 @@ int run_serve(int argc, char** argv) {
     chaos = stream::FaultPlan::random(chaos->seed, data.size());
   if (chaos)
     std::fprintf(stderr, "chaos plan: %s\n", chaos->to_string().c_str());
+  // A client may vanish mid-stream (crashed, SIGKILLed in a kill/resume
+  // rehearsal): with SIGPIPE ignored the write fails with EPIPE instead
+  // of killing the server, and the accept loop moves on to the next
+  // client. SIGINT/SIGTERM end the accept loop gracefully.
+  install_stop_handlers();
+  ignore_sigpipe();
   const auto listener =
       stream::open_tcp_listener(static_cast<std::uint16_t>(port));
   std::fprintf(stderr, "serving %s (%zu bytes%s) on 127.0.0.1:%u, %zu "
                "accept(s)\n",
                path.c_str(), data.size(), bmp ? ", BMP" : "",
                listener.port, accepts);
-  for (std::size_t k = 0; k < accepts; ++k) {
+  for (std::size_t k = 0; k < accepts && !g_stop.load(); ++k) {
     int fd = stream::tcp_accept(listener.fd);
-    if (!chaos) {
-      for (std::size_t at = 0; at < data.size(); at += chunk)
-        stream::write_all(fd, std::span<const std::uint8_t>(
-                                  data.data() + at,
-                                  std::min(chunk, data.size() - at)));
-      stream::close_fd(fd);
-      continue;
-    }
-    // Chaos replay: serve the archive through the fault injector. The
-    // same plan replays per accept turn, so every client sees the same
-    // failure sequence. A drop fault really severs the connection and
-    // re-accepts (not counted against --accepts: it is one turn's
-    // mid-stream flap), resuming past the dropped bytes -- a real
-    // collector restart as seen from `follow --retry`.
-    stream::FaultInjectingSource injected(
-        std::make_unique<stream::MemorySource>(data, chunk), *chaos);
-    bool drop_pending = false;
-    injected.set_on_fault([&](const stream::Fault& fault) {
-      if (fault.kind == stream::Fault::Kind::Disconnect) drop_pending = true;
-    });
-    std::vector<std::uint8_t> buffer(chunk);
-    for (;;) {
-      if (drop_pending) {
-        drop_pending = false;
-        stream::close_fd(fd);
-        fd = stream::tcp_accept(listener.fd);
+    if (fd < 0) break;  // interrupted while waiting for a client
+    try {
+      if (!chaos) {
+        for (std::size_t at = 0; at < data.size(); at += chunk)
+          stream::write_all(fd, std::span<const std::uint8_t>(
+                                    data.data() + at,
+                                    std::min(chunk, data.size() - at)));
+      } else {
+        // Chaos replay: serve the archive through the fault injector.
+        // The same plan replays per accept turn, so every client sees
+        // the same failure sequence. A drop fault really severs the TCP
+        // connection and re-accepts (not counted against --accepts: it
+        // is one turn's mid-stream flap), resuming past the dropped
+        // bytes -- a real collector restart as seen from
+        // `follow --retry`.
+        stream::FaultInjectingSource injected(
+            std::make_unique<stream::MemorySource>(data, chunk), *chaos);
+        bool drop_pending = false;
+        injected.set_on_fault([&](const stream::Fault& fault) {
+          if (fault.kind == stream::Fault::Kind::Disconnect)
+            drop_pending = true;
+        });
+        std::vector<std::uint8_t> buffer(chunk);
+        for (;;) {
+          if (drop_pending) {
+            drop_pending = false;
+            stream::close_fd(fd);
+            fd = stream::tcp_accept(listener.fd);
+            if (fd < 0) break;
+          }
+          const std::size_t n = injected.read(buffer);
+          if (n == 0) break;
+          stream::write_all(
+              fd, std::span<const std::uint8_t>(buffer.data(), n));
+        }
       }
-      const std::size_t n = injected.read(buffer);
-      if (n == 0) break;
-      stream::write_all(
-          fd, std::span<const std::uint8_t>(buffer.data(), n));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "serve: client connection lost: %s\n",
+                   e.what());
     }
-    stream::close_fd(fd);
+    if (fd >= 0) stream::close_fd(fd);
   }
   stream::close_fd(listener.fd);
   return 0;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <bit>
 
+#include "core/state_codec.hpp"
+#include "util/errors.hpp"
+
 namespace mlp::core {
 
 std::string to_string(Source source) {
@@ -247,6 +250,64 @@ EngineStats MlpInferenceEngine::stats(std::size_t precomputed_links) const {
   }
   stats.links = precomputed_links;
   return stats;
+}
+
+void MlpInferenceEngine::serialize_state(ByteWriter& writer) const {
+  writer.u32(static_cast<std::uint32_t>(member_ids_.size()));
+  for (std::size_t i = 0; i < member_ids_.size(); ++i) {
+    const MemberData& data = member_data_[i];
+    writer.u32(member_ids_.values()[i]);
+    writer.u8(static_cast<std::uint8_t>((data.passive ? 1 : 0) |
+                                        (data.active ? 2 : 0)));
+    writer.u64(data.observations);
+    writer.u32(static_cast<std::uint32_t>(data.per_prefix.size()));
+    for (const auto& [prefix, policy] : data.per_prefix) {
+      codec::write_prefix(writer, prefix);
+      codec::write_policy(writer, policy);
+    }
+  }
+  writer.u64(rejected_);
+}
+
+void MlpInferenceEngine::restore_state(ByteReader& reader) {
+  // Parse the full image into locals first: a ParseError anywhere must
+  // leave the engine exactly as it was.
+  const std::size_t members =
+      codec::read_count(reader, 17, "engine member");
+  std::vector<Asn> ids;
+  std::vector<MemberData> data;
+  ids.reserve(members);
+  data.reserve(members);
+  for (std::size_t i = 0; i < members; ++i) {
+    const Asn asn = reader.u32();
+    if (!ids.empty() && asn <= ids.back())
+      throw ParseError("checkpoint: engine members not strictly increasing");
+    const std::uint8_t flags = reader.u8();
+    if (flags > 3)
+      throw ParseError("checkpoint: engine member flags " +
+                       std::to_string(flags));
+    MemberData slot;
+    slot.passive = (flags & 1) != 0;
+    slot.active = (flags & 2) != 0;
+    slot.observations = reader.u64();
+    const std::size_t prefixes =
+        codec::read_count(reader, 10, "engine per-prefix policy");
+    slot.per_prefix.reserve(prefixes);
+    for (std::size_t p = 0; p < prefixes; ++p) {
+      IpPrefix prefix = codec::read_prefix(reader);
+      if (!slot.per_prefix.empty() && !(slot.per_prefix.back().first < prefix))
+        throw ParseError(
+            "checkpoint: engine per-prefix policies not sorted");
+      slot.per_prefix.emplace_back(prefix, codec::read_policy(reader));
+    }
+    ids.push_back(asn);
+    data.push_back(std::move(slot));
+  }
+  const std::size_t rejected = reader.u64();
+
+  member_ids_ = FlatAsnSet(std::move(ids));
+  member_data_ = std::move(data);
+  rejected_ = rejected;
 }
 
 }  // namespace mlp::core

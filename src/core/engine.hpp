@@ -22,6 +22,11 @@
 #include "core/types.hpp"
 #include "routeserver/export_policy.hpp"
 
+namespace mlp {
+class ByteWriter;
+class ByteReader;
+}  // namespace mlp
+
 namespace mlp::core {
 
 using routeserver::ExportPolicy;
@@ -84,6 +89,21 @@ class MlpInferenceEngine {
   EngineStats stats(std::size_t precomputed_links) const;
 
   std::size_t rejected_observations() const { return rejected_; }
+
+  /// Checkpoint hook: persist the accumulated state -- the sorted member
+  /// vector with each member's per-prefix policies, flags and counters,
+  /// plus the rejected counter. The reciprocity bitsets are derived per
+  /// infer_links/count_links call and are never serialized; a restored
+  /// engine rebuilds them on demand. The IXP context is NOT serialized
+  /// (it belongs to the session configuration, not the accumulated state).
+  void serialize_state(ByteWriter& writer) const;
+
+  /// Checkpoint hook: replace the accumulated state with a serialized
+  /// image. Parses and validates the whole image (strictly increasing
+  /// member ASNs, sorted per-prefix vectors) before committing, so a
+  /// ParseError leaves the engine untouched. Memoised merged policies
+  /// restore invalidated and rebuild on first use.
+  void restore_state(ByteReader& reader);
 
  private:
   struct MemberData {

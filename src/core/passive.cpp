@@ -3,6 +3,7 @@
 #include <iterator>
 #include <utility>
 
+#include "core/state_codec.hpp"
 #include "mrt/cursor.hpp"
 #include "util/errors.hpp"
 
@@ -386,6 +387,87 @@ PassiveExtractor::take_observations() {
   auto out = std::move(observations_view_);
   observations_view_ = {};
   return out;
+}
+
+void PassiveExtractor::serialize_state(ByteWriter& writer) const {
+  for (const auto& bucket : by_ixp_)
+    if (!bucket.empty())
+      throw InvalidArgument(
+          "passive: serialize_state with unflushed batches (call "
+          "flush_batches first)");
+  writer.u32(clock_);
+  writer.u64(stats_.paths_seen);
+  writer.u64(stats_.paths_dirty);
+  writer.u64(stats_.paths_transient);
+  writer.u64(stats_.paths_no_rs_values);
+  writer.u64(stats_.paths_ambiguous_ixp);
+  writer.u64(stats_.paths_no_setter);
+  writer.u64(stats_.observations);
+  writer.u64(stats_.records_malformed);
+  writer.u64(stats_.peer_session_resets);
+  writer.u64(stats_.pending_torn_down);
+  writer.u32(static_cast<std::uint32_t>(pending_.size()));
+  for (const auto& [key, entry] : pending_) {
+    writer.u32(key.first);
+    codec::write_prefix(writer, key.second);
+    writer.u32(entry.announced_at);
+    codec::write_path(writer, entry.path);
+    codec::write_communities(writer, entry.communities);
+  }
+  writer.u32(static_cast<std::uint32_t>(pending_fifo_.size()));
+  for (const auto& [key, announced_at] : pending_fifo_) {
+    writer.u32(key.first);
+    codec::write_prefix(writer, key.second);
+    writer.u32(announced_at);
+  }
+}
+
+void PassiveExtractor::restore_state(ByteReader& reader) {
+  // Parse the full image into locals first: a ParseError anywhere must
+  // leave the extractor exactly as it was.
+  const std::uint32_t clock = reader.u32();
+  PassiveStats stats;
+  stats.paths_seen = reader.u64();
+  stats.paths_dirty = reader.u64();
+  stats.paths_transient = reader.u64();
+  stats.paths_no_rs_values = reader.u64();
+  stats.paths_ambiguous_ixp = reader.u64();
+  stats.paths_no_setter = reader.u64();
+  stats.observations = reader.u64();
+  stats.records_malformed = reader.u64();
+  stats.peer_session_resets = reader.u64();
+  stats.pending_torn_down = reader.u64();
+  const std::size_t pending_count =
+      codec::read_count(reader, 21, "announce-window entry");
+  std::map<PendingKey, Pending> pending;
+  auto hint = pending.end();
+  for (std::size_t i = 0; i < pending_count; ++i) {
+    PendingKey key;
+    key.first = reader.u32();
+    key.second = codec::read_prefix(reader);
+    if (!pending.empty() && !(std::prev(pending.end())->first < key))
+      throw ParseError("checkpoint: announce-window keys not sorted");
+    Pending entry;
+    entry.announced_at = reader.u32();
+    entry.path = codec::read_path(reader);
+    entry.communities = codec::read_communities(reader);
+    hint = pending.emplace_hint(hint, std::move(key), std::move(entry));
+  }
+  const std::size_t fifo_count =
+      codec::read_count(reader, 13, "announce-window FIFO entry");
+  std::deque<std::pair<PendingKey, std::uint32_t>> fifo;
+  for (std::size_t i = 0; i < fifo_count; ++i) {
+    PendingKey key;
+    key.first = reader.u32();
+    key.second = codec::read_prefix(reader);
+    const std::uint32_t announced_at = reader.u32();
+    fifo.emplace_back(std::move(key), announced_at);
+  }
+
+  clock_ = clock;
+  stats_ = stats;
+  pending_ = std::move(pending);
+  pending_fifo_ = std::move(fifo);
 }
 
 }  // namespace mlp::core

@@ -43,6 +43,11 @@
 #include "bgp/wire.hpp"
 #include "core/types.hpp"
 
+namespace mlp {
+class ByteWriter;
+class ByteReader;
+}  // namespace mlp
+
 namespace mlp::core {
 
 /// Counters describing how the input was consumed.
@@ -176,6 +181,23 @@ class PassiveExtractor {
   const std::shared_ptr<const std::vector<IxpContext>>& contexts() const {
     return ixps_;
   }
+
+  /// Checkpoint hook: persist the stream clock, the consumption counters
+  /// and the standing announce-window (pending map + FIFO eviction
+  /// order), exactly as they are -- entries are NOT flushed, so a
+  /// restored extractor settles them through the same age tests the
+  /// uninterrupted run would have applied. Requires the per-IXP batch
+  /// buffers to be empty (call flush_batches() first in streaming mode);
+  /// throws InvalidArgument otherwise -- unemitted observations must live
+  /// in the downstream queues, not here.
+  void serialize_state(ByteWriter& writer) const;
+
+  /// Checkpoint hook: replace clock, stats and announce-window with a
+  /// serialized image. Parses and validates the whole image before
+  /// committing (a ParseError leaves the extractor untouched). The IXP
+  /// contexts, relationships, config and sink are construction-time
+  /// wiring and are not part of the image.
+  void restore_state(ByteReader& reader);
 
  private:
   struct Attribution {

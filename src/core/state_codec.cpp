@@ -1,0 +1,138 @@
+#include "core/state_codec.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/errors.hpp"
+
+namespace mlp::core::codec {
+
+std::size_t read_count(ByteReader& reader, std::size_t min_element_bytes,
+                       const char* what) {
+  const std::uint32_t count = reader.u32();
+  const std::size_t floor = std::max<std::size_t>(1, min_element_bytes);
+  if (count > reader.remaining() / floor)
+    throw ParseError(std::string("checkpoint: ") + what + " count " +
+                     std::to_string(count) + " exceeds the payload");
+  return count;
+}
+
+void write_string(ByteWriter& writer, const std::string& value) {
+  if (value.size() > 0xffff)
+    throw InvalidArgument("checkpoint: string too long to serialize");
+  writer.u16(static_cast<std::uint16_t>(value.size()));
+  writer.bytes(value);
+}
+
+std::string read_string(ByteReader& reader) {
+  const std::uint16_t size = reader.u16();
+  const auto data = reader.bytes(size);
+  return std::string(data.begin(), data.end());
+}
+
+void write_prefix(ByteWriter& writer, const bgp::IpPrefix& prefix) {
+  writer.u32(prefix.address());
+  writer.u8(prefix.length());
+}
+
+bgp::IpPrefix read_prefix(ByteReader& reader) {
+  const std::uint32_t address = reader.u32();
+  const std::uint8_t length = reader.u8();
+  if (length > 32)
+    throw ParseError("checkpoint: prefix length " + std::to_string(length));
+  const bgp::IpPrefix prefix(address, length);
+  // A canonical (masked) prefix was written; anything else is corruption.
+  if (prefix.address() != address)
+    throw ParseError("checkpoint: prefix has host bits set");
+  return prefix;
+}
+
+void write_communities(ByteWriter& writer,
+                       const std::vector<Community>& communities) {
+  writer.u32(static_cast<std::uint32_t>(communities.size()));
+  for (const Community community : communities)
+    writer.u32(community.value());
+}
+
+std::vector<Community> read_communities(ByteReader& reader) {
+  const std::size_t count = read_count(reader, 4, "community");
+  std::vector<Community> communities;
+  communities.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    communities.push_back(Community::from_value(reader.u32()));
+  return communities;
+}
+
+void write_path(ByteWriter& writer, const AsPath& path) {
+  writer.u32(static_cast<std::uint32_t>(path.asns().size()));
+  for (const Asn asn : path.asns()) writer.u32(asn);
+}
+
+AsPath read_path(ByteReader& reader) {
+  const std::size_t count = read_count(reader, 4, "path hop");
+  std::vector<Asn> asns;
+  asns.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) asns.push_back(reader.u32());
+  return AsPath(std::move(asns));
+}
+
+void write_asn_set(ByteWriter& writer, const FlatAsnSet& set) {
+  writer.u32(static_cast<std::uint32_t>(set.size()));
+  for (const Asn asn : set) writer.u32(asn);
+}
+
+FlatAsnSet read_asn_set(ByteReader& reader) {
+  const std::size_t count = read_count(reader, 4, "ASN set element");
+  std::vector<std::uint32_t> values;
+  values.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t value = reader.u32();
+    // Strictly increasing order is the invariant the flat data plane
+    // rests on; the normalizing constructor would paper over corruption.
+    if (!values.empty() && value <= values.back())
+      throw ParseError("checkpoint: ASN set not strictly increasing");
+    values.push_back(value);
+  }
+  return FlatAsnSet(std::move(values));
+}
+
+void write_policy(ByteWriter& writer,
+                  const routeserver::ExportPolicy& policy) {
+  writer.u8(static_cast<std::uint8_t>(policy.mode()));
+  write_asn_set(writer, policy.peers());
+}
+
+routeserver::ExportPolicy read_policy(ByteReader& reader) {
+  const std::uint8_t mode = reader.u8();
+  if (mode > static_cast<std::uint8_t>(
+                 routeserver::ExportPolicy::Mode::NoneExcept))
+    throw ParseError("checkpoint: export policy mode " +
+                     std::to_string(mode));
+  FlatAsnSet peers = read_asn_set(reader);
+  return routeserver::ExportPolicy(
+      static_cast<routeserver::ExportPolicy::Mode>(mode), std::move(peers));
+}
+
+void write_observation(ByteWriter& writer, const Observation& observation) {
+  writer.u32(observation.setter);
+  write_prefix(writer, observation.prefix);
+  write_communities(writer, observation.communities);
+  writer.u8(static_cast<std::uint8_t>(observation.source));
+  writer.u32(observation.timestamp);
+}
+
+Observation read_observation(ByteReader& reader) {
+  Observation observation;
+  observation.setter = reader.u32();
+  observation.prefix = read_prefix(reader);
+  observation.communities = read_communities(reader);
+  const std::uint8_t source = reader.u8();
+  if (source > static_cast<std::uint8_t>(Source::ThirdPartyLg))
+    throw ParseError("checkpoint: observation source " +
+                     std::to_string(source));
+  observation.source = static_cast<Source>(source);
+  observation.timestamp = reader.u32();
+  return observation;
+}
+
+}  // namespace mlp::core::codec

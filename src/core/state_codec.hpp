@@ -1,0 +1,57 @@
+// Value-type codecs shared by the checkpoint serialization hooks.
+//
+// The crash-safe checkpoint (pipeline/checkpoint.hpp) persists live
+// session state across process restarts. Its payload is composed from
+// the per-component serialize/restore hooks (engine, extractor, queue,
+// supervisor); this header provides the codecs for the value types those
+// components share -- prefixes, communities, paths, observations, export
+// policies, ASN sets -- over the same big-endian ByteWriter/ByteReader
+// substrate as the MRT/BGP wire codecs.
+//
+// Every read_* validates as it parses and throws ParseError on malformed
+// input: checkpoint payloads are untrusted bytes (a torn write, a fuzzer)
+// until proven otherwise. Counts are length-checked against the bytes
+// actually remaining, so a corrupt count field cannot make a loader
+// allocate unbounded memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "routeserver/export_policy.hpp"
+#include "util/bytes.hpp"
+
+namespace mlp::core::codec {
+
+/// Read a u32 element count, rejecting (ParseError) any count that could
+/// not possibly fit in the reader's remaining bytes at
+/// `min_element_bytes` apiece. `what` names the field in the error.
+std::size_t read_count(ByteReader& reader, std::size_t min_element_bytes,
+                       const char* what);
+
+void write_string(ByteWriter& writer, const std::string& value);
+std::string read_string(ByteReader& reader);
+
+void write_prefix(ByteWriter& writer, const bgp::IpPrefix& prefix);
+bgp::IpPrefix read_prefix(ByteReader& reader);
+
+void write_communities(ByteWriter& writer,
+                       const std::vector<Community>& communities);
+std::vector<Community> read_communities(ByteReader& reader);
+
+void write_path(ByteWriter& writer, const AsPath& path);
+AsPath read_path(ByteReader& reader);
+
+void write_asn_set(ByteWriter& writer, const FlatAsnSet& set);
+FlatAsnSet read_asn_set(ByteReader& reader);
+
+void write_policy(ByteWriter& writer, const routeserver::ExportPolicy& policy);
+routeserver::ExportPolicy read_policy(ByteReader& reader);
+
+void write_observation(ByteWriter& writer, const Observation& observation);
+Observation read_observation(ByteReader& reader);
+
+}  // namespace mlp::core::codec

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/state_codec.hpp"
+#include "util/errors.hpp"
+
 namespace mlp::pipeline {
 
 const char* to_string(FeedHealth health) {
@@ -172,6 +175,97 @@ FeedSupervisor::Action FeedSupervisor::check_stall(std::uint64_t now_ms) {
   last_activity_ms_ = now_ms;
   return quarantine("stalled for " +
                     std::to_string(config_.stall_timeout_ms) + " ms");
+}
+
+void FeedSupervisor::serialize_state(ByteWriter& writer) const {
+  writer.u8(static_cast<std::uint8_t>(health_));
+  // The ring in logical oldest-first order; restore rebuilds it with the
+  // head at zero, which future note_record wraps treat identically.
+  writer.u32(static_cast<std::uint32_t>(window_count_));
+  for (std::size_t i = 0; i < window_count_; ++i)
+    writer.u8(window_[(window_head_ + i) % window_.size()]);
+  writer.u64(consecutive_dirty_);
+  writer.u64(records_since_dirty_);
+  writer.u64(probation_clean_);
+  writer.u64(records_seen_);
+  writer.u64(times_quarantined_);
+  writer.u64(transition_count_);
+  writer.u32(static_cast<std::uint32_t>(transitions_.size()));
+  for (const HealthTransition& transition : transitions_) {
+    writer.u8(static_cast<std::uint8_t>(transition.from));
+    writer.u8(static_cast<std::uint8_t>(transition.to));
+    writer.u64(transition.at_record);
+    core::codec::write_string(writer, transition.reason);
+  }
+}
+
+void FeedSupervisor::restore_state(ByteReader& reader) {
+  // Parse the full image into locals first: a ParseError anywhere must
+  // leave the supervisor exactly as it was.
+  const std::uint8_t health = reader.u8();
+  if (health > static_cast<std::uint8_t>(FeedHealth::Dead))
+    throw ParseError("checkpoint: feed health " + std::to_string(health));
+  const std::size_t window_count =
+      core::codec::read_count(reader, 1, "supervisor window entry");
+  std::vector<std::uint8_t> window;
+  window.reserve(window_count);
+  std::size_t malformed = 0;
+  for (std::size_t i = 0; i < window_count; ++i) {
+    const std::uint8_t outcome = reader.u8();
+    if (outcome > 1)
+      throw ParseError("checkpoint: supervisor window outcome " +
+                       std::to_string(outcome));
+    malformed += outcome;
+    window.push_back(outcome);
+  }
+  const std::uint64_t consecutive_dirty = reader.u64();
+  const std::uint64_t records_since_dirty = reader.u64();
+  const std::uint64_t probation_clean = reader.u64();
+  const std::uint64_t records_seen = reader.u64();
+  const std::uint64_t times_quarantined = reader.u64();
+  const std::uint64_t transition_count = reader.u64();
+  const std::size_t recorded =
+      core::codec::read_count(reader, 12, "supervisor transition");
+  if (recorded > kMaxRecordedTransitions || recorded > transition_count)
+    throw ParseError("checkpoint: supervisor transition log too long");
+  std::vector<HealthTransition> transitions;
+  transitions.reserve(recorded);
+  for (std::size_t i = 0; i < recorded; ++i) {
+    HealthTransition transition;
+    const std::uint8_t from = reader.u8();
+    const std::uint8_t to = reader.u8();
+    if (from > static_cast<std::uint8_t>(FeedHealth::Dead) ||
+        to > static_cast<std::uint8_t>(FeedHealth::Dead))
+      throw ParseError("checkpoint: supervisor transition health");
+    transition.from = static_cast<FeedHealth>(from);
+    transition.to = static_cast<FeedHealth>(to);
+    transition.at_record = reader.u64();
+    transition.reason = core::codec::read_string(reader);
+    transitions.push_back(std::move(transition));
+  }
+
+  // A resume under a smaller --malformed-window keeps only the newest
+  // outcomes (resuming under the SAME config, the only case with replay
+  // guarantees, keeps everything).
+  const std::size_t cap = std::max<std::size_t>(1, config_.malformed_window);
+  if (window.size() > cap) {
+    const std::size_t drop = window.size() - cap;
+    for (std::size_t i = 0; i < drop; ++i) malformed -= window[i];
+    window.erase(window.begin(),
+                 window.begin() + static_cast<std::ptrdiff_t>(drop));
+  }
+  health_ = static_cast<FeedHealth>(health);
+  window_ = std::move(window);
+  window_head_ = 0;
+  window_count_ = window_.size();
+  window_malformed_ = malformed;
+  consecutive_dirty_ = consecutive_dirty;
+  records_since_dirty_ = records_since_dirty;
+  probation_clean_ = probation_clean;
+  records_seen_ = records_seen;
+  times_quarantined_ = times_quarantined;
+  transition_count_ = transition_count;
+  transitions_ = std::move(transitions);
 }
 
 }  // namespace mlp::pipeline

@@ -41,6 +41,11 @@
 #include <string>
 #include <vector>
 
+namespace mlp {
+class ByteWriter;
+class ByteReader;
+}  // namespace mlp
+
 namespace mlp::pipeline {
 
 enum class FeedHealth : std::uint8_t {
@@ -149,6 +154,19 @@ class FeedSupervisor {
   }
 
   static constexpr std::size_t kMaxRecordedTransitions = 64;
+
+  /// Checkpoint hook: persist the health level, the outcome window (in
+  /// logical oldest-first order), every budget counter and the recorded
+  /// transitions. The config is NOT serialized -- it is session wiring,
+  /// re-supplied on construction; the activity stamp is wall-clock time
+  /// of a dead process and is re-armed by the owner after restore.
+  void serialize_state(ByteWriter& writer) const;
+
+  /// Checkpoint hook: replace the judged state with a serialized image.
+  /// Parses and validates the whole image before committing (a
+  /// ParseError leaves the supervisor untouched). A window longer than
+  /// the current config's cap keeps only the newest entries.
+  void restore_state(ByteReader& reader);
 
  private:
   Action evaluate();

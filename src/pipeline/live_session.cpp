@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "core/state_codec.hpp"
+#include "util/bytes.hpp"
 #include "util/errors.hpp"
 
 namespace mlp::pipeline {
@@ -463,6 +465,10 @@ FeedStats LiveSession::lane_stats(Lane& target) const {
   stats.dirty_disconnects = target.dirty_disconnects;
   stats.partial_records_dropped = target.partial_records_dropped;
   stats.watermark = target.extractor.stream_time();
+  // Lane mutex -> queue mutex is the sink push path's order, so reading
+  // the depth here composes with concurrent feeders.
+  for (const auto& shard : shards_)
+    stats.queue_depth += shard->queue.depth(target.index);
   stats.idle = target.idle.load(std::memory_order_relaxed);
   stats.closed = target.closed;
   stats.passive = target.extractor.stats();
@@ -489,6 +495,7 @@ SessionTotals LiveSession::collect_totals_locked() {
     totals.bytes_fed += stats.bytes_fed;
     totals.records += stats.records;
     totals.records_skipped += stats.records_skipped;
+    totals.queue_depth += stats.queue_depth;
     totals.passive += stats.passive;
     totals.health_transitions += stats.health_transitions;
     totals.observations_discarded += stats.observations_discarded;
@@ -574,6 +581,248 @@ LiveResult LiveSession::finish() {
   }
   result.all_links = merge_links(result.per_ixp);
   return result;
+}
+
+std::vector<std::uint8_t> LiveSession::serialize_state() {
+  // Same stop-the-world point as snapshot(), minus the wall-clock
+  // supervision sweeps (a checkpoint must capture state, not advance
+  // it): all lane mutexes, partial batches flushed, watermarks
+  // published, pool settled. At that point everything strictly below the
+  // merge frontier is in the engines and the remainder sits in the
+  // queues -- both serialized, so the split itself need not be
+  // reproducible, only the union and the (deterministic) drain order.
+  std::lock_guard feeds_lock(feeds_mutex_);
+  if (finished_.load(std::memory_order_acquire))
+    throw InvalidArgument("live session: serialize_state() after finish()");
+  std::vector<std::unique_lock<std::mutex>> lane_locks;
+  lane_locks.reserve(feeds_.size());
+  for (auto& lane : feeds_) lane_locks.emplace_back(lane->mutex);
+  for (auto& lane : feeds_) {
+    if (lane->closed) continue;
+    lane->extractor.flush_batches();
+    publish_watermark(*lane);
+  }
+  pool_.wait_idle();
+
+  ByteWriter writer;
+  writer.u8(static_cast<std::uint8_t>(config_.merge));
+  writer.u32(static_cast<std::uint32_t>(contexts_->size()));
+  for (const core::IxpContext& context : *contexts_)
+    core::codec::write_string(writer, context.name);
+  writer.u32(static_cast<std::uint32_t>(feeds_.size()));
+  for (auto& lane : feeds_) {
+    // A BMP lane's MRT framer is fed synthesized records one at a time
+    // and drained whole, so it can never straddle a record here.
+    if (lane->bmp && lane->framer.buffered() != 0)
+      throw InvalidArgument(
+          "live session: BMP lane buffered a partial synthesized record");
+    core::codec::write_string(writer, lane->name);
+    writer.u8(lane->bmp ? 1 : 0);
+    writer.u8(static_cast<std::uint8_t>(
+        (lane->closed ? 1 : 0) | (lane->queues_closed ? 2 : 0) |
+        (lane->idle.load(std::memory_order_relaxed) ? 4 : 0)));
+    // The framer image at its acknowledged position: the buffered
+    // partial tail is deliberately NOT serialized -- the resumed
+    // transport re-delivers it from the acknowledged offset, which is
+    // what makes the record framing exactly-once.
+    writer.u64(lane->framer.bytes_fed() - lane->framer.buffered());
+    writer.u64(lane->framer.records());
+    writer.u64(lane->framer.last_record_offset());
+    writer.u8(lane->framer.resyncing() ? 1 : 0);
+    if (lane->bmp) {
+      writer.u64(lane->bmp->bytes_fed() - lane->bmp->buffered());
+      writer.u64(lane->bmp->messages());
+      writer.u64(lane->bmp->skipped());
+      writer.u64(lane->bmp->peer_ups());
+      writer.u64(lane->bmp->peer_downs());
+      writer.u64(lane->bmp->last_message_offset());
+      writer.u8(lane->bmp->resyncing() ? 1 : 0);
+    }
+    writer.u64(lane->decoder.skipped());
+    writer.u32(lane->watermark_published);
+    writer.u64(lane->clean_disconnects);
+    writer.u64(lane->dirty_disconnects);
+    writer.u64(lane->partial_records_dropped);
+    writer.u64(lane->bytes_discarded);
+    writer.u64(lane->observations_discarded);
+    lane->extractor.serialize_state(writer);
+    lane->supervisor.serialize_state(writer);
+  }
+  for (auto& shard : shards_) {
+    shard->engine.serialize_state(writer);
+    shard->queue.serialize_state(writer);
+  }
+  return writer.take();
+}
+
+void LiveSession::apply_payload(ByteReader& reader, bool commit) {
+  const std::uint8_t policy = reader.u8();
+  if (policy > static_cast<std::uint8_t>(MergePolicy::Watermark))
+    throw ParseError("checkpoint: merge policy byte " +
+                     std::to_string(policy));
+  if (policy != static_cast<std::uint8_t>(config_.merge))
+    throw InvalidArgument(
+        "checkpoint: image was taken under a different merge policy");
+  const std::size_t ixp_count =
+      core::codec::read_count(reader, 2, "checkpoint IXP");
+  if (ixp_count != contexts_->size())
+    throw InvalidArgument("checkpoint: image has " +
+                          std::to_string(ixp_count) +
+                          " IXPs, session has " +
+                          std::to_string(contexts_->size()));
+  for (std::size_t i = 0; i < ixp_count; ++i) {
+    const std::string name = core::codec::read_string(reader);
+    if (name != (*contexts_)[i].name)
+      throw InvalidArgument("checkpoint: IXP " + std::to_string(i) +
+                            " is \"" + name + "\" in the image, \"" +
+                            (*contexts_)[i].name + "\" in the session");
+  }
+  const std::size_t feed_count =
+      core::codec::read_count(reader, 64, "checkpoint feed");
+  if (feed_count != feeds_.size())
+    throw InvalidArgument(
+        "checkpoint: image has " + std::to_string(feed_count) +
+        " feeds, session has " + std::to_string(feeds_.size()) +
+        " -- re-add the same feeds (same order) before restoring");
+  for (std::size_t i = 0; i < feed_count; ++i) {
+    Lane& real = *feeds_[i];
+    const std::string name = core::codec::read_string(reader);
+    const std::uint8_t transport = reader.u8();
+    if (transport > 1)
+      throw ParseError("checkpoint: feed transport byte " +
+                       std::to_string(transport));
+    const bool bmp = transport == 1;
+    if (name != real.name || bmp != real.bmp.has_value())
+      throw InvalidArgument("checkpoint: feed " + std::to_string(i) +
+                            " is \"" + name + "\" (" +
+                            (bmp ? "BMP" : "raw MRT") +
+                            ") in the image, \"" + real.name +
+                            "\" in the session");
+    const std::uint8_t flags = reader.u8();
+    if (flags > 7)
+      throw ParseError("checkpoint: feed flags " + std::to_string(flags));
+    const std::uint64_t mrt_acked = reader.u64();
+    const std::uint64_t mrt_records = reader.u64();
+    const std::uint64_t mrt_last_offset = reader.u64();
+    const std::uint8_t mrt_resync = reader.u8();
+    if (mrt_resync > 1)
+      throw ParseError("checkpoint: framer resync byte " +
+                       std::to_string(mrt_resync));
+    std::uint64_t bmp_acked = 0, bmp_messages = 0, bmp_skipped = 0;
+    std::uint64_t bmp_peer_ups = 0, bmp_peer_downs = 0, bmp_last_offset = 0;
+    std::uint8_t bmp_resync = 0;
+    if (bmp) {
+      bmp_acked = reader.u64();
+      bmp_messages = reader.u64();
+      bmp_skipped = reader.u64();
+      bmp_peer_ups = reader.u64();
+      bmp_peer_downs = reader.u64();
+      bmp_last_offset = reader.u64();
+      bmp_resync = reader.u8();
+      if (bmp_resync > 1)
+        throw ParseError("checkpoint: BMP resync byte " +
+                         std::to_string(bmp_resync));
+    }
+    const std::uint64_t decoder_skipped = reader.u64();
+    const std::uint32_t watermark_published = reader.u32();
+    const std::uint64_t clean_disconnects = reader.u64();
+    const std::uint64_t dirty_disconnects = reader.u64();
+    const std::uint64_t partial_dropped = reader.u64();
+    const std::uint64_t bytes_discarded = reader.u64();
+    const std::uint64_t observations_discarded = reader.u64();
+    if (commit) {
+      real.framer.restore_state(mrt_acked, mrt_records, mrt_last_offset,
+                                mrt_resync != 0);
+      if (bmp)
+        real.bmp->restore_state(bmp_acked, bmp_messages, bmp_skipped,
+                                bmp_peer_ups, bmp_peer_downs,
+                                bmp_last_offset, bmp_resync != 0);
+      real.decoder.restore_state(
+          static_cast<std::size_t>(decoder_skipped));
+      real.extractor.restore_state(reader);
+      real.supervisor.restore_state(reader);
+      real.closed = (flags & 1) != 0;
+      real.queues_closed = (flags & 2) != 0;
+      real.idle.store((flags & 4) != 0, std::memory_order_relaxed);
+      real.watermark_published = watermark_published;
+      real.clean_disconnects = clean_disconnects;
+      real.dirty_disconnects = dirty_disconnects;
+      real.partial_records_dropped = partial_dropped;
+      real.bytes_discarded = bytes_discarded;
+      real.observations_discarded = observations_discarded;
+    } else {
+      core::PassiveExtractor extractor(contexts_, relationships_,
+                                       config_.passive);
+      extractor.restore_state(reader);
+      FeedSupervisor supervisor(config_.supervision);
+      supervisor.restore_state(reader);
+    }
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (commit) {
+      shards_[i]->engine.restore_state(reader);
+      shards_[i]->queue.restore_state(reader);
+    } else {
+      core::MlpInferenceEngine engine((*contexts_)[i]);
+      engine.restore_state(reader);
+      ObservationQueue queue(feeds_.size(), config_.merge);
+      queue.restore_state(reader);
+    }
+  }
+}
+
+void LiveSession::restore_state(std::span<const std::uint8_t> payload) {
+  std::lock_guard feeds_lock(feeds_mutex_);
+  if (finished_.load(std::memory_order_acquire))
+    throw InvalidArgument("live session: restore_state() after finish()");
+  std::vector<std::unique_lock<std::mutex>> lane_locks;
+  lane_locks.reserve(feeds_.size());
+  for (auto& lane : feeds_) lane_locks.emplace_back(lane->mutex);
+  for (auto& lane : feeds_) {
+    const std::uint64_t fed =
+        lane->bmp ? lane->bmp->bytes_fed() : lane->framer.bytes_fed();
+    if (fed != 0)
+      throw InvalidArgument("live session: restore_state() after feed " +
+                            lane->name + " already ingested bytes");
+  }
+  // Pass 1: parse the whole payload against scratch components. Only a
+  // payload that survives end to end touches real state, so a malformed
+  // image can never leave the session partially applied.
+  {
+    ByteReader scratch(payload);
+    apply_payload(scratch, /*commit=*/false);
+    if (!scratch.done())
+      throw ParseError("checkpoint: trailing bytes after the session image");
+  }
+  ByteReader reader(payload);
+  apply_payload(reader, /*commit=*/true);
+
+  const std::uint64_t now = clock_->now_ms();
+  for (auto& lane : feeds_) {
+    lane->records_framed.store(lane->framer.records(),
+                               std::memory_order_relaxed);
+    // The serialized activity stamp would be wall-clock time of a dead
+    // process: re-arm the idle/stall clocks at the resume instant.
+    lane->last_activity_ms.store(now, std::memory_order_relaxed);
+    lane->supervisor.note_activity(now);
+  }
+  // Anything restored below the merge frontier is drainable right away.
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard)
+    schedule_pump(shard);
+}
+
+std::vector<std::uint64_t> LiveSession::acknowledged_offsets() {
+  std::lock_guard feeds_lock(feeds_mutex_);
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(feeds_.size());
+  for (auto& lane : feeds_) {
+    std::lock_guard lane_lock(lane->mutex);
+    offsets.push_back(lane->bmp
+                          ? lane->bmp->bytes_fed() - lane->bmp->buffered()
+                          : lane->framer.bytes_fed() -
+                                lane->framer.buffered());
+  }
+  return offsets;
 }
 
 }  // namespace mlp::pipeline

@@ -96,6 +96,11 @@
 #include "stream/framer.hpp"
 #include "stream/source.hpp"
 
+namespace mlp {
+class ByteWriter;
+class ByteReader;
+}  // namespace mlp
+
 namespace mlp::pipeline {
 
 /// One feed's health transition, as delivered to
@@ -180,6 +185,9 @@ struct FeedStats {
   std::uint64_t partial_records_dropped = 0;  // partials lost to resets
   /// The lane's stream clock / published merge watermark.
   std::uint32_t watermark = 0;
+  /// This feed's observations queued but not yet merged into the
+  /// engines, summed over IXPs -- its share of the merge backlog.
+  std::size_t queue_depth = 0;
   bool idle = false;   // parked by idle_feed_grace_ms right now
   bool closed = false;
   core::PassiveStats passive;       // this feed's extraction counters
@@ -206,6 +214,10 @@ struct SessionTotals {
   /// UINT32_MAX once every feed is closed (nothing constrains the
   /// merge). Meaningful under MergePolicy::Watermark.
   std::uint32_t min_watermark = 0;
+  /// Observations sitting in the per-IXP queues, not yet merged into the
+  /// engines (summed over feeds and IXPs): the merge backlog behind a
+  /// lagging watermark / an undrained Concatenate source.
+  std::size_t queue_depth = 0;
   core::PassiveStats passive;
   std::vector<FeedStats> per_feed;  // in add_feed order
   // Health rollup over feeds.
@@ -322,6 +334,35 @@ class LiveSession {
   /// snapshot() off it.
   std::uint64_t records();
 
+  /// Checkpoint: serialize the full session -- every lane's framing
+  /// position, extractor announce-window and supervisor judgement, every
+  /// IXP's engine state and queued-but-undrained observations -- from the
+  /// same stop-the-world point snapshot() uses (all lane mutexes, batch
+  /// flush, pool settle). Returns the raw payload; file framing (CRC,
+  /// atomic rename, generations) is pipeline/checkpoint.hpp's job, kept
+  /// OUTSIDE the session locks. Callable while other threads keep
+  /// feeding; throws InvalidArgument after finish().
+  std::vector<std::uint8_t> serialize_state();
+
+  /// Checkpoint: load a serialize_state() payload into this session. The
+  /// session must be freshly wired -- same IXPs, the same feeds re-added
+  /// in the same order (names and transports are cross-checked), no
+  /// bytes fed yet. Parses and validates the ENTIRE payload against
+  /// scratch components before touching any real state, so a malformed
+  /// payload (ParseError) or a mismatched session (InvalidArgument)
+  /// leaves the session untouched -- never partially applied. After
+  /// restore, re-dial each feed's transport and skip to its
+  /// acknowledged_offsets() position: replaying the remaining bytes
+  /// yields results byte-identical to the uninterrupted run.
+  void restore_state(std::span<const std::uint8_t> payload);
+
+  /// Per-feed acknowledged transport offsets, in add_feed order: every
+  /// byte before the offset has been framed into a complete record (or
+  /// consumed by a finished resync scan) and is covered by a
+  /// serialize_state() image taken now. The partial tail past it is NOT
+  /// serialized -- a resumed source must re-deliver from this offset.
+  std::vector<std::uint64_t> acknowledged_offsets();
+
  private:
   friend class FeedHandle;
 
@@ -406,6 +447,13 @@ class LiveSession {
   FeedStats lane_stats(Lane& target) const;
   /// Caller holds feeds_mutex_ and every lane mutex.
   SessionTotals collect_totals_locked();
+  /// Caller holds feeds_mutex_ and every lane mutex. Parse one
+  /// serialize_state() payload; commit=false parses into scratch
+  /// components (validation only), commit=true into the real ones. The
+  /// parse is deterministic, so a commit pass over a payload that passed
+  /// the scratch pass cannot throw -- the two-pass split is what makes
+  /// restore_state all-or-nothing.
+  void apply_payload(ByteReader& reader, bool commit);
 
   LiveConfig config_;
   std::shared_ptr<stream::Clock> clock_;  // config_.clock or SystemClock

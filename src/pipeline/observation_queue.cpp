@@ -1,8 +1,10 @@
 #include "pipeline/observation_queue.hpp"
 
 #include <limits>
+#include <string>
 #include <utility>
 
+#include "core/state_codec.hpp"
 #include "util/errors.hpp"
 
 namespace mlp::pipeline {
@@ -172,6 +174,95 @@ bool ObservationQueue::has_ready() {
     if (!sources_[i].closed) return false;
   }
   return false;
+}
+
+std::size_t ObservationQueue::depth() {
+  std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const Source& source : sources_) {
+    total += source.pending.size();
+    for (const auto& batch : source.batches) total += batch.size();
+  }
+  return total;
+}
+
+std::size_t ObservationQueue::depth(std::size_t source) {
+  std::lock_guard lock(mutex_);
+  if (source >= sources_.size())
+    throw InvalidArgument("observation queue: bad source index");
+  std::size_t total = sources_[source].pending.size();
+  for (const auto& batch : sources_[source].batches) total += batch.size();
+  return total;
+}
+
+void ObservationQueue::serialize_state(ByteWriter& writer) {
+  std::lock_guard lock(mutex_);
+  writer.u32(static_cast<std::uint32_t>(sources_.size()));
+  for (const Source& source : sources_) {
+    writer.u8(static_cast<std::uint8_t>((source.idle ? 1 : 0) |
+                                        (source.closed ? 2 : 0)));
+    writer.u32(source.watermark);
+    writer.u32(static_cast<std::uint32_t>(source.pending.size()));
+    for (const core::Observation& observation : source.pending)
+      core::codec::write_observation(writer, observation);
+    writer.u32(static_cast<std::uint32_t>(source.batches.size()));
+    for (const auto& batch : source.batches) {
+      writer.u32(static_cast<std::uint32_t>(batch.size()));
+      for (const core::Observation& observation : batch)
+        core::codec::write_observation(writer, observation);
+    }
+  }
+  writer.u32(static_cast<std::uint32_t>(cursor_));
+}
+
+void ObservationQueue::restore_state(ByteReader& reader) {
+  // Parse the full image into locals first: a ParseError anywhere must
+  // leave the queue exactly as it was.
+  const std::size_t count =
+      core::codec::read_count(reader, 13, "queue source");
+  std::vector<Source> sources(count);
+  for (Source& source : sources) {
+    const std::uint8_t flags = reader.u8();
+    if (flags > 3)
+      throw ParseError("checkpoint: queue source flags " +
+                       std::to_string(flags));
+    source.idle = (flags & 1) != 0;
+    source.closed = (flags & 2) != 0;
+    source.watermark = reader.u32();
+    const std::size_t pending =
+        core::codec::read_count(reader, 14, "queued observation");
+    for (std::size_t i = 0; i < pending; ++i)
+      source.pending.push_back(core::codec::read_observation(reader));
+    const std::size_t batches =
+        core::codec::read_count(reader, 4, "queued batch");
+    for (std::size_t b = 0; b < batches; ++b) {
+      const std::size_t size =
+          core::codec::read_count(reader, 14, "batched observation");
+      std::vector<core::Observation> batch;
+      batch.reserve(size);
+      for (std::size_t i = 0; i < size; ++i)
+        batch.push_back(core::codec::read_observation(reader));
+      source.batches.push_back(std::move(batch));
+    }
+  }
+  const std::size_t cursor = reader.u32();
+  if (cursor > count)
+    throw ParseError("checkpoint: queue cursor past the source count");
+
+  {
+    std::lock_guard lock(mutex_);
+    if (count != sources_.size())
+      throw ParseError("checkpoint: queue source count " +
+                       std::to_string(count) + " does not match the " +
+                       std::to_string(sources_.size()) +
+                       " registered feeds");
+    sources_ = std::move(sources);
+    cursor_ = cursor;
+    open_count_ = 0;
+    for (const Source& source : sources_)
+      if (!source.closed) ++open_count_;
+  }
+  ready_.notify_all();
 }
 
 bool ObservationQueue::pop(std::vector<core::Observation>& out) {

@@ -33,6 +33,11 @@
 
 #include "core/types.hpp"
 
+namespace mlp {
+class ByteWriter;
+class ByteReader;
+}  // namespace mlp
+
 namespace mlp::pipeline {
 
 /// Cross-source drain policy of an ObservationQueue (and of the live
@@ -98,6 +103,28 @@ class ObservationQueue {
 
   /// True when try_pop would return a batch.
   bool has_ready();
+
+  /// Observations queued but not yet drained, summed over sources (batch
+  /// contents counted individually). The merge-backlog gauge: under
+  /// Watermark it is what sits at or above the frontier waiting for a
+  /// lagging feed.
+  std::size_t depth();
+  /// One producer's share of depth().
+  std::size_t depth(std::size_t source);
+
+  /// Checkpoint hook: persist every source's queued-but-undrained
+  /// observations, watermark and idle/closed flags, plus the Concatenate
+  /// drain cursor. The drained prefix lives in the engine; this is
+  /// exactly the remainder above the merge frontier.
+  void serialize_state(ByteWriter& writer);
+
+  /// Checkpoint hook: replace the per-source state with a serialized
+  /// image. The image's source count must equal the queue's current
+  /// source count (the session re-registers its feeds before restoring);
+  /// parses and validates the whole image before committing, so a
+  /// ParseError leaves the queue untouched. open_count_ is recomputed
+  /// from the restored closed flags.
+  void restore_state(ByteReader& reader);
 
  private:
   struct Source {

@@ -274,6 +274,27 @@ std::size_t BmpFramer::reset() {
   return dropped;
 }
 
+void BmpFramer::restore_state(std::uint64_t bytes_fed, std::uint64_t messages,
+                              std::uint64_t skipped, std::uint64_t peer_ups,
+                              std::uint64_t peer_downs,
+                              std::uint64_t last_message_offset,
+                              bool resyncing) {
+  buf_.clear();
+  pos_ = 0;
+  last_message_pos_ = 0;
+  // Same convention as reset(): the next byte fed is byte bytes_fed_ of
+  // the (logical) stream, which the caller rejoins at the acknowledged
+  // offset.
+  base_offset_ = bytes_fed;
+  bytes_fed_ = bytes_fed;
+  messages_ = messages;
+  skipped_ = skipped;
+  peer_ups_ = peer_ups;
+  peer_downs_ = peer_downs;
+  last_message_offset_ = last_message_offset;
+  resyncing_ = resyncing;
+}
+
 std::vector<std::uint8_t> bmp_route_monitoring(
     std::uint32_t timestamp, std::uint32_t peer_asn, std::uint32_t peer_ip,
     std::span<const std::uint8_t> bgp_pdu, bool legacy_as_path) {

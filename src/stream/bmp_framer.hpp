@@ -118,6 +118,18 @@ class BmpFramer {
   /// Absolute stream offset of the message most recently framed.
   std::uint64_t last_message_offset() const { return last_message_offset_; }
 
+  /// True while a tolerant resync() scan is still hunting its anchor.
+  bool resyncing() const { return resyncing_; }
+
+  /// Checkpoint hook: resume at absolute transport offset `bytes_fed`
+  /// (the acknowledged offset -- every byte before it framed into a
+  /// complete message, or was stepped over by a finished resync scan).
+  /// Drops any buffered bytes; the transport redelivers the tail.
+  void restore_state(std::uint64_t bytes_fed, std::uint64_t messages,
+                     std::uint64_t skipped, std::uint64_t peer_ups,
+                     std::uint64_t peer_downs,
+                     std::uint64_t last_message_offset, bool resyncing);
+
  private:
   void compact();
 

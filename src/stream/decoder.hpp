@@ -36,6 +36,10 @@ class UpdateDecoder {
   /// Records stepped over without decoding.
   std::size_t skipped() const { return skipped_; }
 
+  /// Checkpoint hook: carry the skip counter over a resume (the scratch
+  /// buffers are per-decode transients with nothing to restore).
+  void restore_state(std::size_t skipped) { skipped_ = skipped; }
+
  private:
   bgp::UpdateMessage scratch_;
   UpdateRecordView view_;

@@ -81,4 +81,20 @@ void MrtFramer::resync() {
   resyncing_ = true;
 }
 
+void MrtFramer::restore_state(std::uint64_t bytes_fed, std::uint64_t records,
+                              std::uint64_t last_record_offset,
+                              bool resyncing) {
+  buf_.clear();
+  pos_ = 0;
+  last_record_pos_ = 0;
+  // Same convention as reset(): the next byte fed is byte bytes_fed_ of
+  // the (logical) stream, which the caller rejoins at the acknowledged
+  // offset.
+  base_offset_ = bytes_fed;
+  bytes_fed_ = bytes_fed;
+  records_ = records;
+  last_record_offset_ = last_record_offset;
+  resyncing_ = resyncing;
+}
+
 }  // namespace mlp::stream

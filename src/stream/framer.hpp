@@ -69,6 +69,18 @@ class MrtFramer {
   /// next() (error-message context for the decode layer).
   std::uint64_t last_record_offset() const { return last_record_offset_; }
 
+  /// True while a tolerant resync() scan is still hunting its anchor.
+  bool resyncing() const { return resyncing_; }
+
+  /// Checkpoint hook: resume at absolute stream offset `bytes_fed` (the
+  /// acknowledged offset -- every byte before it framed into a complete
+  /// record, or was stepped over by a finished resync scan). Drops any
+  /// buffered bytes; the transport redelivers the unacknowledged tail.
+  /// `resyncing` re-arms a scan that was mid-flight at the checkpoint,
+  /// so redelivered bytes replay it deterministically.
+  void restore_state(std::uint64_t bytes_fed, std::uint64_t records,
+                     std::uint64_t last_record_offset, bool resyncing);
+
  private:
   /// Drop consumed bytes so the buffer only holds the unframed tail.
   void compact();

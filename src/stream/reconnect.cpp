@@ -3,6 +3,7 @@
 #include <thread>
 #include <utility>
 
+#include "stream/source.hpp"
 #include "util/errors.hpp"
 
 namespace mlp::stream {
@@ -30,6 +31,12 @@ bool ReconnectingSource::connect_with_backoff(bool delay_first) {
     backoff = std::min(backoff * 2, policy_.max_backoff);
   }
   for (std::size_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    // A graceful shutdown must not be held up by a redial loop: give up
+    // immediately so read() reports a normal end of stream.
+    if (interrupt_requested()) {
+      last_error_ = "interrupted";
+      return false;
+    }
     if (attempt > 0) {
       sleep_(backoff);
       backoff = std::min(backoff * 2, policy_.max_backoff);

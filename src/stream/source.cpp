@@ -16,6 +16,20 @@
 
 namespace mlp::stream {
 
+namespace {
+std::atomic<const std::atomic<bool>*> g_interrupt_flag{nullptr};
+}  // namespace
+
+void set_interrupt_flag(const std::atomic<bool>* flag) {
+  g_interrupt_flag.store(flag, std::memory_order_release);
+}
+
+bool interrupt_requested() {
+  const std::atomic<bool>* flag =
+      g_interrupt_flag.load(std::memory_order_acquire);
+  return flag != nullptr && flag->load(std::memory_order_relaxed);
+}
+
 MemorySource::MemorySource(std::vector<std::uint8_t> data,
                            std::size_t max_chunk)
     : data_(std::move(data)), max_chunk_(std::max<std::size_t>(1, max_chunk)) {}
@@ -51,7 +65,12 @@ std::size_t FdSource::read(std::span<std::uint8_t> out) {
   for (;;) {
     const ssize_t n = ::read(fd_, out.data(), out.size());
     if (n >= 0) return static_cast<std::size_t>(n);
-    if (errno == EINTR) continue;
+    if (errno == EINTR) {
+      // A graceful-shutdown signal interrupted the wait: end the stream
+      // so the reader unwinds normally instead of blocking again.
+      if (interrupt_requested()) return 0;
+      continue;
+    }
     fail_errno("FdSource: read failed");
   }
 }
@@ -139,7 +158,10 @@ int tcp_accept(int listener_fd) {
   for (;;) {
     const int accepted = ::accept(listener_fd, nullptr, nullptr);
     if (accepted >= 0) return accepted;
-    if (errno == EINTR) continue;
+    if (errno == EINTR) {
+      if (interrupt_requested()) return -1;
+      continue;
+    }
     fail_errno("tcp_accept");
   }
 }
@@ -154,6 +176,7 @@ int tcp_listen_accept(std::uint16_t port) {
     throw;
   }
   ::close(listener.fd);
+  if (accepted < 0) throw ParseError("tcp_listen_accept: interrupted");
   return accepted;
 }
 

@@ -14,6 +14,7 @@
 // over loopback) without external infrastructure.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -21,6 +22,19 @@
 #include <vector>
 
 namespace mlp::stream {
+
+/// Graceful-shutdown hook for the blocking transports. Install a flag
+/// (typically a static std::atomic<bool> set from a SIGINT/SIGTERM
+/// handler registered WITHOUT SA_RESTART, so blocked syscalls wake with
+/// EINTR): while it reads true, FdSource::read reports end of stream
+/// instead of retrying the EINTR, tcp_accept returns -1, and
+/// ReconnectingSource stops redialing -- every blocked reader unwinds
+/// as a normal end of stream, letting the caller flush/summarize
+/// instead of dying mid-operation. Pass nullptr to uninstall. The flag
+/// must outlive its installation.
+void set_interrupt_flag(const std::atomic<bool>* flag);
+/// True when an installed interrupt flag currently reads true.
+bool interrupt_requested();
 
 class StreamSource {
  public:
@@ -94,7 +108,9 @@ struct TcpListener {
 /// Bind + listen on 127.0.0.1:`port` (0 picks an ephemeral port).
 TcpListener open_tcp_listener(std::uint16_t port);
 
-/// Accept one connection on a listener fd (blocking).
+/// Accept one connection on a listener fd (blocking). Returns -1 when
+/// an installed interrupt flag cut the wait short (see
+/// set_interrupt_flag).
 int tcp_accept(int listener_fd);
 
 /// Listen on 127.0.0.1:`port` and accept one connection (blocking);

@@ -12,6 +12,10 @@
 //   - the FeedSupervisor state machine holds its invariants (Dead is
 //     absorbing, bounded transition log, rate in [0,1]) under arbitrary
 //     event interleavings and edge-case budget configs
+//   - the checkpoint loader rejects arbitrary bytes cleanly (ParseError/
+//     InvalidArgument only) and NEVER leaves a session partially
+//     applied: after a failed restore the session is pristine and fully
+//     usable
 //
 // Built with -DMLP_FUZZ=ON. Under Clang the real libFuzzer entry point
 // is linked (-fsanitize=fuzzer, MLP_FUZZ_LIBFUZZER); elsewhere a
@@ -26,8 +30,12 @@
 #include <span>
 #include <vector>
 
+#include "core/types.hpp"
 #include "mrt/record_codec.hpp"
+#include "pipeline/checkpoint.hpp"
+#include "routeserver/scheme.hpp"
 #include "pipeline/feed_supervisor.hpp"
+#include "pipeline/live_session.hpp"
 #include "stream/bmp_framer.hpp"
 #include "stream/decoder.hpp"
 #include "stream/framer.hpp"
@@ -213,6 +221,65 @@ void drive_supervisor(const std::uint8_t* data, std::size_t size) {
   }
 }
 
+/// Feed arbitrary bytes to the checkpoint loader, at both layers: the
+/// file-image validator (decode_checkpoint) and the session restorer
+/// (restore_state). The contract: ParseError/InvalidArgument are the
+/// only escape hatches, and a failed restore leaves the session exactly
+/// as wired -- zero records, zero acknowledged bytes, fully usable.
+void drive_checkpoint_loader(const std::uint8_t* data, std::size_t size) {
+  const std::span<const std::uint8_t> input(data, size);
+
+  // encode/decode must round-trip any payload bit-exactly.
+  const auto image = pipeline::encode_checkpoint(input);
+  const auto back = pipeline::decode_checkpoint(image);
+  check(back.size() == size &&
+            (size == 0 || std::memcmp(back.data(), data, size) == 0),
+        "checkpoint image round trip lost bytes");
+
+  // Arbitrary bytes through the validator: reject or return a payload,
+  // never crash.
+  std::vector<std::uint8_t> payload;
+  bool decoded = false;
+  try {
+    payload = pipeline::decode_checkpoint(input);
+    decoded = true;
+  } catch (const ParseError&) {
+  }
+
+  core::IxpContext ixp;
+  ixp.name = "FUZZ-IX";
+  ixp.scheme = routeserver::IxpCommunityScheme::make(
+      "FUZZ-IX", 6695, routeserver::SchemeStyle::RsAsnBased);
+  ixp.rs_members = {10, 20, 30, 40};
+  pipeline::LiveConfig config;
+  config.threads = 1;
+  config.passive.tolerate_malformed = true;
+  pipeline::LiveSession session(config, {ixp});
+  pipeline::FeedOptions options;
+  options.name = "feed0";
+  auto handle = session.add_feed(options);
+
+  bool restored = false;
+  try {
+    session.restore_state(decoded ? std::span<const std::uint8_t>(payload)
+                                  : input);
+    restored = true;
+  } catch (const ParseError&) {
+  } catch (const InvalidArgument&) {
+  }
+  if (!restored) {
+    // All-or-nothing: a rejected payload must not have advanced the
+    // session at all.
+    check(session.records() == 0, "failed restore advanced the session");
+    for (const std::uint64_t off : session.acknowledged_offsets())
+      check(off == 0, "failed restore left acknowledged bytes behind");
+  }
+  // Restored or rejected, the session must remain fully usable.
+  handle.feed(input.subspan(0, size < 64 ? size : 64));
+  session.snapshot();
+  session.finish();
+}
+
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
@@ -220,6 +287,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   drive_mrt(data, size);
   drive_bmp(data, size);
   drive_supervisor(data, size);
+  drive_checkpoint_loader(data, size);
   return 0;
 }
 
