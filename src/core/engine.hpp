@@ -21,6 +21,7 @@
 
 #include "core/types.hpp"
 #include "routeserver/export_policy.hpp"
+#include "util/annotations.hpp"
 
 namespace mlp {
 class ByteWriter;
@@ -65,12 +66,12 @@ class MlpInferenceEngine {
   /// Members with at least one observation, in ascending ASN order (the
   /// engine's own member index); the reference stays valid until the next
   /// add().
-  const std::vector<Asn>& observed_members() const;
+  const std::vector<Asn>& observed_members() const MLP_LIFETIMEBOUND;
 
   /// N_a as an export policy: the per-prefix policies intersected
   /// (step 4). Null if the member was never observed; the pointer stays
   /// valid until the next add().
-  const ExportPolicy* policy_of(Asn member) const;
+  const ExportPolicy* policy_of(Asn member) const MLP_LIFETIMEBOUND;
 
   /// Step 5: infer p2p links among observed members by reciprocity.
   /// If `assume_open_for_unobserved` is set, members of A_RS without

@@ -17,6 +17,7 @@
 #include "bgp/route.hpp"
 #include "bgp/wire.hpp"
 #include "mrt/mrt.hpp"
+#include "util/annotations.hpp"
 #include "util/bytes.hpp"
 
 namespace mlp::mrt {
@@ -74,18 +75,26 @@ class MrtCursor {
   /// exists; the cursor is then positioned at end of stream, so the next
   /// call to next() returns End. Calling this on a healthy cursor skips
   /// the record most recently started.
-  bool resync();
+  [[nodiscard]] bool resync();
 
   /// Byte offset of the header of the record the cursor is currently
   /// positioned in (the record named by strict-mode errors).
   std::size_t record_offset() const { return record_offset_; }
 
-  /// Valid after next() returned RibEntry / Update respectively.
-  const RibEntryView& rib_entry() const { return rib_view_; }
-  const UpdateView& update() const { return update_view_; }
+  /// Valid after next() returned RibEntry / Update respectively; the view
+  /// borrows the cursor's scratch buffers (lifetimebound) and dies at the
+  /// next call to next().
+  const RibEntryView& rib_entry() const MLP_LIFETIMEBOUND {
+    return rib_view_;
+  }
+  const UpdateView& update() const MLP_LIFETIMEBOUND {
+    return update_view_;
+  }
 
   /// The most recent PEER_INDEX_TABLE (empty until one is seen).
-  const PeerIndexTable& peer_index() const { return peers_; }
+  const PeerIndexTable& peer_index() const MLP_LIFETIMEBOUND {
+    return peers_;
+  }
 
   /// Number of unknown-type records skipped so far.
   std::size_t skipped() const { return skipped_; }

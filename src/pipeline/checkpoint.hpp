@@ -51,17 +51,17 @@ constexpr std::uint32_t kCheckpointVersion = 1;
 
 /// CRC32C (Castagnoli polynomial, the iSCSI/ext4 checksum), software
 /// table implementation.
-std::uint32_t crc32c(std::span<const std::uint8_t> data);
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::uint8_t> data);
 
 /// Wrap a serialize_state() payload in the checkpoint file image
 /// (magic, version, length, CRC, payload).
-std::vector<std::uint8_t> encode_checkpoint(
+[[nodiscard]] std::vector<std::uint8_t> encode_checkpoint(
     std::span<const std::uint8_t> payload);
 
 /// Validate a file image and return the payload. Throws ParseError on a
 /// bad magic, unknown version, truncated/oversized image or CRC
 /// mismatch -- arbitrary bytes never reach restore_state().
-std::vector<std::uint8_t> decode_checkpoint(
+[[nodiscard]] std::vector<std::uint8_t> decode_checkpoint(
     std::span<const std::uint8_t> image);
 
 /// Atomically publish `payload` as the checkpoint at `path`: write
@@ -79,7 +79,7 @@ struct LoadedCheckpoint {
 
 /// Load the newest valid generation: `path`, falling back to `path.1`.
 /// Throws CheckpointError when neither generation yields a valid image.
-LoadedCheckpoint read_checkpoint_file(const std::string& path);
+[[nodiscard]] LoadedCheckpoint read_checkpoint_file(const std::string& path);
 
 /// serialize_state() + write_checkpoint_file(). The session locks are
 /// released before any file I/O starts: feeds stall only for the
@@ -90,7 +90,7 @@ void save_checkpoint(LiveSession& session, const std::string& path);
 /// generation when the newest payload fails to parse or no longer
 /// matches the session wiring. Returns the generation actually loaded.
 /// Throws CheckpointError when no generation could be restored.
-LoadedCheckpoint restore_checkpoint(LiveSession& session,
-                                    const std::string& path);
+[[nodiscard]] LoadedCheckpoint restore_checkpoint(LiveSession& session,
+                                                  const std::string& path);
 
 }  // namespace mlp::pipeline

@@ -41,6 +41,8 @@
 #include <string>
 #include <vector>
 
+#include "util/annotations.hpp"
+
 namespace mlp {
 class ByteWriter;
 class ByteReader;
@@ -108,8 +110,15 @@ struct HealthTransition {
 class FeedSupervisor {
  public:
   /// What the owner must enact after an event. Quarantine/Die close the
-  /// lane's queue sources; Readmit reopens them.
-  enum class Action : std::uint8_t { None, Quarantine, Readmit, Die };
+  /// lane's queue sources; Readmit reopens them. [[nodiscard]] on the
+  /// type: silently dropping an Action means the lane's queue sources
+  /// never close/reopen and the merge frontier wedges.
+  enum class [[nodiscard]] Action : std::uint8_t {
+    None,
+    Quarantine,
+    Readmit,
+    Die
+  };
 
   FeedSupervisor() = default;
   explicit FeedSupervisor(SupervisorConfig config) : config_(config) {}
@@ -149,7 +158,8 @@ class FeedSupervisor {
   std::uint64_t transition_count() const { return transition_count_; }
   /// The first kMaxRecordedTransitions transitions, in order. The cap
   /// keeps memory bounded under adversarial (fuzzed) event streams.
-  const std::vector<HealthTransition>& transitions() const {
+  const std::vector<HealthTransition>& transitions() const
+      MLP_LIFETIMEBOUND {
     return transitions_;
   }
 

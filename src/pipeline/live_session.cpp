@@ -28,9 +28,9 @@ void FeedHandle::feed(std::span<const std::uint8_t> chunk) {
   LiveSession::Lane& target = session_->lane(index_);
   target.last_activity_ms.store(session_->clock_->now_ms(),
                                 std::memory_order_relaxed);
-  session_->refresh_idle(/*holds_feeds_mutex=*/false);
-  session_->supervise_stalls(/*holds_feeds_mutex=*/false);
-  std::lock_guard lock(target.mutex);
+  session_->refresh_idle();
+  session_->supervise_stalls();
+  util::MutexLock lock(target.mutex);
   if (target.closed)
     throw InvalidArgument("live session: feed() on closed feed " +
                           target.name);
@@ -70,7 +70,7 @@ std::uint64_t FeedHandle::drain(stream::StreamSource& source) {
 void FeedHandle::note_disconnect() {
   if (!session_) throw InvalidArgument("feed handle: not attached");
   LiveSession::Lane& target = session_->lane(index_);
-  std::lock_guard lock(target.mutex);
+  util::MutexLock lock(target.mutex);
   std::size_t dropped = target.framer.reset();
   if (target.bmp) dropped += target.bmp->reset();
   const bool dirty = dropped > 0;
@@ -88,14 +88,14 @@ void FeedHandle::note_disconnect() {
 void FeedHandle::fail(const std::string& reason) {
   if (!session_) throw InvalidArgument("feed handle: not attached");
   LiveSession::Lane& target = session_->lane(index_);
-  std::lock_guard lock(target.mutex);
+  util::MutexLock lock(target.mutex);
   session_->fail_locked(target, reason);
 }
 
 void FeedHandle::close() {
   if (!session_) throw InvalidArgument("feed handle: not attached");
   LiveSession::Lane& target = session_->lane(index_);
-  std::lock_guard lock(target.mutex);
+  util::MutexLock lock(target.mutex);
   session_->close_locked(target, index_);
 }
 
@@ -121,52 +121,84 @@ LiveSession::LiveSession(LiveConfig config,
 }
 
 FeedHandle LiveSession::add_feed(FeedOptions options) {
-  std::lock_guard lock(feeds_mutex_);
+  util::MutexLock lock(feeds_mutex_);
   if (finished_.load(std::memory_order_acquire))
     throw InvalidArgument("live session: add_feed() after finish()");
   const std::size_t index = feeds_.size();
   // Queue source slots stay in lockstep with feed indices: every shard
   // grows exactly one source per add_feed, under the same lock.
   for (auto& shard : shards_) shard->queue.add_source();
-  auto lane =
-      std::make_unique<Lane>(contexts_, relationships_, config_.passive);
-  lane->name =
-      options.name.empty() ? "feed" + std::to_string(index) : options.name;
-  lane->index = index;
-  lane->framer = stream::MrtFramer(config_.framing);
-  if (options.transport == Transport::Bmp)
-    lane->bmp.emplace(options.bmp_framing);
-  const std::uint64_t now = clock_->now_ms();
-  lane->last_activity_ms.store(now, std::memory_order_relaxed);
-  lane->supervisor = FeedSupervisor(config_.supervision);
-  lane->supervisor.note_activity(now);
+  auto lane = std::make_unique<Lane>(this, contexts_, relationships_,
+                                     config_.passive);
   // The sink runs under the lane mutex (extractor calls happen there) but
   // NOT under feeds_mutex_, and feeds_ may reallocate concurrently: hold
   // the lane by its stable address, never through feeds_[index].
   Lane* raw = lane.get();
-  lane->extractor.set_sink(
-      [this, index, raw](std::size_t ixp,
-                         std::vector<core::Observation>&& batch) {
-        // A lane that is not merging (Quarantined/Dead) keeps extracting
-        // -- its announce-window must track the stream for a potential
-        // readmission -- but its output is discarded, not queued.
-        if (!raw->supervisor.merging()) {
-          raw->observations_discarded += batch.size();
-          return;
-        }
-        shards_[ixp]->queue.push(index, std::move(batch));
-        schedule_pump(ixp);
-      },
-      config_.batch_size);
+  {
+    // The lane is still private to this thread, but its guarded members
+    // are initialized here; holding the (uncontended) lane mutex keeps
+    // the analysis exact. feeds_mutex_ -> lane mutex is the documented
+    // order.
+    util::MutexLock init_lock(raw->mutex);
+    raw->name = options.name.empty() ? "feed" + std::to_string(index)
+                                     : options.name;
+    raw->index = index;
+    raw->framer = stream::MrtFramer(config_.framing);
+    if (options.transport == Transport::Bmp)
+      raw->bmp.emplace(options.bmp_framing);
+    const std::uint64_t now = clock_->now_ms();
+    raw->last_activity_ms.store(now, std::memory_order_relaxed);
+    raw->supervisor = FeedSupervisor(config_.supervision);
+    raw->supervisor.note_activity(now);
+    raw->extractor.set_sink(
+        [this, index, raw](std::size_t ixp,
+                           std::vector<core::Observation>&& batch) {
+          // The extractor only emits from calls made under the lane
+          // mutex (lane_feed/close_locked/stop-the-world flushes); the
+          // analysis cannot see through the std::function boundary, so
+          // re-assert that contract here.
+          raw->mutex.assert_held();
+          // A lane that is not merging (Quarantined/Dead) keeps
+          // extracting -- its announce-window must track the stream for
+          // a potential readmission -- but its output is discarded, not
+          // queued.
+          if (!raw->supervisor.merging()) {
+            raw->observations_discarded += batch.size();
+            return;
+          }
+          shards_[ixp]->queue.push(index, std::move(batch));
+          schedule_pump(ixp);
+        },
+        config_.batch_size);
+  }
   feeds_.push_back(std::move(lane));
   return FeedHandle(this, index);
 }
 
 LiveSession::Lane& LiveSession::lane(std::size_t index) {
-  std::lock_guard lock(feeds_mutex_);
+  util::MutexLock lock(feeds_mutex_);
   if (index >= feeds_.size())
     throw InvalidArgument("live session: bad feed index");
   return *feeds_[index];
+}
+
+// A lock set whose size is only known at run time cannot be modelled by
+// the thread-safety analysis (hence NO_THREAD_SAFETY_ANALYSIS on the
+// declarations); correctness rests on the fixed acquisition order (feed
+// order, stable while feeds_mutex_ is held) plus the per-lane
+// assert_held() calls at every use site.
+LiveSession::LaneLockSet::LaneLockSet(
+    const std::vector<std::unique_ptr<Lane>>& lanes) {
+  locked_.reserve(lanes.size());
+  for (const auto& lane : lanes) {
+    lane->mutex.lock();
+    locked_.push_back(lane.get());
+  }
+}
+
+LiveSession::LaneLockSet::~LaneLockSet() {
+  for (auto it = locked_.rbegin(); it != locked_.rend(); ++it)
+    (*it)->mutex.unlock();
 }
 
 void LiveSession::pump(std::size_t index) {
@@ -204,12 +236,18 @@ void LiveSession::publish_watermark(Lane& target) {
   }
 }
 
-void LiveSession::refresh_idle(bool holds_feeds_mutex) {
+void LiveSession::refresh_idle() {
   if (config_.merge != MergePolicy::Watermark ||
       config_.idle_feed_grace_ms == 0)
     return;
-  std::unique_lock lock(feeds_mutex_, std::defer_lock);
-  if (!holds_feeds_mutex) lock.lock();
+  util::MutexLock lock(feeds_mutex_);
+  refresh_idle_locked();
+}
+
+void LiveSession::refresh_idle_locked() {
+  if (config_.merge != MergePolicy::Watermark ||
+      config_.idle_feed_grace_ms == 0)
+    return;
   const std::uint64_t now = clock_->now_ms();
   for (auto& lane : feeds_) {
     const std::uint64_t last =
@@ -225,11 +263,16 @@ void LiveSession::refresh_idle(bool holds_feeds_mutex) {
   }
 }
 
-void LiveSession::supervise_stalls(bool holds_feeds_mutex) {
+void LiveSession::supervise_stalls() {
   if (!config_.supervision.enabled || config_.supervision.stall_timeout_ms == 0)
     return;
-  std::unique_lock lock(feeds_mutex_, std::defer_lock);
-  if (!holds_feeds_mutex) lock.lock();
+  util::MutexLock lock(feeds_mutex_);
+  supervise_stalls_locked();
+}
+
+void LiveSession::supervise_stalls_locked() {
+  if (!config_.supervision.enabled || config_.supervision.stall_timeout_ms == 0)
+    return;
   const std::uint64_t now = clock_->now_ms();
   for (auto& lane : feeds_) {
     // Lock-free pre-check: only a lane whose activity stamp is actually
@@ -239,11 +282,12 @@ void LiveSession::supervise_stalls(bool holds_feeds_mutex) {
         lane->last_activity_ms.load(std::memory_order_relaxed);
     if (now <= last || now - last < config_.supervision.stall_timeout_ms)
       continue;
-    std::lock_guard lane_lock(lane->mutex);
-    if (lane->closed) continue;
-    lane->supervisor.note_activity(last);
-    const FeedHealth before = lane->supervisor.health();
-    apply_supervision(*lane, lane->supervisor.check_stall(now), before);
+    Lane& target = *lane;
+    util::MutexLock lane_lock(target.mutex);
+    if (target.closed) continue;
+    target.supervisor.note_activity(last);
+    const FeedHealth before = target.supervisor.health();
+    apply_supervision(target, target.supervisor.check_stall(now), before);
   }
 }
 
@@ -434,14 +478,14 @@ std::uint64_t LiveSession::drain(stream::StreamSource& source) {
 }
 
 std::size_t LiveSession::feed_count() {
-  std::lock_guard lock(feeds_mutex_);
+  util::MutexLock lock(feeds_mutex_);
   return feeds_.size();
 }
 
 std::uint64_t LiveSession::records() {
   // Published counters, no lane mutexes: a feeder mid-chunk never blocks
   // the pacing thread (and vice versa).
-  std::lock_guard lock(feeds_mutex_);
+  util::MutexLock lock(feeds_mutex_);
   std::uint64_t total = 0;
   for (auto& lane : feeds_)
     total += lane->records_framed.load(std::memory_order_relaxed);
@@ -491,7 +535,10 @@ SessionTotals LiveSession::collect_totals_locked() {
   std::uint32_t frontier = std::numeric_limits<std::uint32_t>::max();
   bool constrained = false;
   for (auto& lane : feeds_) {
-    FeedStats stats = lane_stats(*lane);
+    Lane& target = *lane;
+    // Stop-the-world callers hold every lane mutex via LaneLockSet.
+    target.mutex.assert_held();
+    FeedStats stats = lane_stats(target);
     totals.bytes_fed += stats.bytes_fed;
     totals.records += stats.records;
     totals.records_skipped += stats.records_skipped;
@@ -532,16 +579,16 @@ LiveSnapshot LiveSession::snapshot() {
   // Stop the world: holding every lane mutex blocks concurrent feeders,
   // so after the batch flush and pool settle no producer can race the
   // engine reads below. wait_idle also rethrows anything a pump leaked.
-  std::lock_guard feeds_lock(feeds_mutex_);
-  refresh_idle(/*holds_feeds_mutex=*/true);
-  supervise_stalls(/*holds_feeds_mutex=*/true);
-  std::vector<std::unique_lock<std::mutex>> lane_locks;
-  lane_locks.reserve(feeds_.size());
-  for (auto& lane : feeds_) lane_locks.emplace_back(lane->mutex);
+  util::MutexLock feeds_lock(feeds_mutex_);
+  refresh_idle_locked();
+  supervise_stalls_locked();
+  LaneLockSet lane_locks(feeds_);
   for (auto& lane : feeds_) {
-    if (lane->closed) continue;
-    lane->extractor.flush_batches();
-    publish_watermark(*lane);
+    Lane& target = *lane;
+    target.mutex.assert_held();  // LaneLockSet holds every lane mutex
+    if (target.closed) continue;
+    target.extractor.flush_batches();
+    publish_watermark(target);
   }
   pool_.wait_idle();
 
@@ -555,21 +602,20 @@ LiveSnapshot LiveSession::snapshot() {
 }
 
 LiveResult LiveSession::finish() {
-  std::lock_guard feeds_lock(feeds_mutex_);
+  util::MutexLock feeds_lock(feeds_mutex_);
   if (finished_.exchange(true, std::memory_order_acq_rel))
     throw InvalidArgument("live session: finish() already called");
   // Close remaining feeds in add order (the cross-feed merge order).
   for (std::size_t i = 0; i < feeds_.size(); ++i) {
-    std::lock_guard lane_lock(feeds_[i]->mutex);
-    close_locked(*feeds_[i], i);
+    Lane& target = *feeds_[i];
+    util::MutexLock lane_lock(target.mutex);
+    close_locked(target, i);
   }
   pool_.wait_idle();
 
   LiveResult result;
   {
-    std::vector<std::unique_lock<std::mutex>> lane_locks;
-    lane_locks.reserve(feeds_.size());
-    for (auto& lane : feeds_) lane_locks.emplace_back(lane->mutex);
+    LaneLockSet lane_locks(feeds_);
     static_cast<SessionTotals&>(result) = collect_totals_locked();
   }
   result.per_ixp.resize(shards_.size());
@@ -591,16 +637,16 @@ std::vector<std::uint8_t> LiveSession::serialize_state() {
   // merge frontier is in the engines and the remainder sits in the
   // queues -- both serialized, so the split itself need not be
   // reproducible, only the union and the (deterministic) drain order.
-  std::lock_guard feeds_lock(feeds_mutex_);
+  util::MutexLock feeds_lock(feeds_mutex_);
   if (finished_.load(std::memory_order_acquire))
     throw InvalidArgument("live session: serialize_state() after finish()");
-  std::vector<std::unique_lock<std::mutex>> lane_locks;
-  lane_locks.reserve(feeds_.size());
-  for (auto& lane : feeds_) lane_locks.emplace_back(lane->mutex);
+  LaneLockSet lane_locks(feeds_);
   for (auto& lane : feeds_) {
-    if (lane->closed) continue;
-    lane->extractor.flush_batches();
-    publish_watermark(*lane);
+    Lane& target = *lane;
+    target.mutex.assert_held();  // LaneLockSet holds every lane mutex
+    if (target.closed) continue;
+    target.extractor.flush_batches();
+    publish_watermark(target);
   }
   pool_.wait_idle();
 
@@ -611,42 +657,44 @@ std::vector<std::uint8_t> LiveSession::serialize_state() {
     core::codec::write_string(writer, context.name);
   writer.u32(static_cast<std::uint32_t>(feeds_.size()));
   for (auto& lane : feeds_) {
+    Lane& target = *lane;
+    target.mutex.assert_held();  // LaneLockSet holds every lane mutex
     // A BMP lane's MRT framer is fed synthesized records one at a time
     // and drained whole, so it can never straddle a record here.
-    if (lane->bmp && lane->framer.buffered() != 0)
+    if (target.bmp && target.framer.buffered() != 0)
       throw InvalidArgument(
           "live session: BMP lane buffered a partial synthesized record");
-    core::codec::write_string(writer, lane->name);
-    writer.u8(lane->bmp ? 1 : 0);
+    core::codec::write_string(writer, target.name);
+    writer.u8(target.bmp ? 1 : 0);
     writer.u8(static_cast<std::uint8_t>(
-        (lane->closed ? 1 : 0) | (lane->queues_closed ? 2 : 0) |
-        (lane->idle.load(std::memory_order_relaxed) ? 4 : 0)));
+        (target.closed ? 1 : 0) | (target.queues_closed ? 2 : 0) |
+        (target.idle.load(std::memory_order_relaxed) ? 4 : 0)));
     // The framer image at its acknowledged position: the buffered
     // partial tail is deliberately NOT serialized -- the resumed
     // transport re-delivers it from the acknowledged offset, which is
     // what makes the record framing exactly-once.
-    writer.u64(lane->framer.bytes_fed() - lane->framer.buffered());
-    writer.u64(lane->framer.records());
-    writer.u64(lane->framer.last_record_offset());
-    writer.u8(lane->framer.resyncing() ? 1 : 0);
-    if (lane->bmp) {
-      writer.u64(lane->bmp->bytes_fed() - lane->bmp->buffered());
-      writer.u64(lane->bmp->messages());
-      writer.u64(lane->bmp->skipped());
-      writer.u64(lane->bmp->peer_ups());
-      writer.u64(lane->bmp->peer_downs());
-      writer.u64(lane->bmp->last_message_offset());
-      writer.u8(lane->bmp->resyncing() ? 1 : 0);
+    writer.u64(target.framer.bytes_fed() - target.framer.buffered());
+    writer.u64(target.framer.records());
+    writer.u64(target.framer.last_record_offset());
+    writer.u8(target.framer.resyncing() ? 1 : 0);
+    if (target.bmp) {
+      writer.u64(target.bmp->bytes_fed() - target.bmp->buffered());
+      writer.u64(target.bmp->messages());
+      writer.u64(target.bmp->skipped());
+      writer.u64(target.bmp->peer_ups());
+      writer.u64(target.bmp->peer_downs());
+      writer.u64(target.bmp->last_message_offset());
+      writer.u8(target.bmp->resyncing() ? 1 : 0);
     }
-    writer.u64(lane->decoder.skipped());
-    writer.u32(lane->watermark_published);
-    writer.u64(lane->clean_disconnects);
-    writer.u64(lane->dirty_disconnects);
-    writer.u64(lane->partial_records_dropped);
-    writer.u64(lane->bytes_discarded);
-    writer.u64(lane->observations_discarded);
-    lane->extractor.serialize_state(writer);
-    lane->supervisor.serialize_state(writer);
+    writer.u64(target.decoder.skipped());
+    writer.u32(target.watermark_published);
+    writer.u64(target.clean_disconnects);
+    writer.u64(target.dirty_disconnects);
+    writer.u64(target.partial_records_dropped);
+    writer.u64(target.bytes_discarded);
+    writer.u64(target.observations_discarded);
+    target.extractor.serialize_state(writer);
+    target.supervisor.serialize_state(writer);
   }
   for (auto& shard : shards_) {
     shard->engine.serialize_state(writer);
@@ -686,6 +734,8 @@ void LiveSession::apply_payload(ByteReader& reader, bool commit) {
         " -- re-add the same feeds (same order) before restoring");
   for (std::size_t i = 0; i < feed_count; ++i) {
     Lane& real = *feeds_[i];
+    // restore_state holds every lane mutex via LaneLockSet.
+    real.mutex.assert_held();
     const std::string name = core::codec::read_string(reader);
     const std::uint8_t transport = reader.u8();
     if (transport > 1)
@@ -772,18 +822,18 @@ void LiveSession::apply_payload(ByteReader& reader, bool commit) {
 }
 
 void LiveSession::restore_state(std::span<const std::uint8_t> payload) {
-  std::lock_guard feeds_lock(feeds_mutex_);
+  util::MutexLock feeds_lock(feeds_mutex_);
   if (finished_.load(std::memory_order_acquire))
     throw InvalidArgument("live session: restore_state() after finish()");
-  std::vector<std::unique_lock<std::mutex>> lane_locks;
-  lane_locks.reserve(feeds_.size());
-  for (auto& lane : feeds_) lane_locks.emplace_back(lane->mutex);
+  LaneLockSet lane_locks(feeds_);
   for (auto& lane : feeds_) {
+    Lane& target = *lane;
+    target.mutex.assert_held();  // LaneLockSet holds every lane mutex
     const std::uint64_t fed =
-        lane->bmp ? lane->bmp->bytes_fed() : lane->framer.bytes_fed();
+        target.bmp ? target.bmp->bytes_fed() : target.framer.bytes_fed();
     if (fed != 0)
       throw InvalidArgument("live session: restore_state() after feed " +
-                            lane->name + " already ingested bytes");
+                            target.name + " already ingested bytes");
   }
   // Pass 1: parse the whole payload against scratch components. Only a
   // payload that survives end to end touches real state, so a malformed
@@ -799,12 +849,14 @@ void LiveSession::restore_state(std::span<const std::uint8_t> payload) {
 
   const std::uint64_t now = clock_->now_ms();
   for (auto& lane : feeds_) {
-    lane->records_framed.store(lane->framer.records(),
-                               std::memory_order_relaxed);
+    Lane& target = *lane;
+    target.mutex.assert_held();  // LaneLockSet holds every lane mutex
+    target.records_framed.store(target.framer.records(),
+                                std::memory_order_relaxed);
     // The serialized activity stamp would be wall-clock time of a dead
     // process: re-arm the idle/stall clocks at the resume instant.
-    lane->last_activity_ms.store(now, std::memory_order_relaxed);
-    lane->supervisor.note_activity(now);
+    target.last_activity_ms.store(now, std::memory_order_relaxed);
+    target.supervisor.note_activity(now);
   }
   // Anything restored below the merge frontier is drainable right away.
   for (std::size_t shard = 0; shard < shards_.size(); ++shard)
@@ -812,15 +864,16 @@ void LiveSession::restore_state(std::span<const std::uint8_t> payload) {
 }
 
 std::vector<std::uint64_t> LiveSession::acknowledged_offsets() {
-  std::lock_guard feeds_lock(feeds_mutex_);
+  util::MutexLock feeds_lock(feeds_mutex_);
   std::vector<std::uint64_t> offsets;
   offsets.reserve(feeds_.size());
   for (auto& lane : feeds_) {
-    std::lock_guard lane_lock(lane->mutex);
-    offsets.push_back(lane->bmp
-                          ? lane->bmp->bytes_fed() - lane->bmp->buffered()
-                          : lane->framer.bytes_fed() -
-                                lane->framer.buffered());
+    Lane& target = *lane;
+    util::MutexLock lane_lock(target.mutex);
+    offsets.push_back(target.bmp
+                          ? target.bmp->bytes_fed() - target.bmp->buffered()
+                          : target.framer.bytes_fed() -
+                                target.framer.buffered());
   }
   return offsets;
 }

@@ -79,7 +79,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -95,6 +94,7 @@
 #include "stream/decoder.hpp"
 #include "stream/framer.hpp"
 #include "stream/source.hpp"
+#include "util/annotations.hpp"
 
 namespace mlp {
 class ByteWriter;
@@ -308,31 +308,34 @@ class LiveSession {
   /// Register one more concurrent feed. Feed index (= queue source
   /// index = cross-feed merge position) is the registration order.
   /// Callable any time before finish(), including mid-stream.
-  FeedHandle add_feed(FeedOptions options = FeedOptions{});
+  FeedHandle add_feed(FeedOptions options = FeedOptions{})
+      MLP_EXCLUDES(feeds_mutex_);
 
   /// Single-feed compatibility: feed()/drain() on the session operate on
   /// feed 0, creating it (raw MRT transport) on first use.
-  void feed(std::span<const std::uint8_t> chunk);
-  std::uint64_t drain(stream::StreamSource& source);
+  void feed(std::span<const std::uint8_t> chunk)
+      MLP_EXCLUDES(feeds_mutex_);
+  std::uint64_t drain(stream::StreamSource& source)
+      MLP_EXCLUDES(feeds_mutex_);
 
   /// Point-in-time stats + per-IXP link counts. Reflects every record
   /// fed so far (under Watermark: every observation below the merge
   /// frontier); callable while other threads keep feeding (they block
   /// on their lane for the duration of the flush).
-  LiveSnapshot snapshot();
+  LiveSnapshot snapshot() MLP_EXCLUDES(feeds_mutex_);
 
   /// End of stream: close every remaining feed (announce-window flush,
   /// in feed order), drain the queues and infer the final link sets.
   /// Callable once; feed() afterwards throws.
-  LiveResult finish();
+  LiveResult finish() MLP_EXCLUDES(feeds_mutex_);
 
   std::size_t ixp_count() const { return shards_.size(); }
-  std::size_t feed_count();
+  std::size_t feed_count() MLP_EXCLUDES(feeds_mutex_);
 
   /// Complete records framed so far, summed over feeds. Much cheaper
   /// than snapshot() (no batch flush, no pool settle): callers pace
   /// snapshot() off it.
-  std::uint64_t records();
+  std::uint64_t records() MLP_EXCLUDES(feeds_mutex_);
 
   /// Checkpoint: serialize the full session -- every lane's framing
   /// position, extractor announce-window and supervisor judgement, every
@@ -342,7 +345,7 @@ class LiveSession {
   /// atomic rename, generations) is pipeline/checkpoint.hpp's job, kept
   /// OUTSIDE the session locks. Callable while other threads keep
   /// feeding; throws InvalidArgument after finish().
-  std::vector<std::uint8_t> serialize_state();
+  std::vector<std::uint8_t> serialize_state() MLP_EXCLUDES(feeds_mutex_);
 
   /// Checkpoint: load a serialize_state() payload into this session. The
   /// session must be freshly wired -- same IXPs, the same feeds re-added
@@ -354,14 +357,16 @@ class LiveSession {
   /// restore, re-dial each feed's transport and skip to its
   /// acknowledged_offsets() position: replaying the remaining bytes
   /// yields results byte-identical to the uninterrupted run.
-  void restore_state(std::span<const std::uint8_t> payload);
+  void restore_state(std::span<const std::uint8_t> payload)
+      MLP_EXCLUDES(feeds_mutex_);
 
   /// Per-feed acknowledged transport offsets, in add_feed order: every
   /// byte before the offset has been framed into a complete record (or
   /// consumed by a finished resync scan) and is covered by a
   /// serialize_state() image taken now. The partial tail past it is NOT
   /// serialized -- a resumed source must re-deliver from this offset.
-  std::vector<std::uint64_t> acknowledged_offsets();
+  std::vector<std::uint64_t> acknowledged_offsets()
+      MLP_EXCLUDES(feeds_mutex_);
 
  private:
   friend class FeedHandle;
@@ -370,37 +375,50 @@ class LiveSession {
   /// `mutex` so distinct lanes can be driven from distinct threads while
   /// snapshot()/finish() can stop the world.
   struct Lane {
-    Lane(std::shared_ptr<const std::vector<core::IxpContext>> ixps,
+    Lane(LiveSession* session,
+         std::shared_ptr<const std::vector<core::IxpContext>> ixps,
          bgp::RelFn relationships, const core::PassiveConfig& passive)
-        : extractor(std::move(ixps), std::move(relationships), passive) {}
+        : owner(session),
+          extractor(std::move(ixps), std::move(relationships), passive) {}
 
-    std::mutex mutex;
+    /// Back-pointer anchoring the lock-order annotation on `mutex`.
+    LiveSession* const owner;
+    /// Documented lock order (ROADMAP "Multi-feed live invariants"):
+    /// feeds_mutex_ before any lane mutex, never the reverse.
+    /// ACQUIRED_AFTER turns a reversed acquisition into a
+    /// -Wthread-safety-beta build error.
+    util::Mutex mutex MLP_ACQUIRED_AFTER(owner->feeds_mutex_);
+    /// name/index are written once in add_feed (under the lane mutex,
+    /// before the lane is published) and immutable afterwards.
     std::string name;
     std::size_t index = 0;
-    std::optional<stream::BmpFramer> bmp;  // engaged for BMP transports
-    stream::MrtFramer framer;
-    stream::UpdateDecoder decoder;
-    core::PassiveExtractor extractor;
+    /// Engaged for BMP transports.
+    std::optional<stream::BmpFramer> bmp MLP_GUARDED_BY(mutex);
+    stream::MrtFramer framer MLP_GUARDED_BY(mutex);
+    stream::UpdateDecoder decoder MLP_GUARDED_BY(mutex);
+    core::PassiveExtractor extractor MLP_GUARDED_BY(mutex);
     /// Mirror of framer.records(), published after every feed so
     /// records() can pace snapshots without taking lane mutexes.
     std::atomic<std::uint64_t> records_framed{0};
     /// Idle tracking (lock-free: read by other feeds' refresh_idle).
     std::atomic<std::uint64_t> last_activity_ms{0};
     std::atomic<bool> idle{false};
-    /// Highest watermark pushed to the queues (guarded by mutex).
-    std::uint32_t watermark_published = 0;
-    std::uint64_t clean_disconnects = 0;
-    std::uint64_t dirty_disconnects = 0;
-    std::uint64_t partial_records_dropped = 0;
-    bool closed = false;
-    /// Health supervision (guarded by mutex, like the counters below).
-    FeedSupervisor supervisor;
-    std::uint64_t bytes_discarded = 0;
-    std::uint64_t observations_discarded = 0;
+    /// Highest watermark pushed to the queues.
+    std::uint32_t watermark_published MLP_GUARDED_BY(mutex) = 0;
+    std::uint64_t clean_disconnects MLP_GUARDED_BY(mutex) = 0;
+    std::uint64_t dirty_disconnects MLP_GUARDED_BY(mutex) = 0;
+    std::uint64_t partial_records_dropped MLP_GUARDED_BY(mutex) = 0;
+    bool closed MLP_GUARDED_BY(mutex) = false;
+    /// Health supervision: the FeedSupervisor is pure bookkeeping with no
+    /// locking of its own, so GUARDED_BY here is what enforces the
+    /// "every FeedSupervisor call happens under the lane mutex" contract.
+    FeedSupervisor supervisor MLP_GUARDED_BY(mutex);
+    std::uint64_t bytes_discarded MLP_GUARDED_BY(mutex) = 0;
+    std::uint64_t observations_discarded MLP_GUARDED_BY(mutex) = 0;
     /// Queue close sentinels published by supervision (Quarantined/Dead),
     /// distinct from the user-visible `closed`: a readmitted feed reopens
     /// its sources, a close()d one never does.
-    bool queues_closed = false;
+    bool queues_closed MLP_GUARDED_BY(mutex) = false;
   };
 
   /// One IXP's inference lane: a multi-source queue (source == feed)
@@ -414,53 +432,80 @@ class LiveSession {
     std::atomic<bool> pump_scheduled{false};
   };
 
+  /// RAII over the dynamic all-lanes lock set used by the stop-the-world
+  /// paths (snapshot/finish/serialize_state/restore_state), acquired in
+  /// feed order while feeds_mutex_ is held. A variable-length lock set
+  /// cannot be expressed to the thread-safety analysis, so construction
+  /// and destruction are opaque to it (NO_THREAD_SAFETY_ANALYSIS on the
+  /// definitions) and every user re-asserts per lane with
+  /// Mutex::assert_held() before touching guarded state.
+  class LaneLockSet {
+   public:
+    explicit LaneLockSet(const std::vector<std::unique_ptr<Lane>>& lanes)
+        MLP_NO_THREAD_SAFETY_ANALYSIS;
+    ~LaneLockSet() MLP_NO_THREAD_SAFETY_ANALYSIS;
+    LaneLockSet(const LaneLockSet&) = delete;
+    LaneLockSet& operator=(const LaneLockSet&) = delete;
+
+   private:
+    std::vector<Lane*> locked_;
+  };
+
   /// Drain shard `index`'s queue into its engine, rearm-safe.
   void pump(std::size_t index);
   void schedule_pump(std::size_t index);
 
-  Lane& lane(std::size_t index);
-  /// Caller holds `lane.mutex`.
-  void lane_feed(Lane& target, std::span<const std::uint8_t> chunk);
-  void drain_framer(Lane& target);
-  void close_locked(Lane& target, std::size_t index);
-  /// Caller holds `lane.mutex`: push the lane's stream clock to every
-  /// shard queue as its merge watermark (Watermark policy only).
-  void publish_watermark(Lane& target);
+  Lane& lane(std::size_t index) MLP_EXCLUDES(feeds_mutex_);
+  /// Ingest one chunk into the lane (framing, decode, extraction).
+  void lane_feed(Lane& target, std::span<const std::uint8_t> chunk)
+      MLP_REQUIRES(target.mutex);
+  void drain_framer(Lane& target) MLP_REQUIRES(target.mutex);
+  void close_locked(Lane& target, std::size_t index)
+      MLP_REQUIRES(target.mutex);
+  /// Push the lane's stream clock to every shard queue as its merge
+  /// watermark (Watermark policy only).
+  void publish_watermark(Lane& target) MLP_REQUIRES(target.mutex);
   /// Watermark + idle_feed_grace_ms only: park/readmit feeds by wall-
-  /// clock staleness. Takes feeds_mutex_ when `locked` is false.
-  void refresh_idle(bool holds_feeds_mutex);
+  /// clock staleness.
+  void refresh_idle() MLP_EXCLUDES(feeds_mutex_);
+  void refresh_idle_locked() MLP_REQUIRES(feeds_mutex_);
   /// Stall watchdog sweep (supervision.stall_timeout_ms only): atomically
   /// pre-checks every lane's last-activity stamp and quarantines stalled
-  /// ones. Takes feeds_mutex_ when the caller does not hold it, then
-  /// stale lanes' mutexes one at a time (never while a caller holds one).
-  void supervise_stalls(bool holds_feeds_mutex);
-  /// Caller holds `target.mutex`: feed the supervisor one record outcome
-  /// and enact the verdict.
-  void record_outcome(Lane& target, bool malformed);
-  /// Caller holds `target.mutex`: route the lane straight to Dead.
-  void fail_locked(Lane& target, const std::string& reason);
-  /// Caller holds `target.mutex`: enact a supervisor verdict -- close the
-  /// lane's queue sources on Quarantine/Die, reopen them on Readmit --
-  /// and fire on_health_change when the health level moved off `before`.
+  /// ones, taking stale lanes' mutexes one at a time (never while a
+  /// caller holds one).
+  void supervise_stalls() MLP_EXCLUDES(feeds_mutex_);
+  void supervise_stalls_locked() MLP_REQUIRES(feeds_mutex_);
+  /// Feed the supervisor one record outcome and enact the verdict.
+  void record_outcome(Lane& target, bool malformed)
+      MLP_REQUIRES(target.mutex);
+  /// Route the lane straight to Dead.
+  void fail_locked(Lane& target, const std::string& reason)
+      MLP_REQUIRES(target.mutex);
+  /// Enact a supervisor verdict -- close the lane's queue sources on
+  /// Quarantine/Die, reopen them on Readmit -- and fire on_health_change
+  /// when the health level moved off `before`.
   void apply_supervision(Lane& target, FeedSupervisor::Action action,
-                         FeedHealth before);
-  FeedStats lane_stats(Lane& target) const;
-  /// Caller holds feeds_mutex_ and every lane mutex.
-  SessionTotals collect_totals_locked();
-  /// Caller holds feeds_mutex_ and every lane mutex. Parse one
-  /// serialize_state() payload; commit=false parses into scratch
+                         FeedHealth before) MLP_REQUIRES(target.mutex);
+  FeedStats lane_stats(Lane& target) const MLP_REQUIRES(target.mutex);
+  /// Caller additionally holds every lane mutex (LaneLockSet).
+  SessionTotals collect_totals_locked() MLP_REQUIRES(feeds_mutex_);
+  /// Caller holds feeds_mutex_ and every lane mutex (LaneLockSet). Parse
+  /// one serialize_state() payload; commit=false parses into scratch
   /// components (validation only), commit=true into the real ones. The
   /// parse is deterministic, so a commit pass over a payload that passed
   /// the scratch pass cannot throw -- the two-pass split is what makes
   /// restore_state all-or-nothing.
-  void apply_payload(ByteReader& reader, bool commit);
+  void apply_payload(ByteReader& reader, bool commit)
+      MLP_REQUIRES(feeds_mutex_);
 
   LiveConfig config_;
   std::shared_ptr<stream::Clock> clock_;  // config_.clock or SystemClock
   std::shared_ptr<const std::vector<core::IxpContext>> contexts_;
   bgp::RelFn relationships_;
-  std::mutex feeds_mutex_;  // guards feeds_ growth and finish()
-  std::vector<std::unique_ptr<Lane>> feeds_;
+  /// Guards feeds_ growth and finish(). Lock order: before any lane
+  /// mutex (see Lane::mutex).
+  util::Mutex feeds_mutex_;
+  std::vector<std::unique_ptr<Lane>> feeds_ MLP_GUARDED_BY(feeds_mutex_);
   std::vector<std::unique_ptr<Shard>> shards_;
   // Declared after shards_ so its destructor (which joins the workers)
   // runs first: no pump can outlive the shards it drains.

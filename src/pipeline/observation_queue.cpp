@@ -13,7 +13,7 @@ ObservationQueue::ObservationQueue(std::size_t n_sources, MergePolicy policy)
     : policy_(policy), sources_(n_sources), open_count_(n_sources) {}
 
 std::size_t ObservationQueue::add_source() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   sources_.emplace_back();
   ++open_count_;
   return sources_.size() - 1;
@@ -23,7 +23,7 @@ void ObservationQueue::push(std::size_t source,
                             std::vector<core::Observation> batch) {
   if (batch.empty()) return;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (source >= sources_.size())
       throw InvalidArgument("observation queue: bad source index");
     if (policy_ == MergePolicy::Watermark) {
@@ -43,7 +43,7 @@ void ObservationQueue::set_watermark(std::size_t source,
                                      std::uint32_t watermark) {
   if (policy_ != MergePolicy::Watermark) return;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (source >= sources_.size())
       throw InvalidArgument("observation queue: bad source index");
     Source& entry = sources_[source];
@@ -56,7 +56,7 @@ void ObservationQueue::set_watermark(std::size_t source,
 void ObservationQueue::set_idle(std::size_t source, bool idle) {
   if (policy_ != MergePolicy::Watermark) return;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (source >= sources_.size())
       throw InvalidArgument("observation queue: bad source index");
     sources_[source].idle = idle;
@@ -66,7 +66,7 @@ void ObservationQueue::set_idle(std::size_t source, bool idle) {
 
 void ObservationQueue::close(std::size_t source) {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (source >= sources_.size())
       throw InvalidArgument("observation queue: bad source index");
     if (!sources_[source].closed) {
@@ -79,7 +79,7 @@ void ObservationQueue::close(std::size_t source) {
 
 void ObservationQueue::reopen(std::size_t source) {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (policy_ != MergePolicy::Watermark)
       throw InvalidArgument(
           "observation queue: reopen() requires the Watermark policy");
@@ -150,13 +150,13 @@ bool ObservationQueue::ordered_pop_locked(
 }
 
 bool ObservationQueue::try_pop(std::vector<core::Observation>& out) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (policy_ == MergePolicy::Watermark) return merge_pop_locked(out);
   return ordered_pop_locked(out);
 }
 
 bool ObservationQueue::has_ready() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (policy_ == MergePolicy::Watermark) {
     const std::uint32_t min = min_watermark_locked();
     const bool drain_all =
@@ -177,7 +177,7 @@ bool ObservationQueue::has_ready() {
 }
 
 std::size_t ObservationQueue::depth() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::size_t total = 0;
   for (const Source& source : sources_) {
     total += source.pending.size();
@@ -187,7 +187,7 @@ std::size_t ObservationQueue::depth() {
 }
 
 std::size_t ObservationQueue::depth(std::size_t source) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (source >= sources_.size())
     throw InvalidArgument("observation queue: bad source index");
   std::size_t total = sources_[source].pending.size();
@@ -196,7 +196,7 @@ std::size_t ObservationQueue::depth(std::size_t source) {
 }
 
 void ObservationQueue::serialize_state(ByteWriter& writer) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   writer.u32(static_cast<std::uint32_t>(sources_.size()));
   for (const Source& source : sources_) {
     writer.u8(static_cast<std::uint8_t>((source.idle ? 1 : 0) |
@@ -250,7 +250,7 @@ void ObservationQueue::restore_state(ByteReader& reader) {
     throw ParseError("checkpoint: queue cursor past the source count");
 
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (count != sources_.size())
       throw ParseError("checkpoint: queue source count " +
                        std::to_string(count) + " does not match the " +
@@ -266,7 +266,7 @@ void ObservationQueue::restore_state(ByteReader& reader) {
 }
 
 bool ObservationQueue::pop(std::vector<core::Observation>& out) {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (;;) {
     if (policy_ == MergePolicy::Watermark) {
       if (merge_pop_locked(out)) return true;
@@ -275,7 +275,7 @@ bool ObservationQueue::pop(std::vector<core::Observation>& out) {
       if (ordered_pop_locked(out)) return true;
       if (cursor_ == sources_.size()) return false;
     }
-    ready_.wait(lock);
+    ready_.wait(mutex_);
   }
 }
 

@@ -24,14 +24,13 @@
 // count while extraction overlaps inference.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "core/types.hpp"
+#include "util/annotations.hpp"
 
 namespace mlp {
 class ByteWriter;
@@ -93,16 +92,16 @@ class ObservationQueue {
 
   /// Blocking pop of the next ready batch. Returns false once every
   /// source is closed and drained.
-  bool pop(std::vector<core::Observation>& out);
+  [[nodiscard]] bool pop(std::vector<core::Observation>& out);
 
   /// Non-blocking pop: false when nothing is ready right now (in-order
   /// source empty / everything above the watermark), whether or not more
   /// input may still arrive. Live consumers poll with this instead of
   /// parking in pop() on a queue that only closes at end of session.
-  bool try_pop(std::vector<core::Observation>& out);
+  [[nodiscard]] bool try_pop(std::vector<core::Observation>& out);
 
   /// True when try_pop would return a batch.
-  bool has_ready();
+  [[nodiscard]] bool has_ready();
 
   /// Observations queued but not yet drained, summed over sources (batch
   /// contents counted individually). The merge-backlog gauge: under
@@ -137,21 +136,24 @@ class ObservationQueue {
     bool closed = false;
   };
 
-  /// Caller holds mutex_. Minimum watermark over open, non-idle sources;
-  /// UINT32_MAX sentinel (drain everything) when no source constrains.
-  std::uint32_t min_watermark_locked() const;
-  /// Caller holds mutex_. Fill `out` with the watermark-eligible merge
-  /// front; false when none is eligible.
-  bool merge_pop_locked(std::vector<core::Observation>& out);
-  /// Caller holds mutex_. Concatenate-policy pop.
-  bool ordered_pop_locked(std::vector<core::Observation>& out);
+  /// Minimum watermark over open, non-idle sources; UINT32_MAX sentinel
+  /// (drain everything) when no source constrains.
+  std::uint32_t min_watermark_locked() const MLP_REQUIRES(mutex_);
+  /// Fill `out` with the watermark-eligible merge front; false when none
+  /// is eligible.
+  bool merge_pop_locked(std::vector<core::Observation>& out)
+      MLP_REQUIRES(mutex_);
+  /// Concatenate-policy pop.
+  bool ordered_pop_locked(std::vector<core::Observation>& out)
+      MLP_REQUIRES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable ready_;
-  MergePolicy policy_;
-  std::vector<Source> sources_;
-  std::size_t cursor_ = 0;    // Concatenate: first source not yet drained
-  std::size_t open_count_ = 0;
+  util::Mutex mutex_;
+  util::CondVar ready_;
+  const MergePolicy policy_;  // immutable after construction: lock-free
+  std::vector<Source> sources_ MLP_GUARDED_BY(mutex_);
+  /// Concatenate: first source not yet drained.
+  std::size_t cursor_ MLP_GUARDED_BY(mutex_) = 0;
+  std::size_t open_count_ MLP_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace mlp::pipeline

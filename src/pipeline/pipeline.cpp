@@ -6,6 +6,7 @@
 
 #include "pipeline/observation_queue.hpp"
 #include "pipeline/thread_pool.hpp"
+#include "util/annotations.hpp"
 #include "util/errors.hpp"
 
 namespace mlp::pipeline {
@@ -127,12 +128,19 @@ void push_batched(ObservationQueue& queue, std::size_t source,
 
 /// First-error-wins collector shared by every task.
 struct ErrorSlot {
-  std::mutex mutex;
-  std::string message;
+  util::Mutex mutex;
+  std::string message MLP_GUARDED_BY(mutex);
 
-  void record(const std::string& message_in) {
-    std::lock_guard lock(mutex);
+  void record(const std::string& message_in) MLP_EXCLUDES(mutex) {
+    util::MutexLock lock(mutex);
     if (message.empty()) message = message_in;
+  }
+
+  /// The first recorded message (empty when none). Callable after
+  /// wait_idle(), but locks anyway: cheap, and keeps the guard honest.
+  std::string take() MLP_EXCLUDES(mutex) {
+    util::MutexLock lock(mutex);
+    return message;
   }
 };
 
@@ -259,8 +267,8 @@ PipelineResult InferencePipeline::run() {
   }
 
   pool.wait_idle();
-  if (!error.message.empty())
-    throw ParseError("pipeline: " + error.message);
+  if (const std::string first_error = error.take(); !first_error.empty())
+    throw ParseError("pipeline: " + first_error);
 
   for (const core::PassiveStats& stats : source_stats)
     result.passive += stats;

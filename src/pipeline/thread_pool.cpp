@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
@@ -23,20 +23,22 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
   work_available_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr error = std::exchange(first_error_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(error);
+  std::exception_ptr error;
+  {
+    util::MutexLock lock(mutex_);
+    // Explicit predicate loop: the thread-safety analysis only sees the
+    // guarded reads when they happen in this scope, not inside a lambda.
+    while (!queue_.empty() || in_flight_ != 0) idle_.wait(mutex_);
+    error = std::exchange(first_error_, nullptr);
   }
+  if (error) std::rethrow_exception(error);
 }
 
 std::size_t ThreadPool::resolve(std::size_t requested) {
@@ -49,9 +51,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
+      util::MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_available_.wait(mutex_);
       if (queue_.empty()) return;  // stopping with nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -63,7 +64,7 @@ void ThreadPool::worker_loop() {
     struct InFlightGuard {
       ThreadPool& pool;
       ~InFlightGuard() {
-        std::lock_guard lock(pool.mutex_);
+        util::MutexLock lock(pool.mutex_);
         --pool.in_flight_;
         if (pool.queue_.empty() && pool.in_flight_ == 0)
           pool.idle_.notify_all();
@@ -72,7 +73,7 @@ void ThreadPool::worker_loop() {
     try {
       task();
     } catch (...) {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
   }

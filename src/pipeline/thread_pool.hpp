@@ -6,14 +6,14 @@
 // and the pipeline cannot deadlock even with a single worker thread.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace mlp::pipeline {
 
@@ -31,12 +31,12 @@ class ThreadPool {
   /// Enqueue one task. Tasks start in submission order. An exception
   /// escaping a task never terminates the worker: the first one is
   /// captured and rethrown from wait_idle().
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) MLP_EXCLUDES(mutex_);
 
   /// Block until every submitted task has finished. If any task threw,
   /// rethrows the first captured exception (later ones are dropped); the
   /// pool stays usable afterwards.
-  void wait_idle();
+  void wait_idle() MLP_EXCLUDES(mutex_);
 
   std::size_t thread_count() const { return workers_.size(); }
 
@@ -44,15 +44,16 @@ class ThreadPool {
   static std::size_t resolve(std::size_t requested);
 
  private:
-  void worker_loop();
+  void worker_loop() MLP_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
-  std::exception_ptr first_error_;  // first exception a task leaked
+  util::Mutex mutex_;
+  util::CondVar work_available_;
+  util::CondVar idle_;
+  std::deque<std::function<void()>> queue_ MLP_GUARDED_BY(mutex_);
+  std::size_t in_flight_ MLP_GUARDED_BY(mutex_) = 0;
+  bool stopping_ MLP_GUARDED_BY(mutex_) = false;
+  /// First exception a task leaked.
+  std::exception_ptr first_error_ MLP_GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
 };
 

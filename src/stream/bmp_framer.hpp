@@ -34,6 +34,8 @@
 #include <span>
 #include <vector>
 
+#include "util/annotations.hpp"
+
 namespace mlp::stream {
 
 /// The RFC 7854 section 4.2 per-peer header, fully parsed.
@@ -83,10 +85,11 @@ class BmpFramer {
 
   /// The next session event (Update / PeerUp / PeerDown), or nullopt when
   /// the buffered bytes end mid-message and every complete message has
-  /// been served. Throws ParseError on a structurally invalid message
-  /// (bad version, absurd length, truncated Route Monitoring payload),
-  /// naming the message's byte offset in the stream.
-  std::optional<BmpEvent> next();
+  /// been served. An Update event's record span borrows the framer's
+  /// scratch (lifetimebound). Throws ParseError on a structurally invalid
+  /// message (bad version, absurd length, truncated Route Monitoring
+  /// payload), naming the message's byte offset in the stream.
+  [[nodiscard]] std::optional<BmpEvent> next() MLP_LIFETIMEBOUND;
 
   /// Tolerant recovery: distrust the message at the front, drop one byte
   /// past its start and scan for the next plausible BMP header (version

@@ -12,6 +12,7 @@
 #include <span>
 
 #include "bgp/wire.hpp"
+#include "util/annotations.hpp"
 
 namespace mlp::stream {
 
@@ -31,7 +32,8 @@ class UpdateDecoder {
   /// records an update consumer steps over (TABLE_DUMP_V2, unknown
   /// types), which are counted in skipped(). Throws ParseError on a
   /// structurally invalid update record.
-  const UpdateRecordView* decode(std::span<const std::uint8_t> record);
+  [[nodiscard]] const UpdateRecordView* decode(
+      std::span<const std::uint8_t> record) MLP_LIFETIMEBOUND;
 
   /// Records stepped over without decoding.
   std::size_t skipped() const { return skipped_; }

@@ -17,6 +17,8 @@
 #include <span>
 #include <vector>
 
+#include "util/annotations.hpp"
+
 namespace mlp::stream {
 
 class MrtFramer {
@@ -38,10 +40,12 @@ class MrtFramer {
 
   /// The next complete record (header + body), or nullopt when the
   /// buffered bytes end mid-record (feed more and retry). The span
-  /// borrows the internal buffer: it is invalidated by the next call to
-  /// feed(), next() or resync(). Throws ParseError when the record at the
-  /// front claims a body larger than Config::max_record_bytes.
-  std::optional<std::span<const std::uint8_t>> next();
+  /// borrows the internal buffer (lifetimebound): it is invalidated by
+  /// the next call to feed(), next() or resync(). Throws ParseError when
+  /// the record at the front claims a body larger than
+  /// Config::max_record_bytes.
+  [[nodiscard]] std::optional<std::span<const std::uint8_t>> next()
+      MLP_LIFETIMEBOUND;
 
   /// Tolerant recovery: distrust the most recently framed (or currently
   /// front) record, drop one byte past its start and scan forward for the

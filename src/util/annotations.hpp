@@ -1,0 +1,168 @@
+// Compile-time enforcement hooks for the concurrency and lifetime
+// invariants documented in ROADMAP.md.
+//
+// Two families of annotations live here:
+//
+//  1. Clang thread-safety capability attributes (MLP_CAPABILITY,
+//     MLP_GUARDED_BY, MLP_REQUIRES, MLP_ACQUIRED_AFTER, ...) plus an
+//     annotated util::Mutex / util::MutexLock / util::CondVar shim over
+//     the standard primitives. Code in src/pipeline and src/stream must
+//     use the shim instead of naked std::mutex (tools/invariant_lint.py
+//     enforces this), so `-Wthread-safety -Werror` turns the documented
+//     lock contracts -- "feeds_mutex_ before any lane mutex", "every
+//     FeedSupervisor call happens under the lane mutex" -- into build
+//     failures instead of TSan lottery tickets.
+//
+//  2. MLP_LIFETIMEBOUND ([[clang::lifetimebound]]) for borrowed-view
+//     accessors: MrtCursor::rib_entry()/update(), the framer span
+//     accessors, MlpInferenceEngine::observed_members()/policy_of(),
+//     ByteReader views. Binding one of these views to something that
+//     outlives its owner becomes a -Wdangling error under Clang.
+//
+// Every macro expands to nothing on compilers without the attributes
+// (GCC, MSVC), so the shim is exactly a std::mutex wrapper there: zero
+// behavioural or performance difference (BM_MultiFeedLiveSession /
+// BM_SupervisedLiveSession price this). The negative-compile harness in
+// tests/static/ proves the attributes reject representative violations
+// under Clang.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------- attribute macros
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MLP_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef MLP_THREAD_ANNOTATION
+#define MLP_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// A type that models a lock (the analysis calls it a capability).
+#define MLP_CAPABILITY(x) MLP_THREAD_ANNOTATION(capability(x))
+/// An RAII type whose constructor acquires and destructor releases.
+#define MLP_SCOPED_CAPABILITY MLP_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only while `x` is held.
+#define MLP_GUARDED_BY(x) MLP_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member whose pointee is guarded by `x`.
+#define MLP_PT_GUARDED_BY(x) MLP_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Static lock-order declaration: this mutex before the listed ones.
+#define MLP_ACQUIRED_BEFORE(...) \
+  MLP_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+/// Static lock-order declaration: this mutex after the listed ones.
+#define MLP_ACQUIRED_AFTER(...) \
+  MLP_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+/// The caller must already hold the listed capabilities.
+#define MLP_REQUIRES(...) \
+  MLP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// The function acquires the capability (held on return, not on entry).
+#define MLP_ACQUIRE(...) \
+  MLP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// The function releases the capability (held on entry, not on return).
+#define MLP_RELEASE(...) \
+  MLP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// The function acquires the capability iff it returns `b`.
+#define MLP_TRY_ACQUIRE(...) \
+  MLP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// The caller must NOT hold the listed capabilities (anti-deadlock).
+#define MLP_EXCLUDES(...) MLP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Declares to the analysis that the capability is held from here to the
+/// end of the scope (for locks it cannot see being taken).
+#define MLP_ASSERT_CAPABILITY(x) \
+  MLP_THREAD_ANNOTATION(assert_capability(x))
+/// Escape hatch for functions the analysis cannot model. Every use must
+/// carry an inline comment explaining why (invariant_lint checks this).
+#define MLP_NO_THREAD_SAFETY_ANALYSIS \
+  MLP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// ------------------------------------------------------- lifetimebound
+
+#if defined(__clang__) && defined(__has_cpp_attribute)
+#if __has_cpp_attribute(clang::lifetimebound)
+#define MLP_LIFETIMEBOUND [[clang::lifetimebound]]
+#endif
+#endif
+#ifndef MLP_LIFETIMEBOUND
+#define MLP_LIFETIMEBOUND
+#endif
+
+// ------------------------------------------------------ annotated shim
+
+namespace mlp::util {
+
+/// std::mutex with the Clang capability attributes attached. Same size,
+/// same codegen (every member is a forwarding inline call); exists so
+/// GUARDED_BY/REQUIRES contracts on the live pipeline are checkable.
+class MLP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MLP_ACQUIRE() { inner_.lock(); }
+  void unlock() MLP_RELEASE() { inner_.unlock(); }
+  bool try_lock() MLP_TRY_ACQUIRE(true) { return inner_.try_lock(); }
+
+  /// Tell the analysis this mutex is held on paths where it cannot see
+  /// the acquisition (a dynamic all-lanes lock set, a lock taken by a
+  /// caller the analysis does not model). No-op at runtime; every use
+  /// must sit next to the mechanism that really holds the lock.
+  void assert_held() const MLP_ASSERT_CAPABILITY(this) {}
+
+  /// The wrapped std::mutex, for CondVar interop only -- never lock it
+  /// directly (that would bypass the analysis).
+  std::mutex& native() { return inner_; }
+
+ private:
+  std::mutex inner_;
+};
+
+/// RAII lock for util::Mutex (the std::lock_guard analogue the analysis
+/// understands). Deliberately minimal: no defer/adopt/try modes -- a
+/// conditional acquisition cannot be expressed to the analysis, so code
+/// wanting it should be restructured into _locked/unlocked variants.
+class MLP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) MLP_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() MLP_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable paired with util::Mutex. wait() keeps the REQUIRES
+/// contract honest: the capability is held on entry and on return (the
+/// internal release/reacquire during the wait is invisible to callers,
+/// exactly like std::condition_variable::wait).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mutex) MLP_REQUIRES(mutex) {
+    // Adopt the already-held native mutex for the duration of the wait,
+    // then release ownership back to the caller's MutexLock. Predicate
+    // loops live at the call site so the analysis sees the guarded
+    // reads under the lock.
+    std::unique_lock<std::mutex> lock(mutex.native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mlp::util

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/errors.hpp"
 
 namespace mlp {
@@ -29,7 +30,9 @@ class ByteWriter {
   void patch_u32(std::size_t offset, std::uint32_t v);
 
   std::size_t size() const { return buf_.size(); }
-  const std::vector<std::uint8_t>& data() const { return buf_; }
+  const std::vector<std::uint8_t>& data() const MLP_LIFETIMEBOUND {
+    return buf_;
+  }
   std::vector<std::uint8_t> take() { return std::move(buf_); }
 
  private:
@@ -45,10 +48,14 @@ class ByteReader {
   std::uint16_t u16();
   std::uint32_t u32();
   std::uint64_t u64();
-  std::span<const std::uint8_t> bytes(std::size_t n);
+  /// The returned span aliases the borrowed buffer. Binding it to the
+  /// reader (lifetimebound) is deliberately conservative: every caller
+  /// keeps the reader in scope anyway, and the bound catches a view kept
+  /// past a temporary reader.
+  std::span<const std::uint8_t> bytes(std::size_t n) MLP_LIFETIMEBOUND;
 
   /// Sub-reader over the next n bytes (consumes them from this reader).
-  ByteReader sub(std::size_t n);
+  ByteReader sub(std::size_t n) MLP_LIFETIMEBOUND;
 
   std::size_t remaining() const { return data_.size() - pos_; }
   bool done() const { return pos_ == data_.size(); }

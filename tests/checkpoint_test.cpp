@@ -185,10 +185,10 @@ TEST(CheckpointFile, FallsBackOneGenerationOnCorruption) {
 
   // Both generations bad: loud failure, never garbage.
   write_raw(path + ".1", std::span<const std::uint8_t>(flipped.data(), 8));
-  EXPECT_THROW(read_checkpoint_file(path), CheckpointError);
+  EXPECT_THROW((void)read_checkpoint_file(path), CheckpointError);
   std::filesystem::remove(path);
   std::filesystem::remove(path + ".1");
-  EXPECT_THROW(read_checkpoint_file(path), CheckpointError);
+  EXPECT_THROW((void)read_checkpoint_file(path), CheckpointError);
 }
 
 // ------------------------------------------------- session round trips

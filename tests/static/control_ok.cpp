@@ -1,0 +1,32 @@
+// Positive control for the negative-compile harness: the same APIs the
+// fail_*.cpp cases abuse, used correctly, must compile warning-free
+// under the full -Wthread-safety(-beta) -Werror flag set -- otherwise a
+// fail case could be "failing" on flag noise rather than its violation.
+#include <cstdint>
+#include <span>
+
+#include "mrt/cursor.hpp"
+#include "util/annotations.hpp"
+
+struct StaticHarnessSession {
+  mlp::util::Mutex feeds_mutex;
+  mlp::util::Mutex lane_mutex MLP_ACQUIRED_AFTER(feeds_mutex);
+  int supervisor_events MLP_GUARDED_BY(lane_mutex) = 0;
+
+  void note_event() MLP_REQUIRES(lane_mutex) { ++supervisor_events; }
+};
+
+int static_harness_correct_usage(StaticHarnessSession& session) {
+  // Declared order: session mutex strictly before the lane mutex.
+  mlp::util::MutexLock feeds_lock(session.feeds_mutex);
+  mlp::util::MutexLock lane_lock(session.lane_mutex);
+  session.note_event();
+  return session.supervisor_events;
+}
+
+std::uint32_t static_harness_view_in_scope() {
+  mlp::mrt::MrtCursor cursor{std::span<const std::uint8_t>{}};
+  // Borrowed view consumed while the cursor is alive: fine.
+  const mlp::mrt::RibEntryView& entry = cursor.rib_entry();
+  return entry.sequence;
+}

@@ -1,0 +1,16 @@
+// Negative-compile case: retaining a cursor's borrowed view past the
+// cursor must not build.
+//
+// MrtCursor::rib_entry() is lifetimebound: the view aliases the cursor's
+// scratch buffers and dies with the cursor. Returning it out of a scope
+// that owns the cursor is a dangling borrow Clang rejects
+// (-Wreturn-stack-address / -Wdangling via [[clang::lifetimebound]]).
+#include <cstdint>
+#include <span>
+
+#include "mrt/cursor.hpp"
+
+const mlp::mrt::RibEntryView& static_harness_escaping_view() {
+  mlp::mrt::MrtCursor cursor{std::span<const std::uint8_t>{}};
+  return cursor.rib_entry();  // BAD: view outlives the cursor
+}

@@ -1,0 +1,19 @@
+// Negative-compile case: violating a declared lock order must not build.
+//
+// Mirrors the LiveSession contract `Lane::mutex ACQUIRED_AFTER
+// feeds_mutex_`: the session mutex is always taken first. Taking the
+// lane-level mutex first inverts the order and -Wthread-safety-beta
+// rejects it.
+#include "util/annotations.hpp"
+
+struct StaticHarnessSession {
+  mlp::util::Mutex feeds_mutex;
+  mlp::util::Mutex lane_mutex MLP_ACQUIRED_AFTER(feeds_mutex);
+};
+
+void static_harness_inverted_order(StaticHarnessSession& session) {
+  session.lane_mutex.lock();
+  session.feeds_mutex.lock();  // BAD: feeds_mutex must be taken first
+  session.feeds_mutex.unlock();
+  session.lane_mutex.unlock();
+}

@@ -1,0 +1,22 @@
+// Negative-compile case: touching GUARDED_BY state / calling a REQUIRES
+// method without the lock must not build.
+//
+// Mirrors the FeedSupervisor call-site contract: `Lane::supervisor` is
+// GUARDED_BY(Lane::mutex), so every supervisor event call must hold the
+// lane mutex.
+#include "util/annotations.hpp"
+
+struct StaticHarnessLane {
+  mlp::util::Mutex mutex;
+  int supervisor_events MLP_GUARDED_BY(mutex) = 0;
+
+  void note_event() MLP_REQUIRES(mutex) { ++supervisor_events; }
+};
+
+void static_harness_unlocked_call(StaticHarnessLane& lane) {
+  lane.note_event();  // BAD: lane.mutex not held
+}
+
+int static_harness_unlocked_read(StaticHarnessLane& lane) {
+  return lane.supervisor_events;  // BAD: guarded read without the lock
+}

@@ -147,7 +147,7 @@ TEST(MrtFramer, LengthCapThrowsAndResyncRecovers) {
   const auto good = update_record(7, "10.1.0.0/16");
   framer.feed(bogus);
   try {
-    framer.next();
+    (void)framer.next();
     FAIL() << "expected ParseError";
   } catch (const ParseError& e) {
     EXPECT_NE(std::string(e.what()).find("stream offset 0"),
@@ -580,7 +580,7 @@ TEST(BmpFramer, BadVersionThrowsAndResyncRecovers) {
   std::vector<std::uint8_t> garbage(10, 0x00);
   framer.feed(garbage);
   try {
-    framer.next();
+    (void)framer.next();
     FAIL() << "expected ParseError";
   } catch (const ParseError& e) {
     EXPECT_NE(std::string(e.what()).find("stream offset 0"),
@@ -609,7 +609,7 @@ TEST(BmpFramer, TruncatedRouteMonitoringThrows) {
   bogus.resize(20, 0);
   BmpFramer framer;
   framer.feed(bogus);
-  EXPECT_THROW(framer.next(), ParseError);
+  EXPECT_THROW((void)framer.next(), ParseError);
 }
 
 TEST(BmpFramer, ResetDropsPartialAndKeepsCounters) {
