@@ -15,6 +15,7 @@
 #include <memory>
 #include <new>
 #include <set>
+#include <thread>
 
 #if __has_include(<malloc.h>)
 #include <malloc.h>
@@ -23,6 +24,7 @@
 
 #include "bgp/wire.hpp"
 #include "core/engine.hpp"
+#include "core/engine_snapshot.hpp"
 #include "core/passive.hpp"
 #include "mrt/cursor.hpp"
 #include "mrt/table_dump.hpp"
@@ -300,6 +302,65 @@ void BM_EngineStats(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EngineStats)->Arg(200)->Arg(1000);
+
+/// One policy-changing observation per member, round-robin, used by the
+/// incremental/full-rememoise pair below. Alternating between an
+/// open-with-exclude and an allowlist guarantees every add really
+/// changes the setter's merged policy (the delta path's worst case, not
+/// its unchanged-policy fast path).
+core::Observation make_flip_observation(std::uint64_t sequence,
+                                        std::size_t members, Rng& rng) {
+  core::Observation obs;
+  const auto setter =
+      static_cast<bgp::Asn>(100 + (sequence % members));
+  obs.setter = setter;
+  obs.prefix = bgp::IpPrefix(0x0A000000 + (setter << 8), 24);
+  const auto peer = static_cast<std::uint16_t>(
+      100 + rng.uniform(0, members - 1));
+  if (sequence % 2 == 0) {
+    obs.communities.push_back(bgp::Community(0, peer));  // open + EXCLUDE
+  } else {
+    obs.communities.push_back(bgp::Community(0, 6695));  // NONE
+    obs.communities.push_back(bgp::Community(6695, peer));  // INCLUDE
+  }
+  return obs;
+}
+
+void BM_IncrementalAdd(benchmark::State& state) {
+  // An accepted observation through the incremental delta path: the
+  // derived matrix stays materialised, so each add recomputes only the
+  // setter's allow row (O(|A_RS|/64) words) plus the popcount.
+  const std::size_t members = static_cast<std::size_t>(state.range(0));
+  core::MlpInferenceEngine engine = make_engine(members);
+  benchmark::DoNotOptimize(engine.count_links(false));  // materialise
+  Rng rng(29);
+  std::uint64_t sequence = 0;
+  for (auto _ : state) {
+    engine.add(make_flip_observation(sequence++, members, rng));
+    benchmark::DoNotOptimize(engine.count_links(false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IncrementalAdd)->Arg(200)->Arg(1000);
+
+void BM_FullRememoiseAdd(benchmark::State& state) {
+  // The pre-delta baseline for BM_IncrementalAdd: identical adds, but
+  // invalidate_derived() after each one forces count_links to rebuild
+  // every member's merged policy and allow row from scratch -- the cost
+  // every snapshot paid before adds became deltas.
+  const std::size_t members = static_cast<std::size_t>(state.range(0));
+  core::MlpInferenceEngine engine = make_engine(members);
+  benchmark::DoNotOptimize(engine.count_links(false));
+  Rng rng(29);
+  std::uint64_t sequence = 0;
+  for (auto _ : state) {
+    engine.add(make_flip_observation(sequence++, members, rng));
+    engine.invalidate_derived();
+    benchmark::DoNotOptimize(engine.count_links(false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullRememoiseAdd)->Arg(200)->Arg(1000);
 
 void BM_PolicyIntersect(benchmark::State& state) {
   // Mixed-mode intersection materialises an allow-list over the member
@@ -759,6 +820,90 @@ void BM_LiveSessionSnapshot(benchmark::State& state) {
   state.counters["stream_B"] = static_cast<double>(data.size());
 }
 BENCHMARK(BM_LiveSessionSnapshot)->Unit(benchmark::kMillisecond);
+
+/// Shared harness for BM_QueryThroughput: one LiveSession with a
+/// dedicated ingest thread replaying the update archive in a loop, so
+/// the epoch pumps keep publishing while the benchmark threads hammer
+/// epoch_snapshot(). Built in Setup / torn down in Teardown -- the
+/// benchmark threads themselves touch nothing but the read path.
+struct QueryThroughputHarness {
+  PassiveFixture fixture{5000};
+  std::vector<std::uint8_t> data = fixture.updates_archive();
+  std::unique_ptr<pipeline::LiveSession> session;
+  std::atomic<bool> stop{false};
+  std::thread ingest;
+
+  QueryThroughputHarness() {
+    pipeline::LiveConfig config;
+    config.merge = pipeline::MergePolicy::Concatenate;
+    config.threads = 2;
+    config.passive.max_pending_announcements = 1024;  // live surfacing
+    config.publish_every_batches = 1;  // swap epochs as fast as possible
+    session = std::make_unique<pipeline::LiveSession>(config, fixture.ixps);
+    ingest = std::thread([this] {
+      auto handle = session->add_feed();
+      constexpr std::size_t kChunk = 16384;
+      // Replay the archive until stopped: duplicate observations keep
+      // the engines mutating (every accepted add bumps the generation)
+      // and the pumps publishing without unbounded state growth.
+      while (!stop.load(std::memory_order_acquire)) {
+        for (std::size_t at = 0;
+             at < data.size() && !stop.load(std::memory_order_acquire);
+             at += kChunk) {
+          handle.feed(std::span<const std::uint8_t>(
+              data.data() + at, std::min(kChunk, data.size() - at)));
+        }
+      }
+      handle.close();
+    });
+  }
+
+  ~QueryThroughputHarness() {
+    stop.store(true, std::memory_order_release);
+    ingest.join();
+    auto result = session->finish();
+    benchmark::DoNotOptimize(result.all_links.size());
+  }
+};
+
+QueryThroughputHarness* g_query_harness = nullptr;
+
+void QueryThroughputSetup(const benchmark::State&) {
+  g_query_harness = new QueryThroughputHarness;
+}
+
+void QueryThroughputTeardown(const benchmark::State&) {
+  delete g_query_harness;
+  g_query_harness = nullptr;
+}
+
+void BM_QueryThroughput(benchmark::State& state) {
+  // The reader side of the epoch-publishing split: each iteration is one
+  // full query -- an atomic acquire-load of the shard's published
+  // snapshot plus a stats read off the immutable object. Runs against
+  // the live ingest thread above; readers never take feeds_mutex_ or a
+  // lane mutex, so items/sec here prices the query server's steady
+  // state, independent of ingest load.
+  const std::size_t n = g_query_harness->session->ixp_count();
+  std::size_t index = static_cast<std::size_t>(state.thread_index());
+  std::uint64_t last_epoch = 0;
+  for (auto _ : state) {
+    const auto snap = g_query_harness->session->epoch_snapshot(index++ % n);
+    benchmark::DoNotOptimize(snap->link_count());
+    if (snap->epoch() > last_epoch) last_epoch = snap->epoch();
+  }
+  state.SetItemsProcessed(state.iterations());
+  // Evidence the writer really was racing: epochs observed advance while
+  // the benchmark ran (averaged across reader threads).
+  state.counters["epochs_seen"] = benchmark::Counter(
+      static_cast<double>(last_epoch), benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_QueryThroughput)
+    ->Threads(1)
+    ->Threads(4)
+    ->UseRealTime()
+    ->Setup(QueryThroughputSetup)
+    ->Teardown(QueryThroughputTeardown);
 
 void BM_CheckpointWrite(benchmark::State& state) {
   // One durability cycle of `follow --checkpoint`: the stop-the-world

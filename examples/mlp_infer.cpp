@@ -63,6 +63,18 @@
 //     soak-test that machinery.
 //     `infer --follow` is an alias.
 //
+//   mlp_infer query --config FILE --query-port P [follow options...]
+//     Follow mode plus a line-protocol query server (see
+//     pipeline/query_server.hpp): while the feeds ingest, clients on
+//     127.0.0.1:P ask `stats <ixp>`, `link <ixp> <a> <b>`,
+//     `links <ixp> <asn>`, ... and every answer comes from the latest
+//     published epoch -- one atomic load, never an ingest lock, so
+//     queries cost the feeds nothing. After end of stream the process
+//     lingers (final epochs stay queryable) until SIGINT/SIGTERM, then
+//     prints the usual summary. `--query-port 0` picks an ephemeral
+//     port (printed to stderr). Plain `follow --query-port P` serves
+//     queries during ingest but exits at end of stream as usual.
+//
 //   mlp_infer serve --port P [--bmp] [--chunk N] [--accepts K] FILE
 //     Replay an update archive over TCP: listen on 127.0.0.1:P, accept K
 //     connections in turn and stream the file to each (wrapped as a BMP
@@ -114,6 +126,7 @@
 #include "pipeline/ixp_config.hpp"
 #include "pipeline/live_session.hpp"
 #include "pipeline/pipeline.hpp"
+#include "pipeline/query_server.hpp"
 #include "scenario/scenario.hpp"
 #include "stream/bmp_framer.hpp"
 #include "stream/fault.hpp"
@@ -202,10 +215,13 @@ int usage() {
       "                        [--checkpoint PATH [--checkpoint-every N]\n"
       "                         [--resume]]\n"
       "                        [--feed SPEC]... [--listen PORT]\n"
+      "                        [--query-port P]\n"
       "                        [FILE]   (default: one stdin feed)\n"
       "         SPEC: '-' | PATH | listen:PORT | connect:HOST:PORT\n"
       "         PLAN: corrupt@OFF[xMASK] | garbage@OFF[xN] | drop@OFF[xN]\n"
       "               | stall@OFF[xMS] | trunc@OFF | shatter (','-joined)\n"
+      "       mlp_infer query --config FILE --query-port P\n"
+      "                       [follow options...]   (lingers after EOF)\n"
       "       mlp_infer serve --port P [--bmp] [--chunk N] [--accepts K]\n"
       "                       [--chaos SEED[:PLAN]] UPDATES.mrt\n");
   return 2;
@@ -296,7 +312,7 @@ int run_gen(int argc, char** argv) {
   return 0;
 }
 
-int run_follow(int argc, char** argv);
+int run_follow(int argc, char** argv, bool query_mode = false);
 
 int run_infer(int argc, char** argv) {
   // `infer --follow` is an alias for the follow subcommand (the flag
@@ -566,7 +582,7 @@ void print_live_snapshot(const pipeline::LiveSnapshot& snap,
   std::fflush(stdout);
 }
 
-int run_follow(int argc, char** argv) {
+int run_follow(int argc, char** argv, bool query_mode) {
   std::string config_path;
   std::vector<FeedSpec> specs;
   pipeline::LiveConfig config;
@@ -574,6 +590,7 @@ int run_follow(int argc, char** argv) {
   std::size_t retry = 0;
   bool bmp = false;
   bool saw_positional = false;
+  std::optional<std::uint16_t> query_port;
   std::optional<stream::FaultPlan> chaos;
   std::string checkpoint_path;
   std::uint64_t checkpoint_every = 0;  // 0: only at end of stream/signal
@@ -648,6 +665,10 @@ int run_follow(int argc, char** argv) {
       checkpoint_every = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--resume") {
       resume = true;
+    } else if (arg == "--query-port" && i + 1 < argc) {
+      const auto parsed = parse_u32(argv[++i]);
+      if (!parsed || *parsed > 65535) return usage();  // 0 = ephemeral
+      query_port = static_cast<std::uint16_t>(*parsed);
     } else if (arg == "--follow") {
       // tolerated so `infer --follow ...` forwards verbatim
     } else if (!arg.empty() && arg.front() == '-' && arg != "-") {
@@ -664,6 +685,7 @@ int run_follow(int argc, char** argv) {
   }
   if (config_path.empty()) return usage();
   if (resume && checkpoint_path.empty()) return usage();
+  if (query_mode && !query_port) return usage();
   if (specs.empty()) specs.push_back(FeedSpec{});  // stdin
   std::size_t stdin_feeds = 0;
   for (const auto& spec : specs)
@@ -693,6 +715,17 @@ int run_follow(int argc, char** argv) {
                  change.reason.empty() ? "" : ")");
   };
   pipeline::LiveSession session(config, std::move(contexts));
+
+  // The query server answers from published epochs only (one atomic load
+  // per query), so starting it before any feed exists is safe: clients
+  // just see epoch 1, the empty engines.
+  std::optional<pipeline::QueryServer> query_server;
+  if (query_port) {
+    query_server.emplace(session,
+                         pipeline::QueryServer::Options{*query_port});
+    std::fprintf(stderr, "query server listening on 127.0.0.1:%u\n",
+                 query_server->port());
+  }
 
   std::vector<pipeline::FeedHandle> handles;
   handles.reserve(specs.size());
@@ -832,6 +865,33 @@ int run_follow(int argc, char** argv) {
     }
     for (auto& reader : readers) reader.join();
     feed_failed = any_failed.load();
+  }
+
+  // `query` mode: keep the final epochs queryable after end of stream.
+  // snapshot() settles the world and publishes, so from here every
+  // client reads exactly the final state until a signal ends the linger.
+  if (query_mode && !g_stop.load()) {
+    // Close every feed first (idempotent; finish() would do it anyway):
+    // a closed source stops constraining the merge frontier, so the
+    // settle below drains everything and the lingering epochs answer
+    // with exactly the final link sets.
+    for (auto& handle : handles) handle.close();
+    const auto snap = session.snapshot();
+    print_live_snapshot(snap, names);
+    std::fprintf(stderr,
+                 "end of stream: serving queries on 127.0.0.1:%u until "
+                 "SIGINT/SIGTERM (%llu served so far)\n",
+                 query_server->port(),
+                 static_cast<unsigned long long>(
+                     query_server->queries_served()));
+    while (!g_stop.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (query_server) {
+    query_server->stop();
+    std::fprintf(stderr, "query server: %llu queries served\n",
+                 static_cast<unsigned long long>(
+                     query_server->queries_served()));
   }
 
   // The final checkpoint covers everything ingested, interrupted or not;
@@ -989,6 +1049,8 @@ int main(int argc, char** argv) {
       return run_infer(argc - 2, argv + 2);
     if (std::strcmp(argv[1], "follow") == 0)
       return run_follow(argc - 2, argv + 2);
+    if (std::strcmp(argv[1], "query") == 0)
+      return run_follow(argc - 2, argv + 2, /*query_mode=*/true);
     if (std::strcmp(argv[1], "serve") == 0)
       return run_serve(argc - 2, argv + 2);
   } catch (const std::exception& e) {

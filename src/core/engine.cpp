@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 
+#include "core/engine_snapshot.hpp"
 #include "core/state_codec.hpp"
 #include "util/errors.hpp"
 
@@ -69,11 +71,39 @@ void MlpInferenceEngine::add(const Observation& observation) {
       [](const auto& entry, const IpPrefix& prefix) {
         return entry.first < prefix;
       });
-  if (it != data.per_prefix.end() && it->first == observation.prefix)
-    it->second = std::move(resolved);
-  else
+  bool policy_changed = true;
+  if (it != data.per_prefix.end() && it->first == observation.prefix) {
+    if (it->second == resolved) {
+      // Re-announcement with the identical policy: N_a is unchanged.
+      policy_changed = false;
+    } else {
+      // A replaced intersectand cannot be folded into the memoised
+      // intersection; rebuild N_a from the (small) per-prefix vector.
+      it->second = std::move(resolved);
+      data.merged_valid = false;
+    }
+  } else if (data.per_prefix.empty()) {
+    // First prefix: N_a is the policy itself.
+    data.merged = resolved;
+    data.merged_valid = true;
     data.per_prefix.emplace(it, observation.prefix, std::move(resolved));
-  data.merged_valid = false;
+  } else {
+    // New prefix: N_a gains exactly one intersectand.
+    if (data.merged_valid)
+      data.merged =
+          ExportPolicy::intersect(data.merged, resolved, context_.rs_members);
+    data.per_prefix.emplace(it, observation.prefix, std::move(resolved));
+  }
+  ++generation_;
+  // Delta-maintain the reciprocity bitset (if a query materialised it):
+  // only the setter's allow-row and the changed transpose bits move.
+  if (!derived_.valid) return;
+  const std::size_t u = context_.rs_members.index_of(observation.setter);
+  const bool was_observed =
+      (derived_.observed[u / 64] >> (u % 64) & std::uint64_t{1}) != 0;
+  derived_.observed[u / 64] |= std::uint64_t{1} << (u % 64);
+  if (policy_changed || !was_observed)
+    apply_row_delta(u, &merged_policy(data));
 }
 
 const std::vector<Asn>& MlpInferenceEngine::observed_members() const {
@@ -105,34 +135,83 @@ const ExportPolicy* MlpInferenceEngine::policy_of(Asn member) const {
   return &merged_policy(*data);
 }
 
-MlpInferenceEngine::ReciprocityMatrix MlpInferenceEngine::build_matrix(
-    bool assume_open_for_unobserved) const {
-  ReciprocityMatrix m;
-  // Participants stay sorted: observed members only, or all of A_RS when
-  // unobserved members default to open.
-  m.participants =
-      assume_open_for_unobserved ? context_.rs_members : member_ids_;
-  const std::size_t n = m.participants.size();
-  m.words = (n + 63) / 64;
-  if (n == 0) return m;
-  m.allows.assign(n * m.words, 0);
-  m.allowed_by.assign(n * m.words, 0);
-
-  // Bit j of row i of `allows` says participant i exports to participant
-  // j. `allowed_by` is the transpose, built in the same pass so the
-  // reciprocity test is a word-wise AND of two rows. Default-open rows
-  // (AllExcept) are runs of ones, so the transpose starts from a per-word
-  // mask of the open-mode columns and both matrices are then corrected
-  // with one bit operation per listed peer.
+void MlpInferenceEngine::compute_allow_row(std::size_t u,
+                                           const ExportPolicy* policy,
+                                           std::uint64_t* row) const {
+  const std::size_t n = context_.rs_members.size();
   const std::uint64_t tail_mask =
       (n % 64) ? ((std::uint64_t{1} << (n % 64)) - 1) : ~std::uint64_t{0};
-  std::vector<const ExportPolicy*> policies(n, nullptr);
-  for (std::size_t i = 0; i < n; ++i) {
-    const MemberData* data = find_member(m.participants.values()[i]);
-    policies[i] = data ? &merged_policy(*data) : nullptr;  // null: open
+  const bool open_mode =
+      policy == nullptr || policy->mode() == ExportPolicy::Mode::AllExcept;
+  if (open_mode) {
+    std::fill(row, row + derived_.words, ~std::uint64_t{0});
+    row[derived_.words - 1] = tail_mask;
+  }
+  if (policy != nullptr) {
+    for (const Asn peer : policy->peers()) {
+      const std::size_t j = context_.rs_members.index_of(peer);
+      if (j == FlatAsnSet::npos) continue;  // listed peer outside A_RS
+      if (open_mode)
+        row[j / 64] &= ~(std::uint64_t{1} << (j % 64));
+      else
+        row[j / 64] |= std::uint64_t{1} << (j % 64);
+    }
+  }
+  // A member never links to itself.
+  row[u / 64] &= ~(std::uint64_t{1} << (u % 64));
+}
+
+void MlpInferenceEngine::apply_row_delta(std::size_t u,
+                                         const ExportPolicy* policy) const {
+  Derived& d = derived_;
+  d.scratch_row.assign(d.words, 0);
+  compute_allow_row(u, policy, d.scratch_row.data());
+  std::uint64_t* row = d.allows.data() + u * d.words;
+  for (std::size_t w = 0; w < d.words; ++w) {
+    std::uint64_t delta = row[w] ^ d.scratch_row[w];
+    row[w] = d.scratch_row[w];
+    // Patch the transpose: one bit flip per changed column.
+    while (delta != 0) {
+      const std::size_t j =
+          w * 64 + static_cast<std::size_t>(std::countr_zero(delta));
+      d.allowed_by[j * d.words + u / 64] ^= std::uint64_t{1} << (u % 64);
+      delta &= delta - 1;
+    }
+  }
+}
+
+void MlpInferenceEngine::ensure_derived() const {
+  Derived& d = derived_;
+  if (d.valid) return;
+  // The matrix spans the FULL A_RS universe so dense indices never shift
+  // as members become observed; unobserved members hold the default-open
+  // row and a clear observed-mask bit. Queries with
+  // assume_open_for_unobserved unset mask unobserved rows/columns out,
+  // which is exactly the observed-only submatrix.
+  const std::size_t n = context_.rs_members.size();
+  d.words = (n + 63) / 64;
+  d.allows.assign(n * d.words, 0);
+  d.allowed_by.assign(n * d.words, 0);
+  d.observed.assign(d.words, 0);
+  d.valid = true;
+  if (n == 0) return;
+
+  std::vector<const ExportPolicy*> policies(n, nullptr);  // null: open
+  for (std::size_t i = 0; i < member_ids_.size(); ++i) {
+    const std::size_t u =
+        context_.rs_members.index_of(member_ids_.values()[i]);
+    // add()/restore_state() only admit A_RS members, so u is never npos.
+    d.observed[u / 64] |= std::uint64_t{1} << (u % 64);
+    policies[u] = &merged_policy(member_data_[i]);
   }
 
-  std::vector<std::uint64_t> open_cols(m.words, 0);
+  // Default-open rows (unobserved members, AllExcept policies) are runs
+  // of ones, so the transpose starts from a per-word mask of the
+  // open-mode columns and both matrices are then corrected with one bit
+  // operation per listed peer.
+  const std::uint64_t tail_mask =
+      (n % 64) ? ((std::uint64_t{1} << (n % 64)) - 1) : ~std::uint64_t{0};
+  std::vector<std::uint64_t> open_cols(d.words, 0);
   for (std::size_t i = 0; i < n; ++i) {
     if (policies[i] == nullptr ||
         policies[i]->mode() == ExportPolicy::Mode::AllExcept)
@@ -140,7 +219,7 @@ MlpInferenceEngine::ReciprocityMatrix MlpInferenceEngine::build_matrix(
   }
 
   auto row = [&](std::vector<std::uint64_t>& matrix, std::size_t i) {
-    return matrix.data() + i * m.words;
+    return matrix.data() + i * d.words;
   };
   auto clear_bit = [](std::uint64_t* r, std::size_t j) {
     r[j / 64] &= ~(std::uint64_t{1} << (j % 64));
@@ -150,57 +229,61 @@ MlpInferenceEngine::ReciprocityMatrix MlpInferenceEngine::build_matrix(
   };
 
   for (std::size_t j = 0; j < n; ++j)
-    std::copy(open_cols.begin(), open_cols.end(), row(m.allowed_by, j));
+    std::copy(open_cols.begin(), open_cols.end(), row(d.allowed_by, j));
 
   for (std::size_t i = 0; i < n; ++i) {
-    std::uint64_t* allows_row = row(m.allows, i);
+    std::uint64_t* allows_row = row(d.allows, i);
     const bool open_mode =
         policies[i] == nullptr ||
         policies[i]->mode() == ExportPolicy::Mode::AllExcept;
     if (open_mode) {
-      std::fill(allows_row, allows_row + m.words, ~std::uint64_t{0});
-      allows_row[m.words - 1] = tail_mask;
+      std::fill(allows_row, allows_row + d.words, ~std::uint64_t{0});
+      allows_row[d.words - 1] = tail_mask;
     }
     if (policies[i] != nullptr) {
       for (const Asn peer : policies[i]->peers()) {
-        const std::size_t j = m.participants.index_of(peer);
-        if (j == FlatAsnSet::npos) continue;  // listed peer not present
+        const std::size_t j = context_.rs_members.index_of(peer);
+        if (j == FlatAsnSet::npos) continue;  // listed peer outside A_RS
         if (open_mode) {
           clear_bit(allows_row, j);
-          clear_bit(row(m.allowed_by, j), i);
+          clear_bit(row(d.allowed_by, j), i);
         } else {
           set_bit(allows_row, j);
-          set_bit(row(m.allowed_by, j), i);
+          set_bit(row(d.allowed_by, j), i);
         }
       }
     }
     // A member never links to itself.
     clear_bit(allows_row, i);
-    clear_bit(row(m.allowed_by, i), i);
+    clear_bit(row(d.allowed_by, i), i);
   }
-  return m;
 }
 
 std::set<AsLink> MlpInferenceEngine::infer_links(
     bool assume_open_for_unobserved) const {
-  const ReciprocityMatrix m = build_matrix(assume_open_for_unobserved);
-  const std::size_t n = m.participants.size();
+  ensure_derived();
+  links_generation_ = generation_;
+  const Derived& d = derived_;
+  const std::vector<Asn>& universe = context_.rs_members.values();
+  const std::size_t n = universe.size();
   std::set<AsLink> links;
   for (std::size_t i = 0; i < n; ++i) {
-    const std::uint64_t* allows_row = m.allows.data() + i * m.words;
-    const std::uint64_t* allowed_row = m.allowed_by.data() + i * m.words;
+    if (!assume_open_for_unobserved &&
+        (d.observed[i / 64] >> (i % 64) & std::uint64_t{1}) == 0)
+      continue;
+    const std::uint64_t* allows_row = d.allows.data() + i * d.words;
+    const std::uint64_t* allowed_row = d.allowed_by.data() + i * d.words;
     // Reciprocal pairs above the diagonal, in ascending order: the
     // end-hinted insert keeps the set build linear in the link count.
-    for (std::size_t w = i / 64; w < m.words; ++w) {
+    for (std::size_t w = i / 64; w < d.words; ++w) {
       std::uint64_t reciprocal = allows_row[w] & allowed_row[w];
+      if (!assume_open_for_unobserved) reciprocal &= d.observed[w];
       if (w == i / 64)
         reciprocal &= ~((std::uint64_t{2} << (i % 64)) - 1);  // j > i only
       while (reciprocal != 0) {
         const std::size_t j =
             w * 64 + static_cast<std::size_t>(std::countr_zero(reciprocal));
-        links.insert(links.end(),
-                     AsLink(m.participants.values()[i],
-                            m.participants.values()[j]));
+        links.insert(links.end(), AsLink(universe[i], universe[j]));
         reciprocal &= reciprocal - 1;
       }
     }
@@ -208,16 +291,34 @@ std::set<AsLink> MlpInferenceEngine::infer_links(
   return links;
 }
 
-std::size_t MlpInferenceEngine::count_links(
+std::size_t MlpInferenceEngine::count_links_derived(
     bool assume_open_for_unobserved) const {
-  const ReciprocityMatrix m = build_matrix(assume_open_for_unobserved);
+  ensure_derived();
+  const Derived& d = derived_;
+  const std::size_t n = context_.rs_members.size();
   std::size_t doubled = 0;
-  for (std::size_t k = 0; k < m.allows.size(); ++k)
-    doubled += static_cast<std::size_t>(
-        std::popcount(m.allows[k] & m.allowed_by[k]));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!assume_open_for_unobserved &&
+        (d.observed[i / 64] >> (i % 64) & std::uint64_t{1}) == 0)
+      continue;
+    const std::uint64_t* allows_row = d.allows.data() + i * d.words;
+    const std::uint64_t* allowed_row = d.allowed_by.data() + i * d.words;
+    for (std::size_t w = 0; w < d.words; ++w) {
+      std::uint64_t reciprocal = allows_row[w] & allowed_row[w];
+      if (!assume_open_for_unobserved) reciprocal &= d.observed[w];
+      doubled += static_cast<std::size_t>(std::popcount(reciprocal));
+    }
+  }
   // The matrix is zero on the diagonal and the reciprocal relation is
   // symmetric, so every link was counted once per direction.
   return doubled / 2;
+}
+
+std::size_t MlpInferenceEngine::count_links(
+    bool assume_open_for_unobserved) const {
+  const std::size_t links = count_links_derived(assume_open_for_unobserved);
+  links_generation_ = generation_;
+  return links;
 }
 
 EngineStats MlpInferenceEngine::stats() const {
@@ -225,6 +326,12 @@ EngineStats MlpInferenceEngine::stats() const {
 }
 
 EngineStats MlpInferenceEngine::stats(std::size_t precomputed_links) const {
+  // Contract (see header): the precomputed link count must describe THIS
+  // engine state. A mutation between infer_links/count_links and this
+  // call would silently pair fresh member stats with a stale link count.
+  assert(links_generation_.has_value() && *links_generation_ == generation_ &&
+         "stats(precomputed_links): engine mutated since the link count "
+         "was computed");
   EngineStats stats;
   stats.rs_members = context_.rs_members.size();
   stats.observed_members = member_ids_.size();
@@ -250,6 +357,41 @@ EngineStats MlpInferenceEngine::stats(std::size_t precomputed_links) const {
   }
   stats.links = precomputed_links;
   return stats;
+}
+
+std::shared_ptr<const EngineSnapshot> MlpInferenceEngine::freeze(
+    bool assume_open_for_unobserved, std::uint64_t epoch) const {
+  ensure_derived();
+  const Derived& d = derived_;
+  // The snapshot's private constructor is reachable only from here (the
+  // engine is a friend), so it goes through shared_ptr's pointer ctor
+  // rather than make_shared.
+  std::shared_ptr<EngineSnapshot> snap(new EngineSnapshot());
+  snap->epoch_ = epoch;
+  snap->generation_ = generation_;
+  snap->ixp_ = context_.name;
+  snap->assume_open_ = assume_open_for_unobserved;
+  snap->participants_ = context_.rs_members;
+  snap->observed_ = member_ids_;
+  snap->words_ = d.words;
+  snap->observed_mask_ = d.observed;
+  snap->rejected_ = rejected_;
+  // Readers only ever need the reciprocal relation, so the snapshot
+  // stores allows & allowed_by pre-ANDed: half the memory of the writer's
+  // matrix pair and a single bit test per has_link.
+  snap->reciprocal_.resize(d.allows.size());
+  for (std::size_t k = 0; k < d.allows.size(); ++k)
+    snap->reciprocal_[k] = d.allows[k] & d.allowed_by[k];
+  const std::size_t links = count_links_derived(assume_open_for_unobserved);
+  links_generation_ = generation_;
+  snap->stats_ = stats(links);
+  return snap;
+}
+
+void MlpInferenceEngine::invalidate_derived() {
+  derived_ = Derived{};
+  links_generation_.reset();
+  for (const MemberData& data : member_data_) data.merged_valid = false;
 }
 
 void MlpInferenceEngine::serialize_state(ByteWriter& writer) const {
@@ -282,6 +424,12 @@ void MlpInferenceEngine::restore_state(ByteReader& reader) {
     const Asn asn = reader.u32();
     if (!ids.empty() && asn <= ids.back())
       throw ParseError("checkpoint: engine members not strictly increasing");
+    // add() never admits a non-member, so a legitimate image cannot
+    // contain one -- and the incremental bitset indexes members into
+    // A_RS, so one slipping through would corrupt the matrix.
+    if (!context_.is_member(asn))
+      throw ParseError("checkpoint: engine member " + std::to_string(asn) +
+                       " not in A_RS");
     const std::uint8_t flags = reader.u8();
     if (flags > 3)
       throw ParseError("checkpoint: engine member flags " +
@@ -308,6 +456,12 @@ void MlpInferenceEngine::restore_state(ByteReader& reader) {
   member_ids_ = FlatAsnSet(std::move(ids));
   member_data_ = std::move(data);
   rejected_ = rejected;
+  // Every memoised/derived structure described the PRE-restore state;
+  // drop it unconditionally (stale-N_a regression pinned in
+  // core_engine_test) and advance the generation so precomputed link
+  // counts from before the restore assert instead of misreporting.
+  invalidate_derived();
+  ++generation_;
 }
 
 }  // namespace mlp::core

@@ -12,9 +12,21 @@
 // policy), and the reciprocity pass materialises each participant's
 // allow-set as a bitmask row so the pairwise test is an AND over
 // 64-member words instead of n^2 tree lookups.
+//
+// The reciprocity bitset is maintained INCREMENTALLY over the full A_RS
+// universe: once a query has materialised it, add() folds a new
+// observation in as a delta -- recompute the one affected member's
+// merged policy (N_a) and allow-row, XOR against the old row, and patch
+// only the changed transpose bits -- instead of invalidating and
+// re-memoising the whole table. Unobserved members hold the default-open
+// row plus a clear bit in an observed-column mask, so both flag variants
+// of infer_links/count_links read the same matrix (the conservative
+// default just masks unobserved rows and columns out).
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <optional>
 #include <set>
 #include <utility>
 #include <vector>
@@ -29,6 +41,8 @@ class ByteReader;
 }  // namespace mlp
 
 namespace mlp::core {
+
+class EngineSnapshot;
 
 using routeserver::ExportPolicy;
 
@@ -48,9 +62,12 @@ EngineStats& operator+=(EngineStats& lhs, const EngineStats& rhs);
 
 /// Per-route-server accumulation and link inference.
 ///
-/// Not thread-safe: the accessors memoise the merged per-member policy,
-/// so even const calls must not race add() or each other. The pipeline
-/// confines each engine to one consumer task.
+/// Not thread-safe: the accessors memoise the merged per-member policy
+/// and the incremental reciprocity bitset, so even const calls must not
+/// race add() or each other. The pipeline confines each engine (the
+/// WRITER side) to one consumer task; concurrent readers are served by
+/// immutable EngineSnapshots published via freeze(), never by the engine
+/// itself.
 class MlpInferenceEngine {
  public:
   explicit MlpInferenceEngine(IxpContext context)
@@ -60,7 +77,9 @@ class MlpInferenceEngine {
 
   /// Record one observation. Observations whose setter is not in A_RS are
   /// ignored (counted as rejected): reachability without connectivity
-  /// cannot form links.
+  /// cannot form links. An accepted observation bumps generation() and,
+  /// when the reciprocity bitset is materialised, folds in as an
+  /// O(|A_RS|/64) row delta.
   void add(const Observation& observation);
 
   /// Members with at least one observation, in ascending ASN order (the
@@ -86,24 +105,56 @@ class MlpInferenceEngine {
   EngineStats stats() const;
 
   /// stats() with a link count the caller already computed via
-  /// infer_links, skipping the second O(|A_RS|^2/64) counting pass.
+  /// infer_links/count_links, skipping the second O(|A_RS|^2/64)
+  /// counting pass.
+  ///
+  /// Contract: the engine must not have mutated (add()/restore_state())
+  /// between the link computation and this call -- otherwise the
+  /// precomputed count describes a different state than the rest of the
+  /// stats and the row silently disagrees with itself. Debug builds
+  /// assert on the memo-generation mismatch; pass the count in the same
+  /// quiesced window that computed it.
   EngineStats stats(std::size_t precomputed_links) const;
 
   std::size_t rejected_observations() const { return rejected_; }
 
+  /// Mutation counter: bumped by every accepted add() and by a committed
+  /// restore_state(). Two equal generations mean identical accumulated
+  /// state; the precomputed-stats assert and epoch publishing key off it.
+  std::uint64_t generation() const { return generation_; }
+
+  /// Freeze the current state as an immutable, self-contained
+  /// EngineSnapshot computed under `assume_open_for_unobserved`, tagged
+  /// with publication sequence number `epoch`. The snapshot copies the
+  /// member index, the reciprocity bitset and the derived stats: it
+  /// borrows nothing from the engine and may be read lock-free from any
+  /// thread for any lifetime. The freeze itself is a writer-side call
+  /// (same confinement rules as the other accessors).
+  std::shared_ptr<const EngineSnapshot> freeze(bool assume_open_for_unobserved,
+                                               std::uint64_t epoch) const;
+
+  /// Drop every memoised/derived structure (merged per-member policies
+  /// and the incremental reciprocity bitset); the next query rebuilds
+  /// from scratch. Results are unaffected -- this exists to reclaim the
+  /// O(|A_RS|^2) bitset of a cold engine and to let benchmarks price the
+  /// pre-incremental full-rememoise path against the delta path.
+  void invalidate_derived();
+
   /// Checkpoint hook: persist the accumulated state -- the sorted member
   /// vector with each member's per-prefix policies, flags and counters,
-  /// plus the rejected counter. The reciprocity bitsets are derived per
-  /// infer_links/count_links call and are never serialized; a restored
-  /// engine rebuilds them on demand. The IXP context is NOT serialized
-  /// (it belongs to the session configuration, not the accumulated state).
+  /// plus the rejected counter. The reciprocity bitsets are derived state
+  /// and are never serialized; a restored engine rebuilds them on demand.
+  /// The IXP context is NOT serialized (it belongs to the session
+  /// configuration, not the accumulated state).
   void serialize_state(ByteWriter& writer) const;
 
   /// Checkpoint hook: replace the accumulated state with a serialized
   /// image. Parses and validates the whole image (strictly increasing
-  /// member ASNs, sorted per-prefix vectors) before committing, so a
-  /// ParseError leaves the engine untouched. Memoised merged policies
-  /// restore invalidated and rebuild on first use.
+  /// member ASNs in A_RS, sorted per-prefix vectors) before committing,
+  /// so a ParseError leaves the engine untouched. Every memoised and
+  /// derived structure (merged policies, reciprocity bitset, precomputed
+  /// link-count generation) is invalidated unconditionally on commit and
+  /// rebuilds on first use; generation() bumps.
   void restore_state(ByteReader& reader);
 
  private:
@@ -115,8 +166,8 @@ class MlpInferenceEngine {
     bool passive = false;
     bool active = false;
     std::size_t observations = 0;
-    // Memoised intersection of per_prefix (N_a); rebuilt on demand after
-    // an add() invalidates it.
+    // Memoised intersection of per_prefix (N_a); maintained incrementally
+    // by add() where possible, rebuilt on demand otherwise.
     mutable ExportPolicy merged;
     mutable bool merged_valid = false;
   };
@@ -126,21 +177,43 @@ class MlpInferenceEngine {
   const MemberData* find_member(Asn member) const;
   const ExportPolicy& merged_policy(const MemberData& data) const;
 
-  /// Participants of the reciprocity pass (sorted) and their bitmask
-  /// rows over dense participant indices: row i bit j says i allows j.
-  struct ReciprocityMatrix {
-    FlatAsnSet participants;
-    std::size_t words = 0;                // per-row word count
-    std::vector<std::uint64_t> allows;    // row-major, participants x words
-    std::vector<std::uint64_t> allowed_by;  // the transpose
+  /// Incrementally maintained reciprocity state over the FULL A_RS
+  /// universe (dense index = position in context_.rs_members, which
+  /// never shifts as members are observed). Row i bit j of `allows` says
+  /// participant i exports to participant j; `allowed_by` is the
+  /// transpose; `observed` is the column mask of members with data.
+  /// Built lazily on first query, then patched by add() row deltas.
+  struct Derived {
+    bool valid = false;
+    std::size_t words = 0;  // per-row word count over |A_RS|
+    std::vector<std::uint64_t> allows;
+    std::vector<std::uint64_t> allowed_by;
+    std::vector<std::uint64_t> observed;
+    std::vector<std::uint64_t> scratch_row;  // add()'s delta staging
   };
-  ReciprocityMatrix build_matrix(bool assume_open_for_unobserved) const;
+
+  /// Materialise derived_ from scratch if it is not valid.
+  void ensure_derived() const;
+  /// Fill `row` with participant u's allow-row under `policy` (null =
+  /// default open), diagonal clear.
+  void compute_allow_row(std::size_t u, const ExportPolicy* policy,
+                         std::uint64_t* row) const;
+  /// Replace derived_ row u with the row for `policy`, patching the
+  /// changed transpose bits (O(|A_RS|/64) + O(changed bits)).
+  void apply_row_delta(std::size_t u, const ExportPolicy* policy) const;
+  /// count_links minus the generation bookkeeping (shared with freeze).
+  std::size_t count_links_derived(bool assume_open_for_unobserved) const;
 
   IxpContext context_;
   // Sorted member ASNs with payloads in parallel (dense-index layout).
   FlatAsnSet member_ids_;
   std::vector<MemberData> member_data_;
   std::size_t rejected_ = 0;
+  std::uint64_t generation_ = 0;
+  // Generation at which a link count was last computed; stats(precomputed)
+  // asserts it still matches (the memo-staleness contract above).
+  mutable std::optional<std::uint64_t> links_generation_;
+  mutable Derived derived_;
 };
 
 }  // namespace mlp::core

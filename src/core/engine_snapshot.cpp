@@ -1,0 +1,57 @@
+#include "core/engine_snapshot.hpp"
+
+#include <bit>
+
+namespace mlp::core {
+
+bool EngineSnapshot::has_link(Asn a, Asn b) const {
+  const std::size_t i = participants_.index_of(a);
+  const std::size_t j = participants_.index_of(b);
+  if (i == FlatAsnSet::npos || j == FlatAsnSet::npos || i == j) return false;
+  if (!participates(i) || !participates(j)) return false;
+  return (reciprocal_row(i)[j / 64] >> (j % 64) & std::uint64_t{1}) != 0;
+}
+
+std::vector<Asn> EngineSnapshot::links_of(Asn member) const {
+  std::vector<Asn> partners;
+  const std::size_t i = participants_.index_of(member);
+  if (i == FlatAsnSet::npos || !participates(i)) return partners;
+  const std::uint64_t* row = reciprocal_row(i);
+  for (std::size_t w = 0; w < words_; ++w) {
+    std::uint64_t bits = row[w];
+    if (!assume_open_) bits &= observed_mask_[w];
+    while (bits != 0) {
+      const std::size_t j =
+          w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+      partners.push_back(participants_.values()[j]);
+      bits &= bits - 1;
+    }
+  }
+  return partners;
+}
+
+std::set<AsLink> EngineSnapshot::links() const {
+  std::set<AsLink> out;
+  const std::size_t n = participants_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!participates(i)) continue;
+    const std::uint64_t* row = reciprocal_row(i);
+    // Pairs above the diagonal in ascending order: the end-hinted insert
+    // keeps the set build linear in the link count.
+    for (std::size_t w = i / 64; w < words_; ++w) {
+      std::uint64_t bits = row[w];
+      if (!assume_open_) bits &= observed_mask_[w];
+      if (w == i / 64) bits &= ~((std::uint64_t{2} << (i % 64)) - 1);
+      while (bits != 0) {
+        const std::size_t j =
+            w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+        out.insert(out.end(), AsLink(participants_.values()[i],
+                                     participants_.values()[j]));
+        bits &= bits - 1;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mlp::core

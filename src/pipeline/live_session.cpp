@@ -118,6 +118,9 @@ LiveSession::LiveSession(LiveConfig config,
   shards_.reserve(contexts_->size());
   for (const core::IxpContext& context : *contexts_)
     shards_.push_back(std::make_unique<Shard>(context, config_.merge));
+  // Publish epoch 1 (the empty state) per shard before any feed can
+  // exist: epoch readers never observe a null snapshot.
+  for (std::size_t i = 0; i < shards_.size(); ++i) publish_epoch(i);
 }
 
 FeedHandle LiveSession::add_feed(FeedOptions options) {
@@ -205,9 +208,19 @@ void LiveSession::pump(std::size_t index) {
   Shard& shard = *shards_[index];
   std::vector<core::Observation> batch;
   for (;;) {
-    while (shard.queue.try_pop(batch))
+    while (shard.queue.try_pop(batch)) {
       for (const core::Observation& observation : batch)
         shard.engine.add(observation);
+      // Mid-run publish cadence: bound reader staleness even while a
+      // deep backlog drains.
+      if (config_.publish_every_batches != 0 &&
+          ++shard.batches_since_publish >= config_.publish_every_batches)
+        publish_epoch(index);
+    }
+    // The drain run settled (the merge frontier is exhausted): publish
+    // INSIDE the ownership window -- after the store(false) below a
+    // successor pump may own the engine.
+    publish_epoch(index);
     shard.pump_scheduled.store(false, std::memory_order_release);
     if (!shard.queue.has_ready()) return;
     // A push raced in after the drain: reclaim sole ownership unless the
@@ -221,6 +234,65 @@ void LiveSession::schedule_pump(std::size_t index) {
   Shard& shard = *shards_[index];
   if (!shard.pump_scheduled.exchange(true, std::memory_order_acq_rel))
     pool_.submit([this, index] { pump(index); });
+}
+
+void LiveSession::publish_epoch(std::size_t index) {
+  Shard& shard = *shards_[index];
+  shard.batches_since_publish = 0;
+  const std::uint64_t generation = shard.engine.generation();
+  // Re-publishing an unchanged generation would be a copy for nothing:
+  // the current epoch already describes this exact state.
+  if (shard.epochs_published.load(std::memory_order_relaxed) != 0 &&
+      generation == shard.last_published_generation)
+    return;
+  const std::uint64_t epoch =
+      shard.epochs_published.load(std::memory_order_relaxed) + 1;
+  shard.published.store(
+      shard.engine.freeze(config_.assume_open_for_unobserved, epoch),
+      std::memory_order_release);
+  shard.epochs_published.store(epoch, std::memory_order_release);
+  shard.last_published_generation = generation;
+}
+
+std::shared_ptr<const core::EngineSnapshot> LiveSession::epoch_snapshot(
+    std::size_t index) const {
+  if (index >= shards_.size())
+    throw InvalidArgument("live session: bad IXP index");
+  return shards_[index]->published.load(std::memory_order_acquire);
+}
+
+std::shared_ptr<const core::EngineSnapshot> LiveSession::epoch_snapshot(
+    const std::string& ixp) const {
+  return epoch_snapshot(ixp_index(ixp));
+}
+
+std::size_t LiveSession::ixp_index(const std::string& ixp) const {
+  // contexts_ is immutable after construction, so the name scan needs no
+  // lock.
+  for (std::size_t i = 0; i < contexts_->size(); ++i)
+    if ((*contexts_)[i].name == ixp) return i;
+  throw InvalidArgument("live session: unknown IXP \"" + ixp + "\"");
+}
+
+std::uint32_t LiveSession::merge_frontier(std::size_t index) const {
+  if (index >= shards_.size())
+    throw InvalidArgument("live session: bad IXP index");
+  return shards_[index]->queue.min_watermark();
+}
+
+std::size_t LiveSession::merge_backlog(std::size_t index) const {
+  if (index >= shards_.size())
+    throw InvalidArgument("live session: bad IXP index");
+  return shards_[index]->queue.depth();
+}
+
+std::vector<std::shared_ptr<const core::EngineSnapshot>>
+LiveSession::epoch_snapshots() const {
+  std::vector<std::shared_ptr<const core::EngineSnapshot>> out;
+  out.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i)
+    out.push_back(epoch_snapshot(i));
+  return out;
 }
 
 void LiveSession::publish_watermark(Lane& target) {
@@ -595,9 +667,15 @@ LiveSnapshot LiveSession::snapshot() {
   LiveSnapshot snap;
   static_cast<SessionTotals&>(snap) = collect_totals_locked();
   snap.links_per_ixp.reserve(shards_.size());
-  for (const auto& shard : shards_)
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    // The world is settled (all lane mutexes held, pool idle), so the
+    // pump's engine ownership transfers here: publish the flushed state
+    // and read the count off the published epoch, keeping this snapshot
+    // and concurrent epoch_snapshot() readers in agreement.
+    publish_epoch(i);
     snap.links_per_ixp.push_back(
-        shard->engine.count_links(config_.assume_open_for_unobserved));
+        shards_[i]->published.load(std::memory_order_acquire)->link_count());
+  }
   return snap;
 }
 
@@ -620,6 +698,10 @@ LiveResult LiveSession::finish() {
   }
   result.per_ixp.resize(shards_.size());
   for (std::size_t i = 0; i < shards_.size(); ++i) {
+    // Everything is closed and drained: publish the final epoch so a
+    // query server lingering past finish() answers from exactly the
+    // state this result reports.
+    publish_epoch(i);
     const core::MlpInferenceEngine& engine = shards_[i]->engine;
     IxpResult& slot = result.per_ixp[i];
     slot.name = engine.context().name;
@@ -699,6 +781,10 @@ std::vector<std::uint8_t> LiveSession::serialize_state() {
   for (auto& shard : shards_) {
     shard->engine.serialize_state(writer);
     shard->queue.serialize_state(writer);
+    // The epoch counter rides along (kCheckpointVersion 2) so a resumed
+    // session keeps publishing ascending epochs instead of restarting at
+    // 1 and confusing readers that cache "newest epoch seen".
+    writer.u64(shard->epochs_published.load(std::memory_order_acquire));
   }
   return writer.take();
 }
@@ -812,11 +898,14 @@ void LiveSession::apply_payload(ByteReader& reader, bool commit) {
     if (commit) {
       shards_[i]->engine.restore_state(reader);
       shards_[i]->queue.restore_state(reader);
+      shards_[i]->epochs_published.store(reader.u64(),
+                                         std::memory_order_release);
     } else {
       core::MlpInferenceEngine engine((*contexts_)[i]);
       engine.restore_state(reader);
       ObservationQueue queue(feeds_.size(), config_.merge);
       queue.restore_state(reader);
+      reader.u64();  // epoch counter: any value is valid
     }
   }
 }
@@ -858,6 +947,13 @@ void LiveSession::restore_state(std::span<const std::uint8_t> payload) {
     target.last_activity_ms.store(now, std::memory_order_relaxed);
     target.supervisor.note_activity(now);
   }
+  // Publish the restored state as a fresh epoch -- continuing the
+  // restored counter -- BEFORE the pumps restart: readers must never see
+  // the pre-restore matrix paired with post-restore feed progress. No
+  // pump can be running here (restore requires zero bytes fed, so no
+  // batch was ever pushed), so the engine ownership rule holds.
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard)
+    publish_epoch(shard);
   // Anything restored below the merge frontier is drainable right away.
   for (std::size_t shard = 0; shard < shards_.size(); ++shard)
     schedule_pump(shard);

@@ -71,8 +71,23 @@
 // lane, so they are safe against concurrent feeding.
 //
 // snapshot() is cheap on purpose: it flushes partial batches, lets the
-// pool settle, and reads each engine's link count via count_links (a
-// popcount over the reciprocity bitset) -- no link-set materialization.
+// pool settle, and reads each engine's link count off a freshly
+// published epoch (a popcount over the reciprocity bitset) -- no
+// link-set materialization.
+//
+// Epoch publishing decouples READERS from ingest entirely: each shard's
+// pump periodically (every LiveConfig::publish_every_batches drained
+// batches, after every watermark-advance drain run, and at every
+// stop-the-world point) freezes the engine into an immutable
+// core::EngineSnapshot and swaps it behind an atomic shared_ptr.
+// epoch_snapshot() hands that pointer out with ONE atomic load -- no
+// feeds_mutex_, no lane mutex, no stop-the-world -- so any number of
+// query threads (the `mlp_infer query` server, dashboards, benchmarks)
+// read a consistent epoch while the feed threads keep ingesting.
+// Staleness is bounded by the publish cadence: at most the in-flight
+// work of one pump run (publish_every_batches batches) behind the
+// engine, and exactly current at any settled point (snapshot()/
+// finish()/restore_state() republish before returning).
 #pragma once
 
 #include <atomic>
@@ -84,6 +99,7 @@
 #include <string>
 #include <vector>
 
+#include "core/engine_snapshot.hpp"
 #include "core/passive.hpp"
 #include "pipeline/feed_supervisor.hpp"
 #include "pipeline/observation_queue.hpp"
@@ -130,8 +146,15 @@ struct LiveConfig {
   /// Transient filtering, announce-window bound, tolerate_malformed
   /// (applied per feed: each lane runs its own extractor).
   core::PassiveConfig passive;
-  /// Forwarded to infer_links / count_links.
+  /// Forwarded to infer_links / count_links and baked into every
+  /// published EngineSnapshot.
   bool assume_open_for_unobserved = false;
+  /// Epoch publishing cadence: a pump freezes and publishes a fresh
+  /// EngineSnapshot after draining this many batches since the last
+  /// publish -- and always when a drain run settles -- which bounds how
+  /// far lock-free readers can trail the engine mid-run. 0 publishes
+  /// only at settled points (drain-idle, snapshot, finish, restore).
+  std::size_t publish_every_batches = 16;
   /// Record-length cap for the framer.
   stream::MrtFramer::Config framing;
   /// Read-buffer size used by drain().
@@ -321,7 +344,10 @@ class LiveSession {
   /// Point-in-time stats + per-IXP link counts. Reflects every record
   /// fed so far (under Watermark: every observation below the merge
   /// frontier); callable while other threads keep feeding (they block
-  /// on their lane for the duration of the flush).
+  /// on their lane for the duration of the flush). Publishes a fresh
+  /// epoch per shard at the settled point, so the returned counts and
+  /// concurrent epoch_snapshot() readers agree. For a query path that
+  /// must not stop the world, read epoch_snapshot() instead.
   LiveSnapshot snapshot() MLP_EXCLUDES(feeds_mutex_);
 
   /// End of stream: close every remaining feed (announce-window flush,
@@ -331,6 +357,36 @@ class LiveSession {
 
   std::size_t ixp_count() const { return shards_.size(); }
   std::size_t feed_count() MLP_EXCLUDES(feeds_mutex_);
+
+  /// Lock-free reader API: the current published epoch of IXP `index`
+  /// (construction order). ONE atomic shared_ptr load -- never
+  /// feeds_mutex_, never a lane mutex, never a pool settle -- so query
+  /// threads scale independently of ingest. Never null (epoch 1
+  /// publishes in the constructor); the returned snapshot stays valid
+  /// for as long as the caller holds it, even across restore_state()
+  /// and session destruction. Throws InvalidArgument on a bad index.
+  std::shared_ptr<const core::EngineSnapshot> epoch_snapshot(
+      std::size_t index) const;
+  /// Same, addressed by IXP name (IxpContext::name). Throws
+  /// InvalidArgument for an unknown name.
+  std::shared_ptr<const core::EngineSnapshot> epoch_snapshot(
+      const std::string& ixp) const;
+  /// Resolve an IXP name to its construction-order index (the IXP set is
+  /// immutable after construction, so this is lock-free). Throws
+  /// InvalidArgument for an unknown name.
+  std::size_t ixp_index(const std::string& ixp) const;
+  /// Every IXP's current epoch, in construction order. The per-shard
+  /// loads are independent (not a cross-IXP consistent cut).
+  std::vector<std::shared_ptr<const core::EngineSnapshot>> epoch_snapshots()
+      const;
+
+  /// Observability gauges for IXP `index`, pairing an epoch with how far
+  /// ingest has run ahead of it: the shard queue's merge frontier
+  /// (ObservationQueue::min_watermark) and its undrained backlog. These
+  /// take only the shard queue's own mutex -- never feeds_mutex_ or a
+  /// lane mutex -- so they are safe on the query path.
+  std::uint32_t merge_frontier(std::size_t index) const;
+  std::size_t merge_backlog(std::size_t index) const;
 
   /// Complete records framed so far, summed over feeds. Much cheaper
   /// than snapshot() (no batch flush, no pool settle): callers pace
@@ -430,6 +486,24 @@ class LiveSession {
     core::MlpInferenceEngine engine;
     /// Owner flag of the pump task (the engine is not thread-safe).
     std::atomic<bool> pump_scheduled{false};
+    /// The published epoch: deliberately the ONE unguarded shared object
+    /// of the session. The engine owner (a pump inside its ownership
+    /// window, or a stop-the-world path after pool settle) freezes an
+    /// immutable EngineSnapshot and swaps it in; readers load it
+    /// lock-free and share ownership. No mutex guards it BY DESIGN --
+    /// immutability of the pointee plus the atomic shared_ptr swap IS
+    /// the synchronization, which is what keeps the query path off
+    /// feeds_mutex_ and the lane mutexes entirely.
+    std::atomic<std::shared_ptr<const core::EngineSnapshot>> published;
+    /// Monotone publication counter; serialized into checkpoints so a
+    /// resumed session's epochs keep ascending.
+    std::atomic<std::uint64_t> epochs_published{0};
+    /// Publish bookkeeping, confined to the engine owner exactly like
+    /// the engine itself (pump ownership window / settled world): which
+    /// engine generation the current epoch describes, and batches
+    /// drained since the last publish.
+    std::uint64_t last_published_generation = 0;
+    std::size_t batches_since_publish = 0;
   };
 
   /// RAII over the dynamic all-lanes lock set used by the stop-the-world
@@ -454,6 +528,13 @@ class LiveSession {
   /// Drain shard `index`'s queue into its engine, rearm-safe.
   void pump(std::size_t index);
   void schedule_pump(std::size_t index);
+  /// Freeze shard `index`'s engine and swap the published epoch pointer.
+  /// Caller must OWN the engine: either this is the shard's pump inside
+  /// its ownership window (before pump_scheduled drops), or the world is
+  /// settled (all lane mutexes held + pool idle, so no pump runs and
+  /// none can be scheduled). No-ops when the engine generation has not
+  /// moved since the last publish.
+  void publish_epoch(std::size_t index);
 
   Lane& lane(std::size_t index) MLP_EXCLUDES(feeds_mutex_);
   /// Ingest one chunk into the lane (framing, decode, extraction).

@@ -176,6 +176,15 @@ bool ObservationQueue::has_ready() {
   return false;
 }
 
+std::uint32_t ObservationQueue::min_watermark() {
+  util::MutexLock lock(mutex_);
+  // Concatenate sources publish no watermarks, so every source reads as
+  // an unconstrained 0 there; report the sentinel instead of a bogus 0.
+  if (policy_ != MergePolicy::Watermark)
+    return std::numeric_limits<std::uint32_t>::max();
+  return min_watermark_locked();
+}
+
 std::size_t ObservationQueue::depth() {
   util::MutexLock lock(mutex_);
   std::size_t total = 0;

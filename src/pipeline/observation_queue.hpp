@@ -103,6 +103,13 @@ class ObservationQueue {
   /// True when try_pop would return a batch.
   [[nodiscard]] bool has_ready();
 
+  /// The current merge frontier: minimum watermark over open, non-idle
+  /// sources, UINT32_MAX when nothing constrains the drain (every source
+  /// closed/idle, or Concatenate policy). Everything strictly below it
+  /// has been handed to the consumer or is about to be; the observability
+  /// hook the query server pairs with an epoch's backlog gauge.
+  std::uint32_t min_watermark();
+
   /// Observations queued but not yet drained, summed over sources (batch
   /// contents counted individually). The merge-backlog gauge: under
   /// Watermark it is what sits at or above the frontier waiting for a

@@ -556,6 +556,55 @@ TEST(SessionCheckpoint, SaveRestoreThroughFilesEndToEnd) {
   }
 }
 
+TEST(SessionCheckpoint, EpochCounterSurvivesRestore) {
+  // The per-shard epoch counter is part of the v2 payload: a restored
+  // session republishes PAST the serialized counter before any pump
+  // runs, so a reader comparing epochs across a crash/resume never sees
+  // the scale move backwards (or read pre-crash state as fresh).
+  auto s = make_scenario(51);
+  const auto ixps = s.ixp_contexts();
+  const auto data = s.collectors().front().update_dump(1367366400);
+
+  LiveSession first(session_config(1), ixps);
+  auto first_handles = add_feeds(first, 1, Transport::RawMrt);
+  feed_range(first_handles[0],
+             std::span<const std::uint8_t>(data.data(), data.size() / 2),
+             1024);
+  (void)first.snapshot();  // settle + publish a fresh epoch per shard
+  std::vector<std::uint64_t> epochs_before;
+  for (std::size_t i = 0; i < ixps.size(); ++i)
+    epochs_before.push_back(first.epoch_snapshot(i)->epoch());
+  const auto payload = first.serialize_state();
+  const auto acked = first.acknowledged_offsets();
+
+  LiveSession second(session_config(1), ixps);
+  auto second_handles = add_feeds(second, 1, Transport::RawMrt);
+  // A fresh session has published exactly its construction epoch.
+  for (std::size_t i = 0; i < ixps.size(); ++i)
+    EXPECT_EQ(second.epoch_snapshot(i)->epoch(), 1u) << "ixp " << i;
+  second.restore_state(payload);
+  for (std::size_t i = 0; i < ixps.size(); ++i) {
+    const auto snap = second.epoch_snapshot(i);
+    EXPECT_GT(snap->epoch(), epochs_before[i]) << "ixp " << i;
+    // The republished snapshot answers from the restored engine, not the
+    // fresh one: same link count the source session had published.
+    EXPECT_EQ(snap->link_count(), first.epoch_snapshot(i)->link_count())
+        << "ixp " << i;
+  }
+  // Epochs stay monotone through the remaining ingest and the final
+  // settle.
+  std::vector<std::uint64_t> after_restore;
+  for (std::size_t i = 0; i < ixps.size(); ++i)
+    after_restore.push_back(second.epoch_snapshot(i)->epoch());
+  feed_range(second_handles[0],
+             std::span<const std::uint8_t>(data).subspan(acked[0]), 2048);
+  (void)second.snapshot();
+  for (std::size_t i = 0; i < ixps.size(); ++i)
+    EXPECT_GE(second.epoch_snapshot(i)->epoch(), after_restore[i])
+        << "ixp " << i;
+  (void)second.finish();
+}
+
 TEST(SessionCheckpoint, QueueDepthSurfacesInStats) {
   // Under the watermark merge, one feed far behind the other leaves the
   // leading feed's observations queued; the snapshot must expose that

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "core/engine.hpp"
+#include "core/engine_snapshot.hpp"
 #include "core/reciprocity.hpp"
+#include "util/bytes.hpp"
 
 namespace mlp::core {
 namespace {
@@ -118,6 +120,156 @@ TEST(Engine, PolicyOfUnknownMember) {
   MlpInferenceEngine engine(decix_context({1}));
   EXPECT_FALSE(engine.policy_of(1));
   EXPECT_FALSE(engine.policy_of(42));
+}
+
+TEST(Engine, GenerationTracksAcceptedMutations) {
+  MlpInferenceEngine engine(decix_context({1, 2}));
+  EXPECT_EQ(engine.generation(), 0u);
+  engine.add(obs(1, "10.1.0.0/16", {}));
+  EXPECT_EQ(engine.generation(), 1u);
+  // A rejected observation changes no state, so the generation holds.
+  engine.add(obs(99, "10.9.0.0/16", {}));
+  EXPECT_EQ(engine.generation(), 1u);
+  engine.add(obs(2, "10.2.0.0/16", {}));
+  EXPECT_EQ(engine.generation(), 2u);
+}
+
+TEST(Engine, RestoreInvalidatesMemoisedPolicies) {
+  // Regression: restore_state() must drop the memoised merged policies
+  // (N_a) and the incremental reciprocity bitset UNCONDITIONALLY -- a
+  // memo warmed by pre-restore queries must never leak into
+  // post-restore answers. Interleaving: add -> stats (memo warm) ->
+  // restore -> stats, pinned against a fresh engine fed the restored
+  // observations directly.
+  MlpInferenceEngine donor(decix_context({1, 2, 3}));
+  donor.add(obs(1, "10.1.0.0/16", {Community(0, 2)}));  // 1 excludes 2
+  donor.add(obs(2, "10.2.0.0/16", {}));
+  donor.add(obs(3, "10.3.0.0/16", {}));
+  ByteWriter writer;
+  donor.serialize_state(writer);
+  const auto image = writer.take();
+
+  // Warm the victim's memo and bitset with a DIFFERENT state (everyone
+  // open: 3 links).
+  MlpInferenceEngine engine(decix_context({1, 2, 3}));
+  engine.add(obs(1, "10.1.0.0/16", {}));
+  engine.add(obs(2, "10.2.0.0/16", {}));
+  engine.add(obs(3, "10.3.0.0/16", {}));
+  EXPECT_EQ(engine.stats().links, 3u);
+  ByteReader reader(image);
+  engine.restore_state(reader);
+
+  MlpInferenceEngine fresh(decix_context({1, 2, 3}));
+  fresh.add(obs(1, "10.1.0.0/16", {Community(0, 2)}));
+  fresh.add(obs(2, "10.2.0.0/16", {}));
+  fresh.add(obs(3, "10.3.0.0/16", {}));
+  EXPECT_EQ(fresh.stats().links, 2u);  // 1-3 and 2-3 only
+  EXPECT_EQ(engine.stats().links, fresh.stats().links);
+  EXPECT_EQ(engine.infer_links(), fresh.infer_links());
+  EXPECT_EQ(engine.infer_links(true), fresh.infer_links(true));
+  const auto* policy = engine.policy_of(1);
+  ASSERT_TRUE(policy != nullptr);
+  EXPECT_FALSE(policy->allows(2));
+}
+
+TEST(Engine, PrecomputedStatsAgreeWithinQuiescedWindow) {
+  // The documented contract of stats(precomputed_links): computed and
+  // consumed with no mutation in between, it must equal the
+  // self-counting overload exactly.
+  MlpInferenceEngine engine(decix_context({1, 2, 3, 4}));
+  engine.add(obs(1, "10.1.0.0/16", {Community(0, 3)}));
+  engine.add(obs(2, "10.2.0.0/16", {}));
+  engine.add(obs(3, "10.3.0.0/16", {}));
+  const auto links = engine.infer_links();
+  const auto with_precomputed = engine.stats(links.size());
+  const auto self_counted = engine.stats();
+  EXPECT_EQ(with_precomputed.links, self_counted.links);
+  EXPECT_EQ(with_precomputed.observed_members,
+            self_counted.observed_members);
+}
+
+#if GTEST_HAS_DEATH_TEST && !defined(NDEBUG)
+TEST(EngineDeathTest, PrecomputedStatsAssertOnStaleMemo) {
+  // Mutating between the link computation and stats(precomputed) is a
+  // contract violation; debug builds must catch the stale memo.
+  MlpInferenceEngine engine(decix_context({1, 2, 3}));
+  engine.add(obs(1, "10.1.0.0/16", {}));
+  engine.add(obs(2, "10.2.0.0/16", {}));
+  const auto links = engine.infer_links();
+  engine.add(obs(3, "10.3.0.0/16", {}));  // stale: generation moved
+  EXPECT_DEATH((void)engine.stats(links.size()), "");
+}
+#endif
+
+// ---------------------------------------------------------- freeze/snapshot
+
+TEST(EngineSnapshot, AgreesWithEngineAtFreezeTime) {
+  MlpInferenceEngine engine(decix_context({1, 2, 3, 4}));
+  engine.add(obs(1, "10.1.0.0/16", {Community(0, 3)}));  // 1 excludes 3
+  engine.add(obs(2, "10.2.0.0/16", {}));
+  engine.add(obs(3, "10.3.0.0/16", {}));
+  const auto snap = engine.freeze(/*assume_open_for_unobserved=*/false,
+                                  /*epoch=*/7);
+  EXPECT_EQ(snap->epoch(), 7u);
+  EXPECT_EQ(snap->generation(), engine.generation());
+  EXPECT_EQ(snap->ixp(), "DE-CIX");
+  EXPECT_FALSE(snap->assume_open_for_unobserved());
+  EXPECT_EQ(snap->links(), engine.infer_links());
+  EXPECT_EQ(snap->link_count(), engine.count_links());
+  EXPECT_EQ(snap->stats().links, engine.stats().links);
+  EXPECT_EQ(snap->rejected_observations(), engine.rejected_observations());
+  EXPECT_TRUE(snap->has_link(1, 2));
+  EXPECT_FALSE(snap->has_link(1, 3));
+  EXPECT_FALSE(snap->has_link(1, 4));  // unobserved: masked out
+  EXPECT_FALSE(snap->has_link(1, 1));  // no self links
+  EXPECT_FALSE(snap->has_link(1, 99));  // not a member
+  EXPECT_TRUE(snap->is_member(4));
+  EXPECT_FALSE(snap->is_observed(4));
+  EXPECT_FALSE(snap->is_member(99));
+  // links_of agrees with the pairwise view.
+  EXPECT_EQ(snap->links_of(1), std::vector<Asn>{2});
+  EXPECT_EQ(snap->links_of(2), (std::vector<Asn>{1, 3}));
+  EXPECT_TRUE(snap->links_of(99).empty());
+}
+
+TEST(EngineSnapshot, ImmutableAcrossEngineMutation) {
+  // The snapshot owns everything it answers from: further adds (and even
+  // a restore) on the engine must not change it -- the property the
+  // lock-free readers rely on.
+  MlpInferenceEngine engine(decix_context({1, 2, 3}));
+  engine.add(obs(1, "10.1.0.0/16", {}));
+  engine.add(obs(2, "10.2.0.0/16", {}));
+  const auto snap = engine.freeze(false, 1);
+  const auto links_before = snap->links();
+  const auto count_before = snap->link_count();
+  engine.add(obs(3, "10.3.0.0/16", {}));
+  engine.add(obs(1, "10.9.0.0/16", {Community(0, 2)}));  // now excludes 2
+  EXPECT_EQ(snap->links(), links_before);
+  EXPECT_EQ(snap->link_count(), count_before);
+  EXPECT_TRUE(snap->has_link(1, 2));
+  EXPECT_FALSE(snap->is_observed(3));
+  // The engine itself moved on.
+  EXPECT_FALSE(engine.infer_links().count(AsLink(1, 2)));
+  // A later freeze sees the new state under a new epoch.
+  const auto snap2 = engine.freeze(false, 2);
+  EXPECT_EQ(snap2->epoch(), 2u);
+  EXPECT_FALSE(snap2->has_link(1, 2));
+  EXPECT_TRUE(snap2->is_observed(3));
+}
+
+TEST(EngineSnapshot, AssumeOpenVariant) {
+  MlpInferenceEngine engine(decix_context({1, 2, 3}));
+  engine.add(obs(1, "10.1.0.0/16", {}));
+  engine.add(obs(2, "10.2.0.0/16", {}));
+  const auto open = engine.freeze(true, 1);
+  EXPECT_TRUE(open->assume_open_for_unobserved());
+  EXPECT_EQ(open->links(), engine.infer_links(true));
+  EXPECT_EQ(open->link_count(), 3u);  // unobserved 3 participates
+  EXPECT_TRUE(open->has_link(1, 3));
+  EXPECT_EQ(open->links_of(3), (std::vector<Asn>{1, 2}));
+  const auto conservative = engine.freeze(false, 2);
+  EXPECT_EQ(conservative->link_count(), 1u);
+  EXPECT_FALSE(conservative->has_link(1, 3));
 }
 
 // ------------------------------------------------------------ reciprocity

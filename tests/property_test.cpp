@@ -216,6 +216,98 @@ TEST_P(SeededProperty, InferLinksMatchesNaiveReference) {
   }
 }
 
+// ---- The delta-maintained reciprocity bitset equals the from-scratch
+// memoisation after EVERY prefix of a shuffled observation sequence:
+// once a query materialises the bitset, add() patches it in place, and
+// that fast path must never drift from what ensure_derived() would
+// rebuild. invalidate_derived() on the twin engine forces the full
+// re-memoisation every step.
+
+TEST_P(SeededProperty, IncrementalDeltaMatchesFromScratch) {
+  Rng rng(GetParam() ^ 0xde17a);
+  auto scheme = routeserver::IxpCommunityScheme::make(
+      "prop", 64321, routeserver::SchemeStyle::RsAsnBased);
+
+  const std::size_t n_members = rng.uniform(10, 40);
+  std::vector<bgp::Asn> members;
+  for (std::size_t i = 0; i < n_members; ++i)
+    members.push_back(static_cast<bgp::Asn>(3000 + 3 * i));
+  core::IxpContext ctx;
+  ctx.name = "prop";
+  ctx.scheme = scheme;
+  ctx.rs_members = {members.begin(), members.end()};
+
+  const auto random_policy = [&]() {
+    util::FlatAsnSet peers;
+    const std::size_t n_peers = rng.uniform(0, 6);
+    for (std::size_t k = 0; k < n_peers; ++k) {
+      if (rng.chance(0.15)) {
+        peers.insert(static_cast<bgp::Asn>(rng.uniform(100, 2000)));
+      } else {
+        peers.insert(rng.pick(members));
+      }
+    }
+    return routeserver::ExportPolicy(
+        rng.chance(0.3) ? routeserver::ExportPolicy::Mode::NoneExcept
+                        : routeserver::ExportPolicy::Mode::AllExcept,
+        peers);
+  };
+
+  std::vector<core::Observation> observations;
+  for (const auto member : members) {
+    if (rng.chance(0.25)) continue;  // unobserved
+    const std::size_t prefixes = rng.uniform(1, 3);
+    for (std::size_t p = 0; p < prefixes; ++p) {
+      core::Observation obs;
+      obs.setter = member;
+      obs.prefix = bgp::IpPrefix(
+          0x0A000000 + (static_cast<std::uint32_t>(member) << 12) +
+              (static_cast<std::uint32_t>(p) << 8),
+          24);
+      obs.communities = random_policy().to_communities(scheme,
+                                                       rng.chance(0.5));
+      observations.push_back(std::move(obs));
+    }
+  }
+  if (observations.empty()) return;  // nothing to compare this seed
+  // Re-announcements of already-queued prefixes with freshly drawn
+  // policies exercise the replaced-intersectand branch (N_a rebuild) and
+  // the identical-policy no-op branch of add().
+  const std::size_t replays = rng.uniform(0, observations.size() / 2);
+  for (std::size_t r = 0; r < replays; ++r) {
+    core::Observation obs =
+        observations[rng.uniform(0, observations.size() - 1)];
+    if (rng.chance(0.5))
+      obs.communities = random_policy().to_communities(scheme,
+                                                       rng.chance(0.5));
+    observations.push_back(std::move(obs));
+  }
+  // Shuffle: the equivalence must hold for ANY add order.
+  for (std::size_t i = observations.size(); i > 1; --i)
+    std::swap(observations[i - 1], observations[rng.uniform(0, i - 1)]);
+
+  core::MlpInferenceEngine incremental(ctx);
+  core::MlpInferenceEngine scratch(ctx);
+  // Materialise the incremental engine's bitset up front so every add()
+  // below takes the delta path (no member observed yet: no links).
+  EXPECT_EQ(incremental.count_links(false), 0u);
+  for (std::size_t i = 0; i < observations.size(); ++i) {
+    incremental.add(observations[i]);
+    scratch.add(observations[i]);
+    scratch.invalidate_derived();  // force the full re-memoisation
+    for (const bool assume_open : {false, true}) {
+      EXPECT_EQ(incremental.infer_links(assume_open),
+                scratch.infer_links(assume_open))
+          << "after " << i + 1 << " observations, assume_open="
+          << assume_open;
+      EXPECT_EQ(incremental.count_links(assume_open),
+                scratch.count_links(assume_open))
+          << "after " << i + 1 << " observations, assume_open="
+          << assume_open;
+    }
+  }
+}
+
 // ---- Wire/MRT round trips on randomised inputs.
 
 TEST_P(SeededProperty, UpdateWireRoundTrip) {
